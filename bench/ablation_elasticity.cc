@@ -1,0 +1,117 @@
+// Ablation: the paper's elasticity extensions (Section 3) vs the ORIGINAL
+// data-oriented architecture with a static worker-partition binding.
+//
+// Two pathologies of the static binding motivate the extensions:
+//  (1) "Static Mapping": when the ECL puts hardware threads to sleep,
+//      their partitions become unavailable - queries to them starve.
+//  (2) "Load Balancing": skewed partition access cannot be balanced; hot
+//      partitions back up while other workers idle.
+#include <memory>
+
+#include "bench_common.h"
+#include "ecl/baseline.h"
+#include "ecl/ecl.h"
+#include "engine/engine.h"
+#include "workload/driver.h"
+#include "workload/kv.h"
+#include "workload/load_profile.h"
+#include "workload/workload.h"
+
+using namespace ecldb;
+
+namespace {
+
+struct Outcome {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  double p99_ms = 0.0;
+  double avg_power_w = 0.0;
+};
+
+Outcome Run(bool elastic, bool use_ecl, double zipf_theta, double load) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  engine::EngineParams ep;
+  ep.scheduler.static_binding = !elastic;
+  engine::Engine engine(&sim, &machine, ep);
+  workload::KvParams kvp;
+  kvp.indexed = false;
+  kvp.zipf_theta = zipf_theta;
+  workload::KvWorkload kv(&engine, kvp);
+  const double cap = workload::BaselineCapacityQps(machine.params(), kv);
+
+  ecl::BaselineController baseline(&machine);
+  std::unique_ptr<ecl::EnergyControlLoop> loop;
+  if (use_ecl) {
+    loop = std::make_unique<ecl::EnergyControlLoop>(&sim, &engine,
+                                                    ecl::EclParams{});
+    loop->Start();
+    engine.scheduler().SetSyntheticLoad(&kv.profile());
+    sim.RunFor(Seconds(30));
+    engine.scheduler().SetSyntheticLoad(nullptr);
+  } else {
+    baseline.Start();
+  }
+  engine.latency().ResetRunStats();
+
+  workload::ConstantProfile profile(load, Seconds(30));
+  workload::DriverParams dp;
+  dp.capacity_qps = cap;
+  workload::LoadDriver driver(&sim, &engine, &kv, &profile, dp);
+  const double e0 = machine.TotalEnergyJoules();
+  driver.Start();
+  sim.RunFor(Seconds(30));
+  const double energy = machine.TotalEnergyJoules() - e0;
+  sim.RunFor(Seconds(3));  // drain
+
+  Outcome o;
+  o.submitted = driver.submitted();
+  o.completed = engine.latency().completed();
+  o.p99_ms = engine.latency().all().Percentile(99);
+  o.avg_power_w = energy / 30.0;
+  return o;
+}
+
+void PrintRow(TablePrinter& t, const char* name, const Outcome& o) {
+  t.AddRow({name, FmtInt(o.submitted), FmtInt(o.completed), Fmt(o.p99_ms, 1),
+            Fmt(o.avg_power_w, 1)});
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "ablation_elasticity", "paper Section 3 (design ablation)",
+      "Elastic worker-partition mapping vs the original static binding, "
+      "non-indexed key-value store.");
+
+  std::printf("\n-- uniform partition access, 30 %% load --\n");
+  TablePrinter t1({"architecture", "submitted", "completed", "p99 ms",
+                   "avg power W"});
+  PrintRow(t1, "elastic + ECL", Run(true, true, 0.0, 0.3));
+  PrintRow(t1, "static  + ECL", Run(false, true, 0.0, 0.3));
+  PrintRow(t1, "static  + all-on (no energy control)",
+           Run(false, false, 0.0, 0.3));
+  t1.Print();
+
+  std::printf("\n-- zipf(0.9)-skewed partition access, 30 %% load --\n");
+  TablePrinter t2({"architecture", "submitted", "completed", "p99 ms",
+                   "avg power W"});
+  PrintRow(t2, "elastic + ECL", Run(true, true, 0.9, 0.3));
+  PrintRow(t2, "static  + ECL", Run(false, true, 0.9, 0.3));
+  PrintRow(t2, "static  + all-on (no energy control)",
+           Run(false, false, 0.9, 0.3));
+  t2.Print();
+
+  std::printf(
+      "\nWith the static binding, the partitions of sleeping threads become "
+      "unavailable: queries starve (completed << submitted) as soon as the "
+      "ECL powers threads down. The only safe static configuration keeps "
+      "every thread on - forfeiting the energy savings the elastic "
+      "architecture achieves. Under skew the elastic mapping keeps every "
+      "partition served and still saves energy, at a latency cost: a "
+      "partition remains the unit of parallelism in the data-oriented "
+      "architecture, so a single hot partition is always drained by one "
+      "worker at a time (with RTI idling in between).\n");
+  return 0;
+}

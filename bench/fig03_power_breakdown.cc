@@ -1,0 +1,55 @@
+// Reproduces Figure 3: Haswell-EP power breakdown into static and dynamic
+// consumption, RAPL and PSU measurements.
+#include "bench_common.h"
+
+using namespace ecldb;
+
+int main() {
+  bench::PrintHeader("fig03_power_breakdown", "paper Fig. 3",
+                     "Static (idle) vs dynamic (FIRESTARTER full load) power; "
+                     "RAPL domains and modeled PSU wall power.");
+  bench::MachineRig rig;
+  hwsim::Machine& m = rig.machine;
+  const hwsim::Topology& topo = m.topology();
+
+  // Static: everything idle, uncore clocks halted.
+  rig.simulator.RunFor(Seconds(1));
+  const double s_pkg0 = m.InstantPkgPowerW(0);
+  const double s_pkg1 = m.InstantPkgPowerW(1);
+  const double s_dram = m.InstantDramPowerW(0) + m.InstantDramPowerW(1);
+  const double s_rapl = m.InstantRaplPowerW();
+  const double s_psu = m.InstantPsuPowerW();
+
+  // Dynamic: FIRESTARTER-like AVX burn on every hardware thread, all cores
+  // at the maximum nominal frequency (the paper excludes the short-lived
+  // turbo peak).
+  m.ApplyMachineConfig(hwsim::MachineConfig::AllOn(topo, 2.6, 3.0));
+  for (int t = 0; t < topo.total_threads(); ++t) {
+    m.SetThreadLoad(t, &workload::Firestarter(), 1.0);
+  }
+  rig.simulator.RunFor(Seconds(1));
+  const double f_pkg0 = m.InstantPkgPowerW(0);
+  const double f_pkg1 = m.InstantPkgPowerW(1);
+  const double f_dram = m.InstantDramPowerW(0) + m.InstantDramPowerW(1);
+  const double f_rapl = m.InstantRaplPowerW();
+  const double f_psu = m.InstantPsuPowerW();
+
+  TablePrinter table({"component", "static W", "full load W", "dynamic W"});
+  table.AddRow({"CPU 1 (pkg)", Fmt(s_pkg0, 1), Fmt(f_pkg0, 1), Fmt(f_pkg0 - s_pkg0, 1)});
+  table.AddRow({"CPU 2 (pkg)", Fmt(s_pkg1, 1), Fmt(f_pkg1, 1), Fmt(f_pkg1 - s_pkg1, 1)});
+  table.AddRow({"DRAM (both)", Fmt(s_dram, 1), Fmt(f_dram, 1), Fmt(f_dram - s_dram, 1)});
+  table.AddRow({"RAPL total", Fmt(s_rapl, 1), Fmt(f_rapl, 1), Fmt(f_rapl - s_rapl, 1)});
+  table.AddRow({"overhead (PSU-RAPL)", Fmt(s_psu - s_rapl, 1),
+                Fmt(f_psu - f_rapl, 1), Fmt((f_psu - f_rapl) - (s_psu - s_rapl), 1)});
+  table.AddRow({"PSU (wall)", Fmt(s_psu, 1), Fmt(f_psu, 1), Fmt(f_psu - s_psu, 1)});
+  table.Print();
+
+  std::printf(
+      "\nstatic share of peak wall power: %.1f %%  (paper: ~18 %%, vs >50 %% "
+      "reported in 2010)\n",
+      100.0 * s_psu / f_psu);
+  std::printf("dynamic overhead share (PSU conversion/fans/board): %.1f %% "
+              "(paper: ~15 %%)\n",
+              100.0 * ((f_psu - f_rapl) - (s_psu - s_rapl)) / (f_rapl - s_rapl));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Figure 7: behavior of the energy-efficient turbo (EET) under
+// different energy-performance bias (EPB) settings, for a compute-bound
+// and a memory-bound workload.
+#include "bench_common.h"
+
+using namespace ecldb;
+
+namespace {
+
+void RunScenario(const char* title, hwsim::EpbSetting epb,
+                 const hwsim::WorkProfile& work) {
+  std::printf("\n-- %s --\n", title);
+  bench::MachineRig rig;
+  hwsim::Machine& m = rig.machine;
+  const hwsim::Topology& topo = m.topology();
+  m.SetEpb(epb);
+  // Start all cores at the minimum frequency under full load.
+  m.ApplySocketConfig(0, hwsim::SocketConfig::AllOn(topo, 1.2, 3.0));
+  for (int t = 0; t < topo.threads_per_socket(); ++t) m.SetThreadLoad(t, &work, 1.0);
+
+  TablePrinter table({"time ms", "eff core GHz", "pkg W", "Ginstr/s"});
+  uint64_t prev_instr = 0;
+  auto sample = [&](SimTime t_ms) {
+    const uint64_t instr = m.ReadSocketInstructions(0);
+    table.AddRow({FmtInt(t_ms), Fmt(m.effective_config().sockets[0].core_freq_ghz[0], 1),
+                  Fmt(m.InstantPkgPowerW(0), 1),
+                  Fmt(static_cast<double>(instr - prev_instr) / 0.25e9, 2)});
+    prev_instr = instr;
+  };
+  // 1 s at 1.2 GHz, then request turbo (the "frequency change" of Fig. 7).
+  for (int i = 1; i <= 4; ++i) {
+    rig.simulator.RunFor(Millis(250));
+    sample(i * 250);
+  }
+  m.ApplySocketConfig(0, hwsim::SocketConfig::AllOn(topo, 3.1, 3.0));
+  for (int i = 5; i <= 12; ++i) {
+    rig.simulator.RunFor(Millis(250));
+    sample(i * 250);
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "fig07_eet_epb", "paper Fig. 7",
+      "All cores under load start at 1.2 GHz; at t=1000 ms software requests "
+      "the turbo frequency. Instructions retired are per 250 ms window.");
+  RunScenario("(a) compute-bound, EPB powersave/balanced",
+              hwsim::EpbSetting::kBalanced, workload::ComputeBound());
+  RunScenario("(b) compute-bound, EPB performance",
+              hwsim::EpbSetting::kPerformance, workload::ComputeBound());
+  RunScenario("(c) memory-bound, EPB powersave/balanced",
+              hwsim::EpbSetting::kBalanced, workload::MemoryScan());
+  std::printf(
+      "\nShape check (paper): with powersave/balanced EPB the CPU sticks at "
+      "2.6 GHz for ~1 s before granting turbo; with performance EPB turbo is "
+      "immediate. For the memory-bound workload the turbo grant draws extra "
+      "power WITHOUT raising instructions retired - a bad decision that "
+      "motivates explicit energy control.\n");
+  return 0;
+}

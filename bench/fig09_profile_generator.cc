@@ -1,0 +1,56 @@
+// Reproduces Figure 9: energy profiles of the compute-bound workload for
+// three configuration-generator parameter settings, plus the generator
+// granularity study (this doubles as the profile-granularity ablation
+// called out in DESIGN.md).
+#include "bench_common.h"
+
+using namespace ecldb;
+
+namespace {
+
+void RunSetting(const char* title, const char* csv_name,
+                const profile::GeneratorParams& params) {
+  bench::MachineRig rig;
+  profile::ConfigGenerator gen(rig.machine.topology(), rig.machine.freqs());
+  const int group = gen.GroupSizeFor(params);
+  profile::EnergyProfile profile(gen.Generate(params));
+  profile::ProfileEvaluator eval(&rig.simulator, &rig.machine, 0);
+  eval.EvaluateAll(&profile, workload::ComputeBound(), profile::EvaluatorParams{});
+
+  std::printf("\n== %s ==\n", title);
+  std::printf("configurations: %d (thread group size %d, idle excluded: %d)\n",
+              profile.size(), group, profile.size() - 1);
+  bench::ExportProfileScatter(csv_name, rig, profile);
+  bench::PrintProfileSkyline(rig, profile, title);
+  // Evaluation cost at runtime: each configuration needs apply+measure.
+  std::printf("full reevaluation cost: %.1f s of multiplexed adaptation\n",
+              (profile.size() - 1) * ToSeconds(Millis(101)));
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "fig09_profile_generator", "paper Fig. 9 (a)-(c)",
+      "Energy profiles for the compute-bound workload under three "
+      "configuration-generator settings; c_max = 256.");
+
+  profile::GeneratorParams a;  // f_core=4, f_uncore=3, mixed off
+  RunSetting("(a) f_core=4, f_uncore=3, mixed=off", "fig09a_compute", a);
+
+  profile::GeneratorParams b = a;
+  b.n_core_freqs = 7;
+  RunSetting("(b) f_core=7, f_uncore=3, mixed=off", "fig09b_compute", b);
+
+  profile::GeneratorParams c = a;
+  c.mixed_core_freqs = true;
+  RunSetting("(c) f_core=4, f_uncore=3, mixed=on", "fig09c_compute", c);
+
+  std::printf(
+      "\nShape check (paper): setting (a) already covers the important "
+      "supporting points - (b) and (c) add configurations (costlier to "
+      "maintain at runtime) without significantly improving the skyline. "
+      "The lowest core and uncore frequencies are the most energy-"
+      "efficient for this workload until their performance is exhausted.\n");
+  return 0;
+}

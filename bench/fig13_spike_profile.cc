@@ -1,0 +1,93 @@
+// Reproduces Figure 13: load adaptation and query latency for the spike
+// load profile (non-indexed key-value store), baseline vs ECL at 1 Hz and
+// 2 Hz base frequency.
+#include <memory>
+
+#include "bench_common.h"
+#include "experiment/experiment.h"
+#include "workload/kv.h"
+#include "workload/load_profile.h"
+
+using namespace ecldb;
+using experiment::ControlMode;
+using experiment::RunOptions;
+using experiment::RunResult;
+
+namespace {
+
+experiment::WorkloadFactory Factory() {
+  return [](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+    workload::KvParams params;
+    params.indexed = false;
+    return std::make_unique<workload::KvWorkload>(e, params);
+  };
+}
+
+RunResult Run(ControlMode mode, SimDuration ecl_interval) {
+  workload::SpikeProfile profile;  // full 3 minutes, like the paper
+  RunOptions options;
+  options.mode = mode;
+  options.ecl.socket.interval = ecl_interval;
+  options.sample_period = Seconds(2);
+  return RunLoadExperiment(Factory(), profile, options);
+}
+
+double OverloadSeconds(const RunResult& r, double limit_ms) {
+  double seconds = 0.0;
+  for (const auto& s : r.series) {
+    if (s.latency_window_ms > limit_ms) seconds += 2.0;
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "fig13_spike_profile", "paper Fig. 13 (a)+(b)",
+      "Spike load profile over 3 minutes, non-indexed key-value store, "
+      "100 ms latency limit: power over time and latency statistics for "
+      "the baseline and the ECL at 1 Hz / 2 Hz.");
+
+  const RunResult base = Run(ControlMode::kBaseline, Seconds(1));
+  const RunResult ecl1 = Run(ControlMode::kEcl, Seconds(1));
+  const RunResult ecl2 = Run(ControlMode::kEcl, Millis(500));
+  bench::ExportSeries("fig13_baseline", base);
+  bench::ExportSeries("fig13_ecl_1hz", ecl1);
+  bench::ExportSeries("fig13_ecl_2hz", ecl2);
+
+  std::printf("\n-- (a) load and power over time (sampled every 2 s) --\n");
+  TablePrinter series({"t s", "load kQps", "baseline W", "ECL 1Hz W",
+                       "ECL 2Hz W"});
+  for (size_t i = 0; i < base.series.size(); i += 3) {
+    series.AddRow({Fmt(base.series[i].t_s, 0),
+                   Fmt(base.series[i].offered_qps / 1000.0, 1),
+                   Fmt(base.series[i].rapl_power_w, 1),
+                   Fmt(ecl1.series[i].rapl_power_w, 1),
+                   Fmt(ecl2.series[i].rapl_power_w, 1)});
+  }
+  series.Print();
+
+  std::printf("\n-- (b) query latencies (limit 100 ms) --\n");
+  TablePrinter lat({"run", "mean ms", "p95 ms", "p99 ms", "max ms",
+                    "viol %", "overload s", "energy J", "saving %"});
+  auto row = [&](const char* name, const RunResult& r) {
+    lat.AddRow({name, Fmt(r.mean_ms, 1), Fmt(r.p95_ms, 1), Fmt(r.p99_ms, 1),
+                Fmt(r.max_ms, 1), Fmt(100.0 * r.violation_frac, 2),
+                Fmt(OverloadSeconds(r, 100.0), 0), Fmt(r.energy_j, 0),
+                Fmt(experiment::SavingsPercent(base, r), 1)});
+  };
+  row("baseline", base);
+  row("ECL 1 Hz", ecl1);
+  row("ECL 2 Hz", ecl2);
+  lat.Print();
+
+  std::printf(
+      "\nShape check (paper): the ECL never draws more power than the "
+      "baseline; energy proportionality is nearly perfect above ~50 %% "
+      "load; the baseline resides in the overload state longer than the "
+      "ECL (its all-on configuration adds memory-controller contention); "
+      "latency violations occur only around the overload phase; 2 Hz only "
+      "slightly improves latencies.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Figure 14: load adaptation and query latency for the
+// twitter-like real-world load profile (a 2-hour trace replayed within 3
+// minutes), baseline vs ECL at 1 Hz and 2 Hz.
+#include <memory>
+
+#include "bench_common.h"
+#include "experiment/experiment.h"
+#include "workload/kv.h"
+#include "workload/load_profile.h"
+
+using namespace ecldb;
+using experiment::ControlMode;
+using experiment::RunOptions;
+using experiment::RunResult;
+
+namespace {
+
+experiment::WorkloadFactory Factory() {
+  return [](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+    workload::KvParams params;
+    params.indexed = false;
+    return std::make_unique<workload::KvWorkload>(e, params);
+  };
+}
+
+RunResult Run(ControlMode mode, SimDuration ecl_interval) {
+  workload::TwitterProfile profile;
+  RunOptions options;
+  options.mode = mode;
+  options.ecl.socket.interval = ecl_interval;
+  options.sample_period = Seconds(2);
+  return RunLoadExperiment(Factory(), profile, options);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "fig14_twitter_profile", "paper Fig. 14 (a)+(b)",
+      "Twitter-like load profile (2 h trace compressed to 3 minutes, "
+      "sudden peaks, frequent alternation), non-indexed key-value store.");
+
+  const RunResult base = Run(ControlMode::kBaseline, Seconds(1));
+  const RunResult ecl1 = Run(ControlMode::kEcl, Seconds(1));
+  const RunResult ecl2 = Run(ControlMode::kEcl, Millis(500));
+  bench::ExportSeries("fig14_baseline", base);
+  bench::ExportSeries("fig14_ecl_1hz", ecl1);
+  bench::ExportSeries("fig14_ecl_2hz", ecl2);
+
+  std::printf("\n-- (a) load and power over time (sampled every 2 s) --\n");
+  TablePrinter series({"t s", "load kQps", "baseline W", "ECL 1Hz W",
+                       "ECL 2Hz W"});
+  for (size_t i = 0; i < base.series.size(); i += 3) {
+    series.AddRow({Fmt(base.series[i].t_s, 0),
+                   Fmt(base.series[i].offered_qps / 1000.0, 1),
+                   Fmt(base.series[i].rapl_power_w, 1),
+                   Fmt(ecl1.series[i].rapl_power_w, 1),
+                   Fmt(ecl2.series[i].rapl_power_w, 1)});
+  }
+  series.Print();
+
+  std::printf("\n-- (b) query latencies (limit 100 ms) --\n");
+  TablePrinter lat({"run", "mean ms", "p95 ms", "p99 ms", "max ms", "viol %",
+                    "energy J", "saving %"});
+  auto row = [&](const char* name, const RunResult& r) {
+    lat.AddRow({name, Fmt(r.mean_ms, 1), Fmt(r.p95_ms, 1), Fmt(r.p99_ms, 1),
+                Fmt(r.max_ms, 1), Fmt(100.0 * r.violation_frac, 2),
+                Fmt(r.energy_j, 0), Fmt(experiment::SavingsPercent(base, r), 1)});
+  };
+  row("baseline", base);
+  row("ECL 1 Hz", ecl1);
+  row("ECL 2 Hz", ecl2);
+  lat.Print();
+
+  std::printf(
+      "\nShape check (paper): the ECL draws significantly less power most "
+      "of the time but, being reactive, needs a moment to follow the "
+      "sudden load peaks — visible as latency outliers, which the 2 Hz "
+      "base frequency reduces.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figure 15: power consumption over time and total energy for
+// the three energy-profile maintenance strategies across a sudden
+// workload change (indexed -> non-indexed key-value store at t = 40 s).
+// This is also the adaptation-strategy ablation from DESIGN.md.
+#include "adaptation_experiment.h"
+#include "bench_common.h"
+
+using namespace ecldb;
+
+int main() {
+  bench::PrintHeader(
+      "fig15_adaptation_power", "paper Fig. 15",
+      "Workload switch at t=40 s, load fixed at 50 %, 1 Hz ECL: power over "
+      "time and total energy for static / online / multiplexed profile "
+      "maintenance.");
+  const auto none = bench::RunAdaptationExperiment(bench::AdaptationMode::kStatic);
+  const auto online = bench::RunAdaptationExperiment(bench::AdaptationMode::kOnline);
+  const auto mux =
+      bench::RunAdaptationExperiment(bench::AdaptationMode::kMultiplexed);
+
+  {
+    CsvWriter csv("bench_results/fig15_adaptation.csv",
+                  {"t_s", "static_w", "online_w", "multiplexed_w"});
+    for (size_t t = 0; t < none.power_w.size(); ++t) {
+      csv.AddNumericRow({static_cast<double>(t + 1), none.power_w[t],
+                         online.power_w[t], mux.power_w[t]});
+    }
+    if (csv.ok()) {
+      std::printf("[series exported to bench_results/fig15_adaptation.csv]\n");
+    }
+  }
+
+  TablePrinter series({"t s", "ECL static W", "ECL online W",
+                       "ECL multiplexed W"});
+  for (size_t t = 0; t < none.power_w.size(); t += 4) {
+    series.AddRow({FmtInt(static_cast<int64_t>(t + 1)), Fmt(none.power_w[t], 1),
+                   Fmt(online.power_w[t], 1), Fmt(mux.power_w[t], 1)});
+  }
+  series.Print();
+
+  std::printf("\n-- total energy --\n");
+  TablePrinter totals({"strategy", "energy J (120 s)", "after switch J",
+                       "final best config"});
+  auto row = [&](const char* name, const bench::AdaptationResult& r) {
+    totals.AddRow({name, Fmt(r.energy_j, 0), Fmt(r.energy_after_switch_j, 0),
+                   r.final_best_config});
+  };
+  row("ECL static", none);
+  row("ECL online", online);
+  row("ECL multiplexed", mux);
+  totals.Print();
+
+  std::printf(
+      "\nShape check (paper): after the switch the static profile misleads "
+      "the ECL (higher, fluctuating power); online adaptation quickly "
+      "re-measures the configurations it applies; multiplexed adaptation "
+      "additionally reevaluates stale configurations - it takes longer but "
+      "can find a slightly more energy-efficient configuration. Static "
+      "draws significantly more energy (~25 %% more power in the paper).\n");
+  return 0;
+}

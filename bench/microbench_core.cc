@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks of the hot building blocks: message
+// rings, partition queues, the hash index, profile lookup, and the
+// performance-model solver.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "engine/hash_index.h"
+#include "hwsim/machine.h"
+#include "msg/mpmc_ring.h"
+#include "msg/partition_queue.h"
+#include "msg/spsc_ring.h"
+#include "profile/config_generator.h"
+#include "profile/energy_profile.h"
+#include "workload/work_profiles.h"
+
+namespace ecldb {
+namespace {
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  msg::SpscRing<int64_t> ring(1024);
+  int64_t v = 0;
+  for (auto _ : state) {
+    ring.TryPush(v);
+    int64_t out = 0;
+    ring.TryPop(&out);
+    benchmark::DoNotOptimize(out);
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_MpmcRingPushPop(benchmark::State& state) {
+  msg::MpmcRing<int64_t> ring(1024);
+  int64_t v = 0;
+  for (auto _ : state) {
+    ring.TryPush(v);
+    int64_t out = 0;
+    ring.TryPop(&out);
+    benchmark::DoNotOptimize(out);
+    ++v;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MpmcRingPushPop);
+
+void BM_PartitionQueueBatch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  msg::PartitionQueue q(0, 1 << 12);
+  msg::Message m;
+  m.partition = 0;
+  std::vector<msg::Message> out;
+  q.TryAcquire(1);
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) q.Enqueue(m);
+    out.clear();
+    q.DequeueBatch(1, batch, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  q.Release(1);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_PartitionQueueBatch)->Arg(8)->Arg(64);
+
+void BM_HashIndexFind(benchmark::State& state) {
+  engine::HashIndex idx;
+  const int64_t n = state.range(0);
+  for (int64_t k = 0; k < n; ++k) idx.Insert(k, static_cast<uint32_t>(k));
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto row = idx.Find(static_cast<int64_t>(rng.NextBounded(n)));
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashIndexFind)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HashIndexInsertErase(benchmark::State& state) {
+  engine::HashIndex idx;
+  int64_t k = 0;
+  for (auto _ : state) {
+    idx.Insert(k, 1);
+    idx.Erase(k);
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashIndexInsertErase);
+
+void BM_ProfileFindForDemand(benchmark::State& state) {
+  const hwsim::Topology topo = hwsim::Topology::HaswellEp2S();
+  profile::ConfigGenerator gen(topo, hwsim::FrequencyTable::HaswellEp());
+  profile::EnergyProfile profile(gen.Generate(profile::GeneratorParams{}));
+  Rng rng(3);
+  for (int i = 1; i < profile.size(); ++i) {
+    profile.Record(i, 20.0 + rng.NextDouble() * 100.0,
+                   1e9 * (0.1 + rng.NextDouble()), Seconds(1));
+  }
+  double demand = 0.0;
+  for (auto _ : state) {
+    demand += 1e7;
+    if (demand > profile.PeakPerfScore()) demand = 0.0;
+    benchmark::DoNotOptimize(profile.FindForDemand(demand));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileFindForDemand);
+
+void BM_PerfModelSolve(benchmark::State& state) {
+  const hwsim::MachineParams params = hwsim::MachineParams::HaswellEp();
+  const hwsim::BandwidthModel bw(params.bandwidth);
+  const hwsim::PerfModel model(params.topology, bw, params.perf);
+  const hwsim::MachineConfig cfg =
+      hwsim::MachineConfig::AllOn(params.topology, 2.6, 3.0);
+  std::vector<hwsim::ThreadLoad> loads(
+      static_cast<size_t>(params.topology.total_threads()),
+      hwsim::ThreadLoad{&workload::MemoryScan(), 1.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Solve(cfg, loads));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PerfModelSolve);
+
+}  // namespace
+}  // namespace ecldb
+
+BENCHMARK_MAIN();

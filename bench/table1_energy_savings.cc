@@ -1,0 +1,102 @@
+// Reproduces Table 1: relative energy savings of the ECL vs the baseline
+// for every workload x load-profile combination, plus the most
+// energy-efficient configuration per workload.
+#include <functional>
+#include <memory>
+
+#include "bench_common.h"
+#include "experiment/experiment.h"
+#include "workload/kv.h"
+#include "workload/load_profile.h"
+#include "workload/ssb.h"
+#include "workload/tatp.h"
+
+using namespace ecldb;
+using experiment::ControlMode;
+using experiment::RunOptions;
+using experiment::RunResult;
+
+namespace {
+
+// Compressed to 60 s per run to keep the battery fast; relative savings
+// are duration-invariant (see DESIGN.md).
+constexpr SimDuration kRunDuration = Seconds(60);
+
+struct WorkloadEntry {
+  const char* name;
+  experiment::WorkloadFactory factory;
+};
+
+std::vector<WorkloadEntry> Workloads() {
+  std::vector<WorkloadEntry> entries;
+  for (const bool indexed : {true, false}) {
+    entries.push_back(
+        {indexed ? "TATP (indexed)" : "TATP (non-indexed)",
+         [indexed](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+           workload::TatpParams p;
+           p.indexed = indexed;
+           return std::make_unique<workload::TatpWorkload>(e, p);
+         }});
+    entries.push_back(
+        {indexed ? "SSB (indexed)" : "SSB (non-indexed)",
+         [indexed](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+           workload::SsbParams p;
+           p.indexed = indexed;
+           p.sim_lineorder_rows = 6'000'000;
+           return std::make_unique<workload::SsbWorkload>(e, p);
+         }});
+    entries.push_back(
+        {indexed ? "KV store (indexed)" : "KV store (non-indexed)",
+         [indexed](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+           workload::KvParams p;
+           p.indexed = indexed;
+           return std::make_unique<workload::KvWorkload>(e, p);
+         }});
+  }
+  return entries;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "table1_energy_savings", "paper Table 1",
+      "Relative energy savings (RAPL) of the ECL vs the race-to-idle "
+      "baseline for all workload x load-profile combinations, and the most "
+      "energy-efficient configuration found per workload.");
+
+  TablePrinter table({"workload", "profile", "baseline J", "ECL J",
+                      "saving %", "most energy-efficient config"});
+  for (const WorkloadEntry& w : Workloads()) {
+    for (const char* profile_name : {"spike", "twitter"}) {
+      std::unique_ptr<workload::LoadProfile> profile;
+      if (std::string(profile_name) == "spike") {
+        profile = std::make_unique<workload::SpikeProfile>(kRunDuration);
+      } else {
+        profile = std::make_unique<workload::TwitterProfile>(7, kRunDuration);
+      }
+      RunOptions base_opt;
+      base_opt.mode = ControlMode::kBaseline;
+      RunOptions ecl_opt;
+      ecl_opt.mode = ControlMode::kEcl;
+      const RunResult base = RunLoadExperiment(w.factory, *profile, base_opt);
+      const RunResult ecl = RunLoadExperiment(w.factory, *profile, ecl_opt);
+      table.AddRow({w.name, profile_name, Fmt(base.energy_j, 0),
+                    Fmt(ecl.energy_j, 0),
+                    Fmt(experiment::SavingsPercent(base, ecl), 1),
+                    ecl.best_config});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check (paper Table 1): non-indexed workloads save the most "
+      "(memory controllers bottleneck; the KV store's pure column scans "
+      "save the most of all, wanting few threads at the lowest frequency); "
+      "TATP and SSB favor more threads at medium frequencies "
+      "(communication + tuple reconstruction); indexed workloads save "
+      "15.8-23.4 %% with a generally lower uncore clock; SSB needs a "
+      "higher uncore clock than TATP (more data shipped between "
+      "partitions).\n");
+  return 0;
+}

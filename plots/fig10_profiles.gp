@@ -1,0 +1,16 @@
+# gnuplot script for the Fig. 10-style energy-profile bubble charts: run
+# build/bench/fig10_profile_workloads first, then e.g.
+#   gnuplot -e "wl='memory-scan'" plots/fig10_profiles.gp
+if (!exists("wl")) wl = "memory-scan"
+set datafile separator ","
+set terminal pngcairo size 800,600
+set output sprintf("bench_results/fig10_%s.png", wl)
+set title sprintf("energy profile: %s", wl)
+set xlabel "performance level (normalized)"
+set ylabel "energy efficiency (normalized)"
+set cblabel "uncore GHz"
+set palette defined (1.2 "blue", 2.1 "green", 3.0 "red")
+set key off
+# bubble size = active threads, color = uncore clock
+plot sprintf("bench_results/fig10_%s.csv", wl) \
+  using 4:5:($1/6.0+0.5):3 with points pt 7 ps variable palette

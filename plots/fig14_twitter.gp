@@ -1,0 +1,15 @@
+# gnuplot script for Fig. 14(a): run build/bench/fig14_twitter_profile first.
+set datafile separator ","
+set terminal pngcairo size 900,500
+set output "bench_results/fig14_twitter.png"
+set title "Fig. 14(a): twitter load profile - power over time"
+set xlabel "time [s]"
+set ylabel "RAPL power [W]"
+set y2label "offered load [kQps]"
+set y2tics
+set key top left
+plot \
+  "bench_results/fig14_baseline.csv" using 1:3 with lines lw 2 title "baseline", \
+  "bench_results/fig14_ecl_1hz.csv"  using 1:3 with lines lw 2 title "ECL 1 Hz", \
+  "bench_results/fig14_ecl_2hz.csv"  using 1:3 with lines lw 2 title "ECL 2 Hz", \
+  "bench_results/fig14_baseline.csv" using 1:($2/1000) axes x1y2 with lines dt 2 lc "gray" title "load"

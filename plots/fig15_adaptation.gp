@@ -1,0 +1,13 @@
+# gnuplot script for Fig. 15: run build/bench/fig15_adaptation_power first.
+set datafile separator ","
+set terminal pngcairo size 900,500
+set output "bench_results/fig15_adaptation.png"
+set title "Fig. 15: energy-profile adaptation across a workload switch (t=40 s)"
+set xlabel "time [s]"
+set ylabel "RAPL power [W]"
+set key top right
+set arrow from 40, graph 0 to 40, graph 1 nohead dt 2 lc "gray"
+plot \
+  "bench_results/fig15_adaptation.csv" using 1:2 with lines lw 2 title "ECL static", \
+  "bench_results/fig15_adaptation.csv" using 1:3 with lines lw 2 title "ECL online", \
+  "bench_results/fig15_adaptation.csv" using 1:4 with lines lw 2 title "ECL multiplexed"

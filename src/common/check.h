@@ -1,0 +1,36 @@
+#ifndef ECLDB_COMMON_CHECK_H_
+#define ECLDB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Always-on invariant checks. The library does not use exceptions; a failed
+// check indicates a programming error and aborts with a diagnostic.
+
+#define ECLDB_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "ECLDB_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define ECLDB_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "ECLDB_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   (msg), __FILE__, __LINE__);                                \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define ECLDB_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define ECLDB_DCHECK(cond) ECLDB_CHECK(cond)
+#endif
+
+#endif  // ECLDB_COMMON_CHECK_H_

@@ -1,0 +1,72 @@
+#include "common/csv_writer.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace ecldb {
+
+bool EnsureDirectory(const std::string& path) {
+  if (path.empty()) return true;
+  std::string partial;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      partial = path.substr(0, i);
+      if (partial.empty()) continue;
+      if (mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) return false;
+    }
+  }
+  return true;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header) {
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    if (!EnsureDirectory(path.substr(0, slash))) return;
+  }
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ != nullptr) AddRow(header);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::WriteCell(const std::string& cell, bool last) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (needs_quotes) {
+    std::fputc('"', file_);
+    for (char c : cell) {
+      if (c == '"') std::fputc('"', file_);
+      std::fputc(c, file_);
+    }
+    std::fputc('"', file_);
+  } else {
+    std::fwrite(cell.data(), 1, cell.size(), file_);
+  }
+  std::fputc(last ? '\n' : ',', file_);
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  if (file_ == nullptr || cells.empty()) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    WriteCell(cells[i], i + 1 == cells.size());
+  }
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    cells.emplace_back(buf);
+  }
+  AddRow(cells);
+}
+
+}  // namespace ecldb

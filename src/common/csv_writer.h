@@ -1,0 +1,40 @@
+#ifndef ECLDB_COMMON_CSV_WRITER_H_
+#define ECLDB_COMMON_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+namespace ecldb {
+
+/// Minimal CSV writer for benchmark series (one file per figure, so the
+/// paper's plots can be regenerated with any plotting tool; see plots/).
+/// Values containing commas/quotes/newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  /// Creates/overwrites `path` (parent directories are created) and writes
+  /// the header row. `ok()` reports whether the file could be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with full precision.
+  void AddNumericRow(const std::vector<double>& values);
+
+ private:
+  void WriteCell(const std::string& cell, bool last);
+
+  std::FILE* file_ = nullptr;
+};
+
+/// Creates a directory (and parents); returns false on failure.
+bool EnsureDirectory(const std::string& path);
+
+}  // namespace ecldb
+
+#endif  // ECLDB_COMMON_CSV_WRITER_H_

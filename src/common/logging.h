@@ -1,0 +1,46 @@
+#ifndef ECLDB_COMMON_LOGGING_H_
+#define ECLDB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ecldb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted; defaults to kWarning so
+/// that benchmark output stays clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& message);
+
+/// Stream-style log statement collector; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ecldb
+
+#define ECLDB_LOG(level) \
+  ::ecldb::internal::LogMessage(::ecldb::LogLevel::level)
+
+#endif  // ECLDB_COMMON_LOGGING_H_

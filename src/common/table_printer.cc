@@ -1,0 +1,72 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ecldb {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  ECLDB_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c];
+      for (size_t i = row[c].size(); i < widths[c]; ++i) out << ' ';
+      out << ' ';
+    }
+    out << "|\n";
+  };
+  emit_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out << "|-";
+    for (size_t i = 0; i < widths[c]; ++i) out << '-';
+    out << '-';
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+std::string Fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FmtInt(int64_t value) {
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%lld", static_cast<long long>(value));
+  std::string raw = digits;
+  std::string out;
+  const bool neg = !raw.empty() && raw[0] == '-';
+  const size_t start = neg ? 1 : 0;
+  const size_t n = raw.size() - start;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += raw[start + i];
+  }
+  return (neg ? "-" : "") + out;
+}
+
+}  // namespace ecldb

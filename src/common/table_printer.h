@@ -1,0 +1,39 @@
+#ifndef ECLDB_COMMON_TABLE_PRINTER_H_
+#define ECLDB_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace ecldb {
+
+/// Renders aligned text tables for the benchmark harness output, so that the
+/// reproduced figure/table series read like the rows the paper reports.
+///
+/// Usage:
+///   TablePrinter t({"workload", "savings %"});
+///   t.AddRow({"kv non-indexed", Fmt(38.2, 1)});
+///   t.Print();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Writes the table to stdout.
+  void Print() const;
+  /// Returns the rendered table as a string.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed decimals (helper for table cells).
+std::string Fmt(double value, int decimals);
+
+/// Formats an integer with thousands separators.
+std::string FmtInt(int64_t value);
+
+}  // namespace ecldb
+
+#endif  // ECLDB_COMMON_TABLE_PRINTER_H_

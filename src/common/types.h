@@ -1,0 +1,51 @@
+#ifndef ECLDB_COMMON_TYPES_H_
+#define ECLDB_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace ecldb {
+
+/// Virtual simulation time in nanoseconds. All components of the library
+/// operate on virtual time so that experiments are deterministic and a
+/// three-minute load profile simulates in milliseconds of wall-clock time.
+using SimTime = int64_t;
+
+/// Duration in virtual nanoseconds.
+using SimDuration = int64_t;
+
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+constexpr SimDuration Nanos(int64_t n) { return n; }
+constexpr SimDuration Micros(int64_t us) { return us * 1'000; }
+constexpr SimDuration Millis(int64_t ms) { return ms * 1'000'000; }
+constexpr SimDuration Seconds(int64_t s) { return s * 1'000'000'000; }
+
+/// Converts a virtual duration to (fractional) seconds.
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) * 1e-9; }
+
+/// Converts a virtual duration to (fractional) milliseconds.
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) * 1e-6; }
+
+/// Converts fractional seconds to a virtual duration.
+constexpr SimDuration FromSeconds(double s) {
+  return static_cast<SimDuration>(s * 1e9);
+}
+
+/// Identifier of a socket (physical processor package).
+using SocketId = int;
+
+/// Identifier of a physical core, local to its socket.
+using CoreId = int;
+
+/// Identifier of a hardware thread, global across the machine.
+using HwThreadId = int;
+
+/// Identifier of a data partition of the data-oriented DBMS.
+using PartitionId = int;
+
+/// Identifier of a query submitted to the DBMS.
+using QueryId = int64_t;
+
+}  // namespace ecldb
+
+#endif  // ECLDB_COMMON_TYPES_H_

@@ -1,0 +1,16 @@
+#include "ecl/baseline.h"
+
+namespace ecldb::ecl {
+
+void BaselineController::Start() {
+  const hwsim::Topology& topo = machine_->topology();
+  const hwsim::FrequencyTable& freqs = machine_->freqs();
+  machine_->SetEpb(hwsim::EpbSetting::kBalanced);
+  for (SocketId s = 0; s < topo.num_sockets; ++s) {
+    machine_->SetUncoreMode(s, hwsim::UncoreMode::kAuto);
+    machine_->ApplySocketConfig(
+        s, hwsim::SocketConfig::AllOn(topo, freqs.max_core(), freqs.max_uncore()));
+  }
+}
+
+}  // namespace ecldb::ecl

@@ -1,0 +1,29 @@
+#ifndef ECLDB_ECL_BASELINE_H_
+#define ECLDB_ECL_BASELINE_H_
+
+#include "hwsim/machine.h"
+
+namespace ecldb::ecl {
+
+/// The paper's baseline: no DBMS energy control. All hardware threads are
+/// active, core frequencies are requested at maximum (turbo), the uncore
+/// clock follows the CPU's automatic uncore frequency scaling, and the EPB
+/// stays at its (balanced) default — "all available hardware threads with
+/// CPU and OS frequency control resembling a race-to-idle strategy"
+/// (Section 6.1). Because the polling DBMS never blocks, threads never
+/// enter sleep states.
+class BaselineController {
+ public:
+  explicit BaselineController(hwsim::Machine* machine) : machine_(machine) {}
+
+  /// Applies the baseline configuration once; the hardware then manages
+  /// itself.
+  void Start();
+
+ private:
+  hwsim::Machine* machine_;
+};
+
+}  // namespace ecldb::ecl
+
+#endif  // ECLDB_ECL_BASELINE_H_

@@ -1,0 +1,54 @@
+#include "ecl/ecl.h"
+
+#include "common/check.h"
+#include "hwsim/firmware.h"
+
+namespace ecldb::ecl {
+
+EnergyControlLoop::EnergyControlLoop(sim::Simulator* simulator,
+                                     engine::Engine* engine,
+                                     const EclParams& params)
+    : simulator_(simulator), engine_(engine), params_(params) {
+  ECLDB_CHECK(simulator != nullptr && engine != nullptr);
+  hwsim::Machine& machine = engine_->machine();
+  system_ = std::make_unique<SystemEcl>(simulator_, &engine_->latency(),
+                                        params_.system);
+
+  profile::ConfigGenerator generator(machine.topology(), machine.freqs());
+  for (SocketId s = 0; s < machine.topology().num_sockets; ++s) {
+    profile::EnergyProfile profile(generator.Generate(params_.generator));
+    sockets_.push_back(std::make_unique<SocketEcl>(
+        simulator_, &machine, s, std::move(profile), system_.get(),
+        [this, s] { return engine_->TakeSocketUtilization(s); },
+        params_.socket));
+  }
+}
+
+void EnergyControlLoop::Start() {
+  hwsim::Machine& machine = engine_->machine();
+  if (params_.set_epb_performance) {
+    machine.SetEpb(hwsim::EpbSetting::kPerformance);
+  }
+  for (SocketId s = 0; s < machine.topology().num_sockets; ++s) {
+    machine.SetUncoreMode(s, hwsim::UncoreMode::kPinned);
+  }
+  system_->Start();
+  for (auto& socket : sockets_) socket->Start();
+}
+
+void EnergyControlLoop::Stop() {
+  system_->Stop();
+  for (auto& socket : sockets_) socket->Stop();
+}
+
+void EnergyControlLoop::FlagWorkloadChange() {
+  for (auto& socket : sockets_) socket->FlagWorkloadChange();
+}
+
+void EnergyControlLoop::SetAdaptation(bool online, bool multiplexed) {
+  for (auto& socket : sockets_) {
+    socket->maintenance().SetEnabled(online, multiplexed);
+  }
+}
+
+}  // namespace ecldb::ecl

@@ -1,0 +1,60 @@
+#ifndef ECLDB_ECL_ECL_H_
+#define ECLDB_ECL_ECL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "ecl/socket_ecl.h"
+#include "ecl/system_ecl.h"
+#include "engine/engine.h"
+#include "profile/config_generator.h"
+#include "sim/simulator.h"
+
+namespace ecldb::ecl {
+
+struct EclParams {
+  SocketEclParams socket;
+  SystemEclParams system;
+  profile::GeneratorParams generator;
+  /// Pin the EPB to performance mode when doing explicit energy control
+  /// (the conclusion of the paper's Section 2.3).
+  bool set_epb_performance = true;
+};
+
+/// The hierarchical Energy-Control Loop (paper Section 5): one socket-level
+/// ECL per processor, each with its own adaptively-maintained energy
+/// profile, plus a single system-level ECL monitoring query latency against
+/// the user-defined limit.
+class EnergyControlLoop {
+ public:
+  EnergyControlLoop(sim::Simulator* simulator, engine::Engine* engine,
+                    const EclParams& params);
+
+  /// Starts the system-level ECL and all socket-level ECLs.
+  void Start();
+  void Stop();
+
+  SystemEcl& system() { return *system_; }
+  SocketEcl& socket(SocketId s) { return *sockets_[static_cast<size_t>(s)]; }
+  int num_sockets() const { return static_cast<int>(sockets_.size()); }
+
+  /// Flags a workload change on every socket (normally drift detection
+  /// does this automatically; exposed for experiments).
+  void FlagWorkloadChange();
+
+  /// Toggles profile maintenance on every socket (Fig. 15/16 experiment
+  /// arms: static / online / multiplexed).
+  void SetAdaptation(bool online, bool multiplexed);
+
+ private:
+  sim::Simulator* simulator_;
+  engine::Engine* engine_;
+  EclParams params_;
+  std::unique_ptr<SystemEcl> system_;
+  std::vector<std::unique_ptr<SocketEcl>> sockets_;
+};
+
+}  // namespace ecldb::ecl
+
+#endif  // ECLDB_ECL_ECL_H_

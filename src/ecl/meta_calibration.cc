@@ -1,0 +1,88 @@
+#include "ecl/meta_calibration.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ecldb::ecl {
+
+MetaCalibration::MetaCalibration(sim::Simulator* simulator,
+                                 hwsim::Machine* machine, SocketId socket)
+    : simulator_(simulator), machine_(machine), socket_(socket) {
+  ECLDB_CHECK(simulator != nullptr && machine != nullptr);
+}
+
+double MetaCalibration::ProbePowerW(const hwsim::SocketConfig& cfg,
+                                    const hwsim::WorkProfile& work,
+                                    SimDuration apply, SimDuration measure) {
+  const hwsim::Topology& topo = machine_->topology();
+  machine_->ApplySocketConfig(socket_, cfg);
+  for (int lt = 0; lt < topo.threads_per_socket(); ++lt) {
+    const HwThreadId t = socket_ * topo.threads_per_socket() + lt;
+    machine_->SetThreadLoad(t, cfg.ThreadActive(lt) ? &work : nullptr,
+                            cfg.ThreadActive(lt) ? 1.0 : 0.0);
+  }
+  simulator_->RunFor(apply);
+  const uint64_t e0 = machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kPackage) +
+                      machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kDram);
+  simulator_->RunFor(measure);
+  const uint64_t e1 = machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kPackage) +
+                      machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kDram);
+  return static_cast<double>(static_cast<int64_t>(e1 - e0)) * 1e-6 /
+         ToSeconds(measure);
+}
+
+MetaCalibrationResult MetaCalibration::Run(const hwsim::WorkProfile& work,
+                                           const MetaCalibrationParams& params) {
+  const hwsim::Topology& topo = machine_->topology();
+  const hwsim::FrequencyTable& freqs = machine_->freqs();
+  const hwsim::SocketConfig highest = hwsim::SocketConfig::AllOn(
+      topo, freqs.max_core_nominal(), freqs.max_uncore());
+  const hwsim::SocketConfig lowest = hwsim::SocketConfig::FirstThreads(
+      topo, 1, freqs.min_core(), freqs.min_uncore());
+
+  MetaCalibrationResult result;
+
+  // Reference: alternate highest/lowest with generous times. The lowest
+  // configuration dominates the deviation (its absolute power is small),
+  // so deviations are tracked on it.
+  double ref_low = 0.0;
+  for (int p = 0; p < params.probes; ++p) {
+    ProbePowerW(highest, work, params.reference_apply, params.reference_measure);
+    ref_low += ProbePowerW(lowest, work, params.reference_apply,
+                           params.reference_measure);
+  }
+  ref_low /= params.probes;
+  ECLDB_CHECK(ref_low > 0.0);
+
+  // Sweep the measure time (apply time stays at the reference).
+  result.measure_time = params.reference_measure;
+  for (SimDuration cand : params.candidates) {
+    double dev = 0.0;
+    for (int p = 0; p < params.probes; ++p) {
+      ProbePowerW(highest, work, params.reference_apply, cand);
+      const double low = ProbePowerW(lowest, work, params.reference_apply, cand);
+      dev += std::abs(low - ref_low) / ref_low;
+    }
+    dev /= params.probes;
+    result.measure_sweep.push_back({cand, dev});
+    if (dev <= params.tolerance) result.measure_time = cand;
+  }
+
+  // Sweep the apply time using the chosen measure time.
+  result.apply_time = params.reference_apply;
+  for (SimDuration cand : params.candidates) {
+    double dev = 0.0;
+    for (int p = 0; p < params.probes; ++p) {
+      ProbePowerW(highest, work, cand, result.measure_time);
+      const double low = ProbePowerW(lowest, work, cand, result.measure_time);
+      dev += std::abs(low - ref_low) / ref_low;
+    }
+    dev /= params.probes;
+    result.apply_sweep.push_back({cand, dev});
+    if (dev <= params.tolerance) result.apply_time = cand;
+  }
+  return result;
+}
+
+}  // namespace ecldb::ecl

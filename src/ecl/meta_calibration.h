@@ -1,0 +1,71 @@
+#ifndef ECLDB_ECL_META_CALIBRATION_H_
+#define ECLDB_ECL_META_CALIBRATION_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "hwsim/machine.h"
+#include "hwsim/work_profile.h"
+#include "sim/simulator.h"
+
+namespace ecldb::ecl {
+
+struct MetaCalibrationParams {
+  /// Generous reference durations.
+  SimDuration reference_apply = Millis(300);
+  SimDuration reference_measure = Millis(300);
+  /// Candidate durations tried, descending.
+  std::vector<SimDuration> candidates = {Millis(300), Millis(200), Millis(100),
+                                         Millis(50),  Millis(20),  Millis(10),
+                                         Millis(5),   Millis(2),   Millis(1)};
+  /// Acceptable relative deviation from the reference measurement.
+  double tolerance = 0.03;
+  /// Probes averaged per candidate.
+  int probes = 4;
+};
+
+/// Result of one calibration sweep step.
+struct CalibrationPoint {
+  SimDuration duration = 0;
+  double deviation = 0.0;  // relative to the reference measurement
+};
+
+struct MetaCalibrationResult {
+  SimDuration measure_time = 0;
+  SimDuration apply_time = 0;
+  std::vector<CalibrationPoint> measure_sweep;
+  std::vector<CalibrationPoint> apply_sweep;
+};
+
+/// The ECL's startup meta-calibration (paper Section 5.1, Fig. 12):
+/// determines how quickly configurations can be applied and how short the
+/// counter measurement window may be. It takes a reference measurement
+/// with generous times, then shortens the times step by step while
+/// tracking the deviation — switching between the highest configuration
+/// (all cores, maximum frequency) and the lowest (one core, minimum
+/// frequency) for every probe, first calibrating the measure time, then
+/// the apply time.
+class MetaCalibration {
+ public:
+  MetaCalibration(sim::Simulator* simulator, hwsim::Machine* machine,
+                  SocketId socket);
+
+  /// Runs the calibration under the given synthetic workload; consumes
+  /// virtual time on the simulator.
+  MetaCalibrationResult Run(const hwsim::WorkProfile& work,
+                            const MetaCalibrationParams& params);
+
+ private:
+  /// One probe: apply `cfg`, wait `apply`, measure power over `measure`.
+  double ProbePowerW(const hwsim::SocketConfig& cfg,
+                     const hwsim::WorkProfile& work, SimDuration apply,
+                     SimDuration measure);
+
+  sim::Simulator* simulator_;
+  hwsim::Machine* machine_;
+  SocketId socket_;
+};
+
+}  // namespace ecldb::ecl
+
+#endif  // ECLDB_ECL_META_CALIBRATION_H_

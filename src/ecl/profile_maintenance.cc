@@ -1,0 +1,50 @@
+#include "ecl/profile_maintenance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecldb::ecl {
+
+ProfileMaintenance::OnlineOutcome ProfileMaintenance::RecordOnline(
+    profile::EnergyProfile* profile, int index, double power_w,
+    double perf_score, SimTime now) {
+  OnlineOutcome outcome;
+  if (!params_.enable_online || index <= 0 || index >= profile->size()) {
+    return outcome;
+  }
+  profile::Configuration& c = profile->config(index);
+  if (c.measured() && c.power_w > 0.0 && c.perf_score > 0.0 &&
+      perf_score > 0.0) {
+    const double power_dev = std::abs(power_w - c.power_w) / c.power_w;
+    const double perf_dev = std::abs(perf_score - c.perf_score) / c.perf_score;
+    if (std::max(power_dev, perf_dev) > params_.drift_threshold) {
+      outcome.drift_detected = true;
+    }
+  }
+  profile->Record(index, power_w, perf_score, now);
+  ++online_updates_;
+  outcome.recorded = true;
+  return outcome;
+}
+
+std::vector<int> ProfileMaintenance::PickForReevaluation(
+    const profile::EnergyProfile& profile, SimTime now) {
+  std::vector<int> picks;
+  if (!params_.enable_multiplexed) return picks;
+  const std::vector<int> stale = profile.StaleConfigs(now, params_.stale_age);
+  if (stale.empty()) {
+    reeval_cursor_ = 0;
+    return picks;
+  }
+  // Round-robin through the stale set so repeated calls make progress even
+  // if earlier entries stay stale (e.g. evaluation was preempted).
+  for (int i = 0; i < params_.evals_per_interval &&
+                  i < static_cast<int>(stale.size());
+       ++i) {
+    picks.push_back(stale[(reeval_cursor_ + static_cast<size_t>(i)) % stale.size()]);
+  }
+  reeval_cursor_ = (reeval_cursor_ + picks.size()) % std::max<size_t>(1, stale.size());
+  return picks;
+}
+
+}  // namespace ecldb::ecl

@@ -1,0 +1,79 @@
+#ifndef ECLDB_ECL_PROFILE_MAINTENANCE_H_
+#define ECLDB_ECL_PROFILE_MAINTENANCE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "profile/energy_profile.h"
+
+namespace ecldb::ecl {
+
+struct ProfileMaintenanceParams {
+  bool enable_online = true;
+  bool enable_multiplexed = true;
+  /// Relative deviation between a fresh online measurement and the stored
+  /// configuration data that indicates a workload change (drift) and
+  /// triggers multiplexed reevaluation of the whole profile.
+  double drift_threshold = 0.20;
+  /// Measurements older than this are considered stale.
+  SimDuration stale_age = Seconds(120);
+  /// Stale configurations reevaluated per ECL interval while multiplexed
+  /// adaptation is active.
+  int evals_per_interval = 6;
+};
+
+/// Maintains the energy profile at runtime (paper Section 5.1):
+///
+///  * Online adaptation: every interval the applied configuration ran
+///    un-interrupted, its measured power/performance replaces the stored
+///    values — free of overhead but only covers applied configurations.
+///  * Multiplexed adaptation: when a high drift is detected (or entries
+///    are stale), stale configurations are reevaluated in small batches,
+///    borrowing the interval time the RTI controller would have idled.
+class ProfileMaintenance {
+ public:
+  explicit ProfileMaintenance(const ProfileMaintenanceParams& params)
+      : params_(params) {}
+
+  struct OnlineOutcome {
+    bool recorded = false;
+    bool drift_detected = false;
+  };
+
+  /// Feeds an online measurement of configuration `index` (measured over a
+  /// full interval with no RTI idling). Detects drift against the stored
+  /// values before replacing them.
+  OnlineOutcome RecordOnline(profile::EnergyProfile* profile, int index,
+                             double power_w, double perf_score, SimTime now);
+
+  /// Configurations to reevaluate in the upcoming interval (empty when
+  /// multiplexed adaptation is off or nothing is stale).
+  std::vector<int> PickForReevaluation(const profile::EnergyProfile& profile,
+                                       SimTime now);
+
+  /// Declares a workload change: flags the whole profile for multiplexed
+  /// reevaluation.
+  void FlagDrift(profile::EnergyProfile* profile) { profile->InvalidateAll(); }
+
+  int64_t online_updates() const { return online_updates_; }
+  int64_t multiplexed_evals() const { return multiplexed_evals_; }
+  void CountMultiplexedEval() { ++multiplexed_evals_; }
+
+  const ProfileMaintenanceParams& params() const { return params_; }
+  /// Toggles the strategies at runtime (experiments prime the profile with
+  /// adaptation enabled, then freeze it for the "ECL static" arm).
+  void SetEnabled(bool online, bool multiplexed) {
+    params_.enable_online = online;
+    params_.enable_multiplexed = multiplexed;
+  }
+
+ private:
+  ProfileMaintenanceParams params_;
+  int64_t online_updates_ = 0;
+  int64_t multiplexed_evals_ = 0;
+  size_t reeval_cursor_ = 0;
+};
+
+}  // namespace ecldb::ecl
+
+#endif  // ECLDB_ECL_PROFILE_MAINTENANCE_H_

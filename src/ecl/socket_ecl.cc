@@ -1,0 +1,262 @@
+#include "ecl/socket_ecl.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.h"
+
+namespace ecldb::ecl {
+
+SocketEcl::SocketEcl(sim::Simulator* simulator, hwsim::Machine* machine,
+                     SocketId socket, profile::EnergyProfile profile,
+                     SystemEcl* system, std::function<double()> util_source,
+                     const SocketEclParams& params)
+    : simulator_(simulator),
+      machine_(machine),
+      socket_(socket),
+      profile_(std::move(profile)),
+      system_(system),
+      util_source_(std::move(util_source)),
+      params_(params),
+      util_controller_(params.utilization),
+      rti_controller_(params.rti),
+      maintenance_(params.maintenance) {
+  ECLDB_CHECK(simulator != nullptr && machine != nullptr);
+  ECLDB_CHECK(util_source_ != nullptr);
+}
+
+void SocketEcl::Start() {
+  running_ = true;
+  simulator_->ScheduleAfter(Nanos(1), [this] { Tick(); });
+}
+
+void SocketEcl::Stop() {
+  running_ = false;
+  ++generation_;
+}
+
+uint64_t SocketEcl::ReadSocketEnergyUj() const {
+  return machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kPackage) +
+         machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kDram);
+}
+
+void SocketEcl::ApplyConfig(int index) {
+  ECLDB_DCHECK(index >= 0 && index < profile_.size());
+  machine_->ApplySocketConfig(socket_, profile_.config(index).hw);
+}
+
+void SocketEcl::ApplyIdle() { ApplyConfig(profile_.idle_index()); }
+
+void SocketEcl::ScheduleEvaluation(SimTime at, int index, int64_t gen) {
+  simulator_->Schedule(at, [this, index, gen] {
+    if (gen != generation_) return;
+    ApplyConfig(index);
+  });
+  // Shared measurement state per evaluation, captured by both events.
+  auto e0 = std::make_shared<uint64_t>(0);
+  auto i0 = std::make_shared<uint64_t>(0);
+  simulator_->Schedule(at + params_.apply_settle, [this, e0, i0, gen] {
+    if (gen != generation_) return;
+    *e0 = ReadSocketEnergyUj();
+    *i0 = machine_->ReadSocketInstructions(socket_);
+  });
+  simulator_->Schedule(
+      at + params_.apply_settle + params_.measure_time,
+      [this, e0, i0, index, gen] {
+        if (gen != generation_) return;
+        const double seconds = ToSeconds(params_.measure_time);
+        const double power = static_cast<double>(static_cast<int64_t>(
+                                 ReadSocketEnergyUj() - *e0)) *
+                             1e-6 / seconds;
+        const double perf =
+            static_cast<double>(machine_->ReadSocketInstructions(socket_) - *i0) /
+            seconds;
+        profile_.Record(index, power, perf, simulator_->now());
+        maintenance_.CountMultiplexedEval();
+      });
+}
+
+void SocketEcl::ScheduleRti(SimTime from, SimTime until,
+                            const RtiController::Plan& plan, int64_t gen) {
+  const SimDuration span = until - from;
+  if (span <= 0 || plan.cycles < 1) return;
+  const SimDuration period = span / plan.cycles;
+  for (int c = 0; c < plan.cycles; ++c) {
+    const SimTime cycle_start = from + c * period;
+    const SimTime idle_start =
+        cycle_start + static_cast<SimDuration>(plan.duty * period);
+    // Active-phase start: apply the configuration (the very first cycle is
+    // already applied by Tick) and snapshot the counters.
+    simulator_->Schedule(cycle_start, [this, plan, gen, cycle_start, from] {
+      if (gen != generation_) return;
+      if (cycle_start > from) ApplyConfig(plan.config_index);
+      rti_phase_e0_uj_ = ReadSocketEnergyUj();
+      rti_phase_i0_ = machine_->ReadSocketInstructions(socket_);
+      rti_phase_t0_ = simulator_->now();
+    });
+    // Active-phase end: accumulate the phase into the interval's online
+    // measurement and enter idle mode.
+    if (idle_start < cycle_start + period) {
+      simulator_->Schedule(idle_start, [this, gen] {
+        if (gen != generation_) return;
+        rti_active_energy_uj_ += static_cast<double>(static_cast<int64_t>(
+            ReadSocketEnergyUj() - rti_phase_e0_uj_));
+        rti_active_instr_ += static_cast<double>(
+            machine_->ReadSocketInstructions(socket_) - rti_phase_i0_);
+        rti_active_time_ += simulator_->now() - rti_phase_t0_;
+        ApplyIdle();
+      });
+    }
+  }
+}
+
+void SocketEcl::Tick() {
+  if (!running_) return;
+  const SimTime now = simulator_->now();
+  ++ticks_;
+  ++generation_;
+  const int64_t gen = generation_;
+
+  // ---- Utilization of the finished interval -------------------------------
+  const double utilization = util_source_();
+  last_utilization_ = utilization;
+  // Performance level actually processed over the finished interval,
+  // measured in the profile's currency (instructions retired / second).
+  double measured_rate = 0.0;
+  if (now > interval_t0_) {
+    measured_rate = static_cast<double>(
+                        machine_->ReadSocketInstructions(socket_) - interval_i0_) /
+                    ToSeconds(now - interval_t0_);
+  }
+
+  // ---- Online adaptation: measure the finished interval -----------------
+  // Intervals where the configuration ran uninterrupted and was
+  // meaningfully loaded are recorded as-is (the paper's online strategy:
+  // "every time the socket-level ECL applies a certain configuration, it
+  // measures the power and performance metrics"). Below saturation the
+  // performance score understates the configuration's capacity, which is
+  // conservative: it demotes stale entries and escalates under load.
+  if (interval_clean_ && utilization >= 0.75 && interval_config_ > 0 &&
+      now > interval_t0_) {
+    const double seconds = ToSeconds(now - interval_t0_);
+    if (seconds >= ToSeconds(params_.measure_time)) {
+      const double power = static_cast<double>(static_cast<int64_t>(
+                               ReadSocketEnergyUj() - interval_e0_uj_)) *
+                           1e-6 / seconds;
+      const double perf = static_cast<double>(
+                              machine_->ReadSocketInstructions(socket_) -
+                              interval_i0_) /
+                          seconds;
+      const ProfileMaintenance::OnlineOutcome outcome = maintenance_.RecordOnline(
+          &profile_, interval_config_, power, perf, now);
+      if (outcome.drift_detected) {
+        maintenance_.FlagDrift(&profile_);
+      }
+    }
+  }
+  // RTI intervals: the active phases concentrate the queued work, so their
+  // accumulated counters measure the applied configuration under
+  // (near-)full load — the "simulated high load" of Section 5.1.
+  if (last_plan_.use_rti && interval_config_ > 0 && utilization >= 0.75 &&
+      rti_active_time_ >= params_.measure_time) {
+    const double active_s = ToSeconds(rti_active_time_);
+    const ProfileMaintenance::OnlineOutcome outcome = maintenance_.RecordOnline(
+        &profile_, interval_config_, rti_active_energy_uj_ * 1e-6 / active_s,
+        rti_active_instr_ / active_s, now);
+    if (outcome.drift_detected) {
+      maintenance_.FlagDrift(&profile_);
+    }
+  }
+  rti_active_energy_uj_ = 0.0;
+  rti_active_instr_ = 0.0;
+  rti_active_time_ = 0;
+
+  // ---- Utilization controller -------------------------------------------
+  const double pressure = system_ != nullptr ? system_->pressure() : 0.0;
+
+  double demand = 0.0;
+  int selected;
+  if (profile_.measured_count() == 0) {
+    // Bootstrap: nothing measured yet. Run the widest configuration (all
+    // threads at maximum frequency) while multiplexed adaptation fills the
+    // profile.
+    selected = profile_.size() - 1;
+    double best = -1.0;
+    for (int i = 1; i < profile_.size(); ++i) {
+      const hwsim::SocketConfig& hw = profile_.config(i).hw;
+      const double score = hw.ActiveThreadCount() * 1000.0 +
+                           hw.MeanActiveCoreFreq(machine_->topology());
+      if (score > best) {
+        best = score;
+        selected = i;
+      }
+    }
+  } else {
+    demand = util_controller_.Update(utilization, measured_rate, perf_level_,
+                                     pressure, profile_);
+    selected = profile_.FindForDemand(demand);
+    if (selected < 0) selected = profile_.size() - 1;
+  }
+
+  // ---- RTI controller -----------------------------------------------------
+  RtiController::Plan plan =
+      rti_controller_.MakePlan(demand, selected, profile_, pressure);
+  last_plan_ = plan;
+  current_index_ = plan.config_index;
+  // The performance level tracks the *offered* capacity of the plan, so
+  // that Eq. 3 (new = utilization * old) recovers the true demand: with
+  // RTI the offered capacity is scaled by the duty cycle.
+  const profile::Configuration& chosen = profile_.config(plan.config_index);
+  const double offered = chosen.measured() ? chosen.perf_score : demand;
+  perf_level_ = plan.use_rti ? plan.duty * offered : offered;
+  if (perf_level_ <= 0.0) perf_level_ = demand;
+
+  // ---- Multiplexed adaptation ---------------------------------------------
+  std::vector<int> evals = maintenance_.PickForReevaluation(profile_, now);
+  const SimDuration eval_each = params_.apply_settle + params_.measure_time;
+  const SimDuration eval_budget = static_cast<SimDuration>(
+      params_.max_eval_fraction * static_cast<double>(params_.interval));
+  while (!evals.empty() &&
+         static_cast<SimDuration>(evals.size()) * eval_each > eval_budget) {
+    evals.pop_back();
+  }
+  SimTime cursor = now;
+  for (int idx : evals) {
+    ScheduleEvaluation(cursor, idx, gen);
+    cursor += eval_each;
+  }
+
+  // ---- Apply the plan for the rest of the interval ------------------------
+  const SimTime interval_end = now + params_.interval;
+  if (plan.use_rti) {
+    if (cursor == now) {
+      ApplyConfig(plan.config_index);
+    } else {
+      simulator_->Schedule(cursor, [this, plan, gen] {
+        if (gen != generation_) return;
+        ApplyConfig(plan.config_index);
+      });
+    }
+    ScheduleRti(cursor, interval_end, plan, gen);
+  } else {
+    if (cursor == now) {
+      ApplyConfig(plan.config_index);
+    } else {
+      simulator_->Schedule(cursor, [this, plan, gen] {
+        if (gen != generation_) return;
+        ApplyConfig(plan.config_index);
+      });
+    }
+  }
+
+  // ---- Arm online measurement for this interval ---------------------------
+  interval_clean_ = evals.empty() && !plan.use_rti && plan.config_index > 0;
+  interval_config_ = plan.config_index;
+  interval_t0_ = now;
+  interval_e0_uj_ = ReadSocketEnergyUj();
+  interval_i0_ = machine_->ReadSocketInstructions(socket_);
+
+  simulator_->Schedule(interval_end, [this] { Tick(); });
+}
+
+}  // namespace ecldb::ecl

@@ -1,0 +1,54 @@
+#include "ecl/system_ecl.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::ecl {
+
+SystemEcl::SystemEcl(sim::Simulator* simulator,
+                     const engine::LatencyTracker* latency,
+                     const SystemEclParams& params)
+    : simulator_(simulator), latency_(latency), params_(params) {
+  ECLDB_CHECK(simulator != nullptr && latency != nullptr);
+  ECLDB_CHECK(params.latency_limit_ms > 0.0);
+}
+
+void SystemEcl::Start() {
+  running_ = true;
+  simulator_->ScheduleAfter(params_.interval, [this] { Tick(); });
+}
+
+void SystemEcl::Tick() {
+  if (!running_) return;
+  Update();
+  simulator_->ScheduleAfter(params_.interval, [this] { Tick(); });
+}
+
+void SystemEcl::Update() {
+  if (latency_->WindowEmpty()) {
+    pressure_ = 0.0;
+    ttv_s_ = 1e18;
+    return;
+  }
+  const double mean = latency_->WindowMeanMs();
+  const double trend = latency_->TrendMsPerSec();
+  const double limit = params_.latency_limit_ms;
+
+  if (mean >= limit) {
+    ttv_s_ = 0.0;
+    pressure_ = 1.0;
+    return;
+  }
+  ttv_s_ = trend > 1e-9 ? (limit - mean) / trend : 1e18;
+
+  const double trend_pressure =
+      std::clamp(1.0 - ttv_s_ / params_.pressure_horizon_s, 0.0, 1.0);
+  const double proximity = mean / limit;
+  const double proximity_pressure = std::clamp(
+      (proximity - params_.proximity_onset) / (1.0 - params_.proximity_onset),
+      0.0, 1.0);
+  pressure_ = std::max(trend_pressure, proximity_pressure);
+}
+
+}  // namespace ecldb::ecl

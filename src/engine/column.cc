@@ -1,0 +1,60 @@
+#include "engine/column.h"
+
+namespace ecldb::engine {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Column::Column(std::string name, ColumnType type)
+    : name_(std::move(name)), type_(type) {}
+
+void Column::AppendInt(int64_t v) {
+  ECLDB_DCHECK(type_ == ColumnType::kInt64);
+  ints_.push_back(v);
+  ++size_;
+}
+
+void Column::AppendDouble(double v) {
+  ECLDB_DCHECK(type_ == ColumnType::kDouble);
+  doubles_.push_back(v);
+  ++size_;
+}
+
+void Column::AppendString(std::string_view v) {
+  ECLDB_DCHECK(type_ == ColumnType::kString);
+  auto it = dict_lookup_.find(std::string(v));
+  int32_t code;
+  if (it == dict_lookup_.end()) {
+    code = static_cast<int32_t>(dict_.size());
+    dict_.emplace_back(v);
+    dict_lookup_.emplace(std::string(v), code);
+  } else {
+    code = it->second;
+  }
+  codes_.push_back(code);
+  ++size_;
+}
+
+int32_t Column::LookupStringCode(std::string_view v) const {
+  auto it = dict_lookup_.find(std::string(v));
+  return it == dict_lookup_.end() ? -1 : it->second;
+}
+
+size_t Column::MemoryBytes() const {
+  size_t bytes = ints_.capacity() * sizeof(int64_t) +
+                 doubles_.capacity() * sizeof(double) +
+                 codes_.capacity() * sizeof(int32_t);
+  for (const std::string& s : dict_) bytes += s.size() + sizeof(std::string);
+  return bytes;
+}
+
+}  // namespace ecldb::engine

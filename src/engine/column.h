@@ -1,0 +1,82 @@
+#ifndef ECLDB_ENGINE_COLUMN_H_
+#define ECLDB_ENGINE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecldb::engine {
+
+enum class ColumnType { kInt64, kDouble, kString };
+
+const char* ColumnTypeName(ColumnType type);
+
+/// Append-only typed column of the in-memory column store. Strings are
+/// dictionary-encoded (int32 codes into a per-column dictionary), the
+/// common layout for analytical in-memory engines.
+class Column {
+ public:
+  Column(std::string name, ColumnType type);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  size_t size() const { return size_; }
+
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string_view v);
+
+  int64_t GetInt(size_t row) const {
+    ECLDB_DCHECK(type_ == ColumnType::kInt64 && row < size_);
+    return ints_[row];
+  }
+  double GetDouble(size_t row) const {
+    ECLDB_DCHECK(type_ == ColumnType::kDouble && row < size_);
+    return doubles_[row];
+  }
+  std::string_view GetString(size_t row) const {
+    ECLDB_DCHECK(type_ == ColumnType::kString && row < size_);
+    return dict_[static_cast<size_t>(codes_[row])];
+  }
+  /// Dictionary code of a string cell (fast equality comparisons).
+  int32_t GetStringCode(size_t row) const {
+    ECLDB_DCHECK(type_ == ColumnType::kString && row < size_);
+    return codes_[row];
+  }
+  /// Code of `v` in the dictionary or -1 (then no row matches it).
+  int32_t LookupStringCode(std::string_view v) const;
+
+  /// Raw data access for scans.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<int32_t>& codes() const { return codes_; }
+
+  void SetInt(size_t row, int64_t v) {
+    ECLDB_DCHECK(type_ == ColumnType::kInt64 && row < size_);
+    ints_[row] = v;
+  }
+  void SetDouble(size_t row, double v) {
+    ECLDB_DCHECK(type_ == ColumnType::kDouble && row < size_);
+    doubles_[row] = v;
+  }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  ColumnType type_;
+  size_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<int32_t> codes_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> dict_lookup_;
+};
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_COLUMN_H_

@@ -1,0 +1,49 @@
+#include "engine/database.h"
+
+#include "common/check.h"
+
+namespace ecldb::engine {
+
+Database::Database(int num_partitions, int num_sockets)
+    : num_sockets_(num_sockets) {
+  ECLDB_CHECK(num_partitions > 0 && num_sockets > 0);
+  // Partitions are distributed block-wise so that consecutive partitions
+  // share a socket (matching worker pinning: the first half of partitions
+  // lives on socket 0 of a 2-socket machine, etc.).
+  const int per_socket = (num_partitions + num_sockets - 1) / num_sockets;
+  for (int p = 0; p < num_partitions; ++p) {
+    const SocketId home = std::min(p / per_socket, num_sockets - 1);
+    partitions_.push_back(std::make_unique<Partition>(p, home));
+  }
+}
+
+std::vector<SocketId> Database::HomeMap() const {
+  std::vector<SocketId> home;
+  home.reserve(partitions_.size());
+  for (const auto& p : partitions_) home.push_back(p->home_socket());
+  return home;
+}
+
+PartitionId Database::PartitionForKey(int64_t key) const {
+  uint64_t x = static_cast<uint64_t>(key);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return static_cast<PartitionId>(x % partitions_.size());
+}
+
+void Database::CreateTable(const std::string& name, const Schema& schema) {
+  for (auto& p : partitions_) p->AddTable(name, schema);
+}
+
+void Database::CreateIndex(const std::string& name) {
+  for (auto& p : partitions_) p->AddIndex(name);
+}
+
+size_t Database::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& p : partitions_) bytes += p->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace ecldb::engine

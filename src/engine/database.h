@@ -1,0 +1,54 @@
+#ifndef ECLDB_ENGINE_DATABASE_H_
+#define ECLDB_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "engine/partition.h"
+#include "hwsim/topology.h"
+
+namespace ecldb::engine {
+
+/// Catalog of the partitioned in-memory database: owns all partitions and
+/// the partition-to-socket home mapping. Partitions are distributed
+/// round-robin over sockets; keys map to partitions by hash.
+class Database {
+ public:
+  Database(int num_partitions, int num_sockets);
+
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+  int num_sockets() const { return num_sockets_; }
+
+  Partition* partition(PartitionId p) {
+    return partitions_[static_cast<size_t>(p)].get();
+  }
+  const Partition* partition(PartitionId p) const {
+    return partitions_[static_cast<size_t>(p)].get();
+  }
+
+  SocketId HomeOf(PartitionId p) const {
+    return partitions_[static_cast<size_t>(p)]->home_socket();
+  }
+  /// Home socket per partition (for the message layer).
+  std::vector<SocketId> HomeMap() const;
+
+  /// Partition responsible for a key (hash partitioning).
+  PartitionId PartitionForKey(int64_t key) const;
+
+  /// Creates the shard of `name` in every partition.
+  void CreateTable(const std::string& name, const Schema& schema);
+  /// Creates a local index named `name` in every partition.
+  void CreateIndex(const std::string& name);
+
+  size_t MemoryBytes() const;
+
+ private:
+  int num_sockets_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+};
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_DATABASE_H_

@@ -1,0 +1,22 @@
+#include "engine/engine.h"
+
+#include "common/check.h"
+
+namespace ecldb::engine {
+
+Engine::Engine(sim::Simulator* simulator, hwsim::Machine* machine,
+               const EngineParams& params)
+    : simulator_(simulator), machine_(machine) {
+  ECLDB_CHECK(simulator != nullptr && machine != nullptr);
+  const int partitions = params.num_partitions > 0
+                             ? params.num_partitions
+                             : machine->topology().total_threads();
+  db_ = std::make_unique<Database>(partitions, machine->topology().num_sockets);
+  layer_ = std::make_unique<msg::MessageLayer>(machine->topology().num_sockets,
+                                               db_->HomeMap(),
+                                               params.message_layer);
+  scheduler_ = std::make_unique<Scheduler>(simulator, machine, db_.get(),
+                                           layer_.get(), params.scheduler);
+}
+
+}  // namespace ecldb::engine

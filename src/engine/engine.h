@@ -1,0 +1,62 @@
+#ifndef ECLDB_ENGINE_ENGINE_H_
+#define ECLDB_ENGINE_ENGINE_H_
+
+#include <memory>
+
+#include "common/types.h"
+#include "engine/database.h"
+#include "engine/query.h"
+#include "engine/scheduler.h"
+#include "hwsim/machine.h"
+#include "msg/message_layer.h"
+#include "sim/simulator.h"
+
+namespace ecldb::engine {
+
+struct EngineParams {
+  /// Number of data partitions; 0 means one per hardware thread (the
+  /// paper's 1:1 worker-partition ratio).
+  int num_partitions = 0;
+  msg::MessageLayerParams message_layer;
+  SchedulerParams scheduler;
+};
+
+/// The data-oriented in-memory DBMS: partitioned storage, the hierarchical
+/// message passing layer, and the elastic worker pool driven by the fluid
+/// scheduler. Construct after the Machine (advancer ordering).
+class Engine {
+ public:
+  Engine(sim::Simulator* simulator, hwsim::Machine* machine,
+         const EngineParams& params);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Database& db() { return *db_; }
+  const Database& db() const { return *db_; }
+  msg::MessageLayer& message_layer() { return *layer_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  hwsim::Machine& machine() { return *machine_; }
+
+  /// Submits a query for execution; latency is tracked automatically.
+  QueryId Submit(const QuerySpec& spec) { return scheduler_->Submit(spec); }
+
+  /// Utilization of a socket since the last call (ECL input).
+  double TakeSocketUtilization(SocketId socket) {
+    return scheduler_->TakeUtilization(socket);
+  }
+
+  LatencyTracker& latency() { return scheduler_->latency(); }
+  const LatencyTracker& latency() const { return scheduler_->latency(); }
+
+ private:
+  sim::Simulator* simulator_;
+  hwsim::Machine* machine_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<msg::MessageLayer> layer_;
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_ENGINE_H_

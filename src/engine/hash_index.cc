@@ -1,0 +1,106 @@
+#include "engine/hash_index.h"
+
+#include "common/check.h"
+
+namespace ecldb::engine {
+
+HashIndex::HashIndex(size_t initial_capacity) {
+  size_t cap = 16;
+  while (cap < initial_capacity) cap <<= 1;
+  slots_.resize(cap);
+}
+
+uint64_t HashIndex::Hash(int64_t key) {
+  uint64_t x = static_cast<uint64_t>(key);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+size_t HashIndex::Locate(int64_t key) const {
+  const size_t mask = slots_.size() - 1;
+  size_t i = Hash(key) & mask;
+  size_t first_insertable = SIZE_MAX;
+  uint64_t probes = 1;
+  for (;;) {
+    const Slot& s = slots_[i];
+    if (s.state == State::kEmpty) {
+      probe_total_ += probes;
+      ++probe_samples_;
+      return ~(first_insertable == SIZE_MAX ? i : first_insertable);
+    }
+    if (s.state == State::kTombstone) {
+      if (first_insertable == SIZE_MAX) first_insertable = i;
+    } else if (s.key == key) {
+      probe_total_ += probes;
+      ++probe_samples_;
+      return i;
+    }
+    i = (i + 1) & mask;
+    ++probes;
+  }
+}
+
+void HashIndex::Grow() {
+  // Rehash into a table sized for the *live* entries: erase-heavy churn
+  // only clears tombstones instead of ballooning capacity.
+  std::vector<Slot> old = std::move(slots_);
+  size_t cap = 16;
+  while (cap * 7 < (size_ + 1) * 20) cap <<= 1;  // target <= 35 % load
+  slots_.assign(cap, Slot{});
+  size_ = 0;
+  tombstones_ = 0;
+  for (const Slot& s : old) {
+    if (s.state == State::kFull) Insert(s.key, s.row);
+  }
+}
+
+bool HashIndex::Insert(int64_t key, uint32_t row) {
+  if ((size_ + tombstones_ + 1) * 10 > slots_.size() * 7) Grow();
+  const size_t loc = Locate(key);
+  if (static_cast<intptr_t>(loc) >= 0) return false;  // exists
+  Slot& s = slots_[~loc];
+  if (s.state == State::kTombstone) --tombstones_;
+  s = Slot{key, row, State::kFull};
+  ++size_;
+  return true;
+}
+
+void HashIndex::Upsert(int64_t key, uint32_t row) {
+  if ((size_ + tombstones_ + 1) * 10 > slots_.size() * 7) Grow();
+  const size_t loc = Locate(key);
+  if (static_cast<intptr_t>(loc) >= 0) {
+    slots_[loc].row = row;
+    return;
+  }
+  Slot& s = slots_[~loc];
+  if (s.state == State::kTombstone) --tombstones_;
+  s = Slot{key, row, State::kFull};
+  ++size_;
+}
+
+std::optional<uint32_t> HashIndex::Find(int64_t key) const {
+  const size_t loc = Locate(key);
+  if (static_cast<intptr_t>(loc) < 0) return std::nullopt;
+  return slots_[loc].row;
+}
+
+bool HashIndex::Erase(int64_t key) {
+  const size_t loc = Locate(key);
+  if (static_cast<intptr_t>(loc) < 0) return false;
+  slots_[loc].state = State::kTombstone;
+  --size_;
+  ++tombstones_;
+  return true;
+}
+
+double HashIndex::MeanProbeLength() const {
+  return probe_samples_ == 0
+             ? 0.0
+             : static_cast<double>(probe_total_) / static_cast<double>(probe_samples_);
+}
+
+}  // namespace ecldb::engine

@@ -1,0 +1,59 @@
+#ifndef ECLDB_ENGINE_HASH_INDEX_H_
+#define ECLDB_ENGINE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ecldb::engine {
+
+/// Open-addressing hash index mapping an int64 key to a row id.
+/// Linear probing with tombstones; grows at 70 % load factor. Composite
+/// keys (e.g. TATP call_forwarding's (s_id, sf_type, start_time)) are
+/// encoded into the 64-bit key by the caller.
+class HashIndex {
+ public:
+  explicit HashIndex(size_t initial_capacity = 64);
+
+  /// Inserts key -> row. Returns false if the key already exists.
+  bool Insert(int64_t key, uint32_t row);
+
+  /// Inserts or overwrites.
+  void Upsert(int64_t key, uint32_t row);
+
+  std::optional<uint32_t> Find(int64_t key) const;
+
+  /// Removes the key; false if absent.
+  bool Erase(int64_t key);
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+  size_t MemoryBytes() const { return slots_.capacity() * sizeof(Slot); }
+
+  /// Average probe length of recent finds (diagnostic / cost model input).
+  double MeanProbeLength() const;
+
+ private:
+  enum class State : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+  struct Slot {
+    int64_t key = 0;
+    uint32_t row = 0;
+    State state = State::kEmpty;
+  };
+
+  static uint64_t Hash(int64_t key);
+  void Grow();
+  /// Returns slot index of the key, or the first insertable slot if absent
+  /// (encoded as ~index).
+  size_t Locate(int64_t key) const;
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  size_t tombstones_ = 0;
+  mutable uint64_t probe_samples_ = 0;
+  mutable uint64_t probe_total_ = 0;
+};
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_HASH_INDEX_H_

@@ -1,0 +1,260 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::engine {
+
+// ---- ColumnRef -------------------------------------------------------------
+
+ColumnRef ColumnRef::Fact(int col) {
+  ColumnRef ref;
+  ref.fact_col_ = col;
+  return ref;
+}
+
+ColumnRef ColumnRef::Dim(int fk_col, const Table* dim, int dim_col) {
+  ECLDB_CHECK(dim != nullptr);
+  ColumnRef ref;
+  ref.fact_col_ = fk_col;
+  ref.dim_ = dim;
+  ref.dim_col_ = dim_col;
+  return ref;
+}
+
+const Column& ColumnRef::Resolve(const Table& fact, uint32_t row,
+                                 uint32_t* resolved_row) const {
+  if (dim_ == nullptr) {
+    *resolved_row = row;
+    return *fact.column(static_cast<size_t>(fact_col_));
+  }
+  // Direct-addressed dimension lookup: dim row = foreign key - 1.
+  const int64_t fk =
+      fact.column(static_cast<size_t>(fact_col_))->GetInt(row);
+  ECLDB_DCHECK(fk >= 1 && static_cast<size_t>(fk) <= dim_->num_rows());
+  *resolved_row = static_cast<uint32_t>(fk - 1);
+  return *dim_->column(static_cast<size_t>(dim_col_));
+}
+
+int64_t ColumnRef::GetInt(const Table& fact, uint32_t row) const {
+  uint32_t r;
+  const Column& col = Resolve(fact, row, &r);
+  return col.GetInt(r);
+}
+
+std::string_view ColumnRef::GetString(const Table& fact, uint32_t row) const {
+  uint32_t r;
+  const Column& col = Resolve(fact, row, &r);
+  return col.GetString(r);
+}
+
+void ColumnRef::AppendKey(const Table& fact, uint32_t row,
+                          std::string* out) const {
+  uint32_t r;
+  const Column& col = Resolve(fact, row, &r);
+  switch (col.type()) {
+    case ColumnType::kInt64:
+      out->append(std::to_string(col.GetInt(r)));
+      break;
+    case ColumnType::kDouble:
+      out->append(std::to_string(col.GetDouble(r)));
+      break;
+    case ColumnType::kString:
+      out->append(col.GetString(r));
+      break;
+  }
+}
+
+// ---- Predicate -------------------------------------------------------------
+
+Predicate Predicate::IntRange(ColumnRef ref, int64_t lo, int64_t hi) {
+  Predicate p;
+  p.kind = Kind::kIntRange;
+  p.ref = ref;
+  p.lo = lo;
+  p.hi = hi;
+  return p;
+}
+
+Predicate Predicate::StringEq(ColumnRef ref, std::string value) {
+  Predicate p;
+  p.kind = Kind::kStringEq;
+  p.ref = ref;
+  p.values.push_back(std::move(value));
+  return p;
+}
+
+Predicate Predicate::StringIn(ColumnRef ref, std::vector<std::string> values) {
+  Predicate p;
+  p.kind = Kind::kStringIn;
+  p.ref = ref;
+  p.values = std::move(values);
+  return p;
+}
+
+Predicate Predicate::StringRange(ColumnRef ref, std::string lo, std::string hi) {
+  Predicate p;
+  p.kind = Kind::kStringRange;
+  p.ref = ref;
+  p.values.push_back(std::move(lo));
+  p.values.push_back(std::move(hi));
+  return p;
+}
+
+bool Predicate::Eval(const Table& fact, uint32_t row) const {
+  switch (kind) {
+    case Kind::kIntRange: {
+      const int64_t v = ref.GetInt(fact, row);
+      return v >= lo && v <= hi;
+    }
+    case Kind::kStringEq:
+      return ref.GetString(fact, row) == values[0];
+    case Kind::kStringIn: {
+      const std::string_view v = ref.GetString(fact, row);
+      for (const std::string& s : values) {
+        if (v == s) return true;
+      }
+      return false;
+    }
+    case Kind::kStringRange: {
+      const std::string_view v = ref.GetString(fact, row);
+      return v >= values[0] && v <= values[1];
+    }
+  }
+  return false;
+}
+
+// ---- TableScan -------------------------------------------------------------
+
+TableScan::TableScan(const Table* table, size_t batch_size)
+    : table_(table), batch_size_(batch_size) {
+  ECLDB_CHECK(table != nullptr);
+  ECLDB_CHECK(batch_size > 0);
+}
+
+bool TableScan::Next(std::vector<uint32_t>* rows) {
+  rows->clear();
+  const size_t n = table_->num_rows();
+  while (next_row_ < n && rows->size() < batch_size_) {
+    if (!table_->IsDeleted(next_row_)) {
+      rows->push_back(static_cast<uint32_t>(next_row_));
+    }
+    ++next_row_;
+  }
+  return !rows->empty();
+}
+
+// ---- FilterOperator --------------------------------------------------------
+
+FilterOperator::FilterOperator(const Table* fact,
+                               std::vector<Predicate> predicates)
+    : fact_(fact), predicates_(std::move(predicates)) {
+  ECLDB_CHECK(fact != nullptr);
+}
+
+size_t FilterOperator::Apply(std::vector<uint32_t>* rows) const {
+  size_t kept = 0;
+  for (uint32_t row : *rows) {
+    bool ok = true;
+    for (const Predicate& p : predicates_) {
+      if (!p.Eval(*fact_, row)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) (*rows)[kept++] = row;
+  }
+  rows->resize(kept);
+  return kept;
+}
+
+// ---- ValueExpr -------------------------------------------------------------
+
+ValueExpr ValueExpr::Column(ColumnRef a, double scale) {
+  ValueExpr e;
+  e.kind = Kind::kColumn;
+  e.a = a;
+  e.scale = scale;
+  return e;
+}
+
+ValueExpr ValueExpr::Product(ColumnRef a, ColumnRef b, double scale) {
+  ValueExpr e;
+  e.kind = Kind::kProduct;
+  e.a = a;
+  e.b = b;
+  e.scale = scale;
+  return e;
+}
+
+ValueExpr ValueExpr::Difference(ColumnRef a, ColumnRef b, double scale) {
+  ValueExpr e;
+  e.kind = Kind::kDifference;
+  e.a = a;
+  e.b = b;
+  e.scale = scale;
+  return e;
+}
+
+double ValueExpr::Eval(const Table& fact, uint32_t row) const {
+  switch (kind) {
+    case Kind::kColumn:
+      return scale * static_cast<double>(a.GetInt(fact, row));
+    case Kind::kProduct:
+      return scale * static_cast<double>(a.GetInt(fact, row)) *
+             static_cast<double>(b.GetInt(fact, row));
+    case Kind::kDifference:
+      return scale * (static_cast<double>(a.GetInt(fact, row)) -
+                      static_cast<double>(b.GetInt(fact, row)));
+  }
+  return 0.0;
+}
+
+// ---- HashAggregator --------------------------------------------------------
+
+HashAggregator::HashAggregator(std::vector<ColumnRef> group_by, ValueExpr value)
+    : group_by_(std::move(group_by)), value_(value) {}
+
+void HashAggregator::Consume(const Table& fact,
+                             const std::vector<uint32_t>& rows) {
+  std::string key;
+  for (uint32_t row : rows) {
+    key.clear();
+    for (size_t g = 0; g < group_by_.size(); ++g) {
+      if (g > 0) key.push_back('|');
+      group_by_[g].AppendKey(fact, row, &key);
+    }
+    groups_[key] += value_.Eval(fact, row);
+    ++rows_consumed_;
+  }
+}
+
+void HashAggregator::Merge(const HashAggregator& other) {
+  for (const auto& [key, sum] : other.groups_) groups_[key] += sum;
+  rows_consumed_ += other.rows_consumed_;
+}
+
+double HashAggregator::TotalSum() const {
+  double total = 0.0;
+  for (const auto& [key, sum] : groups_) total += sum;
+  return total;
+}
+
+// ---- Pipeline --------------------------------------------------------------
+
+int64_t RunAggregationPipeline(const Table* fact, const FilterOperator& filter,
+                               HashAggregator* aggregator) {
+  ECLDB_CHECK(fact != nullptr && aggregator != nullptr);
+  TableScan scan(fact);
+  std::vector<uint32_t> batch;
+  int64_t scanned = 0;
+  while (scan.Next(&batch)) {
+    scanned += static_cast<int64_t>(batch.size());
+    filter.Apply(&batch);
+    aggregator->Consume(*fact, batch);
+  }
+  return scanned;
+}
+
+}  // namespace ecldb::engine

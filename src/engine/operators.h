@@ -1,0 +1,142 @@
+#ifndef ECLDB_ENGINE_OPERATORS_H_
+#define ECLDB_ENGINE_OPERATORS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/table.h"
+
+namespace ecldb::engine {
+
+/// Vectorized query operators over partition shards: a table scan feeding
+/// selection-vector batches through filters into a hash aggregator. Star
+/// joins use direct-addressed dimension lookups (dimension tables are
+/// replicated per partition with row id == key - 1, the usual
+/// shared-nothing star-schema placement; see workload/ssb.cc).
+
+/// A value source evaluated per fact-table row: either a fact column or a
+/// dimension column reached through a foreign-key fact column.
+class ColumnRef {
+ public:
+  /// Value of fact column `col`.
+  static ColumnRef Fact(int col);
+  /// Value of `dim_col` in `dim`, at row (fact.fk_col - 1).
+  static ColumnRef Dim(int fk_col, const Table* dim, int dim_col);
+
+  bool is_dim() const { return dim_ != nullptr; }
+
+  int64_t GetInt(const Table& fact, uint32_t row) const;
+  std::string_view GetString(const Table& fact, uint32_t row) const;
+
+  /// Appends a textual form of the value to `out` (group-key building).
+  void AppendKey(const Table& fact, uint32_t row, std::string* out) const;
+
+ private:
+  int fact_col_ = -1;
+  const Table* dim_ = nullptr;
+  int dim_col_ = -1;
+
+  const Column& Resolve(const Table& fact, uint32_t row,
+                        uint32_t* resolved_row) const;
+};
+
+/// A predicate on a ColumnRef.
+struct Predicate {
+  enum class Kind {
+    kIntRange,     // lo <= value <= hi
+    kStringEq,     // value == values[0]
+    kStringIn,     // value in values
+    kStringRange,  // values[0] <= value <= values[1] (lexicographic)
+  };
+
+  static Predicate IntRange(ColumnRef ref, int64_t lo, int64_t hi);
+  static Predicate StringEq(ColumnRef ref, std::string value);
+  static Predicate StringIn(ColumnRef ref, std::vector<std::string> values);
+  static Predicate StringRange(ColumnRef ref, std::string lo, std::string hi);
+
+  bool Eval(const Table& fact, uint32_t row) const;
+
+  Kind kind = Kind::kIntRange;
+  ColumnRef ref;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  std::vector<std::string> values;
+};
+
+/// Scans a table shard in selection-vector batches, skipping tombstones.
+class TableScan {
+ public:
+  explicit TableScan(const Table* table, size_t batch_size = 1024);
+
+  /// Fills `rows` with the next batch; false at end of table.
+  bool Next(std::vector<uint32_t>* rows);
+
+  void Reset() { next_row_ = 0; }
+
+ private:
+  const Table* table_;
+  size_t batch_size_;
+  size_t next_row_ = 0;
+};
+
+/// Filters a selection vector in place by a conjunction of predicates.
+class FilterOperator {
+ public:
+  FilterOperator(const Table* fact, std::vector<Predicate> predicates);
+
+  /// Keeps only qualifying rows; returns the number kept.
+  size_t Apply(std::vector<uint32_t>* rows) const;
+
+ private:
+  const Table* fact_;
+  std::vector<Predicate> predicates_;
+};
+
+/// An aggregation value per fact row: scale * a, or scale * (a op b).
+struct ValueExpr {
+  enum class Kind { kColumn, kProduct, kDifference };
+
+  static ValueExpr Column(ColumnRef a, double scale = 1.0);
+  static ValueExpr Product(ColumnRef a, ColumnRef b, double scale = 1.0);
+  static ValueExpr Difference(ColumnRef a, ColumnRef b, double scale = 1.0);
+
+  double Eval(const Table& fact, uint32_t row) const;
+
+  Kind kind = Kind::kColumn;
+  ColumnRef a;
+  ColumnRef b;
+  double scale = 1.0;
+};
+
+/// Hash group-by with a SUM aggregate; group keys are built from
+/// ColumnRefs ("|"-joined). An empty group list aggregates to one group.
+class HashAggregator {
+ public:
+  HashAggregator(std::vector<ColumnRef> group_by, ValueExpr value);
+
+  void Consume(const Table& fact, const std::vector<uint32_t>& rows);
+  /// Merges another aggregator's groups (cross-partition combine).
+  void Merge(const HashAggregator& other);
+
+  const std::map<std::string, double>& groups() const { return groups_; }
+  int64_t rows_consumed() const { return rows_consumed_; }
+  double TotalSum() const;
+
+ private:
+  std::vector<ColumnRef> group_by_;
+  ValueExpr value_;
+  std::map<std::string, double> groups_;
+  int64_t rows_consumed_ = 0;
+};
+
+/// One aggregation pipeline over one fact-table shard:
+/// scan -> filter -> aggregate. Returns rows scanned.
+int64_t RunAggregationPipeline(const Table* fact, const FilterOperator& filter,
+                               HashAggregator* aggregator);
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_OPERATORS_H_

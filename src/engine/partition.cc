@@ -1,0 +1,55 @@
+#include "engine/partition.h"
+
+#include "common/check.h"
+
+namespace ecldb::engine {
+
+Table* Partition::AddTable(const std::string& name, Schema schema) {
+  auto [it, inserted] =
+      tables_.emplace(name, std::make_unique<Table>(name, std::move(schema)));
+  ECLDB_CHECK_MSG(inserted, "duplicate table");
+  return it->second.get();
+}
+
+Table* Partition::table(std::string_view name) {
+  auto it = tables_.find(std::string(name));
+  ECLDB_CHECK_MSG(it != tables_.end(), "unknown table");
+  return it->second.get();
+}
+
+const Table* Partition::table(std::string_view name) const {
+  auto it = tables_.find(std::string(name));
+  ECLDB_CHECK_MSG(it != tables_.end(), "unknown table");
+  return it->second.get();
+}
+
+HashIndex* Partition::AddIndex(const std::string& name) {
+  auto [it, inserted] = indexes_.emplace(name, std::make_unique<HashIndex>());
+  ECLDB_CHECK_MSG(inserted, "duplicate index");
+  return it->second.get();
+}
+
+HashIndex* Partition::index(std::string_view name) {
+  auto it = indexes_.find(std::string(name));
+  ECLDB_CHECK_MSG(it != indexes_.end(), "unknown index");
+  return it->second.get();
+}
+
+const HashIndex* Partition::index(std::string_view name) const {
+  auto it = indexes_.find(std::string(name));
+  ECLDB_CHECK_MSG(it != indexes_.end(), "unknown index");
+  return it->second.get();
+}
+
+bool Partition::HasIndex(std::string_view name) const {
+  return indexes_.find(std::string(name)) != indexes_.end();
+}
+
+size_t Partition::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, table] : tables_) bytes += table->MemoryBytes();
+  for (const auto& [name, index] : indexes_) bytes += index->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace ecldb::engine

@@ -1,0 +1,52 @@
+#ifndef ECLDB_ENGINE_PARTITION_H_
+#define ECLDB_ENGINE_PARTITION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "engine/hash_index.h"
+#include "engine/table.h"
+
+namespace ecldb::engine {
+
+/// One data partition of the data-oriented architecture: the exclusive
+/// unit of data access. Each partition holds its own shard of every table
+/// plus local hash indexes; whichever worker currently owns the partition
+/// (via its PartitionQueue) accesses these structures latch-free.
+class Partition {
+ public:
+  Partition(PartitionId id, SocketId home_socket)
+      : id_(id), home_socket_(home_socket) {}
+
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+
+  PartitionId id() const { return id_; }
+  SocketId home_socket() const { return home_socket_; }
+
+  /// Creates the local shard of a table. The name must be unique.
+  Table* AddTable(const std::string& name, Schema schema);
+  Table* table(std::string_view name);
+  const Table* table(std::string_view name) const;
+
+  /// Creates a named local hash index (caller maintains its contents).
+  HashIndex* AddIndex(const std::string& name);
+  HashIndex* index(std::string_view name);
+  const HashIndex* index(std::string_view name) const;
+  bool HasIndex(std::string_view name) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  PartitionId id_;
+  SocketId home_socket_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::unique_ptr<HashIndex>> indexes_;
+};
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_PARTITION_H_

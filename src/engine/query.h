@@ -1,0 +1,74 @@
+#ifndef ECLDB_ENGINE_QUERY_H_
+#define ECLDB_ENGINE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "hwsim/work_profile.h"
+#include "msg/message.h"
+
+namespace ecldb::engine {
+
+/// Work a query places on one partition, in operations of the query's
+/// work profile. Plain work units are pure fluid accounting; functional
+/// types (kGet/kPut/kScan) additionally execute a real data operation via
+/// the engine's functional executor when the fluid work completes.
+struct PartitionWork {
+  PartitionId partition = -1;
+  double ops = 0.0;
+  msg::MessageType type = msg::MessageType::kWorkUnits;
+  int64_t arg0 = 0;
+  int64_t arg1 = 0;
+};
+
+/// A query as submitted to the engine: a work profile plus per-partition
+/// work items. Queries spanning partitions on multiple sockets exercise
+/// the inter-socket communication path.
+struct QuerySpec {
+  const hwsim::WorkProfile* profile = nullptr;
+  std::vector<PartitionWork> work;
+  /// Socket of the dispatching thread (messages to remote partitions go
+  /// through the communication endpoints).
+  SocketId origin_socket = 0;
+};
+
+/// Collects completed-query latencies: a sliding window for the
+/// system-level ECL (current average + trend) and full-run statistics for
+/// the benches.
+class LatencyTracker {
+ public:
+  explicit LatencyTracker(SimDuration window_horizon)
+      : window_(window_horizon) {}
+
+  void RecordCompletion(SimTime arrival, SimTime completion) {
+    const double ms = ToMillis(completion - arrival);
+    window_.Add(completion, ms);
+    all_.Add(ms);
+    ++completed_;
+  }
+
+  /// Mean latency (ms) over the recent window.
+  double WindowMeanMs() const { return window_.Mean(); }
+  /// Latency trend in ms per second over the recent window.
+  double TrendMsPerSec() const { return window_.SlopePerSecond(); }
+  bool WindowEmpty() const { return window_.empty(); }
+
+  const PercentileTracker& all() const { return all_; }
+  int64_t completed() const { return completed_; }
+
+  void ResetRunStats() {
+    all_.Clear();
+    completed_ = 0;
+  }
+
+ private:
+  SlidingWindow window_;
+  PercentileTracker all_;
+  int64_t completed_ = 0;
+};
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_QUERY_H_

@@ -1,0 +1,319 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace ecldb::engine {
+namespace {
+
+int64_t EncodeOps(double ops) { return std::bit_cast<int64_t>(ops); }
+double DecodeOps(int64_t bits) { return std::bit_cast<double>(bits); }
+
+}  // namespace
+
+Scheduler::Scheduler(sim::Simulator* simulator, hwsim::Machine* machine,
+                     Database* db, msg::MessageLayer* layer,
+                     const SchedulerParams& params)
+    : simulator_(simulator),
+      machine_(machine),
+      db_(db),
+      layer_(layer),
+      params_(params),
+      spill_(static_cast<size_t>(db->num_partitions())),
+      latency_(params.latency_window) {
+  const hwsim::Topology& topo = machine_->topology();
+  ECLDB_CHECK_MSG(!params_.static_binding ||
+                      db_->num_partitions() == topo.total_threads(),
+                  "static binding requires a 1:1 worker-partition ratio");
+  for (HwThreadId t = 0; t < topo.total_threads(); ++t) {
+    Worker w;
+    w.id = t;
+    w.hw_thread = t;
+    w.socket = topo.SocketOfThread(t);
+    workers_.push_back(w);
+  }
+  // Registered after the Machine (which the caller constructs first), so
+  // each slice integrates hardware state before work is consumed.
+  simulator_->RegisterAdvancer(
+      [this](SimTime t0, SimTime t1) { Advance(t0, t1); });
+}
+
+int Scheduler::RegisterProfile(const hwsim::WorkProfile* profile) {
+  ECLDB_CHECK(profile != nullptr);
+  for (size_t i = 0; i < profiles_.size(); ++i) {
+    if (profiles_[i] == profile) return static_cast<int>(i);
+  }
+  profiles_.push_back(profile);
+  return static_cast<int>(profiles_.size() - 1);
+}
+
+QueryId Scheduler::Submit(const QuerySpec& spec) {
+  ECLDB_CHECK(spec.profile != nullptr);
+  ECLDB_CHECK(!spec.work.empty());
+  const int profile_id = RegisterProfile(spec.profile);
+  const QueryId id = next_query_id_++;
+  QueryState state;
+  state.arrival = simulator_->now();
+  state.pending_tasks = static_cast<int>(spec.work.size());
+  inflight_.emplace(id, state);
+  ++queries_submitted_;
+
+  for (const PartitionWork& pw : spec.work) {
+    ECLDB_DCHECK(pw.partition >= 0 && pw.partition < db_->num_partitions());
+    ECLDB_DCHECK(pw.ops > 0.0);
+    msg::Message m;
+    m.query_id = id;
+    m.partition = pw.partition;
+    m.type = pw.type;
+    m.origin_socket = spec.origin_socket;
+    m.payload[0] = EncodeOps(pw.ops);
+    m.payload[1] = profile_id;
+    m.payload[2] = pw.arg0;
+    m.payload[3] = pw.arg1;
+    if (!layer_->Send(spec.origin_socket, m)) {
+      spill_[static_cast<size_t>(pw.partition)].push_back(m);
+    }
+  }
+  return id;
+}
+
+double Scheduler::TakeUtilization(SocketId socket) {
+  double busy = 0.0;
+  double active = 0.0;
+  for (Worker& w : workers_) {
+    if (w.socket != socket) continue;
+    busy += w.busy_seconds;
+    active += w.active_seconds;
+    w.busy_seconds = 0.0;
+    w.active_seconds = 0.0;
+  }
+  if (active <= 0.0) return 0.0;
+  return std::min(1.0, busy / active);
+}
+
+double Scheduler::BacklogOps(SocketId socket) const {
+  double ops = 0.0;
+  for (int p = 0; p < db_->num_partitions(); ++p) {
+    if (db_->HomeOf(p) != socket) continue;
+    for (const msg::Message& m : spill_[static_cast<size_t>(p)]) {
+      ops += DecodeOps(m.payload[0]);
+    }
+  }
+  for (const Worker& w : workers_) {
+    if (w.socket != socket) continue;
+    ops += w.remaining_ops;
+    for (size_t i = w.batch_pos; i < w.batch.size(); ++i) {
+      ops += DecodeOps(w.batch[i].payload[0]);
+    }
+  }
+  // Queued (unowned) messages are counted approximately via queue sizes;
+  // exact per-message ops are unknown without draining.
+  return ops;
+}
+
+const hwsim::WorkProfile* Scheduler::ProfileOfMessage(const msg::Message& m) const {
+  const auto idx = static_cast<size_t>(m.payload[1]);
+  ECLDB_DCHECK(idx < profiles_.size());
+  return profiles_[idx];
+}
+
+void Scheduler::CompleteTask(const msg::Message& m, SimTime now) {
+  // Functional messages mutate/read the real partition data exactly when
+  // their fluid work completes (the worker owns the partition here).
+  if (m.type != msg::MessageType::kWorkUnits && functional_executor_) {
+    functional_executor_(m.partition, m);
+  }
+  auto it = inflight_.find(m.query_id);
+  ECLDB_DCHECK(it != inflight_.end());
+  if (--it->second.pending_tasks == 0) {
+    latency_.RecordCompletion(it->second.arrival, now);
+    inflight_.erase(it);
+  }
+}
+
+void Scheduler::ReleaseOwnership(Worker* w, bool requeue_batch) {
+  if (w->owned == nullptr) return;
+  if (requeue_batch) {
+    // Deactivated mid-batch: push unprocessed work back so other workers
+    // can serve the partition (elasticity invariant: partitions never
+    // become unavailable when threads are turned off).
+    if (w->remaining_ops > 0.0 && w->batch_pos < w->batch.size()) {
+      msg::Message m = w->batch[w->batch_pos];
+      m.payload[0] = EncodeOps(w->remaining_ops);
+      if (!w->owned->Enqueue(m)) {
+        spill_[static_cast<size_t>(m.partition)].push_back(m);
+      }
+      w->remaining_ops = 0.0;
+      ++w->batch_pos;
+    }
+    for (size_t i = w->batch_pos; i < w->batch.size(); ++i) {
+      if (!w->owned->Enqueue(w->batch[i])) {
+        spill_[static_cast<size_t>(w->batch[i].partition)].push_back(w->batch[i]);
+      }
+    }
+    w->batch.clear();
+    w->batch_pos = 0;
+  }
+  w->owned->Release(w->id);
+  w->owned = nullptr;
+}
+
+bool Scheduler::AcquireWork(Worker* w) {
+  if (w->remaining_ops > 0.0) return true;
+  if (params_.static_binding) {
+    // Original architecture: the worker exclusively serves the partition
+    // with its own id; nothing else.
+    for (;;) {
+      if (w->batch_pos < w->batch.size()) {
+        w->remaining_ops = DecodeOps(w->batch[w->batch_pos].payload[0]);
+        return true;
+      }
+      if (w->owned == nullptr) {
+        msg::PartitionQueue* q = layer_->router(w->socket)->queue(w->id);
+        if (!q->TryAcquire(w->id)) return false;
+        w->owned = q;
+      }
+      w->batch.clear();
+      w->batch_pos = 0;
+      if (w->owned->DequeueBatch(w->id, params_.batch_size, &w->batch) == 0) {
+        return false;
+      }
+    }
+  }
+  for (;;) {
+    // Next message in the current batch?
+    if (w->batch_pos < w->batch.size()) {
+      const msg::Message& m = w->batch[w->batch_pos];
+      w->remaining_ops = DecodeOps(m.payload[0]);
+      return true;
+    }
+    // One batch per ownership stint: after a batch is processed the
+    // partition is released, so queued partitions are served round-robin
+    // (fairness under backlog). Then acquire the next non-empty queue and
+    // pull one batch from it.
+    ReleaseOwnership(w, /*requeue_batch=*/false);
+    w->batch.clear();
+    w->batch_pos = 0;
+    msg::IntraSocketRouter* router = layer_->router(w->socket);
+    msg::PartitionQueue* q = router->AcquireNonEmpty(w->id, &w->rr_cursor);
+    if (q == nullptr) return false;
+    w->owned = q;
+    if (q->DequeueBatch(w->id, params_.batch_size, &w->batch) == 0) {
+      // Raced to empty; try the next queue.
+      ReleaseOwnership(w, /*requeue_batch=*/false);
+    }
+  }
+}
+
+void Scheduler::RetrySpill() {
+  for (int p = 0; p < db_->num_partitions(); ++p) {
+    auto& dq = spill_[static_cast<size_t>(p)];
+    while (!dq.empty()) {
+      // Spilled messages go directly to the partition's home queue.
+      if (!layer_->router(db_->HomeOf(p))->Enqueue(dq.front())) break;
+      dq.pop_front();
+    }
+  }
+}
+
+void Scheduler::Advance(SimTime t0, SimTime t1) {
+  const SimTime now = t1;
+  const double dt_s = ToSeconds(t1 - t0);
+  const hwsim::Topology& topo = machine_->topology();
+
+  // Communication threads move inter-socket messages once per slice
+  // (the slice length models the transfer hop).
+  for (SocketId s = 0; s < topo.num_sockets; ++s) layer_->PumpComm(s);
+  RetrySpill();
+
+  for (Worker& w : workers_) {
+    const hwsim::SocketConfig& cfg = machine_->requested_config(w.socket);
+    const bool active =
+        cfg.ThreadActive(topo.LocalThreadOfThread(w.hw_thread));
+    if (!active) {
+      // Hardware thread is in a sleep state: give the partition back.
+      ReleaseOwnership(&w, /*requeue_batch=*/true);
+      machine_->SetThreadLoad(w.hw_thread, nullptr, 0.0);
+      (void)machine_->TakeCompletedOps(w.hw_thread);
+      continue;
+    }
+    w.active_seconds += dt_s;
+
+    if (synthetic_load_ != nullptr) {
+      // Saturation mode: full-intensity synthetic work, results discarded.
+      (void)machine_->TakeCompletedOps(w.hw_thread);
+      w.busy_seconds += dt_s;
+      machine_->SetThreadLoad(w.hw_thread, synthetic_load_, 1.0);
+      continue;
+    }
+
+    double credit = machine_->TakeCompletedOps(w.hw_thread);
+    const double rate = machine_->CurrentRate(w.hw_thread);
+    const double full_credit = credit;
+    while (credit > 1e-9) {
+      if (!AcquireWork(&w)) break;
+      const double spend = std::min(credit, w.remaining_ops);
+      w.remaining_ops -= spend;
+      credit -= spend;
+      if (w.remaining_ops <= 1e-9) {
+        w.remaining_ops = 0.0;
+        CompleteTask(w.batch[w.batch_pos], now);
+        ++w.batch_pos;
+      }
+    }
+    if (rate > 0.0 && full_credit > 0.0) {
+      const double consumed = full_credit - credit;
+      w.busy_seconds += std::min(dt_s, consumed / rate);
+    }
+
+    // Offer next-slice work to the machine.
+    const hwsim::WorkProfile* next = PeekProfile(&w);
+    machine_->SetThreadLoad(w.hw_thread, next, next != nullptr ? 1.0 : 0.0);
+  }
+}
+
+const hwsim::WorkProfile* Scheduler::PeekProfile(Worker* w) {
+  if (w->remaining_ops > 0.0 || w->batch_pos < w->batch.size()) {
+    return ProfileOfMessage(w->batch[w->batch_pos < w->batch.size()
+                                         ? w->batch_pos
+                                         : w->batch.size() - 1]);
+  }
+  if (params_.static_binding) {
+    // Only the worker's own partition can supply work.
+    if (AcquireWork(w)) {
+      return ProfileOfMessage(w->batch[w->batch_pos]);
+    }
+    return nullptr;
+  }
+  // Work pending anywhere on this socket? The worker will grab it next
+  // slice; intensity 1 with the socket's dominant pending profile.
+  if (w->owned != nullptr && !w->owned->EmptyApprox()) {
+    // Peek by dequeuing into the batch now.
+    w->batch.clear();
+    w->batch_pos = 0;
+    if (w->owned->DequeueBatch(w->id, params_.batch_size, &w->batch) > 0) {
+      return ProfileOfMessage(w->batch[0]);
+    }
+  }
+  msg::IntraSocketRouter* router = layer_->router(w->socket);
+  if (router->PendingApprox() > 0) {
+    // Some queue on the socket has work; report generic readiness using
+    // the first registered profile if we cannot see the message itself.
+    msg::PartitionQueue* q = router->AcquireNonEmpty(w->id, &w->rr_cursor);
+    if (q != nullptr) {
+      ReleaseOwnership(w, false);
+      w->owned = q;
+      w->batch.clear();
+      w->batch_pos = 0;
+      if (q->DequeueBatch(w->id, params_.batch_size, &w->batch) > 0) {
+        return ProfileOfMessage(w->batch[0]);
+      }
+      ReleaseOwnership(w, false);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace ecldb::engine

@@ -1,0 +1,131 @@
+#ifndef ECLDB_ENGINE_SCHEDULER_H_
+#define ECLDB_ENGINE_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "engine/database.h"
+#include "engine/query.h"
+#include "engine/worker.h"
+#include "hwsim/machine.h"
+#include "msg/message_layer.h"
+#include "sim/simulator.h"
+
+namespace ecldb::engine {
+
+struct SchedulerParams {
+  /// Messages dequeued per ownership grab. Small batches bound the
+  /// ownership stint so backlogged partitions are rotated quickly (tail
+  /// latency); large batches amortize the acquire/release handshake.
+  size_t batch_size = 8;
+  /// Horizon of the latency sliding window used by the system-level ECL.
+  SimDuration latency_window = Seconds(5);
+  /// Static worker-partition binding: the ORIGINAL data-oriented
+  /// architecture the paper improves upon (Section 3). Each worker serves
+  /// only its own partition; when the ECL puts a hardware thread to sleep,
+  /// that partition becomes unavailable, and skewed load cannot be
+  /// balanced. Requires a 1:1 worker-partition ratio. Default off (the
+  /// paper's elasticity extensions).
+  bool static_binding = false;
+};
+
+/// Fluid executor of the data-oriented engine.
+///
+/// Each simulation slice, every worker whose hardware thread is active:
+///  1. receives its completed-operation credit from the machine,
+///  2. spends it on queued partition work (dequeue-own-process-release),
+///  3. reports whether it has more work, which becomes the machine's
+///     thread load for the next slice.
+///
+/// Query completion times (and thus latencies) fall out of when the fluid
+/// work of all of a query's partition tasks has been consumed.
+class Scheduler {
+ public:
+  Scheduler(sim::Simulator* simulator, hwsim::Machine* machine, Database* db,
+            msg::MessageLayer* layer, const SchedulerParams& params);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Registers a work profile; messages reference profiles by this id.
+  int RegisterProfile(const hwsim::WorkProfile* profile);
+
+  /// Submits a query; returns its id. Latency is measured from now until
+  /// the last partition task completes.
+  QueryId Submit(const QuerySpec& spec);
+
+  /// Utilization of a socket's active workers since the last call
+  /// (busy seconds / active seconds), the signal the paper's utilization
+  /// controller consumes.
+  double TakeUtilization(SocketId socket);
+
+  LatencyTracker& latency() { return latency_; }
+  const LatencyTracker& latency() const { return latency_; }
+
+  int64_t queries_submitted() const { return queries_submitted_; }
+  int64_t queries_completed() const { return latency_.completed(); }
+  int64_t inflight() const { return static_cast<int64_t>(inflight_.size()); }
+
+  /// Remaining queued operations homed on a socket (diagnostics).
+  double BacklogOps(SocketId socket) const;
+
+  /// Synthetic saturation mode: while set, every active worker offers
+  /// `profile` at intensity 1 regardless of queued queries (completed
+  /// operations are discarded). Used to prime ECL energy profiles with
+  /// full-load measurements before an experiment; pass nullptr to disable.
+  void SetSyntheticLoad(const hwsim::WorkProfile* profile) {
+    synthetic_load_ = profile;
+  }
+
+  /// Executor for functional messages (kGet/kPut/kScan): invoked by the
+  /// owning worker when the message's fluid work completes, i.e. at the
+  /// virtual time the operation finishes — while the worker holds the
+  /// partition's ownership, so the real data access is race-free.
+  using FunctionalExecutor =
+      std::function<void(PartitionId, const msg::Message&)>;
+  void SetFunctionalExecutor(FunctionalExecutor executor) {
+    functional_executor_ = std::move(executor);
+  }
+
+ private:
+  struct QueryState {
+    SimTime arrival = 0;
+    int pending_tasks = 0;
+  };
+
+  void Advance(SimTime t0, SimTime t1);
+  void RetrySpill();
+  /// Makes `w` point at its next task; returns false when out of work.
+  bool AcquireWork(Worker* w);
+  void ReleaseOwnership(Worker* w, bool requeue_batch);
+  void CompleteTask(const msg::Message& m, SimTime now);
+  const hwsim::WorkProfile* ProfileOfMessage(const msg::Message& m) const;
+  /// Work profile the worker would execute next (head of its work).
+  const hwsim::WorkProfile* PeekProfile(Worker* w);
+
+  sim::Simulator* simulator_;
+  hwsim::Machine* machine_;
+  Database* db_;
+  msg::MessageLayer* layer_;
+  SchedulerParams params_;
+
+  std::vector<Worker> workers_;
+  std::vector<const hwsim::WorkProfile*> profiles_;
+  std::unordered_map<QueryId, QueryState> inflight_;
+  /// Backpressure spill buffers per partition (unbounded; models an
+  /// admission queue in front of the bounded partition rings).
+  std::vector<std::deque<msg::Message>> spill_;
+  LatencyTracker latency_;
+  QueryId next_query_id_ = 1;
+  int64_t queries_submitted_ = 0;
+  const hwsim::WorkProfile* synthetic_load_ = nullptr;
+  FunctionalExecutor functional_executor_;
+};
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_SCHEDULER_H_

@@ -1,0 +1,70 @@
+#include "engine/table.h"
+
+#include "common/check.h"
+
+namespace ecldb::engine {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    const ColumnDef& def = schema_.column(i);
+    columns_.push_back(std::make_unique<Column>(def.name, def.type));
+  }
+}
+
+size_t Table::AppendRow(const std::vector<Value>& values) {
+  ECLDB_CHECK(values.size() == schema_.num_columns());
+  for (size_t i = 0; i < values.size(); ++i) {
+    Column* col = columns_[i].get();
+    switch (col->type()) {
+      case ColumnType::kInt64:
+        col->AppendInt(std::get<int64_t>(values[i]));
+        break;
+      case ColumnType::kDouble:
+        col->AppendDouble(std::get<double>(values[i]));
+        break;
+      case ColumnType::kString:
+        col->AppendString(std::get<std::string>(values[i]));
+        break;
+    }
+  }
+  deleted_.push_back(false);
+  return num_rows_++;
+}
+
+Column* Table::column(std::string_view name) {
+  const int i = schema_.IndexOf(name);
+  ECLDB_CHECK_MSG(i >= 0, "unknown column");
+  return columns_[static_cast<size_t>(i)].get();
+}
+
+const Column* Table::column(std::string_view name) const {
+  const int i = schema_.IndexOf(name);
+  ECLDB_CHECK_MSG(i >= 0, "unknown column");
+  return columns_[static_cast<size_t>(i)].get();
+}
+
+void Table::DeleteRow(size_t row) {
+  ECLDB_DCHECK(row < num_rows_);
+  if (!deleted_[row]) {
+    deleted_[row] = true;
+    ++num_deleted_;
+  }
+}
+
+size_t Table::MemoryBytes() const {
+  size_t bytes = deleted_.size() / 8;
+  for (const auto& col : columns_) bytes += col->MemoryBytes();
+  return bytes;
+}
+
+}  // namespace ecldb::engine

@@ -1,0 +1,75 @@
+#ifndef ECLDB_ENGINE_TABLE_H_
+#define ECLDB_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "engine/column.h"
+
+namespace ecldb::engine {
+
+/// One cell value; used for generic row append and point reads.
+using Value = std::variant<int64_t, double, std::string>;
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type;
+};
+
+/// Table schema: ordered column definitions.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  /// Index of a column by name; -1 if absent.
+  int IndexOf(std::string_view name) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+/// Column-oriented in-memory table (one shard; partitions each hold their
+/// own shard of every table).
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Appends a row; values must match the schema arity and types.
+  /// Returns the new row id.
+  size_t AppendRow(const std::vector<Value>& values);
+
+  Column* column(size_t i) { return columns_[i].get(); }
+  const Column* column(size_t i) const { return columns_[i].get(); }
+  Column* column(std::string_view name);
+  const Column* column(std::string_view name) const;
+
+  /// Marks a row deleted (tombstone); scans skip it.
+  void DeleteRow(size_t row);
+  bool IsDeleted(size_t row) const { return deleted_[row]; }
+  size_t num_deleted() const { return num_deleted_; }
+
+  size_t MemoryBytes() const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::vector<bool> deleted_;
+  size_t num_rows_ = 0;
+  size_t num_deleted_ = 0;
+};
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_TABLE_H_

@@ -1,0 +1,137 @@
+#include "experiment/experiment.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "ecl/baseline.h"
+
+namespace ecldb::experiment {
+namespace {
+
+/// Compact description of a configuration for result tables
+/// ("12 thr @ 1.2 GHz, uncore 3.0").
+std::string DescribeConfig(const hwsim::Topology& topo,
+                           const profile::Configuration& c) {
+  std::ostringstream out;
+  out << c.hw.ActiveThreadCount() << " thr @ ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", c.hw.MeanActiveCoreFreq(topo));
+  out << buf << " GHz, uncore ";
+  std::snprintf(buf, sizeof(buf), "%.1f", c.hw.uncore_freq_ghz);
+  out << buf;
+  return out.str();
+}
+
+}  // namespace
+
+RunResult RunLoadExperiment(const WorkloadFactory& factory,
+                            const workload::LoadProfile& profile,
+                            const RunOptions& options) {
+  sim::Simulator simulator;
+  hwsim::Machine machine(&simulator, options.machine);
+  engine::Engine engine(&simulator, &machine, options.engine);
+  std::unique_ptr<workload::Workload> workload = factory(&engine);
+  ECLDB_CHECK(workload != nullptr);
+
+  const double capacity =
+      options.capacity_qps > 0.0
+          ? options.capacity_qps
+          : workload::BaselineCapacityQps(options.machine, *workload);
+
+  ecl::BaselineController baseline(&machine);
+  std::unique_ptr<ecl::EnergyControlLoop> loop;
+  if (options.mode == ControlMode::kEcl) {
+    loop = std::make_unique<ecl::EnergyControlLoop>(&simulator, &engine,
+                                                    options.ecl);
+    loop->Start();
+    if (options.prime_duration > 0) {
+      engine.scheduler().SetSyntheticLoad(&workload->profile());
+      simulator.RunFor(options.prime_duration);
+      engine.scheduler().SetSyntheticLoad(nullptr);
+    }
+  } else {
+    baseline.Start();
+    // Symmetric warm-up keeps run windows aligned across modes.
+    if (options.prime_duration > 0) {
+      engine.scheduler().SetSyntheticLoad(&workload->profile());
+      simulator.RunFor(options.prime_duration);
+      engine.scheduler().SetSyntheticLoad(nullptr);
+    }
+  }
+  engine.latency().ResetRunStats();
+
+  workload::DriverParams driver_params;
+  driver_params.capacity_qps = capacity;
+  driver_params.seed = options.driver_seed;
+  workload::LoadDriver driver(&simulator, &engine, workload.get(), &profile,
+                              driver_params);
+
+  RunResult result;
+  result.capacity_qps = capacity;
+  const SimTime run_start = simulator.now();
+  const double e0 = machine.TotalEnergyJoules();
+  driver.Start();
+
+  // Time-series sampler. Power is averaged over the sample period (an
+  // instantaneous read would alias with the RTI switching phase).
+  const hwsim::Topology& topo = options.machine.topology;
+  const SimTime run_end = run_start + profile.duration();
+  double sampler_last_energy = machine.TotalEnergyJoules();
+  for (SimTime t = run_start + options.sample_period; t <= run_end;
+       t += options.sample_period) {
+    simulator.Schedule(t, [&, t] {
+      Sample s;
+      s.t_s = ToSeconds(t - run_start);
+      s.offered_qps = driver.OfferedQps(t);
+      const double e = machine.TotalEnergyJoules();
+      s.rapl_power_w =
+          (e - sampler_last_energy) / ToSeconds(options.sample_period);
+      sampler_last_energy = e;
+      s.latency_window_ms = engine.latency().WindowMeanMs();
+      for (SocketId sk = 0; sk < topo.num_sockets; ++sk) {
+        s.active_threads += machine.requested_config(sk).ActiveThreadCount();
+      }
+      if (loop != nullptr) {
+        double level = 0.0;
+        double util = 0.0;
+        for (int sk = 0; sk < loop->num_sockets(); ++sk) {
+          const ecl::SocketEcl& se = loop->socket(sk);
+          const double peak = se.profile().PeakPerfScore();
+          if (peak > 0.0) level += se.performance_level() / peak;
+          util += se.last_utilization();
+        }
+        s.perf_level_frac = level / loop->num_sockets();
+        s.utilization = util / loop->num_sockets();
+      }
+      result.series.push_back(s);
+    });
+  }
+
+  // Run the profile plus drain time for in-flight queries.
+  simulator.RunUntil(run_end);
+  const double e1 = machine.TotalEnergyJoules();
+  simulator.RunFor(Seconds(5));  // drain
+
+  result.duration_s = ToSeconds(profile.duration());
+  result.energy_j = e1 - e0;
+  result.avg_power_w = result.energy_j / result.duration_s;
+  result.submitted = driver.submitted();
+  result.completed = engine.latency().completed();
+  const PercentileTracker& lat = engine.latency().all();
+  result.mean_ms = lat.Mean();
+  result.p50_ms = lat.Percentile(50);
+  result.p95_ms = lat.Percentile(95);
+  result.p99_ms = lat.Percentile(99);
+  result.max_ms = lat.Max();
+  result.violation_frac =
+      lat.FractionAbove(options.ecl.system.latency_limit_ms);
+  if (loop != nullptr) {
+    const profile::EnergyProfile& p = loop->socket(0).profile();
+    const int best = p.MostEfficientIndex();
+    if (best >= 0) result.best_config = DescribeConfig(topo, p.config(best));
+    loop->Stop();
+  }
+  return result;
+}
+
+}  // namespace ecldb::experiment

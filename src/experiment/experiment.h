@@ -1,0 +1,92 @@
+#ifndef ECLDB_EXPERIMENT_EXPERIMENT_H_
+#define ECLDB_EXPERIMENT_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "ecl/ecl.h"
+#include "engine/engine.h"
+#include "hwsim/machine.h"
+#include "sim/simulator.h"
+#include "workload/driver.h"
+#include "workload/load_profile.h"
+#include "workload/workload.h"
+
+namespace ecldb::experiment {
+
+/// Which controller rules the hardware during a run.
+enum class ControlMode {
+  kBaseline,  // all threads on, CPU/OS frequency control (race-to-idle)
+  kEcl,       // the hierarchical Energy-Control Loop
+};
+
+struct RunOptions {
+  hwsim::MachineParams machine = hwsim::MachineParams::HaswellEp();
+  ControlMode mode = ControlMode::kEcl;
+  ecl::EclParams ecl;
+  engine::EngineParams engine;
+  /// ECL runs warm up under synthetic saturation for this long so energy
+  /// profiles are primed before measurement begins (the paper's profiles
+  /// are "continuously maintained at runtime"; experiments start warm).
+  SimDuration prime_duration = Seconds(30);
+  /// Spacing of the recorded time series.
+  SimDuration sample_period = Millis(500);
+  uint64_t driver_seed = 4242;
+  /// Capacity override in queries/s; 0 derives the all-on baseline
+  /// capacity from the performance model.
+  double capacity_qps = 0.0;
+};
+
+/// One sample of the experiment time series (Figs. 11, 13-15).
+struct Sample {
+  double t_s = 0.0;
+  double offered_qps = 0.0;
+  double rapl_power_w = 0.0;
+  double latency_window_ms = 0.0;
+  int active_threads = 0;
+  double perf_level_frac = 0.0;  // mean over sockets, relative to peak
+  double utilization = 0.0;      // mean over sockets (ECL view)
+};
+
+struct RunResult {
+  double duration_s = 0.0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double capacity_qps = 0.0;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  /// Fraction of queries above the latency limit.
+  double violation_frac = 0.0;
+  std::vector<Sample> series;
+  /// Most energy-efficient configuration found by socket 0's ECL
+  /// (empty string for baseline runs).
+  std::string best_config;
+};
+
+/// Builds a workload against a fresh engine.
+using WorkloadFactory =
+    std::function<std::unique_ptr<workload::Workload>(engine::Engine*)>;
+
+/// Runs one end-to-end load experiment: fresh machine + engine + workload,
+/// optional ECL priming, then the load profile, recording energy, latency
+/// statistics and a time series. Deterministic for fixed options.
+RunResult RunLoadExperiment(const WorkloadFactory& factory,
+                            const workload::LoadProfile& profile,
+                            const RunOptions& options);
+
+/// Convenience: relative energy saving of `ecl` vs `baseline` in percent.
+inline double SavingsPercent(const RunResult& baseline, const RunResult& ecl) {
+  return 100.0 * (1.0 - ecl.energy_j / baseline.energy_j);
+}
+
+}  // namespace ecldb::experiment
+
+#endif  // ECLDB_EXPERIMENT_EXPERIMENT_H_

@@ -1,0 +1,19 @@
+#include "hwsim/bandwidth_model.h"
+
+#include <cmath>
+
+namespace ecldb::hwsim {
+
+double BandwidthModel::SocketBandwidthGbps(double f_uncore_ghz) const {
+  if (f_uncore_ghz <= 0.0) return 0.0;
+  const double rel = f_uncore_ghz / params_.f_uncore_max_ghz;
+  return params_.peak_gbps * std::pow(rel, params_.uncore_exponent);
+}
+
+double BandwidthModel::AccessLatencyNs(double f_uncore_ghz) const {
+  if (f_uncore_ghz <= 0.0) f_uncore_ghz = 0.1;
+  return params_.latency_fixed_ns +
+         params_.latency_scaled_ns * (params_.f_uncore_max_ghz / f_uncore_ghz);
+}
+
+}  // namespace ecldb::hwsim

@@ -1,0 +1,45 @@
+#ifndef ECLDB_HWSIM_BANDWIDTH_MODEL_H_
+#define ECLDB_HWSIM_BANDWIDTH_MODEL_H_
+
+namespace ecldb::hwsim {
+
+/// Calibration constants of the memory subsystem. Defaults fit the paper's
+/// Figure 6: socket bandwidth scales with the uncore clock and saturates
+/// near the DDR4-2133 4-channel peak; random-access latency improves with
+/// the uncore clock (LLC + memory controllers run in the uncore domain).
+struct BandwidthModelParams {
+  /// Peak socket DRAM bandwidth at the maximum uncore frequency, GB/s.
+  double peak_gbps = 56.0;
+  /// Uncore frequency that delivers the peak, GHz.
+  double f_uncore_max_ghz = 3.0;
+  /// Sub-linear exponent of bandwidth vs uncore clock (slight saturation).
+  double uncore_exponent = 0.92;
+  /// Random-access DRAM latency: fixed part + uncore-dependent part, ns.
+  /// latency(f) = fixed_ns + scaled_ns * (f_uncore_max / f).
+  double latency_fixed_ns = 52.0;
+  double latency_scaled_ns = 34.0;
+  /// Cross-socket (QPI) transfer: extra latency and bandwidth cap.
+  double remote_extra_latency_ns = 65.0;
+  double qpi_gbps = 25.0;
+};
+
+/// Memory-subsystem performance as a function of the uncore clock.
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(const BandwidthModelParams& params) : params_(params) {}
+
+  /// Achievable socket DRAM bandwidth at the given uncore frequency, GB/s.
+  double SocketBandwidthGbps(double f_uncore_ghz) const;
+
+  /// Average random-access latency at the given uncore frequency, ns.
+  double AccessLatencyNs(double f_uncore_ghz) const;
+
+  const BandwidthModelParams& params() const { return params_; }
+
+ private:
+  BandwidthModelParams params_;
+};
+
+}  // namespace ecldb::hwsim
+
+#endif  // ECLDB_HWSIM_BANDWIDTH_MODEL_H_

@@ -1,0 +1,13 @@
+#ifndef ECLDB_HWSIM_HASWELL_EP_H_
+#define ECLDB_HWSIM_HASWELL_EP_H_
+
+#include "hwsim/machine.h"
+
+namespace ecldb::hwsim {
+
+// MachineParams::HaswellEp() is declared in machine.h; this header exists
+// so code depending only on the calibration does not pull in the Machine.
+
+}  // namespace ecldb::hwsim
+
+#endif  // ECLDB_HWSIM_HASWELL_EP_H_

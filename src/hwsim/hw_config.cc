@@ -1,0 +1,143 @@
+#include "hwsim/hw_config.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ecldb::hwsim {
+
+int SocketConfig::ActiveThreadCount() const {
+  int n = 0;
+  for (bool a : thread_active) n += a ? 1 : 0;
+  return n;
+}
+
+int SocketConfig::ActiveCoreCount(const Topology& topo) const {
+  int n = 0;
+  for (CoreId c = 0; c < topo.cores_per_socket; ++c) n += CoreActive(topo, c) ? 1 : 0;
+  return n;
+}
+
+bool SocketConfig::AnyActive() const {
+  for (bool a : thread_active) {
+    if (a) return true;
+  }
+  return false;
+}
+
+bool SocketConfig::CoreActive(const Topology& topo, CoreId core) const {
+  for (int s = 0; s < topo.threads_per_core; ++s) {
+    if (thread_active[static_cast<size_t>(core * topo.threads_per_core + s)]) return true;
+  }
+  return false;
+}
+
+double SocketConfig::MeanActiveCoreFreq(const Topology& topo) const {
+  double sum = 0.0;
+  int n = 0;
+  for (CoreId c = 0; c < topo.cores_per_socket; ++c) {
+    if (CoreActive(topo, c)) {
+      sum += core_freq_ghz[static_cast<size_t>(c)];
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+void SocketConfig::SnapToTable(const FrequencyTable& freqs) {
+  for (double& f : core_freq_ghz) f = freqs.NearestCore(f);
+  uncore_freq_ghz = freqs.NearestUncore(uncore_freq_ghz);
+}
+
+SocketConfig SocketConfig::Idle(const Topology& topo) {
+  SocketConfig c;
+  c.thread_active.assign(static_cast<size_t>(topo.threads_per_socket()), false);
+  c.core_freq_ghz.assign(static_cast<size_t>(topo.cores_per_socket), 1.2);
+  c.uncore_freq_ghz = 1.2;
+  return c;
+}
+
+SocketConfig SocketConfig::AllOn(const Topology& topo, double core_ghz,
+                                 double uncore_ghz) {
+  SocketConfig c = Idle(topo);
+  c.thread_active.assign(static_cast<size_t>(topo.threads_per_socket()), true);
+  c.core_freq_ghz.assign(static_cast<size_t>(topo.cores_per_socket), core_ghz);
+  c.uncore_freq_ghz = uncore_ghz;
+  return c;
+}
+
+SocketConfig SocketConfig::FirstThreads(const Topology& topo, int threads,
+                                        double core_ghz, double uncore_ghz) {
+  ECLDB_CHECK(threads >= 0 && threads <= topo.threads_per_socket());
+  SocketConfig c = Idle(topo);
+  for (int t = 0; t < threads; ++t) c.thread_active[static_cast<size_t>(t)] = true;
+  c.core_freq_ghz.assign(static_cast<size_t>(topo.cores_per_socket), core_ghz);
+  c.uncore_freq_ghz = uncore_ghz;
+  return c;
+}
+
+SocketConfig SocketConfig::SpreadThreads(const Topology& topo, int threads,
+                                         double core_ghz, double uncore_ghz) {
+  ECLDB_CHECK(threads >= 0 && threads <= topo.threads_per_socket());
+  SocketConfig c = Idle(topo);
+  int placed = 0;
+  for (int sibling = 0; sibling < topo.threads_per_core && placed < threads; ++sibling) {
+    for (CoreId core = 0; core < topo.cores_per_socket && placed < threads; ++core) {
+      c.thread_active[static_cast<size_t>(core * topo.threads_per_core + sibling)] = true;
+      ++placed;
+    }
+  }
+  c.core_freq_ghz.assign(static_cast<size_t>(topo.cores_per_socket), core_ghz);
+  c.uncore_freq_ghz = uncore_ghz;
+  return c;
+}
+
+std::string SocketConfig::ToString() const {
+  std::ostringstream out;
+  out << "threads={";
+  bool first = true;
+  for (size_t t = 0; t < thread_active.size(); ++t) {
+    if (thread_active[t]) {
+      if (!first) out << ",";
+      out << t;
+      first = false;
+    }
+  }
+  out << "} f_core={";
+  for (size_t c = 0; c < core_freq_ghz.size(); ++c) {
+    if (c > 0) out << ",";
+    out << core_freq_ghz[c];
+  }
+  out << "} f_uncore=" << uncore_freq_ghz;
+  return out.str();
+}
+
+bool operator==(const SocketConfig& a, const SocketConfig& b) {
+  return a.thread_active == b.thread_active &&
+         a.core_freq_ghz == b.core_freq_ghz &&
+         a.uncore_freq_ghz == b.uncore_freq_ghz;
+}
+
+bool MachineConfig::AllIdle() const {
+  for (const SocketConfig& s : sockets) {
+    if (s.AnyActive()) return false;
+  }
+  return true;
+}
+
+MachineConfig MachineConfig::Idle(const Topology& topo) {
+  MachineConfig m;
+  for (int s = 0; s < topo.num_sockets; ++s) m.sockets.push_back(SocketConfig::Idle(topo));
+  return m;
+}
+
+MachineConfig MachineConfig::AllOn(const Topology& topo, double core_ghz,
+                                   double uncore_ghz) {
+  MachineConfig m;
+  for (int s = 0; s < topo.num_sockets; ++s) {
+    m.sockets.push_back(SocketConfig::AllOn(topo, core_ghz, uncore_ghz));
+  }
+  return m;
+}
+
+}  // namespace ecldb::hwsim

@@ -1,0 +1,73 @@
+#ifndef ECLDB_HWSIM_HW_CONFIG_H_
+#define ECLDB_HWSIM_HW_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "hwsim/pstate.h"
+#include "hwsim/topology.h"
+
+namespace ecldb::hwsim {
+
+/// Hardware energy-control state of a single socket: which hardware threads
+/// are active (C-state), per-core frequencies, and the uncore frequency
+/// (P-states). This is the paper's configuration tuple (Section 4.1):
+///
+///   c_x = ({hwthread}, {(core, f_core)}, f_uncore)
+///
+/// Inactive cores are implicitly at their minimum frequency; the uncore
+/// clock can only be halted when every socket of the machine is idle.
+struct SocketConfig {
+  /// Active flag per socket-local hardware thread.
+  std::vector<bool> thread_active;
+  /// Requested frequency per socket-local physical core, in GHz. Only
+  /// meaningful for cores with at least one active thread.
+  std::vector<double> core_freq_ghz;
+  /// Requested uncore frequency in GHz.
+  double uncore_freq_ghz = 0.0;
+
+  int ActiveThreadCount() const;
+  int ActiveCoreCount(const Topology& topo) const;
+  bool AnyActive() const;
+  bool ThreadActive(int local_thread) const {
+    return thread_active[static_cast<size_t>(local_thread)];
+  }
+  /// True iff any thread of socket-local core `core` is active.
+  bool CoreActive(const Topology& topo, CoreId core) const;
+  /// Average requested frequency over active cores; 0 if idle.
+  double MeanActiveCoreFreq(const Topology& topo) const;
+
+  /// Snaps all requested frequencies to settable P-states.
+  void SnapToTable(const FrequencyTable& freqs);
+
+  /// All threads off (idle socket / deepest C-state).
+  static SocketConfig Idle(const Topology& topo);
+  /// All threads on at the given core/uncore frequencies.
+  static SocketConfig AllOn(const Topology& topo, double core_ghz, double uncore_ghz);
+  /// The first `threads` socket-local threads on (filling cores with both
+  /// siblings before moving to the next core) at uniform frequencies.
+  static SocketConfig FirstThreads(const Topology& topo, int threads,
+                                   double core_ghz, double uncore_ghz);
+  /// Like FirstThreads but activates one sibling per core first
+  /// (core-spread placement), then second siblings.
+  static SocketConfig SpreadThreads(const Topology& topo, int threads,
+                                    double core_ghz, double uncore_ghz);
+
+  std::string ToString() const;
+};
+
+bool operator==(const SocketConfig& a, const SocketConfig& b);
+
+/// Configuration of the whole machine (one SocketConfig per socket).
+struct MachineConfig {
+  std::vector<SocketConfig> sockets;
+
+  bool AllIdle() const;
+  static MachineConfig Idle(const Topology& topo);
+  static MachineConfig AllOn(const Topology& topo, double core_ghz, double uncore_ghz);
+};
+
+}  // namespace ecldb::hwsim
+
+#endif  // ECLDB_HWSIM_HW_CONFIG_H_

@@ -1,0 +1,173 @@
+#include "hwsim/machine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::hwsim {
+
+Machine::Machine(sim::Simulator* simulator, const MachineParams& params)
+    : simulator_(simulator),
+      params_(params),
+      power_model_(params.topology, params.power),
+      bandwidth_model_(params.bandwidth),
+      perf_model_(params.topology, bandwidth_model_, params.perf),
+      firmware_(params.topology, params.freqs, params.firmware),
+      rapl_(params.topology.num_sockets, params.rapl),
+      counters_(params.topology),
+      requested_(MachineConfig::Idle(params.topology)),
+      effective_(requested_),
+      loads_(static_cast<size_t>(params.topology.total_threads())),
+      ops_credit_(static_cast<size_t>(params.topology.total_threads()), 0.0),
+      current_rate_(static_cast<size_t>(params.topology.total_threads()), 0.0),
+      instant_power_(static_cast<size_t>(params.topology.num_sockets)),
+      instant_bandwidth_(static_cast<size_t>(params.topology.num_sockets), 0.0),
+      idle_since_(static_cast<size_t>(params.topology.num_sockets), 0) {
+  ECLDB_CHECK(simulator_ != nullptr);
+  simulator_->RegisterAdvancer(
+      [this](SimTime t0, SimTime t1) { Advance(t0, t1); });
+}
+
+void Machine::ApplySocketConfig(SocketId socket, SocketConfig config) {
+  ECLDB_CHECK(static_cast<int>(config.thread_active.size()) ==
+              params_.topology.threads_per_socket());
+  ECLDB_CHECK(static_cast<int>(config.core_freq_ghz.size()) ==
+              params_.topology.cores_per_socket);
+  config.SnapToTable(params_.freqs);
+  firmware_.NotifyConfigWrite(socket, config, simulator_->now());
+  requested_.sockets[static_cast<size_t>(socket)] = std::move(config);
+  pending_stall_ += params_.config_apply_latency;
+  ++config_writes_;
+}
+
+void Machine::ApplyMachineConfig(const MachineConfig& config) {
+  ECLDB_CHECK(static_cast<int>(config.sockets.size()) ==
+              params_.topology.num_sockets);
+  for (SocketId s = 0; s < params_.topology.num_sockets; ++s) {
+    ApplySocketConfig(s, config.sockets[static_cast<size_t>(s)]);
+  }
+}
+
+void Machine::SetThreadLoad(HwThreadId thread, const WorkProfile* profile,
+                            double intensity) {
+  ECLDB_DCHECK(thread >= 0 && thread < params_.topology.total_threads());
+  loads_[static_cast<size_t>(thread)] = ThreadLoad{profile,
+                                                   std::clamp(intensity, 0.0, 1.0)};
+}
+
+void Machine::ClearThreadLoads() {
+  for (ThreadLoad& l : loads_) l = ThreadLoad{};
+}
+
+double Machine::TakeCompletedOps(HwThreadId thread) {
+  double& credit = ops_credit_[static_cast<size_t>(thread)];
+  const double taken = credit;
+  credit = 0.0;
+  return taken;
+}
+
+double Machine::CurrentRate(HwThreadId thread) const {
+  return current_rate_[static_cast<size_t>(thread)];
+}
+
+double Machine::TotalEnergyJoules() const {
+  double sum = 0.0;
+  for (SocketId s = 0; s < params_.topology.num_sockets; ++s) {
+    sum += rapl_.ExactEnergyJoules(s, RaplDomain::kPackage);
+    sum += rapl_.ExactEnergyJoules(s, RaplDomain::kDram);
+  }
+  return sum;
+}
+
+double Machine::InstantPkgPowerW(SocketId socket) const {
+  return instant_power_[static_cast<size_t>(socket)].pkg_w;
+}
+
+double Machine::InstantDramPowerW(SocketId socket) const {
+  return instant_power_[static_cast<size_t>(socket)].dram_w;
+}
+
+double Machine::InstantRaplPowerW() const {
+  double sum = 0.0;
+  for (const PowerBreakdown& p : instant_power_) sum += p.total();
+  return sum;
+}
+
+double Machine::InstantPsuPowerW() const {
+  return power_model_.PsuPowerW(InstantRaplPowerW());
+}
+
+double Machine::SocketBandwidthGbps(SocketId socket) const {
+  return instant_bandwidth_[static_cast<size_t>(socket)];
+}
+
+void Machine::Advance(SimTime t0, SimTime t1) {
+  const SimDuration dt = t1 - t0;
+  ECLDB_DCHECK(dt > 0);
+  const Topology& topo = params_.topology;
+
+  // Which sockets currently have work offered (drives auto-UFS) and what
+  // dynamic-power scale the mix has (drives the thermal turbo budget).
+  std::vector<bool> socket_busy(static_cast<size_t>(topo.num_sockets), false);
+  std::vector<double> socket_scale(static_cast<size_t>(topo.num_sockets), 1.0);
+  for (HwThreadId t = 0; t < topo.total_threads(); ++t) {
+    const ThreadLoad& l = loads_[static_cast<size_t>(t)];
+    if (l.profile != nullptr && l.intensity > 0.0) {
+      const auto s = static_cast<size_t>(topo.SocketOfThread(t));
+      socket_busy[s] = true;
+      socket_scale[s] = std::max(socket_scale[s], l.profile->power_scale);
+    }
+  }
+
+  effective_ = firmware_.Resolve(requested_, socket_busy, socket_scale, t0, dt);
+  const SolveResult solved = perf_model_.Solve(effective_, loads_);
+
+  // Configuration-write stall: a fraction of this slice is lost to P-/C-
+  // state transitions (microseconds on real hardware). At most half of a
+  // slice stalls; the remainder carries over to subsequent slices.
+  const SimDuration stall_now =
+      std::min(pending_stall_, static_cast<SimDuration>(dt / 2));
+  const double stall_frac =
+      static_cast<double>(stall_now) / static_cast<double>(dt);
+  pending_stall_ -= stall_now;
+  const double work_frac = 1.0 - stall_frac;
+  const double dt_s = ToSeconds(dt);
+
+  const bool machine_idle = requested_.AllIdle();
+  for (SocketId s = 0; s < topo.num_sockets; ++s) {
+    const auto idx = static_cast<size_t>(s);
+    // C-state depth tracking: a socket reaches the deep state only after
+    // c6_promotion of uninterrupted idleness.
+    const bool socket_idle = !requested_.sockets[idx].AnyActive();
+    if (!socket_idle) {
+      idle_since_[idx] = kSimTimeNever;
+    } else if (idle_since_[idx] == kSimTimeNever) {
+      idle_since_[idx] = t0;
+    }
+    SocketActivity act;
+    act.busy_fraction = solved.socket_busy_fraction[idx] * work_frac;
+    act.bandwidth_gbps = solved.socket_bandwidth_gbps[idx] * work_frac;
+    act.power_scale = solved.socket_power_scale[idx];
+    act.uncore_halted = machine_idle;
+    act.shallow_idle = socket_idle && (t0 - idle_since_[idx] < params_.c6_promotion);
+    const PowerBreakdown p =
+        power_model_.SocketPower(s, effective_.sockets[idx], act);
+    instant_power_[idx] = p;
+    instant_bandwidth_[idx] = act.bandwidth_gbps;
+    rapl_.AddEnergy(s, RaplDomain::kPackage, p.pkg_w * dt_s, t0, t1);
+    rapl_.AddEnergy(s, RaplDomain::kDram, p.dram_w * dt_s, t0, t1);
+  }
+
+  for (HwThreadId t = 0; t < topo.total_threads(); ++t) {
+    const auto idx = static_cast<size_t>(t);
+    const ThreadRate& r = solved.threads[idx];
+    counters_.AddInstructions(t, r.instr_per_sec * dt_s * work_frac);
+    current_rate_[idx] = r.ops_per_sec;
+    const ThreadLoad& l = loads_[idx];
+    if (l.profile != nullptr && l.intensity > 0.0) {
+      ops_credit_[idx] += r.ops_per_sec * l.intensity * dt_s * work_frac;
+    }
+  }
+}
+
+}  // namespace ecldb::hwsim

@@ -1,0 +1,172 @@
+#ifndef ECLDB_HWSIM_MACHINE_H_
+#define ECLDB_HWSIM_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "hwsim/bandwidth_model.h"
+#include "hwsim/firmware.h"
+#include "hwsim/hw_config.h"
+#include "hwsim/perf_counters.h"
+#include "hwsim/perf_model.h"
+#include "hwsim/power_model.h"
+#include "hwsim/pstate.h"
+#include "hwsim/rapl.h"
+#include "hwsim/topology.h"
+#include "hwsim/work_profile.h"
+#include "sim/simulator.h"
+
+namespace ecldb::hwsim {
+
+/// All calibration parameters of the simulated machine; obtain defaults via
+/// MachineParams::HaswellEp() (the paper's system under test).
+struct MachineParams {
+  Topology topology = Topology::HaswellEp2S();
+  FrequencyTable freqs = FrequencyTable::HaswellEp();
+  PowerModelParams power;
+  BandwidthModelParams bandwidth;
+  PerfModelParams perf;
+  FirmwareParams firmware;
+  RaplParams rapl;
+  /// Latency of writing a configuration (P-/C-state transitions are in the
+  /// microsecond range, cf. paper Fig. 12 discussion).
+  SimDuration config_apply_latency = Micros(20);
+  /// Uninterrupted idle time before a socket is promoted from the shallow
+  /// to the deep C-state (hardware demotion heuristics).
+  SimDuration c6_promotion = Millis(2);
+
+  /// The 2-socket Xeon E5-2690 v3 (Haswell-EP) of the paper, calibrated to
+  /// the Section 2 measurements.
+  static MachineParams HaswellEp();
+
+  /// A newer 2-socket server generation (Skylake-SP-class: 28 cores per
+  /// socket, mesh uncore, 6 DDR4-2666 channels). Demonstrates that energy
+  /// profiles and the ECL are hardware independent — nothing in the
+  /// control loops is calibrated to Haswell.
+  static MachineParams SkylakeSp();
+};
+
+/// The simulated server. Integrates power/energy/performance over virtual
+/// time as an advancer of the Simulator.
+///
+/// Control plane (what the DBMS/ECL can do on the real machine):
+/// apply socket configurations (C-/P-states), set the EPB, pin the uncore
+/// clock or leave it to the CPU.
+///
+/// Work plane (what execution offers): per-hardware-thread work profiles
+/// and intensities; the machine solves execution rates each slice and
+/// credits completed operations back.
+///
+/// Observables (what software can measure): RAPL energy counters,
+/// instructions-retired counters, and — for experiments that had a power
+/// meter attached — the modeled PSU power.
+class Machine {
+ public:
+  Machine(sim::Simulator* simulator, const MachineParams& params);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const Topology& topology() const { return params_.topology; }
+  const FrequencyTable& freqs() const { return params_.freqs; }
+  const MachineParams& params() const { return params_; }
+
+  // --- Control plane -------------------------------------------------
+
+  /// Applies a socket configuration. Frequencies snap to the nearest
+  /// settable P-state. Takes effect immediately (transition costs are in
+  /// the microsecond range and are accounted as a brief thread stall).
+  void ApplySocketConfig(SocketId socket, SocketConfig config);
+  void ApplyMachineConfig(const MachineConfig& config);
+  const SocketConfig& requested_config(SocketId socket) const {
+    return requested_.sockets[static_cast<size_t>(socket)];
+  }
+  /// Firmware-resolved configuration of the last completed slice.
+  const MachineConfig& effective_config() const { return effective_; }
+
+  void SetEpb(EpbSetting epb) { firmware_.set_epb(epb); }
+  void SetUncoreMode(SocketId socket, UncoreMode mode) {
+    firmware_.SetUncoreMode(socket, mode);
+  }
+
+  /// Number of configuration writes so far (diagnostics).
+  int64_t config_writes() const { return config_writes_; }
+
+  // --- Work plane -----------------------------------------------------
+
+  /// Offers work to a hardware thread for subsequent slices. `profile`
+  /// must outlive the machine or be replaced before destruction.
+  void SetThreadLoad(HwThreadId thread, const WorkProfile* profile,
+                     double intensity);
+  void ClearThreadLoads();
+
+  /// Drains the completed-operation credit of a thread accumulated since
+  /// the last call (fluid execution model).
+  double TakeCompletedOps(HwThreadId thread);
+
+  /// Last solved completion rate (ops/s at intensity 1) of a thread.
+  double CurrentRate(HwThreadId thread) const;
+
+  // --- Observables ----------------------------------------------------
+
+  uint64_t ReadRaplUj(SocketId socket, RaplDomain domain) const {
+    return rapl_.ReadEnergyUj(socket, domain);
+  }
+  double ExactEnergyJoules(SocketId socket, RaplDomain domain) const {
+    return rapl_.ExactEnergyJoules(socket, domain);
+  }
+  /// Ground-truth cumulative energy over all sockets and domains (J).
+  double TotalEnergyJoules() const;
+
+  uint64_t ReadInstructions(HwThreadId thread) const {
+    return counters_.ReadThread(thread);
+  }
+  uint64_t ReadSocketInstructions(SocketId socket) const {
+    return counters_.ReadSocket(socket);
+  }
+
+  /// Instantaneous modeled power of the last slice.
+  double InstantPkgPowerW(SocketId socket) const;
+  double InstantDramPowerW(SocketId socket) const;
+  double InstantRaplPowerW() const;
+  /// Modeled wall power (as an attached LMG450 would report).
+  double InstantPsuPowerW() const;
+
+  /// Solved DRAM bandwidth of the last slice, GB/s.
+  double SocketBandwidthGbps(SocketId socket) const;
+
+  const PowerModel& power_model() const { return power_model_; }
+  const BandwidthModel& bandwidth_model() const { return bandwidth_model_; }
+  const PerfModel& perf_model() const { return perf_model_; }
+
+ private:
+  void Advance(SimTime t0, SimTime t1);
+
+  sim::Simulator* simulator_;
+  MachineParams params_;
+  PowerModel power_model_;
+  BandwidthModel bandwidth_model_;
+  PerfModel perf_model_;
+  Firmware firmware_;
+  RaplCounters rapl_;
+  PerfCounters counters_;
+
+  MachineConfig requested_;
+  MachineConfig effective_;
+  std::vector<ThreadLoad> loads_;
+  std::vector<double> ops_credit_;
+  std::vector<double> current_rate_;
+  std::vector<PowerBreakdown> instant_power_;
+  std::vector<double> instant_bandwidth_;
+  /// Pending stall (from configuration writes) applied to the next slice.
+  SimDuration pending_stall_ = 0;
+  int64_t config_writes_ = 0;
+  /// Per-socket time the socket last became idle (kSimTimeNever = active).
+  std::vector<SimTime> idle_since_;
+};
+
+}  // namespace ecldb::hwsim
+
+#endif  // ECLDB_HWSIM_MACHINE_H_

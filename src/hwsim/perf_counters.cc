@@ -1,0 +1,27 @@
+#include "hwsim/perf_counters.h"
+
+#include "common/check.h"
+
+namespace ecldb::hwsim {
+
+PerfCounters::PerfCounters(const Topology& topo)
+    : topo_(topo), instr_(static_cast<size_t>(topo.total_threads()), 0.0) {}
+
+void PerfCounters::AddInstructions(HwThreadId thread, double instructions) {
+  ECLDB_DCHECK(instructions >= 0.0);
+  instr_[static_cast<size_t>(thread)] += instructions;
+}
+
+uint64_t PerfCounters::ReadThread(HwThreadId thread) const {
+  return static_cast<uint64_t>(instr_[static_cast<size_t>(thread)]);
+}
+
+uint64_t PerfCounters::ReadSocket(SocketId socket) const {
+  double sum = 0.0;
+  for (int lt = 0; lt < topo_.threads_per_socket(); ++lt) {
+    sum += instr_[static_cast<size_t>(socket * topo_.threads_per_socket() + lt)];
+  }
+  return static_cast<uint64_t>(sum);
+}
+
+}  // namespace ecldb::hwsim

@@ -1,0 +1,35 @@
+#ifndef ECLDB_HWSIM_PERF_COUNTERS_H_
+#define ECLDB_HWSIM_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "hwsim/topology.h"
+
+namespace ecldb::hwsim {
+
+/// Per-hardware-thread instructions-retired counters, the paper's
+/// performance-score currency (Section 4.1): "we use the number of
+/// instructions retired by all of the active hardware threads on the
+/// socket".
+class PerfCounters {
+ public:
+  explicit PerfCounters(const Topology& topo);
+
+  void AddInstructions(HwThreadId thread, double instructions);
+
+  /// Cumulative instructions retired by one hardware thread.
+  uint64_t ReadThread(HwThreadId thread) const;
+
+  /// Cumulative instructions retired by all hardware threads of a socket.
+  uint64_t ReadSocket(SocketId socket) const;
+
+ private:
+  Topology topo_;
+  std::vector<double> instr_;
+};
+
+}  // namespace ecldb::hwsim
+
+#endif  // ECLDB_HWSIM_PERF_COUNTERS_H_

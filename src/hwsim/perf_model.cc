@@ -1,0 +1,212 @@
+#include "hwsim/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace ecldb::hwsim {
+
+PerfModel::PerfModel(const Topology& topo, const BandwidthModel& bw,
+                     const PerfModelParams& params)
+    : topo_(topo), bw_(bw), params_(params) {}
+
+double PerfModel::CoreLimitedTimeSec(const WorkProfile& p, double f_core_ghz,
+                                     bool sibling_busy) const {
+  const double share = sibling_busy ? params_.ht_share : 1.0;
+  const double f_hz = f_core_ghz * 1e9 * share;
+  return p.instr_per_op * p.cpi / f_hz;
+}
+
+double PerfModel::MemLatencyTimeSec(const WorkProfile& p,
+                                    double f_uncore_ghz) const {
+  if (p.mem_accesses_per_op <= 0.0) return 0.0;
+  const double lat_s = bw_.AccessLatencyNs(f_uncore_ghz) * 1e-9;
+  return p.mem_accesses_per_op * lat_s / std::max(1.0, p.mlp);
+}
+
+SolveResult PerfModel::Solve(const MachineConfig& effective,
+                             const std::vector<ThreadLoad>& loads) const {
+  const int n_threads = topo_.total_threads();
+  ECLDB_CHECK(static_cast<int>(loads.size()) == n_threads);
+  ECLDB_CHECK(static_cast<int>(effective.sockets.size()) == topo_.num_sockets);
+
+  SolveResult out;
+  out.threads.resize(static_cast<size_t>(n_threads));
+  out.socket_bandwidth_gbps.assign(static_cast<size_t>(topo_.num_sockets), 0.0);
+  out.socket_busy_fraction.assign(static_cast<size_t>(topo_.num_sockets), 0.0);
+  out.socket_power_scale.assign(static_cast<size_t>(topo_.num_sockets), 1.0);
+
+  // Pass 1: unconstrained per-thread rates (core / memory-latency bound).
+  std::vector<double> base_rate(static_cast<size_t>(n_threads), 0.0);
+  for (HwThreadId t = 0; t < n_threads; ++t) {
+    const SocketId s = topo_.SocketOfThread(t);
+    const SocketConfig& cfg = effective.sockets[static_cast<size_t>(s)];
+    const int local = topo_.LocalThreadOfThread(t);
+    if (!cfg.ThreadActive(local)) continue;
+    const ThreadLoad& load = loads[static_cast<size_t>(t)];
+    if (load.profile == nullptr || load.intensity <= 0.0) continue;
+
+    const CoreId core = topo_.CoreOfThread(t);
+    // Is the sibling thread also busy (shares the core pipeline)?
+    bool sibling_busy = false;
+    for (int sib = 0; sib < topo_.threads_per_core; ++sib) {
+      const HwThreadId other = topo_.ThreadOf(s, core, sib);
+      if (other == t) continue;
+      if (cfg.ThreadActive(topo_.LocalThreadOfThread(other)) &&
+          loads[static_cast<size_t>(other)].profile != nullptr &&
+          loads[static_cast<size_t>(other)].intensity > 0.0) {
+        sibling_busy = true;
+      }
+    }
+    const double f_core = cfg.core_freq_ghz[static_cast<size_t>(core)];
+    const double t_core = CoreLimitedTimeSec(*load.profile, f_core, sibling_busy);
+    const double t_mem = MemLatencyTimeSec(*load.profile, cfg.uncore_freq_ghz);
+    const double t_op = std::max(t_core, t_mem) +
+                        params_.overlap_residue * std::min(t_core, t_mem);
+    base_rate[static_cast<size_t>(t)] = 1.0 / t_op;
+  }
+
+  // Pass 2: socket bandwidth caps (proportional throttle of memory users).
+  for (SocketId s = 0; s < topo_.num_sockets; ++s) {
+    const SocketConfig& cfg = effective.sockets[static_cast<size_t>(s)];
+    double demand_bps = 0.0;
+    int demanding_threads = 0;
+    for (int lt = 0; lt < topo_.threads_per_socket(); ++lt) {
+      const HwThreadId t = s * topo_.threads_per_socket() + lt;
+      const ThreadLoad& load = loads[static_cast<size_t>(t)];
+      if (load.profile == nullptr) continue;
+      const double d = base_rate[static_cast<size_t>(t)] * load.intensity *
+                       load.profile->bytes_per_op;
+      demand_bps += d;
+      if (d > 0.0) ++demanding_threads;
+    }
+    // Memory-controller contention: too many concurrent streams reduce the
+    // achievable bandwidth below the channel peak.
+    const double mc_penalty =
+        1.0 + params_.mc_contention_per_thread *
+                  std::max(0, demanding_threads - params_.mc_free_threads);
+    const double cap_bps =
+        bw_.SocketBandwidthGbps(cfg.uncore_freq_ghz) * 1e9 / mc_penalty;
+    if (demand_bps > cap_bps && demand_bps > 0.0) {
+      const double scale = cap_bps / demand_bps;
+      for (int lt = 0; lt < topo_.threads_per_socket(); ++lt) {
+        const HwThreadId t = s * topo_.threads_per_socket() + lt;
+        const ThreadLoad& load = loads[static_cast<size_t>(t)];
+        if (load.profile == nullptr || load.profile->bytes_per_op <= 0.0) continue;
+        base_rate[static_cast<size_t>(t)] *= scale;
+      }
+    }
+  }
+
+  // Pass 3: contention groups (grouped machine-wide by profile identity).
+  std::map<const WorkProfile*, std::vector<HwThreadId>> groups;
+  for (HwThreadId t = 0; t < n_threads; ++t) {
+    const ThreadLoad& load = loads[static_cast<size_t>(t)];
+    if (load.profile == nullptr || load.intensity <= 0.0) continue;
+    if (base_rate[static_cast<size_t>(t)] <= 0.0) continue;
+    if (load.profile->contention == ContentionClass::kNone) continue;
+    groups[load.profile].push_back(t);
+  }
+  for (auto& [profile, members] : groups) {
+    if (members.size() < 2) continue;
+    // Spread analysis: same core? same socket?
+    const SocketId s0 = topo_.SocketOfThread(members.front());
+    const CoreId c0 = topo_.CoreOfThread(members.front());
+    bool same_core = true;
+    bool same_socket = true;
+    double n_eff = 0.0;
+    double f_unc_min = 1e9;
+    for (HwThreadId t : members) {
+      if (topo_.SocketOfThread(t) != s0) same_socket = false;
+      if (!same_socket || topo_.CoreOfThread(t) != c0) same_core = false;
+      n_eff += loads[static_cast<size_t>(t)].intensity;
+      f_unc_min = std::min(
+          f_unc_min, effective.sockets[static_cast<size_t>(topo_.SocketOfThread(t))]
+                         .uncore_freq_ghz);
+    }
+    if (profile->contention == ContentionClass::kSharedCacheLine) {
+      // Ops serialize on cache-line ownership. Total throughput depends on
+      // where the participants sit, not on how many there are.
+      double total_rate;
+      if (same_core) {
+        // L1-local handoff: siblings pipeline almost perfectly.
+        double single = 0.0;
+        for (HwThreadId t : members) {
+          const SocketId s = topo_.SocketOfThread(t);
+          const CoreId c = topo_.CoreOfThread(t);
+          const double f = effective.sockets[static_cast<size_t>(s)]
+                               .core_freq_ghz[static_cast<size_t>(c)];
+          single = std::max(single, f * 1e9 / params_.atomic_issue_cycles);
+        }
+        total_rate = single * params_.same_core_atomic_speedup;
+      } else if (same_socket) {
+        const double handoff_s = params_.cross_core_handoff_ns * 1e-9 *
+                                 (bw_.params().f_uncore_max_ghz / f_unc_min);
+        total_rate = 1.0 / handoff_s;
+      } else {
+        total_rate = 1.0 / (params_.cross_socket_handoff_ns * 1e-9);
+      }
+      // Fair share; a thread can never go faster than its own pipeline.
+      const double share = total_rate / static_cast<double>(members.size());
+      for (HwThreadId t : members) {
+        double& r = base_rate[static_cast<size_t>(t)];
+        r = std::min(r, share);
+      }
+    } else {  // kSharedStructure
+      const double lat_scale =
+          (1.0 - params_.structure_uncore_weight) +
+          params_.structure_uncore_weight *
+              (bw_.params().f_uncore_max_ghz / f_unc_min);
+      const double extra = std::max(0.0, n_eff - 1.0);
+      double penalty = 1.0 + profile->serial_linear * extra * lat_scale +
+                       profile->serial_quad * extra * extra * lat_scale;
+      if (!same_socket) penalty *= 1.35;  // cross-socket sharing hurts more
+      for (HwThreadId t : members) {
+        base_rate[static_cast<size_t>(t)] /= penalty;
+      }
+    }
+  }
+
+  // Pass 4: fill the result (instructions retired, bandwidth, busy stats).
+  std::vector<double> busy_sum(static_cast<size_t>(topo_.num_sockets), 0.0);
+  std::vector<double> scale_sum(static_cast<size_t>(topo_.num_sockets), 0.0);
+  std::vector<int> active_count(static_cast<size_t>(topo_.num_sockets), 0);
+  for (HwThreadId t = 0; t < n_threads; ++t) {
+    const SocketId s = topo_.SocketOfThread(t);
+    const SocketConfig& cfg = effective.sockets[static_cast<size_t>(s)];
+    if (!cfg.ThreadActive(topo_.LocalThreadOfThread(t))) continue;
+    ++active_count[static_cast<size_t>(s)];
+    const ThreadLoad& load = loads[static_cast<size_t>(t)];
+    ThreadRate& rate = out.threads[static_cast<size_t>(t)];
+    const CoreId core = topo_.CoreOfThread(t);
+    const double f_hz =
+        cfg.core_freq_ghz[static_cast<size_t>(core)] * 1e9;
+    const double poll_instr = f_hz * params_.poll_instr_per_cycle;
+    if (load.profile != nullptr && load.intensity > 0.0) {
+      const double r = base_rate[static_cast<size_t>(t)];
+      rate.ops_per_sec = r;
+      rate.instr_per_sec = r * load.intensity * load.profile->instr_per_op +
+                           (1.0 - load.intensity) * poll_instr;
+      rate.bytes_per_sec = r * load.intensity * load.profile->bytes_per_op;
+      out.socket_bandwidth_gbps[static_cast<size_t>(s)] += rate.bytes_per_sec * 1e-9;
+      busy_sum[static_cast<size_t>(s)] += load.intensity;
+      scale_sum[static_cast<size_t>(s)] += load.intensity * load.profile->power_scale;
+    } else {
+      rate.instr_per_sec = poll_instr;
+    }
+  }
+  for (SocketId s = 0; s < topo_.num_sockets; ++s) {
+    const auto idx = static_cast<size_t>(s);
+    if (active_count[idx] > 0) {
+      out.socket_busy_fraction[idx] = busy_sum[idx] / active_count[idx];
+    }
+    if (busy_sum[idx] > 0.0) {
+      out.socket_power_scale[idx] = scale_sum[idx] / busy_sum[idx];
+    }
+  }
+  return out;
+}
+
+}  // namespace ecldb::hwsim

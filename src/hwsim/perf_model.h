@@ -1,0 +1,112 @@
+#ifndef ECLDB_HWSIM_PERF_MODEL_H_
+#define ECLDB_HWSIM_PERF_MODEL_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "hwsim/bandwidth_model.h"
+#include "hwsim/hw_config.h"
+#include "hwsim/topology.h"
+#include "hwsim/work_profile.h"
+
+namespace ecldb::hwsim {
+
+/// Work offered to one hardware thread during the next time slice.
+struct ThreadLoad {
+  /// Profile of the operations executed; nullptr means no work (an active
+  /// thread without work polls its message queues).
+  const WorkProfile* profile = nullptr;
+  /// Target busy fraction in [0, 1]: the share of the slice the thread has
+  /// work available.
+  double intensity = 0.0;
+};
+
+/// Solved execution rates of one hardware thread.
+struct ThreadRate {
+  /// Operation completion rate at intensity 1 (ops/s); multiply by the
+  /// offered intensity for achieved throughput.
+  double ops_per_sec = 0.0;
+  /// Achieved instructions retired per second (includes the polling loop
+  /// of workless active threads).
+  double instr_per_sec = 0.0;
+  /// Achieved DRAM traffic (bytes/s) at the offered intensity.
+  double bytes_per_sec = 0.0;
+};
+
+/// Machine-wide solution of one time slice.
+struct SolveResult {
+  std::vector<ThreadRate> threads;            // indexed by global HwThreadId
+  std::vector<double> socket_bandwidth_gbps;  // per socket
+  std::vector<double> socket_busy_fraction;   // per socket
+  std::vector<double> socket_power_scale;     // per socket
+};
+
+/// Calibration constants of the performance model.
+struct PerfModelParams {
+  /// Per-sibling core share when both HyperThreads of a core are busy
+  /// (two siblings together achieve ~1.25x of one thread).
+  double ht_share = 0.625;
+  /// Combined speedup of two same-core siblings hammering the same cache
+  /// line over a single thread (L1-local handoff).
+  double same_core_atomic_speedup = 1.15;
+  /// Cache-line handoff latency between cores of one socket at the maximum
+  /// uncore clock, ns; scales with (f_uncore_max / f_uncore).
+  double cross_core_handoff_ns = 22.0;
+  /// Cache-line handoff latency across sockets, ns.
+  double cross_socket_handoff_ns = 130.0;
+  /// Core cycles per locked RMW on an L1-resident contended line.
+  double atomic_issue_cycles = 24.0;
+  /// Instructions per cycle retired by the polling loop of a workless
+  /// active thread (pause-dominated spin).
+  double poll_instr_per_cycle = 0.02;
+  /// Weight of the uncore clock in the shared-structure serialization cost:
+  /// latency_scale = (1 - w) + w * (f_uncore_max / f_uncore).
+  double structure_uncore_weight = 0.45;
+  /// Fraction of the smaller of (core time, memory-latency time) that is
+  /// NOT hidden by out-of-order overlap:
+  /// t_op = max(t_core, t_mem) + overlap_residue * min(t_core, t_mem).
+  double overlap_residue = 0.5;
+  /// Memory-controller contention: each bandwidth-demanding thread beyond
+  /// `mc_free_threads` on a socket reduces the effective socket bandwidth
+  /// by this fraction (queueing/row-buffer interference). This is why
+  /// "using all available hardware resources provides less performance"
+  /// for saturating scans (paper Section 6.1).
+  double mc_contention_per_thread = 0.012;
+  int mc_free_threads = 8;
+};
+
+/// Converts the machine configuration plus the offered per-thread work into
+/// per-thread execution rates, resolving the three resource regimes the
+/// paper's energy profiles expose (Section 4.2):
+///  * core-bound work scales with the core clock (and HT sharing),
+///  * bandwidth-/latency-bound work scales with the uncore clock and is
+///    capped by the socket memory bandwidth,
+///  * contended work serializes on cache-line handoffs or a shared
+///    structure and can *lose* throughput with more active threads.
+class PerfModel {
+ public:
+  PerfModel(const Topology& topo, const BandwidthModel& bw,
+            const PerfModelParams& params);
+
+  /// `effective` must carry firmware-granted (effective) frequencies.
+  /// `loads` is indexed by global HwThreadId; loads on inactive threads
+  /// are ignored.
+  SolveResult Solve(const MachineConfig& effective,
+                    const std::vector<ThreadLoad>& loads) const;
+
+  const PerfModelParams& params() const { return params_; }
+  const BandwidthModel& bandwidth_model() const { return bw_; }
+
+ private:
+  double CoreLimitedTimeSec(const WorkProfile& p, double f_core_ghz,
+                            bool sibling_busy) const;
+  double MemLatencyTimeSec(const WorkProfile& p, double f_uncore_ghz) const;
+
+  Topology topo_;
+  BandwidthModel bw_;
+  PerfModelParams params_;
+};
+
+}  // namespace ecldb::hwsim
+
+#endif  // ECLDB_HWSIM_PERF_MODEL_H_

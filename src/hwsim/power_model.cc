@@ -1,0 +1,62 @@
+#include "hwsim/power_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::hwsim {
+
+PowerModel::PowerModel(const Topology& topo, const PowerModelParams& params)
+    : topo_(topo), params_(params) {
+  ECLDB_CHECK_MSG(
+      static_cast<int>(params_.pkg_base_halted_w.size()) >= topo_.num_sockets,
+      "need a package base power per socket");
+}
+
+double PowerModel::CorePower(double freq_ghz, double busy,
+                             bool both_siblings_busy, double power_scale) const {
+  const double v =
+      params_.volt_base + params_.volt_slope * (freq_ghz - params_.f_min_ghz);
+  const double dyn_full = params_.core_dyn_w * freq_ghz * v * v * power_scale;
+  // A polling (active but workless) core still clocks and draws a fraction
+  // of dynamic power; busy work draws the rest proportionally.
+  const double dyn = dyn_full * (params_.poll_dyn_frac +
+                                 (1.0 - params_.poll_dyn_frac) * busy);
+  const double sibling =
+      both_siblings_busy ? params_.ht_sibling_dyn_frac * dyn_full * busy : 0.0;
+  return params_.core_leak_w + dyn + sibling;
+}
+
+PowerBreakdown PowerModel::SocketPower(SocketId socket, const SocketConfig& cfg,
+                                       const SocketActivity& act) const {
+  PowerBreakdown p;
+  p.pkg_w = params_.pkg_base_halted_w[static_cast<size_t>(socket)];
+  if (act.shallow_idle) p.pkg_w += params_.shallow_idle_extra_w;
+  // Uncore clock: halted only when the whole machine is idle (Fig. 5);
+  // otherwise it runs at the configured frequency even on an idle socket.
+  if (!act.uncore_halted) {
+    const double f = cfg.uncore_freq_ghz;
+    p.pkg_w += params_.uncore_lin_w_per_ghz * f +
+               params_.uncore_quad_w_per_ghz2 * f * f;
+  }
+  for (CoreId core = 0; core < topo_.cores_per_socket; ++core) {
+    int active_threads = 0;
+    for (int s = 0; s < topo_.threads_per_core; ++s) {
+      if (cfg.thread_active[static_cast<size_t>(core * topo_.threads_per_core + s)]) {
+        ++active_threads;
+      }
+    }
+    if (active_threads == 0) continue;  // Core is power-gated (C6).
+    p.pkg_w += CorePower(cfg.core_freq_ghz[static_cast<size_t>(core)],
+                         std::clamp(act.busy_fraction, 0.0, 1.0),
+                         active_threads >= 2, act.power_scale);
+  }
+  p.dram_w = params_.dram_static_w + params_.dram_w_per_gbps * act.bandwidth_gbps;
+  return p;
+}
+
+double PowerModel::PsuPowerW(double rapl_total_w) const {
+  return params_.psu_static_w + params_.psu_conversion * rapl_total_w;
+}
+
+}  // namespace ecldb::hwsim

@@ -1,0 +1,103 @@
+#ifndef ECLDB_HWSIM_POWER_MODEL_H_
+#define ECLDB_HWSIM_POWER_MODEL_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "hwsim/hw_config.h"
+#include "hwsim/topology.h"
+
+namespace ecldb::hwsim {
+
+/// Power readings split the way RAPL reports them on Haswell-EP: the
+/// package domain (cores + uncore/LLC) and the DRAM (memory controller)
+/// domain (paper Section 2, Figure 3).
+struct PowerBreakdown {
+  double pkg_w = 0.0;
+  double dram_w = 0.0;
+
+  double total() const { return pkg_w + dram_w; }
+};
+
+/// Dynamic activity of one socket during a time slice; produced by the
+/// performance model / machine and consumed by the power model.
+struct SocketActivity {
+  /// Mean busy fraction (C0 residency doing useful work) per active thread,
+  /// weighted; 0 when all active threads only poll.
+  double busy_fraction = 0.0;
+  /// DRAM traffic in GB/s.
+  double bandwidth_gbps = 0.0;
+  /// Mean dynamic-power scale of the executing instruction mix.
+  double power_scale = 1.0;
+  /// True iff every socket of the machine is idle, which is the condition
+  /// for halting the uncore clock and power-gating the LLC (Figure 5).
+  bool uncore_halted = false;
+  /// True while an idle socket is still in the shallow C-state (it has
+  /// not been idle long enough to be promoted to the deep state).
+  bool shallow_idle = false;
+};
+
+/// Calibration constants of the power model. Defaults are fit to the
+/// paper's Haswell-EP measurements (Figures 3-5); see haswell_ep.cc.
+struct PowerModelParams {
+  /// Package base power per socket with the uncore halted. The paper
+  /// observed an unexplained asymmetry between the two sockets (Fig. 5),
+  /// reproduced via per-socket values.
+  std::vector<double> pkg_base_halted_w = {13.0, 9.0};
+  /// Uncore power at frequency f: uncore_lin*f + uncore_quad*f^2 (GHz in).
+  double uncore_lin_w_per_ghz = 2.2;
+  double uncore_quad_w_per_ghz2 = 2.6;
+  /// Core leakage power when a core is active (any C0 thread), per core.
+  double core_leak_w = 0.55;
+  /// Core dynamic power: dyn * f * v(f)^2 * busy, with
+  /// v(f) = volt_base + volt_slope * (f - f_min).
+  double core_dyn_w = 1.9;
+  double volt_base = 0.80;
+  double volt_slope = 0.23;
+  double f_min_ghz = 1.2;
+  /// Extra dynamic power fraction when the second HyperThread of a core is
+  /// also busy (siblings share the pipeline; nearly free, Fig. 4).
+  double ht_sibling_dyn_frac = 0.08;
+  /// Idle (polling, C0 but no work) dynamic fraction of a core.
+  double poll_dyn_frac = 0.12;
+  /// DRAM static power per socket and dynamic power per GB/s.
+  double dram_static_w = 8.0;
+  double dram_w_per_gbps = 0.35;
+  /// C-state depth: a freshly idled socket first rests in a shallow state
+  /// (clock-gated cores, uncore still up) and only reaches the deep state
+  /// (power-gated cores and LLC) after `c6_promotion` of uninterrupted
+  /// idleness. Frequent RTI switching therefore pays shallow-idle power —
+  /// the physical cost of a high switching frequency.
+  double shallow_idle_extra_w = 9.0;
+  /// PSU/board model: psu = psu_static + psu_conversion * rapl_total.
+  double psu_static_w = 38.0;
+  double psu_conversion = 1.15;
+};
+
+/// Converts a socket's configuration + activity into package and DRAM
+/// power. Pure and stateless; the Machine integrates it over time.
+class PowerModel {
+ public:
+  PowerModel(const Topology& topo, const PowerModelParams& params);
+
+  /// Power of socket `socket` under configuration `cfg` (with effective,
+  /// firmware-granted core frequencies) and activity `act`.
+  PowerBreakdown SocketPower(SocketId socket, const SocketConfig& cfg,
+                             const SocketActivity& act) const;
+
+  /// Wall power drawn from the power supply unit for a total RAPL power.
+  double PsuPowerW(double rapl_total_w) const;
+
+  const PowerModelParams& params() const { return params_; }
+
+ private:
+  double CorePower(double freq_ghz, double busy, bool both_siblings_busy,
+                   double power_scale) const;
+
+  Topology topo_;
+  PowerModelParams params_;
+};
+
+}  // namespace ecldb::hwsim
+
+#endif  // ECLDB_HWSIM_POWER_MODEL_H_

@@ -1,0 +1,50 @@
+#include "hwsim/pstate.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ecldb::hwsim {
+namespace {
+
+double Nearest(const std::vector<double>& table, double ghz) {
+  ECLDB_CHECK(!table.empty());
+  double best = table.front();
+  double best_dist = std::abs(ghz - best);
+  for (double f : table) {
+    const double d = std::abs(ghz - f);
+    if (d < best_dist) {
+      best = f;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double FrequencyTable::NearestCore(double ghz) const {
+  if (turbo_ghz > 0.0 &&
+      std::abs(ghz - turbo_ghz) < std::abs(ghz - max_core_nominal())) {
+    return turbo_ghz;
+  }
+  return Nearest(core_ghz, ghz);
+}
+
+double FrequencyTable::NearestUncore(double ghz) const {
+  return Nearest(uncore_ghz, ghz);
+}
+
+FrequencyTable FrequencyTable::HaswellEp() {
+  FrequencyTable t;
+  for (int mhz = 1200; mhz <= 2600; mhz += 100) {
+    t.core_ghz.push_back(mhz / 1000.0);
+  }
+  t.turbo_ghz = 3.1;
+  for (int mhz = 1200; mhz <= 3000; mhz += 100) {
+    t.uncore_ghz.push_back(mhz / 1000.0);
+  }
+  return t;
+}
+
+}  // namespace ecldb::hwsim

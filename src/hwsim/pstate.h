@@ -1,0 +1,41 @@
+#ifndef ECLDB_HWSIM_PSTATE_H_
+#define ECLDB_HWSIM_PSTATE_H_
+
+#include <vector>
+
+namespace ecldb::hwsim {
+
+/// Available P-state frequencies of the simulated processor.
+///
+/// On the paper's Haswell-EP system under test, core clocks can be set
+/// between 1.2 and 2.6 GHz with 3.1 GHz TurboBoost, and the uncore clock
+/// ranges from 1.2 to 3.0 GHz (Section 2.2).
+struct FrequencyTable {
+  /// Settable core frequencies in GHz, ascending, excluding turbo.
+  std::vector<double> core_ghz;
+  /// Turbo frequency (requestable like a P-state; grant is firmware
+  /// controlled, see Firmware).
+  double turbo_ghz = 0.0;
+  /// Settable uncore frequencies in GHz, ascending.
+  std::vector<double> uncore_ghz;
+
+  double min_core() const { return core_ghz.front(); }
+  double max_core_nominal() const { return core_ghz.back(); }
+  /// Highest requestable core frequency including turbo.
+  double max_core() const { return turbo_ghz > 0.0 ? turbo_ghz : core_ghz.back(); }
+  double min_uncore() const { return uncore_ghz.front(); }
+  double max_uncore() const { return uncore_ghz.back(); }
+
+  /// Clamps an arbitrary requested core frequency to the nearest settable
+  /// value (including turbo).
+  double NearestCore(double ghz) const;
+  double NearestUncore(double ghz) const;
+
+  /// Haswell-EP: cores 1.2..2.6 GHz in 100 MHz steps + 3.1 turbo;
+  /// uncore 1.2..3.0 GHz in 100 MHz steps.
+  static FrequencyTable HaswellEp();
+};
+
+}  // namespace ecldb::hwsim
+
+#endif  // ECLDB_HWSIM_PSTATE_H_

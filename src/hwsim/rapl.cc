@@ -1,0 +1,64 @@
+#include "hwsim/rapl.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ecldb::hwsim {
+namespace {
+
+/// Deterministic hash-based jitter in [-1, 1) for a publish boundary, so
+/// repeated reads observe the same value and runs are reproducible.
+double BoundaryJitter(SocketId s, RaplDomain d, int64_t boundary) {
+  uint64_t x = static_cast<uint64_t>(boundary) * 0x9e3779b97f4a7c15ull;
+  x ^= static_cast<uint64_t>(s) << 32;
+  x ^= static_cast<uint64_t>(d) << 40;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return static_cast<double>(x >> 11) * (2.0 / 9007199254740992.0) - 1.0;
+}
+
+}  // namespace
+
+RaplCounters::RaplCounters(int num_sockets, const RaplParams& params)
+    : params_(params),
+      counters_(static_cast<size_t>(num_sockets) * kNumRaplDomains) {
+  ECLDB_CHECK(num_sockets > 0);
+  ECLDB_CHECK(params_.update_interval > 0);
+}
+
+void RaplCounters::AddEnergy(SocketId socket, RaplDomain domain, double joules,
+                             SimTime t0, SimTime t1) {
+  ECLDB_DCHECK(t1 > t0);
+  ECLDB_DCHECK(joules >= 0.0);
+  Counter& c = At(socket, domain);
+  // Publish boundary: the latest multiple of update_interval that is <= t1.
+  const int64_t boundary = t1 / params_.update_interval;
+  if (boundary > c.boundary_index) {
+    const SimTime boundary_time = boundary * params_.update_interval;
+    // Energy accrues uniformly in (t0, t1]; publish the prefix up to the
+    // boundary (boundary_time may equal t1).
+    const double frac =
+        static_cast<double>(boundary_time - t0) / static_cast<double>(t1 - t0);
+    c.published_j = c.exact_j + joules * std::min(1.0, std::max(0.0, frac));
+    c.boundary_index = boundary;
+  }
+  c.exact_j += joules;
+}
+
+uint64_t RaplCounters::ReadEnergyUj(SocketId socket, RaplDomain domain) const {
+  const Counter& c = At(socket, domain);
+  double uj = c.published_j * 1e6;
+  uj += BoundaryJitter(socket, domain, c.boundary_index) * params_.jitter_uj;
+  if (uj < 0.0) uj = 0.0;
+  // LSB truncation of the hardware counter.
+  const double units = std::floor(uj / params_.unit_uj);
+  return static_cast<uint64_t>(units * params_.unit_uj);
+}
+
+double RaplCounters::ExactEnergyJoules(SocketId socket, RaplDomain domain) const {
+  return At(socket, domain).exact_j;
+}
+
+}  // namespace ecldb::hwsim

@@ -1,0 +1,11 @@
+#include "hwsim/topology.h"
+
+namespace ecldb::hwsim {
+
+bool operator==(const Topology& a, const Topology& b) {
+  return a.num_sockets == b.num_sockets &&
+         a.cores_per_socket == b.cores_per_socket &&
+         a.threads_per_core == b.threads_per_core;
+}
+
+}  // namespace ecldb::hwsim

@@ -1,0 +1,61 @@
+#ifndef ECLDB_HWSIM_TOPOLOGY_H_
+#define ECLDB_HWSIM_TOPOLOGY_H_
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace ecldb::hwsim {
+
+/// Physical layout of the simulated machine: sockets contain physical cores,
+/// cores contain hardware threads (HyperThread siblings).
+///
+/// Hardware thread numbering is hierarchical:
+///   thread = socket * threads_per_socket + core * threads_per_core + sibling
+struct Topology {
+  int num_sockets = 2;
+  int cores_per_socket = 12;
+  int threads_per_core = 2;
+
+  int threads_per_socket() const { return cores_per_socket * threads_per_core; }
+  int total_cores() const { return num_sockets * cores_per_socket; }
+  int total_threads() const { return num_sockets * threads_per_socket(); }
+
+  SocketId SocketOfThread(HwThreadId t) const {
+    ECLDB_DCHECK(t >= 0 && t < total_threads());
+    return t / threads_per_socket();
+  }
+
+  /// Socket-local core index of a global hardware thread.
+  CoreId CoreOfThread(HwThreadId t) const {
+    ECLDB_DCHECK(t >= 0 && t < total_threads());
+    return (t % threads_per_socket()) / threads_per_core;
+  }
+
+  /// Sibling index (0 .. threads_per_core-1) of a global hardware thread.
+  int SiblingOfThread(HwThreadId t) const {
+    ECLDB_DCHECK(t >= 0 && t < total_threads());
+    return t % threads_per_core;
+  }
+
+  /// Socket-local thread index (0 .. threads_per_socket-1).
+  int LocalThreadOfThread(HwThreadId t) const {
+    ECLDB_DCHECK(t >= 0 && t < total_threads());
+    return t % threads_per_socket();
+  }
+
+  HwThreadId ThreadOf(SocketId s, CoreId core, int sibling) const {
+    ECLDB_DCHECK(s >= 0 && s < num_sockets);
+    ECLDB_DCHECK(core >= 0 && core < cores_per_socket);
+    ECLDB_DCHECK(sibling >= 0 && sibling < threads_per_core);
+    return s * threads_per_socket() + core * threads_per_core + sibling;
+  }
+
+  /// The "2-socket Xeon E5-2690 v3" system under test of the paper.
+  static Topology HaswellEp2S() { return Topology{2, 12, 2}; }
+};
+
+bool operator==(const Topology& a, const Topology& b);
+
+}  // namespace ecldb::hwsim
+
+#endif  // ECLDB_HWSIM_TOPOLOGY_H_

@@ -1,0 +1,54 @@
+#ifndef ECLDB_HWSIM_WORK_PROFILE_H_
+#define ECLDB_HWSIM_WORK_PROFILE_H_
+
+#include <string>
+
+namespace ecldb::hwsim {
+
+/// How operations of a work profile interact through shared hardware or
+/// software resources.
+enum class ContentionClass {
+  /// Fully thread-local work (e.g., incrementing a local counter).
+  kNone,
+  /// All participating threads atomically update the same cache line; ops
+  /// serialize on cache-line ownership transfers (paper Fig. 10(b)).
+  kSharedCacheLine,
+  /// Threads update a shared structure (e.g., hash table inserts): mostly
+  /// parallel with a growing serialized fraction (paper Fig. 10(c)).
+  kSharedStructure,
+};
+
+/// Hardware-facing description of one unit of work ("operation") of a
+/// workload. The performance model turns a work profile plus a hardware
+/// configuration into an execution rate, which is what makes energy
+/// profiles workload-dependent (paper Section 4.2).
+struct WorkProfile {
+  std::string name;
+
+  /// Instructions retired per operation (the paper's performance-score
+  /// currency: the ECL measures "instructions retired").
+  double instr_per_op = 1.0;
+  /// Core cycles per instruction when not memory- or contention-bound.
+  double cpi = 1.0;
+  /// Serialized (dependent) DRAM accesses per operation; latency-bound
+  /// component (index probes, pointer chasing).
+  double mem_accesses_per_op = 0.0;
+  /// Memory-level parallelism of those accesses (overlapping misses).
+  double mlp = 1.0;
+  /// DRAM traffic per operation in bytes; bandwidth-bound component.
+  double bytes_per_op = 0.0;
+
+  ContentionClass contention = ContentionClass::kNone;
+  /// kSharedStructure: linear serialization weight per extra thread.
+  double serial_linear = 0.0;
+  /// kSharedStructure: quadratic serialization weight per extra thread.
+  double serial_quad = 0.0;
+
+  /// Relative dynamic core power of this instruction mix (AVX-heavy burn
+  /// loops like FIRESTARTER draw more than scalar code).
+  double power_scale = 1.0;
+};
+
+}  // namespace ecldb::hwsim
+
+#endif  // ECLDB_HWSIM_WORK_PROFILE_H_

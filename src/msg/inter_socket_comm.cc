@@ -1,0 +1,55 @@
+#include "msg/inter_socket_comm.h"
+
+#include "common/check.h"
+
+namespace ecldb::msg {
+
+CommEndpoint::CommEndpoint(SocketId socket, int num_sockets,
+                           size_t channel_capacity)
+    : socket_(socket) {
+  for (int d = 0; d < num_sockets; ++d) {
+    outbox_.push_back(d == socket
+                          ? nullptr
+                          : std::make_unique<MpmcRing<Message>>(channel_capacity));
+  }
+}
+
+bool CommEndpoint::BufferOutbound(SocketId dest, const Message& m) {
+  ECLDB_DCHECK(dest != socket_);
+  ECLDB_DCHECK(dest >= 0 && dest < static_cast<SocketId>(outbox_.size()));
+  return outbox_[static_cast<size_t>(dest)]->TryPush(m);
+}
+
+size_t CommEndpoint::Pump(std::vector<IntraSocketRouter*>& routers,
+                          size_t max_batch) {
+  size_t moved = 0;
+  for (size_t d = 0; d < outbox_.size(); ++d) {
+    MpmcRing<Message>* box = outbox_[d].get();
+    if (box == nullptr) continue;
+    IntraSocketRouter* remote = routers[d];
+    Message m;
+    size_t n = 0;
+    while (n < max_batch && box->TryPop(&m)) {
+      // Remote enqueue; if the destination queue is full, the message is
+      // retried on the next pump (we re-buffer it locally).
+      if (!remote->Enqueue(m)) {
+        box->TryPush(m);
+        break;
+      }
+      ++n;
+    }
+    moved += n;
+  }
+  transferred_ += static_cast<int64_t>(moved);
+  return moved;
+}
+
+size_t CommEndpoint::OutboundPendingApprox() const {
+  size_t sum = 0;
+  for (const auto& box : outbox_) {
+    if (box != nullptr) sum += box->SizeApprox();
+  }
+  return sum;
+}
+
+}  // namespace ecldb::msg

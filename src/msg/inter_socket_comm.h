@@ -1,0 +1,54 @@
+#ifndef ECLDB_MSG_INTER_SOCKET_COMM_H_
+#define ECLDB_MSG_INTER_SOCKET_COMM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "msg/intra_socket_router.h"
+#include "msg/message.h"
+#include "msg/mpmc_ring.h"
+
+namespace ecldb::msg {
+
+/// Inter-socket level of the hierarchical message passing layer:
+/// "communication between sockets is handled by a communication thread per
+/// socket that buffers messages targeting remote sockets and executes the
+/// actual message transfer to the communication thread on the remote
+/// socket side" (paper Section 3).
+///
+/// One CommEndpoint exists per socket. Workers of the socket push outbound
+/// messages into per-destination outboxes; the socket's communication
+/// thread calls `Pump()` to move batches across.
+class CommEndpoint {
+ public:
+  CommEndpoint(SocketId socket, int num_sockets, size_t channel_capacity);
+
+  SocketId socket() const { return socket_; }
+
+  /// Buffers a message destined for `dest` (!= own socket). Any worker of
+  /// this socket may call this concurrently; the socket's communication
+  /// thread is the only consumer. Returns false when the channel is full.
+  bool BufferOutbound(SocketId dest, const Message& m);
+
+  /// Transfers up to `max_batch` buffered messages per destination into
+  /// the destination sockets' routers. Called by the communication thread.
+  /// Returns the number of messages transferred.
+  size_t Pump(std::vector<IntraSocketRouter*>& routers, size_t max_batch);
+
+  /// Messages waiting in all outboxes (approximate).
+  size_t OutboundPendingApprox() const;
+
+  /// Total messages ever transferred by this endpoint.
+  int64_t transferred() const { return transferred_; }
+
+ private:
+  SocketId socket_;
+  std::vector<std::unique_ptr<MpmcRing<Message>>> outbox_;  // per destination
+  int64_t transferred_ = 0;
+};
+
+}  // namespace ecldb::msg
+
+#endif  // ECLDB_MSG_INTER_SOCKET_COMM_H_

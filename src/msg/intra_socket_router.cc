@@ -1,0 +1,64 @@
+#include "msg/intra_socket_router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::msg {
+
+IntraSocketRouter::IntraSocketRouter(SocketId socket,
+                                     std::vector<PartitionId> partitions,
+                                     size_t queue_capacity)
+    : socket_(socket), partition_ids_(std::move(partitions)) {
+  PartitionId max_id = -1;
+  for (PartitionId p : partition_ids_) max_id = std::max(max_id, p);
+  local_index_.assign(static_cast<size_t>(max_id + 1), -1);
+  for (size_t i = 0; i < partition_ids_.size(); ++i) {
+    const PartitionId p = partition_ids_[i];
+    ECLDB_CHECK(local_index_[static_cast<size_t>(p)] == -1);
+    local_index_[static_cast<size_t>(p)] = static_cast<int>(i);
+    queues_.push_back(std::make_unique<PartitionQueue>(p, queue_capacity));
+  }
+}
+
+bool IntraSocketRouter::Owns(PartitionId p) const {
+  return p >= 0 && p < static_cast<PartitionId>(local_index_.size()) &&
+         local_index_[static_cast<size_t>(p)] >= 0;
+}
+
+bool IntraSocketRouter::Enqueue(const Message& m) {
+  ECLDB_DCHECK(Owns(m.partition));
+  return queues_[static_cast<size_t>(local_index_[static_cast<size_t>(m.partition)])]
+      ->Enqueue(m);
+}
+
+PartitionQueue* IntraSocketRouter::AcquireNonEmpty(int worker, size_t* cursor) {
+  const size_t n = queues_.size();
+  for (size_t step = 0; step < n; ++step) {
+    const size_t i = (*cursor + 1 + step) % n;
+    PartitionQueue* q = queues_[i].get();
+    if (q->EmptyApprox()) continue;
+    if (q->TryAcquire(worker)) {
+      if (q->EmptyApprox()) {  // raced with another worker draining it
+        q->Release(worker);
+        continue;
+      }
+      *cursor = i;
+      return q;
+    }
+  }
+  return nullptr;
+}
+
+PartitionQueue* IntraSocketRouter::queue(PartitionId p) {
+  ECLDB_CHECK(Owns(p));
+  return queues_[static_cast<size_t>(local_index_[static_cast<size_t>(p)])].get();
+}
+
+size_t IntraSocketRouter::PendingApprox() const {
+  size_t sum = 0;
+  for (const auto& q : queues_) sum += q->SizeApprox();
+  return sum;
+}
+
+}  // namespace ecldb::msg

@@ -1,0 +1,57 @@
+#ifndef ECLDB_MSG_INTRA_SOCKET_ROUTER_H_
+#define ECLDB_MSG_INTRA_SOCKET_ROUTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "msg/message.h"
+#include "msg/partition_queue.h"
+
+namespace ecldb::msg {
+
+/// Intra-socket level of the hierarchical message passing layer: the
+/// partition queues of all data partitions homed on one socket.
+///
+/// Workers of the socket poll the router for work: `AcquireNonEmpty`
+/// implements the dequeue-own-process-release cycle that replaces the
+/// static worker-partition binding, implicitly load-balancing within the
+/// socket (paper Section 3, "Elasticity Extensions").
+class IntraSocketRouter {
+ public:
+  /// `partitions` are the globally-numbered partitions homed here.
+  IntraSocketRouter(SocketId socket, std::vector<PartitionId> partitions,
+                    size_t queue_capacity);
+
+  SocketId socket() const { return socket_; }
+  const std::vector<PartitionId>& partitions() const { return partition_ids_; }
+  size_t num_partitions() const { return queues_.size(); }
+
+  /// True iff the partition is homed on this socket.
+  bool Owns(PartitionId p) const;
+
+  /// Enqueues a message for a local partition; false when full.
+  bool Enqueue(const Message& m);
+
+  /// Scans local partitions round-robin starting after `cursor` and
+  /// acquires the first non-empty unowned queue for `worker`. Returns
+  /// nullptr when no work is available. Updates `cursor`.
+  PartitionQueue* AcquireNonEmpty(int worker, size_t* cursor);
+
+  /// Direct access to a partition's queue (must be local).
+  PartitionQueue* queue(PartitionId p);
+
+  /// Total messages pending across all local partitions (approximate).
+  size_t PendingApprox() const;
+
+ private:
+  SocketId socket_;
+  std::vector<PartitionId> partition_ids_;
+  std::vector<std::unique_ptr<PartitionQueue>> queues_;
+  /// Dense lookup: global partition id -> local index (-1 if foreign).
+  std::vector<int> local_index_;
+};
+
+}  // namespace ecldb::msg
+
+#endif  // ECLDB_MSG_INTRA_SOCKET_ROUTER_H_

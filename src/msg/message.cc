@@ -1,0 +1,23 @@
+#include "msg/message.h"
+
+namespace ecldb::msg {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kInvalid:
+      return "invalid";
+    case MessageType::kWorkUnits:
+      return "work_units";
+    case MessageType::kGet:
+      return "get";
+    case MessageType::kPut:
+      return "put";
+    case MessageType::kScan:
+      return "scan";
+    case MessageType::kResult:
+      return "result";
+  }
+  return "?";
+}
+
+}  // namespace ecldb::msg

@@ -1,0 +1,43 @@
+#ifndef ECLDB_MSG_MESSAGE_H_
+#define ECLDB_MSG_MESSAGE_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ecldb::msg {
+
+/// Operation codes understood by the engine's partition executors.
+enum class MessageType : int32_t {
+  kInvalid = 0,
+  /// Execute `payload[0]` operations of the query's work profile against
+  /// the target partition (fluid work accounting).
+  kWorkUnits = 1,
+  /// Point read of key `payload[0]` (functional mode).
+  kGet = 2,
+  /// Point write of key `payload[0]` to value `payload[1]` (functional).
+  kPut = 3,
+  /// Scan with predicate `payload[0]` (functional mode).
+  kScan = 4,
+  /// Reply carrying a result in `payload` (functional mode).
+  kResult = 5,
+};
+
+/// Fixed-size message exchanged between worker threads. Plain data so that
+/// messages can live in lock-free rings without allocation.
+struct Message {
+  QueryId query_id = 0;
+  PartitionId partition = -1;
+  MessageType type = MessageType::kInvalid;
+  int32_t origin_socket = -1;
+  int64_t payload[4] = {0, 0, 0, 0};
+};
+
+static_assert(sizeof(Message) == 56, "keep messages compact and fixed-size");
+
+/// Human-readable name of a message type (diagnostics).
+const char* MessageTypeName(MessageType type);
+
+}  // namespace ecldb::msg
+
+#endif  // ECLDB_MSG_MESSAGE_H_

@@ -1,0 +1,49 @@
+#include "msg/message_layer.h"
+
+#include "common/check.h"
+
+namespace ecldb::msg {
+
+MessageLayer::MessageLayer(int num_sockets,
+                           const std::vector<SocketId>& partition_home,
+                           const MessageLayerParams& params)
+    : params_(params), partition_home_(partition_home) {
+  ECLDB_CHECK(num_sockets > 0);
+  std::vector<std::vector<PartitionId>> per_socket(
+      static_cast<size_t>(num_sockets));
+  for (size_t p = 0; p < partition_home_.size(); ++p) {
+    const SocketId s = partition_home_[p];
+    ECLDB_CHECK(s >= 0 && s < num_sockets);
+    per_socket[static_cast<size_t>(s)].push_back(static_cast<PartitionId>(p));
+  }
+  for (int s = 0; s < num_sockets; ++s) {
+    routers_.push_back(std::make_unique<IntraSocketRouter>(
+        s, per_socket[static_cast<size_t>(s)], params_.partition_queue_capacity));
+    comms_.push_back(
+        std::make_unique<CommEndpoint>(s, num_sockets, params_.comm_channel_capacity));
+  }
+  for (auto& r : routers_) router_ptrs_.push_back(r.get());
+}
+
+bool MessageLayer::Send(SocketId origin_socket, const Message& m) {
+  ECLDB_DCHECK(m.partition >= 0 && m.partition < num_partitions());
+  const SocketId home = HomeOf(m.partition);
+  if (home == origin_socket) {
+    return routers_[static_cast<size_t>(home)]->Enqueue(m);
+  }
+  return comms_[static_cast<size_t>(origin_socket)]->BufferOutbound(home, m);
+}
+
+size_t MessageLayer::PumpComm(SocketId socket) {
+  return comms_[static_cast<size_t>(socket)]->Pump(router_ptrs_,
+                                                   params_.comm_pump_batch);
+}
+
+size_t MessageLayer::PendingApprox() const {
+  size_t sum = 0;
+  for (const auto& r : routers_) sum += r->PendingApprox();
+  for (const auto& c : comms_) sum += c->OutboundPendingApprox();
+  return sum;
+}
+
+}  // namespace ecldb::msg

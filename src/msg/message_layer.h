@@ -1,0 +1,61 @@
+#ifndef ECLDB_MSG_MESSAGE_LAYER_H_
+#define ECLDB_MSG_MESSAGE_LAYER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "msg/inter_socket_comm.h"
+#include "msg/intra_socket_router.h"
+#include "msg/message.h"
+
+namespace ecldb::msg {
+
+struct MessageLayerParams {
+  size_t partition_queue_capacity = 1 << 14;
+  size_t comm_channel_capacity = 1 << 14;
+  size_t comm_pump_batch = 256;
+};
+
+/// Facade of the hierarchical message passing layer (paper Fig. 1): one
+/// intra-socket router per socket (partition queues + ownership protocol)
+/// plus one inter-socket communication endpoint per socket.
+class MessageLayer {
+ public:
+  /// `partition_home[p]` gives the socket homing global partition p.
+  MessageLayer(int num_sockets, const std::vector<SocketId>& partition_home,
+               const MessageLayerParams& params);
+
+  int num_sockets() const { return static_cast<int>(routers_.size()); }
+  int num_partitions() const { return static_cast<int>(partition_home_.size()); }
+  SocketId HomeOf(PartitionId p) const {
+    return partition_home_[static_cast<size_t>(p)];
+  }
+
+  /// Routes a message from a worker on `origin_socket` to its partition:
+  /// directly into the local partition queue, or via the communication
+  /// endpoints when the partition is homed remotely. Returns false on
+  /// backpressure (full queue/channel).
+  bool Send(SocketId origin_socket, const Message& m);
+
+  /// Runs one pump round of the communication thread of `socket`.
+  /// Returns the number of messages transferred.
+  size_t PumpComm(SocketId socket);
+
+  IntraSocketRouter* router(SocketId s) { return routers_[static_cast<size_t>(s)].get(); }
+  CommEndpoint* comm(SocketId s) { return comms_[static_cast<size_t>(s)].get(); }
+
+  /// Pending messages anywhere in the layer (approximate).
+  size_t PendingApprox() const;
+
+ private:
+  MessageLayerParams params_;
+  std::vector<SocketId> partition_home_;
+  std::vector<std::unique_ptr<IntraSocketRouter>> routers_;
+  std::vector<std::unique_ptr<CommEndpoint>> comms_;
+  std::vector<IntraSocketRouter*> router_ptrs_;
+};
+
+}  // namespace ecldb::msg
+
+#endif  // ECLDB_MSG_MESSAGE_LAYER_H_

@@ -1,0 +1,106 @@
+#ifndef ECLDB_MSG_MPMC_RING_H_
+#define ECLDB_MSG_MPMC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "common/check.h"
+
+namespace ecldb::msg {
+
+/// Bounded lock-free multi-producer/multi-consumer ring buffer
+/// (Vyukov-style sequence-number design).
+///
+/// Partition queues are built on this: any worker of a socket may enqueue
+/// messages for any partition, and whichever worker owns the partition at
+/// the moment drains it.
+template <typename T>
+class MpmcRing {
+ public:
+  explicit MpmcRing(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  bool TryPush(const T& value) {
+    Cell* cell;
+    size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = value;
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    Cell* cell;
+    size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = cell->value;
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t SizeApprox() const {
+    const size_t e = enqueue_pos_.load(std::memory_order_acquire);
+    const size_t d = dequeue_pos_.load(std::memory_order_acquire);
+    return e >= d ? e - d : 0;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> sequence{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<size_t> dequeue_pos_{0};
+};
+
+}  // namespace ecldb::msg
+
+#endif  // ECLDB_MSG_MPMC_RING_H_

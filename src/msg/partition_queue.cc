@@ -1,0 +1,42 @@
+#include "msg/partition_queue.h"
+
+#include "common/check.h"
+
+namespace ecldb::msg {
+
+PartitionQueue::PartitionQueue(PartitionId partition, size_t capacity)
+    : partition_(partition), ring_(capacity) {}
+
+bool PartitionQueue::Enqueue(const Message& m) {
+  ECLDB_DCHECK(m.partition == partition_);
+  return ring_.TryPush(m);
+}
+
+bool PartitionQueue::TryAcquire(int owner) {
+  ECLDB_DCHECK(owner >= 0);
+  int expected = -1;
+  return owner_.compare_exchange_strong(expected, owner,
+                                        std::memory_order_acq_rel);
+}
+
+void PartitionQueue::Release(int owner) {
+  int expected = owner;
+  const bool ok = owner_.compare_exchange_strong(expected, -1,
+                                                 std::memory_order_acq_rel);
+  ECLDB_CHECK_MSG(ok, "Release by non-owner");
+}
+
+size_t PartitionQueue::DequeueBatch(int owner, size_t max_batch,
+                                    std::vector<Message>* out) {
+  ECLDB_DCHECK(owner_.load(std::memory_order_acquire) == owner);
+  (void)owner;
+  size_t n = 0;
+  Message m;
+  while (n < max_batch && ring_.TryPop(&m)) {
+    out->push_back(m);
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ecldb::msg

@@ -1,0 +1,62 @@
+#ifndef ECLDB_MSG_PARTITION_QUEUE_H_
+#define ECLDB_MSG_PARTITION_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "msg/message.h"
+#include "msg/mpmc_ring.h"
+
+namespace ecldb::msg {
+
+/// Message queue of one data partition, the core of the paper's elasticity
+/// extension (Section 3): instead of a static worker-partition binding,
+/// "messages for the same data partition are buffered and queued. Worker
+/// threads continuously dequeue message batches for a data partition, take
+/// ownership of the entire partition, process the messages, and release
+/// the partition."
+///
+/// Any thread may enqueue; batch-dequeue requires holding the ownership
+/// token, which guarantees latch-free exclusive access to the partition's
+/// data structures while processing.
+class PartitionQueue {
+ public:
+  PartitionQueue(PartitionId partition, size_t capacity);
+
+  PartitionQueue(const PartitionQueue&) = delete;
+  PartitionQueue& operator=(const PartitionQueue&) = delete;
+
+  PartitionId partition() const { return partition_; }
+
+  /// Enqueues a message; false when the queue is full (producer should
+  /// apply backpressure).
+  bool Enqueue(const Message& m);
+
+  /// Attempts to take exclusive ownership of the partition. `owner` is an
+  /// arbitrary non-negative tag (worker id) recorded for diagnostics.
+  bool TryAcquire(int owner);
+
+  /// Releases ownership; must be called by the current owner.
+  void Release(int owner);
+
+  /// Current owner tag or -1. Diagnostic only.
+  int owner() const { return owner_.load(std::memory_order_acquire); }
+
+  /// Dequeues up to `max_batch` messages into `out` (appended). Must only
+  /// be called while holding ownership. Returns the number dequeued.
+  size_t DequeueBatch(int owner, size_t max_batch, std::vector<Message>* out);
+
+  size_t SizeApprox() const { return ring_.SizeApprox(); }
+  bool EmptyApprox() const { return ring_.EmptyApprox(); }
+
+ private:
+  PartitionId partition_;
+  MpmcRing<Message> ring_;
+  std::atomic<int> owner_{-1};
+};
+
+}  // namespace ecldb::msg
+
+#endif  // ECLDB_MSG_PARTITION_QUEUE_H_

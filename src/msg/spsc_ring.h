@@ -1,0 +1,69 @@
+#ifndef ECLDB_MSG_SPSC_RING_H_
+#define ECLDB_MSG_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecldb::msg {
+
+/// Bounded lock-free single-producer/single-consumer ring buffer.
+///
+/// Used for the inter-socket communication channels: exactly one
+/// communication thread produces into and one consumes from each channel.
+/// Capacity is rounded up to a power of two.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t min_capacity) {
+    size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    buffer_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return buffer_.size(); }
+
+  /// Producer side. Returns false when full.
+  bool TryPush(const T& value) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= buffer_.size()) return false;
+    buffer_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool TryPop(T* out) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    *out = buffer_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side size estimate (exact when called by the consumer).
+  size_t SizeApprox() const {
+    return head_.load(std::memory_order_acquire) -
+           tail_.load(std::memory_order_acquire);
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+ private:
+  std::vector<T> buffer_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace ecldb::msg
+
+#endif  // ECLDB_MSG_SPSC_RING_H_

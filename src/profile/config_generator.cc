@@ -1,0 +1,110 @@
+#include "profile/config_generator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::profile {
+
+ConfigGenerator::ConfigGenerator(const hwsim::Topology& topo,
+                                 const hwsim::FrequencyTable& freqs)
+    : topo_(topo), freqs_(freqs) {}
+
+std::vector<double> ConfigGenerator::CoreFreqSamples(int n) const {
+  ECLDB_CHECK(n >= 1);
+  std::vector<double> out;
+  if (n == 1) {
+    out.push_back(freqs_.min_core());
+    return out;
+  }
+  // n-1 evenly spaced nominal frequencies (lowest .. highest) plus turbo.
+  const int nominal = n - 1;
+  for (int i = 0; i < nominal; ++i) {
+    const double f =
+        nominal == 1
+            ? freqs_.min_core()
+            : freqs_.min_core() + (freqs_.max_core_nominal() - freqs_.min_core()) *
+                                      i / (nominal - 1);
+    out.push_back(freqs_.NearestCore(f));
+  }
+  out.push_back(freqs_.turbo_ghz);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<double> ConfigGenerator::UncoreFreqSamples(int n) const {
+  ECLDB_CHECK(n >= 1);
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) {
+    const double f =
+        n == 1 ? freqs_.max_uncore()
+               : freqs_.min_uncore() + (freqs_.max_uncore() - freqs_.min_uncore()) *
+                                           i / (n - 1);
+    out.push_back(freqs_.NearestUncore(f));
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+int ConfigGenerator::CountConfigs(const GeneratorParams& params,
+                                  int group_size) const {
+  const int tps = topo_.threads_per_socket();
+  const int counts = tps / group_size;
+  const int n_core = static_cast<int>(CoreFreqSamples(params.n_core_freqs).size());
+  const int n_unc = static_cast<int>(UncoreFreqSamples(params.n_uncore_freqs).size());
+  int total = counts * n_core * n_unc;
+  if (params.mixed_core_freqs) {
+    const int pairs = n_core * (n_core - 1) / 2;
+    total += counts * pairs * n_unc;
+  }
+  return total;
+}
+
+int ConfigGenerator::GroupSizeFor(const GeneratorParams& params) const {
+  int g = 1;
+  while (g < topo_.threads_per_socket() &&
+         CountConfigs(params, g) > params.c_max) {
+    g *= 2;
+  }
+  return g;
+}
+
+std::vector<Configuration> ConfigGenerator::Generate(
+    const GeneratorParams& params) const {
+  const std::vector<double> core_f = CoreFreqSamples(params.n_core_freqs);
+  const std::vector<double> unc_f = UncoreFreqSamples(params.n_uncore_freqs);
+  const int g = GroupSizeFor(params);
+  const int tps = topo_.threads_per_socket();
+
+  std::vector<Configuration> configs;
+  // Index 0: idle configuration (all cores turned off).
+  configs.push_back(Configuration{hwsim::SocketConfig::Idle(topo_), 0, 0, -1});
+
+  for (int threads = g; threads <= tps; threads += g) {
+    for (double fu : unc_f) {
+      for (double fc : core_f) {
+        Configuration c;
+        c.hw = hwsim::SocketConfig::FirstThreads(topo_, threads, fc, fu);
+        configs.push_back(std::move(c));
+      }
+      if (params.mixed_core_freqs) {
+        for (size_t a = 0; a < core_f.size(); ++a) {
+          for (size_t b = a + 1; b < core_f.size(); ++b) {
+            Configuration c;
+            c.hw = hwsim::SocketConfig::FirstThreads(topo_, threads, core_f[a], fu);
+            // Upper half of the active cores runs at the faster clock.
+            const int active_cores =
+                (threads + topo_.threads_per_core - 1) / topo_.threads_per_core;
+            for (int core = active_cores / 2; core < active_cores; ++core) {
+              c.hw.core_freq_ghz[static_cast<size_t>(core)] = core_f[b];
+            }
+            configs.push_back(std::move(c));
+          }
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+}  // namespace ecldb::profile

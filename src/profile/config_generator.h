@@ -1,0 +1,60 @@
+#ifndef ECLDB_PROFILE_CONFIG_GENERATOR_H_
+#define ECLDB_PROFILE_CONFIG_GENERATOR_H_
+
+#include <vector>
+
+#include "hwsim/pstate.h"
+#include "hwsim/topology.h"
+#include "profile/configuration.h"
+
+namespace ecldb::profile {
+
+/// Parameters of the configuration generator (paper Section 4.2):
+/// how many distinct core/uncore frequencies to sample, whether active
+/// cores may run at mixed frequencies, and the configuration budget.
+struct GeneratorParams {
+  /// Number of distinct core frequencies (always includes the lowest, the
+  /// highest nominal, and — if > 1 — the turbo frequency).
+  int n_core_freqs = 4;
+  /// Number of distinct uncore frequencies (includes both extremes).
+  int n_uncore_freqs = 3;
+  /// Allow configurations where active cores run at two different
+  /// frequencies ("f_core-mixed" in the paper).
+  bool mixed_core_freqs = false;
+  /// Maximum number of generated configurations. If exceeded, hardware
+  /// threads are aggregated into groups (coarser thread-count granularity)
+  /// until the budget holds.
+  int c_max = 256;
+};
+
+/// Generates the set of unique configurations that makes up an energy
+/// profile, exploiting core homogeneity (activating core 1 equals
+/// activating core 2). Thread counts fill physical cores with both
+/// HyperThread siblings before activating the next core, matching the
+/// machine's power structure (paper Fig. 4).
+class ConfigGenerator {
+ public:
+  ConfigGenerator(const hwsim::Topology& topo, const hwsim::FrequencyTable& freqs);
+
+  /// Generated configurations, including the idle (all-off) configuration
+  /// at index 0. Size is bounded by params.c_max + 1.
+  std::vector<Configuration> Generate(const GeneratorParams& params) const;
+
+  /// The core-frequency sample set for the given parameter.
+  std::vector<double> CoreFreqSamples(int n) const;
+  std::vector<double> UncoreFreqSamples(int n) const;
+
+  /// Thread-count granularity chosen for a budget (1 = per-thread, 2 =
+  /// per-core group, 4 = pairs of cores, ...).
+  int GroupSizeFor(const GeneratorParams& params) const;
+
+ private:
+  int CountConfigs(const GeneratorParams& params, int group_size) const;
+
+  hwsim::Topology topo_;
+  hwsim::FrequencyTable freqs_;
+};
+
+}  // namespace ecldb::profile
+
+#endif  // ECLDB_PROFILE_CONFIG_GENERATOR_H_

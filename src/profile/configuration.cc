@@ -1,0 +1,19 @@
+#include "profile/configuration.h"
+
+#include <sstream>
+
+namespace ecldb::profile {
+
+std::string Configuration::ToString() const {
+  std::ostringstream out;
+  out << hw.ToString();
+  if (measured()) {
+    out << " power=" << power_w << "W perf=" << perf_score
+        << " eff=" << efficiency();
+  } else {
+    out << " (unmeasured)";
+  }
+  return out.str();
+}
+
+}  // namespace ecldb::profile

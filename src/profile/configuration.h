@@ -1,0 +1,42 @@
+#ifndef ECLDB_PROFILE_CONFIGURATION_H_
+#define ECLDB_PROFILE_CONFIGURATION_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "hwsim/hw_config.h"
+
+namespace ecldb::profile {
+
+/// A hardware configuration of one socket enriched with the runtime
+/// measurements the paper attaches during evaluation (Section 4.1):
+/// socket power via RAPL (package + DRAM), the performance score
+/// (instructions retired per second on the socket), and energy efficiency
+/// (performance per watt).
+struct Configuration {
+  hwsim::SocketConfig hw;
+
+  double power_w = 0.0;
+  double perf_score = 0.0;
+  SimTime last_measured = -1;
+  /// Explicitly flagged for re-evaluation (e.g., detected workload drift);
+  /// the stored measurement stays usable until replaced.
+  bool force_stale = false;
+
+  bool measured() const { return last_measured >= 0; }
+  /// Performance score per watt (the paper's energy efficiency, W^-1).
+  double efficiency() const { return power_w > 0.0 ? perf_score / power_w : 0.0; }
+
+  void RecordMeasurement(double power, double perf, SimTime at) {
+    power_w = power;
+    perf_score = perf;
+    last_measured = at;
+    force_stale = false;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace ecldb::profile
+
+#endif  // ECLDB_PROFILE_CONFIGURATION_H_

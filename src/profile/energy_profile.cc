@@ -1,0 +1,135 @@
+#include "profile/energy_profile.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::profile {
+
+const char* ZoneName(Zone zone) {
+  switch (zone) {
+    case Zone::kUnderUtilization:
+      return "under-utilization";
+    case Zone::kOptimal:
+      return "optimal";
+    case Zone::kOverUtilization:
+      return "over-utilization";
+  }
+  return "?";
+}
+
+EnergyProfile::EnergyProfile(std::vector<Configuration> configs)
+    : configs_(std::move(configs)) {
+  ECLDB_CHECK(!configs_.empty());
+  ECLDB_CHECK_MSG(!configs_[0].hw.AnyActive(), "index 0 must be idle");
+}
+
+void EnergyProfile::Record(int i, double power_w, double perf_score, SimTime at) {
+  ECLDB_CHECK(i > 0 && i < size());
+  configs_[static_cast<size_t>(i)].RecordMeasurement(power_w, perf_score, at);
+}
+
+int EnergyProfile::measured_count() const {
+  int n = 0;
+  for (size_t i = 1; i < configs_.size(); ++i) n += configs_[i].measured() ? 1 : 0;
+  return n;
+}
+
+int EnergyProfile::MostEfficientIndex() const {
+  int best = -1;
+  double best_eff = 0.0;
+  for (size_t i = 1; i < configs_.size(); ++i) {
+    const Configuration& c = configs_[i];
+    if (!c.measured()) continue;
+    if (c.efficiency() > best_eff) {
+      best_eff = c.efficiency();
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+double EnergyProfile::PeakPerfScore() const {
+  const int i = PeakPerfIndex();
+  return i < 0 ? 0.0 : configs_[static_cast<size_t>(i)].perf_score;
+}
+
+int EnergyProfile::PeakPerfIndex() const {
+  int best = -1;
+  double best_perf = -1.0;
+  for (size_t i = 1; i < configs_.size(); ++i) {
+    const Configuration& c = configs_[i];
+    if (!c.measured()) continue;
+    if (c.perf_score > best_perf) {
+      best_perf = c.perf_score;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int EnergyProfile::FindForDemand(double demand) const {
+  int best = -1;
+  double best_eff = -1.0;
+  double best_power = 0.0;
+  for (size_t i = 1; i < configs_.size(); ++i) {
+    const Configuration& c = configs_[i];
+    if (!c.measured() || c.perf_score < demand) continue;
+    const double eff = c.efficiency();
+    if (eff > best_eff || (eff == best_eff && c.power_w < best_power)) {
+      best_eff = eff;
+      best_power = c.power_w;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best >= 0) return best;
+  return PeakPerfIndex();
+}
+
+std::vector<int> EnergyProfile::Skyline() const {
+  std::vector<int> measured;
+  for (size_t i = 1; i < configs_.size(); ++i) {
+    if (configs_[i].measured()) measured.push_back(static_cast<int>(i));
+  }
+  std::sort(measured.begin(), measured.end(), [this](int a, int b) {
+    return configs_[static_cast<size_t>(a)].perf_score >
+           configs_[static_cast<size_t>(b)].perf_score;
+  });
+  std::vector<int> skyline;
+  double max_eff = -1.0;
+  for (int i : measured) {
+    const double eff = configs_[static_cast<size_t>(i)].efficiency();
+    if (eff > max_eff) {
+      skyline.push_back(i);
+      max_eff = eff;
+    }
+  }
+  std::reverse(skyline.begin(), skyline.end());  // ascending performance
+  return skyline;
+}
+
+Zone EnergyProfile::ZoneForDemand(double demand) const {
+  const int opt = MostEfficientIndex();
+  if (opt < 0) return Zone::kOptimal;
+  const double opt_perf = configs_[static_cast<size_t>(opt)].perf_score;
+  if (demand < 0.98 * opt_perf) return Zone::kUnderUtilization;
+  if (demand <= 1.02 * opt_perf) return Zone::kOptimal;
+  return Zone::kOverUtilization;
+}
+
+std::vector<int> EnergyProfile::StaleConfigs(SimTime now, SimDuration max_age) const {
+  std::vector<int> stale;
+  for (size_t i = 1; i < configs_.size(); ++i) {
+    const Configuration& c = configs_[i];
+    if (!c.measured() || c.force_stale || now - c.last_measured > max_age) {
+      stale.push_back(static_cast<int>(i));
+    }
+  }
+  return stale;
+}
+
+void EnergyProfile::InvalidateAll() {
+  for (size_t i = 1; i < configs_.size(); ++i) configs_[i].force_stale = true;
+}
+
+}  // namespace ecldb::profile

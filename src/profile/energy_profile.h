@@ -1,0 +1,73 @@
+#ifndef ECLDB_PROFILE_ENERGY_PROFILE_H_
+#define ECLDB_PROFILE_ENERGY_PROFILE_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "profile/configuration.h"
+
+namespace ecldb::profile {
+
+/// The paper's ruling zones (Section 4.3), relative to the most
+/// energy-efficient configuration.
+enum class Zone { kUnderUtilization, kOptimal, kOverUtilization };
+
+const char* ZoneName(Zone zone);
+
+/// An energy profile: the set of evaluated configurations of one socket
+/// for the current workload (paper Section 4). The socket-level ECL keeps
+/// one instance and continuously maintains the measurements.
+class EnergyProfile {
+ public:
+  /// `configs` must contain the idle configuration at index 0.
+  explicit EnergyProfile(std::vector<Configuration> configs);
+
+  int size() const { return static_cast<int>(configs_.size()); }
+  Configuration& config(int i) { return configs_[static_cast<size_t>(i)]; }
+  const Configuration& config(int i) const { return configs_[static_cast<size_t>(i)]; }
+  int idle_index() const { return 0; }
+
+  /// Records a measurement for configuration `i`.
+  void Record(int i, double power_w, double perf_score, SimTime at);
+
+  /// Number of configurations with at least one measurement.
+  int measured_count() const;
+  bool fully_measured() const { return measured_count() == size() - 1; }
+
+  /// Index of the most energy-efficient measured configuration (the
+  /// optimal zone); -1 if nothing is measured.
+  int MostEfficientIndex() const;
+
+  /// Highest measured performance score; 0 if nothing is measured.
+  double PeakPerfScore() const;
+  /// Index of the configuration with the highest measured performance.
+  int PeakPerfIndex() const;
+
+  /// The most energy-efficient measured configuration whose performance
+  /// score satisfies `demand` (ties broken by lower power). Falls back to
+  /// the highest-performance configuration when the demand exceeds every
+  /// measurement. Returns -1 when nothing is measured.
+  int FindForDemand(double demand) const;
+
+  /// Skyline: measured configurations that are not dominated (no other
+  /// measured configuration has both >= performance and > efficiency).
+  /// Sorted by ascending performance score.
+  std::vector<int> Skyline() const;
+
+  /// Ruling zone of a demand level.
+  Zone ZoneForDemand(double demand) const;
+
+  /// Indices of measured configurations whose measurement is older than
+  /// `max_age`, plus all never-measured ones (excluding idle).
+  std::vector<int> StaleConfigs(SimTime now, SimDuration max_age) const;
+
+  /// Marks every measurement stale (used on detected workload change).
+  void InvalidateAll();
+
+ private:
+  std::vector<Configuration> configs_;
+};
+
+}  // namespace ecldb::profile
+
+#endif  // ECLDB_PROFILE_ENERGY_PROFILE_H_

@@ -1,0 +1,64 @@
+#include "profile/evaluator.h"
+
+#include "common/check.h"
+
+namespace ecldb::profile {
+
+ProfileEvaluator::ProfileEvaluator(sim::Simulator* simulator,
+                                   hwsim::Machine* machine, SocketId socket)
+    : simulator_(simulator), machine_(machine), socket_(socket) {
+  ECLDB_CHECK(simulator != nullptr && machine != nullptr);
+}
+
+void ProfileEvaluator::OfferWork(const hwsim::SocketConfig& cfg,
+                                 const hwsim::WorkProfile& work) {
+  const hwsim::Topology& topo = machine_->topology();
+  for (int lt = 0; lt < topo.threads_per_socket(); ++lt) {
+    const HwThreadId t = socket_ * topo.threads_per_socket() + lt;
+    if (cfg.ThreadActive(lt)) {
+      machine_->SetThreadLoad(t, &work, 1.0);
+    } else {
+      machine_->SetThreadLoad(t, nullptr, 0.0);
+    }
+  }
+}
+
+ProfileEvaluator::Measurement ProfileEvaluator::Measure(
+    const hwsim::SocketConfig& cfg, const hwsim::WorkProfile& work,
+    const EvaluatorParams& params) {
+  machine_->ApplySocketConfig(socket_, cfg);
+  OfferWork(cfg, work);
+  simulator_->RunFor(params.apply_time);
+
+  const uint64_t e0 = machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kPackage) +
+                      machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kDram);
+  const uint64_t i0 = machine_->ReadSocketInstructions(socket_);
+  simulator_->RunFor(params.measure_time);
+  const uint64_t e1 = machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kPackage) +
+                      machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kDram);
+  const uint64_t i1 = machine_->ReadSocketInstructions(socket_);
+
+  const double seconds = ToSeconds(params.measure_time);
+  Measurement m;
+  m.power_w = static_cast<double>(static_cast<int64_t>(e1 - e0)) * 1e-6 / seconds;
+  m.perf_score = static_cast<double>(i1 - i0) / seconds;
+  return m;
+}
+
+void ProfileEvaluator::EvaluateOne(EnergyProfile* profile, int index,
+                                   const hwsim::WorkProfile& work,
+                                   const EvaluatorParams& params) {
+  ECLDB_CHECK(index > 0 && index < profile->size());
+  const Measurement m = Measure(profile->config(index).hw, work, params);
+  profile->Record(index, m.power_w, m.perf_score, simulator_->now());
+}
+
+void ProfileEvaluator::EvaluateAll(EnergyProfile* profile,
+                                   const hwsim::WorkProfile& work,
+                                   const EvaluatorParams& params) {
+  for (int i = 1; i < profile->size(); ++i) {
+    EvaluateOne(profile, i, work, params);
+  }
+}
+
+}  // namespace ecldb::profile

@@ -1,0 +1,61 @@
+#ifndef ECLDB_PROFILE_EVALUATOR_H_
+#define ECLDB_PROFILE_EVALUATOR_H_
+
+#include "common/types.h"
+#include "hwsim/machine.h"
+#include "hwsim/work_profile.h"
+#include "profile/energy_profile.h"
+#include "sim/simulator.h"
+
+namespace ecldb::profile {
+
+struct EvaluatorParams {
+  /// Settle time after applying a configuration before measuring.
+  SimDuration apply_time = Millis(1);
+  /// Measurement window (RAPL + instructions retired).
+  SimDuration measure_time = Millis(100);
+};
+
+/// Conducts an energy profile by applying each configuration to one socket
+/// under a saturating synthetic workload and measuring socket power and
+/// performance score through the software-visible counters (RAPL and
+/// instructions retired). This is how the paper's standalone profile
+/// figures (9, 10, 17-20) are produced; the ECL's runtime maintenance
+/// performs the same measurement under live load.
+///
+/// Must not be used concurrently with an Engine driving the same machine
+/// (both would contend for the thread loads).
+class ProfileEvaluator {
+ public:
+  ProfileEvaluator(sim::Simulator* simulator, hwsim::Machine* machine,
+                   SocketId socket);
+
+  /// Evaluates configuration `index` of `profile` under `work`.
+  void EvaluateOne(EnergyProfile* profile, int index,
+                   const hwsim::WorkProfile& work, const EvaluatorParams& params);
+
+  /// Evaluates every configuration (skipping idle).
+  void EvaluateAll(EnergyProfile* profile, const hwsim::WorkProfile& work,
+                   const EvaluatorParams& params);
+
+  /// Measures (power_w, perf_score) of an explicit hardware configuration
+  /// without a profile, using the same procedure.
+  struct Measurement {
+    double power_w = 0.0;
+    double perf_score = 0.0;
+  };
+  Measurement Measure(const hwsim::SocketConfig& cfg,
+                      const hwsim::WorkProfile& work,
+                      const EvaluatorParams& params);
+
+ private:
+  void OfferWork(const hwsim::SocketConfig& cfg, const hwsim::WorkProfile& work);
+
+  sim::Simulator* simulator_;
+  hwsim::Machine* machine_;
+  SocketId socket_;
+};
+
+}  // namespace ecldb::profile
+
+#endif  // ECLDB_PROFILE_EVALUATOR_H_

@@ -1,0 +1,86 @@
+#include "profile/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecldb::profile {
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashString(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ProfileFingerprint(const EnergyProfile& profile) {
+  uint64_t h = static_cast<uint64_t>(profile.size());
+  for (int i = 0; i < profile.size(); ++i) {
+    h = HashCombine(h, HashString(profile.config(i).hw.ToString()));
+  }
+  return h;
+}
+
+std::string SerializeProfile(const EnergyProfile& profile) {
+  std::ostringstream out;
+  out << "ecldb-profile v1 " << profile.size() << ' '
+      << ProfileFingerprint(profile) << '\n';
+  for (int i = 1; i < profile.size(); ++i) {
+    const Configuration& c = profile.config(i);
+    if (!c.measured()) continue;
+    char line[128];
+    std::snprintf(line, sizeof(line), "%d %.17g %.17g %" PRId64 "\n", i,
+                  c.power_w, c.perf_score, c.last_measured);
+    out << line;
+  }
+  return out.str();
+}
+
+bool DeserializeProfile(std::string_view text, EnergyProfile* profile) {
+  ECLDB_CHECK(profile != nullptr);
+  std::istringstream in{std::string(text)};
+  std::string magic, version;
+  int size = 0;
+  uint64_t fingerprint = 0;
+  if (!(in >> magic >> version >> size >> fingerprint)) return false;
+  if (magic != "ecldb-profile" || version != "v1") return false;
+  if (size != profile->size() || fingerprint != ProfileFingerprint(*profile)) {
+    return false;
+  }
+
+  // Parse all records before touching the profile (all-or-nothing load).
+  struct Record {
+    int index;
+    double power;
+    double perf;
+    int64_t at;
+  };
+  std::vector<Record> records;
+  Record r;
+  while (in >> r.index >> r.power >> r.perf >> r.at) {
+    if (r.index <= 0 || r.index >= profile->size()) return false;
+    if (r.power < 0.0 || r.perf < 0.0 || r.at < 0) return false;
+    records.push_back(r);
+  }
+  if (!in.eof()) return false;
+
+  for (const Record& rec : records) {
+    profile->Record(rec.index, rec.power, rec.perf, rec.at);
+  }
+  return true;
+}
+
+}  // namespace ecldb::profile

@@ -1,0 +1,35 @@
+#ifndef ECLDB_PROFILE_SERIALIZATION_H_
+#define ECLDB_PROFILE_SERIALIZATION_H_
+
+#include <string>
+#include <string_view>
+
+#include "profile/energy_profile.h"
+
+namespace ecldb::profile {
+
+/// Text serialization of an energy profile's measurements, so a DBMS
+/// restart can warm-start the ECL instead of re-learning the profile.
+///
+/// Only measurements are stored; the configuration set itself is
+/// regenerated deterministically by the ConfigGenerator. A fingerprint of
+/// the configuration set guards against loading measurements into a
+/// profile generated with different parameters (or for a different
+/// machine).
+///
+/// Format (line-based):
+///   ecldb-profile v1 <num_configs> <fingerprint>
+///   <index> <power_w> <perf_score> <last_measured_ns>
+///   ...
+std::string SerializeProfile(const EnergyProfile& profile);
+
+/// Loads measurements into `profile`. Returns false (leaving the profile
+/// untouched) when the header, fingerprint, or any record is invalid.
+bool DeserializeProfile(std::string_view text, EnergyProfile* profile);
+
+/// Fingerprint of the profile's configuration set.
+uint64_t ProfileFingerprint(const EnergyProfile& profile);
+
+}  // namespace ecldb::profile
+
+#endif  // ECLDB_PROFILE_SERIALIZATION_H_

@@ -1,0 +1,52 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ecldb::sim {
+
+EventId EventQueue::Schedule(SimTime t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id <= 0 || id >= next_id_) return false;
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted) --live_count_;
+  return inserted;
+}
+
+void EventQueue::SkipCancelled() const {
+  // const_cast-free lazily cleaning view: heap_ and cancelled_ are mutable
+  // conceptually; heap_ is declared mutable for this purpose.
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    auto* self = const_cast<EventQueue*>(this);
+    auto it = self->cancelled_.find(top.id);
+    if (it == self->cancelled_.end()) return;
+    self->cancelled_.erase(it);
+    self->heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() const {
+  SkipCancelled();
+  return heap_.empty() ? kSimTimeNever : heap_.top().t;
+}
+
+SimTime EventQueue::PopAndRun() {
+  SkipCancelled();
+  ECLDB_CHECK(!heap_.empty());
+  // Move the entry out before running: the callback may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_count_;
+  entry.fn();
+  return entry.t;
+}
+
+}  // namespace ecldb::sim

@@ -1,0 +1,65 @@
+#ifndef ECLDB_SIM_EVENT_QUEUE_H_
+#define ECLDB_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecldb::sim {
+
+/// Identifier of a scheduled event; usable to cancel it.
+using EventId = int64_t;
+
+/// Time-ordered queue of callbacks. Events at equal times fire in
+/// scheduling order (FIFO), which keeps simulations deterministic.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` to fire at absolute virtual time `t`.
+  EventId Schedule(SimTime t, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a no-op and returns false.
+  bool Cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return static_cast<size_t>(live_count_); }
+
+  /// Time of the earliest pending event, or kSimTimeNever if none.
+  SimTime NextTime() const;
+
+  /// Pops and runs the earliest pending event; returns its time.
+  /// Must not be called on an empty queue.
+  SimTime PopAndRun();
+
+ private:
+  struct Entry {
+    SimTime t;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+  int64_t live_count_ = 0;
+};
+
+}  // namespace ecldb::sim
+
+#endif  // ECLDB_SIM_EVENT_QUEUE_H_

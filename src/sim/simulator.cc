@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ecldb::sim {
+
+EventId Simulator::Schedule(SimTime t, std::function<void()> fn) {
+  ECLDB_CHECK_MSG(t >= now_, "cannot schedule events in the past");
+  return events_.Schedule(t, std::move(fn));
+}
+
+void Simulator::RegisterAdvancer(std::function<void(SimTime, SimTime)> advancer) {
+  advancers_.push_back(std::move(advancer));
+}
+
+void Simulator::AdvanceTo(SimTime t) {
+  while (now_ < t) {
+    const SimTime step_end = std::min(t, now_ + max_slice_);
+    for (auto& advancer : advancers_) advancer(now_, step_end);
+    now_ = step_end;
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  ECLDB_CHECK(t >= now_);
+  while (true) {
+    const SimTime next_event = events_.NextTime();
+    if (next_event > t) break;
+    AdvanceTo(next_event);
+    // Run every event scheduled for this timestamp before advancing again.
+    while (events_.NextTime() == now_) events_.PopAndRun();
+  }
+  AdvanceTo(t);
+}
+
+}  // namespace ecldb::sim

@@ -1,0 +1,61 @@
+#ifndef ECLDB_SIM_SIMULATOR_H_
+#define ECLDB_SIM_SIMULATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace ecldb::sim {
+
+/// Discrete-time simulator.
+///
+/// The simulator combines an event queue (for control actions such as ECL
+/// ticks, query arrivals, and RTI switches) with continuous "advancers" that
+/// integrate state over the time between events — the hardware machine
+/// integrates energy, the DBMS scheduler integrates fluid work progress.
+///
+/// Advancers are additionally bounded by `max_slice` so that models whose
+/// rates change as work drains (e.g., a worker running out of queued
+/// messages) stay accurate.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  EventId Schedule(SimTime t, std::function<void()> fn);
+  EventId ScheduleAfter(SimDuration d, std::function<void()> fn) {
+    return Schedule(now_ + d, std::move(fn));
+  }
+  bool Cancel(EventId id) { return events_.Cancel(id); }
+
+  /// Registers a component advanced over every elapsed interval, in
+  /// registration order. The callback receives (from, to], to > from.
+  void RegisterAdvancer(std::function<void(SimTime, SimTime)> advancer);
+
+  /// Upper bound on a single advance interval. Default 1 ms.
+  void set_max_slice(SimDuration slice) { max_slice_ = slice; }
+  SimDuration max_slice() const { return max_slice_; }
+
+  /// Runs until virtual time `t` (inclusive of events at `t`).
+  void RunUntil(SimTime t);
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+  bool HasPendingEvents() const { return !events_.empty(); }
+
+ private:
+  void AdvanceTo(SimTime t);
+
+  SimTime now_ = 0;
+  SimDuration max_slice_ = Millis(1);
+  EventQueue events_;
+  std::vector<std::function<void(SimTime, SimTime)>> advancers_;
+};
+
+}  // namespace ecldb::sim
+
+#endif  // ECLDB_SIM_SIMULATOR_H_

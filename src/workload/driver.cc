@@ -1,0 +1,53 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::workload {
+
+LoadDriver::LoadDriver(sim::Simulator* simulator, engine::Engine* engine,
+                       Workload* workload, const LoadProfile* profile,
+                       const DriverParams& params)
+    : simulator_(simulator),
+      engine_(engine),
+      workload_(workload),
+      profile_(profile),
+      params_(params),
+      rng_(params.seed) {
+  ECLDB_CHECK(simulator != nullptr && engine != nullptr &&
+              workload != nullptr && profile != nullptr);
+  ECLDB_CHECK(params.capacity_qps > 0.0);
+}
+
+void LoadDriver::Start() {
+  start_time_ = simulator_->now();
+  ScheduleNext();
+}
+
+void LoadDriver::ScheduleNext() {
+  const SimTime now = simulator_->now();
+  const SimTime rel = now - start_time_;
+  if (rel >= profile_->duration()) return;
+
+  const double rate = profile_->LoadAt(rel) * params_.capacity_qps;
+  if (rate <= 1e-9) {
+    // No load right now: re-check in 50 ms.
+    simulator_->ScheduleAfter(Millis(50), [this] { ScheduleNext(); });
+    return;
+  }
+  const double gap_s =
+      params_.poisson ? rng_.NextExponential(rate) : 1.0 / rate;
+  const SimDuration gap = std::max<SimDuration>(
+      Nanos(100), static_cast<SimDuration>(gap_s * 1e9));
+  simulator_->ScheduleAfter(gap, [this] {
+    const SimTime t = simulator_->now() - start_time_;
+    if (t < profile_->duration()) {
+      engine_->Submit(workload_->MakeQuery(rng_));
+      ++submitted_;
+    }
+    ScheduleNext();
+  });
+}
+
+}  // namespace ecldb::workload

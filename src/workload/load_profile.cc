@@ -1,0 +1,81 @@
+#include "workload/load_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ecldb::workload {
+
+StepProfile::StepProfile(std::vector<Step> steps, SimDuration duration)
+    : steps_(std::move(steps)), duration_(duration) {
+  ECLDB_CHECK(!steps_.empty());
+  for (size_t i = 1; i < steps_.size(); ++i) {
+    ECLDB_CHECK(steps_[i].start > steps_[i - 1].start);
+  }
+}
+
+double StepProfile::LoadAt(SimTime t) const {
+  double level = 0.0;
+  for (const Step& s : steps_) {
+    if (t >= s.start) level = s.level;
+  }
+  return level;
+}
+
+SpikeProfile::SpikeProfile(SimDuration duration) : duration_(duration) {
+  ECLDB_CHECK(duration > 0);
+}
+
+double SpikeProfile::LoadAt(SimTime t) const {
+  const double s = ToSeconds(t) * 180.0 / ToSeconds(duration_);
+  if (s < 0.0 || s > 180.0) return 0.0;
+  // Ramp through every load level, hold an overload plateau (the paper's
+  // overload phase starts at ~80 s), then ramp back down.
+  if (s < 80.0) return 1.15 * s / 80.0;
+  if (s < 105.0) return 1.15;
+  return std::max(0.0, 1.15 * (180.0 - s) / 75.0);
+}
+
+TwitterProfile::TwitterProfile(uint64_t seed, SimDuration duration)
+    : duration_(duration) {
+  ECLDB_CHECK(duration > 0);
+  // 360 samples of 500 ms covering 3 minutes; a compressed two-hour
+  // diurnal curve with sudden spikes and frequent small fluctuations.
+  Rng rng(seed);
+  const int n = 360;
+  samples_.resize(n);
+  // Deterministic spike times (compressed "tweet storms").
+  struct Spike {
+    int at;
+    int width;
+    double height;
+  };
+  const Spike spikes[] = {{40, 5, 0.55}, {95, 4, 0.70}, {150, 3, 0.45},
+                          {210, 6, 0.60}, {265, 4, 0.75}, {320, 3, 0.50}};
+  for (int i = 0; i < n; ++i) {
+    const double phase = static_cast<double>(i) / n;
+    // Diurnal base between ~15 % and ~55 %.
+    double load = 0.33 + 0.20 * std::sin(2.0 * 3.141592653589793 * (phase - 0.2));
+    // Small random fluctuation, alternating up and down.
+    load += 0.05 * (rng.NextDouble() - 0.5);
+    for (const Spike& sp : spikes) {
+      const int d = i - sp.at;
+      if (d >= 0 && d < sp.width) {
+        load += sp.height * (1.0 - static_cast<double>(d) / sp.width);
+      }
+    }
+    samples_[static_cast<size_t>(i)] = std::clamp(load, 0.02, 1.1);
+  }
+}
+
+double TwitterProfile::LoadAt(SimTime t) const {
+  if (t < 0 || t >= duration_) return 0.0;
+  const size_t i = static_cast<size_t>(
+      static_cast<double>(t) / static_cast<double>(duration_) *
+      static_cast<double>(samples_.size()));
+  return samples_[std::min(i, samples_.size() - 1)];
+}
+
+}  // namespace ecldb::workload

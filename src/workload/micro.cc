@@ -1,0 +1,86 @@
+#include "workload/micro.h"
+
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace ecldb::workload {
+
+MicroWorkload::MicroWorkload(engine::Engine* engine,
+                             const hwsim::WorkProfile& profile,
+                             double ops_per_query, int partitions_per_query)
+    : engine_(engine),
+      profile_(&profile),
+      ops_per_query_(ops_per_query),
+      partitions_per_query_(partitions_per_query) {
+  ECLDB_CHECK(engine != nullptr);
+  ECLDB_CHECK(ops_per_query > 0.0);
+  ECLDB_CHECK(partitions_per_query >= 1);
+}
+
+engine::QuerySpec MicroWorkload::MakeQuery(Rng& rng) {
+  engine::QuerySpec spec;
+  spec.profile = profile_;
+  const int nparts = engine_->db().num_partitions();
+  const int k = std::min(partitions_per_query_, nparts);
+  const double ops_each = ops_per_query_ / k;
+  const int start = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(nparts)));
+  for (int i = 0; i < k; ++i) {
+    spec.work.push_back({(start + i) % nparts, ops_each});
+  }
+  spec.origin_socket = engine_->db().HomeOf(spec.work.front().partition);
+  return spec;
+}
+
+namespace kernels {
+
+int64_t ComputeKernel(int64_t iterations) {
+  volatile int64_t counter = 0;
+  for (int64_t i = 0; i < iterations; ++i) counter = counter + 1;
+  return counter;
+}
+
+int64_t ScanKernel(const std::vector<int64_t>& data) {
+  int64_t sum = 0;
+  for (int64_t v : data) sum += v;
+  return sum;
+}
+
+int64_t AtomicContentionKernel(int threads, int64_t target) {
+  ECLDB_CHECK(threads >= 1);
+  std::atomic<int64_t> counter{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    pool.emplace_back([&counter, target] {
+      while (counter.fetch_add(1, std::memory_order_relaxed) < target - 1) {
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return target;
+}
+
+size_t SharedHashInsertKernel(int threads, int64_t inserts_per_thread) {
+  ECLDB_CHECK(threads >= 1);
+  std::unordered_map<int64_t, int64_t> map;
+  std::mutex mu;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&map, &mu, t, inserts_per_thread] {
+      for (int64_t i = 0; i < inserts_per_thread; ++i) {
+        const int64_t key = t * inserts_per_thread + i;
+        std::lock_guard<std::mutex> lock(mu);
+        map.emplace(key, key);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return map.size();
+}
+
+}  // namespace kernels
+}  // namespace ecldb::workload

@@ -1,0 +1,58 @@
+#ifndef ECLDB_WORKLOAD_MICRO_H_
+#define ECLDB_WORKLOAD_MICRO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "workload/workload.h"
+
+namespace ecldb::workload {
+
+/// Simulation-mode micro workload: queries place `ops_per_query`
+/// operations of a fixed work profile on `partitions_per_query` random
+/// partitions. Used for the paper's Section 2/4 micro experiments
+/// (compute-bound, memory-bound, atomic contention, hash-table insert).
+class MicroWorkload : public Workload {
+ public:
+  MicroWorkload(engine::Engine* engine, const hwsim::WorkProfile& profile,
+                double ops_per_query, int partitions_per_query);
+
+  std::string_view name() const override { return profile_->name; }
+  const hwsim::WorkProfile& profile() const override { return *profile_; }
+  engine::QuerySpec MakeQuery(Rng& rng) override;
+  double MeanOpsPerQuery() const override { return ops_per_query_; }
+
+ private:
+  engine::Engine* engine_;
+  const hwsim::WorkProfile* profile_;
+  double ops_per_query_;
+  int partitions_per_query_;
+};
+
+/// Functional micro kernels: the real loops behind the simulated work
+/// profiles. They anchor the cost model (tests compare their real
+/// operation counts and memory footprints against the profile constants)
+/// and are runnable from the examples.
+namespace kernels {
+
+/// Increments a local counter `iterations` times; returns the counter.
+int64_t ComputeKernel(int64_t iterations);
+
+/// Sums an int64 array (one pass, 8 bytes per element); returns the sum.
+int64_t ScanKernel(const std::vector<int64_t>& data);
+
+/// `threads` workers atomically increment a shared counter until it
+/// reaches `target`; returns the final value (== target).
+int64_t AtomicContentionKernel(int threads, int64_t target);
+
+/// `threads` workers insert `inserts_per_thread` keys into one shared
+/// (mutex-protected) hash map; returns the final map size.
+size_t SharedHashInsertKernel(int threads, int64_t inserts_per_thread);
+
+}  // namespace kernels
+}  // namespace ecldb::workload
+
+#endif  // ECLDB_WORKLOAD_MICRO_H_

@@ -1,0 +1,107 @@
+#ifndef ECLDB_WORKLOAD_SSB_H_
+#define ECLDB_WORKLOAD_SSB_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/engine.h"
+#include "workload/workload.h"
+
+namespace ecldb::workload {
+
+/// Star Schema Benchmark (SSB) [17]: an OLAP workload of 13 star-join
+/// queries in four flights over a lineorder fact table and four dimension
+/// tables. The fact table is partitioned across all data partitions;
+/// dimension tables are replicated into every partition (standard
+/// shared-nothing star-schema placement).
+struct SsbParams {
+  /// SF 1 is 6M lineorder rows; tests use much smaller factors.
+  double scale_factor = 0.1;
+  bool indexed = true;
+  uint64_t seed = 99;
+  /// Simulation metadata: lineorder rows assumed by the cost model when
+  /// Load() is not called (defaults to scale_factor * 6M).
+  int64_t sim_lineorder_rows = 0;
+};
+
+class SsbWorkload : public Workload {
+ public:
+  static constexpr int kNumQueries = 13;
+  /// (flight, number) of the i-th query, i in [0, 13).
+  static std::pair<int, int> QueryAt(int i);
+
+  SsbWorkload(engine::Engine* engine, const SsbParams& params);
+
+  std::string_view name() const override {
+    return params_.indexed ? "ssb-indexed" : "ssb-non-indexed";
+  }
+  const hwsim::WorkProfile& profile() const override;
+  engine::QuerySpec MakeQuery(Rng& rng) override;
+  double MeanOpsPerQuery() const override;
+
+  // --- Functional mode ---------------------------------------------------
+
+  /// Generates and loads all five tables.
+  void Load();
+
+  struct QueryResult {
+    int64_t rows_scanned = 0;
+    int64_t matches = 0;
+    double aggregate = 0.0;
+    int groups = 0;
+  };
+
+  /// Executes SSB query `flight`.`number` (e.g. 2, 1 for Q2.1) over the
+  /// partitioned data; aggregates across all partitions (synchronous).
+  QueryResult RunQuery(int flight, int number);
+
+  // --- Asynchronous distributed execution ----------------------------------
+  // The query fans out through the message layer: every partition runs the
+  // scan->filter->aggregate pipeline locally when its fluid work completes
+  // (on whichever worker owns the partition), and the partial aggregates
+  // merge into the query's result — the data-oriented OLAP execution path
+  // with correct virtual-time latencies.
+
+  /// Registers this workload's functional executor with the engine
+  /// (call once after Load(); one workload owns the executor at a time).
+  void InstallExecutor();
+
+  /// Submits query `flight`.`number` for distributed execution. Partition
+  /// tasks on the remote socket travel through the inter-socket
+  /// communication endpoints like any message.
+  QueryId SubmitQuery(int flight, int number);
+
+  /// Retrieves (and removes) the merged result once every partition task
+  /// has completed; empty while in flight.
+  std::optional<QueryResult> TakeResult(QueryId id);
+
+  int64_t lineorder_rows() const { return lineorder_rows_; }
+
+ private:
+  int64_t SimLineorderRows() const;
+
+  engine::Engine* engine_;
+  SsbParams params_;
+  int64_t lineorder_rows_ = 0;
+  int64_t num_customers_ = 0;
+  int64_t num_suppliers_ = 0;
+  int64_t num_parts_ = 0;
+  int next_query_ = 0;
+
+  /// In-flight distributed queries: merged partials per query.
+  struct PendingResult {
+    QueryResult result;
+    std::map<std::string, double> groups;
+    int remaining_partitions = 0;
+  };
+  std::unordered_map<QueryId, PendingResult> pending_;
+  std::unordered_map<QueryId, QueryResult> async_results_;
+};
+
+}  // namespace ecldb::workload
+
+#endif  // ECLDB_WORKLOAD_SSB_H_

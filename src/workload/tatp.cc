@@ -1,0 +1,434 @@
+#include "workload/tatp.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "workload/work_profiles.h"
+
+namespace ecldb::workload {
+namespace {
+
+constexpr char kSubscriber[] = "subscriber";
+constexpr char kAccessInfo[] = "access_info";
+constexpr char kSpecialFacility[] = "special_facility";
+constexpr char kCallForwarding[] = "call_forwarding";
+
+constexpr char kSubPk[] = "sub_pk";
+constexpr char kAiPk[] = "ai_pk";
+constexpr char kSfPk[] = "sf_pk";
+constexpr char kCfPk[] = "cf_pk";
+
+// Standard TATP transaction mix in percent.
+constexpr int kMix[TatpWorkload::kNumTxTypes] = {35, 10, 35, 2, 14, 2, 2};
+
+std::string SubNbr(int64_t s_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%015lld", static_cast<long long>(s_id));
+  return buf;
+}
+
+}  // namespace
+
+const char* TatpWorkload::TxName(TxType t) {
+  switch (t) {
+    case TxType::kGetSubscriberData:
+      return "GET_SUBSCRIBER_DATA";
+    case TxType::kGetNewDestination:
+      return "GET_NEW_DESTINATION";
+    case TxType::kGetAccessData:
+      return "GET_ACCESS_DATA";
+    case TxType::kUpdateSubscriberData:
+      return "UPDATE_SUBSCRIBER_DATA";
+    case TxType::kUpdateLocation:
+      return "UPDATE_LOCATION";
+    case TxType::kInsertCallForwarding:
+      return "INSERT_CALL_FORWARDING";
+    case TxType::kDeleteCallForwarding:
+      return "DELETE_CALL_FORWARDING";
+  }
+  return "?";
+}
+
+TatpWorkload::TatpWorkload(engine::Engine* engine, const TatpParams& params)
+    : engine_(engine), params_(params) {
+  ECLDB_CHECK(engine != nullptr);
+  ECLDB_CHECK(params.subscribers > 0);
+}
+
+const hwsim::WorkProfile& TatpWorkload::profile() const {
+  return params_.indexed ? TatpIndexed() : TatpNonIndexed();
+}
+
+engine::QuerySpec TatpWorkload::MakeQuery(Rng& rng) {
+  engine::QuerySpec spec;
+  spec.profile = &profile();
+  const int nparts = engine_->db().num_partitions();
+  const int k = std::min(params_.partitions_per_query, nparts);
+  const double ops_each = MeanOpsPerQuery() / k;
+  const int start = static_cast<int>(rng.NextBounded(static_cast<uint64_t>(nparts)));
+  for (int i = 0; i < k; ++i) {
+    spec.work.push_back({(start + i) % nparts, ops_each});
+  }
+  spec.origin_socket = engine_->db().HomeOf(spec.work.front().partition);
+  return spec;
+}
+
+double TatpWorkload::MeanOpsPerQuery() const {
+  if (params_.indexed) {
+    // ~4 index/row access steps per transaction on average.
+    return 4.0 * params_.tx_per_query_indexed;
+  }
+  // Without indexes every lookup becomes a shard scan; ~1.6 scans/tx.
+  const double rows_per_part = static_cast<double>(params_.subscribers) /
+                               engine_->db().num_partitions();
+  return 1.6 * rows_per_part * params_.tx_per_query_non_indexed;
+}
+
+engine::Partition* TatpWorkload::PartitionOf(int64_t s_id) {
+  engine::Database& db = engine_->db();
+  return db.partition(db.PartitionForKey(s_id));
+}
+
+int64_t TatpWorkload::RandomSid(Rng& rng) const {
+  return static_cast<int64_t>(
+      rng.NextBounded(static_cast<uint64_t>(params_.subscribers))) + 1;
+}
+
+void TatpWorkload::Load() {
+  engine::Database& db = engine_->db();
+  using engine::ColumnType;
+  db.CreateTable(kSubscriber,
+                 engine::Schema({{"s_id", ColumnType::kInt64},
+                                 {"sub_nbr", ColumnType::kString},
+                                 {"bit_1", ColumnType::kInt64},
+                                 {"msc_location", ColumnType::kInt64},
+                                 {"vlr_location", ColumnType::kInt64}}));
+  db.CreateTable(kAccessInfo, engine::Schema({{"s_id", ColumnType::kInt64},
+                                              {"ai_type", ColumnType::kInt64},
+                                              {"data1", ColumnType::kInt64},
+                                              {"data2", ColumnType::kInt64},
+                                              {"data3", ColumnType::kString},
+                                              {"data4", ColumnType::kString}}));
+  db.CreateTable(kSpecialFacility,
+                 engine::Schema({{"s_id", ColumnType::kInt64},
+                                 {"sf_type", ColumnType::kInt64},
+                                 {"is_active", ColumnType::kInt64},
+                                 {"error_cntrl", ColumnType::kInt64},
+                                 {"data_a", ColumnType::kInt64},
+                                 {"data_b", ColumnType::kString}}));
+  db.CreateTable(kCallForwarding,
+                 engine::Schema({{"s_id", ColumnType::kInt64},
+                                 {"sf_type", ColumnType::kInt64},
+                                 {"start_time", ColumnType::kInt64},
+                                 {"end_time", ColumnType::kInt64},
+                                 {"numberx", ColumnType::kString}}));
+  if (params_.indexed) {
+    db.CreateIndex(kSubPk);
+    db.CreateIndex(kAiPk);
+    db.CreateIndex(kSfPk);
+    db.CreateIndex(kCfPk);
+  }
+
+  Rng rng(params_.seed);
+  for (int64_t s_id = 1; s_id <= params_.subscribers; ++s_id) {
+    engine::Partition* part = PartitionOf(s_id);
+    engine::Table* sub = part->table(kSubscriber);
+    const size_t sub_row = sub->AppendRow({s_id, SubNbr(s_id),
+                                           rng.NextInRange(0, 1),
+                                           rng.NextInRange(0, 0xffffffff),
+                                           rng.NextInRange(0, 0xffffffff)});
+    if (params_.indexed) {
+      part->index(kSubPk)->Insert(s_id, static_cast<uint32_t>(sub_row));
+    }
+
+    // 1..4 distinct access_info rows.
+    const int n_ai = static_cast<int>(rng.NextInRange(1, 4));
+    for (int ai_type = 1; ai_type <= n_ai; ++ai_type) {
+      engine::Table* ai = part->table(kAccessInfo);
+      const size_t row = ai->AppendRow({s_id, static_cast<int64_t>(ai_type),
+                                        rng.NextInRange(0, 255),
+                                        rng.NextInRange(0, 255),
+                                        std::string("AB3"), std::string("DEF45")});
+      if (params_.indexed) {
+        part->index(kAiPk)->Insert(AiKey(s_id, ai_type), static_cast<uint32_t>(row));
+      }
+    }
+
+    // 1..4 distinct special_facility rows; ~85 % active.
+    const int n_sf = static_cast<int>(rng.NextInRange(1, 4));
+    for (int sf_type = 1; sf_type <= n_sf; ++sf_type) {
+      engine::Table* sf = part->table(kSpecialFacility);
+      const size_t row =
+          sf->AppendRow({s_id, static_cast<int64_t>(sf_type),
+                         static_cast<int64_t>(rng.NextBool(0.85) ? 1 : 0),
+                         rng.NextInRange(0, 255), rng.NextInRange(0, 255),
+                         std::string("XYZAB")});
+      if (params_.indexed) {
+        part->index(kSfPk)->Insert(SfKey(s_id, sf_type), static_cast<uint32_t>(row));
+      }
+      // 0..3 call_forwarding rows per special facility.
+      const int n_cf = static_cast<int>(rng.NextInRange(0, 3));
+      for (int c = 0; c < n_cf; ++c) {
+        const int64_t start_time = c * 8;  // 0, 8, 16
+        engine::Table* cf = part->table(kCallForwarding);
+        const size_t cf_row = cf->AppendRow(
+            {s_id, static_cast<int64_t>(sf_type), start_time,
+             start_time + rng.NextInRange(1, 8), SubNbr(RandomSid(rng))});
+        if (params_.indexed) {
+          part->index(kCfPk)->Insert(CfKey(s_id, sf_type, start_time),
+                                     static_cast<uint32_t>(cf_row));
+        }
+      }
+    }
+  }
+  loaded_ = true;
+}
+
+TatpWorkload::TxType TatpWorkload::PickTx(Rng& rng) const {
+  int r = static_cast<int>(rng.NextBounded(100));
+  for (int t = 0; t < kNumTxTypes; ++t) {
+    r -= kMix[t];
+    if (r < 0) return static_cast<TxType>(t);
+  }
+  return TxType::kGetSubscriberData;
+}
+
+int TatpWorkload::FindSubscriber(engine::Partition* part, int64_t s_id) const {
+  if (params_.indexed) {
+    const auto row = part->index(kSubPk)->Find(s_id);
+    return row ? static_cast<int>(*row) : -1;
+  }
+  const auto& ids = part->table(kSubscriber)->column(0)->ints();
+  for (size_t row = 0; row < ids.size(); ++row) {
+    if (ids[row] == s_id) return static_cast<int>(row);
+  }
+  return -1;
+}
+
+int TatpWorkload::FindAi(engine::Partition* part, int64_t s_id,
+                         int64_t ai_type) const {
+  if (params_.indexed) {
+    const auto row = part->index(kAiPk)->Find(AiKey(s_id, ai_type));
+    return row ? static_cast<int>(*row) : -1;
+  }
+  engine::Table* t = part->table(kAccessInfo);
+  const auto& ids = t->column(0)->ints();
+  const auto& types = t->column(1)->ints();
+  for (size_t row = 0; row < ids.size(); ++row) {
+    if (ids[row] == s_id && types[row] == ai_type) return static_cast<int>(row);
+  }
+  return -1;
+}
+
+int TatpWorkload::FindSf(engine::Partition* part, int64_t s_id,
+                         int64_t sf_type) const {
+  if (params_.indexed) {
+    const auto row = part->index(kSfPk)->Find(SfKey(s_id, sf_type));
+    return row ? static_cast<int>(*row) : -1;
+  }
+  engine::Table* t = part->table(kSpecialFacility);
+  const auto& ids = t->column(0)->ints();
+  const auto& types = t->column(1)->ints();
+  for (size_t row = 0; row < ids.size(); ++row) {
+    if (ids[row] == s_id && types[row] == sf_type) return static_cast<int>(row);
+  }
+  return -1;
+}
+
+int TatpWorkload::FindCf(engine::Partition* part, int64_t s_id, int64_t sf_type,
+                         int64_t start_time) const {
+  engine::Table* t = part->table(kCallForwarding);
+  if (params_.indexed) {
+    const auto row = part->index(kCfPk)->Find(CfKey(s_id, sf_type, start_time));
+    if (!row || t->IsDeleted(*row)) return -1;
+    return static_cast<int>(*row);
+  }
+  const auto& ids = t->column(0)->ints();
+  const auto& types = t->column(1)->ints();
+  const auto& starts = t->column(2)->ints();
+  for (size_t row = 0; row < ids.size(); ++row) {
+    if (!t->IsDeleted(row) && ids[row] == s_id && types[row] == sf_type &&
+        starts[row] == start_time) {
+      return static_cast<int>(row);
+    }
+  }
+  return -1;
+}
+
+bool TatpWorkload::GetSubscriberData(Rng& rng) {
+  const int64_t s_id = RandomSid(rng);
+  engine::Partition* part = PartitionOf(s_id);
+  const int row = FindSubscriber(part, s_id);
+  if (row < 0) return false;
+  engine::Table* sub = part->table(kSubscriber);
+  // Read all fields (the transaction returns the full row).
+  volatile int64_t sink = sub->column(2)->GetInt(static_cast<size_t>(row)) +
+                          sub->column(3)->GetInt(static_cast<size_t>(row)) +
+                          sub->column(4)->GetInt(static_cast<size_t>(row));
+  (void)sink;
+  return true;
+}
+
+bool TatpWorkload::GetNewDestination(Rng& rng) {
+  const int64_t s_id = RandomSid(rng);
+  const int64_t sf_type = rng.NextInRange(1, 4);
+  const int64_t start_time = rng.NextInRange(0, 2) * 8;
+  const int64_t end_time = rng.NextInRange(1, 24);
+  engine::Partition* part = PartitionOf(s_id);
+  const int sf_row = FindSf(part, s_id, sf_type);
+  if (sf_row < 0) return false;
+  engine::Table* sf = part->table(kSpecialFacility);
+  if (sf->column(2)->GetInt(static_cast<size_t>(sf_row)) != 1) return false;
+  const int cf_row = FindCf(part, s_id, sf_type, start_time);
+  if (cf_row < 0) return false;
+  engine::Table* cf = part->table(kCallForwarding);
+  if (cf->column(3)->GetInt(static_cast<size_t>(cf_row)) <= end_time &&
+      end_time < start_time) {
+    return false;
+  }
+  return cf->column(3)->GetInt(static_cast<size_t>(cf_row)) > start_time;
+}
+
+bool TatpWorkload::GetAccessData(Rng& rng) {
+  const int64_t s_id = RandomSid(rng);
+  const int64_t ai_type = rng.NextInRange(1, 4);
+  engine::Partition* part = PartitionOf(s_id);
+  const int row = FindAi(part, s_id, ai_type);
+  if (row < 0) return false;
+  engine::Table* ai = part->table(kAccessInfo);
+  volatile int64_t sink = ai->column(2)->GetInt(static_cast<size_t>(row)) +
+                          ai->column(3)->GetInt(static_cast<size_t>(row));
+  (void)sink;
+  return true;
+}
+
+bool TatpWorkload::UpdateSubscriberData(Rng& rng) {
+  const int64_t s_id = RandomSid(rng);
+  const int64_t sf_type = rng.NextInRange(1, 4);
+  engine::Partition* part = PartitionOf(s_id);
+  const int sub_row = FindSubscriber(part, s_id);
+  if (sub_row < 0) return false;
+  part->table(kSubscriber)
+      ->column(2)
+      ->SetInt(static_cast<size_t>(sub_row), rng.NextInRange(0, 1));
+  const int sf_row = FindSf(part, s_id, sf_type);
+  if (sf_row < 0) return false;  // spec: fails when the sf row is absent
+  part->table(kSpecialFacility)
+      ->column(4)
+      ->SetInt(static_cast<size_t>(sf_row), rng.NextInRange(0, 255));
+  return true;
+}
+
+bool TatpWorkload::UpdateLocation(Rng& rng) {
+  const int64_t s_id = RandomSid(rng);
+  engine::Partition* part = PartitionOf(s_id);
+  const int row = FindSubscriber(part, s_id);
+  if (row < 0) return false;
+  part->table(kSubscriber)
+      ->column(4)
+      ->SetInt(static_cast<size_t>(row), rng.NextInRange(0, 0xffffffff));
+  return true;
+}
+
+bool TatpWorkload::InsertCallForwarding(Rng& rng) {
+  const int64_t s_id = RandomSid(rng);
+  const int64_t sf_type = rng.NextInRange(1, 4);
+  const int64_t start_time = rng.NextInRange(0, 2) * 8;
+  engine::Partition* part = PartitionOf(s_id);
+  if (FindSf(part, s_id, sf_type) < 0) return false;
+  if (FindCf(part, s_id, sf_type, start_time) >= 0) return false;  // exists
+  engine::Table* cf = part->table(kCallForwarding);
+  const size_t row = cf->AppendRow({s_id, sf_type, start_time,
+                                    start_time + rng.NextInRange(1, 8),
+                                    SubNbr(RandomSid(rng))});
+  if (params_.indexed) {
+    part->index(kCfPk)->Upsert(CfKey(s_id, sf_type, start_time),
+                               static_cast<uint32_t>(row));
+  }
+  return true;
+}
+
+bool TatpWorkload::DeleteCallForwarding(Rng& rng) {
+  const int64_t s_id = RandomSid(rng);
+  const int64_t sf_type = rng.NextInRange(1, 4);
+  const int64_t start_time = rng.NextInRange(0, 2) * 8;
+  engine::Partition* part = PartitionOf(s_id);
+  const int row = FindCf(part, s_id, sf_type, start_time);
+  if (row < 0) return false;
+  part->table(kCallForwarding)->DeleteRow(static_cast<size_t>(row));
+  if (params_.indexed) {
+    part->index(kCfPk)->Erase(CfKey(s_id, sf_type, start_time));
+  }
+  return true;
+}
+
+void TatpWorkload::InstallExecutor() {
+  engine_->scheduler().SetFunctionalExecutor(
+      [this](PartitionId partition, const msg::Message& m) {
+        (void)partition;
+        // Replay the transaction deterministically from its seed; every
+        // transaction draws its subscriber first, so it lands exactly on
+        // the partition the message was routed to.
+        Rng rng(static_cast<uint64_t>(m.payload[3]));
+        ExecuteTx(static_cast<TxType>(m.payload[2]), rng);
+      });
+}
+
+QueryId TatpWorkload::SubmitTx(TxType type, Rng& rng) {
+  ECLDB_CHECK_MSG(loaded_, "call Load() first");
+  const uint64_t seed = rng.Next();
+  // Peek the subscriber the replayed transaction will draw first, to route
+  // the message to its home partition.
+  Rng peek(seed);
+  const int64_t s_id = RandomSid(peek);
+
+  engine::QuerySpec spec;
+  spec.profile = &profile();
+  engine::PartitionWork work;
+  work.partition = engine_->db().PartitionForKey(s_id);
+  // Fluid cost: ~4 access steps per transaction when indexed; a shard
+  // scan per lookup otherwise.
+  work.ops = params_.indexed
+                 ? 4.0
+                 : 1.6 * static_cast<double>(params_.subscribers) /
+                       engine_->db().num_partitions();
+  work.type = msg::MessageType::kScan;  // functional opcode
+  work.arg0 = static_cast<int64_t>(type);
+  work.arg1 = static_cast<int64_t>(seed);
+  spec.work.push_back(work);
+  spec.origin_socket = engine_->db().HomeOf(work.partition);
+  return engine_->Submit(spec);
+}
+
+bool TatpWorkload::ExecuteTx(TxType type, Rng& rng) {
+  ECLDB_CHECK_MSG(loaded_, "call Load() first");
+  bool ok = false;
+  switch (type) {
+    case TxType::kGetSubscriberData:
+      ok = GetSubscriberData(rng);
+      break;
+    case TxType::kGetNewDestination:
+      ok = GetNewDestination(rng);
+      break;
+    case TxType::kGetAccessData:
+      ok = GetAccessData(rng);
+      break;
+    case TxType::kUpdateSubscriberData:
+      ok = UpdateSubscriberData(rng);
+      break;
+    case TxType::kUpdateLocation:
+      ok = UpdateLocation(rng);
+      break;
+    case TxType::kInsertCallForwarding:
+      ok = InsertCallForwarding(rng);
+      break;
+    case TxType::kDeleteCallForwarding:
+      ok = DeleteCallForwarding(rng);
+      break;
+  }
+  ++executed_[static_cast<size_t>(type)];
+  if (ok) ++succeeded_[static_cast<size_t>(type)];
+  return ok;
+}
+
+}  // namespace ecldb::workload

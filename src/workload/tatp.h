@@ -1,0 +1,123 @@
+#ifndef ECLDB_WORKLOAD_TATP_H_
+#define ECLDB_WORKLOAD_TATP_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "engine/engine.h"
+#include "workload/workload.h"
+
+namespace ecldb::workload {
+
+/// TATP (Telecom Application Transaction Processing) benchmark [9]:
+/// an OLTP workload of seven short transactions over four tables
+/// (subscriber, access_info, special_facility, call_forwarding),
+/// partitioned by subscriber id so transactions are partition-local.
+struct TatpParams {
+  /// Subscriber population (spec default 100k; scale down for tests).
+  int64_t subscribers = 100'000;
+  bool indexed = true;
+  /// Simulation mode: transactions batched per query.
+  int tx_per_query_indexed = 2000;
+  int tx_per_query_non_indexed = 20;
+  int partitions_per_query = 4;
+  uint64_t seed = 1234;
+};
+
+class TatpWorkload : public Workload {
+ public:
+  /// The seven TATP transactions with their standard mix weights.
+  enum class TxType {
+    kGetSubscriberData,    // 35 %
+    kGetNewDestination,    // 10 %
+    kGetAccessData,        // 35 %
+    kUpdateSubscriberData, //  2 %
+    kUpdateLocation,       // 14 %
+    kInsertCallForwarding, //  2 %
+    kDeleteCallForwarding, //  2 %
+  };
+  static constexpr int kNumTxTypes = 7;
+  static const char* TxName(TxType t);
+
+  TatpWorkload(engine::Engine* engine, const TatpParams& params);
+
+  std::string_view name() const override {
+    return params_.indexed ? "tatp-indexed" : "tatp-non-indexed";
+  }
+  const hwsim::WorkProfile& profile() const override;
+  engine::QuerySpec MakeQuery(Rng& rng) override;
+  double MeanOpsPerQuery() const override;
+
+  // --- Functional mode ---------------------------------------------------
+
+  /// Creates and populates all four tables (and indexes when indexed)
+  /// according to the TATP population rules.
+  void Load();
+
+  /// Draws a transaction type from the standard mix.
+  TxType PickTx(Rng& rng) const;
+
+  /// Executes one transaction functionally; returns whether it succeeded
+  /// (TATP defines expected failure rates, e.g. GetAccessData misses when
+  /// the (s_id, ai_type) pair does not exist).
+  bool ExecuteTx(TxType type, Rng& rng);
+
+  int64_t executed(TxType t) const {
+    return executed_[static_cast<size_t>(t)];
+  }
+  int64_t succeeded(TxType t) const {
+    return succeeded_[static_cast<size_t>(t)];
+  }
+
+  // --- Asynchronous functional mode ---------------------------------------
+  // A transaction travels through the message layer to its subscriber's
+  // partition and executes there when its fluid work completes: the
+  // data-oriented execution path with correct virtual-time latencies.
+  // TATP transactions are partition-local (all four tables co-partitioned
+  // by s_id), so one message per transaction suffices.
+
+  /// Registers this workload's functional executor with the engine
+  /// (call once after Load(); one workload owns the executor at a time).
+  void InstallExecutor();
+
+  /// Submits one transaction of the given type with a fresh random seed;
+  /// the transaction's effects apply when the query completes.
+  QueryId SubmitTx(TxType type, Rng& rng);
+
+ private:
+  engine::Partition* PartitionOf(int64_t s_id);
+  int64_t RandomSid(Rng& rng) const;
+  /// Composite index keys.
+  static int64_t AiKey(int64_t s_id, int64_t ai_type) { return s_id * 8 + ai_type; }
+  static int64_t SfKey(int64_t s_id, int64_t sf_type) { return s_id * 8 + sf_type; }
+  static int64_t CfKey(int64_t s_id, int64_t sf_type, int64_t start_time) {
+    return (s_id * 8 + sf_type) * 4 + start_time / 8;
+  }
+
+  bool GetSubscriberData(Rng& rng);
+  bool GetNewDestination(Rng& rng);
+  bool GetAccessData(Rng& rng);
+  bool UpdateSubscriberData(Rng& rng);
+  bool UpdateLocation(Rng& rng);
+  bool InsertCallForwarding(Rng& rng);
+  bool DeleteCallForwarding(Rng& rng);
+
+  // Row lookups: hash-index probes when indexed, shard scans otherwise
+  // (which is exactly what makes the non-indexed variant bandwidth-bound).
+  int FindSubscriber(engine::Partition* part, int64_t s_id) const;
+  int FindAi(engine::Partition* part, int64_t s_id, int64_t ai_type) const;
+  int FindSf(engine::Partition* part, int64_t s_id, int64_t sf_type) const;
+  int FindCf(engine::Partition* part, int64_t s_id, int64_t sf_type,
+             int64_t start_time) const;
+
+  engine::Engine* engine_;
+  TatpParams params_;
+  std::array<int64_t, kNumTxTypes> executed_{};
+  std::array<int64_t, kNumTxTypes> succeeded_{};
+  bool loaded_ = false;
+};
+
+}  // namespace ecldb::workload
+
+#endif  // ECLDB_WORKLOAD_TATP_H_

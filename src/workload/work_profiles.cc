@@ -1,0 +1,129 @@
+#include "workload/work_profiles.h"
+
+namespace ecldb::workload {
+
+using hwsim::ContentionClass;
+using hwsim::WorkProfile;
+
+const WorkProfile& ComputeBound() {
+  static const WorkProfile& p = *new WorkProfile{
+      .name = "compute-bound",
+      .instr_per_op = 1.0,
+      .cpi = 1.0,
+  };
+  return p;
+}
+
+const WorkProfile& MemoryScan() {
+  static const WorkProfile& p = *new WorkProfile{
+      .name = "memory-scan",
+      .instr_per_op = 8.0,
+      .cpi = 0.4,
+      .bytes_per_op = 64.0,
+  };
+  return p;
+}
+
+const WorkProfile& AtomicContention() {
+  static const WorkProfile& p = *new WorkProfile{
+      .name = "atomic-contention",
+      .instr_per_op = 5.0,
+      .cpi = 1.0,
+      .contention = ContentionClass::kSharedCacheLine,
+  };
+  return p;
+}
+
+const WorkProfile& HashInsertShared() {
+  static const WorkProfile& p = *new WorkProfile{
+      .name = "hash-insert-shared",
+      .instr_per_op = 50.0,
+      .cpi = 0.8,
+      .mem_accesses_per_op = 1.2,
+      .mlp = 2.0,
+      .bytes_per_op = 64.0,
+      .contention = ContentionClass::kSharedStructure,
+      .serial_linear = 0.02,
+      .serial_quad = 0.006,
+  };
+  return p;
+}
+
+const WorkProfile& Firestarter() {
+  static const WorkProfile& p = *new WorkProfile{
+      .name = "firestarter",
+      .instr_per_op = 1.0,
+      .cpi = 0.25,
+      .bytes_per_op = 6.0,
+      .power_scale = 1.35,
+  };
+  return p;
+}
+
+const WorkProfile& KvIndexed() {
+  static const WorkProfile& p = *new WorkProfile{
+      .name = "kv-indexed",
+      .instr_per_op = 600.0,
+      .cpi = 0.7,
+      .mem_accesses_per_op = 1.5,
+      .mlp = 2.0,
+      .bytes_per_op = 160.0,
+  };
+  return p;
+}
+
+const WorkProfile& KvNonIndexed() {
+  static const WorkProfile& p = *new WorkProfile{
+      .name = "kv-non-indexed",
+      .instr_per_op = 2.0,
+      .cpi = 0.4,
+      .bytes_per_op = 8.0,
+  };
+  return p;
+}
+
+const WorkProfile& TatpIndexed() {
+  static const WorkProfile& p = *new WorkProfile{
+      .name = "tatp-indexed",
+      .instr_per_op = 500.0,
+      .cpi = 0.7,
+      .mem_accesses_per_op = 1.4,
+      .mlp = 1.8,
+      .bytes_per_op = 140.0,
+  };
+  return p;
+}
+
+const WorkProfile& TatpNonIndexed() {
+  static const WorkProfile& p = *new WorkProfile{
+      .name = "tatp-non-indexed",
+      .instr_per_op = 6.0,
+      .cpi = 0.4,
+      .bytes_per_op = 24.0,
+  };
+  return p;
+}
+
+const WorkProfile& SsbIndexed() {
+  static const WorkProfile& p = *new WorkProfile{
+      .name = "ssb-indexed",
+      .instr_per_op = 400.0,
+      .cpi = 0.65,
+      .mem_accesses_per_op = 2.0,
+      .mlp = 2.0,
+      .bytes_per_op = 220.0,
+  };
+  return p;
+}
+
+const WorkProfile& SsbNonIndexed() {
+  static const WorkProfile& p = *new WorkProfile{
+      .name = "ssb-non-indexed",
+      .instr_per_op = 10.0,
+      .cpi = 0.4,
+      .bytes_per_op = 40.0,
+  };
+  return p;
+}
+
+}  // namespace ecldb::workload

@@ -1,0 +1,57 @@
+#ifndef ECLDB_WORKLOAD_WORK_PROFILES_H_
+#define ECLDB_WORKLOAD_WORK_PROFILES_H_
+
+#include "hwsim/work_profile.h"
+
+namespace ecldb::workload {
+
+// Canonical work profiles of the paper's workloads. Units ("operations")
+// differ per workload and are documented per profile. The calibration
+// reproduces the qualitative energy-profile shapes of Figures 9, 10 and
+// 17-20: compute-bound work favors low uncore clocks, bandwidth-bound work
+// favors the highest uncore clock at the lowest core clock, contended work
+// favors very few threads, and the benchmark workloads sit in between.
+
+/// Incrementing a thread-local counter; op = one increment (Fig. 9).
+const hwsim::WorkProfile& ComputeBound();
+
+/// Column scan; op = one 64-byte cache line (Figs. 6 and 10(a)).
+const hwsim::WorkProfile& MemoryScan();
+
+/// All threads atomically increment one shared variable; op = one
+/// increment (Fig. 10(b)).
+const hwsim::WorkProfile& AtomicContention();
+
+/// Threads insert into a shared hash table; op = one insert (Fig. 10(c)).
+const hwsim::WorkProfile& HashInsertShared();
+
+/// FIRESTARTER-like AVX burn kernel used for peak-power measurements
+/// (Fig. 3); op = one AVX block.
+const hwsim::WorkProfile& Firestarter();
+
+/// Key-value store, fully indexed: hash-index point lookups; op = one
+/// lookup (memory latency-bound).
+const hwsim::WorkProfile& KvIndexed();
+
+/// Key-value store, non-indexed: partition-shard column scans; op = one
+/// scanned row (memory bandwidth-bound, resembles Fig. 10(a)).
+const hwsim::WorkProfile& KvNonIndexed();
+
+/// TATP transactions over indexed tables; op = one index/row access step.
+const hwsim::WorkProfile& TatpIndexed();
+
+/// TATP over non-indexed tables (lookups become shard scans); op = one
+/// scanned row.
+const hwsim::WorkProfile& TatpNonIndexed();
+
+/// SSB star-join queries over indexed (join-index) tables; op = one
+/// probe/tuple reconstruction step. Ships data between partitions, hence
+/// a higher uncore demand than TATP (paper Section 6.2).
+const hwsim::WorkProfile& SsbIndexed();
+
+/// SSB with full lineorder scans; op = one scanned tuple.
+const hwsim::WorkProfile& SsbNonIndexed();
+
+}  // namespace ecldb::workload
+
+#endif  // ECLDB_WORKLOAD_WORK_PROFILES_H_

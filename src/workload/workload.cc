@@ -1,0 +1,32 @@
+#include "workload/workload.h"
+
+#include "common/check.h"
+#include "hwsim/bandwidth_model.h"
+#include "hwsim/perf_model.h"
+
+namespace ecldb::workload {
+
+double SaturatedOpsPerSec(const hwsim::MachineParams& params,
+                          const hwsim::WorkProfile& profile) {
+  const hwsim::Topology& topo = params.topology;
+  hwsim::BandwidthModel bw(params.bandwidth);
+  hwsim::PerfModel perf(topo, bw, params.perf);
+  const hwsim::MachineConfig all_on = hwsim::MachineConfig::AllOn(
+      topo, params.freqs.max_core_nominal(), params.freqs.max_uncore());
+  std::vector<hwsim::ThreadLoad> loads(
+      static_cast<size_t>(topo.total_threads()), hwsim::ThreadLoad{&profile, 1.0});
+  const hwsim::SolveResult solved = perf.Solve(all_on, loads);
+  double total = 0.0;
+  for (const hwsim::ThreadRate& r : solved.threads) total += r.ops_per_sec;
+  return total;
+}
+
+double BaselineCapacityQps(const hwsim::MachineParams& params,
+                           Workload& workload) {
+  const double ops = SaturatedOpsPerSec(params, workload.profile());
+  const double per_query = workload.MeanOpsPerQuery();
+  ECLDB_CHECK(per_query > 0.0);
+  return ops / per_query;
+}
+
+}  // namespace ecldb::workload

@@ -1,0 +1,43 @@
+#ifndef ECLDB_WORKLOAD_WORKLOAD_H_
+#define ECLDB_WORKLOAD_WORKLOAD_H_
+
+#include <string_view>
+
+#include "common/rng.h"
+#include "engine/query.h"
+#include "hwsim/machine.h"
+#include "hwsim/work_profile.h"
+
+namespace ecldb::workload {
+
+/// A benchmark workload: generates queries for the simulation-mode driver
+/// and (in the concrete classes) offers functional execution against real
+/// partition data for correctness tests and examples.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string_view name() const = 0;
+  /// Hardware-facing work profile of this workload's operations.
+  virtual const hwsim::WorkProfile& profile() const = 0;
+  /// Builds one query (its per-partition fluid work).
+  virtual engine::QuerySpec MakeQuery(Rng& rng) = 0;
+  /// Average total operations per query (capacity estimation).
+  virtual double MeanOpsPerQuery() const = 0;
+};
+
+/// Saturated machine-wide throughput (ops/s) of a work profile on the
+/// all-on baseline configuration (every hardware thread at the maximum
+/// nominal frequency, maximum uncore clock). Solved analytically through
+/// the performance model; used to normalize load profiles.
+double SaturatedOpsPerSec(const hwsim::MachineParams& params,
+                          const hwsim::WorkProfile& profile);
+
+/// Queries per second that saturate the all-on baseline for `workload`.
+/// Load profiles are expressed relative to this capacity.
+double BaselineCapacityQps(const hwsim::MachineParams& params,
+                           Workload& workload);
+
+}  // namespace ecldb::workload
+
+#endif  // ECLDB_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,313 @@
+// Edge cases and failure-injection tests across modules.
+#include <gtest/gtest.h>
+
+#include "ecl/ecl.h"
+#include "ecl/os_governor.h"
+#include "engine/engine.h"
+#include "hwsim/machine.h"
+#include "profile/config_generator.h"
+#include "sim/simulator.h"
+#include "workload/driver.h"
+#include "workload/kv.h"
+#include "workload/load_profile.h"
+#include "workload/work_profiles.h"
+
+namespace ecldb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Custom (non-Haswell) topologies: the library is not hard-wired to the
+// paper's 2-socket/12-core machine.
+// ---------------------------------------------------------------------------
+
+hwsim::MachineParams SmallMachine() {
+  hwsim::MachineParams p = hwsim::MachineParams::HaswellEp();
+  p.topology = hwsim::Topology{1, 4, 2};
+  p.power.pkg_base_halted_w = {10.0};
+  return p;
+}
+
+TEST(CustomTopologyTest, SingleSocketMachineWorks) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, SmallMachine());
+  EXPECT_EQ(machine.topology().total_threads(), 8);
+  machine.ApplySocketConfig(
+      0, hwsim::SocketConfig::AllOn(machine.topology(), 2.0, 2.0));
+  machine.SetThreadLoad(0, &workload::ComputeBound(), 1.0);
+  sim.RunFor(Millis(100));
+  EXPECT_GT(machine.TotalEnergyJoules(), 0.0);
+  EXPECT_GT(machine.TakeCompletedOps(0), 0.0);
+}
+
+TEST(CustomTopologyTest, EngineAndEclOnSmallMachine) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, SmallMachine());
+  engine::Engine engine(&sim, &machine, engine::EngineParams{});
+  EXPECT_EQ(engine.db().num_partitions(), 8);
+  ecl::EnergyControlLoop loop(&sim, &engine, ecl::EclParams{});
+  loop.Start();
+  EXPECT_EQ(loop.num_sockets(), 1);
+  engine.scheduler().SetSyntheticLoad(&workload::ComputeBound());
+  sim.RunFor(Seconds(30));
+  // The ECL primed its profile via multiplexed adaptation from scratch.
+  EXPECT_GT(loop.socket(0).profile().measured_count(), 50);
+  EXPECT_GE(loop.socket(0).profile().MostEfficientIndex(), 0);
+}
+
+TEST(CustomTopologyTest, GeneratorAdaptsToSmallSocket) {
+  const hwsim::Topology topo{1, 4, 2};
+  profile::ConfigGenerator gen(topo, hwsim::FrequencyTable::HaswellEp());
+  profile::GeneratorParams params;  // 4 x 3, c_max 256
+  // 8 threads x 4 x 3 = 96 <= 256: per-thread granularity.
+  EXPECT_EQ(gen.GroupSizeFor(params), 1);
+  EXPECT_EQ(gen.Generate(params).size(), 97u);
+}
+
+// ---------------------------------------------------------------------------
+// ECL without priming: bootstraps via the widest configuration and fills
+// the profile through multiplexed adaptation under live load.
+// ---------------------------------------------------------------------------
+
+TEST(EclBootstrapTest, ColdStartServesLoadAndLearns) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  engine::Engine engine(&sim, &machine, engine::EngineParams{});
+  workload::KvParams kvp;
+  kvp.indexed = false;
+  workload::KvWorkload kv(&engine, kvp);
+  ecl::EnergyControlLoop loop(&sim, &engine, ecl::EclParams{});
+  loop.Start();
+  const double cap = workload::BaselineCapacityQps(machine.params(), kv);
+  workload::ConstantProfile profile(0.3, Seconds(40));
+  workload::DriverParams dp;
+  dp.capacity_qps = cap;
+  workload::LoadDriver driver(&sim, &engine, &kv, &profile, dp);
+  driver.Start();
+  sim.RunFor(Seconds(45));
+  // Queries were served even though the profile started empty.
+  EXPECT_EQ(engine.latency().completed(), driver.submitted());
+  EXPECT_GT(loop.socket(0).profile().measured_count(), 20);
+}
+
+TEST(EclLifecycleTest, StopCancelsControl) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  engine::Engine engine(&sim, &machine, engine::EngineParams{});
+  ecl::EnergyControlLoop loop(&sim, &engine, ecl::EclParams{});
+  loop.Start();
+  sim.RunFor(Seconds(3));
+  loop.Stop();
+  const int64_t writes_at_stop = machine.config_writes();
+  sim.RunFor(Seconds(5));
+  // No further configuration writes after Stop().
+  EXPECT_EQ(machine.config_writes(), writes_at_stop);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler under backpressure and churn.
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerStressTest, QueueOverflowSpillsAndRecovers) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  engine::EngineParams ep;
+  ep.message_layer.partition_queue_capacity = 16;  // tiny rings
+  ep.message_layer.comm_channel_capacity = 16;
+  engine::Engine engine(&sim, &machine, ep);
+  machine.ApplyMachineConfig(
+      hwsim::MachineConfig::AllOn(machine.topology(), 2.6, 3.0));
+  // Burst far beyond the ring capacity into a single partition.
+  for (int i = 0; i < 500; ++i) {
+    engine::QuerySpec spec;
+    spec.profile = &workload::ComputeBound();
+    spec.work.push_back({0, 1e5});
+    spec.origin_socket = 0;
+    engine.Submit(spec);
+  }
+  sim.RunFor(Seconds(2));
+  EXPECT_EQ(engine.latency().completed(), 500);
+}
+
+TEST(SchedulerStressTest, RapidConfigTogglingLosesNoWork) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  engine::Engine engine(&sim, &machine, engine::EngineParams{});
+  const hwsim::Topology& topo = machine.topology();
+  for (int i = 0; i < 200; ++i) {
+    engine::QuerySpec spec;
+    spec.profile = &workload::ComputeBound();
+    spec.work.push_back({i % engine.db().num_partitions(), 3e6});
+    spec.origin_socket = engine.db().HomeOf(spec.work[0].partition);
+    engine.Submit(spec);
+  }
+  // RTI-like toggling every 10 ms between a small config and idle.
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    machine.ApplyMachineConfig(
+        cycle % 2 == 0 ? hwsim::MachineConfig::AllOn(topo, 1.2, 1.2)
+                       : hwsim::MachineConfig::Idle(topo));
+    sim.RunFor(Millis(10));
+  }
+  machine.ApplyMachineConfig(hwsim::MachineConfig::AllOn(topo, 2.6, 3.0));
+  sim.RunFor(Seconds(2));
+  EXPECT_EQ(engine.latency().completed(), 200);
+}
+
+TEST(SchedulerStressTest, MixedProfilesCoexist) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  engine::Engine engine(&sim, &machine, engine::EngineParams{});
+  machine.ApplyMachineConfig(
+      hwsim::MachineConfig::AllOn(machine.topology(), 2.6, 3.0));
+  for (int i = 0; i < 100; ++i) {
+    engine::QuerySpec spec;
+    spec.profile = (i % 2 == 0) ? &workload::ComputeBound()
+                                : &workload::MemoryScan();
+    spec.work.push_back({i % engine.db().num_partitions(), 1e5});
+    spec.origin_socket = engine.db().HomeOf(spec.work[0].partition);
+    engine.Submit(spec);
+  }
+  sim.RunFor(Seconds(2));
+  EXPECT_EQ(engine.latency().completed(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// Load profile edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(LoadProfileEdgeTest, ScaledSpikeKeepsShape) {
+  workload::SpikeProfile full(Seconds(180));
+  workload::SpikeProfile half(Seconds(90));
+  for (int s = 0; s <= 90; s += 5) {
+    EXPECT_NEAR(half.LoadAt(Seconds(s)), full.LoadAt(Seconds(2 * s)), 1e-9);
+  }
+}
+
+TEST(LoadProfileEdgeTest, TwitterDeterministicPerSeed) {
+  workload::TwitterProfile a(7), b(7), c(8);
+  bool differs = false;
+  for (SimTime t = 0; t < a.duration(); t += Seconds(1)) {
+    EXPECT_DOUBLE_EQ(a.LoadAt(t), b.LoadAt(t));
+    if (a.LoadAt(t) != c.LoadAt(t)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LoadProfileEdgeTest, OutOfRangeIsZero) {
+  workload::SpikeProfile spike;
+  EXPECT_DOUBLE_EQ(spike.LoadAt(-Seconds(1)), 0.0);
+  EXPECT_DOUBLE_EQ(spike.LoadAt(Seconds(181)), 0.0);
+  workload::TwitterProfile twitter;
+  EXPECT_DOUBLE_EQ(twitter.LoadAt(Seconds(999)), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Firmware details.
+// ---------------------------------------------------------------------------
+
+TEST(FirmwareEdgeTest, EetDelayRestartsWhenRequestDrops) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  const hwsim::Topology& topo = machine.topology();
+  machine.SetEpb(hwsim::EpbSetting::kBalanced);
+  machine.ApplySocketConfig(0, hwsim::SocketConfig::FirstThreads(topo, 2, 3.1, 1.2));
+  sim.RunFor(Millis(800));
+  // Drop below turbo, then re-request: the 1 s delay starts over.
+  machine.ApplySocketConfig(0, hwsim::SocketConfig::FirstThreads(topo, 2, 2.0, 1.2));
+  sim.RunFor(Millis(300));
+  machine.ApplySocketConfig(0, hwsim::SocketConfig::FirstThreads(topo, 2, 3.1, 1.2));
+  sim.RunFor(Millis(500));
+  EXPECT_DOUBLE_EQ(machine.effective_config().sockets[0].core_freq_ghz[0], 2.6);
+  sim.RunFor(Millis(600));
+  EXPECT_DOUBLE_EQ(machine.effective_config().sockets[0].core_freq_ghz[0], 3.1);
+}
+
+TEST(FirmwareEdgeTest, TurboBudgetRecovers) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  const hwsim::Topology& topo = machine.topology();
+  machine.SetEpb(hwsim::EpbSetting::kPerformance);
+  machine.ApplySocketConfig(0, hwsim::SocketConfig::AllOn(topo, 3.1, 3.0));
+  for (int t = 0; t < topo.threads_per_socket(); ++t) {
+    machine.SetThreadLoad(t, &workload::Firestarter(), 1.0);
+  }
+  sim.RunFor(Millis(1500));  // budget exhausted
+  EXPECT_DOUBLE_EQ(machine.effective_config().sockets[0].core_freq_ghz[0], 2.6);
+  // Back off to scalar work: the budget refills and turbo returns.
+  for (int t = 0; t < topo.threads_per_socket(); ++t) {
+    machine.SetThreadLoad(t, &workload::ComputeBound(), 1.0);
+  }
+  sim.RunFor(Seconds(3));
+  EXPECT_DOUBLE_EQ(machine.effective_config().sockets[0].core_freq_ghz[0], 3.1);
+}
+
+// ---------------------------------------------------------------------------
+// Profile selection details.
+// ---------------------------------------------------------------------------
+
+TEST(ProfileEdgeTest, FindForDemandBreaksTiesByPower) {
+  const hwsim::Topology topo = hwsim::Topology::HaswellEp2S();
+  std::vector<profile::Configuration> configs;
+  configs.push_back({hwsim::SocketConfig::Idle(topo), 0, 0, -1});
+  for (int i = 0; i < 2; ++i) {
+    profile::Configuration c;
+    c.hw = hwsim::SocketConfig::FirstThreads(topo, 4 + 2 * i, 2.0, 2.0);
+    configs.push_back(std::move(c));
+  }
+  profile::EnergyProfile profile(std::move(configs));
+  // Same efficiency (perf/power = 2), different absolute power.
+  profile.Record(1, 10.0, 20.0, Seconds(1));
+  profile.Record(2, 20.0, 40.0, Seconds(1));
+  EXPECT_EQ(profile.FindForDemand(15.0), 1);  // cheaper of the equals
+  EXPECT_EQ(profile.FindForDemand(30.0), 2);  // only one satisfies
+}
+
+TEST(ProfileEdgeTest, GeneratorSingleFrequency) {
+  profile::ConfigGenerator gen(hwsim::Topology::HaswellEp2S(),
+                               hwsim::FrequencyTable::HaswellEp());
+  profile::GeneratorParams params;
+  params.n_core_freqs = 1;
+  params.n_uncore_freqs = 1;
+  const auto configs = gen.Generate(params);
+  // 24 thread counts x 1 x 1 + idle.
+  EXPECT_EQ(configs.size(), 25u);
+  for (size_t i = 1; i < configs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(configs[i].hw.uncore_freq_ghz, 3.0);
+  }
+}
+
+
+// ---------------------------------------------------------------------------
+// OS frequency governor (the non-integrated alternative).
+// ---------------------------------------------------------------------------
+
+TEST(OsGovernorTest, PollingDbmsLooksFullyBusy) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  engine::Engine engine(&sim, &machine, engine::EngineParams{});
+  ecl::OsGovernorParams params;  // sees_polling_as_busy = true
+  ecl::OsGovernor governor(&sim, &engine, params);
+  governor.Start();
+  sim.RunFor(Seconds(2));  // zero query load
+  // The governor never scales down: the polling DBMS pins C0 residency.
+  EXPECT_DOUBLE_EQ(governor.current_freq_ghz(), machine.freqs().max_core());
+  EXPECT_DOUBLE_EQ(governor.last_utilization(), 1.0);
+}
+
+TEST(OsGovernorTest, BlockingDbmsSignalScalesFrequency) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  engine::Engine engine(&sim, &machine, engine::EngineParams{});
+  ecl::OsGovernorParams params;
+  params.sees_polling_as_busy = false;
+  ecl::OsGovernor governor(&sim, &engine, params);
+  governor.Start();
+  sim.RunFor(Seconds(2));  // idle: frequency drops to the minimum
+  EXPECT_DOUBLE_EQ(governor.current_freq_ghz(), machine.freqs().min_core());
+  // Saturate: the governor jumps back to the maximum.
+  engine.scheduler().SetSyntheticLoad(&workload::ComputeBound());
+  sim.RunFor(Seconds(1));
+  EXPECT_DOUBLE_EQ(governor.current_freq_ghz(), machine.freqs().max_core());
+}
+
+}  // namespace
+}  // namespace ecldb

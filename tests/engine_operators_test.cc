@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "engine/table.h"
+
+namespace ecldb::engine {
+namespace {
+
+/// A tiny star schema: fact(fk, qty, price, cost), dim(key, name, region).
+class OperatorsTest : public ::testing::Test {
+ protected:
+  OperatorsTest()
+      : fact_("fact", Schema({{"fk", ColumnType::kInt64},
+                              {"qty", ColumnType::kInt64},
+                              {"price", ColumnType::kInt64},
+                              {"cost", ColumnType::kInt64}})),
+        dim_("dim", Schema({{"key", ColumnType::kInt64},
+                            {"name", ColumnType::kString},
+                            {"region", ColumnType::kString}})) {
+    // 3 dimension rows, key order (row = key - 1).
+    dim_.AppendRow({int64_t{1}, std::string("alpha"), std::string("ASIA")});
+    dim_.AppendRow({int64_t{2}, std::string("beta"), std::string("EUROPE")});
+    dim_.AppendRow({int64_t{3}, std::string("gamma"), std::string("ASIA")});
+    // 6 fact rows.
+    const int64_t rows[6][4] = {{1, 10, 100, 40}, {2, 20, 200, 50},
+                                {3, 30, 300, 60}, {1, 40, 400, 70},
+                                {2, 50, 500, 80}, {3, 5, 600, 90}};
+    for (const auto& r : rows) fact_.AppendRow({r[0], r[1], r[2], r[3]});
+  }
+
+  Table fact_;
+  Table dim_;
+};
+
+TEST_F(OperatorsTest, TableScanBatchesAndSkipsTombstones) {
+  fact_.DeleteRow(2);
+  TableScan scan(&fact_, 4);
+  std::vector<uint32_t> rows;
+  ASSERT_TRUE(scan.Next(&rows));
+  EXPECT_EQ(rows, (std::vector<uint32_t>{0, 1, 3, 4}));  // 4 live rows
+  ASSERT_TRUE(scan.Next(&rows));
+  EXPECT_EQ(rows, (std::vector<uint32_t>{5}));
+  EXPECT_FALSE(scan.Next(&rows));
+  scan.Reset();
+  ASSERT_TRUE(scan.Next(&rows));
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST_F(OperatorsTest, FactColumnRef) {
+  const ColumnRef qty = ColumnRef::Fact(1);
+  EXPECT_EQ(qty.GetInt(fact_, 0), 10);
+  EXPECT_EQ(qty.GetInt(fact_, 4), 50);
+  EXPECT_FALSE(qty.is_dim());
+}
+
+TEST_F(OperatorsTest, DimColumnRefFollowsForeignKey) {
+  const ColumnRef name = ColumnRef::Dim(0, &dim_, 1);
+  EXPECT_EQ(name.GetString(fact_, 0), "alpha");   // fk 1
+  EXPECT_EQ(name.GetString(fact_, 1), "beta");    // fk 2
+  EXPECT_EQ(name.GetString(fact_, 5), "gamma");   // fk 3
+  EXPECT_TRUE(name.is_dim());
+}
+
+TEST_F(OperatorsTest, IntRangePredicate) {
+  FilterOperator filter(&fact_,
+                        {Predicate::IntRange(ColumnRef::Fact(1), 20, 40)});
+  std::vector<uint32_t> rows = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(filter.Apply(&rows), 3u);
+  EXPECT_EQ(rows, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST_F(OperatorsTest, StringPredicatesThroughJoin) {
+  const ColumnRef region = ColumnRef::Dim(0, &dim_, 2);
+  std::vector<uint32_t> rows = {0, 1, 2, 3, 4, 5};
+  FilterOperator eq(&fact_, {Predicate::StringEq(region, "ASIA")});
+  EXPECT_EQ(eq.Apply(&rows), 4u);  // fks 1 and 3
+
+  rows = {0, 1, 2, 3, 4, 5};
+  const ColumnRef name = ColumnRef::Dim(0, &dim_, 1);
+  FilterOperator in(&fact_, {Predicate::StringIn(name, {"alpha", "beta"})});
+  EXPECT_EQ(in.Apply(&rows), 4u);
+
+  rows = {0, 1, 2, 3, 4, 5};
+  FilterOperator range(&fact_, {Predicate::StringRange(name, "b", "c")});
+  EXPECT_EQ(range.Apply(&rows), 2u);  // "beta" only
+}
+
+TEST_F(OperatorsTest, ConjunctionOfPredicates) {
+  FilterOperator filter(
+      &fact_, {Predicate::StringEq(ColumnRef::Dim(0, &dim_, 2), "ASIA"),
+               Predicate::IntRange(ColumnRef::Fact(1), 10, 30)});
+  std::vector<uint32_t> rows = {0, 1, 2, 3, 4, 5};
+  // Row 0 (fk 1 -> ASIA, qty 10) and row 2 (fk 3 -> ASIA, qty 30).
+  EXPECT_EQ(filter.Apply(&rows), 2u);
+  EXPECT_EQ(rows, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST_F(OperatorsTest, ValueExpressions) {
+  const ValueExpr col = ValueExpr::Column(ColumnRef::Fact(2));
+  EXPECT_DOUBLE_EQ(col.Eval(fact_, 1), 200.0);
+  const ValueExpr prod =
+      ValueExpr::Product(ColumnRef::Fact(1), ColumnRef::Fact(2), 0.01);
+  EXPECT_DOUBLE_EQ(prod.Eval(fact_, 0), 10 * 100 * 0.01);
+  const ValueExpr diff =
+      ValueExpr::Difference(ColumnRef::Fact(2), ColumnRef::Fact(3));
+  EXPECT_DOUBLE_EQ(diff.Eval(fact_, 5), 600.0 - 90.0);
+}
+
+TEST_F(OperatorsTest, UngroupedAggregation) {
+  HashAggregator agg({}, ValueExpr::Column(ColumnRef::Fact(2)));
+  agg.Consume(fact_, {0, 1, 2});
+  EXPECT_EQ(agg.rows_consumed(), 3);
+  EXPECT_EQ(agg.groups().size(), 1u);
+  EXPECT_DOUBLE_EQ(agg.TotalSum(), 600.0);
+}
+
+TEST_F(OperatorsTest, GroupedAggregationByJoinColumn) {
+  HashAggregator agg({ColumnRef::Dim(0, &dim_, 2)},
+                     ValueExpr::Column(ColumnRef::Fact(2)));
+  agg.Consume(fact_, {0, 1, 2, 3, 4, 5});
+  ASSERT_EQ(agg.groups().size(), 2u);
+  EXPECT_DOUBLE_EQ(agg.groups().at("ASIA"), 100 + 300 + 400 + 600);
+  EXPECT_DOUBLE_EQ(agg.groups().at("EUROPE"), 200 + 500);
+}
+
+TEST_F(OperatorsTest, MultiColumnGroupKeys) {
+  HashAggregator agg({ColumnRef::Dim(0, &dim_, 2), ColumnRef::Fact(0)},
+                     ValueExpr::Column(ColumnRef::Fact(2)));
+  agg.Consume(fact_, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(agg.groups().size(), 3u);  // (ASIA,1) (EUROPE,2) (ASIA,3)
+  EXPECT_DOUBLE_EQ(agg.groups().at("ASIA|1"), 500.0);
+}
+
+TEST_F(OperatorsTest, MergeCombinesPartials) {
+  HashAggregator a({ColumnRef::Dim(0, &dim_, 2)},
+                   ValueExpr::Column(ColumnRef::Fact(2)));
+  HashAggregator b({ColumnRef::Dim(0, &dim_, 2)},
+                   ValueExpr::Column(ColumnRef::Fact(2)));
+  a.Consume(fact_, {0, 1, 2});
+  b.Consume(fact_, {3, 4, 5});
+  a.Merge(b);
+  EXPECT_EQ(a.rows_consumed(), 6);
+  EXPECT_DOUBLE_EQ(a.groups().at("ASIA"), 1400.0);
+  EXPECT_DOUBLE_EQ(a.groups().at("EUROPE"), 700.0);
+}
+
+TEST_F(OperatorsTest, FullPipeline) {
+  FilterOperator filter(&fact_,
+                        {Predicate::StringEq(ColumnRef::Dim(0, &dim_, 2), "ASIA")});
+  HashAggregator agg({ColumnRef::Dim(0, &dim_, 1)},
+                     ValueExpr::Difference(ColumnRef::Fact(2), ColumnRef::Fact(3)));
+  const int64_t scanned = RunAggregationPipeline(&fact_, filter, &agg);
+  EXPECT_EQ(scanned, 6);
+  EXPECT_EQ(agg.rows_consumed(), 4);
+  EXPECT_DOUBLE_EQ(agg.groups().at("alpha"), (100 - 40) + (400 - 70));
+  EXPECT_DOUBLE_EQ(agg.groups().at("gamma"), (300 - 60) + (600 - 90));
+}
+
+TEST_F(OperatorsTest, PipelineSkipsDeletedRows) {
+  fact_.DeleteRow(0);
+  FilterOperator filter(&fact_, {});
+  HashAggregator agg({}, ValueExpr::Column(ColumnRef::Fact(2)));
+  const int64_t scanned = RunAggregationPipeline(&fact_, filter, &agg);
+  EXPECT_EQ(scanned, 5);
+  EXPECT_DOUBLE_EQ(agg.TotalSum(), 2000.0);
+}
+
+}  // namespace
+}  // namespace ecldb::engine

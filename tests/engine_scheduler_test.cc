@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "hwsim/machine.h"
+#include "sim/simulator.h"
+#include "workload/work_profiles.h"
+
+namespace ecldb::engine {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest()
+      : machine_(&sim_, hwsim::MachineParams::HaswellEp()),
+        engine_(&sim_, &machine_, EngineParams{}) {}
+
+  /// Activates all threads at the given frequencies.
+  void AllOn(double core = 2.6, double uncore = 3.0) {
+    machine_.ApplyMachineConfig(
+        hwsim::MachineConfig::AllOn(machine_.topology(), core, uncore));
+  }
+
+  QuerySpec ComputeQuery(PartitionId p, double ops) {
+    QuerySpec spec;
+    spec.profile = &workload::ComputeBound();
+    spec.work.push_back({p, ops});
+    spec.origin_socket = engine_.db().HomeOf(p);
+    return spec;
+  }
+
+  sim::Simulator sim_;
+  hwsim::Machine machine_;
+  Engine engine_;
+};
+
+TEST_F(SchedulerTest, DefaultsToOnePartitionPerHwThread) {
+  EXPECT_EQ(engine_.db().num_partitions(), 48);
+}
+
+TEST_F(SchedulerTest, QueryCompletesAndLatencyRecorded) {
+  AllOn();
+  // 2.6e9 ops/s per thread: 1e6 ops should take well under 5 ms
+  // (including the 1 ms fluid slice granularity).
+  engine_.Submit(ComputeQuery(0, 1e6));
+  sim_.RunFor(Millis(50));
+  EXPECT_EQ(engine_.latency().completed(), 1);
+  EXPECT_LT(engine_.latency().all().Mean(), 5.0);
+  EXPECT_EQ(engine_.scheduler().inflight(), 0);
+}
+
+TEST_F(SchedulerTest, MultiPartitionQueryCompletesWhenAllTasksDone) {
+  AllOn();
+  QuerySpec spec;
+  spec.profile = &workload::ComputeBound();
+  for (PartitionId p = 0; p < 8; ++p) spec.work.push_back({p, 1e6});
+  spec.origin_socket = 0;
+  engine_.Submit(spec);
+  sim_.RunFor(Millis(50));
+  EXPECT_EQ(engine_.latency().completed(), 1);
+}
+
+TEST_F(SchedulerTest, CrossSocketQueryTravelsViaComm) {
+  AllOn();
+  // Partition 47 is homed on socket 1 but submitted from socket 0.
+  QuerySpec spec = ComputeQuery(47, 1e6);
+  spec.origin_socket = 0;
+  engine_.Submit(spec);
+  sim_.RunFor(Millis(50));
+  EXPECT_EQ(engine_.latency().completed(), 1);
+  EXPECT_GE(engine_.message_layer().comm(0)->transferred(), 1);
+}
+
+TEST_F(SchedulerTest, NoProgressWhenAllThreadsIdle) {
+  // Machine starts idle: the query must wait.
+  engine_.Submit(ComputeQuery(0, 1e6));
+  sim_.RunFor(Millis(100));
+  EXPECT_EQ(engine_.latency().completed(), 0);
+  EXPECT_EQ(engine_.scheduler().inflight(), 1);
+  // Waking the socket completes it.
+  AllOn();
+  sim_.RunFor(Millis(50));
+  EXPECT_EQ(engine_.latency().completed(), 1);
+}
+
+TEST_F(SchedulerTest, ElasticShrinkKeepsPartitionsReachable) {
+  // Only 2 threads of socket 0 active: all 24 socket-0 partitions are
+  // still served (the elasticity extension of Section 3).
+  machine_.ApplySocketConfig(
+      0, hwsim::SocketConfig::FirstThreads(machine_.topology(), 2, 2.6, 3.0));
+  for (PartitionId p = 0; p < 24; ++p) engine_.Submit(ComputeQuery(p, 1e5));
+  sim_.RunFor(Millis(200));
+  EXPECT_EQ(engine_.latency().completed(), 24);
+}
+
+TEST_F(SchedulerTest, DeactivationMidworkRequeues) {
+  AllOn();
+  engine_.Submit(ComputeQuery(3, 5.0e8));  // ~200 ms of single-thread work
+  sim_.RunFor(Millis(20));
+  EXPECT_EQ(engine_.latency().completed(), 0);
+  // Turn socket 0 off mid-flight, then reactivate a *different* subset.
+  machine_.ApplySocketConfig(0,
+                             hwsim::SocketConfig::Idle(machine_.topology()));
+  sim_.RunFor(Millis(20));
+  machine_.ApplySocketConfig(0, hwsim::SocketConfig::FirstThreads(
+                                    machine_.topology(), 4, 2.6, 3.0));
+  sim_.RunFor(Seconds(2));
+  EXPECT_EQ(engine_.latency().completed(), 1);
+}
+
+TEST_F(SchedulerTest, UtilizationReflectsLoad) {
+  AllOn();
+  (void)engine_.TakeSocketUtilization(0);
+  // Idle interval: utilization 0.
+  sim_.RunFor(Millis(100));
+  EXPECT_DOUBLE_EQ(engine_.TakeSocketUtilization(0), 0.0);
+  // Saturating synthetic load: utilization 1.
+  engine_.scheduler().SetSyntheticLoad(&workload::ComputeBound());
+  sim_.RunFor(Millis(100));
+  EXPECT_NEAR(engine_.TakeSocketUtilization(0), 1.0, 0.02);
+  engine_.scheduler().SetSyntheticLoad(nullptr);
+}
+
+TEST_F(SchedulerTest, PartialLoadPartialUtilization) {
+  AllOn();
+  (void)engine_.TakeSocketUtilization(0);
+  // One 24-thread socket at 2.6 GHz computes ~62 Gops/s; offering ~6 Gops
+  // over 200 ms loads it to roughly 50 % for 100 ms.
+  for (PartitionId p = 0; p < 24; ++p) engine_.Submit(ComputeQuery(p, 2.6e8));
+  sim_.RunFor(Millis(200));
+  const double u = engine_.TakeSocketUtilization(0);
+  EXPECT_GT(u, 0.3);
+  EXPECT_LT(u, 0.85);
+}
+
+TEST_F(SchedulerTest, BacklogDrainsFifoIsh) {
+  AllOn();
+  // Many small queries to one partition: all complete, in order of
+  // submission (per-partition FIFO).
+  for (int i = 0; i < 100; ++i) engine_.Submit(ComputeQuery(5, 1e5));
+  sim_.RunFor(Millis(500));
+  EXPECT_EQ(engine_.latency().completed(), 100);
+}
+
+TEST_F(SchedulerTest, RegisterProfileDeduplicates) {
+  Scheduler& s = engine_.scheduler();
+  const int a = s.RegisterProfile(&workload::ComputeBound());
+  const int b = s.RegisterProfile(&workload::ComputeBound());
+  const int c = s.RegisterProfile(&workload::MemoryScan());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(SchedulerTest, LatencyResetKeepsWindow) {
+  AllOn();
+  engine_.Submit(ComputeQuery(0, 1e5));
+  sim_.RunFor(Millis(50));
+  EXPECT_EQ(engine_.latency().completed(), 1);
+  engine_.latency().ResetRunStats();
+  EXPECT_EQ(engine_.latency().completed(), 0);
+  EXPECT_EQ(engine_.latency().all().count(), 0u);
+  EXPECT_FALSE(engine_.latency().WindowEmpty());  // window survives reset
+}
+
+}  // namespace
+}  // namespace ecldb::engine

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "engine/column.h"
+#include "engine/database.h"
+#include "engine/hash_index.h"
+#include "engine/partition.h"
+#include "engine/table.h"
+
+namespace ecldb::engine {
+namespace {
+
+TEST(ColumnTest, IntColumnRoundTrip) {
+  Column c("k", ColumnType::kInt64);
+  c.AppendInt(5);
+  c.AppendInt(-3);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetInt(0), 5);
+  EXPECT_EQ(c.GetInt(1), -3);
+  c.SetInt(1, 7);
+  EXPECT_EQ(c.GetInt(1), 7);
+}
+
+TEST(ColumnTest, DoubleColumnRoundTrip) {
+  Column c("d", ColumnType::kDouble);
+  c.AppendDouble(1.5);
+  EXPECT_DOUBLE_EQ(c.GetDouble(0), 1.5);
+  c.SetDouble(0, 2.5);
+  EXPECT_DOUBLE_EQ(c.GetDouble(0), 2.5);
+}
+
+TEST(ColumnTest, StringDictionaryDeduplicates) {
+  Column c("s", ColumnType::kString);
+  c.AppendString("ASIA");
+  c.AppendString("EUROPE");
+  c.AppendString("ASIA");
+  EXPECT_EQ(c.GetString(0), "ASIA");
+  EXPECT_EQ(c.GetString(2), "ASIA");
+  EXPECT_EQ(c.GetStringCode(0), c.GetStringCode(2));
+  EXPECT_NE(c.GetStringCode(0), c.GetStringCode(1));
+  EXPECT_EQ(c.LookupStringCode("EUROPE"), c.GetStringCode(1));
+  EXPECT_EQ(c.LookupStringCode("MARS"), -1);
+}
+
+TEST(ColumnTest, MemoryAccounting) {
+  Column c("k", ColumnType::kInt64);
+  for (int i = 0; i < 100; ++i) c.AppendInt(i);
+  EXPECT_GE(c.MemoryBytes(), 100 * sizeof(int64_t));
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s({{"a", ColumnType::kInt64}, {"b", ColumnType::kString}});
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(s.IndexOf("a"), 0);
+  EXPECT_EQ(s.IndexOf("b"), 1);
+  EXPECT_EQ(s.IndexOf("c"), -1);
+}
+
+TEST(TableTest, AppendAndReadRows) {
+  Table t("t", Schema({{"id", ColumnType::kInt64},
+                       {"name", ColumnType::kString},
+                       {"score", ColumnType::kDouble}}));
+  EXPECT_EQ(t.AppendRow({int64_t{1}, std::string("x"), 1.5}), 0u);
+  EXPECT_EQ(t.AppendRow({int64_t{2}, std::string("y"), 2.5}), 1u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.column("id")->GetInt(1), 2);
+  EXPECT_EQ(t.column("name")->GetString(0), "x");
+  EXPECT_DOUBLE_EQ(t.column(2)->GetDouble(1), 2.5);
+}
+
+TEST(TableTest, DeleteMarksTombstone) {
+  Table t("t", Schema({{"id", ColumnType::kInt64}}));
+  t.AppendRow({int64_t{1}});
+  t.AppendRow({int64_t{2}});
+  EXPECT_FALSE(t.IsDeleted(0));
+  t.DeleteRow(0);
+  EXPECT_TRUE(t.IsDeleted(0));
+  EXPECT_FALSE(t.IsDeleted(1));
+  EXPECT_EQ(t.num_deleted(), 1u);
+  t.DeleteRow(0);  // idempotent
+  EXPECT_EQ(t.num_deleted(), 1u);
+}
+
+TEST(HashIndexTest, InsertFindErase) {
+  HashIndex idx;
+  EXPECT_TRUE(idx.Insert(42, 7));
+  EXPECT_FALSE(idx.Insert(42, 8));  // duplicate
+  ASSERT_TRUE(idx.Find(42).has_value());
+  EXPECT_EQ(*idx.Find(42), 7u);
+  EXPECT_FALSE(idx.Find(43).has_value());
+  EXPECT_TRUE(idx.Erase(42));
+  EXPECT_FALSE(idx.Erase(42));
+  EXPECT_FALSE(idx.Find(42).has_value());
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(HashIndexTest, UpsertOverwrites) {
+  HashIndex idx;
+  idx.Upsert(1, 10);
+  idx.Upsert(1, 20);
+  EXPECT_EQ(*idx.Find(1), 20u);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(HashIndexTest, GrowsBeyondInitialCapacity) {
+  HashIndex idx(16);
+  for (int64_t k = 0; k < 10000; ++k) ASSERT_TRUE(idx.Insert(k, static_cast<uint32_t>(k)));
+  EXPECT_EQ(idx.size(), 10000u);
+  for (int64_t k = 0; k < 10000; ++k) {
+    ASSERT_TRUE(idx.Find(k).has_value());
+    EXPECT_EQ(*idx.Find(k), static_cast<uint32_t>(k));
+  }
+}
+
+TEST(HashIndexTest, TombstoneSlotsReused) {
+  HashIndex idx(16);
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(idx.Insert(round, 1));
+    ASSERT_TRUE(idx.Erase(round));
+  }
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_LE(idx.capacity(), 64u);  // churn must not balloon the table
+}
+
+TEST(HashIndexTest, RandomizedAgainstStdUnorderedMap) {
+  HashIndex idx;
+  std::unordered_map<int64_t, uint32_t> oracle;
+  Rng rng(77);
+  for (int i = 0; i < 50000; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.NextBounded(2000));
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const uint32_t row = static_cast<uint32_t>(rng.NextBounded(1 << 20));
+        const bool inserted = idx.Insert(key, row);
+        EXPECT_EQ(inserted, oracle.emplace(key, row).second);
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(idx.Erase(key), oracle.erase(key) > 0);
+        break;
+      }
+      default: {
+        const auto found = idx.Find(key);
+        const auto it = oracle.find(key);
+        EXPECT_EQ(found.has_value(), it != oracle.end());
+        if (found && it != oracle.end()) {
+          EXPECT_EQ(*found, it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(idx.size(), oracle.size());
+}
+
+TEST(PartitionTest, TablesAndIndexes) {
+  Partition p(3, 1);
+  EXPECT_EQ(p.id(), 3);
+  EXPECT_EQ(p.home_socket(), 1);
+  Table* t = p.AddTable("kv", Schema({{"k", ColumnType::kInt64}}));
+  EXPECT_EQ(p.table("kv"), t);
+  HashIndex* i = p.AddIndex("kv_pk");
+  EXPECT_EQ(p.index("kv_pk"), i);
+  EXPECT_TRUE(p.HasIndex("kv_pk"));
+  EXPECT_FALSE(p.HasIndex("other"));
+  t->AppendRow({int64_t{9}});
+  EXPECT_GT(p.MemoryBytes(), 0u);
+}
+
+TEST(DatabaseTest, PartitionHomesBlockwise) {
+  Database db(48, 2);
+  EXPECT_EQ(db.num_partitions(), 48);
+  for (int p = 0; p < 24; ++p) EXPECT_EQ(db.HomeOf(p), 0);
+  for (int p = 24; p < 48; ++p) EXPECT_EQ(db.HomeOf(p), 1);
+  const std::vector<SocketId> home = db.HomeMap();
+  EXPECT_EQ(home.size(), 48u);
+  EXPECT_EQ(home[0], 0);
+  EXPECT_EQ(home[47], 1);
+}
+
+TEST(DatabaseTest, KeyPartitioningIsStableAndCovering) {
+  Database db(16, 2);
+  std::vector<int> hits(16, 0);
+  for (int64_t k = 0; k < 10000; ++k) {
+    const PartitionId p = db.PartitionForKey(k);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 16);
+    EXPECT_EQ(p, db.PartitionForKey(k));  // stable
+    ++hits[static_cast<size_t>(p)];
+  }
+  for (int h : hits) EXPECT_GT(h, 300);  // roughly uniform
+}
+
+TEST(DatabaseTest, CreateTableInEveryPartition) {
+  Database db(4, 2);
+  db.CreateTable("t", Schema({{"k", ColumnType::kInt64}}));
+  db.CreateIndex("t_pk");
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(db.partition(p)->table("t")->num_rows(), 0u);
+    EXPECT_TRUE(db.partition(p)->HasIndex("t_pk"));
+  }
+}
+
+}  // namespace
+}  // namespace ecldb::engine

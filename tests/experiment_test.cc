@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "experiment/experiment.h"
+#include "workload/micro.h"
+#include "workload/load_profile.h"
+#include "workload/work_profiles.h"
+
+namespace ecldb::experiment {
+namespace {
+
+WorkloadFactory MicroFactory() {
+  return [](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+    return std::make_unique<workload::MicroWorkload>(
+        e, workload::ComputeBound(), 1e6, 2);
+  };
+}
+
+TEST(ExperimentTest, BaselineRunProducesSaneResult) {
+  workload::ConstantProfile profile(0.5, Seconds(10));
+  RunOptions options;
+  options.mode = ControlMode::kBaseline;
+  options.prime_duration = Seconds(2);
+  const RunResult r = RunLoadExperiment(MicroFactory(), profile, options);
+  EXPECT_DOUBLE_EQ(r.duration_s, 10.0);
+  EXPECT_GT(r.capacity_qps, 0.0);
+  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_NEAR(r.avg_power_w, r.energy_j / r.duration_s, 1e-9);
+  EXPECT_GT(r.submitted, 0);
+  EXPECT_EQ(r.completed, r.submitted);
+  EXPECT_GE(r.p99_ms, r.p50_ms);
+  EXPECT_GE(r.max_ms, r.p99_ms);
+  EXPECT_TRUE(r.best_config.empty());  // baseline has no profile
+}
+
+TEST(ExperimentTest, SeriesCoversTheRun) {
+  workload::ConstantProfile profile(0.3, Seconds(10));
+  RunOptions options;
+  options.mode = ControlMode::kBaseline;
+  options.prime_duration = 0;
+  options.sample_period = Millis(500);
+  const RunResult r = RunLoadExperiment(MicroFactory(), profile, options);
+  ASSERT_EQ(r.series.size(), 20u);
+  EXPECT_NEAR(r.series.front().t_s, 0.5, 1e-9);
+  EXPECT_NEAR(r.series.back().t_s, 10.0, 1e-9);
+  for (const Sample& s : r.series) {
+    EXPECT_GT(s.rapl_power_w, 0.0);
+    EXPECT_GT(s.offered_qps, 0.0);
+    EXPECT_EQ(s.active_threads, 48);  // baseline: everything on
+  }
+}
+
+TEST(ExperimentTest, EclRunReportsBestConfig) {
+  workload::ConstantProfile profile(0.3, Seconds(10));
+  RunOptions options;
+  options.mode = ControlMode::kEcl;
+  options.prime_duration = Seconds(28);
+  const RunResult r = RunLoadExperiment(MicroFactory(), profile, options);
+  EXPECT_FALSE(r.best_config.empty());
+  EXPECT_NE(r.best_config.find("thr @"), std::string::npos);
+}
+
+TEST(ExperimentTest, CapacityOverrideRespected) {
+  workload::ConstantProfile profile(1.0, Seconds(5));
+  RunOptions options;
+  options.mode = ControlMode::kBaseline;
+  options.prime_duration = 0;
+  options.capacity_qps = 100.0;
+  const RunResult r = RunLoadExperiment(MicroFactory(), profile, options);
+  EXPECT_DOUBLE_EQ(r.capacity_qps, 100.0);
+  EXPECT_NEAR(static_cast<double>(r.submitted), 500.0, 120.0);
+}
+
+}  // namespace
+}  // namespace ecldb::experiment

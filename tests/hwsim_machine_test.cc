@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "hwsim/machine.h"
+#include "sim/simulator.h"
+#include "workload/work_profiles.h"
+
+namespace ecldb::hwsim {
+namespace {
+
+class MachineTest : public ::testing::Test {
+ protected:
+  MachineTest() : machine_(&sim_, MachineParams::HaswellEp()) {}
+
+  sim::Simulator sim_;
+  Machine machine_;
+};
+
+TEST_F(MachineTest, StartsIdle) {
+  EXPECT_FALSE(machine_.requested_config(0).AnyActive());
+  EXPECT_FALSE(machine_.requested_config(1).AnyActive());
+}
+
+TEST_F(MachineTest, RaplAccumulatesIdlePower) {
+  sim_.RunFor(Seconds(10));
+  const double e = machine_.TotalEnergyJoules();
+  // ~38 W static power for 10 s.
+  EXPECT_NEAR(e, 380.0, 20.0);
+}
+
+TEST_F(MachineTest, PublishedRaplTracksExactEnergy) {
+  machine_.ApplyMachineConfig(
+      MachineConfig::AllOn(machine_.topology(), 2.0, 2.0));
+  sim_.RunFor(Seconds(2));
+  const double exact =
+      machine_.ExactEnergyJoules(0, RaplDomain::kPackage);
+  const double published =
+      static_cast<double>(machine_.ReadRaplUj(0, RaplDomain::kPackage)) * 1e-6;
+  EXPECT_NEAR(published, exact, 0.05 * exact + 0.01);
+}
+
+TEST_F(MachineTest, InstructionsAccumulateUnderLoad) {
+  const Topology& topo = machine_.topology();
+  machine_.ApplySocketConfig(0, SocketConfig::FirstThreads(topo, 1, 2.0, 1.2));
+  machine_.SetThreadLoad(0, &workload::ComputeBound(), 1.0);
+  sim_.RunFor(Seconds(1));
+  const uint64_t instr = machine_.ReadInstructions(0);
+  // 1 instruction/op at 1 op/cycle, 2.0 GHz, minus the config-write stall.
+  EXPECT_NEAR(static_cast<double>(instr), 2.0e9, 0.02e9);
+  EXPECT_EQ(machine_.ReadSocketInstructions(1), 0u);
+}
+
+TEST_F(MachineTest, OpsCreditMatchesRateTimesTime) {
+  const Topology& topo = machine_.topology();
+  machine_.ApplySocketConfig(0, SocketConfig::FirstThreads(topo, 1, 1.2, 1.2));
+  machine_.SetThreadLoad(0, &workload::ComputeBound(), 1.0);
+  sim_.RunFor(Millis(100));
+  const double credit = machine_.TakeCompletedOps(0);
+  EXPECT_NEAR(credit, 1.2e9 * 0.1, 0.03e9);
+  // Credit drains on take.
+  EXPECT_DOUBLE_EQ(machine_.TakeCompletedOps(0), 0.0);
+}
+
+TEST_F(MachineTest, InactiveThreadEarnsNoCredit) {
+  machine_.SetThreadLoad(5, &workload::ComputeBound(), 1.0);
+  sim_.RunFor(Millis(100));  // thread 5 not activated by any config
+  EXPECT_DOUBLE_EQ(machine_.TakeCompletedOps(5), 0.0);
+}
+
+TEST_F(MachineTest, ConfigWritesCounted) {
+  const int64_t before = machine_.config_writes();
+  machine_.ApplySocketConfig(0, SocketConfig::Idle(machine_.topology()));
+  EXPECT_EQ(machine_.config_writes(), before + 1);
+}
+
+TEST_F(MachineTest, FrequenciesSnapOnApply) {
+  SocketConfig cfg = SocketConfig::AllOn(machine_.topology(), 1.93, 2.87);
+  machine_.ApplySocketConfig(0, cfg);
+  EXPECT_DOUBLE_EQ(machine_.requested_config(0).core_freq_ghz[0], 1.9);
+  EXPECT_DOUBLE_EQ(machine_.requested_config(0).uncore_freq_ghz, 2.9);
+}
+
+TEST_F(MachineTest, UncoreHaltOnlyWhenAllSocketsIdle) {
+  const Topology& topo = machine_.topology();
+  // Socket 1 active at min uncore; socket 0 idle: socket 0 still pays
+  // uncore power (Fig. 5 inter-socket dependency).
+  machine_.ApplySocketConfig(1, SocketConfig::FirstThreads(topo, 1, 1.2, 1.2));
+  sim_.RunFor(Millis(100));
+  const double socket0_with_peer_active = machine_.InstantPkgPowerW(0);
+  machine_.ApplySocketConfig(1, SocketConfig::Idle(topo));
+  sim_.RunFor(Millis(100));
+  const double socket0_all_idle = machine_.InstantPkgPowerW(0);
+  EXPECT_GT(socket0_with_peer_active, socket0_all_idle + 3.0);
+}
+
+TEST_F(MachineTest, PsuAboveRapl) {
+  sim_.RunFor(Millis(10));
+  EXPECT_GT(machine_.InstantPsuPowerW(), machine_.InstantRaplPowerW());
+}
+
+TEST_F(MachineTest, EetDelaysTurboUnderBalancedEpb) {
+  const Topology& topo = machine_.topology();
+  machine_.SetEpb(EpbSetting::kBalanced);
+  machine_.ApplySocketConfig(0, SocketConfig::FirstThreads(topo, 2, 3.1, 1.2));
+  machine_.SetThreadLoad(0, &workload::ComputeBound(), 1.0);
+  sim_.RunFor(Millis(500));
+  // Turbo not yet granted: effective frequency is the nominal maximum.
+  EXPECT_DOUBLE_EQ(machine_.effective_config().sockets[0].core_freq_ghz[0], 2.6);
+  sim_.RunFor(Millis(600));  // past the 1 s EET delay
+  EXPECT_DOUBLE_EQ(machine_.effective_config().sockets[0].core_freq_ghz[0], 3.1);
+}
+
+TEST_F(MachineTest, PerformanceEpbGrantsTurboImmediately) {
+  const Topology& topo = machine_.topology();
+  machine_.SetEpb(EpbSetting::kPerformance);
+  machine_.ApplySocketConfig(0, SocketConfig::FirstThreads(topo, 2, 3.1, 1.2));
+  sim_.RunFor(Millis(10));
+  EXPECT_DOUBLE_EQ(machine_.effective_config().sockets[0].core_freq_ghz[0], 3.1);
+}
+
+TEST_F(MachineTest, AutoUfsPicksMaxUncoreUnderLoad) {
+  const Topology& topo = machine_.topology();
+  machine_.SetUncoreMode(0, UncoreMode::kAuto);
+  machine_.ApplySocketConfig(0, SocketConfig::FirstThreads(topo, 2, 2.0, 1.2));
+  machine_.SetThreadLoad(0, &workload::ComputeBound(), 1.0);
+  sim_.RunFor(Millis(10));
+  // Fig. 8: automatic UFS greedily selects the highest uncore frequency.
+  EXPECT_DOUBLE_EQ(machine_.effective_config().sockets[0].uncore_freq_ghz, 3.0);
+  machine_.SetThreadLoad(0, nullptr, 0.0);
+  sim_.RunFor(Millis(10));
+  EXPECT_DOUBLE_EQ(machine_.effective_config().sockets[0].uncore_freq_ghz, 1.2);
+}
+
+TEST_F(MachineTest, ShallowIdleBeforeDeepCState) {
+  const Topology& topo = machine_.topology();
+  // Run briefly, then idle: the first c6_promotion of idleness draws the
+  // shallow-idle extra power, after which the socket is promoted.
+  machine_.ApplySocketConfig(0, SocketConfig::FirstThreads(topo, 2, 2.0, 1.2));
+  sim_.RunFor(Millis(10));
+  machine_.ApplySocketConfig(0, SocketConfig::Idle(topo));
+  sim_.RunFor(Millis(1));  // within the promotion window
+  const double shallow = machine_.InstantPkgPowerW(0);
+  sim_.RunFor(Millis(10));  // promoted to the deep state
+  const double deep = machine_.InstantPkgPowerW(0);
+  EXPECT_NEAR(shallow - deep,
+              machine_.params().power.shallow_idle_extra_w, 0.5);
+}
+
+TEST_F(MachineTest, FrequentIdleTogglingPaysShallowPower) {
+  // RTI at an excessive switching frequency never reaches the deep state.
+  const Topology& topo = machine_.topology();
+  auto run_cycles = [&](SimDuration period) {
+    sim::Simulator sim;
+    Machine machine(&sim, MachineParams::HaswellEp());
+    const double e0 = machine.TotalEnergyJoules();
+    for (int i = 0; i < 100; ++i) {
+      machine.ApplySocketConfig(0, SocketConfig::FirstThreads(topo, 2, 1.2, 1.2));
+      sim.RunFor(period / 2);
+      machine.ApplySocketConfig(0, SocketConfig::Idle(topo));
+      sim.RunFor(period / 2);
+    }
+    return (machine.TotalEnergyJoules() - e0) / (100.0 * ToSeconds(period));
+  };
+  const double avg_fast = run_cycles(Millis(4));   // idle stints of 2 ms
+  const double avg_slow = run_cycles(Millis(40));  // idle stints of 20 ms
+  EXPECT_GT(avg_fast, avg_slow + 1.0);
+}
+
+TEST_F(MachineTest, AllCoreTurboThermallyLimited) {
+  const Topology& topo = machine_.topology();
+  machine_.SetEpb(EpbSetting::kPerformance);
+  machine_.ApplySocketConfig(0, SocketConfig::AllOn(topo, 3.1, 3.0));
+  for (int t = 0; t < topo.threads_per_socket(); ++t) {
+    machine_.SetThreadLoad(t, &workload::Firestarter(), 1.0);
+  }
+  sim_.RunFor(Millis(200));
+  EXPECT_DOUBLE_EQ(machine_.effective_config().sockets[0].core_freq_ghz[0], 3.1);
+  sim_.RunFor(Millis(1500));  // thermal budget (~1 s) exhausted
+  EXPECT_DOUBLE_EQ(machine_.effective_config().sockets[0].core_freq_ghz[0], 2.6);
+}
+
+}  // namespace
+}  // namespace ecldb::hwsim

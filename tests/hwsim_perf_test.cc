@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "hwsim/bandwidth_model.h"
+#include "hwsim/machine.h"
+#include "hwsim/perf_model.h"
+#include "workload/work_profiles.h"
+
+namespace ecldb::hwsim {
+namespace {
+
+class PerfModelTest : public ::testing::Test {
+ protected:
+  PerfModelTest()
+      : params_(MachineParams::HaswellEp()),
+        topo_(params_.topology),
+        bw_(params_.bandwidth),
+        model_(topo_, bw_, params_.perf) {}
+
+  std::vector<ThreadLoad> NoLoads() const {
+    return std::vector<ThreadLoad>(static_cast<size_t>(topo_.total_threads()));
+  }
+
+  /// Loads `profile` onto the first `n` local threads of socket 0.
+  std::vector<ThreadLoad> LoadFirstThreads(const WorkProfile& profile, int n,
+                                           double intensity = 1.0) const {
+    std::vector<ThreadLoad> loads = NoLoads();
+    for (int t = 0; t < n; ++t) loads[static_cast<size_t>(t)] = {&profile, intensity};
+    return loads;
+  }
+
+  MachineConfig ConfigFirstThreads(int n, double core, double uncore) const {
+    MachineConfig m = MachineConfig::Idle(topo_);
+    m.sockets[0] = SocketConfig::FirstThreads(topo_, n, core, uncore);
+    return m;
+  }
+
+  double TotalOps(const SolveResult& r) const {
+    double sum = 0.0;
+    for (const ThreadRate& t : r.threads) sum += t.ops_per_sec;
+    return sum;
+  }
+
+  MachineParams params_;
+  Topology topo_;
+  BandwidthModel bw_;
+  PerfModel model_;
+};
+
+TEST_F(PerfModelTest, ComputeRateScalesWithCoreFrequency) {
+  const WorkProfile& wp = workload::ComputeBound();
+  const auto loads = LoadFirstThreads(wp, 1);
+  const double r12 =
+      TotalOps(model_.Solve(ConfigFirstThreads(1, 1.2, 1.2), loads));
+  const double r26 =
+      TotalOps(model_.Solve(ConfigFirstThreads(1, 2.6, 1.2), loads));
+  EXPECT_NEAR(r26 / r12, 2.6 / 1.2, 1e-6);
+  EXPECT_NEAR(r12, 1.2e9, 1e6);  // 1 op per cycle at CPI 1
+}
+
+TEST_F(PerfModelTest, ComputeRateIndependentOfUncore) {
+  const WorkProfile& wp = workload::ComputeBound();
+  const auto loads = LoadFirstThreads(wp, 24);
+  const double lo = TotalOps(model_.Solve(ConfigFirstThreads(24, 2.6, 1.2), loads));
+  const double hi = TotalOps(model_.Solve(ConfigFirstThreads(24, 2.6, 3.0), loads));
+  EXPECT_NEAR(lo, hi, lo * 1e-9);  // Fig. 8: same instructions retired
+}
+
+TEST_F(PerfModelTest, HyperThreadSiblingsShareTheCore) {
+  const WorkProfile& wp = workload::ComputeBound();
+  const double one =
+      TotalOps(model_.Solve(ConfigFirstThreads(1, 2.0, 1.2), LoadFirstThreads(wp, 1)));
+  const double two =
+      TotalOps(model_.Solve(ConfigFirstThreads(2, 2.0, 1.2), LoadFirstThreads(wp, 2)));
+  // Two siblings yield ~1.25x of one thread (2 * ht_share).
+  EXPECT_NEAR(two / one, 2.0 * params_.perf.ht_share, 1e-6);
+  EXPECT_GT(two, one);
+}
+
+TEST_F(PerfModelTest, ScanIsBandwidthCapped) {
+  const WorkProfile& wp = workload::MemoryScan();
+  const auto loads = LoadFirstThreads(wp, 24);
+  const SolveResult r = model_.Solve(ConfigFirstThreads(24, 2.6, 3.0), loads);
+  // 24 demanding threads exceed the channel peak; effective bandwidth is
+  // the contended cap.
+  const double mc_penalty =
+      1.0 + params_.perf.mc_contention_per_thread *
+                (24 - params_.perf.mc_free_threads);
+  EXPECT_NEAR(r.socket_bandwidth_gbps[0],
+              bw_.SocketBandwidthGbps(3.0) / mc_penalty, 0.1);
+}
+
+TEST_F(PerfModelTest, FewScanThreadsReachFullBandwidth) {
+  // Fig. 6: nearly full bandwidth already at the lowest core frequency, as
+  // long as the uncore clock is at its maximum.
+  const WorkProfile& wp = workload::MemoryScan();
+  const auto loads = LoadFirstThreads(wp, 8);
+  const SolveResult r = model_.Solve(ConfigFirstThreads(8, 1.2, 3.0), loads);
+  EXPECT_NEAR(r.socket_bandwidth_gbps[0], bw_.SocketBandwidthGbps(3.0), 0.5);
+}
+
+TEST_F(PerfModelTest, BandwidthScalesWithUncore) {
+  const WorkProfile& wp = workload::MemoryScan();
+  const auto loads = LoadFirstThreads(wp, 8);
+  double prev = 0.0;
+  for (double unc = 1.2; unc <= 3.01; unc += 0.3) {
+    const SolveResult r = model_.Solve(ConfigFirstThreads(8, 1.2, unc), loads);
+    EXPECT_GT(r.socket_bandwidth_gbps[0], prev);
+    prev = r.socket_bandwidth_gbps[0];
+  }
+}
+
+TEST_F(PerfModelTest, LatencyBoundRateImprovesWithUncore) {
+  const WorkProfile& wp = workload::KvIndexed();
+  const auto loads = LoadFirstThreads(wp, 4);
+  const double lo = TotalOps(model_.Solve(ConfigFirstThreads(4, 1.2, 1.2), loads));
+  const double hi = TotalOps(model_.Solve(ConfigFirstThreads(4, 1.2, 3.0), loads));
+  EXPECT_GT(hi, lo * 1.02);
+}
+
+TEST_F(PerfModelTest, AtomicContentionBestWithTwoSiblings) {
+  // Fig. 10(b): the most performing configuration uses only two hardware
+  // threads (one core's siblings) at turbo frequency.
+  const WorkProfile& wp = workload::AtomicContention();
+  const double two_siblings =
+      TotalOps(model_.Solve(ConfigFirstThreads(2, 3.1, 1.2), LoadFirstThreads(wp, 2)));
+  const double all_threads = TotalOps(
+      model_.Solve(ConfigFirstThreads(24, 3.1, 3.0), LoadFirstThreads(wp, 24)));
+  EXPECT_GT(two_siblings, 2.0 * all_threads);
+}
+
+TEST_F(PerfModelTest, AtomicContentionUncoreIrrelevantForSiblings) {
+  const WorkProfile& wp = workload::AtomicContention();
+  const auto loads = LoadFirstThreads(wp, 2);
+  const double lo = TotalOps(model_.Solve(ConfigFirstThreads(2, 3.1, 1.2), loads));
+  const double hi = TotalOps(model_.Solve(ConfigFirstThreads(2, 3.1, 3.0), loads));
+  EXPECT_NEAR(lo, hi, lo * 1e-9);  // L1-local handoff, uncore unused
+}
+
+TEST_F(PerfModelTest, CrossSocketContentionWorstCase) {
+  const WorkProfile& wp = workload::AtomicContention();
+  std::vector<ThreadLoad> loads = NoLoads();
+  loads[0] = {&wp, 1.0};
+  loads[static_cast<size_t>(topo_.threads_per_socket())] = {&wp, 1.0};
+  MachineConfig cfg = MachineConfig::Idle(topo_);
+  cfg.sockets[0] = SocketConfig::FirstThreads(topo_, 1, 3.1, 3.0);
+  cfg.sockets[1] = SocketConfig::FirstThreads(topo_, 1, 3.1, 3.0);
+  const double cross_socket = TotalOps(model_.Solve(cfg, loads));
+  const double same_socket = TotalOps(
+      model_.Solve(ConfigFirstThreads(4, 3.1, 3.0), LoadFirstThreads(wp, 4)));
+  EXPECT_LT(cross_socket, same_socket);
+}
+
+TEST_F(PerfModelTest, SharedStructureThroughputPeaksBelowAllThreads) {
+  // Fig. 10(c): hash-table insert throughput peaks at a moderate thread
+  // count; using every thread is slower.
+  const WorkProfile& wp = workload::HashInsertShared();
+  double best_ops = 0.0;
+  int best_n = 0;
+  for (int n = 2; n <= 24; n += 2) {
+    const double ops = TotalOps(
+        model_.Solve(ConfigFirstThreads(n, 2.6, 3.0), LoadFirstThreads(wp, n)));
+    if (ops > best_ops) {
+      best_ops = ops;
+      best_n = n;
+    }
+  }
+  EXPECT_GE(best_n, 6);
+  EXPECT_LE(best_n, 16);
+  const double all = TotalOps(
+      model_.Solve(ConfigFirstThreads(24, 2.6, 3.0), LoadFirstThreads(wp, 24)));
+  EXPECT_GT(best_ops, all * 1.02);
+}
+
+TEST_F(PerfModelTest, InactiveThreadsGetNoRate) {
+  const WorkProfile& wp = workload::ComputeBound();
+  const auto loads = LoadFirstThreads(wp, 8);
+  const SolveResult r = model_.Solve(ConfigFirstThreads(4, 2.0, 1.2), loads);
+  for (int t = 4; t < 8; ++t) {
+    EXPECT_DOUBLE_EQ(r.threads[static_cast<size_t>(t)].ops_per_sec, 0.0);
+    EXPECT_DOUBLE_EQ(r.threads[static_cast<size_t>(t)].instr_per_sec, 0.0);
+  }
+}
+
+TEST_F(PerfModelTest, PollingThreadsRetireFewInstructions) {
+  const SolveResult r = model_.Solve(ConfigFirstThreads(4, 2.0, 1.2), NoLoads());
+  for (int t = 0; t < 4; ++t) {
+    const double instr = r.threads[static_cast<size_t>(t)].instr_per_sec;
+    EXPECT_GT(instr, 0.0);
+    EXPECT_LT(instr, 0.05 * 2.0e9);
+  }
+}
+
+TEST_F(PerfModelTest, IntensityScalesAchievedThroughput) {
+  const WorkProfile& wp = workload::ComputeBound();
+  const auto full = LoadFirstThreads(wp, 1, 1.0);
+  const auto half = LoadFirstThreads(wp, 1, 0.5);
+  const MachineConfig cfg = ConfigFirstThreads(1, 2.0, 1.2);
+  const SolveResult rf = model_.Solve(cfg, full);
+  const SolveResult rh = model_.Solve(cfg, half);
+  // ops_per_sec reports capacity (intensity-1 rate)…
+  EXPECT_DOUBLE_EQ(rf.threads[0].ops_per_sec, rh.threads[0].ops_per_sec);
+  // …while busy fraction reflects the offered intensity.
+  EXPECT_DOUBLE_EQ(rf.socket_busy_fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(rh.socket_busy_fraction[0], 0.5);
+}
+
+TEST_F(PerfModelTest, PowerScaleAggregatesWorkWeighted) {
+  const WorkProfile& avx = workload::Firestarter();
+  const auto loads = LoadFirstThreads(avx, 4);
+  const SolveResult r = model_.Solve(ConfigFirstThreads(4, 2.6, 3.0), loads);
+  EXPECT_NEAR(r.socket_power_scale[0], avx.power_scale, 1e-9);
+}
+
+class BandwidthModelParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandwidthModelParamTest, LatencyDecreasesWithUncore) {
+  BandwidthModel bw((BandwidthModelParams()));
+  const double f = GetParam();
+  if (f >= 1.3) {
+    EXPECT_LT(bw.AccessLatencyNs(f), bw.AccessLatencyNs(f - 0.1));
+  }
+  EXPECT_GT(bw.AccessLatencyNs(f), 0.0);
+  EXPECT_GE(bw.SocketBandwidthGbps(f), 0.0);
+  EXPECT_LE(bw.SocketBandwidthGbps(f), bw.params().peak_gbps + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(UncoreSweep, BandwidthModelParamTest,
+                         ::testing::Values(1.2, 1.5, 1.8, 2.1, 2.4, 2.7, 3.0));
+
+}  // namespace
+}  // namespace ecldb::hwsim

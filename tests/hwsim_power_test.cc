@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "hwsim/machine.h"
+#include "hwsim/power_model.h"
+
+namespace ecldb::hwsim {
+namespace {
+
+class PowerModelTest : public ::testing::Test {
+ protected:
+  PowerModelTest()
+      : params_(MachineParams::HaswellEp()),
+        topo_(params_.topology),
+        model_(topo_, params_.power) {}
+
+  SocketActivity BusyActivity(double busy = 1.0, double bw = 0.0) const {
+    SocketActivity a;
+    a.busy_fraction = busy;
+    a.bandwidth_gbps = bw;
+    return a;
+  }
+
+  MachineParams params_;
+  Topology topo_;
+  PowerModel model_;
+};
+
+TEST_F(PowerModelTest, IdleWithUncoreHaltedIsBasePower) {
+  SocketActivity idle;
+  idle.uncore_halted = true;
+  const PowerBreakdown p0 = model_.SocketPower(0, SocketConfig::Idle(topo_), idle);
+  EXPECT_DOUBLE_EQ(p0.pkg_w, params_.power.pkg_base_halted_w[0]);
+  EXPECT_DOUBLE_EQ(p0.dram_w, params_.power.dram_static_w);
+}
+
+TEST_F(PowerModelTest, SocketAsymmetryReproduced) {
+  // Fig. 5: the second socket draws less power than the first.
+  SocketActivity idle;
+  idle.uncore_halted = true;
+  const SocketConfig cfg = SocketConfig::Idle(topo_);
+  EXPECT_GT(model_.SocketPower(0, cfg, idle).pkg_w,
+            model_.SocketPower(1, cfg, idle).pkg_w);
+}
+
+TEST_F(PowerModelTest, HaltedUncoreSavesSubstantially) {
+  // Fig. 4/5: halting the uncore clock (power-gating the LLC) saves up to
+  // ~30 W at the maximum uncore frequency.
+  SocketConfig cfg = SocketConfig::Idle(topo_);
+  cfg.uncore_freq_ghz = 3.0;
+  SocketActivity active_uncore;   // some other socket is awake
+  SocketActivity halted;
+  halted.uncore_halted = true;
+  const double diff = model_.SocketPower(0, cfg, active_uncore).pkg_w -
+                      model_.SocketPower(0, cfg, halted).pkg_w;
+  EXPECT_GT(diff, 20.0);
+  EXPECT_LT(diff, 40.0);
+}
+
+TEST_F(PowerModelTest, PowerMonotoneInUncoreFrequency) {
+  SocketActivity act = BusyActivity();
+  double prev = 0.0;
+  for (double f = 1.2; f <= 3.01; f += 0.1) {
+    SocketConfig cfg = SocketConfig::AllOn(topo_, 2.0, f);
+    const double p = model_.SocketPower(0, cfg, act).pkg_w;
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST_F(PowerModelTest, PowerMonotoneInCoreFrequency) {
+  SocketActivity act = BusyActivity();
+  double prev = 0.0;
+  for (double f = 1.2; f <= 3.11; f += 0.1) {
+    SocketConfig cfg = SocketConfig::AllOn(topo_, f, 1.2);
+    const double p = model_.SocketPower(0, cfg, act).pkg_w;
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST_F(PowerModelTest, FirstCoreCostsMoreThanAdditionalCores) {
+  // Fig. 4: "most of the power costs incur when the first core of a socket
+  // is activated" (the uncore must run), while additional physical cores
+  // are much cheaper.
+  SocketActivity idle_halted;
+  idle_halted.uncore_halted = true;
+  SocketActivity act = BusyActivity();
+  const double p_idle =
+      model_.SocketPower(0, SocketConfig::Idle(topo_), idle_halted).pkg_w;
+  const double p1 =
+      model_.SocketPower(0, SocketConfig::FirstThreads(topo_, 2, 2.0, 3.0), act)
+          .pkg_w;
+  const double p2 =
+      model_.SocketPower(0, SocketConfig::FirstThreads(topo_, 4, 2.0, 3.0), act)
+          .pkg_w;
+  const double first_core_cost = p1 - p_idle;
+  const double second_core_cost = p2 - p1;
+  EXPECT_GT(first_core_cost, 4.0 * second_core_cost);
+}
+
+TEST_F(PowerModelTest, HyperThreadSiblingNearlyFree) {
+  // Fig. 4: activating HyperThread siblings costs almost nothing compared
+  // to activating another physical core.
+  SocketActivity act = BusyActivity();
+  // 2 cores, 1 thread each (spread) vs 1 core with both siblings.
+  const double p_one_core_two_threads =
+      model_.SocketPower(0, SocketConfig::FirstThreads(topo_, 2, 2.6, 3.0), act)
+          .pkg_w;
+  const double p_two_cores =
+      model_.SocketPower(0, SocketConfig::SpreadThreads(topo_, 2, 2.6, 3.0), act)
+          .pkg_w;
+  const double p_one_thread =
+      model_.SocketPower(0, SocketConfig::FirstThreads(topo_, 1, 2.6, 3.0), act)
+          .pkg_w;
+  const double sibling_cost = p_one_core_two_threads - p_one_thread;
+  const double core_cost = p_two_cores - p_one_thread;
+  EXPECT_LT(sibling_cost, 0.35 * core_cost);
+}
+
+TEST_F(PowerModelTest, DramPowerScalesWithBandwidth) {
+  const SocketConfig cfg = SocketConfig::AllOn(topo_, 2.0, 3.0);
+  const double p0 = model_.SocketPower(0, cfg, BusyActivity(1.0, 0.0)).dram_w;
+  const double p50 = model_.SocketPower(0, cfg, BusyActivity(1.0, 50.0)).dram_w;
+  EXPECT_DOUBLE_EQ(p0, params_.power.dram_static_w);
+  EXPECT_NEAR(p50 - p0, 50.0 * params_.power.dram_w_per_gbps, 1e-9);
+}
+
+TEST_F(PowerModelTest, PollingDrawsLessThanBusy) {
+  const SocketConfig cfg = SocketConfig::AllOn(topo_, 2.6, 3.0);
+  const double busy = model_.SocketPower(0, cfg, BusyActivity(1.0)).pkg_w;
+  const double poll = model_.SocketPower(0, cfg, BusyActivity(0.0)).pkg_w;
+  EXPECT_LT(poll, busy);
+  EXPECT_GT(poll, 0.3 * busy);  // polling is far from free (always-on)
+}
+
+TEST_F(PowerModelTest, PowerScaleRaisesDynamicPower) {
+  const SocketConfig cfg = SocketConfig::AllOn(topo_, 2.6, 3.0);
+  SocketActivity avx = BusyActivity(1.0);
+  avx.power_scale = 1.35;
+  EXPECT_GT(model_.SocketPower(0, cfg, avx).pkg_w,
+            model_.SocketPower(0, cfg, BusyActivity(1.0)).pkg_w);
+}
+
+TEST_F(PowerModelTest, PsuModelAddsOverhead) {
+  // Fig. 3: PSU/board overhead on top of what RAPL captures.
+  EXPECT_NEAR(model_.PsuPowerW(0.0), params_.power.psu_static_w, 1e-9);
+  EXPECT_GT(model_.PsuPowerW(200.0), 200.0 + params_.power.psu_static_w);
+}
+
+TEST_F(PowerModelTest, StaticShareOfPeakMatchesPaper) {
+  // Fig. 3: static wall power is ~18 % of the (non-turbo) peak, down from
+  // >50 % in 2010. Peak here: all cores busy with an AVX-heavy mix.
+  SocketActivity idle;
+  idle.uncore_halted = true;
+  SocketActivity peak = BusyActivity(1.0, 56.0);
+  peak.power_scale = 1.35;
+  double rapl_idle = 0.0, rapl_peak = 0.0;
+  for (SocketId s = 0; s < topo_.num_sockets; ++s) {
+    rapl_idle += model_.SocketPower(s, SocketConfig::Idle(topo_), idle).total();
+    rapl_peak +=
+        model_.SocketPower(s, SocketConfig::AllOn(topo_, 2.6, 3.0), peak).total();
+  }
+  const double share = model_.PsuPowerW(rapl_idle) / model_.PsuPowerW(rapl_peak);
+  EXPECT_GT(share, 0.14);
+  EXPECT_LT(share, 0.24);
+}
+
+}  // namespace
+}  // namespace ecldb::hwsim

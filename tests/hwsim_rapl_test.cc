@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwsim/rapl.h"
+
+namespace ecldb::hwsim {
+namespace {
+
+RaplParams NoJitter() {
+  RaplParams p;
+  p.jitter_uj = 0.0;
+  return p;
+}
+
+TEST(RaplTest, ExactEnergyAccumulates) {
+  RaplCounters rapl(2, NoJitter());
+  rapl.AddEnergy(0, RaplDomain::kPackage, 1.5, 0, Millis(10));
+  rapl.AddEnergy(0, RaplDomain::kPackage, 2.5, Millis(10), Millis(20));
+  EXPECT_DOUBLE_EQ(rapl.ExactEnergyJoules(0, RaplDomain::kPackage), 4.0);
+  EXPECT_DOUBLE_EQ(rapl.ExactEnergyJoules(0, RaplDomain::kDram), 0.0);
+  EXPECT_DOUBLE_EQ(rapl.ExactEnergyJoules(1, RaplDomain::kPackage), 0.0);
+}
+
+TEST(RaplTest, DomainsAndSocketsIndependent) {
+  RaplCounters rapl(2, NoJitter());
+  rapl.AddEnergy(0, RaplDomain::kPackage, 1.0, 0, Millis(1));
+  rapl.AddEnergy(0, RaplDomain::kDram, 2.0, 0, Millis(1));
+  rapl.AddEnergy(1, RaplDomain::kPackage, 3.0, 0, Millis(1));
+  EXPECT_DOUBLE_EQ(rapl.ExactEnergyJoules(0, RaplDomain::kPackage), 1.0);
+  EXPECT_DOUBLE_EQ(rapl.ExactEnergyJoules(0, RaplDomain::kDram), 2.0);
+  EXPECT_DOUBLE_EQ(rapl.ExactEnergyJoules(1, RaplDomain::kPackage), 3.0);
+}
+
+TEST(RaplTest, ReadsQuantizeToUpdateBoundary) {
+  RaplCounters rapl(1, NoJitter());
+  // 10 W for 0.5 ms: no 1 ms boundary crossed yet, the published counter
+  // stays at its previous value (0).
+  rapl.AddEnergy(0, RaplDomain::kPackage, 0.005, 0, Micros(500));
+  EXPECT_EQ(rapl.ReadEnergyUj(0, RaplDomain::kPackage), 0u);
+  // Crossing the boundary publishes the pro-rata prefix.
+  rapl.AddEnergy(0, RaplDomain::kPackage, 0.005, Micros(500), Micros(1000));
+  EXPECT_NEAR(static_cast<double>(rapl.ReadEnergyUj(0, RaplDomain::kPackage)),
+              10000.0, 16.0);
+}
+
+TEST(RaplTest, MidIntervalEnergyProRated) {
+  RaplCounters rapl(1, NoJitter());
+  // One add spanning 0..2.5 ms: published boundary at 2 ms = 80 % of it.
+  rapl.AddEnergy(0, RaplDomain::kPackage, 0.010, 0, Micros(2500));
+  EXPECT_NEAR(static_cast<double>(rapl.ReadEnergyUj(0, RaplDomain::kPackage)),
+              8000.0, 16.0);
+}
+
+TEST(RaplTest, ReadIsMonotone) {
+  RaplCounters rapl(1, RaplParams{});
+  uint64_t prev = 0;
+  for (int ms = 0; ms < 200; ++ms) {
+    rapl.AddEnergy(0, RaplDomain::kPackage, 0.02, Millis(ms), Millis(ms + 1));
+    const uint64_t v = rapl.ReadEnergyUj(0, RaplDomain::kPackage);
+    EXPECT_GE(v + 50000, prev);  // jitter may wiggle within ~2x jitter_uj
+    prev = std::max(prev, v);
+  }
+}
+
+TEST(RaplTest, RepeatedReadsIdentical) {
+  RaplCounters rapl(1, RaplParams{});
+  rapl.AddEnergy(0, RaplDomain::kPackage, 0.5, 0, Millis(10));
+  const uint64_t a = rapl.ReadEnergyUj(0, RaplDomain::kPackage);
+  const uint64_t b = rapl.ReadEnergyUj(0, RaplDomain::kPackage);
+  EXPECT_EQ(a, b);  // deterministic jitter per publish boundary
+}
+
+TEST(RaplTest, ShortWindowsLessAccurateThanLongWindows) {
+  // The Fig. 12 effect: power measured over a short window deviates more
+  // from the true power than over a long window.
+  const double watts = 12.0;
+  auto measure = [&](SimDuration window, SimTime start) {
+    RaplCounters rapl(1, RaplParams{});
+    // Feed energy in 250 us steps well past the window.
+    const SimDuration step = Micros(250);
+    for (SimTime t = 0; t < start + window + Millis(2); t += step) {
+      rapl.AddEnergy(0, RaplDomain::kPackage, watts * ToSeconds(step), t,
+                     t + step);
+    }
+    // Re-simulate reads at the window edges.
+    RaplCounters replay(1, RaplParams{});
+    uint64_t e0 = 0, e1 = 0;
+    for (SimTime t = 0; t < start + window + Millis(2); t += step) {
+      replay.AddEnergy(0, RaplDomain::kPackage, watts * ToSeconds(step), t,
+                       t + step);
+      if (t + step == start) e0 = replay.ReadEnergyUj(0, RaplDomain::kPackage);
+      if (t + step == start + window) {
+        e1 = replay.ReadEnergyUj(0, RaplDomain::kPackage);
+      }
+    }
+    const double measured = static_cast<double>(e1 - e0) * 1e-6 / ToSeconds(window);
+    return std::abs(measured - watts) / watts;
+  };
+  // Offset start by 0.5 ms so windows straddle publish boundaries.
+  const double err_short = measure(Millis(2), Millis(3));
+  const double err_long = measure(Millis(100), Millis(3));
+  EXPECT_LT(err_long, 0.05);
+  EXPECT_GT(err_short, err_long);
+}
+
+}  // namespace
+}  // namespace ecldb::hwsim

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "hwsim/hw_config.h"
+#include "hwsim/pstate.h"
+#include "hwsim/topology.h"
+
+namespace ecldb::hwsim {
+namespace {
+
+TEST(TopologyTest, HaswellEpShape) {
+  const Topology t = Topology::HaswellEp2S();
+  EXPECT_EQ(t.num_sockets, 2);
+  EXPECT_EQ(t.cores_per_socket, 12);
+  EXPECT_EQ(t.threads_per_core, 2);
+  EXPECT_EQ(t.threads_per_socket(), 24);
+  EXPECT_EQ(t.total_cores(), 24);
+  EXPECT_EQ(t.total_threads(), 48);
+}
+
+TEST(TopologyTest, ThreadMappingRoundTrips) {
+  const Topology t = Topology::HaswellEp2S();
+  for (SocketId s = 0; s < t.num_sockets; ++s) {
+    for (CoreId c = 0; c < t.cores_per_socket; ++c) {
+      for (int sib = 0; sib < t.threads_per_core; ++sib) {
+        const HwThreadId thread = t.ThreadOf(s, c, sib);
+        EXPECT_EQ(t.SocketOfThread(thread), s);
+        EXPECT_EQ(t.CoreOfThread(thread), c);
+        EXPECT_EQ(t.SiblingOfThread(thread), sib);
+        EXPECT_EQ(t.LocalThreadOfThread(thread), c * 2 + sib);
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, ThreadIdsAreDenseAndUnique) {
+  const Topology t{2, 3, 2};
+  std::vector<bool> seen(static_cast<size_t>(t.total_threads()), false);
+  for (SocketId s = 0; s < 2; ++s) {
+    for (CoreId c = 0; c < 3; ++c) {
+      for (int sib = 0; sib < 2; ++sib) {
+        const HwThreadId id = t.ThreadOf(s, c, sib);
+        ASSERT_GE(id, 0);
+        ASSERT_LT(id, t.total_threads());
+        EXPECT_FALSE(seen[static_cast<size_t>(id)]);
+        seen[static_cast<size_t>(id)] = true;
+      }
+    }
+  }
+}
+
+TEST(FrequencyTableTest, HaswellEpRanges) {
+  const FrequencyTable f = FrequencyTable::HaswellEp();
+  EXPECT_DOUBLE_EQ(f.min_core(), 1.2);
+  EXPECT_DOUBLE_EQ(f.max_core_nominal(), 2.6);
+  EXPECT_DOUBLE_EQ(f.turbo_ghz, 3.1);
+  EXPECT_DOUBLE_EQ(f.max_core(), 3.1);
+  EXPECT_DOUBLE_EQ(f.min_uncore(), 1.2);
+  EXPECT_DOUBLE_EQ(f.max_uncore(), 3.0);
+  EXPECT_EQ(f.core_ghz.size(), 15u);
+  EXPECT_EQ(f.uncore_ghz.size(), 19u);
+}
+
+TEST(FrequencyTableTest, SnapsToNearest) {
+  const FrequencyTable f = FrequencyTable::HaswellEp();
+  EXPECT_DOUBLE_EQ(f.NearestCore(1.24), 1.2);
+  EXPECT_DOUBLE_EQ(f.NearestCore(1.96), 2.0);
+  EXPECT_DOUBLE_EQ(f.NearestCore(5.0), 3.1);   // clamps to turbo
+  EXPECT_DOUBLE_EQ(f.NearestCore(2.9), 3.1);   // closer to turbo than 2.6
+  EXPECT_DOUBLE_EQ(f.NearestCore(2.7), 2.6);
+  EXPECT_DOUBLE_EQ(f.NearestUncore(0.3), 1.2);
+  EXPECT_DOUBLE_EQ(f.NearestUncore(2.84), 2.8);
+}
+
+TEST(SocketConfigTest, IdleHasNothingActive) {
+  const Topology t = Topology::HaswellEp2S();
+  const SocketConfig c = SocketConfig::Idle(t);
+  EXPECT_FALSE(c.AnyActive());
+  EXPECT_EQ(c.ActiveThreadCount(), 0);
+  EXPECT_EQ(c.ActiveCoreCount(t), 0);
+  EXPECT_DOUBLE_EQ(c.MeanActiveCoreFreq(t), 0.0);
+}
+
+TEST(SocketConfigTest, FirstThreadsFillsCoresSiblingsFirst) {
+  const Topology t = Topology::HaswellEp2S();
+  const SocketConfig c = SocketConfig::FirstThreads(t, 3, 2.0, 2.5);
+  EXPECT_EQ(c.ActiveThreadCount(), 3);
+  // Threads 0,1 = core 0 siblings; thread 2 = core 1 first sibling.
+  EXPECT_TRUE(c.ThreadActive(0));
+  EXPECT_TRUE(c.ThreadActive(1));
+  EXPECT_TRUE(c.ThreadActive(2));
+  EXPECT_FALSE(c.ThreadActive(3));
+  EXPECT_EQ(c.ActiveCoreCount(t), 2);
+  EXPECT_TRUE(c.CoreActive(t, 0));
+  EXPECT_TRUE(c.CoreActive(t, 1));
+  EXPECT_FALSE(c.CoreActive(t, 2));
+}
+
+TEST(SocketConfigTest, SpreadThreadsOnePerCoreFirst) {
+  const Topology t = Topology::HaswellEp2S();
+  const SocketConfig c = SocketConfig::SpreadThreads(t, 13, 2.0, 2.5);
+  EXPECT_EQ(c.ActiveThreadCount(), 13);
+  // 12 cores get one sibling, the 13th thread is core 0's second sibling.
+  EXPECT_EQ(c.ActiveCoreCount(t), 12);
+  EXPECT_TRUE(c.ThreadActive(0));
+  EXPECT_TRUE(c.ThreadActive(1));
+  EXPECT_TRUE(c.ThreadActive(2));   // core 1 sibling 0
+  EXPECT_FALSE(c.ThreadActive(3));  // core 1 sibling 1
+}
+
+TEST(SocketConfigTest, SnapAdjustsAllFrequencies) {
+  const Topology t = Topology::HaswellEp2S();
+  const FrequencyTable f = FrequencyTable::HaswellEp();
+  SocketConfig c = SocketConfig::AllOn(t, 1.97, 2.93);
+  c.SnapToTable(f);
+  for (double fc : c.core_freq_ghz) EXPECT_DOUBLE_EQ(fc, 2.0);
+  EXPECT_DOUBLE_EQ(c.uncore_freq_ghz, 2.9);
+}
+
+TEST(SocketConfigTest, MeanActiveCoreFreqIgnoresInactive) {
+  const Topology t = Topology::HaswellEp2S();
+  SocketConfig c = SocketConfig::FirstThreads(t, 4, 1.2, 2.0);  // cores 0,1
+  c.core_freq_ghz[0] = 1.2;
+  c.core_freq_ghz[1] = 2.6;
+  c.core_freq_ghz[5] = 9.9;  // inactive, must not count
+  EXPECT_DOUBLE_EQ(c.MeanActiveCoreFreq(t), 1.9);
+}
+
+TEST(SocketConfigTest, EqualityComparesAllFields) {
+  const Topology t = Topology::HaswellEp2S();
+  SocketConfig a = SocketConfig::AllOn(t, 2.0, 2.0);
+  SocketConfig b = a;
+  EXPECT_TRUE(a == b);
+  b.uncore_freq_ghz = 2.5;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MachineConfigTest, AllIdleDetection) {
+  const Topology t = Topology::HaswellEp2S();
+  MachineConfig m = MachineConfig::Idle(t);
+  EXPECT_TRUE(m.AllIdle());
+  m.sockets[1].thread_active[0] = true;
+  EXPECT_FALSE(m.AllIdle());
+}
+
+TEST(SocketConfigTest, ToStringListsThreads) {
+  const Topology t = Topology::HaswellEp2S();
+  const SocketConfig c = SocketConfig::FirstThreads(t, 2, 1.2, 3.0);
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("threads={0,1}"), std::string::npos);
+  EXPECT_NE(s.find("f_uncore=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecldb::hwsim

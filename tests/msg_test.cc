@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "msg/inter_socket_comm.h"
+#include "msg/intra_socket_router.h"
+#include "msg/message.h"
+#include "msg/message_layer.h"
+#include "msg/mpmc_ring.h"
+#include "msg/partition_queue.h"
+#include "msg/spsc_ring.h"
+
+namespace ecldb::msg {
+namespace {
+
+Message MakeMsg(PartitionId p, int64_t tag = 0) {
+  Message m;
+  m.query_id = tag;
+  m.partition = p;
+  m.type = MessageType::kWorkUnits;
+  return m;
+}
+
+TEST(SpscRingTest, FifoSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  int v;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&v));  // empty
+}
+
+TEST(SpscRingTest, CapacityRoundsToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRingTest, TwoThreadStress) {
+  SpscRing<int64_t> ring(1024);
+  constexpr int64_t kCount = 200000;
+  std::thread producer([&] {
+    for (int64_t i = 0; i < kCount; ++i) {
+      while (!ring.TryPush(i)) {
+      }
+    }
+  });
+  int64_t expected = 0;
+  while (expected < kCount) {
+    int64_t v;
+    if (ring.TryPop(&v)) {
+      ASSERT_EQ(v, expected);  // strict FIFO
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.EmptyApprox());
+}
+
+TEST(MpmcRingTest, FifoSingleThread) {
+  MpmcRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(9));
+  int v;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&v));
+}
+
+TEST(MpmcRingTest, MultiProducerMultiConsumerStress) {
+  MpmcRing<int64_t> ring(1024);
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int64_t kPerProducer = 50000;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int64_t> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int64_t i = 0; i < kPerProducer; ++i) {
+        const int64_t v = p * kPerProducer + i;
+        while (!ring.TryPush(v)) {
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int64_t v;
+      while (popped.load() < kProducers * kPerProducer) {
+        if (ring.TryPop(&v)) {
+          sum.fetch_add(v);
+          popped.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(PartitionQueueTest, OwnershipProtocol) {
+  PartitionQueue q(3, 64);
+  EXPECT_EQ(q.owner(), -1);
+  EXPECT_TRUE(q.TryAcquire(7));
+  EXPECT_EQ(q.owner(), 7);
+  EXPECT_FALSE(q.TryAcquire(8));  // already owned
+  q.Release(7);
+  EXPECT_EQ(q.owner(), -1);
+  EXPECT_TRUE(q.TryAcquire(8));
+  q.Release(8);
+}
+
+TEST(PartitionQueueTest, BatchDequeueRespectsLimit) {
+  PartitionQueue q(0, 64);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(q.Enqueue(MakeMsg(0, i)));
+  EXPECT_EQ(q.SizeApprox(), 10u);
+  ASSERT_TRUE(q.TryAcquire(1));
+  std::vector<Message> batch;
+  EXPECT_EQ(q.DequeueBatch(1, 4, &batch), 4u);
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].query_id, 0);
+  EXPECT_EQ(batch[3].query_id, 3);
+  EXPECT_EQ(q.DequeueBatch(1, 100, &batch), 6u);
+  EXPECT_TRUE(q.EmptyApprox());
+  q.Release(1);
+}
+
+TEST(PartitionQueueTest, BackpressureWhenFull) {
+  PartitionQueue q(0, 4);
+  int pushed = 0;
+  while (q.Enqueue(MakeMsg(0, pushed))) ++pushed;
+  EXPECT_EQ(pushed, 4);
+}
+
+TEST(IntraSocketRouterTest, RoutesToOwnedPartitions) {
+  IntraSocketRouter router(0, {2, 5, 9}, 64);
+  EXPECT_TRUE(router.Owns(2));
+  EXPECT_TRUE(router.Owns(9));
+  EXPECT_FALSE(router.Owns(3));
+  EXPECT_FALSE(router.Owns(100));
+  EXPECT_TRUE(router.Enqueue(MakeMsg(5)));
+  EXPECT_EQ(router.PendingApprox(), 1u);
+  EXPECT_EQ(router.queue(5)->SizeApprox(), 1u);
+}
+
+TEST(IntraSocketRouterTest, AcquireNonEmptySkipsEmptyAndOwned) {
+  IntraSocketRouter router(0, {0, 1, 2}, 64);
+  router.Enqueue(MakeMsg(1));
+  router.Enqueue(MakeMsg(2));
+  size_t cursor = 0;
+  PartitionQueue* first = router.AcquireNonEmpty(10, &cursor);
+  ASSERT_NE(first, nullptr);
+  // Second worker gets the other non-empty queue.
+  size_t cursor2 = 0;
+  PartitionQueue* second = router.AcquireNonEmpty(11, &cursor2);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(first->partition(), second->partition());
+  // Nothing left for a third worker.
+  size_t cursor3 = 0;
+  EXPECT_EQ(router.AcquireNonEmpty(12, &cursor3), nullptr);
+  first->Release(10);
+  second->Release(11);
+}
+
+TEST(IntraSocketRouterTest, RoundRobinFromCursor) {
+  IntraSocketRouter router(0, {0, 1, 2, 3}, 64);
+  for (PartitionId p = 0; p < 4; ++p) router.Enqueue(MakeMsg(p));
+  size_t cursor = 0;  // starts scanning at index 1
+  PartitionQueue* q = router.AcquireNonEmpty(1, &cursor);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->partition(), 1);
+  q->Release(1);
+}
+
+TEST(CommEndpointTest, PumpsToRemoteRouter) {
+  IntraSocketRouter r0(0, {0}, 64);
+  IntraSocketRouter r1(1, {1}, 64);
+  std::vector<IntraSocketRouter*> routers = {&r0, &r1};
+  CommEndpoint comm0(0, 2, 64);
+  EXPECT_TRUE(comm0.BufferOutbound(1, MakeMsg(1, 42)));
+  EXPECT_EQ(comm0.OutboundPendingApprox(), 1u);
+  EXPECT_EQ(comm0.Pump(routers, 16), 1u);
+  EXPECT_EQ(comm0.OutboundPendingApprox(), 0u);
+  EXPECT_EQ(r1.queue(1)->SizeApprox(), 1u);
+  EXPECT_EQ(comm0.transferred(), 1);
+}
+
+TEST(CommEndpointTest, PumpBatchBounded) {
+  IntraSocketRouter r0(0, {0}, 1024);
+  IntraSocketRouter r1(1, {1}, 1024);
+  std::vector<IntraSocketRouter*> routers = {&r0, &r1};
+  CommEndpoint comm0(0, 2, 1024);
+  for (int i = 0; i < 40; ++i) comm0.BufferOutbound(1, MakeMsg(1, i));
+  EXPECT_EQ(comm0.Pump(routers, 16), 16u);
+  EXPECT_EQ(comm0.OutboundPendingApprox(), 24u);
+}
+
+TEST(MessageLayerTest, LocalSendGoesDirect) {
+  MessageLayer layer(2, {0, 0, 1, 1}, MessageLayerParams{});
+  EXPECT_TRUE(layer.Send(0, MakeMsg(1)));
+  EXPECT_EQ(layer.router(0)->PendingApprox(), 1u);
+  EXPECT_EQ(layer.comm(0)->OutboundPendingApprox(), 0u);
+}
+
+TEST(MessageLayerTest, RemoteSendBuffersThenPumps) {
+  MessageLayer layer(2, {0, 0, 1, 1}, MessageLayerParams{});
+  EXPECT_TRUE(layer.Send(0, MakeMsg(3)));  // partition 3 homed on socket 1
+  EXPECT_EQ(layer.router(1)->PendingApprox(), 0u);
+  EXPECT_EQ(layer.comm(0)->OutboundPendingApprox(), 1u);
+  EXPECT_EQ(layer.PumpComm(0), 1u);
+  EXPECT_EQ(layer.router(1)->PendingApprox(), 1u);
+  EXPECT_EQ(layer.PendingApprox(), 1u);
+}
+
+TEST(MessageLayerTest, HomeMapRespected) {
+  MessageLayer layer(2, {0, 1, 0, 1}, MessageLayerParams{});
+  EXPECT_EQ(layer.HomeOf(0), 0);
+  EXPECT_EQ(layer.HomeOf(1), 1);
+  EXPECT_EQ(layer.num_partitions(), 4);
+  EXPECT_TRUE(layer.router(0)->Owns(2));
+  EXPECT_TRUE(layer.router(1)->Owns(3));
+}
+
+TEST(MessageTest, TypeNames) {
+  // Exercised mostly for diagnostics; keep the mapping stable.
+  EXPECT_STREQ(MessageTypeName(MessageType::kWorkUnits), "work_units");
+  EXPECT_STREQ(MessageTypeName(MessageType::kGet), "get");
+}
+
+}  // namespace
+}  // namespace ecldb::msg

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ecl/ecl.h"
+#include "engine/engine.h"
+#include "hwsim/machine.h"
+#include "sim/simulator.h"
+#include "workload/work_profiles.h"
+#include "profile/config_generator.h"
+#include "profile/serialization.h"
+
+namespace ecldb::profile {
+namespace {
+
+EnergyProfile MakeProfile(const GeneratorParams& params = GeneratorParams{}) {
+  ConfigGenerator gen(hwsim::Topology::HaswellEp2S(),
+                      hwsim::FrequencyTable::HaswellEp());
+  return EnergyProfile(gen.Generate(params));
+}
+
+TEST(ProfileSerializationTest, RoundTripPreservesMeasurements) {
+  EnergyProfile original = MakeProfile();
+  Rng rng(4);
+  for (int i = 1; i < original.size(); i += 3) {
+    original.Record(i, 10.0 + rng.NextDouble() * 100.0,
+                    1e9 * (1.0 + rng.NextDouble()), Seconds(i));
+  }
+  const std::string text = SerializeProfile(original);
+
+  EnergyProfile restored = MakeProfile();
+  ASSERT_TRUE(DeserializeProfile(text, &restored));
+  EXPECT_EQ(restored.measured_count(), original.measured_count());
+  for (int i = 1; i < original.size(); ++i) {
+    const Configuration& a = original.config(i);
+    const Configuration& b = restored.config(i);
+    EXPECT_EQ(a.measured(), b.measured());
+    if (a.measured()) {
+      EXPECT_DOUBLE_EQ(a.power_w, b.power_w);
+      EXPECT_DOUBLE_EQ(a.perf_score, b.perf_score);
+      EXPECT_EQ(a.last_measured, b.last_measured);
+    }
+  }
+  EXPECT_EQ(restored.MostEfficientIndex(), original.MostEfficientIndex());
+  EXPECT_EQ(restored.Skyline(), original.Skyline());
+}
+
+TEST(ProfileSerializationTest, EmptyProfileRoundTrips) {
+  EnergyProfile original = MakeProfile();
+  EnergyProfile restored = MakeProfile();
+  ASSERT_TRUE(DeserializeProfile(SerializeProfile(original), &restored));
+  EXPECT_EQ(restored.measured_count(), 0);
+}
+
+TEST(ProfileSerializationTest, RejectsMismatchedGeneratorParams) {
+  EnergyProfile original = MakeProfile();
+  original.Record(1, 10.0, 1e9, Seconds(1));
+  const std::string text = SerializeProfile(original);
+
+  GeneratorParams other;
+  other.n_core_freqs = 7;
+  EnergyProfile different = MakeProfile(other);
+  EXPECT_FALSE(DeserializeProfile(text, &different));
+  EXPECT_EQ(different.measured_count(), 0);  // untouched
+}
+
+TEST(ProfileSerializationTest, RejectsCorruptInput) {
+  EnergyProfile profile = MakeProfile();
+  EXPECT_FALSE(DeserializeProfile("", &profile));
+  EXPECT_FALSE(DeserializeProfile("garbage v1 145 123", &profile));
+  EXPECT_FALSE(DeserializeProfile("ecldb-profile v2 145 123", &profile));
+
+  // Valid header, out-of-range index.
+  const std::string header = SerializeProfile(profile);
+  EXPECT_FALSE(DeserializeProfile(header + "9999 10 1e9 5\n", &profile));
+  // Negative power.
+  EXPECT_FALSE(DeserializeProfile(header + "1 -3 1e9 5\n", &profile));
+  // Trailing junk.
+  EXPECT_FALSE(DeserializeProfile(header + "1 10 1e9 5 extra_token\n1 x\n",
+                                  &profile));
+  EXPECT_EQ(profile.measured_count(), 0);
+}
+
+TEST(ProfileSerializationTest, FingerprintSensitiveToConfigSet) {
+  const uint64_t a = ProfileFingerprint(MakeProfile());
+  GeneratorParams p;
+  p.n_uncore_freqs = 2;
+  const uint64_t b = ProfileFingerprint(MakeProfile(p));
+  EXPECT_NE(a, b);
+  // Deterministic across generations.
+  EXPECT_EQ(a, ProfileFingerprint(MakeProfile()));
+}
+
+
+TEST(ProfileSerializationTest, WarmStartsAnEcl) {
+  // A profile primed in one "process" warm-starts a fresh ECL: no
+  // bootstrap phase, the first tick already has full knowledge.
+  std::string saved;
+  {
+    sim::Simulator sim;
+    hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+    engine::Engine engine(&sim, &machine, engine::EngineParams{});
+    ecl::EnergyControlLoop loop(&sim, &engine, ecl::EclParams{});
+    loop.Start();
+    engine.scheduler().SetSyntheticLoad(&workload::MemoryScan());
+    sim.RunFor(Seconds(30));
+    saved = SerializeProfile(loop.socket(0).profile());
+  }
+  {
+    sim::Simulator sim;
+    hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+    engine::Engine engine(&sim, &machine, engine::EngineParams{});
+    ecl::EnergyControlLoop loop(&sim, &engine, ecl::EclParams{});
+    for (int s = 0; s < loop.num_sockets(); ++s) {
+      ASSERT_TRUE(DeserializeProfile(saved, &loop.socket(s).profile()));
+    }
+    EXPECT_GT(loop.socket(0).profile().measured_count(), 100);
+    loop.Start();
+    engine.scheduler().SetSyntheticLoad(&workload::MemoryScan());
+    sim.RunFor(Seconds(3));
+    // Warm knowledge: the ECL is already applying a measured configuration
+    // instead of the bootstrap widest-config + relearning phase.
+    EXPECT_GT(loop.socket(0).current_config_index(), 0);
+    EXPECT_TRUE(
+        loop.socket(0).profile().config(loop.socket(0).current_config_index())
+            .measured());
+  }
+}
+
+}  // namespace
+}  // namespace ecldb::profile

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "hwsim/machine.h"
+#include "profile/config_generator.h"
+#include "profile/energy_profile.h"
+#include "profile/evaluator.h"
+#include "sim/simulator.h"
+#include "workload/work_profiles.h"
+
+namespace ecldb::profile {
+namespace {
+
+using hwsim::FrequencyTable;
+using hwsim::Topology;
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  GeneratorTest()
+      : topo_(Topology::HaswellEp2S()),
+        freqs_(FrequencyTable::HaswellEp()),
+        gen_(topo_, freqs_) {}
+
+  Topology topo_;
+  FrequencyTable freqs_;
+  ConfigGenerator gen_;
+};
+
+TEST_F(GeneratorTest, CoreFreqSamplesIncludeExtremesAndTurbo) {
+  const std::vector<double> f = gen_.CoreFreqSamples(4);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f.front(), 1.2);
+  EXPECT_DOUBLE_EQ(f[2], 2.6);
+  EXPECT_DOUBLE_EQ(f.back(), 3.1);
+}
+
+TEST_F(GeneratorTest, UncoreSamplesSpanRange) {
+  const std::vector<double> f = gen_.UncoreFreqSamples(3);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f[0], 1.2);
+  EXPECT_DOUBLE_EQ(f[1], 2.1);
+  EXPECT_DOUBLE_EQ(f[2], 3.0);
+}
+
+TEST_F(GeneratorTest, PaperDefaultGroupsHyperThreads) {
+  // Paper Section 4.2: 24 threads x 4 core freqs x 3 uncore freqs = 288
+  // exceeds c_max = 256, so HyperThread siblings are grouped: 144 configs
+  // plus the idle configuration.
+  GeneratorParams p;  // 4 / 3 / off / 256
+  EXPECT_EQ(gen_.GroupSizeFor(p), 2);
+  const std::vector<Configuration> configs = gen_.Generate(p);
+  EXPECT_EQ(configs.size(), 145u);
+  EXPECT_FALSE(configs[0].hw.AnyActive());  // idle first
+}
+
+TEST_F(GeneratorTest, PerThreadGranularityWhenBudgetAllows) {
+  GeneratorParams p;
+  p.c_max = 400;
+  EXPECT_EQ(gen_.GroupSizeFor(p), 1);
+  EXPECT_EQ(gen_.Generate(p).size(), 1u + 24u * 4u * 3u);
+}
+
+TEST_F(GeneratorTest, MixedFrequenciesAddConfigs) {
+  GeneratorParams base;  // 144
+  GeneratorParams mixed = base;
+  mixed.mixed_core_freqs = true;
+  const auto plain = gen_.Generate(base);
+  const auto with_mixed = gen_.Generate(mixed);
+  EXPECT_GT(with_mixed.size(), plain.size());
+  EXPECT_LE(static_cast<int>(with_mixed.size()), mixed.c_max + 1);
+  // Some config actually has two distinct active core frequencies.
+  bool found_mixed = false;
+  for (const Configuration& c : with_mixed) {
+    double lo = 1e9, hi = 0.0;
+    for (int core = 0; core < topo_.cores_per_socket; ++core) {
+      if (!c.hw.CoreActive(topo_, core)) continue;
+      lo = std::min(lo, c.hw.core_freq_ghz[static_cast<size_t>(core)]);
+      hi = std::max(hi, c.hw.core_freq_ghz[static_cast<size_t>(core)]);
+    }
+    if (hi > lo) found_mixed = true;
+  }
+  EXPECT_TRUE(found_mixed);
+}
+
+TEST_F(GeneratorTest, ConfigurationsAreUnique) {
+  GeneratorParams p;
+  const auto configs = gen_.Generate(p);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    for (size_t j = i + 1; j < configs.size(); ++j) {
+      EXPECT_FALSE(configs[i].hw == configs[j].hw)
+          << "duplicate configs " << i << " and " << j;
+    }
+  }
+}
+
+TEST_F(GeneratorTest, BudgetRespectedForLargeRequests) {
+  GeneratorParams p;
+  p.n_core_freqs = 7;
+  p.n_uncore_freqs = 5;
+  const auto configs = gen_.Generate(p);
+  EXPECT_LE(static_cast<int>(configs.size()), p.c_max + 1);
+}
+
+class EnergyProfileTest : public ::testing::Test {
+ protected:
+  EnergyProfileTest() {
+    const Topology topo = Topology::HaswellEp2S();
+    std::vector<Configuration> configs;
+    configs.push_back({hwsim::SocketConfig::Idle(topo), 0, 0, -1});
+    for (int i = 1; i <= 5; ++i) {
+      configs.push_back(
+          {hwsim::SocketConfig::FirstThreads(topo, i * 4, 2.0, 2.0), 0, 0, -1});
+    }
+    profile_ = std::make_unique<EnergyProfile>(std::move(configs));
+  }
+
+  std::unique_ptr<EnergyProfile> profile_;
+};
+
+TEST_F(EnergyProfileTest, UnmeasuredProfileHasNoAnswers) {
+  EXPECT_EQ(profile_->measured_count(), 0);
+  EXPECT_EQ(profile_->MostEfficientIndex(), -1);
+  EXPECT_EQ(profile_->PeakPerfIndex(), -1);
+  EXPECT_DOUBLE_EQ(profile_->PeakPerfScore(), 0.0);
+  EXPECT_EQ(profile_->FindForDemand(1.0), -1);
+  EXPECT_TRUE(profile_->Skyline().empty());
+}
+
+TEST_F(EnergyProfileTest, FindForDemandPicksMostEfficientSatisfying) {
+  // perf:       10   20   30   40   50
+  // power:       5    8   20   30   50
+  // efficiency:  2  2.5  1.5 1.33   1
+  const double perf[] = {10, 20, 30, 40, 50};
+  const double power[] = {5, 8, 20, 30, 50};
+  for (int i = 0; i < 5; ++i) profile_->Record(i + 1, power[i], perf[i], Seconds(1));
+  EXPECT_EQ(profile_->MostEfficientIndex(), 2);
+  EXPECT_DOUBLE_EQ(profile_->PeakPerfScore(), 50.0);
+  EXPECT_EQ(profile_->FindForDemand(5.0), 2);    // config 2 dominates config 1
+  EXPECT_EQ(profile_->FindForDemand(15.0), 2);
+  EXPECT_EQ(profile_->FindForDemand(25.0), 3);
+  EXPECT_EQ(profile_->FindForDemand(45.0), 5);
+  EXPECT_EQ(profile_->FindForDemand(60.0), 5);   // falls back to peak
+}
+
+TEST_F(EnergyProfileTest, SkylineIsEfficiencyMaximalPerDemand) {
+  const double perf[] = {10, 20, 30, 40, 50};
+  const double power[] = {5, 8, 20, 30, 50};
+  for (int i = 0; i < 5; ++i) profile_->Record(i + 1, power[i], perf[i], Seconds(1));
+  const std::vector<int> skyline = profile_->Skyline();
+  // Config 1 (eff 2.0) is dominated by config 2 (perf 20 >= 10, eff 2.5).
+  EXPECT_EQ(skyline, (std::vector<int>{2, 3, 4, 5}));
+  // Ascending performance along the skyline.
+  for (size_t i = 1; i < skyline.size(); ++i) {
+    EXPECT_GT(profile_->config(skyline[i]).perf_score,
+              profile_->config(skyline[i - 1]).perf_score);
+  }
+}
+
+TEST_F(EnergyProfileTest, ZonesRelativeToOptimum) {
+  const double perf[] = {10, 20, 30, 40, 50};
+  const double power[] = {5, 8, 20, 30, 50};
+  for (int i = 0; i < 5; ++i) profile_->Record(i + 1, power[i], perf[i], Seconds(1));
+  // Optimum at perf 20.
+  EXPECT_EQ(profile_->ZoneForDemand(5.0), Zone::kUnderUtilization);
+  EXPECT_EQ(profile_->ZoneForDemand(20.0), Zone::kOptimal);
+  EXPECT_EQ(profile_->ZoneForDemand(45.0), Zone::kOverUtilization);
+}
+
+TEST_F(EnergyProfileTest, StalenessByAgeAndFlag) {
+  profile_->Record(1, 5, 10, Seconds(1));
+  profile_->Record(2, 8, 20, Seconds(100));
+  const auto stale = profile_->StaleConfigs(Seconds(101), Seconds(50));
+  // Config 1 old, configs 3..5 never measured; config 2 fresh.
+  EXPECT_EQ(stale, (std::vector<int>{1, 3, 4, 5}));
+  profile_->InvalidateAll();
+  EXPECT_EQ(profile_->StaleConfigs(Seconds(101), Seconds(50)).size(), 5u);
+  // Invalidation keeps stored measurements usable.
+  EXPECT_EQ(profile_->MostEfficientIndex(), 2);
+}
+
+TEST(EvaluatorTest, MeasuresPlausiblePowerAndPerf) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  ProfileEvaluator eval(&sim, &machine, 0);
+  const auto m = eval.Measure(
+      hwsim::SocketConfig::AllOn(machine.topology(), 2.6, 3.0),
+      workload::ComputeBound(), EvaluatorParams{});
+  // All cores busy: substantial power, instructions ~ 24 threads sharing
+  // 12 cores at 2.6 GHz.
+  EXPECT_GT(m.power_w, 60.0);
+  EXPECT_LT(m.power_w, 160.0);
+  EXPECT_NEAR(m.perf_score, 12 * 2 * 0.625 * 2.6e9, 0.1 * 12 * 2.6e9);
+}
+
+TEST(EvaluatorTest, ComputeBoundProfileShape) {
+  // Fig. 9(a): for the compute-bound workload the lowest uncore frequency
+  // is the most energy-efficient; the optimum uses all threads.
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  ConfigGenerator gen(machine.topology(), machine.freqs());
+  EnergyProfile profile(gen.Generate(GeneratorParams{}));
+  ProfileEvaluator eval(&sim, &machine, 0);
+  eval.EvaluateAll(&profile, workload::ComputeBound(), EvaluatorParams{});
+  EXPECT_TRUE(profile.fully_measured());
+  const Configuration& opt = profile.config(profile.MostEfficientIndex());
+  EXPECT_DOUBLE_EQ(opt.hw.uncore_freq_ghz, 1.2);
+  EXPECT_EQ(opt.hw.ActiveThreadCount(), 24);
+}
+
+TEST(EvaluatorTest, MemoryBoundProfileShape) {
+  // Fig. 10(a): high uncore frequency beneficial, high core frequencies a
+  // bad choice.
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  ConfigGenerator gen(machine.topology(), machine.freqs());
+  EnergyProfile profile(gen.Generate(GeneratorParams{}));
+  ProfileEvaluator eval(&sim, &machine, 0);
+  eval.EvaluateAll(&profile, workload::MemoryScan(), EvaluatorParams{});
+  const Configuration& opt = profile.config(profile.MostEfficientIndex());
+  EXPECT_DOUBLE_EQ(opt.hw.uncore_freq_ghz, 3.0);
+  EXPECT_DOUBLE_EQ(opt.hw.MeanActiveCoreFreq(machine.topology()), 1.2);
+}
+
+TEST(EvaluatorTest, AtomicContentionProfileShape) {
+  // Fig. 10(b): two hardware threads at turbo with the lowest uncore
+  // frequency dominate.
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  ConfigGenerator gen(machine.topology(), machine.freqs());
+  EnergyProfile profile(gen.Generate(GeneratorParams{}));
+  ProfileEvaluator eval(&sim, &machine, 0);
+  eval.EvaluateAll(&profile, workload::AtomicContention(), EvaluatorParams{});
+  const Configuration& opt = profile.config(profile.MostEfficientIndex());
+  EXPECT_EQ(opt.hw.ActiveThreadCount(), 2);
+  EXPECT_DOUBLE_EQ(opt.hw.uncore_freq_ghz, 1.2);
+}
+
+}  // namespace
+}  // namespace ecldb::profile

@@ -1,0 +1,334 @@
+// Property-style parameterized tests sweeping model invariants across the
+// configuration space.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "hwsim/machine.h"
+#include "engine/engine.h"
+#include "msg/partition_queue.h"
+#include "profile/config_generator.h"
+#include "profile/energy_profile.h"
+#include "sim/simulator.h"
+#include "workload/work_profiles.h"
+
+namespace ecldb {
+namespace {
+
+using hwsim::MachineParams;
+using hwsim::SocketConfig;
+using hwsim::Topology;
+
+// ---------------------------------------------------------------------------
+// Power model: activating more threads never reduces power; raising any
+// clock never reduces power. Swept over thread counts x uncore freqs.
+// ---------------------------------------------------------------------------
+
+class PowerMonotonicity
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(PowerMonotonicity, MoreThreadsMorePower) {
+  const auto [threads, uncore] = GetParam();
+  const MachineParams params = MachineParams::HaswellEp();
+  const hwsim::PowerModel model(params.topology, params.power);
+  hwsim::SocketActivity act;
+  act.busy_fraction = 1.0;
+  const double p_n =
+      model
+          .SocketPower(0, SocketConfig::FirstThreads(params.topology, threads,
+                                                     2.0, uncore),
+                       act)
+          .pkg_w;
+  const double p_more =
+      model
+          .SocketPower(0, SocketConfig::FirstThreads(params.topology,
+                                                     threads + 2, 2.0, uncore),
+                       act)
+          .pkg_w;
+  EXPECT_GE(p_more, p_n);
+}
+
+TEST_P(PowerMonotonicity, HigherCoreClockMorePower) {
+  const auto [threads, uncore] = GetParam();
+  const MachineParams params = MachineParams::HaswellEp();
+  const hwsim::PowerModel model(params.topology, params.power);
+  hwsim::SocketActivity act;
+  act.busy_fraction = 1.0;
+  double prev = 0.0;
+  for (double f : {1.2, 1.8, 2.4, 3.1}) {
+    const double p =
+        model
+            .SocketPower(0, SocketConfig::FirstThreads(params.topology,
+                                                       threads, f, uncore),
+                         act)
+            .pkg_w;
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadUncoreSweep, PowerMonotonicity,
+    ::testing::Combine(::testing::Values(2, 6, 12, 20),
+                       ::testing::Values(1.2, 2.1, 3.0)));
+
+// ---------------------------------------------------------------------------
+// Perf model: adding active threads never reduces *total* throughput for
+// contention-free profiles; per-thread rate never increases.
+// ---------------------------------------------------------------------------
+
+class ThroughputScaling : public ::testing::TestWithParam<const char*> {
+ protected:
+  const hwsim::WorkProfile& Profile() const {
+    const std::string name = GetParam();
+    if (name == "compute") return workload::ComputeBound();
+    if (name == "scan") return workload::MemoryScan();
+    return workload::KvIndexed();
+  }
+};
+
+TEST_P(ThroughputScaling, TotalThroughputMonotoneInThreads) {
+  const MachineParams params = MachineParams::HaswellEp();
+  const hwsim::BandwidthModel bw(params.bandwidth);
+  const hwsim::PerfModel model(params.topology, bw, params.perf);
+  double prev_total = 0.0;
+  for (int threads = 2; threads <= 24; threads += 2) {
+    hwsim::MachineConfig cfg = hwsim::MachineConfig::Idle(params.topology);
+    cfg.sockets[0] =
+        SocketConfig::FirstThreads(params.topology, threads, 2.0, 3.0);
+    std::vector<hwsim::ThreadLoad> loads(
+        static_cast<size_t>(params.topology.total_threads()));
+    for (int t = 0; t < threads; ++t) loads[static_cast<size_t>(t)] = {&Profile(), 1.0};
+    const hwsim::SolveResult r = model.Solve(cfg, loads);
+    double total = 0.0;
+    for (const auto& tr : r.threads) total += tr.ops_per_sec;
+    EXPECT_GE(total, prev_total * 0.999) << threads << " threads";
+    prev_total = total;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ThroughputScaling,
+                         ::testing::Values("compute", "kv_indexed"));
+
+TEST(ScanThroughputShape, PeaksThenDeclinesWithMcContention) {
+  // Saturating scans peak once the channel is full; further threads only
+  // add memory-controller contention (paper Section 6.1).
+  const MachineParams params = MachineParams::HaswellEp();
+  const hwsim::BandwidthModel bw(params.bandwidth);
+  const hwsim::PerfModel model(params.topology, bw, params.perf);
+  auto total_at = [&](int threads) {
+    hwsim::MachineConfig cfg = hwsim::MachineConfig::Idle(params.topology);
+    cfg.sockets[0] =
+        SocketConfig::FirstThreads(params.topology, threads, 2.0, 3.0);
+    std::vector<hwsim::ThreadLoad> loads(
+        static_cast<size_t>(params.topology.total_threads()));
+    for (int t = 0; t < threads; ++t) {
+      loads[static_cast<size_t>(t)] = {&workload::MemoryScan(), 1.0};
+    }
+    const hwsim::SolveResult r = model.Solve(cfg, loads);
+    double total = 0.0;
+    for (const auto& tr : r.threads) total += tr.ops_per_sec;
+    return total;
+  };
+  EXPECT_GT(total_at(8), total_at(2));    // below saturation: scaling up
+  EXPECT_GT(total_at(8), total_at(24));   // beyond: contention costs
+  EXPECT_GT(total_at(24), 0.8 * total_at(8));  // but only mildly
+}
+
+// ---------------------------------------------------------------------------
+// Energy profile: invariants over randomized measurements.
+// ---------------------------------------------------------------------------
+
+class ProfileInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProfileInvariants, SkylineAndLookupConsistent) {
+  const Topology topo = Topology::HaswellEp2S();
+  profile::ConfigGenerator gen(topo, hwsim::FrequencyTable::HaswellEp());
+  profile::EnergyProfile profile(gen.Generate(profile::GeneratorParams{}));
+  Rng rng(GetParam());
+  for (int i = 1; i < profile.size(); ++i) {
+    profile.Record(i, 10.0 + rng.NextDouble() * 100.0,
+                   1e9 * (0.1 + rng.NextDouble()), Seconds(1));
+  }
+  const int optimal = profile.MostEfficientIndex();
+  ASSERT_GE(optimal, 0);
+  const double opt_eff = profile.config(optimal).efficiency();
+
+  // 1. No configuration is more efficient than the optimum.
+  for (int i = 1; i < profile.size(); ++i) {
+    EXPECT_LE(profile.config(i).efficiency(), opt_eff + 1e-12);
+  }
+  // 2. The skyline is sorted by performance with decreasing efficiency.
+  const std::vector<int> skyline = profile.Skyline();
+  ASSERT_FALSE(skyline.empty());
+  for (size_t i = 1; i < skyline.size(); ++i) {
+    EXPECT_GT(profile.config(skyline[i]).perf_score,
+              profile.config(skyline[i - 1]).perf_score);
+    EXPECT_LT(profile.config(skyline[i]).efficiency(),
+              profile.config(skyline[i - 1]).efficiency());
+  }
+  // 3. The optimum is the first skyline entry.
+  EXPECT_EQ(skyline.front(), optimal);
+  // 4. FindForDemand returns the most efficient configuration satisfying
+  //    the demand, for a sweep of demands.
+  for (int d = 0; d <= 10; ++d) {
+    const double demand = profile.PeakPerfScore() * d / 10.0;
+    const int pick = profile.FindForDemand(demand);
+    ASSERT_GE(pick, 1);
+    if (profile.config(pick).perf_score >= demand) {
+      for (int i = 1; i < profile.size(); ++i) {
+        if (profile.config(i).perf_score >= demand) {
+          EXPECT_LE(profile.config(i).efficiency(),
+                    profile.config(pick).efficiency() + 1e-12);
+        }
+      }
+    } else {
+      // Fallback: nothing satisfies the demand; must be the peak config.
+      EXPECT_EQ(pick, profile.PeakPerfIndex());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProfileInvariants,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+// ---------------------------------------------------------------------------
+// Partition queue: per-producer FIFO under randomized interleavings.
+// ---------------------------------------------------------------------------
+
+class QueueFifoProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueueFifoProperty, PerProducerOrderPreserved) {
+  msg::PartitionQueue q(0, 1 << 12);
+  Rng rng(GetParam());
+  constexpr int kProducers = 4;
+  int64_t next_seq[kProducers] = {0, 0, 0, 0};
+  int64_t popped_seq[kProducers] = {-1, -1, -1, -1};
+  ASSERT_TRUE(q.TryAcquire(1));
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.NextBool(0.6)) {
+      const int producer = static_cast<int>(rng.NextBounded(kProducers));
+      msg::Message m;
+      m.partition = 0;
+      m.query_id = producer;
+      m.payload[0] = next_seq[producer]++;
+      ASSERT_TRUE(q.Enqueue(m));
+    } else {
+      std::vector<msg::Message> batch;
+      q.DequeueBatch(1, rng.NextBounded(8) + 1, &batch);
+      for (const msg::Message& m : batch) {
+        const int producer = static_cast<int>(m.query_id);
+        EXPECT_GT(m.payload[0], popped_seq[producer]);
+        popped_seq[producer] = m.payload[0];
+      }
+    }
+  }
+  q.Release(1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueFifoProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+// ---------------------------------------------------------------------------
+// Machine: energy equals the integral of instantaneous power across
+// randomized configuration sequences.
+// ---------------------------------------------------------------------------
+
+class EnergyConservation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnergyConservation, EnergyMatchesPowerIntegral) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, MachineParams::HaswellEp());
+  Rng rng(GetParam());
+  double integral_j = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    const int threads = static_cast<int>(rng.NextBounded(25));
+    const double core = 1.2 + 0.1 * static_cast<double>(rng.NextBounded(15));
+    const double uncore = 1.2 + 0.1 * static_cast<double>(rng.NextBounded(19));
+    machine.ApplySocketConfig(
+        0, SocketConfig::FirstThreads(machine.topology(), threads, core, uncore));
+    for (int t = 0; t < machine.topology().threads_per_socket(); ++t) {
+      machine.SetThreadLoad(t, rng.NextBool(0.5) ? &workload::MemoryScan() : nullptr,
+                            1.0);
+    }
+    // Integrate instantaneous power in 1 ms steps over 20 ms.
+    for (int ms = 0; ms < 20; ++ms) {
+      sim.RunFor(Millis(1));
+      integral_j += machine.InstantRaplPowerW() * 1e-3;
+    }
+  }
+  EXPECT_NEAR(machine.TotalEnergyJoules(), integral_j,
+              0.02 * integral_j + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnergyConservation,
+                         ::testing::Values(101u, 202u, 303u));
+
+
+// ---------------------------------------------------------------------------
+// End-to-end fuzz: random configuration writes + random query submissions.
+// Invariants: no crash, all submitted queries eventually complete once
+// capacity exists, energy is monotone and matches power bounds.
+// ---------------------------------------------------------------------------
+
+class EndToEndFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EndToEndFuzz, RandomControlAndLoadKeepInvariants) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, MachineParams::HaswellEp());
+  engine::Engine engine(&sim, &machine, engine::EngineParams{});
+  Rng rng(GetParam());
+  const Topology& topo = machine.topology();
+
+  int64_t submitted = 0;
+  double last_energy = 0.0;
+  for (int step = 0; step < 120; ++step) {
+    switch (rng.NextBounded(4)) {
+      case 0: {  // random socket configuration
+        const SocketId s = static_cast<SocketId>(rng.NextBounded(2));
+        const int threads = static_cast<int>(rng.NextBounded(25));
+        const double core = 1.2 + 0.1 * static_cast<double>(rng.NextBounded(20));
+        const double unc = 1.2 + 0.1 * static_cast<double>(rng.NextBounded(19));
+        machine.ApplySocketConfig(
+            s, SocketConfig::FirstThreads(topo, threads, core, unc));
+        break;
+      }
+      case 1: {  // random query burst
+        const int n = static_cast<int>(rng.NextBounded(20)) + 1;
+        for (int i = 0; i < n; ++i) {
+          engine::QuerySpec spec;
+          spec.profile = rng.NextBool(0.5) ? &workload::ComputeBound()
+                                           : &workload::MemoryScan();
+          const int parts = static_cast<int>(rng.NextBounded(3)) + 1;
+          for (int p = 0; p < parts; ++p) {
+            spec.work.push_back(
+                {static_cast<PartitionId>(rng.NextBounded(48)),
+                 1e4 + rng.NextDouble() * 1e6});
+          }
+          spec.origin_socket = static_cast<SocketId>(rng.NextBounded(2));
+          engine.Submit(spec);
+          ++submitted;
+        }
+        break;
+      }
+      default:
+        break;  // just advance time
+    }
+    sim.RunFor(Millis(static_cast<int64_t>(rng.NextBounded(40)) + 1));
+    const double energy = machine.TotalEnergyJoules();
+    EXPECT_GE(energy, last_energy);  // energy never decreases
+    last_energy = energy;
+  }
+  // Give the machine full capacity: everything must drain.
+  machine.ApplyMachineConfig(hwsim::MachineConfig::AllOn(topo, 2.6, 3.0));
+  sim.RunFor(Seconds(30));
+  EXPECT_EQ(engine.latency().completed(), submitted);
+  EXPECT_EQ(engine.scheduler().inflight(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndFuzz,
+                         ::testing::Values(7u, 77u, 777u, 7777u, 77777u));
+
+}  // namespace
+}  // namespace ecldb
