@@ -5,6 +5,7 @@
 
 #include "bench_common.h"
 #include "experiment/experiment.h"
+#include "experiment/run_matrix.h"
 #include "workload/kv.h"
 #include "workload/load_profile.h"
 
@@ -42,16 +43,26 @@ double OverloadSeconds(const RunResult& r, double limit_ms) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = experiment::ParseJobs(argc, argv);
   bench::PrintHeader(
       "fig13_spike_profile", "paper Fig. 13 (a)+(b)",
       "Spike load profile over 3 minutes, non-indexed key-value store, "
       "100 ms latency limit: power over time and latency statistics for "
       "the baseline and the ECL at 1 Hz / 2 Hz.");
 
-  const RunResult base = Run(ControlMode::kBaseline, Seconds(1));
-  const RunResult ecl1 = Run(ControlMode::kEcl, Seconds(1));
-  const RunResult ecl2 = Run(ControlMode::kEcl, Millis(500));
+  // The three arms are independent simulations; run them concurrently.
+  std::vector<RunResult> results(3);
+  experiment::RunMatrix(3, jobs, [&](int i) {
+    switch (i) {
+      case 0: results[0] = Run(ControlMode::kBaseline, Seconds(1)); break;
+      case 1: results[1] = Run(ControlMode::kEcl, Seconds(1)); break;
+      default: results[2] = Run(ControlMode::kEcl, Millis(500)); break;
+    }
+  });
+  const RunResult& base = results[0];
+  const RunResult& ecl1 = results[1];
+  const RunResult& ecl2 = results[2];
   bench::ExportSeries("fig13_baseline", base);
   bench::ExportSeries("fig13_ecl_1hz", ecl1);
   bench::ExportSeries("fig13_ecl_2hz", ecl2);

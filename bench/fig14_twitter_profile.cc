@@ -5,6 +5,7 @@
 
 #include "bench_common.h"
 #include "experiment/experiment.h"
+#include "experiment/run_matrix.h"
 #include "workload/kv.h"
 #include "workload/load_profile.h"
 
@@ -34,15 +35,25 @@ RunResult Run(ControlMode mode, SimDuration ecl_interval) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = experiment::ParseJobs(argc, argv);
   bench::PrintHeader(
       "fig14_twitter_profile", "paper Fig. 14 (a)+(b)",
       "Twitter-like load profile (2 h trace compressed to 3 minutes, "
       "sudden peaks, frequent alternation), non-indexed key-value store.");
 
-  const RunResult base = Run(ControlMode::kBaseline, Seconds(1));
-  const RunResult ecl1 = Run(ControlMode::kEcl, Seconds(1));
-  const RunResult ecl2 = Run(ControlMode::kEcl, Millis(500));
+  // The three arms are independent simulations; run them concurrently.
+  std::vector<RunResult> results(3);
+  experiment::RunMatrix(3, jobs, [&](int i) {
+    switch (i) {
+      case 0: results[0] = Run(ControlMode::kBaseline, Seconds(1)); break;
+      case 1: results[1] = Run(ControlMode::kEcl, Seconds(1)); break;
+      default: results[2] = Run(ControlMode::kEcl, Millis(500)); break;
+    }
+  });
+  const RunResult& base = results[0];
+  const RunResult& ecl1 = results[1];
+  const RunResult& ecl2 = results[2];
   bench::ExportSeries("fig14_baseline", base);
   bench::ExportSeries("fig14_ecl_1hz", ecl1);
   bench::ExportSeries("fig14_ecl_2hz", ecl2);

@@ -2,21 +2,33 @@
 // the three energy-profile maintenance strategies across a sudden
 // workload change (indexed -> non-indexed key-value store at t = 40 s).
 // This is also the adaptation-strategy ablation from DESIGN.md.
+#include <vector>
+
 #include "adaptation_experiment.h"
 #include "bench_common.h"
+#include "experiment/run_matrix.h"
 
 using namespace ecldb;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = experiment::ParseJobs(argc, argv);
   bench::PrintHeader(
       "fig15_adaptation_power", "paper Fig. 15",
       "Workload switch at t=40 s, load fixed at 50 %, 1 Hz ECL: power over "
       "time and total energy for static / online / multiplexed profile "
       "maintenance.");
-  const auto none = bench::RunAdaptationExperiment(bench::AdaptationMode::kStatic);
-  const auto online = bench::RunAdaptationExperiment(bench::AdaptationMode::kOnline);
-  const auto mux =
-      bench::RunAdaptationExperiment(bench::AdaptationMode::kMultiplexed);
+  // The three maintenance strategies are independent simulations.
+  const bench::AdaptationMode modes[] = {bench::AdaptationMode::kStatic,
+                                         bench::AdaptationMode::kOnline,
+                                         bench::AdaptationMode::kMultiplexed};
+  std::vector<bench::AdaptationResult> results(3);
+  experiment::RunMatrix(3, jobs, [&](int i) {
+    results[static_cast<size_t>(i)] =
+        bench::RunAdaptationExperiment(modes[i]);
+  });
+  const auto& none = results[0];
+  const auto& online = results[1];
+  const auto& mux = results[2];
 
   {
     CsvWriter csv("bench_results/fig15_adaptation.csv",

@@ -1,19 +1,31 @@
 // Reproduces Figure 16: query latency compliance of the three
 // energy-profile maintenance strategies after the workload change.
+#include <vector>
+
 #include "adaptation_experiment.h"
 #include "bench_common.h"
+#include "experiment/run_matrix.h"
 
 using namespace ecldb;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = experiment::ParseJobs(argc, argv);
   bench::PrintHeader(
       "fig16_adaptation_latency", "paper Fig. 16",
       "Query latencies after the workload switch (t >= 40 s), 100 ms limit: "
       "static vs online vs multiplexed profile maintenance.");
-  const auto none = bench::RunAdaptationExperiment(bench::AdaptationMode::kStatic);
-  const auto online = bench::RunAdaptationExperiment(bench::AdaptationMode::kOnline);
-  const auto mux =
-      bench::RunAdaptationExperiment(bench::AdaptationMode::kMultiplexed);
+  // The three maintenance strategies are independent simulations.
+  const bench::AdaptationMode modes[] = {bench::AdaptationMode::kStatic,
+                                         bench::AdaptationMode::kOnline,
+                                         bench::AdaptationMode::kMultiplexed};
+  std::vector<bench::AdaptationResult> results(3);
+  experiment::RunMatrix(3, jobs, [&](int i) {
+    results[static_cast<size_t>(i)] =
+        bench::RunAdaptationExperiment(modes[i]);
+  });
+  const auto& none = results[0];
+  const auto& online = results[1];
+  const auto& mux = results[2];
 
   TablePrinter table({"strategy", "mean ms", "p99 ms", "violations %"});
   auto row = [&](const char* name, const bench::AdaptationResult& r) {

@@ -115,12 +115,74 @@ void BM_PerfModelSolve(benchmark::State& state) {
   std::vector<hwsim::ThreadLoad> loads(
       static_cast<size_t>(params.topology.total_threads()),
       hwsim::ThreadLoad{&workload::MemoryScan(), 1.0});
+  hwsim::SolveResult out;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model.Solve(cfg, loads));
+    model.Solve(cfg, loads, &out);
+    benchmark::DoNotOptimize(out.threads.data());
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PerfModelSolve);
+
+/// One simulated second of Machine::Advance slices under constant full
+/// load: the steady-state path (cache hit on every slice after the first).
+void BM_MachineAdvanceSteady(benchmark::State& state) {
+  sim::Simulator simulator;
+  hwsim::Machine machine(&simulator, hwsim::MachineParams::HaswellEp());
+  machine.ApplyMachineConfig(
+      hwsim::MachineConfig::AllOn(machine.topology(), 2.6, 3.0));
+  for (HwThreadId t = 0; t < machine.topology().total_threads(); ++t) {
+    machine.SetThreadLoad(t, &workload::MemoryScan(), 1.0);
+  }
+  simulator.RunFor(Millis(10));  // settle stall + prime the cache
+  for (auto _ : state) {
+    simulator.RunFor(Seconds(1));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // 1 ms slices
+}
+BENCHMARK(BM_MachineAdvanceSteady)->Unit(benchmark::kMillisecond);
+
+/// One simulated second of Machine::Advance slices with a load change
+/// every slice: every slice takes the full re-solve path (the cost every
+/// slice paid before steady-state fast-forward).
+void BM_MachineAdvanceResolve(benchmark::State& state) {
+  sim::Simulator simulator;
+  hwsim::Machine machine(&simulator, hwsim::MachineParams::HaswellEp());
+  machine.ApplyMachineConfig(
+      hwsim::MachineConfig::AllOn(machine.topology(), 2.6, 3.0));
+  for (HwThreadId t = 0; t < machine.topology().total_threads(); ++t) {
+    machine.SetThreadLoad(t, &workload::MemoryScan(), 1.0);
+  }
+  simulator.RunFor(Millis(10));
+  double flip = 0.999;
+  for (auto _ : state) {
+    for (int ms = 0; ms < 1000; ++ms) {
+      machine.SetThreadLoad(0, &workload::MemoryScan(), flip);
+      flip = flip == 1.0 ? 0.999 : 1.0;
+      simulator.RunFor(Millis(1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MachineAdvanceResolve)->Unit(benchmark::kMillisecond);
+
+/// One simulated second with sparse events (10 Hz) over an idle machine:
+/// the Simulator::RunUntil fast-forward path between events.
+void BM_SimulatorRunUntilSparseEvents(benchmark::State& state) {
+  sim::Simulator simulator;
+  hwsim::Machine machine(&simulator, hwsim::MachineParams::HaswellEp());
+  simulator.RunFor(Millis(10));
+  int64_t fired = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 10; ++i) {
+      simulator.ScheduleAfter(Millis(100 * (i + 1)), [&fired] { ++fired; });
+    }
+    simulator.RunFor(Seconds(1));
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_SimulatorRunUntilSparseEvents)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace ecldb

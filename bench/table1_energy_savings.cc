@@ -6,6 +6,7 @@
 
 #include "bench_common.h"
 #include "experiment/experiment.h"
+#include "experiment/run_matrix.h"
 #include "workload/kv.h"
 #include "workload/load_profile.h"
 #include "workload/ssb.h"
@@ -56,36 +57,61 @@ std::vector<WorkloadEntry> Workloads() {
   return entries;
 }
 
+std::unique_ptr<workload::LoadProfile> MakeProfile(const char* name) {
+  if (std::string(name) == "spike") {
+    return std::make_unique<workload::SpikeProfile>(kRunDuration);
+  }
+  return std::make_unique<workload::TwitterProfile>(7, kRunDuration);
+}
+
+struct Arm {
+  const WorkloadEntry* workload;
+  const char* profile_name;
+  ControlMode mode;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = experiment::ParseJobs(argc, argv);
   bench::PrintHeader(
       "table1_energy_savings", "paper Table 1",
       "Relative energy savings (RAPL) of the ECL vs the race-to-idle "
       "baseline for all workload x load-profile combinations, and the most "
       "energy-efficient configuration found per workload.");
 
+  // All (workload x profile x mode) arms are independent simulations; run
+  // them on a thread pool and print in deterministic order afterwards.
+  const std::vector<WorkloadEntry> workloads = Workloads();
+  std::vector<Arm> arms;
+  for (const WorkloadEntry& w : workloads) {
+    for (const char* profile_name : {"spike", "twitter"}) {
+      for (const ControlMode mode : {ControlMode::kBaseline, ControlMode::kEcl}) {
+        arms.push_back(Arm{&w, profile_name, mode});
+      }
+    }
+  }
+  std::vector<RunResult> results(arms.size());
+  experiment::RunMatrix(
+      static_cast<int>(arms.size()), jobs, [&](int i) {
+        const Arm& arm = arms[static_cast<size_t>(i)];
+        const std::unique_ptr<workload::LoadProfile> profile =
+            MakeProfile(arm.profile_name);
+        RunOptions opt;
+        opt.mode = arm.mode;
+        results[static_cast<size_t>(i)] =
+            RunLoadExperiment(arm.workload->factory, *profile, opt);
+      });
+
   TablePrinter table({"workload", "profile", "baseline J", "ECL J",
                       "saving %", "most energy-efficient config"});
-  for (const WorkloadEntry& w : Workloads()) {
-    for (const char* profile_name : {"spike", "twitter"}) {
-      std::unique_ptr<workload::LoadProfile> profile;
-      if (std::string(profile_name) == "spike") {
-        profile = std::make_unique<workload::SpikeProfile>(kRunDuration);
-      } else {
-        profile = std::make_unique<workload::TwitterProfile>(7, kRunDuration);
-      }
-      RunOptions base_opt;
-      base_opt.mode = ControlMode::kBaseline;
-      RunOptions ecl_opt;
-      ecl_opt.mode = ControlMode::kEcl;
-      const RunResult base = RunLoadExperiment(w.factory, *profile, base_opt);
-      const RunResult ecl = RunLoadExperiment(w.factory, *profile, ecl_opt);
-      table.AddRow({w.name, profile_name, Fmt(base.energy_j, 0),
-                    Fmt(ecl.energy_j, 0),
-                    Fmt(experiment::SavingsPercent(base, ecl), 1),
-                    ecl.best_config});
-    }
+  for (size_t i = 0; i + 1 < arms.size(); i += 2) {
+    const RunResult& base = results[i];
+    const RunResult& ecl = results[i + 1];
+    table.AddRow({arms[i].workload->name, arms[i].profile_name,
+                  Fmt(base.energy_j, 0), Fmt(ecl.energy_j, 0),
+                  Fmt(experiment::SavingsPercent(base, ecl), 1),
+                  ecl.best_config});
   }
   table.Print();
 

@@ -36,8 +36,13 @@ Scheduler::Scheduler(sim::Simulator* simulator, hwsim::Machine* machine,
   }
   // Registered after the Machine (which the caller constructs first), so
   // each slice integrates hardware state before work is consumed.
-  simulator_->RegisterAdvancer(
-      [this](SimTime t0, SimTime t1) { Advance(t0, t1); });
+  sim::Advancer advancer;
+  advancer.advance = [this](SimTime t0, SimTime t1) { Advance(t0, t1); };
+  advancer.stationary_until = [this](SimTime now) { return StationaryUntil(now); };
+  advancer.fast_forward = [this](SimTime t0, SimTime t1, SimDuration slice) {
+    FastForward(t0, t1, slice);
+  };
+  simulator_->RegisterAdvancer(std::move(advancer));
 }
 
 int Scheduler::RegisterProfile(const hwsim::WorkProfile* profile) {
@@ -52,6 +57,7 @@ int Scheduler::RegisterProfile(const hwsim::WorkProfile* profile) {
 QueryId Scheduler::Submit(const QuerySpec& spec) {
   ECLDB_CHECK(spec.profile != nullptr);
   ECLDB_CHECK(!spec.work.empty());
+  steady_ = false;
   const int profile_id = RegisterProfile(spec.profile);
   const QueryId id = next_query_id_++;
   QueryState state;
@@ -207,15 +213,18 @@ bool Scheduler::AcquireWork(Worker* w) {
   }
 }
 
-void Scheduler::RetrySpill() {
+size_t Scheduler::RetrySpill() {
+  size_t moved = 0;
   for (int p = 0; p < db_->num_partitions(); ++p) {
     auto& dq = spill_[static_cast<size_t>(p)];
     while (!dq.empty()) {
       // Spilled messages go directly to the partition's home queue.
       if (!layer_->router(db_->HomeOf(p))->Enqueue(dq.front())) break;
       dq.pop_front();
+      ++moved;
     }
   }
+  return moved;
 }
 
 void Scheduler::Advance(SimTime t0, SimTime t1) {
@@ -223,16 +232,26 @@ void Scheduler::Advance(SimTime t0, SimTime t1) {
   const double dt_s = ToSeconds(t1 - t0);
   const hwsim::Topology& topo = machine_->topology();
 
+  // Settled-slice detection: true while nothing moved this slice, so every
+  // following slice would repeat only the active/busy-seconds additions.
+  bool settled = true;
+
   // Communication threads move inter-socket messages once per slice
   // (the slice length models the transfer hop).
-  for (SocketId s = 0; s < topo.num_sockets; ++s) layer_->PumpComm(s);
-  RetrySpill();
+  size_t moved = 0;
+  for (SocketId s = 0; s < topo.num_sockets; ++s) moved += layer_->PumpComm(s);
+  moved += RetrySpill();
+  if (moved > 0) settled = false;
 
   for (Worker& w : workers_) {
     const hwsim::SocketConfig& cfg = machine_->requested_config(w.socket);
     const bool active =
         cfg.ThreadActive(topo.LocalThreadOfThread(w.hw_thread));
     if (!active) {
+      if (w.owned != nullptr || w.batch_pos < w.batch.size() ||
+          w.remaining_ops > 0.0) {
+        settled = false;
+      }
       // Hardware thread is in a sleep state: give the partition back.
       ReleaseOwnership(&w, /*requeue_batch=*/true);
       machine_->SetThreadLoad(w.hw_thread, nullptr, 0.0);
@@ -252,6 +271,7 @@ void Scheduler::Advance(SimTime t0, SimTime t1) {
     double credit = machine_->TakeCompletedOps(w.hw_thread);
     const double rate = machine_->CurrentRate(w.hw_thread);
     const double full_credit = credit;
+    if (full_credit != 0.0) settled = false;
     while (credit > 1e-9) {
       if (!AcquireWork(&w)) break;
       const double spend = std::min(credit, w.remaining_ops);
@@ -268,9 +288,51 @@ void Scheduler::Advance(SimTime t0, SimTime t1) {
       w.busy_seconds += std::min(dt_s, consumed / rate);
     }
 
-    // Offer next-slice work to the machine.
+    // Offer next-slice work to the machine. PeekProfile may shift work
+    // around (pull a batch, change ownership); any such movement — or a
+    // non-null offer, which makes the machine accrue credit — unsettles.
+    const msg::PartitionQueue* owned_before = w.owned;
+    const size_t pos_before = w.batch_pos;
+    const size_t size_before = w.batch.size();
     const hwsim::WorkProfile* next = PeekProfile(&w);
+    if (next != nullptr || w.owned != owned_before ||
+        w.batch_pos != pos_before || w.batch.size() != size_before) {
+      settled = false;
+    }
     machine_->SetThreadLoad(w.hw_thread, next, next != nullptr ? 1.0 : 0.0);
+  }
+
+  steady_ = settled;
+  steady_config_writes_ = machine_->config_writes();
+}
+
+SimTime Scheduler::StationaryUntil(SimTime now) const {
+  // A config write after the settled slice may have changed the
+  // active-thread set, which this scheduler reacts to per slice.
+  if (!steady_ || machine_->config_writes() != steady_config_writes_) {
+    return now;
+  }
+  return kSimTimeNever;
+}
+
+void Scheduler::FastForward(SimTime t0, SimTime t1, SimDuration slice) {
+  const hwsim::Topology& topo = machine_->topology();
+  for (Worker& w : workers_) {
+    const hwsim::SocketConfig& cfg = machine_->requested_config(w.socket);
+    if (!cfg.ThreadActive(topo.LocalThreadOfThread(w.hw_thread))) continue;
+    // Replay the per-slice accumulations on the same slice grid (sums of
+    // doubles are order-dependent, so the additions must match 1:1).
+    SimTime cur = t0;
+    while (cur < t1) {
+      const SimTime end = std::min(t1, cur + slice);
+      const double dt_s = ToSeconds(end - cur);
+      w.active_seconds += dt_s;
+      if (synthetic_load_ != nullptr) w.busy_seconds += dt_s;
+      cur = end;
+    }
+    // Synthetic credit is discarded anyway; draining once at the end of
+    // the window leaves the same all-zero credit as draining per slice.
+    if (synthetic_load_ != nullptr) (void)machine_->TakeCompletedOps(w.hw_thread);
   }
 }
 

@@ -78,6 +78,7 @@ class Scheduler {
   /// operations are discarded). Used to prime ECL energy profiles with
   /// full-load measurements before an experiment; pass nullptr to disable.
   void SetSyntheticLoad(const hwsim::WorkProfile* profile) {
+    if (synthetic_load_ != profile) steady_ = false;
     synthetic_load_ = profile;
   }
 
@@ -98,7 +99,23 @@ class Scheduler {
   };
 
   void Advance(SimTime t0, SimTime t1);
-  void RetrySpill();
+
+  // --- Steady-state fast-forward --------------------------------------
+  //
+  // A slice in which nothing moved (no messages pumped, no spill retried
+  // successfully, no credit spent, no worker state touched) leaves the
+  // scheduler in a state where every following slice repeats the same
+  // cheap accumulations (per-worker active/busy seconds) until an external
+  // input arrives: a Submit, a synthetic-load change, or a machine config
+  // write changing the active-thread set.
+
+  /// Stationarity horizon for the Simulator's fast-forward.
+  SimTime StationaryUntil(SimTime now) const;
+  /// Replays the per-slice accumulations of settled slices over (t0, t1].
+  void FastForward(SimTime t0, SimTime t1, SimDuration slice);
+
+  /// Returns the number of spilled messages moved into partition queues.
+  size_t RetrySpill();
   /// Makes `w` point at its next task; returns false when out of work.
   bool AcquireWork(Worker* w);
   void ReleaseOwnership(Worker* w, bool requeue_batch);
@@ -124,6 +141,11 @@ class Scheduler {
   int64_t queries_submitted_ = 0;
   const hwsim::WorkProfile* synthetic_load_ = nullptr;
   FunctionalExecutor functional_executor_;
+  /// True when the last slice was settled (see fast-forward notes above).
+  bool steady_ = false;
+  /// Machine config-write generation at the time `steady_` was computed;
+  /// a later write may have changed the active-thread set.
+  int64_t steady_config_writes_ = -1;
 };
 
 }  // namespace ecldb::engine

@@ -28,6 +28,7 @@ RunResult RunLoadExperiment(const WorkloadFactory& factory,
                             const workload::LoadProfile& profile,
                             const RunOptions& options) {
   sim::Simulator simulator;
+  simulator.set_fast_forward(options.fast_forward);
   hwsim::Machine machine(&simulator, options.machine);
   engine::Engine engine(&simulator, &machine, options.engine);
   std::unique_ptr<workload::Workload> workload = factory(&engine);

@@ -38,6 +38,10 @@ struct RunOptions {
   /// Capacity override in queries/s; 0 derives the all-on baseline
   /// capacity from the performance model.
   double capacity_qps = 0.0;
+  /// Steady-state fast-forward of the simulation kernel. Guaranteed
+  /// bit-identical results either way (see docs/architecture.md); off
+  /// exists for determinism tests and debugging.
+  bool fast_forward = true;
 };
 
 /// One sample of the experiment time series (Figs. 11, 13-15).

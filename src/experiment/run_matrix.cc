@@ -1,0 +1,61 @@
+#include "experiment/run_matrix.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecldb::experiment {
+
+int HardwareJobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ParseJobs(int argc, char** argv) {
+  int jobs = HardwareJobs();
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    }
+    if (value != nullptr && *value != '\0') {
+      jobs = std::atoi(value);
+    }
+  }
+  return std::clamp(jobs, 1, 256);
+}
+
+void RunMatrix(int num_arms, int jobs, const std::function<void(int)>& arm) {
+  ECLDB_CHECK(num_arms >= 0);
+  ECLDB_CHECK(jobs >= 1);
+  if (num_arms == 0) return;
+  const int workers = std::min(jobs, num_arms);
+  if (workers == 1) {
+    for (int i = 0; i < num_arms; ++i) arm(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= num_arms) return;
+        arm(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace ecldb::experiment

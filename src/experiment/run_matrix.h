@@ -1,0 +1,26 @@
+#ifndef ECLDB_EXPERIMENT_RUN_MATRIX_H_
+#define ECLDB_EXPERIMENT_RUN_MATRIX_H_
+
+#include <functional>
+
+namespace ecldb::experiment {
+
+/// Hardware concurrency with a sane floor (never 0).
+int HardwareJobs();
+
+/// Parses a `--jobs=N` (or `--jobs N`) command-line flag; returns
+/// HardwareJobs() when absent. N is clamped to [1, 256].
+int ParseJobs(int argc, char** argv);
+
+/// Runs `arm(i)` for every i in [0, num_arms) on a pool of `jobs` worker
+/// threads. Each arm must be self-contained (own Simulator + Machine +
+/// engine) and write its result into a pre-sized slot indexed by i, which
+/// makes the output independent of scheduling: `jobs=1` is byte-identical
+/// to `jobs=N`. Arms are claimed in index order. Blocks until all arms
+/// finish. Exceptions escaping an arm terminate (arms are expected not to
+/// throw).
+void RunMatrix(int num_arms, int jobs, const std::function<void(int)>& arm);
+
+}  // namespace ecldb::experiment
+
+#endif  // ECLDB_EXPERIMENT_RUN_MATRIX_H_

@@ -1,6 +1,7 @@
 #include "hwsim/firmware.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -14,7 +15,9 @@ Firmware::Firmware(const Topology& topo, const FrequencyTable& freqs,
       uncore_mode_(static_cast<size_t>(topo.num_sockets), UncoreMode::kPinned),
       turbo_request_since_(static_cast<size_t>(topo.total_cores()), kSimTimeNever),
       turbo_budget_ns_(static_cast<size_t>(topo.num_sockets),
-                       static_cast<double>(params.turbo_thermal_budget)) {}
+                       static_cast<double>(params.turbo_thermal_budget)),
+      budget_regime_(static_cast<size_t>(topo.num_sockets),
+                     BudgetRegime::kRecover) {}
 
 void Firmware::SetUncoreMode(SocketId socket, UncoreMode mode) {
   uncore_mode_[static_cast<size_t>(socket)] = mode;
@@ -43,6 +46,7 @@ MachineConfig Firmware::Resolve(const MachineConfig& requested,
                                 SimTime now, SimDuration dt) {
   ECLDB_DCHECK(static_cast<int>(requested.sockets.size()) == topo_.num_sockets);
   MachineConfig effective = requested;
+  next_change_ = kSimTimeNever;
   for (SocketId s = 0; s < topo_.num_sockets; ++s) {
     SocketConfig& cfg = effective.sockets[static_cast<size_t>(s)];
 
@@ -70,6 +74,12 @@ MachineConfig Firmware::Resolve(const MachineConfig& requested,
              now - turbo_request_since_[idx] >= params_.eet_delay);
         if (!granted) {
           f = freqs_.max_core_nominal();
+          // A pending EET grant matures at request + delay: an autonomous
+          // decision change bounding any steady-state fast-forward window.
+          if (turbo_request_since_[idx] != kSimTimeNever) {
+            next_change_ = std::min(next_change_,
+                                    turbo_request_since_[idx] + params_.eet_delay);
+          }
         } else {
           ++turbo_cores;
         }
@@ -84,20 +94,46 @@ MachineConfig Firmware::Resolve(const MachineConfig& requested,
         socket_power_scale[static_cast<size_t>(s)] >
             params_.turbo_power_scale_threshold) {
       if (budget <= 0.0) {
+        budget_regime_[static_cast<size_t>(s)] = BudgetRegime::kHold;
         for (CoreId core = 0; core < topo_.cores_per_socket; ++core) {
           double& f = cfg.core_freq_ghz[static_cast<size_t>(core)];
           if (f >= freqs_.turbo_ghz) f = freqs_.max_core_nominal();
         }
       } else {
+        budget_regime_[static_cast<size_t>(s)] = BudgetRegime::kDrain;
         budget = std::max(0.0, budget - static_cast<double>(dt));
+        // Draining exactly 1 ns of budget per elapsed ns, the budget can
+        // first be found depleted at a slice starting >= now + dt + budget;
+        // flooring keeps the bound conservative (too early is safe).
+        next_change_ = std::min(
+            next_change_, now + dt + static_cast<SimTime>(std::floor(budget)));
       }
     } else {
+      budget_regime_[static_cast<size_t>(s)] = BudgetRegime::kRecover;
       budget = std::min(static_cast<double>(params_.turbo_thermal_budget),
                         budget + params_.turbo_recovery_rate *
                                      static_cast<double>(dt));
     }
   }
   return effective;
+}
+
+void Firmware::AdvanceBudget(SimDuration dt) {
+  for (SocketId s = 0; s < topo_.num_sockets; ++s) {
+    double& budget = turbo_budget_ns_[static_cast<size_t>(s)];
+    switch (budget_regime_[static_cast<size_t>(s)]) {
+      case BudgetRegime::kDrain:
+        budget = std::max(0.0, budget - static_cast<double>(dt));
+        break;
+      case BudgetRegime::kHold:
+        break;
+      case BudgetRegime::kRecover:
+        budget = std::min(static_cast<double>(params_.turbo_thermal_budget),
+                          budget + params_.turbo_recovery_rate *
+                                       static_cast<double>(dt));
+        break;
+    }
+  }
 }
 
 }  // namespace ecldb::hwsim

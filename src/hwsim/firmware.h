@@ -69,7 +69,24 @@ class Firmware {
                         const std::vector<double>& socket_power_scale,
                         SimTime now, SimDuration dt);
 
+  /// Earliest future time at which the firmware would change its decisions
+  /// on its own (EET grant maturing, thermal turbo budget depleting) given
+  /// the inputs of the last Resolve call; kSimTimeNever if none is pending.
+  /// Valid until the requested config, EPB, busy state, or power scale
+  /// changes — i.e. for the steady window following the last Resolve.
+  SimTime next_change() const { return next_change_; }
+
+  /// Replays the per-slice thermal-budget update of Resolve for one slice
+  /// of a steady window (same branch, bit-identical arithmetic), without
+  /// re-deriving the effective configuration. Only valid while the inputs
+  /// of the last Resolve are unchanged and `next_change()` has not been
+  /// reached.
+  void AdvanceBudget(SimDuration dt);
+
  private:
+  /// Which thermal-budget branch Resolve took, per socket.
+  enum class BudgetRegime { kDrain, kHold, kRecover };
+
   Topology topo_;
   FrequencyTable freqs_;
   FirmwareParams params_;
@@ -80,6 +97,10 @@ class Firmware {
   std::vector<SimTime> turbo_request_since_;
   /// Remaining thermal budget per socket, ns of all-core turbo.
   std::vector<double> turbo_budget_ns_;
+  /// Budget branch taken by the last Resolve, per socket.
+  std::vector<BudgetRegime> budget_regime_;
+  /// Cached autonomous-change horizon of the last Resolve.
+  SimTime next_change_ = 0;
 };
 
 }  // namespace ecldb::hwsim

@@ -22,10 +22,18 @@ Machine::Machine(sim::Simulator* simulator, const MachineParams& params)
       current_rate_(static_cast<size_t>(params.topology.total_threads()), 0.0),
       instant_power_(static_cast<size_t>(params.topology.num_sockets)),
       instant_bandwidth_(static_cast<size_t>(params.topology.num_sockets), 0.0),
-      idle_since_(static_cast<size_t>(params.topology.num_sockets), 0) {
+      idle_since_(static_cast<size_t>(params.topology.num_sockets), 0),
+      cached_ops_rate_(static_cast<size_t>(params.topology.total_threads()), 0.0),
+      socket_busy_scratch_(static_cast<size_t>(params.topology.num_sockets), false),
+      socket_scale_scratch_(static_cast<size_t>(params.topology.num_sockets), 1.0) {
   ECLDB_CHECK(simulator_ != nullptr);
-  simulator_->RegisterAdvancer(
-      [this](SimTime t0, SimTime t1) { Advance(t0, t1); });
+  sim::Advancer advancer;
+  advancer.advance = [this](SimTime t0, SimTime t1) { Advance(t0, t1); };
+  advancer.stationary_until = [this](SimTime now) { return StationaryUntil(now); };
+  advancer.fast_forward = [this](SimTime t0, SimTime t1, SimDuration slice) {
+    FastForward(t0, t1, slice);
+  };
+  simulator_->RegisterAdvancer(std::move(advancer));
 }
 
 void Machine::ApplySocketConfig(SocketId socket, SocketConfig config) {
@@ -38,6 +46,7 @@ void Machine::ApplySocketConfig(SocketId socket, SocketConfig config) {
   requested_.sockets[static_cast<size_t>(socket)] = std::move(config);
   pending_stall_ += params_.config_apply_latency;
   ++config_writes_;
+  dirty_ = true;
 }
 
 void Machine::ApplyMachineConfig(const MachineConfig& config) {
@@ -51,12 +60,20 @@ void Machine::ApplyMachineConfig(const MachineConfig& config) {
 void Machine::SetThreadLoad(HwThreadId thread, const WorkProfile* profile,
                             double intensity) {
   ECLDB_DCHECK(thread >= 0 && thread < params_.topology.total_threads());
-  loads_[static_cast<size_t>(thread)] = ThreadLoad{profile,
-                                                   std::clamp(intensity, 0.0, 1.0)};
+  const double clamped = std::clamp(intensity, 0.0, 1.0);
+  ThreadLoad& cur = loads_[static_cast<size_t>(thread)];
+  // The scheduler re-offers unchanged loads every slice; only actual
+  // changes invalidate the cached solution.
+  if (cur.profile == profile && cur.intensity == clamped) return;
+  cur = ThreadLoad{profile, clamped};
+  dirty_ = true;
 }
 
 void Machine::ClearThreadLoads() {
-  for (ThreadLoad& l : loads_) l = ThreadLoad{};
+  for (ThreadLoad& l : loads_) {
+    if (l.profile != nullptr || l.intensity != 0.0) dirty_ = true;
+    l = ThreadLoad{};
+  }
 }
 
 double Machine::TakeCompletedOps(HwThreadId thread) {
@@ -102,14 +119,65 @@ double Machine::SocketBandwidthGbps(SocketId socket) const {
 }
 
 void Machine::Advance(SimTime t0, SimTime t1) {
+  // A slice whose inputs are unchanged since the cached solve, that has no
+  // pending stall, and that starts before the next firmware/C-state time
+  // boundary replays the cached solution bit-identically.
+  if (!dirty_ && cache_valid_ && pending_stall_ == 0 && t0 < next_boundary_) {
+    IntegrateSlice(t0, t1);
+    return;
+  }
+  SolveSlice(t0, t1);
+}
+
+SimTime Machine::StationaryUntil(SimTime now) const {
+  if (dirty_ || !cache_valid_ || pending_stall_ > 0) return now;
+  return next_boundary_;
+}
+
+void Machine::FastForward(SimTime t0, SimTime t1, SimDuration slice) {
+  ECLDB_DCHECK(!dirty_ && cache_valid_ && pending_stall_ == 0);
+  SimTime cur = t0;
+  while (cur < t1) {
+    const SimTime end = std::min(t1, cur + slice);
+    IntegrateSlice(cur, end);
+    cur = end;
+  }
+}
+
+void Machine::IntegrateSlice(SimTime t0, SimTime t1) {
+  const SimDuration dt = t1 - t0;
+  ECLDB_DCHECK(dt > 0);
+  const Topology& topo = params_.topology;
+  const double dt_s = ToSeconds(dt);
+
+  firmware_.AdvanceBudget(dt);
+  for (SocketId s = 0; s < topo.num_sockets; ++s) {
+    const auto idx = static_cast<size_t>(s);
+    const PowerBreakdown& p = instant_power_[idx];
+    rapl_.AddEnergy(s, RaplDomain::kPackage, p.pkg_w * dt_s, t0, t1);
+    rapl_.AddEnergy(s, RaplDomain::kDram, p.dram_w * dt_s, t0, t1);
+  }
+  for (HwThreadId t = 0; t < topo.total_threads(); ++t) {
+    const auto idx = static_cast<size_t>(t);
+    counters_.AddInstructions(t, solved_.threads[idx].instr_per_sec * dt_s);
+    const ThreadLoad& l = loads_[idx];
+    if (l.profile != nullptr && l.intensity > 0.0) {
+      ops_credit_[idx] += cached_ops_rate_[idx] * dt_s;
+    }
+  }
+}
+
+void Machine::SolveSlice(SimTime t0, SimTime t1) {
   const SimDuration dt = t1 - t0;
   ECLDB_DCHECK(dt > 0);
   const Topology& topo = params_.topology;
 
   // Which sockets currently have work offered (drives auto-UFS) and what
   // dynamic-power scale the mix has (drives the thermal turbo budget).
-  std::vector<bool> socket_busy(static_cast<size_t>(topo.num_sockets), false);
-  std::vector<double> socket_scale(static_cast<size_t>(topo.num_sockets), 1.0);
+  std::vector<bool>& socket_busy = socket_busy_scratch_;
+  std::vector<double>& socket_scale = socket_scale_scratch_;
+  socket_busy.assign(static_cast<size_t>(topo.num_sockets), false);
+  socket_scale.assign(static_cast<size_t>(topo.num_sockets), 1.0);
   for (HwThreadId t = 0; t < topo.total_threads(); ++t) {
     const ThreadLoad& l = loads_[static_cast<size_t>(t)];
     if (l.profile != nullptr && l.intensity > 0.0) {
@@ -120,7 +188,8 @@ void Machine::Advance(SimTime t0, SimTime t1) {
   }
 
   effective_ = firmware_.Resolve(requested_, socket_busy, socket_scale, t0, dt);
-  const SolveResult solved = perf_model_.Solve(effective_, loads_);
+  perf_model_.Solve(effective_, loads_, &solved_);
+  const SolveResult& solved = solved_;
 
   // Configuration-write stall: a fraction of this slice is lost to P-/C-
   // state transitions (microseconds on real hardware). At most half of a
@@ -166,8 +235,25 @@ void Machine::Advance(SimTime t0, SimTime t1) {
     const ThreadLoad& l = loads_[idx];
     if (l.profile != nullptr && l.intensity > 0.0) {
       ops_credit_[idx] += r.ops_per_sec * l.intensity * dt_s * work_frac;
+      cached_ops_rate_[idx] = r.ops_per_sec * l.intensity;
+    } else {
+      cached_ops_rate_[idx] = 0.0;
     }
   }
+
+  // Refresh the steady-state cache: the just-solved slice describes every
+  // following slice until an input changes or a time boundary is reached.
+  dirty_ = false;
+  cache_valid_ = (stall_frac == 0.0);
+  SimTime boundary = firmware_.next_change();
+  for (SocketId s = 0; s < topo.num_sockets; ++s) {
+    const auto idx = static_cast<size_t>(s);
+    if (idle_since_[idx] != kSimTimeNever &&
+        t0 - idle_since_[idx] < params_.c6_promotion) {
+      boundary = std::min(boundary, idle_since_[idx] + params_.c6_promotion);
+    }
+  }
+  next_boundary_ = boundary;
 }
 
 }  // namespace ecldb::hwsim

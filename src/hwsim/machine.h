@@ -86,9 +86,15 @@ class Machine {
   /// Firmware-resolved configuration of the last completed slice.
   const MachineConfig& effective_config() const { return effective_; }
 
-  void SetEpb(EpbSetting epb) { firmware_.set_epb(epb); }
+  void SetEpb(EpbSetting epb) {
+    if (firmware_.epb() == epb) return;
+    firmware_.set_epb(epb);
+    dirty_ = true;
+  }
   void SetUncoreMode(SocketId socket, UncoreMode mode) {
+    if (firmware_.uncore_mode(socket) == mode) return;
     firmware_.SetUncoreMode(socket, mode);
+    dirty_ = true;
   }
 
   /// Number of configuration writes so far (diagnostics).
@@ -144,6 +150,24 @@ class Machine {
  private:
   void Advance(SimTime t0, SimTime t1);
 
+  // --- Steady-state fast-forward (see docs/architecture.md) -----------
+  //
+  // A slice whose inputs match the previous slice's (no config write, load
+  // change, or pending stall, and no firmware time boundary crossed) has a
+  // bit-identical solution, so the expensive model solves are skipped and
+  // only the per-slice accumulations are replayed. `FastForward` extends
+  // this across whole multi-slice gaps for the Simulator.
+
+  /// Re-solves firmware/perf/power for one slice and refreshes the cache.
+  void SolveSlice(SimTime t0, SimTime t1);
+  /// Replays the per-slice accumulations of a clean slice (bit-identical
+  /// to SolveSlice with unchanged inputs and work_frac == 1).
+  void IntegrateSlice(SimTime t0, SimTime t1);
+  /// Stationarity horizon for the Simulator's fast-forward.
+  SimTime StationaryUntil(SimTime now) const;
+  /// Integrates (t0, t1] in `slice`-bounded steps using the cached solve.
+  void FastForward(SimTime t0, SimTime t1, SimDuration slice);
+
   sim::Simulator* simulator_;
   MachineParams params_;
   PowerModel power_model_;
@@ -165,6 +189,22 @@ class Machine {
   int64_t config_writes_ = 0;
   /// Per-socket time the socket last became idle (kSimTimeNever = active).
   std::vector<SimTime> idle_since_;
+
+  /// True when control-/work-plane inputs changed since the last solve.
+  bool dirty_ = true;
+  /// True when `solved_`/`instant_power_` describe a stall-free slice with
+  /// the current inputs.
+  bool cache_valid_ = false;
+  /// Earliest time the firmware or C-state tracking would change behaviour
+  /// on its own; a slice starting at or after it must re-solve.
+  SimTime next_boundary_ = 0;
+  /// Last slice solution (also the reused solve output buffer).
+  SolveResult solved_;
+  /// Per-thread `ops_per_sec * intensity` of the cached solution.
+  std::vector<double> cached_ops_rate_;
+  // Scratch hoisted out of the per-slice path.
+  std::vector<bool> socket_busy_scratch_;
+  std::vector<double> socket_scale_scratch_;
 };
 
 }  // namespace ecldb::hwsim

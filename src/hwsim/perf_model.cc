@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "common/check.h"
 
@@ -28,18 +27,27 @@ double PerfModel::MemLatencyTimeSec(const WorkProfile& p,
 
 SolveResult PerfModel::Solve(const MachineConfig& effective,
                              const std::vector<ThreadLoad>& loads) const {
+  SolveResult out;
+  Solve(effective, loads, &out);
+  return out;
+}
+
+void PerfModel::Solve(const MachineConfig& effective,
+                      const std::vector<ThreadLoad>& loads,
+                      SolveResult* out_ptr) const {
   const int n_threads = topo_.total_threads();
   ECLDB_CHECK(static_cast<int>(loads.size()) == n_threads);
   ECLDB_CHECK(static_cast<int>(effective.sockets.size()) == topo_.num_sockets);
 
-  SolveResult out;
-  out.threads.resize(static_cast<size_t>(n_threads));
+  SolveResult& out = *out_ptr;
+  out.threads.assign(static_cast<size_t>(n_threads), ThreadRate{});
   out.socket_bandwidth_gbps.assign(static_cast<size_t>(topo_.num_sockets), 0.0);
   out.socket_busy_fraction.assign(static_cast<size_t>(topo_.num_sockets), 0.0);
   out.socket_power_scale.assign(static_cast<size_t>(topo_.num_sockets), 1.0);
 
   // Pass 1: unconstrained per-thread rates (core / memory-latency bound).
-  std::vector<double> base_rate(static_cast<size_t>(n_threads), 0.0);
+  base_rate_.assign(static_cast<size_t>(n_threads), 0.0);
+  std::vector<double>& base_rate = base_rate_;
   for (HwThreadId t = 0; t < n_threads; ++t) {
     const SocketId s = topo_.SocketOfThread(t);
     const SocketConfig& cfg = effective.sockets[static_cast<size_t>(s)];
@@ -100,16 +108,32 @@ SolveResult PerfModel::Solve(const MachineConfig& effective,
     }
   }
 
-  // Pass 3: contention groups (grouped machine-wide by profile identity).
-  std::map<const WorkProfile*, std::vector<HwThreadId>> groups;
+  // Pass 3: contention groups (grouped machine-wide by profile identity,
+  // in deterministic first-seen order; groups touch disjoint threads, so
+  // their relative order does not affect the solution).
+  size_t n_groups = 0;
   for (HwThreadId t = 0; t < n_threads; ++t) {
     const ThreadLoad& load = loads[static_cast<size_t>(t)];
     if (load.profile == nullptr || load.intensity <= 0.0) continue;
     if (base_rate[static_cast<size_t>(t)] <= 0.0) continue;
     if (load.profile->contention == ContentionClass::kNone) continue;
-    groups[load.profile].push_back(t);
+    size_t g = 0;
+    while (g < n_groups && group_keys_[g] != load.profile) ++g;
+    if (g == n_groups) {
+      if (n_groups == group_keys_.size()) {
+        group_keys_.push_back(load.profile);
+        group_members_.emplace_back();
+      } else {
+        group_keys_[g] = load.profile;
+      }
+      group_members_[g].clear();
+      ++n_groups;
+    }
+    group_members_[g].push_back(t);
   }
-  for (auto& [profile, members] : groups) {
+  for (size_t g = 0; g < n_groups; ++g) {
+    const WorkProfile* profile = group_keys_[g];
+    const std::vector<HwThreadId>& members = group_members_[g];
     if (members.size() < 2) continue;
     // Spread analysis: same core? same socket?
     const SocketId s0 = topo_.SocketOfThread(members.front());
@@ -170,9 +194,12 @@ SolveResult PerfModel::Solve(const MachineConfig& effective,
   }
 
   // Pass 4: fill the result (instructions retired, bandwidth, busy stats).
-  std::vector<double> busy_sum(static_cast<size_t>(topo_.num_sockets), 0.0);
-  std::vector<double> scale_sum(static_cast<size_t>(topo_.num_sockets), 0.0);
-  std::vector<int> active_count(static_cast<size_t>(topo_.num_sockets), 0);
+  busy_sum_.assign(static_cast<size_t>(topo_.num_sockets), 0.0);
+  scale_sum_.assign(static_cast<size_t>(topo_.num_sockets), 0.0);
+  active_count_.assign(static_cast<size_t>(topo_.num_sockets), 0);
+  std::vector<double>& busy_sum = busy_sum_;
+  std::vector<double>& scale_sum = scale_sum_;
+  std::vector<int>& active_count = active_count_;
   for (HwThreadId t = 0; t < n_threads; ++t) {
     const SocketId s = topo_.SocketOfThread(t);
     const SocketConfig& cfg = effective.sockets[static_cast<size_t>(s)];
@@ -206,7 +233,6 @@ SolveResult PerfModel::Solve(const MachineConfig& effective,
       out.socket_power_scale[idx] = scale_sum[idx] / busy_sum[idx];
     }
   }
-  return out;
 }
 
 }  // namespace ecldb::hwsim

@@ -94,6 +94,12 @@ class PerfModel {
   SolveResult Solve(const MachineConfig& effective,
                     const std::vector<ThreadLoad>& loads) const;
 
+  /// Allocation-free variant: fills `*out` (reusing its capacity). Solving
+  /// reuses internal scratch buffers, so a single PerfModel instance must
+  /// not be solved from multiple threads concurrently.
+  void Solve(const MachineConfig& effective,
+             const std::vector<ThreadLoad>& loads, SolveResult* out) const;
+
   const PerfModelParams& params() const { return params_; }
   const BandwidthModel& bandwidth_model() const { return bw_; }
 
@@ -105,6 +111,17 @@ class PerfModel {
   Topology topo_;
   BandwidthModel bw_;
   PerfModelParams params_;
+
+  // Scratch reused across Solve calls (hot path: once per simulated slice).
+  // Contention groups are keyed by first-seen order, which is deterministic
+  // across runs (unlike pointer-ordered maps) and equivalent numerically
+  // because groups touch disjoint threads.
+  mutable std::vector<double> base_rate_;
+  mutable std::vector<const WorkProfile*> group_keys_;
+  mutable std::vector<std::vector<HwThreadId>> group_members_;
+  mutable std::vector<double> busy_sum_;
+  mutable std::vector<double> scale_sum_;
+  mutable std::vector<int> active_count_;
 };
 
 }  // namespace ecldb::hwsim

@@ -39,9 +39,14 @@ ProfileEvaluator::Measurement ProfileEvaluator::Measure(
   const uint64_t i1 = machine_->ReadSocketInstructions(socket_);
 
   const double seconds = ToSeconds(params.measure_time);
+  // Subtract after casting to signed: RAPL publish jitter (or a counter
+  // reset) can make a reading step backwards, and an unsigned difference
+  // would wrap to a huge value instead of a small negative one.
+  const int64_t de = static_cast<int64_t>(e1) - static_cast<int64_t>(e0);
+  const int64_t di = static_cast<int64_t>(i1) - static_cast<int64_t>(i0);
   Measurement m;
-  m.power_w = static_cast<double>(static_cast<int64_t>(e1 - e0)) * 1e-6 / seconds;
-  m.perf_score = static_cast<double>(i1 - i0) / seconds;
+  m.power_w = static_cast<double>(de) * 1e-6 / seconds;
+  m.perf_score = static_cast<double>(di) / seconds;
   return m;
 }
 

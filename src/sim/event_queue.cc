@@ -9,15 +9,16 @@ namespace ecldb::sim {
 EventId EventQueue::Schedule(SimTime t, std::function<void()> fn) {
   const EventId id = next_id_++;
   heap_.push(Entry{t, id, std::move(fn)});
+  pending_ids_.insert(id);
   ++live_count_;
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id <= 0 || id >= next_id_) return false;
-  const bool inserted = cancelled_.insert(id).second;
-  if (inserted) --live_count_;
-  return inserted;
+  if (pending_ids_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
 }
 
 void EventQueue::SkipCancelled() const {
@@ -44,6 +45,7 @@ SimTime EventQueue::PopAndRun() {
   // Move the entry out before running: the callback may schedule new events.
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
+  pending_ids_.erase(entry.id);
   --live_count_;
   entry.fn();
   return entry.t;

@@ -56,6 +56,10 @@ class EventQueue {
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::unordered_set<EventId> cancelled_;
+  /// IDs currently in the heap and neither fired nor cancelled. Cancel only
+  /// honours members, so an already-fired ID cannot corrupt `live_count_` or
+  /// leak into `cancelled_`.
+  std::unordered_set<EventId> pending_ids_;
   EventId next_id_ = 1;
   int64_t live_count_ = 0;
 };

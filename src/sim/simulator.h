@@ -9,6 +9,26 @@
 
 namespace ecldb::sim {
 
+/// A continuously-advanced simulation component.
+///
+/// `advance` is mandatory and integrates one elapsed interval (from, to].
+/// The other two hooks opt the component into steady-state fast-forward:
+/// while every registered advancer reports a stationarity horizon beyond
+/// the next slice boundary, the simulator hands whole multi-slice gaps to
+/// `fast_forward` instead of stepping `max_slice` intervals one by one.
+///
+/// Contract: `fast_forward(t0, t1, slice)` must leave the component in a
+/// state bit-identical to calling `advance` over consecutive `slice`-bounded
+/// sub-intervals of (t0, t1], and `stationary_until(now)` must return a time
+/// no later than the first instant at which the component's per-slice
+/// behaviour could change on its own (return `now` when not stationary;
+/// kSimTimeNever when nothing time-dependent is pending).
+struct Advancer {
+  std::function<void(SimTime, SimTime)> advance;
+  std::function<SimTime(SimTime)> stationary_until;
+  std::function<void(SimTime, SimTime, SimDuration)> fast_forward;
+};
+
 /// Discrete-time simulator.
 ///
 /// The simulator combines an event queue (for control actions such as ECL
@@ -18,7 +38,10 @@ namespace ecldb::sim {
 ///
 /// Advancers are additionally bounded by `max_slice` so that models whose
 /// rates change as work drains (e.g., a worker running out of queued
-/// messages) stay accurate.
+/// messages) stay accurate. Advancers that implement the fast-forward
+/// contract let long stationary stretches be integrated in one call per
+/// advancer while preserving the exact per-slice arithmetic (see
+/// docs/architecture.md).
 class Simulator {
  public:
   Simulator() = default;
@@ -35,11 +58,21 @@ class Simulator {
 
   /// Registers a component advanced over every elapsed interval, in
   /// registration order. The callback receives (from, to], to > from.
+  /// Legacy form: the component cannot report stationarity, so registering
+  /// one disables fast-forward for the whole simulation (conservative).
   void RegisterAdvancer(std::function<void(SimTime, SimTime)> advancer);
+
+  /// Registers a fast-forward-capable advancer (all three hooks set).
+  void RegisterAdvancer(Advancer advancer);
 
   /// Upper bound on a single advance interval. Default 1 ms.
   void set_max_slice(SimDuration slice) { max_slice_ = slice; }
   SimDuration max_slice() const { return max_slice_; }
+
+  /// Enables/disables steady-state fast-forward (default on). Has no effect
+  /// unless every registered advancer is fast-forward capable.
+  void set_fast_forward(bool on) { fast_forward_ = on; }
+  bool fast_forward_enabled() const { return fast_forward_ && all_ff_capable_; }
 
   /// Runs until virtual time `t` (inclusive of events at `t`).
   void RunUntil(SimTime t);
@@ -52,8 +85,10 @@ class Simulator {
 
   SimTime now_ = 0;
   SimDuration max_slice_ = Millis(1);
+  bool fast_forward_ = true;
+  bool all_ff_capable_ = true;
   EventQueue events_;
-  std::vector<std::function<void(SimTime, SimTime)>> advancers_;
+  std::vector<Advancer> advancers_;
 };
 
 }  // namespace ecldb::sim

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "hwsim/machine.h"
 #include "profile/config_generator.h"
 #include "profile/energy_profile.h"
@@ -189,6 +191,30 @@ TEST(EvaluatorTest, MeasuresPlausiblePowerAndPerf) {
   EXPECT_GT(m.power_w, 60.0);
   EXPECT_LT(m.power_w, 160.0);
   EXPECT_NEAR(m.perf_score, 12 * 2 * 0.625 * 2.6e9, 0.1 * 12 * 2.6e9);
+}
+
+TEST(EvaluatorTest, ShortWindowBackwardStepsDoNotWrap) {
+  // RAPL publish jitter can make consecutive reads step backwards. The
+  // measured delta must go through signed arithmetic — a small negative
+  // power for that window — instead of wrapping the unsigned difference
+  // to ~1e16 W and poisoning the profile.
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  ProfileEvaluator eval(&sim, &machine, 0);
+  EvaluatorParams params;
+  params.apply_time = Millis(1);
+  params.measure_time = Millis(1);  // window energy ~ jitter amplitude
+  const hwsim::SocketConfig cfg = hwsim::SocketConfig::Idle(machine.topology());
+  double min_power = 1e300;
+  double max_power = -1e300;
+  for (int i = 0; i < 200; ++i) {
+    const auto m = eval.Measure(cfg, workload::ComputeBound(), params);
+    min_power = std::min(min_power, m.power_w);
+    max_power = std::max(max_power, m.power_w);
+  }
+  // Physically bounded either way: an unsigned wrap would show ~1e16 W.
+  EXPECT_LT(max_power, 1e5);
+  EXPECT_GT(min_power, -1e5);
 }
 
 TEST(EvaluatorTest, ComputeBoundProfileShape) {

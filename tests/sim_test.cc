@@ -38,6 +38,24 @@ TEST(EventQueueTest, CancelPreventsFiring) {
   EXPECT_FALSE(fired);
 }
 
+TEST(EventQueueTest, CancelAfterExecutionIsRejected) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.Schedule(Millis(1), [&] { fired = true; });
+  q.Schedule(Millis(2), [] {});
+  q.PopAndRun();
+  EXPECT_TRUE(fired);
+  // The event already ran: cancelling its id must fail and must not
+  // corrupt the live-event accounting of the remaining event (a stale
+  // cancel used to decrement the live count and make the queue report
+  // empty while an event was still pending).
+  EXPECT_FALSE(q.Cancel(id));
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.NextTime(), Millis(2));
+  q.PopAndRun();
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueueTest, NextTimeSkipsCancelled) {
   EventQueue q;
   const EventId early = q.Schedule(Millis(1), [] {});
