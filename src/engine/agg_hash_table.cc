@@ -1,0 +1,60 @@
+#include "engine/agg_hash_table.h"
+
+#include <algorithm>
+
+namespace ecldb::engine {
+
+AggHashTable::AggHashTable(size_t initial_capacity) {
+  size_t cap = 16;
+  while (cap < initial_capacity) cap <<= 1;
+  cells_.resize(cap);
+  used_.assign(cap, 0);
+}
+
+void AggHashTable::Grow() {
+  std::vector<Cell> old_cells = std::move(cells_);
+  std::vector<uint8_t> old_used = std::move(used_);
+  const size_t cap = old_cells.size() * 2;
+  cells_.assign(cap, Cell{});
+  used_.assign(cap, 0);
+  const size_t mask = cap - 1;
+  for (size_t i = 0; i < old_cells.size(); ++i) {
+    if (!old_used[i]) continue;
+    size_t j = detail::Mix64(old_cells[i].key) & mask;
+    while (used_[j]) j = (j + 1) & mask;
+    cells_[j] = old_cells[i];
+    used_[j] = 1;
+  }
+}
+
+AggHashTable::Cell* AggHashTable::FindOrInsert(uint64_t key) {
+  if ((size_ + 1) * 10 > cells_.size() * 7) Grow();
+  const size_t mask = cells_.size() - 1;
+  size_t i = detail::Mix64(key) & mask;
+  while (used_[i]) {
+    if (cells_[i].key == key) return &cells_[i];
+    i = (i + 1) & mask;
+  }
+  used_[i] = 1;
+  cells_[i].key = key;
+  ++size_;
+  return &cells_[i];
+}
+
+const AggHashTable::Cell* AggHashTable::Find(uint64_t key) const {
+  const size_t mask = cells_.size() - 1;
+  size_t i = detail::Mix64(key) & mask;
+  while (used_[i]) {
+    if (cells_[i].key == key) return &cells_[i];
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+void AggHashTable::Clear() {
+  if (size_ == 0) return;
+  std::fill(used_.begin(), used_.end(), uint8_t{0});
+  size_ = 0;
+}
+
+}  // namespace ecldb::engine

@@ -1,0 +1,73 @@
+#ifndef ECLDB_ENGINE_AGG_HASH_TABLE_H_
+#define ECLDB_ENGINE_AGG_HASH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ecldb::engine {
+
+namespace detail {
+
+/// 64-bit finalizer (murmur3) shared by the point index and the aggregate
+/// table; full avalanche so linear probing sees uniform slots.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace detail
+
+/// Open-addressing aggregate hash table mapping a packed uint64 group key
+/// to a {sum, count} accumulator: the insert-or-update half of HashIndex
+/// without erase (aggregation never removes groups), so no tombstones.
+/// Linear probing, grows at 70 % load.
+class AggHashTable {
+ public:
+  struct Cell {
+    uint64_t key = 0;
+    double sum = 0.0;
+    int64_t count = 0;
+  };
+
+  explicit AggHashTable(size_t initial_capacity = 64);
+
+  /// Returns the accumulator cell for `key`, inserting a zeroed cell if
+  /// absent. The pointer is invalidated by the next FindOrInsert (growth).
+  Cell* FindOrInsert(uint64_t key);
+
+  /// The cell for `key` or nullptr.
+  const Cell* Find(uint64_t key) const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return cells_.size(); }
+  size_t MemoryBytes() const {
+    return cells_.capacity() * sizeof(Cell) + used_.capacity() * sizeof(uint8_t);
+  }
+
+  /// Drops all groups but keeps the allocation (scratch reuse).
+  void Clear();
+
+  /// Visits every group in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      if (used_[i]) fn(cells_[i]);
+    }
+  }
+
+ private:
+  void Grow();
+
+  std::vector<Cell> cells_;
+  std::vector<uint8_t> used_;
+  size_t size_ = 0;
+};
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_AGG_HASH_TABLE_H_

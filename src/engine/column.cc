@@ -20,6 +20,8 @@ Column::Column(std::string name, ColumnType type)
 void Column::AppendInt(int64_t v) {
   ECLDB_DCHECK(type_ == ColumnType::kInt64);
   ints_.push_back(v);
+  if (v < min_int_) min_int_ = v;
+  if (v > max_int_) max_int_ = v;
   ++size_;
 }
 

@@ -50,6 +50,26 @@ class Column {
   /// Code of `v` in the dictionary or -1 (then no row matches it).
   int32_t LookupStringCode(std::string_view v) const;
 
+  /// Number of distinct strings (codes are in [0, dict_size())).
+  size_t dict_size() const { return dict_.size(); }
+  /// The string behind a dictionary code.
+  std::string_view DictEntry(int32_t code) const {
+    ECLDB_DCHECK(type_ == ColumnType::kString &&
+                 static_cast<size_t>(code) < dict_.size());
+    return dict_[static_cast<size_t>(code)];
+  }
+
+  /// Conservative value bounds of an int64 column (maintained on append
+  /// and overwrite, never shrunk); false while the column is empty.
+  /// Feeds the group-key packer's bit-width calculation.
+  bool IntBounds(int64_t* lo, int64_t* hi) const {
+    ECLDB_DCHECK(type_ == ColumnType::kInt64);
+    if (min_int_ > max_int_) return false;
+    *lo = min_int_;
+    *hi = max_int_;
+    return true;
+  }
+
   /// Raw data access for scans.
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
@@ -58,6 +78,8 @@ class Column {
   void SetInt(size_t row, int64_t v) {
     ECLDB_DCHECK(type_ == ColumnType::kInt64 && row < size_);
     ints_[row] = v;
+    if (v < min_int_) min_int_ = v;
+    if (v > max_int_) max_int_ = v;
   }
   void SetDouble(size_t row, double v) {
     ECLDB_DCHECK(type_ == ColumnType::kDouble && row < size_);
@@ -70,6 +92,8 @@ class Column {
   std::string name_;
   ColumnType type_;
   size_t size_ = 0;
+  int64_t min_int_ = INT64_MAX;
+  int64_t max_int_ = INT64_MIN;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<int32_t> codes_;

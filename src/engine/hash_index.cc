@@ -1,6 +1,7 @@
 #include "engine/hash_index.h"
 
 #include "common/check.h"
+#include "engine/agg_hash_table.h"
 
 namespace ecldb::engine {
 
@@ -10,14 +11,21 @@ HashIndex::HashIndex(size_t initial_capacity) {
   slots_.resize(cap);
 }
 
+void HashIndex::Reserve(size_t expected_keys) {
+  size_t cap = slots_.size();
+  while (cap * 7 < expected_keys * 10) cap <<= 1;  // keep load <= 70 %
+  if (cap == slots_.size()) return;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(cap, Slot{});
+  size_ = 0;
+  tombstones_ = 0;
+  for (const Slot& s : old) {
+    if (s.state == State::kFull) Insert(s.key, s.row);
+  }
+}
+
 uint64_t HashIndex::Hash(int64_t key) {
-  uint64_t x = static_cast<uint64_t>(key);
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdull;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ull;
-  x ^= x >> 33;
-  return x;
+  return detail::Mix64(static_cast<uint64_t>(key));
 }
 
 size_t HashIndex::Locate(int64_t key) const {
@@ -59,7 +67,9 @@ void HashIndex::Grow() {
 }
 
 bool HashIndex::Insert(int64_t key, uint32_t row) {
-  if ((size_ + tombstones_ + 1) * 10 > slots_.size() * 7) Grow();
+  if ((size_ + tombstones_ + 1) * 10 > slots_.size() * 7 || TombstoneHeavy()) {
+    Grow();
+  }
   const size_t loc = Locate(key);
   if (static_cast<intptr_t>(loc) >= 0) return false;  // exists
   Slot& s = slots_[~loc];
@@ -70,7 +80,9 @@ bool HashIndex::Insert(int64_t key, uint32_t row) {
 }
 
 void HashIndex::Upsert(int64_t key, uint32_t row) {
-  if ((size_ + tombstones_ + 1) * 10 > slots_.size() * 7) Grow();
+  if ((size_ + tombstones_ + 1) * 10 > slots_.size() * 7 || TombstoneHeavy()) {
+    Grow();
+  }
   const size_t loc = Locate(key);
   if (static_cast<intptr_t>(loc) >= 0) {
     slots_[loc].row = row;
@@ -94,6 +106,9 @@ bool HashIndex::Erase(int64_t key) {
   slots_[loc].state = State::kTombstone;
   --size_;
   ++tombstones_;
+  // Erase-heavy churn (e.g. TATP call-forwarding) would otherwise keep
+  // probe chains long until the next growth-triggered rehash.
+  if (TombstoneHeavy()) Grow();
   return true;
 }
 

@@ -8,12 +8,18 @@
 namespace ecldb::engine {
 
 /// Open-addressing hash index mapping an int64 key to a row id.
-/// Linear probing with tombstones; grows at 70 % load factor. Composite
+/// Linear probing with tombstones; grows at 70 % load factor and rehashes
+/// in place once tombstones exceed 25 % of the slots (erase-heavy churn
+/// would otherwise degrade probe lengths between growths). Composite
 /// keys (e.g. TATP call_forwarding's (s_id, sf_type, start_time)) are
 /// encoded into the 64-bit key by the caller.
 class HashIndex {
  public:
   explicit HashIndex(size_t initial_capacity = 64);
+
+  /// Pre-sizes the table for `expected_keys` live entries so bulk loads
+  /// skip the intermediate rehashes.
+  void Reserve(size_t expected_keys);
 
   /// Inserts key -> row. Returns false if the key already exists.
   bool Insert(int64_t key, uint32_t row);
@@ -28,10 +34,16 @@ class HashIndex {
 
   size_t size() const { return size_; }
   size_t capacity() const { return slots_.size(); }
+  size_t tombstones() const { return tombstones_; }
   size_t MemoryBytes() const { return slots_.capacity() * sizeof(Slot); }
 
   /// Average probe length of recent finds (diagnostic / cost model input).
   double MeanProbeLength() const;
+  /// Restarts the probe-length average (e.g. around a measurement window).
+  void ResetProbeStats() const {
+    probe_samples_ = 0;
+    probe_total_ = 0;
+  }
 
  private:
   enum class State : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
@@ -43,6 +55,8 @@ class HashIndex {
 
   static uint64_t Hash(int64_t key);
   void Grow();
+  /// Rehash triggered by tombstone accumulation (> 25 % of slots).
+  bool TombstoneHeavy() const { return tombstones_ * 4 > slots_.size(); }
   /// Returns slot index of the key, or the first insertable slot if absent
   /// (encoded as ~index).
   size_t Locate(int64_t key) const;

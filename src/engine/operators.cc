@@ -1,6 +1,7 @@
 #include "engine/operators.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.h"
 
@@ -66,6 +67,36 @@ void ColumnRef::AppendKey(const Table& fact, uint32_t row,
   }
 }
 
+const Column* ColumnRef::TargetColumn(const Table& fact) const {
+  return dim_ == nullptr ? fact.column(static_cast<size_t>(fact_col_))
+                         : dim_->column(static_cast<size_t>(dim_col_));
+}
+
+const Column* ColumnRef::FkColumn(const Table& fact) const {
+  return dim_ == nullptr ? nullptr
+                         : fact.column(static_cast<size_t>(fact_col_));
+}
+
+const Column* ColumnRef::ResolveBatch(const Table& fact, const uint32_t* rows,
+                                      size_t n, std::vector<uint32_t>* scratch,
+                                      const uint32_t** rows_out) const {
+  if (dim_ == nullptr) {
+    *rows_out = rows;
+    return fact.column(static_cast<size_t>(fact_col_));
+  }
+  scratch->resize(n);
+  uint32_t* out = scratch->data();
+  const int64_t* fk =
+      fact.column(static_cast<size_t>(fact_col_))->ints().data();
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t k = fk[rows[i]];
+    ECLDB_DCHECK(k >= 1 && static_cast<size_t>(k) <= dim_->num_rows());
+    out[i] = static_cast<uint32_t>(k - 1);
+  }
+  *rows_out = out;
+  return dim_->column(static_cast<size_t>(dim_col_));
+}
+
 // ---- Predicate -------------------------------------------------------------
 
 Predicate Predicate::IntRange(ColumnRef ref, int64_t lo, int64_t hi) {
@@ -102,27 +133,30 @@ Predicate Predicate::StringRange(ColumnRef ref, std::string lo, std::string hi) 
   return p;
 }
 
-bool Predicate::Eval(const Table& fact, uint32_t row) const {
+bool Predicate::MatchesString(std::string_view v) const {
   switch (kind) {
-    case Kind::kIntRange: {
-      const int64_t v = ref.GetInt(fact, row);
-      return v >= lo && v <= hi;
-    }
     case Kind::kStringEq:
-      return ref.GetString(fact, row) == values[0];
-    case Kind::kStringIn: {
-      const std::string_view v = ref.GetString(fact, row);
+      return v == values[0];
+    case Kind::kStringIn:
       for (const std::string& s : values) {
         if (v == s) return true;
       }
       return false;
-    }
-    case Kind::kStringRange: {
-      const std::string_view v = ref.GetString(fact, row);
+    case Kind::kStringRange:
       return v >= values[0] && v <= values[1];
-    }
+    case Kind::kIntRange:
+      break;
   }
+  ECLDB_DCHECK(false);
   return false;
+}
+
+bool Predicate::Eval(const Table& fact, uint32_t row) const {
+  if (kind == Kind::kIntRange) {
+    const int64_t v = ref.GetInt(fact, row);
+    return v >= lo && v <= hi;
+  }
+  return MatchesString(ref.GetString(fact, row));
 }
 
 // ---- TableScan -------------------------------------------------------------
@@ -151,9 +185,92 @@ FilterOperator::FilterOperator(const Table* fact,
                                std::vector<Predicate> predicates)
     : fact_(fact), predicates_(std::move(predicates)) {
   ECLDB_CHECK(fact != nullptr);
+  bounds_.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) {
+    Bound b;
+    b.val_col = p.ref.TargetColumn(*fact);
+    b.fk_col = p.ref.FkColumn(*fact);
+    if (p.kind == Predicate::Kind::kIntRange) {
+      ECLDB_DCHECK(b.val_col->type() == ColumnType::kInt64);
+    } else {
+      // Translate the string predicate into a per-dictionary-code verdict
+      // so the kernel compares int32 codes; codes appended after this
+      // point (dictionary growth) take the string-compare fallback.
+      ECLDB_DCHECK(b.val_col->type() == ColumnType::kString);
+      const size_t dict = b.val_col->dict_size();
+      b.code_match.resize(dict);
+      for (size_t c = 0; c < dict; ++c) {
+        b.code_match[c] =
+            p.MatchesString(b.val_col->DictEntry(static_cast<int32_t>(c)))
+                ? 1
+                : 0;
+      }
+    }
+    bounds_.push_back(std::move(b));
+  }
+}
+
+void FilterOperator::ApplyOne(const Predicate& p, const Bound& b,
+                              std::vector<uint32_t>* rows) const {
+  uint32_t* data = rows->data();
+  const size_t n = rows->size();
+  size_t kept = 0;
+  if (p.kind == Predicate::Kind::kIntRange) {
+    const int64_t* v = b.val_col->ints().data();
+    const int64_t lo = p.lo;
+    const int64_t hi = p.hi;
+    if (b.fk_col == nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = data[i];
+        const int64_t x = v[r];
+        if (x >= lo && x <= hi) data[kept++] = r;
+      }
+    } else {
+      const int64_t* fk = b.fk_col->ints().data();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = data[i];
+        const int64_t k = fk[r];
+        ECLDB_DCHECK(k >= 1 &&
+                     static_cast<size_t>(k) <= b.val_col->size());
+        const int64_t x = v[k - 1];
+        if (x >= lo && x <= hi) data[kept++] = r;
+      }
+    }
+  } else {
+    const int32_t* codes = b.val_col->codes().data();
+    const size_t known = b.code_match.size();
+    const auto match = [&](int32_t c) {
+      return static_cast<size_t>(c) < known
+                 ? b.code_match[static_cast<size_t>(c)] != 0
+                 : p.MatchesString(b.val_col->DictEntry(c));
+    };
+    if (b.fk_col == nullptr) {
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = data[i];
+        if (match(codes[r])) data[kept++] = r;
+      }
+    } else {
+      const int64_t* fk = b.fk_col->ints().data();
+      for (size_t i = 0; i < n; ++i) {
+        const uint32_t r = data[i];
+        const int64_t k = fk[r];
+        ECLDB_DCHECK(k >= 1 &&
+                     static_cast<size_t>(k) <= b.val_col->size());
+        if (match(codes[k - 1])) data[kept++] = r;
+      }
+    }
+  }
+  rows->resize(kept);
 }
 
 size_t FilterOperator::Apply(std::vector<uint32_t>* rows) const {
+  for (size_t i = 0; i < predicates_.size() && !rows->empty(); ++i) {
+    ApplyOne(predicates_[i], bounds_[i], rows);
+  }
+  return rows->size();
+}
+
+size_t FilterOperator::ApplyScalar(std::vector<uint32_t>* rows) const {
   size_t kept = 0;
   for (uint32_t row : *rows) {
     bool ok = true;
@@ -211,13 +328,171 @@ double ValueExpr::Eval(const Table& fact, uint32_t row) const {
   return 0.0;
 }
 
+void ValueExpr::EvalBatch(const Table& fact, const uint32_t* rows, size_t n,
+                          std::vector<uint32_t>* scratch_a,
+                          std::vector<uint32_t>* scratch_b,
+                          double* out) const {
+  // The expressions below mirror Eval's operand order exactly so every
+  // per-row double is bit-identical to the row-at-a-time path.
+  const uint32_t* ra;
+  const int64_t* va =
+      a.ResolveBatch(fact, rows, n, scratch_a, &ra)->ints().data();
+  switch (kind) {
+    case Kind::kColumn:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = scale * static_cast<double>(va[ra[i]]);
+      }
+      return;
+    case Kind::kProduct: {
+      const uint32_t* rb;
+      const int64_t* vb =
+          b.ResolveBatch(fact, rows, n, scratch_b, &rb)->ints().data();
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = scale * static_cast<double>(va[ra[i]]) *
+                 static_cast<double>(vb[rb[i]]);
+      }
+      return;
+    }
+    case Kind::kDifference: {
+      const uint32_t* rb;
+      const int64_t* vb =
+          b.ResolveBatch(fact, rows, n, scratch_b, &rb)->ints().data();
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = scale * (static_cast<double>(va[ra[i]]) -
+                          static_cast<double>(vb[rb[i]]));
+      }
+      return;
+    }
+  }
+}
+
 // ---- HashAggregator --------------------------------------------------------
 
 HashAggregator::HashAggregator(std::vector<ColumnRef> group_by, ValueExpr value)
     : group_by_(std::move(group_by)), value_(value) {}
 
+bool HashAggregator::EnsureLayout(const Table& fact) {
+  if (scalar_mode_) return false;
+  if (layout_fact_ == &fact) return true;
+  // A different fact shard invalidates the packed layout (dictionary and
+  // value bounds are per-column); decode what was packed so far first.
+  FlushPacked();
+  parts_.clear();
+  layout_fact_ = &fact;
+  uint32_t total_bits = 0;
+  for (const ColumnRef& ref : group_by_) {
+    KeyPart part;
+    part.col = ref.TargetColumn(fact);
+    part.fk_col = ref.FkColumn(fact);
+    switch (part.col->type()) {
+      case ColumnType::kString:
+        part.is_string = true;
+        part.limit =
+            part.col->dict_size() == 0 ? 0 : part.col->dict_size() - 1;
+        break;
+      case ColumnType::kInt64: {
+        int64_t lo = 0;
+        int64_t hi = 0;
+        part.col->IntBounds(&lo, &hi);
+        part.base = lo;
+        part.limit =
+            static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+        break;
+      }
+      case ColumnType::kDouble:
+        // No stable integer coding for doubles; stay row-at-a-time.
+        scalar_mode_ = true;
+        return false;
+    }
+    part.bits = static_cast<uint32_t>(std::bit_width(part.limit));
+    total_bits += part.bits;
+    parts_.push_back(part);
+  }
+  if (total_bits > 63) {  // 63 keeps every shift in-range
+    scalar_mode_ = true;
+    return false;
+  }
+  return true;
+}
+
 void HashAggregator::Consume(const Table& fact,
                              const std::vector<uint32_t>& rows) {
+  const size_t n = rows.size();
+  if (n == 0) return;
+  if (!EnsureLayout(fact)) {
+    ConsumeScalarImpl(fact, rows);
+    rows_consumed_ += static_cast<int64_t>(n);
+    return;
+  }
+
+  // Pack each row's group codes into one composite key, column at a time.
+  key_scratch_.assign(n, 0);
+  uint64_t* keys = key_scratch_.data();
+  for (const KeyPart& part : parts_) {
+    const uint32_t* target_rows = rows.data();
+    if (part.fk_col != nullptr) {
+      row_scratch_a_.resize(n);
+      const int64_t* fk = part.fk_col->ints().data();
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t k = fk[rows[i]];
+        ECLDB_DCHECK(k >= 1 && static_cast<size_t>(k) <= part.col->size());
+        row_scratch_a_[i] = static_cast<uint32_t>(k - 1);
+      }
+      target_rows = row_scratch_a_.data();
+    }
+    bool in_range = true;
+    if (part.is_string) {
+      const int32_t* codes = part.col->codes().data();
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t c = static_cast<uint32_t>(codes[target_rows[i]]);
+        if (c > part.limit) {
+          in_range = false;
+          break;
+        }
+        keys[i] = (keys[i] << part.bits) | c;
+      }
+    } else {
+      const int64_t* vals = part.col->ints().data();
+      const uint64_t base = static_cast<uint64_t>(part.base);
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t c =
+            static_cast<uint64_t>(vals[target_rows[i]]) - base;
+        if (c > part.limit) {
+          in_range = false;
+          break;
+        }
+        keys[i] = (keys[i] << part.bits) | c;
+      }
+    }
+    if (!in_range) {
+      // A value outside the bounds seen at layout time (dictionary grew,
+      // or an overwrite widened the column): the packed coding is stale.
+      // Decode what is packed and continue row-at-a-time from here on.
+      scalar_mode_ = true;
+      FlushPacked();
+      ConsumeScalarImpl(fact, rows);
+      rows_consumed_ += static_cast<int64_t>(n);
+      return;
+    }
+  }
+
+  val_scratch_.resize(n);
+  value_.EvalBatch(fact, rows.data(), n, &row_scratch_a_, &row_scratch_b_,
+                   val_scratch_.data());
+
+  // Accumulate in row order: per group this is the same addition sequence
+  // as the scalar path, so the sums are bit-identical.
+  const double* vals = val_scratch_.data();
+  for (size_t i = 0; i < n; ++i) {
+    AggHashTable::Cell* cell = table_.FindOrInsert(keys[i]);
+    cell->sum += vals[i];
+    ++cell->count;
+  }
+  rows_consumed_ += static_cast<int64_t>(n);
+}
+
+void HashAggregator::ConsumeScalarImpl(const Table& fact,
+                                       const std::vector<uint32_t>& rows) {
   std::string key;
   for (uint32_t row : rows) {
     key.clear();
@@ -226,16 +501,54 @@ void HashAggregator::Consume(const Table& fact,
       group_by_[g].AppendKey(fact, row, &key);
     }
     groups_[key] += value_.Eval(fact, row);
-    ++rows_consumed_;
   }
 }
 
+void HashAggregator::ConsumeScalar(const Table& fact,
+                                   const std::vector<uint32_t>& rows) {
+  ConsumeScalarImpl(fact, rows);
+  rows_consumed_ += static_cast<int64_t>(rows.size());
+}
+
+std::string HashAggregator::DecodeKey(uint64_t key) const {
+  // Codes come off the low end in reverse part order (the last part was
+  // shifted in last).
+  std::vector<uint64_t> codes(parts_.size());
+  for (size_t i = parts_.size(); i-- > 0;) {
+    const KeyPart& part = parts_[i];
+    codes[i] = key & ((uint64_t{1} << part.bits) - 1);
+    key >>= part.bits;
+  }
+  std::string out;
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out.push_back('|');
+    const KeyPart& part = parts_[i];
+    if (part.is_string) {
+      out.append(part.col->DictEntry(static_cast<int32_t>(codes[i])));
+    } else {
+      out.append(std::to_string(part.base + static_cast<int64_t>(codes[i])));
+    }
+  }
+  return out;
+}
+
+void HashAggregator::FlushPacked() const {
+  if (table_.size() == 0) return;
+  table_.ForEach([this](const AggHashTable::Cell& cell) {
+    groups_[DecodeKey(cell.key)] += cell.sum;
+  });
+  table_.Clear();
+}
+
 void HashAggregator::Merge(const HashAggregator& other) {
+  other.FlushPacked();
+  FlushPacked();
   for (const auto& [key, sum] : other.groups_) groups_[key] += sum;
   rows_consumed_ += other.rows_consumed_;
 }
 
 double HashAggregator::TotalSum() const {
+  FlushPacked();
   double total = 0.0;
   for (const auto& [key, sum] : groups_) total += sum;
   return total;
@@ -253,6 +566,21 @@ int64_t RunAggregationPipeline(const Table* fact, const FilterOperator& filter,
     scanned += static_cast<int64_t>(batch.size());
     filter.Apply(&batch);
     aggregator->Consume(*fact, batch);
+  }
+  return scanned;
+}
+
+int64_t RunAggregationPipelineScalar(const Table* fact,
+                                     const FilterOperator& filter,
+                                     HashAggregator* aggregator) {
+  ECLDB_CHECK(fact != nullptr && aggregator != nullptr);
+  TableScan scan(fact);
+  std::vector<uint32_t> batch;
+  int64_t scanned = 0;
+  while (scan.Next(&batch)) {
+    scanned += static_cast<int64_t>(batch.size());
+    filter.ApplyScalar(&batch);
+    aggregator->ConsumeScalar(*fact, batch);
   }
   return scanned;
 }

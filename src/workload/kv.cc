@@ -72,9 +72,17 @@ void KvWorkload::Load() {
   engine::Database& db = engine_->db();
   db.CreateTable(kTable, engine::Schema({{"key", engine::ColumnType::kInt64},
                                          {"value", engine::ColumnType::kInt64}}));
-  if (params_.indexed) db.CreateIndex(kIndex);
   const int64_t n =
       params_.functional_keys > 0 ? params_.functional_keys : params_.num_keys;
+  if (params_.indexed) {
+    db.CreateIndex(kIndex);
+    // Pre-size the per-partition indexes so the load loop does not rehash.
+    const size_t per_part =
+        static_cast<size_t>(n / db.num_partitions() + 1);
+    for (int p = 0; p < db.num_partitions(); ++p) {
+      db.partition(p)->index(kIndex)->Reserve(per_part);
+    }
+  }
   for (int64_t key = 0; key < n; ++key) {
     Put(key, key * 2 + 1);
   }

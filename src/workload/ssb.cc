@@ -376,15 +376,15 @@ void SsbWorkload::InstallExecutor() {
           pending.remaining_partitions = engine_->db().num_partitions();
         }
         pending.result.rows_scanned += scanned;
-        pending.result.matches += aggregator.rows_consumed();
-        for (const auto& [key, sum] : aggregator.groups()) {
-          pending.groups[key] += sum;
+        if (!pending.merged) {
+          pending.merged.emplace(plan.group_by, plan.value);
         }
+        pending.merged->Merge(aggregator);
         if (--pending.remaining_partitions == 0) {
-          pending.result.groups = static_cast<int>(pending.groups.size());
-          for (const auto& [key, sum] : pending.groups) {
-            pending.result.aggregate += sum;
-          }
+          pending.result.matches = pending.merged->rows_consumed();
+          pending.result.groups =
+              static_cast<int>(pending.merged->groups().size());
+          pending.result.aggregate = pending.merged->TotalSum();
           async_results_[m.query_id] = pending.result;
           pending_.erase(m.query_id);
         }

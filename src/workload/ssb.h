@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "engine/engine.h"
+#include "engine/operators.h"
 #include "workload/workload.h"
 
 namespace ecldb::workload {
@@ -92,10 +93,12 @@ class SsbWorkload : public Workload {
   int64_t num_parts_ = 0;
   int next_query_ = 0;
 
-  /// In-flight distributed queries: merged partials per query.
+  /// In-flight distributed queries: merged partials per query. Partial
+  /// aggregates combine through HashAggregator::Merge, the same
+  /// cross-partition path RunQuery uses.
   struct PendingResult {
     QueryResult result;
-    std::map<std::string, double> groups;
+    std::optional<engine::HashAggregator> merged;
     int remaining_partitions = 0;
   };
   std::unordered_map<QueryId, PendingResult> pending_;

@@ -127,6 +127,18 @@ void TatpWorkload::Load() {
     db.CreateIndex(kAiPk);
     db.CreateIndex(kSfPk);
     db.CreateIndex(kCfPk);
+    // Pre-size the point indexes for the expected per-partition row counts
+    // (access_info and special_facility average 2.5 rows per subscriber,
+    // call_forwarding ~1.25) so the bulk load below does not rehash.
+    const size_t per_part =
+        static_cast<size_t>(params_.subscribers / db.num_partitions() + 1);
+    for (int p = 0; p < db.num_partitions(); ++p) {
+      engine::Partition* part = db.partition(p);
+      part->index(kSubPk)->Reserve(per_part);
+      part->index(kAiPk)->Reserve(3 * per_part);
+      part->index(kSfPk)->Reserve(3 * per_part);
+      part->index(kCfPk)->Reserve(2 * per_part);
+    }
   }
 
   Rng rng(params_.seed);

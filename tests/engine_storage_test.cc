@@ -125,6 +125,54 @@ TEST(HashIndexTest, TombstoneSlotsReused) {
   EXPECT_LE(idx.capacity(), 64u);  // churn must not balloon the table
 }
 
+TEST(HashIndexTest, ChurnKeepsProbeLengthBounded) {
+  // Insert/erase churn over a stable live set: tombstones must be swept
+  // (rehash once they exceed 25 % of slots) so probe chains stay short
+  // instead of degrading toward full-table scans.
+  HashIndex idx;
+  constexpr int64_t kLive = 4096;
+  for (int64_t k = 0; k < kLive; ++k) {
+    ASSERT_TRUE(idx.Insert(k, static_cast<uint32_t>(k)));
+  }
+  Rng rng(123);
+  int64_t next_key = kLive;
+  std::vector<int64_t> live;
+  for (int64_t k = 0; k < kLive; ++k) live.push_back(k);
+  for (int round = 0; round < 20000; ++round) {
+    const size_t victim = rng.NextBounded(live.size());
+    ASSERT_TRUE(idx.Erase(live[victim]));
+    live[victim] = next_key++;
+    ASSERT_TRUE(idx.Insert(live[victim], 0));
+    // Invariant after every operation, not just at the end.
+    ASSERT_LE(idx.tombstones() * 4, idx.capacity());
+  }
+  EXPECT_EQ(idx.size(), static_cast<size_t>(kLive));
+
+  // Probe length of fresh lookups over the live set stays near 1.
+  idx.ResetProbeStats();
+  for (int64_t k : live) ASSERT_TRUE(idx.Find(k).has_value());
+  EXPECT_LT(idx.MeanProbeLength(), 2.0);
+}
+
+TEST(HashIndexTest, MeanProbeLengthSafeWithoutSamples) {
+  HashIndex idx;
+  EXPECT_EQ(idx.MeanProbeLength(), 0.0);
+  idx.ResetProbeStats();
+  EXPECT_EQ(idx.MeanProbeLength(), 0.0);
+}
+
+TEST(HashIndexTest, ReservePresizesForBulkLoad) {
+  HashIndex idx;
+  idx.Reserve(10000);
+  const size_t cap = idx.capacity();
+  EXPECT_GE(cap * 7, 10000u * 10u / 2u);  // load factor headroom
+  for (int64_t k = 0; k < 10000; ++k) {
+    ASSERT_TRUE(idx.Insert(k, static_cast<uint32_t>(k)));
+  }
+  EXPECT_EQ(idx.capacity(), cap);  // no rehash during the load
+  for (int64_t k = 0; k < 10000; ++k) ASSERT_TRUE(idx.Find(k).has_value());
+}
+
 TEST(HashIndexTest, RandomizedAgainstStdUnorderedMap) {
   HashIndex idx;
   std::unordered_map<int64_t, uint32_t> oracle;

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/operators.h"
+#include "engine/table.h"
+
+namespace ecldb::engine {
+namespace {
+
+/// Randomized equivalence tests: the vectorized pipeline must produce the
+/// same result as the row-at-a-time reference path — identical group-key
+/// text, bit-identical sums (EXPECT_EQ on doubles, not NEAR: per-group
+/// accumulation order is preserved), and identical row counts — across
+/// random tables, predicate mixes, and batch sizes.
+
+constexpr const char* kRegions[] = {"ASIA", "EUROPE", "AMERICA", "AFRICA",
+                                    "MIDDLE EAST"};
+constexpr const char* kNames[] = {"alpha", "beta", "gamma", "delta", "epsilon",
+                                  "zeta", "eta", "theta"};
+
+struct RandomSchema {
+  Table dim;
+  Table fact;
+
+  RandomSchema() :
+      dim("dim", Schema({{"key", ColumnType::kInt64},
+                         {"name", ColumnType::kString},
+                         {"region", ColumnType::kString}})),
+      fact("fact", Schema({{"fk", ColumnType::kInt64},
+                           {"qty", ColumnType::kInt64},
+                           {"price", ColumnType::kInt64},
+                           {"cost", ColumnType::kInt64},
+                           {"tag", ColumnType::kString}})) {}
+};
+
+void FillRandom(RandomSchema* s, Rng& rng, int64_t dim_rows, int64_t fact_rows,
+                double delete_fraction) {
+  for (int64_t k = 1; k <= dim_rows; ++k) {
+    s->dim.AppendRow({k, std::string(kNames[rng.NextBounded(8)]),
+                      std::string(kRegions[rng.NextBounded(5)])});
+  }
+  for (int64_t i = 0; i < fact_rows; ++i) {
+    s->fact.AppendRow({rng.NextInRange(1, dim_rows),
+                       rng.NextInRange(-50, 50),
+                       rng.NextInRange(0, 10000),
+                       rng.NextInRange(0, 500),
+                       std::string(kNames[rng.NextBounded(8)])});
+  }
+  for (int64_t i = 0; i < fact_rows; ++i) {
+    if (rng.NextBool(delete_fraction)) {
+      s->fact.DeleteRow(static_cast<size_t>(i));
+    }
+  }
+}
+
+std::vector<Predicate> RandomPredicates(const RandomSchema& s, Rng& rng) {
+  std::vector<Predicate> preds;
+  const int n = static_cast<int>(rng.NextBounded(4));  // 0..3 conjuncts
+  for (int i = 0; i < n; ++i) {
+    switch (rng.NextBounded(5)) {
+      case 0: {
+        const int64_t lo = rng.NextInRange(-50, 50);
+        preds.push_back(Predicate::IntRange(ColumnRef::Fact(1), lo,
+                                            lo + rng.NextInRange(0, 60)));
+        break;
+      }
+      case 1: {
+        const int64_t lo = rng.NextInRange(0, 10000);
+        preds.push_back(Predicate::IntRange(ColumnRef::Dim(0, &s.dim, 0), 1,
+                                            rng.NextInRange(1, 40)));
+        preds.push_back(Predicate::IntRange(ColumnRef::Fact(2), lo,
+                                            lo + rng.NextInRange(0, 5000)));
+        break;
+      }
+      case 2:
+        preds.push_back(Predicate::StringEq(ColumnRef::Dim(0, &s.dim, 2),
+                                            kRegions[rng.NextBounded(5)]));
+        break;
+      case 3:
+        preds.push_back(Predicate::StringIn(
+            ColumnRef::Fact(4),
+            {kNames[rng.NextBounded(8)], kNames[rng.NextBounded(8)],
+             "not-in-dictionary"}));
+        break;
+      case 4: {
+        std::string lo(1, static_cast<char>('a' + rng.NextBounded(13)));
+        std::string hi(1, static_cast<char>(lo[0] + rng.NextBounded(13)));
+        hi.push_back('z');
+        preds.push_back(
+            Predicate::StringRange(ColumnRef::Dim(0, &s.dim, 1), lo, hi));
+        break;
+      }
+    }
+  }
+  return preds;
+}
+
+std::vector<ColumnRef> RandomGroupBy(const RandomSchema& s, Rng& rng) {
+  std::vector<ColumnRef> group_by;
+  const int n = static_cast<int>(rng.NextBounded(3));  // 0..2 group columns
+  for (int i = 0; i < n; ++i) {
+    switch (rng.NextBounded(4)) {
+      case 0:
+        group_by.push_back(ColumnRef::Dim(0, &s.dim, 2));  // region
+        break;
+      case 1:
+        group_by.push_back(ColumnRef::Dim(0, &s.dim, 1));  // name
+        break;
+      case 2:
+        group_by.push_back(ColumnRef::Fact(4));  // tag
+        break;
+      case 3:
+        group_by.push_back(ColumnRef::Fact(1));  // qty (int, negative too)
+        break;
+    }
+  }
+  return group_by;
+}
+
+ValueExpr RandomValue(Rng& rng) {
+  switch (rng.NextBounded(3)) {
+    case 0:
+      return ValueExpr::Column(ColumnRef::Fact(2), 0.25);
+    case 1:
+      return ValueExpr::Product(ColumnRef::Fact(1), ColumnRef::Fact(2), 0.01);
+    default:
+      return ValueExpr::Difference(ColumnRef::Fact(2), ColumnRef::Fact(3));
+  }
+}
+
+/// Runs both pipelines over `s` and asserts identical results.
+void ExpectPathsIdentical(const RandomSchema& s,
+                          const std::vector<Predicate>& preds,
+                          const std::vector<ColumnRef>& group_by,
+                          const ValueExpr& value, size_t batch_size) {
+  FilterOperator filter(&s.fact, preds);
+  HashAggregator vectorized(group_by, value);
+  HashAggregator scalar(group_by, value);
+
+  TableScan scan_v(&s.fact, batch_size);
+  std::vector<uint32_t> batch;
+  int64_t scanned_v = 0;
+  while (scan_v.Next(&batch)) {
+    scanned_v += static_cast<int64_t>(batch.size());
+    filter.Apply(&batch);
+    vectorized.Consume(s.fact, batch);
+  }
+  TableScan scan_s(&s.fact, batch_size);
+  int64_t scanned_s = 0;
+  while (scan_s.Next(&batch)) {
+    scanned_s += static_cast<int64_t>(batch.size());
+    filter.ApplyScalar(&batch);
+    scalar.ConsumeScalar(s.fact, batch);
+  }
+
+  EXPECT_EQ(scanned_v, scanned_s);
+  EXPECT_EQ(vectorized.rows_consumed(), scalar.rows_consumed());
+  // Bit-identical: same keys, same order, EXPECT_EQ on every sum.
+  const auto& gv = vectorized.groups();
+  const auto& gs = scalar.groups();
+  ASSERT_EQ(gv.size(), gs.size());
+  auto it_v = gv.begin();
+  for (auto it_s = gs.begin(); it_s != gs.end(); ++it_s, ++it_v) {
+    EXPECT_EQ(it_v->first, it_s->first);
+    EXPECT_EQ(it_v->second, it_s->second) << "group " << it_s->first;
+  }
+  EXPECT_EQ(vectorized.TotalSum(), scalar.TotalSum());
+}
+
+TEST(EngineVectorizedTest, RandomTablesMatchScalarReference) {
+  Rng rng(20260806);
+  for (int round = 0; round < 40; ++round) {
+    RandomSchema s;
+    FillRandom(&s, rng, rng.NextInRange(1, 40), rng.NextInRange(0, 600),
+               rng.NextDouble() * 0.3);
+    const auto preds = RandomPredicates(s, rng);
+    const auto group_by = RandomGroupBy(s, rng);
+    const auto value = RandomValue(rng);
+    // Batch size 1 exercises the degenerate selection vector.
+    const size_t batch_sizes[] = {1, 7, 64, 1024};
+    for (size_t bs : batch_sizes) {
+      SCOPED_TRACE("round " + std::to_string(round) + " batch " +
+                   std::to_string(bs));
+      ExpectPathsIdentical(s, preds, group_by, value, bs);
+    }
+  }
+}
+
+TEST(EngineVectorizedTest, EmptyShard) {
+  RandomSchema s;
+  Rng rng(1);
+  FillRandom(&s, rng, 3, 0, 0.0);
+  ExpectPathsIdentical(s, {Predicate::IntRange(ColumnRef::Fact(1), 0, 10)},
+                       {ColumnRef::Dim(0, &s.dim, 2)},
+                       ValueExpr::Column(ColumnRef::Fact(2)), 16);
+}
+
+TEST(EngineVectorizedTest, AllRowsTombstoned) {
+  RandomSchema s;
+  Rng rng(2);
+  FillRandom(&s, rng, 5, 50, 0.0);
+  for (size_t i = 0; i < 50; ++i) s.fact.DeleteRow(i);
+  ExpectPathsIdentical(s, {}, {ColumnRef::Fact(4)},
+                       ValueExpr::Product(ColumnRef::Fact(1), ColumnRef::Fact(2)),
+                       8);
+}
+
+TEST(EngineVectorizedTest, EmptyGroupByAggregatesToOneGroup) {
+  RandomSchema s;
+  Rng rng(3);
+  FillRandom(&s, rng, 5, 100, 0.1);
+  ExpectPathsIdentical(s, {}, {},
+                       ValueExpr::Difference(ColumnRef::Fact(2),
+                                             ColumnRef::Fact(3)),
+                       32);
+}
+
+TEST(EngineVectorizedTest, DictionaryGrowthAfterBindFallsBackCorrectly) {
+  RandomSchema s;
+  Rng rng(4);
+  FillRandom(&s, rng, 4, 60, 0.0);
+  // Bind filter + consume some batches, then grow the tag dictionary and
+  // append rows using the new code: the filter takes the string-compare
+  // fallback for unknown codes and the aggregator's packed layout rebinds
+  // or falls back, still matching the reference result.
+  std::vector<Predicate> preds = {
+      Predicate::StringIn(ColumnRef::Fact(4), {"alpha", "freshly-added"})};
+  FilterOperator filter(&s.fact, preds);
+  HashAggregator vectorized({ColumnRef::Fact(4)},
+                            ValueExpr::Column(ColumnRef::Fact(2)));
+  HashAggregator scalar({ColumnRef::Fact(4)},
+                        ValueExpr::Column(ColumnRef::Fact(2)));
+
+  auto run_over = [&](HashAggregator* agg, bool vectorized_path) {
+    TableScan scan(&s.fact, 16);
+    std::vector<uint32_t> batch;
+    while (scan.Next(&batch)) {
+      if (vectorized_path) {
+        filter.Apply(&batch);
+        agg->Consume(s.fact, batch);
+      } else {
+        filter.ApplyScalar(&batch);
+        agg->ConsumeScalar(s.fact, batch);
+      }
+    }
+  };
+  run_over(&vectorized, true);
+  run_over(&scalar, false);
+
+  // New dictionary entry, appended after the filter and one full pass
+  // bound their code tables.
+  s.fact.AppendRow({int64_t{1}, int64_t{5}, int64_t{123}, int64_t{7},
+                    std::string("freshly-added")});
+  run_over(&vectorized, true);  // consumes old rows again + the new one
+  run_over(&scalar, false);
+
+  const auto& gv = vectorized.groups();
+  const auto& gs = scalar.groups();
+  ASSERT_EQ(gv.size(), gs.size());
+  EXPECT_EQ(gv.count("freshly-added"), 1u);
+  auto it_v = gv.begin();
+  for (auto it_s = gs.begin(); it_s != gs.end(); ++it_s, ++it_v) {
+    EXPECT_EQ(it_v->first, it_s->first);
+    EXPECT_EQ(it_v->second, it_s->second) << "group " << it_s->first;
+  }
+}
+
+TEST(EngineVectorizedTest, IntValueOutsideLayoutBoundsFallsBack) {
+  RandomSchema s;
+  Rng rng(5);
+  FillRandom(&s, rng, 4, 60, 0.0);
+  HashAggregator vectorized({ColumnRef::Fact(1)},
+                            ValueExpr::Column(ColumnRef::Fact(2)));
+  HashAggregator scalar({ColumnRef::Fact(1)},
+                        ValueExpr::Column(ColumnRef::Fact(2)));
+  FilterOperator filter(&s.fact, {});
+
+  auto consume_all = [&](HashAggregator* agg, bool vectorized_path) {
+    TableScan scan(&s.fact, 16);
+    std::vector<uint32_t> batch;
+    while (scan.Next(&batch)) {
+      if (vectorized_path) {
+        agg->Consume(s.fact, batch);
+      } else {
+        agg->ConsumeScalar(s.fact, batch);
+      }
+    }
+  };
+  consume_all(&vectorized, true);  // binds the packed layout to qty's range
+  consume_all(&scalar, false);
+
+  // Widen qty far past the bound seen at layout time; the stale packed
+  // coding must be detected and the aggregator switch to the scalar path.
+  s.fact.column(1)->SetInt(0, int64_t{1} << 40);
+  consume_all(&vectorized, true);
+  consume_all(&scalar, false);
+
+  const auto& gv = vectorized.groups();
+  const auto& gs = scalar.groups();
+  ASSERT_EQ(gv.size(), gs.size());
+  EXPECT_EQ(gv.count(std::to_string(int64_t{1} << 40)), 1u);
+  auto it_v = gv.begin();
+  for (auto it_s = gs.begin(); it_s != gs.end(); ++it_s, ++it_v) {
+    EXPECT_EQ(it_v->first, it_s->first);
+    EXPECT_EQ(it_v->second, it_s->second) << "group " << it_s->first;
+  }
+}
+
+TEST(EngineVectorizedTest, MergePreservesVectorizedResults) {
+  // Two shards aggregated separately then merged must equal one scalar
+  // aggregation over the concatenation (the SSB cross-partition path).
+  Rng rng(6);
+  RandomSchema a;
+  RandomSchema b;
+  FillRandom(&a, rng, 6, 200, 0.1);
+  Rng rng_b(6);  // same dim content so group keys align
+  FillRandom(&b, rng_b, 6, 150, 0.2);
+
+  const ValueExpr value = ValueExpr::Column(ColumnRef::Fact(2), 0.5);
+  HashAggregator agg_a({ColumnRef::Fact(4)}, value);
+  HashAggregator agg_b({ColumnRef::Fact(4)}, value);
+  FilterOperator filt_a(&a.fact, {});
+  FilterOperator filt_b(&b.fact, {});
+  RunAggregationPipeline(&a.fact, filt_a, &agg_a);
+  RunAggregationPipeline(&b.fact, filt_b, &agg_b);
+  agg_a.Merge(agg_b);
+
+  HashAggregator ref_a({ColumnRef::Fact(4)}, value);
+  HashAggregator ref_b({ColumnRef::Fact(4)}, value);
+  RunAggregationPipelineScalar(&a.fact, filt_a, &ref_a);
+  RunAggregationPipelineScalar(&b.fact, filt_b, &ref_b);
+  ref_a.Merge(ref_b);
+
+  EXPECT_EQ(agg_a.rows_consumed(), ref_a.rows_consumed());
+  const auto& gv = agg_a.groups();
+  const auto& gs = ref_a.groups();
+  ASSERT_EQ(gv.size(), gs.size());
+  auto it_v = gv.begin();
+  for (auto it_s = gs.begin(); it_s != gs.end(); ++it_s, ++it_v) {
+    EXPECT_EQ(it_v->first, it_s->first);
+    EXPECT_EQ(it_v->second, it_s->second) << "group " << it_s->first;
+  }
+}
+
+}  // namespace
+}  // namespace ecldb::engine
