@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "engine/hash_index.h"
 #include "engine/operators.h"
+#include "engine/placement.h"
 #include "engine/table.h"
 #include "hwsim/machine.h"
 #include "msg/mpmc_ring.h"
@@ -309,6 +310,41 @@ void BM_MachineAdvanceResolve(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_MachineAdvanceResolve)->Unit(benchmark::kMillisecond);
+
+// --- Dynamic placement ------------------------------------------------------
+
+/// The routing hot path with dynamic placement: every message send does a
+/// HomeOf lookup plus an epoch read (the stamp compared on delivery to
+/// detect stale-epoch arrivals).
+void BM_PlacementRouteLookup(benchmark::State& state) {
+  const int parts = static_cast<int>(state.range(0));
+  engine::PlacementMap placement(parts, 2);
+  Rng rng(11);
+  for (auto _ : state) {
+    const PartitionId p = static_cast<PartitionId>(rng.NextBounded(parts));
+    const SocketId home = placement.HomeOf(p);
+    const int64_t epoch = placement.epoch();
+    benchmark::DoNotOptimize(home);
+    benchmark::DoNotOptimize(epoch);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlacementRouteLookup)->Arg(48)->Arg(4096);
+
+/// One full migration bookkeeping cycle (Begin + Commit): the epoch bump
+/// and per-socket recount that every live migration pays once, there and
+/// back.
+void BM_PlacementMigrationCycle(benchmark::State& state) {
+  engine::PlacementMap placement(48, 2);
+  for (auto _ : state) {
+    placement.BeginMigration(0, 1);
+    benchmark::DoNotOptimize(placement.CommitMigration(0));
+    placement.BeginMigration(0, 0);
+    benchmark::DoNotOptimize(placement.CommitMigration(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_PlacementMigrationCycle);
 
 /// One simulated second with sparse events (10 Hz) over an idle machine:
 /// the Simulator::RunUntil fast-forward path between events.

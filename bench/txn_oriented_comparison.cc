@@ -30,8 +30,7 @@ struct Point {
 Point MeasureTxnOriented(int threads_per_socket) {
   sim::Simulator sim;
   hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
-  engine::Database db(machine.topology().total_threads(),
-                      machine.topology().num_sockets);
+  engine::Database db(machine.topology().total_threads());
   engine::TxnScheduler txn(&sim, &machine, &db, engine::TxnSchedulerParams{});
   const hwsim::Topology& topo = machine.topology();
   for (SocketId s = 0; s < topo.num_sockets; ++s) {

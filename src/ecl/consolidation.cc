@@ -1,0 +1,149 @@
+#include "ecl/consolidation.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecldb::ecl {
+
+ConsolidationPolicy::ConsolidationPolicy(sim::Simulator* simulator,
+                                         engine::Engine* engine,
+                                         SystemEcl* system, LoadFn load,
+                                         const ConsolidationParams& params)
+    : simulator_(simulator),
+      engine_(engine),
+      system_(system),
+      load_(std::move(load)),
+      params_(params) {
+  ECLDB_CHECK(simulator != nullptr && engine != nullptr && system != nullptr);
+  ECLDB_CHECK(load_ != nullptr);
+}
+
+void ConsolidationPolicy::Start() {
+  running_ = true;
+  // Offset from the socket ECL ticks (which start at t+1ns) so a tick
+  // observes the performance levels of a finished control interval.
+  simulator_->ScheduleAfter(params_.interval, [this] { Tick(); });
+}
+
+void ConsolidationPolicy::Tick() {
+  if (!running_) return;
+  ++ticks_;
+  // One batch of migrations at a time: placement decisions are made on
+  // post-migration load observations, not on projections of projections.
+  const int64_t done = engine_->migrator().completed();
+  if (done != last_completed_seen_) {
+    last_completed_seen_ = done;
+    last_migration_time_ = simulator_->now();
+  }
+  if (engine_->migrator().active() == 0) {
+    const double pressure = system_->pressure();
+    // Post-migration dwell: a placement change perturbs latency until the
+    // receiving ECL re-sizes, so reversing direction on that transient
+    // flaps. The dwell gates reversals only — continuing in the same
+    // direction (the next batch of a staged consolidation or spread) is
+    // always allowed, and hard pressure (the limit is genuinely
+    // threatened) spreads regardless of dwell.
+    const bool holding =
+        last_migration_time_ >= 0 &&
+        simulator_->now() - last_migration_time_ < params_.post_migration_hold;
+    const bool spread_gated =
+        holding && last_direction_ == Direction::kConsolidate;
+    const bool consolidate_gated =
+        holding && last_direction_ == Direction::kSpread;
+    if (pressure >= params_.spread_pressure_hard ||
+        (!spread_gated && pressure >= params_.spread_pressure_min)) {
+      Spread();
+    } else if (!consolidate_gated &&
+               pressure <= params_.consolidate_pressure_max) {
+      Consolidate();
+    }
+  }
+  simulator_->ScheduleAfter(params_.interval, [this] { Tick(); });
+}
+
+void ConsolidationPolicy::Consolidate() {
+  engine::PlacementMap& placement = engine_->placement();
+  const int num_sockets = placement.num_sockets();
+
+  // Donor: the least-loaded socket still homing partitions; receiver: the
+  // most-loaded other socket (packing into the busiest empties the donor
+  // with the fewest moves). Ties resolve to the lower socket id — all
+  // loads are deterministic simulation outputs.
+  SocketId donor = -1, receiver = -1;
+  double donor_load = 0.0, receiver_load = 0.0;
+  int populated = 0;
+  for (SocketId s = 0; s < num_sockets; ++s) {
+    if (placement.PartitionsOn(s) == 0) continue;
+    ++populated;
+    const double load = load_(s);
+    if (donor == -1 || load < donor_load) {
+      donor = s;
+      donor_load = load;
+    }
+  }
+  if (populated < 2) return;
+  for (SocketId s = 0; s < num_sockets; ++s) {
+    if (s == donor || placement.PartitionsOn(s) == 0) continue;
+    const double load = load_(s);
+    if (receiver == -1 || load > receiver_load) {
+      receiver = s;
+      receiver_load = load;
+    }
+  }
+  if (donor_load > params_.donor_load_max) return;
+  if (receiver_load + donor_load > params_.target_load_ceiling) return;
+
+  const std::vector<PartitionId> parts = placement.PartitionsOf(donor);
+  const int moves =
+      std::min<int>(params_.migrations_per_tick, static_cast<int>(parts.size()));
+  for (int i = 0; i < moves; ++i) {
+    if (engine_->migrator().StartMigration(parts[static_cast<size_t>(i)],
+                                           receiver)) {
+      ++consolidation_moves_;
+      last_direction_ = Direction::kConsolidate;
+    }
+  }
+}
+
+void ConsolidationPolicy::Spread() {
+  engine::PlacementMap& placement = engine_->placement();
+  const int num_sockets = placement.num_sockets();
+
+  // Restore capacity: push partitions from the fullest socket onto the
+  // emptiest one, preferring partitions whose initial home was the
+  // destination (converging back to the constructed placement).
+  SocketId src = -1, dst = -1;
+  for (SocketId s = 0; s < num_sockets; ++s) {
+    if (src == -1 || placement.PartitionsOn(s) > placement.PartitionsOn(src)) {
+      src = s;
+    }
+    if (dst == -1 || placement.PartitionsOn(s) < placement.PartitionsOn(dst)) {
+      dst = s;
+    }
+  }
+  if (src == dst || placement.PartitionsOn(src) - placement.PartitionsOn(dst) < 2) {
+    return;
+  }
+
+  std::vector<PartitionId> candidates = placement.PartitionsOf(src);
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](PartitionId a, PartitionId b) {
+                     return (placement.InitialHomeOf(a) == dst) >
+                            (placement.InitialHomeOf(b) == dst);
+                   });
+  const int gap = placement.PartitionsOn(src) - placement.PartitionsOn(dst);
+  const int moves = std::min<int>(
+      {params_.spread_migrations_per_tick, gap / 2,
+       static_cast<int>(candidates.size())});
+  for (int i = 0; i < moves; ++i) {
+    if (engine_->migrator().StartMigration(candidates[static_cast<size_t>(i)],
+                                           dst)) {
+      ++spread_moves_;
+      last_direction_ = Direction::kSpread;
+    }
+  }
+}
+
+}  // namespace ecldb::ecl

@@ -1,0 +1,114 @@
+#ifndef ECLDB_ECL_CONSOLIDATION_H_
+#define ECLDB_ECL_CONSOLIDATION_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.h"
+#include "ecl/system_ecl.h"
+#include "engine/engine.h"
+#include "sim/simulator.h"
+
+namespace ecldb::ecl {
+
+struct ConsolidationParams {
+  /// Master switch; default off so every existing experiment is
+  /// byte-identical.
+  bool enabled = false;
+  /// Policy tick interval (system-level cadence).
+  SimDuration interval = Seconds(1);
+  /// Consolidate only while latency pressure is at or below this.
+  double consolidate_pressure_max = 0.15;
+  /// Spread partitions back as soon as pressure reaches this. Must sit
+  /// above the pressure band of normal low-load operation (RTI batching
+  /// alone produces window means of ~0.3-0.45x the limit) or the policy
+  /// oscillates, yet far enough below 1.0 that capacity is restored
+  /// before the limit is actually violated.
+  double spread_pressure_min = 0.5;
+  /// Projected relative load of the receiving socket (its load plus the
+  /// donor's) must stay below this to consolidate.
+  double target_load_ceiling = 0.6;
+  /// Only sockets at or below this relative load donate partitions.
+  double donor_load_max = 0.45;
+  /// Migrations started per consolidation tick. Staged small on purpose:
+  /// the receiver's reactive ECL re-sizes between batches, so absorbing
+  /// the donor a few partitions at a time never spikes latency the way
+  /// rehoming a whole socket at once does. (The donor's tail partitions
+  /// are protected from the shrinking duty cycle by the backlog wake.)
+  int migrations_per_tick = 4;
+  /// Migrations started per spread tick. Spreading runs under latency
+  /// pressure — the consolidated socket is overloaded until capacity is
+  /// restored — so the whole rebalance batch ships at once; the shard
+  /// copies are bandwidth-limited and complete within a few hundred ms.
+  int spread_migrations_per_tick = 24;
+  /// Anti-flapping dwell: after a migration completes, the policy holds
+  /// off placement changes in the *opposite* direction for this long.
+  /// A rehome batch is itself a disturbance (the receiver's ECL needs a
+  /// few intervals of demand discovery to re-size), and reacting to that
+  /// transient consolidates and spreads in a cycle. Continuing in the
+  /// same direction is never dwell-gated — staged consolidation ships
+  /// its next batch as soon as the previous one has landed.
+  SimDuration post_migration_hold = Seconds(15);
+  /// The hold does not gamble with the latency limit: at or above this
+  /// pressure the policy spreads immediately regardless of dwell.
+  double spread_pressure_hard = 0.9;
+};
+
+/// System-level whole-socket consolidation (the placement policy of the
+/// ECL hierarchy): when load is low — latency pressure far from the
+/// limit and the least-loaded socket's work fits onto another socket —
+/// it live-migrates partitions off that socket so the emptied socket can
+/// be parked (idle configuration, package C-state, and with every socket
+/// idle the uncore halt: the dominant per-socket fixed cost of paper
+/// Figs. 3/5). When latency pressure approaches the limit it spreads
+/// partitions back toward the initial placement before the limit is
+/// violated.
+///
+/// Relative socket load is the socket ECL's processed performance level
+/// over its profile's peak score — NOT worker utilization, which the
+/// socket ECL intentionally keeps high by shrinking the active thread
+/// set (utilization says "how busy are the awake workers", load says
+/// "how much of the socket's capacity is spoken for").
+class ConsolidationPolicy {
+ public:
+  /// `load` returns a socket's relative load in [0, 1].
+  using LoadFn = std::function<double(SocketId)>;
+
+  ConsolidationPolicy(sim::Simulator* simulator, engine::Engine* engine,
+                      SystemEcl* system, LoadFn load,
+                      const ConsolidationParams& params);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  int64_t consolidation_moves() const { return consolidation_moves_; }
+  int64_t spread_moves() const { return spread_moves_; }
+  int64_t ticks() const { return ticks_; }
+
+ private:
+  void Tick();
+  void Consolidate();
+  void Spread();
+
+  sim::Simulator* simulator_;
+  engine::Engine* engine_;
+  SystemEcl* system_;
+  LoadFn load_;
+  ConsolidationParams params_;
+
+  bool running_ = false;
+  int64_t ticks_ = 0;
+  int64_t consolidation_moves_ = 0;
+  int64_t spread_moves_ = 0;
+  /// Dwell-timer state: completed-migration count last observed, when it
+  /// last changed, and which direction the last placement change moved in
+  /// (the dwell only gates reversals).
+  enum class Direction { kNone, kConsolidate, kSpread };
+  int64_t last_completed_seen_ = 0;
+  SimTime last_migration_time_ = -1;
+  Direction last_direction_ = Direction::kNone;
+};
+
+}  // namespace ecldb::ecl
+
+#endif  // ECLDB_ECL_CONSOLIDATION_H_

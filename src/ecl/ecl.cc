@@ -22,6 +22,26 @@ EnergyControlLoop::EnergyControlLoop(sim::Simulator* simulator,
         [this, s] { return engine_->TakeSocketUtilization(s); },
         params_.socket));
   }
+
+  if (params_.consolidation.enabled) {
+    for (SocketId s = 0; s < machine.topology().num_sockets; ++s) {
+      sockets_[static_cast<size_t>(s)]->SetParkCheck(
+          [this, s] { return engine_->placement().PartitionsOn(s) == 0; });
+      sockets_[static_cast<size_t>(s)]->SetBacklogCheck(
+          [this, s] { return engine_->scheduler().BacklogOps(s); });
+    }
+    consolidation_ = std::make_unique<ConsolidationPolicy>(
+        simulator_, engine_, system_.get(),
+        // Relative load: the processed performance level over the
+        // profile's peak score (same currency the experiment samplers
+        // report as perf_level_frac).
+        [this](SocketId s) {
+          const SocketEcl& se = *sockets_[static_cast<size_t>(s)];
+          const double peak = se.profile().PeakPerfScore();
+          return peak > 0.0 ? se.performance_level() / peak : 0.0;
+        },
+        params_.consolidation);
+  }
 }
 
 void EnergyControlLoop::Start() {
@@ -34,11 +54,13 @@ void EnergyControlLoop::Start() {
   }
   system_->Start();
   for (auto& socket : sockets_) socket->Start();
+  if (consolidation_ != nullptr) consolidation_->Start();
 }
 
 void EnergyControlLoop::Stop() {
   system_->Stop();
   for (auto& socket : sockets_) socket->Stop();
+  if (consolidation_ != nullptr) consolidation_->Stop();
 }
 
 void EnergyControlLoop::FlagWorkloadChange() {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "ecl/consolidation.h"
 #include "ecl/socket_ecl.h"
 #include "ecl/system_ecl.h"
 #include "engine/engine.h"
@@ -20,6 +21,9 @@ struct EclParams {
   /// Pin the EPB to performance mode when doing explicit energy control
   /// (the conclusion of the paper's Section 2.3).
   bool set_epb_performance = true;
+  /// Whole-socket consolidation through live partition migration
+  /// (disabled by default; see ConsolidationPolicy).
+  ConsolidationParams consolidation;
 };
 
 /// The hierarchical Energy-Control Loop (paper Section 5): one socket-level
@@ -38,6 +42,8 @@ class EnergyControlLoop {
   SystemEcl& system() { return *system_; }
   SocketEcl& socket(SocketId s) { return *sockets_[static_cast<size_t>(s)]; }
   int num_sockets() const { return static_cast<int>(sockets_.size()); }
+  /// Non-null iff consolidation was enabled in the params.
+  ConsolidationPolicy* consolidation() { return consolidation_.get(); }
 
   /// Flags a workload change on every socket (normally drift detection
   /// does this automatically; exposed for experiments).
@@ -53,6 +59,7 @@ class EnergyControlLoop {
   EclParams params_;
   std::unique_ptr<SystemEcl> system_;
   std::vector<std::unique_ptr<SocketEcl>> sockets_;
+  std::unique_ptr<ConsolidationPolicy> consolidation_;
 };
 
 }  // namespace ecldb::ecl

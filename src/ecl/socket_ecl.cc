@@ -117,6 +117,31 @@ void SocketEcl::Tick() {
   ++generation_;
   const int64_t gen = generation_;
 
+  if (park_check_ && park_check_()) {
+    // Parked: no partitions are homed here. Hold the idle configuration
+    // (applied once, so long stretches stay stationary for fast-forward)
+    // and skip measurement, control and adaptation entirely; the bumped
+    // generation cancels any pending RTI/evaluation events.
+    (void)util_source_();  // keep the utilization window consumed
+    if (!parked_) ApplyIdle();
+    parked_ = true;
+    perf_level_ = 0.0;
+    last_utilization_ = 0.0;
+    current_index_ = profile_.idle_index();
+    last_plan_ = RtiController::Plan{};
+    interval_clean_ = false;
+    interval_config_ = -1;
+    rti_active_energy_uj_ = 0.0;
+    rti_active_instr_ = 0.0;
+    rti_active_time_ = 0;
+    interval_t0_ = now;
+    interval_e0_uj_ = ReadSocketEnergyUj();
+    interval_i0_ = machine_->ReadSocketInstructions(socket_);
+    simulator_->Schedule(now + params_.interval, [this] { Tick(); });
+    return;
+  }
+  parked_ = false;
+
   // ---- Utilization of the finished interval -------------------------------
   const double utilization = util_source_();
   last_utilization_ = utilization;
@@ -174,6 +199,25 @@ void SocketEcl::Tick() {
   // ---- Utilization controller -------------------------------------------
   const double pressure = system_ != nullptr ? system_->pressure() : 0.0;
 
+  // Backlog wake (dynamic placement only): utilization and the measured
+  // rate are relative to the *running* workers, so on a nearly-drained
+  // socket whose RTI duty has decayed, queued work is invisible to the
+  // reactive loop — stale routed arrivals or a migration shard copy can
+  // pile up behind sub-slice active windows while demand keeps halving
+  // (the decay branch), a feedback deadlock. Saturation test in the
+  // profile's currency: if the backlog could not be drained within about
+  // one control interval at the currently offered level (factor 2 covers
+  // the ops-vs-instructions currency gap), the true demand strictly
+  // exceeds the offer regardless of what utilization reads.
+  double control_utilization = utilization;
+  bool backlog_wake = false;
+  if (backlog_check_ &&
+      backlog_check_() >
+          2.0 * perf_level_ * ToSeconds(params_.interval)) {
+    control_utilization = 1.0;
+    backlog_wake = true;
+  }
+
   double demand = 0.0;
   int selected;
   if (profile_.measured_count() == 0) {
@@ -192,8 +236,15 @@ void SocketEcl::Tick() {
       }
     }
   } else {
-    demand = util_controller_.Update(utilization, measured_rate, perf_level_,
-                                     pressure, profile_);
+    demand = util_controller_.Update(control_utilization, measured_rate,
+                                     perf_level_, pressure, profile_);
+    if (backlog_wake) {
+      // Race-to-idle at socket scale: the backlog accrued with zero
+      // service, so exponential discovery from the decayed level would
+      // take many intervals. Drain at peak and let the next ticks decay
+      // back (or park, once the last partitions migrate away).
+      demand = profile_.PeakPerfScore();
+    }
     selected = profile_.FindForDemand(demand);
     if (selected < 0) selected = profile_.size() - 1;
   }

@@ -66,6 +66,29 @@ class SocketEcl {
   /// normally drift detection does this automatically.
   void FlagWorkloadChange() { maintenance_.FlagDrift(&profile_); }
 
+  /// Consolidation hook: when set and returning true at a tick, the
+  /// socket is parked — it homes no partitions, so the loop holds the
+  /// idle configuration (letting the firmware reach the deep package
+  /// C-state) and skips control and adaptation until partitions return.
+  void SetParkCheck(std::function<bool()> parked) {
+    park_check_ = std::move(parked);
+  }
+  /// True while the last tick parked the socket.
+  bool parked() const { return parked_; }
+
+  /// Consolidation hook: returns the socket's queued-but-unserved work
+  /// (Scheduler::BacklogOps). The utilization signal is measured relative
+  /// to the *active* workers, so a socket whose threads are all asleep
+  /// reads utilization 0 even while work queues up — with dynamic
+  /// placement that state is reachable (stale routed arrivals, migration
+  /// copy work land on a drained socket). When set, a tick whose backlog
+  /// exceeds what the offered level could drain in about one interval
+  /// treats the socket as saturated and drains at peak (race-to-idle)
+  /// instead of decaying further.
+  void SetBacklogCheck(std::function<double()> backlog) {
+    backlog_check_ = std::move(backlog);
+  }
+
  private:
   void Tick();
   void ApplyConfig(int index);
@@ -92,6 +115,9 @@ class SocketEcl {
   bool running_ = false;
   int64_t generation_ = 0;
   int64_t ticks_ = 0;
+  std::function<bool()> park_check_;
+  std::function<double()> backlog_check_;
+  bool parked_ = false;
   double perf_level_ = 0.0;
   int current_index_ = -1;
   RtiController::Plan last_plan_;

@@ -4,24 +4,11 @@
 
 namespace ecldb::engine {
 
-Database::Database(int num_partitions, int num_sockets)
-    : num_sockets_(num_sockets) {
-  ECLDB_CHECK(num_partitions > 0 && num_sockets > 0);
-  // Partitions are distributed block-wise so that consecutive partitions
-  // share a socket (matching worker pinning: the first half of partitions
-  // lives on socket 0 of a 2-socket machine, etc.).
-  const int per_socket = (num_partitions + num_sockets - 1) / num_sockets;
+Database::Database(int num_partitions) {
+  ECLDB_CHECK(num_partitions > 0);
   for (int p = 0; p < num_partitions; ++p) {
-    const SocketId home = std::min(p / per_socket, num_sockets - 1);
-    partitions_.push_back(std::make_unique<Partition>(p, home));
+    partitions_.push_back(std::make_unique<Partition>(p));
   }
-}
-
-std::vector<SocketId> Database::HomeMap() const {
-  std::vector<SocketId> home;
-  home.reserve(partitions_.size());
-  for (const auto& p : partitions_) home.push_back(p->home_socket());
-  return home;
 }
 
 PartitionId Database::PartitionForKey(int64_t key) const {

@@ -11,15 +11,14 @@
 
 namespace ecldb::engine {
 
-/// Catalog of the partitioned in-memory database: owns all partitions and
-/// the partition-to-socket home mapping. Partitions are distributed
-/// round-robin over sockets; keys map to partitions by hash.
+/// Catalog of the partitioned in-memory database: owns all partitions.
+/// Keys map to partitions by hash. Which socket homes each partition is
+/// not catalog state — it lives in the epoch-versioned PlacementMap.
 class Database {
  public:
-  Database(int num_partitions, int num_sockets);
+  explicit Database(int num_partitions);
 
   int num_partitions() const { return static_cast<int>(partitions_.size()); }
-  int num_sockets() const { return num_sockets_; }
 
   Partition* partition(PartitionId p) {
     return partitions_[static_cast<size_t>(p)].get();
@@ -27,12 +26,6 @@ class Database {
   const Partition* partition(PartitionId p) const {
     return partitions_[static_cast<size_t>(p)].get();
   }
-
-  SocketId HomeOf(PartitionId p) const {
-    return partitions_[static_cast<size_t>(p)]->home_socket();
-  }
-  /// Home socket per partition (for the message layer).
-  std::vector<SocketId> HomeMap() const;
 
   /// Partition responsible for a key (hash partitioning).
   PartitionId PartitionForKey(int64_t key) const;
@@ -45,7 +38,6 @@ class Database {
   size_t MemoryBytes() const;
 
  private:
-  int num_sockets_;
   std::vector<std::unique_ptr<Partition>> partitions_;
 };
 

@@ -11,12 +11,17 @@ Engine::Engine(sim::Simulator* simulator, hwsim::Machine* machine,
   const int partitions = params.num_partitions > 0
                              ? params.num_partitions
                              : machine->topology().total_threads();
-  db_ = std::make_unique<Database>(partitions, machine->topology().num_sockets);
-  layer_ = std::make_unique<msg::MessageLayer>(machine->topology().num_sockets,
-                                               db_->HomeMap(),
+  const int num_sockets = machine->topology().num_sockets;
+  placement_ = std::make_unique<PlacementMap>(partitions, num_sockets);
+  db_ = std::make_unique<Database>(partitions);
+  layer_ = std::make_unique<msg::MessageLayer>(num_sockets, placement_.get(),
                                                params.message_layer);
   scheduler_ = std::make_unique<Scheduler>(simulator, machine, db_.get(),
-                                           layer_.get(), params.scheduler);
+                                           layer_.get(), placement_.get(),
+                                           params.scheduler);
+  migrator_ = std::make_unique<MigrationCoordinator>(
+      simulator, machine, db_.get(), placement_.get(), layer_.get(),
+      scheduler_.get(), params.migration);
 }
 
 }  // namespace ecldb::engine

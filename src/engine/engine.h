@@ -5,6 +5,8 @@
 
 #include "common/types.h"
 #include "engine/database.h"
+#include "engine/migration.h"
+#include "engine/placement.h"
 #include "engine/query.h"
 #include "engine/scheduler.h"
 #include "hwsim/machine.h"
@@ -19,11 +21,13 @@ struct EngineParams {
   int num_partitions = 0;
   msg::MessageLayerParams message_layer;
   SchedulerParams scheduler;
+  MigrationParams migration;
 };
 
 /// The data-oriented in-memory DBMS: partitioned storage, the hierarchical
-/// message passing layer, and the elastic worker pool driven by the fluid
-/// scheduler. Construct after the Machine (advancer ordering).
+/// message passing layer, the elastic worker pool driven by the fluid
+/// scheduler, and the epoch-versioned placement with its live-migration
+/// coordinator. Construct after the Machine (advancer ordering).
 class Engine {
  public:
   Engine(sim::Simulator* simulator, hwsim::Machine* machine,
@@ -34,6 +38,10 @@ class Engine {
 
   Database& db() { return *db_; }
   const Database& db() const { return *db_; }
+  PlacementMap& placement() { return *placement_; }
+  const PlacementMap& placement() const { return *placement_; }
+  MigrationCoordinator& migrator() { return *migrator_; }
+  const MigrationCoordinator& migrator() const { return *migrator_; }
   msg::MessageLayer& message_layer() { return *layer_; }
   Scheduler& scheduler() { return *scheduler_; }
   hwsim::Machine& machine() { return *machine_; }
@@ -46,15 +54,22 @@ class Engine {
     return scheduler_->TakeUtilization(socket);
   }
 
+  /// Message-layer backpressure and forwarding counters of a socket.
+  msg::MessageLayer::SocketStats socket_msg_stats(SocketId socket) const {
+    return layer_->socket_stats(socket);
+  }
+
   LatencyTracker& latency() { return scheduler_->latency(); }
   const LatencyTracker& latency() const { return scheduler_->latency(); }
 
  private:
   sim::Simulator* simulator_;
   hwsim::Machine* machine_;
+  std::unique_ptr<PlacementMap> placement_;
   std::unique_ptr<Database> db_;
   std::unique_ptr<msg::MessageLayer> layer_;
   std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<MigrationCoordinator> migrator_;
 };
 
 }  // namespace ecldb::engine

@@ -1,0 +1,105 @@
+#include "engine/migration.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::engine {
+
+const hwsim::WorkProfile& ShardCopyProfile() {
+  static const hwsim::WorkProfile* profile = [] {
+    auto* p = new hwsim::WorkProfile();
+    p->name = "shard_copy";
+    // Streaming copy loop: few instructions per cache line, dominated by
+    // DRAM traffic (64 B read locally + 64 B written to the remote
+    // socket), with deep prefetch overlap.
+    p->instr_per_op = 8.0;
+    p->cpi = 0.6;
+    p->mem_accesses_per_op = 0.0;
+    p->mlp = 8.0;
+    p->bytes_per_op = 128.0;
+    return p;
+  }();
+  return *profile;
+}
+
+MigrationCoordinator::MigrationCoordinator(
+    sim::Simulator* simulator, hwsim::Machine* machine, Database* db,
+    PlacementMap* placement, msg::MessageLayer* layer, Scheduler* scheduler,
+    const MigrationParams& params)
+    : simulator_(simulator),
+      machine_(machine),
+      db_(db),
+      placement_(placement),
+      layer_(layer),
+      scheduler_(scheduler),
+      params_(params) {
+  ECLDB_CHECK(simulator != nullptr && machine != nullptr && db != nullptr &&
+              placement != nullptr && layer != nullptr && scheduler != nullptr);
+}
+
+double MigrationCoordinator::CopyBytes(PartitionId p) const {
+  const double actual =
+      static_cast<double>(db_->partition(p)->MemoryBytes());
+  return std::max(actual, params_.min_shard_bytes);
+}
+
+bool MigrationCoordinator::StartMigration(PartitionId p, SocketId to) {
+  ECLDB_CHECK(p >= 0 && p < placement_->num_partitions());
+  ECLDB_CHECK(to >= 0 && to < placement_->num_sockets());
+  ECLDB_CHECK_MSG(!scheduler_->static_binding(),
+                  "live migration requires the elastic scheduler");
+  if (placement_->IsMigrating(p) || placement_->HomeOf(p) == to) return false;
+  const SocketId from = placement_->HomeOf(p);
+  placement_->BeginMigration(p, to);
+  ++active_;
+  ++started_;
+
+  const double bytes = CopyBytes(p);
+  const double ops = std::max(1.0, bytes / params_.bytes_per_op);
+  QuerySpec copy;
+  copy.profile = &ShardCopyProfile();
+  copy.work.push_back({p, ops, msg::MessageType::kWorkUnits, 0, 0});
+  copy.origin_socket = from;
+  copy.internal = true;
+  const QueryId copy_query = scheduler_->Submit(copy);
+
+  // First handover check after the analytic QPI-limited copy estimate;
+  // completion is then polled, because the copy's true finish time also
+  // depends on the queue prefix ahead of it and the socket's current
+  // configuration.
+  const double qpi_gbps = machine_->params().bandwidth.qpi_gbps;
+  const SimDuration estimate =
+      qpi_gbps > 0.0 ? FromSeconds(bytes / (qpi_gbps * 1e9)) : SimDuration{0};
+  const SimDuration first_check = std::max(params_.min_copy_time, estimate);
+  simulator_->ScheduleAfter(first_check, [this, p, copy_query, bytes] {
+    CheckHandover(p, copy_query, bytes);
+  });
+  return true;
+}
+
+void MigrationCoordinator::CheckHandover(PartitionId p, QueryId copy_query,
+                                         double bytes) {
+  if (scheduler_->IsInflight(copy_query)) {
+    simulator_->ScheduleAfter(params_.check_interval,
+                              [this, p, copy_query, bytes] {
+                                CheckHandover(p, copy_query, bytes);
+                              });
+    return;
+  }
+  Handover(p, bytes);
+}
+
+void MigrationCoordinator::Handover(PartitionId p, double bytes) {
+  const SocketId from = placement_->HomeOf(p);
+  const SocketId to = placement_->MigrationTarget(p);
+  scheduler_->PrepareRehome(p);
+  messages_rehomed_ +=
+      static_cast<int64_t>(layer_->Rehome(p, from, to));
+  placement_->CommitMigration(p);
+  bytes_moved_ += bytes;
+  --active_;
+  ++completed_;
+}
+
+}  // namespace ecldb::engine

@@ -15,17 +15,17 @@ namespace ecldb::engine {
 /// One data partition of the data-oriented architecture: the exclusive
 /// unit of data access. Each partition holds its own shard of every table
 /// plus local hash indexes; whichever worker currently owns the partition
-/// (via its PartitionQueue) accesses these structures latch-free.
+/// (via its PartitionQueue) accesses these structures latch-free. Which
+/// socket homes the partition is placement state, not partition state —
+/// it lives in the PlacementMap and can change through live migration.
 class Partition {
  public:
-  Partition(PartitionId id, SocketId home_socket)
-      : id_(id), home_socket_(home_socket) {}
+  explicit Partition(PartitionId id) : id_(id) {}
 
   Partition(const Partition&) = delete;
   Partition& operator=(const Partition&) = delete;
 
   PartitionId id() const { return id_; }
-  SocketId home_socket() const { return home_socket_; }
 
   /// Creates the local shard of a table. The name must be unique.
   Table* AddTable(const std::string& name, Schema schema);
@@ -42,7 +42,6 @@ class Partition {
 
  private:
   PartitionId id_;
-  SocketId home_socket_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, std::unique_ptr<HashIndex>> indexes_;
 };

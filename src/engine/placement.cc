@@ -1,0 +1,70 @@
+#include "engine/placement.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::engine {
+namespace {
+
+std::vector<SocketId> BlockwiseHome(int num_partitions, int num_sockets) {
+  ECLDB_CHECK(num_partitions > 0 && num_sockets > 0);
+  const int per_socket = (num_partitions + num_sockets - 1) / num_sockets;
+  std::vector<SocketId> home;
+  home.reserve(static_cast<size_t>(num_partitions));
+  for (int p = 0; p < num_partitions; ++p) {
+    home.push_back(std::min(p / per_socket, num_sockets - 1));
+  }
+  return home;
+}
+
+}  // namespace
+
+PlacementMap::PlacementMap(int num_partitions, int num_sockets)
+    : PlacementMap(BlockwiseHome(num_partitions, num_sockets), num_sockets) {}
+
+PlacementMap::PlacementMap(std::vector<SocketId> home, int num_sockets)
+    : num_sockets_(num_sockets), home_(std::move(home)) {
+  ECLDB_CHECK(num_sockets_ > 0 && !home_.empty());
+  initial_home_ = home_;
+  migrating_to_.assign(home_.size(), -1);
+  per_socket_.assign(static_cast<size_t>(num_sockets_), 0);
+  for (const SocketId s : home_) {
+    ECLDB_CHECK(s >= 0 && s < num_sockets_);
+    ++per_socket_[static_cast<size_t>(s)];
+  }
+}
+
+std::vector<PartitionId> PlacementMap::PartitionsOf(SocketId s) const {
+  std::vector<PartitionId> out;
+  for (size_t p = 0; p < home_.size(); ++p) {
+    if (home_[p] == s) out.push_back(static_cast<PartitionId>(p));
+  }
+  return out;
+}
+
+void PlacementMap::BeginMigration(PartitionId p, SocketId to) {
+  ECLDB_CHECK(p >= 0 && p < num_partitions());
+  ECLDB_CHECK(to >= 0 && to < num_sockets_);
+  ECLDB_CHECK_MSG(!IsMigrating(p), "partition already migrating");
+  ECLDB_CHECK_MSG(HomeOf(p) != to, "migration to the current home");
+  migrating_to_[static_cast<size_t>(p)] = to;
+  ++migrating_count_;
+}
+
+SocketId PlacementMap::CommitMigration(PartitionId p) {
+  ECLDB_CHECK(p >= 0 && p < num_partitions());
+  ECLDB_CHECK_MSG(IsMigrating(p), "commit without a begun migration");
+  const SocketId from = home_[static_cast<size_t>(p)];
+  const SocketId to = migrating_to_[static_cast<size_t>(p)];
+  home_[static_cast<size_t>(p)] = to;
+  migrating_to_[static_cast<size_t>(p)] = -1;
+  --per_socket_[static_cast<size_t>(from)];
+  ++per_socket_[static_cast<size_t>(to)];
+  --migrating_count_;
+  ++completed_migrations_;
+  ++epoch_;
+  return from;
+}
+
+}  // namespace ecldb::engine

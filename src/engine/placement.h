@@ -1,0 +1,88 @@
+#ifndef ECLDB_ENGINE_PLACEMENT_H_
+#define ECLDB_ENGINE_PLACEMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "msg/placement_view.h"
+
+namespace ecldb::engine {
+
+/// The single source of truth for partition-to-socket placement, shared by
+/// the Database (catalog), the MessageLayer (routing), the Scheduler
+/// (spill retry, backlog accounting), the workloads (origin-socket
+/// lookups) and the consolidation policy.
+///
+/// Epoch-versioned: every committed migration bumps `epoch()`; messages
+/// are stamped with the epoch at send time, which lets routing recognise
+/// in-flight messages that were addressed under an older placement.
+///
+/// Migrations are two-phase. `BeginMigration` marks the partition as
+/// moving — routing still targets the old home while the shard copy
+/// drains the partition queue — and `CommitMigration` re-homes it and
+/// bumps the epoch. The drain→copy→rehome protocol around these lives in
+/// MigrationCoordinator.
+class PlacementMap : public msg::PlacementView {
+ public:
+  /// Block-wise initial placement: consecutive partitions share a socket
+  /// (matching worker pinning: the first half of partitions lives on
+  /// socket 0 of a 2-socket machine, etc.).
+  PlacementMap(int num_partitions, int num_sockets);
+  /// Explicit initial placement (tests, custom layouts).
+  PlacementMap(std::vector<SocketId> home, int num_sockets);
+
+  int num_partitions() const override {
+    return static_cast<int>(home_.size());
+  }
+  SocketId HomeOf(PartitionId p) const override {
+    return home_[static_cast<size_t>(p)];
+  }
+  int64_t epoch() const override { return epoch_; }
+
+  int num_sockets() const { return num_sockets_; }
+  /// Socket the partition was placed on at construction.
+  SocketId InitialHomeOf(PartitionId p) const {
+    return initial_home_[static_cast<size_t>(p)];
+  }
+  /// Copy of the full mapping (diagnostics).
+  std::vector<SocketId> HomeMap() const { return home_; }
+  /// Number of partitions currently homed on `s`.
+  int PartitionsOn(SocketId s) const {
+    return per_socket_[static_cast<size_t>(s)];
+  }
+  /// Partitions currently homed on `s`, ascending ids.
+  std::vector<PartitionId> PartitionsOf(SocketId s) const;
+
+  bool IsMigrating(PartitionId p) const {
+    return migrating_to_[static_cast<size_t>(p)] >= 0;
+  }
+  /// Destination of an in-progress migration (-1 when stable).
+  SocketId MigrationTarget(PartitionId p) const {
+    return migrating_to_[static_cast<size_t>(p)];
+  }
+  int migrating_count() const { return migrating_count_; }
+  int64_t completed_migrations() const { return completed_migrations_; }
+
+  /// Marks `p` as migrating towards `to`. Routing is unchanged until the
+  /// commit; at most one migration per partition may be in progress.
+  void BeginMigration(PartitionId p, SocketId to);
+  /// Re-homes `p` to its migration target and bumps the epoch. Returns
+  /// the old home.
+  SocketId CommitMigration(PartitionId p);
+
+ private:
+  int num_sockets_;
+  std::vector<SocketId> home_;
+  std::vector<SocketId> initial_home_;
+  std::vector<SocketId> migrating_to_;  // -1 when not migrating
+  std::vector<int> per_socket_;
+  int64_t epoch_ = 0;
+  int migrating_count_ = 0;
+  int64_t completed_migrations_ = 0;
+};
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_PLACEMENT_H_

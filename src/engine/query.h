@@ -32,6 +32,10 @@ struct QuerySpec {
   /// Socket of the dispatching thread (messages to remote partitions go
   /// through the communication endpoints).
   SocketId origin_socket = 0;
+  /// Internal bookkeeping query (e.g. a migration shard copy): executes
+  /// through the normal partition-queue path but is excluded from the
+  /// latency statistics and the submitted/completed query counts.
+  bool internal = false;
 };
 
 /// Collects completed-query latencies: a sliding window for the

@@ -8,18 +8,22 @@
 namespace ecldb::engine {
 namespace {
 
-int64_t EncodeOps(double ops) { return std::bit_cast<int64_t>(ops); }
-double DecodeOps(int64_t bits) { return std::bit_cast<double>(bits); }
+int64_t EncodeOps(double ops) { return msg::EncodeMessageOps(ops); }
+double DecodeOps(int64_t bits) {
+  return std::bit_cast<double>(bits);
+}
 
 }  // namespace
 
 Scheduler::Scheduler(sim::Simulator* simulator, hwsim::Machine* machine,
                      Database* db, msg::MessageLayer* layer,
+                     const PlacementMap* placement,
                      const SchedulerParams& params)
     : simulator_(simulator),
       machine_(machine),
       db_(db),
       layer_(layer),
+      placement_(placement),
       params_(params),
       spill_(static_cast<size_t>(db->num_partitions())),
       latency_(params.latency_window) {
@@ -63,8 +67,9 @@ QueryId Scheduler::Submit(const QuerySpec& spec) {
   QueryState state;
   state.arrival = simulator_->now();
   state.pending_tasks = static_cast<int>(spec.work.size());
+  state.internal = spec.internal;
   inflight_.emplace(id, state);
-  ++queries_submitted_;
+  if (!spec.internal) ++queries_submitted_;
 
   for (const PartitionWork& pw : spec.work) {
     ECLDB_DCHECK(pw.partition >= 0 && pw.partition < db_->num_partitions());
@@ -102,7 +107,10 @@ double Scheduler::TakeUtilization(SocketId socket) {
 double Scheduler::BacklogOps(SocketId socket) const {
   double ops = 0.0;
   for (int p = 0; p < db_->num_partitions(); ++p) {
-    if (db_->HomeOf(p) != socket) continue;
+    if (placement_->HomeOf(p) != socket) continue;
+    // Queued-but-unowned messages: the queue maintains an exact running
+    // ops total on enqueue/dequeue, so no draining is needed.
+    ops += layer_->partition_queue(p)->PendingOps();
     for (const msg::Message& m : spill_[static_cast<size_t>(p)]) {
       ops += DecodeOps(m.payload[0]);
     }
@@ -110,12 +118,13 @@ double Scheduler::BacklogOps(SocketId socket) const {
   for (const Worker& w : workers_) {
     if (w.socket != socket) continue;
     ops += w.remaining_ops;
-    for (size_t i = w.batch_pos; i < w.batch.size(); ++i) {
+    for (size_t i = w.batch_pos + 1; i < w.batch.size(); ++i) {
       ops += DecodeOps(w.batch[i].payload[0]);
     }
+    if (w.remaining_ops <= 0.0 && w.batch_pos < w.batch.size()) {
+      ops += DecodeOps(w.batch[w.batch_pos].payload[0]);
+    }
   }
-  // Queued (unowned) messages are counted approximately via queue sizes;
-  // exact per-message ops are unknown without draining.
   return ops;
 }
 
@@ -134,7 +143,9 @@ void Scheduler::CompleteTask(const msg::Message& m, SimTime now) {
   auto it = inflight_.find(m.query_id);
   ECLDB_DCHECK(it != inflight_.end());
   if (--it->second.pending_tasks == 0) {
-    latency_.RecordCompletion(it->second.arrival, now);
+    if (!it->second.internal) {
+      latency_.RecordCompletion(it->second.arrival, now);
+    }
     inflight_.erase(it);
   }
 }
@@ -218,13 +229,26 @@ size_t Scheduler::RetrySpill() {
   for (int p = 0; p < db_->num_partitions(); ++p) {
     auto& dq = spill_[static_cast<size_t>(p)];
     while (!dq.empty()) {
-      // Spilled messages go directly to the partition's home queue.
-      if (!layer_->router(db_->HomeOf(p))->Enqueue(dq.front())) break;
+      // Spilled messages go directly to the partition's current home
+      // queue (which may have moved since the spill).
+      if (!layer_->router(placement_->HomeOf(p))->Enqueue(dq.front())) break;
       dq.pop_front();
       ++moved;
     }
   }
   return moved;
+}
+
+void Scheduler::PrepareRehome(PartitionId p) {
+  msg::PartitionQueue* queue = layer_->partition_queue(p);
+  for (Worker& w : workers_) {
+    if (w.owned == queue) {
+      // Requeue the unprocessed remainder of the batch (including a
+      // partially-consumed head) so it travels with the queue.
+      ReleaseOwnership(&w, /*requeue_batch=*/true);
+    }
+  }
+  steady_ = false;
 }
 
 void Scheduler::Advance(SimTime t0, SimTime t1) {

@@ -9,6 +9,7 @@
 
 #include "common/types.h"
 #include "engine/database.h"
+#include "engine/placement.h"
 #include "engine/query.h"
 #include "engine/worker.h"
 #include "hwsim/machine.h"
@@ -46,7 +47,8 @@ struct SchedulerParams {
 class Scheduler {
  public:
   Scheduler(sim::Simulator* simulator, hwsim::Machine* machine, Database* db,
-            msg::MessageLayer* layer, const SchedulerParams& params);
+            msg::MessageLayer* layer, const PlacementMap* placement,
+            const SchedulerParams& params);
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
@@ -69,9 +71,21 @@ class Scheduler {
   int64_t queries_submitted() const { return queries_submitted_; }
   int64_t queries_completed() const { return latency_.completed(); }
   int64_t inflight() const { return static_cast<int64_t>(inflight_.size()); }
+  /// True while the query has incomplete partition tasks (includes
+  /// internal queries; the migration coordinator polls this).
+  bool IsInflight(QueryId id) const { return inflight_.count(id) > 0; }
+  bool static_binding() const { return params_.static_binding; }
 
-  /// Remaining queued operations homed on a socket (diagnostics).
+  /// Remaining queued operations homed on a socket: spilled messages,
+  /// queued-but-unowned messages (exact per-queue running totals), and
+  /// partially-consumed worker batches. Messages in flight between
+  /// sockets count once they land in the home queue.
   double BacklogOps(SocketId socket) const;
+
+  /// Migration handover (coordinator only, event context): releases any
+  /// worker ownership of `p`'s queue, requeueing unprocessed batches, so
+  /// the queue can move to another router.
+  void PrepareRehome(PartitionId p);
 
   /// Synthetic saturation mode: while set, every active worker offers
   /// `profile` at intensity 1 regardless of queued queries (completed
@@ -96,6 +110,7 @@ class Scheduler {
   struct QueryState {
     SimTime arrival = 0;
     int pending_tasks = 0;
+    bool internal = false;
   };
 
   void Advance(SimTime t0, SimTime t1);
@@ -128,6 +143,7 @@ class Scheduler {
   hwsim::Machine* machine_;
   Database* db_;
   msg::MessageLayer* layer_;
+  const PlacementMap* placement_;
   SchedulerParams params_;
 
   std::vector<Worker> workers_;

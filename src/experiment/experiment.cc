@@ -22,6 +22,13 @@ std::string DescribeConfig(const hwsim::Topology& topo,
   return out.str();
 }
 
+/// Package + DRAM energy of one socket in joules.
+double SocketEnergyJ(const hwsim::Machine& machine, SocketId s) {
+  return 1e-6 *
+         static_cast<double>(machine.ReadRaplUj(s, hwsim::RaplDomain::kPackage) +
+                             machine.ReadRaplUj(s, hwsim::RaplDomain::kDram));
+}
+
 }  // namespace
 
 RunResult RunLoadExperiment(const WorkloadFactory& factory,
@@ -78,6 +85,11 @@ RunResult RunLoadExperiment(const WorkloadFactory& factory,
   const hwsim::Topology& topo = options.machine.topology;
   const SimTime run_end = run_start + profile.duration();
   double sampler_last_energy = machine.TotalEnergyJoules();
+  std::vector<double> sampler_last_socket_e(
+      static_cast<size_t>(topo.num_sockets));
+  for (SocketId sk = 0; sk < topo.num_sockets; ++sk) {
+    sampler_last_socket_e[static_cast<size_t>(sk)] = SocketEnergyJ(machine, sk);
+  }
   for (SimTime t = run_start + options.sample_period; t <= run_end;
        t += options.sample_period) {
     simulator.Schedule(t, [&, t] {
@@ -91,6 +103,12 @@ RunResult RunLoadExperiment(const WorkloadFactory& factory,
       s.latency_window_ms = engine.latency().WindowMeanMs();
       for (SocketId sk = 0; sk < topo.num_sockets; ++sk) {
         s.active_threads += machine.requested_config(sk).ActiveThreadCount();
+        const double se = SocketEnergyJ(machine, sk);
+        s.socket_power_w.push_back(
+            (se - sampler_last_socket_e[static_cast<size_t>(sk)]) /
+            ToSeconds(options.sample_period));
+        sampler_last_socket_e[static_cast<size_t>(sk)] = se;
+        s.partitions_on_socket.push_back(engine.placement().PartitionsOn(sk));
       }
       if (loop != nullptr) {
         double level = 0.0;
@@ -126,10 +144,19 @@ RunResult RunLoadExperiment(const WorkloadFactory& factory,
   result.max_ms = lat.Max();
   result.violation_frac =
       lat.FractionAbove(options.ecl.system.latency_limit_ms);
+  result.migrations = engine.migrator().completed();
+  result.migration_bytes = engine.migrator().bytes_moved();
+  for (SocketId sk = 0; sk < topo.num_sockets; ++sk) {
+    result.stale_forwards += engine.socket_msg_stats(sk).stale_forwards;
+  }
   if (loop != nullptr) {
     const profile::EnergyProfile& p = loop->socket(0).profile();
     const int best = p.MostEfficientIndex();
     if (best >= 0) result.best_config = DescribeConfig(topo, p.config(best));
+    if (loop->consolidation() != nullptr) {
+      result.consolidation_moves = loop->consolidation()->consolidation_moves();
+      result.spread_moves = loop->consolidation()->spread_moves();
+    }
     loop->Stop();
   }
   return result;

@@ -53,6 +53,11 @@ struct Sample {
   int active_threads = 0;
   double perf_level_frac = 0.0;  // mean over sockets, relative to peak
   double utilization = 0.0;      // mean over sockets (ECL view)
+  /// Per-socket average power (package + DRAM) over the sample period;
+  /// consolidation experiments read the donor socket's floor from this.
+  std::vector<double> socket_power_w;
+  /// Partitions homed per socket at the sample instant.
+  std::vector<int> partitions_on_socket;
 };
 
 struct RunResult {
@@ -73,6 +78,16 @@ struct RunResult {
   /// Most energy-efficient configuration found by socket 0's ECL
   /// (empty string for baseline runs).
   std::string best_config;
+  /// Live migrations completed during the run (0 unless consolidation or
+  /// an explicit migration was active).
+  int64_t migrations = 0;
+  /// Consolidation policy counters (0 when the policy is disabled).
+  int64_t consolidation_moves = 0;
+  int64_t spread_moves = 0;
+  /// Shard bytes moved by completed migrations.
+  double migration_bytes = 0.0;
+  /// In-flight messages forwarded after their partition moved away.
+  int64_t stale_forwards = 0;
 };
 
 /// Builds a workload against a fresh engine.

@@ -20,19 +20,17 @@ bool CommEndpoint::BufferOutbound(SocketId dest, const Message& m) {
   return outbox_[static_cast<size_t>(dest)]->TryPush(m);
 }
 
-size_t CommEndpoint::Pump(std::vector<IntraSocketRouter*>& routers,
-                          size_t max_batch) {
+size_t CommEndpoint::Pump(const DeliverFn& deliver, size_t max_batch) {
   size_t moved = 0;
   for (size_t d = 0; d < outbox_.size(); ++d) {
     MpmcRing<Message>* box = outbox_[d].get();
     if (box == nullptr) continue;
-    IntraSocketRouter* remote = routers[d];
     Message m;
     size_t n = 0;
     while (n < max_batch && box->TryPop(&m)) {
-      // Remote enqueue; if the destination queue is full, the message is
-      // retried on the next pump (we re-buffer it locally).
-      if (!remote->Enqueue(m)) {
+      // Remote delivery; if the destination cannot accept the message it
+      // is retried on the next pump (we re-buffer it locally).
+      if (!deliver(static_cast<SocketId>(d), m)) {
         box->TryPush(m);
         break;
       }
@@ -42,6 +40,15 @@ size_t CommEndpoint::Pump(std::vector<IntraSocketRouter*>& routers,
   }
   transferred_ += static_cast<int64_t>(moved);
   return moved;
+}
+
+size_t CommEndpoint::Pump(std::vector<IntraSocketRouter*>& routers,
+                          size_t max_batch) {
+  return Pump(
+      [&routers](SocketId dest, const Message& m) {
+        return routers[static_cast<size_t>(dest)]->Enqueue(m);
+      },
+      max_batch);
 }
 
 size_t CommEndpoint::OutboundPendingApprox() const {

@@ -2,6 +2,7 @@
 #define ECLDB_MSG_INTER_SOCKET_COMM_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,9 +33,18 @@ class CommEndpoint {
   /// thread is the only consumer. Returns false when the channel is full.
   bool BufferOutbound(SocketId dest, const Message& m);
 
-  /// Transfers up to `max_batch` buffered messages per destination into
-  /// the destination sockets' routers. Called by the communication thread.
-  /// Returns the number of messages transferred.
+  /// Delivery callback: hands one message to the destination socket;
+  /// returns false when the destination cannot accept it now (the message
+  /// is re-buffered and retried on the next pump).
+  using DeliverFn = std::function<bool(SocketId dest, const Message& m)>;
+
+  /// Transfers up to `max_batch` buffered messages per destination via
+  /// `deliver`. Called by the communication thread. Returns the number of
+  /// messages transferred.
+  size_t Pump(const DeliverFn& deliver, size_t max_batch);
+
+  /// Convenience overload delivering directly into the destination
+  /// routers (no placement indirection; direct msg-level use and tests).
   size_t Pump(std::vector<IntraSocketRouter*>& routers, size_t max_batch);
 
   /// Messages waiting in all outboxes (approximate).

@@ -1,24 +1,38 @@
 #include "msg/intra_socket_router.h"
 
-#include <algorithm>
-
 #include "common/check.h"
 
 namespace ecldb::msg {
 
 IntraSocketRouter::IntraSocketRouter(SocketId socket,
-                                     std::vector<PartitionId> partitions,
-                                     size_t queue_capacity)
-    : socket_(socket), partition_ids_(std::move(partitions)) {
-  PartitionId max_id = -1;
-  for (PartitionId p : partition_ids_) max_id = std::max(max_id, p);
-  local_index_.assign(static_cast<size_t>(max_id + 1), -1);
-  for (size_t i = 0; i < partition_ids_.size(); ++i) {
-    const PartitionId p = partition_ids_[i];
-    ECLDB_CHECK(local_index_[static_cast<size_t>(p)] == -1);
-    local_index_[static_cast<size_t>(p)] = static_cast<int>(i);
-    queues_.push_back(std::make_unique<PartitionQueue>(p, queue_capacity));
+                                     size_t num_global_partitions)
+    : socket_(socket) {
+  local_index_.assign(num_global_partitions, -1);
+}
+
+void IntraSocketRouter::Register(PartitionId p, PartitionQueue* queue) {
+  ECLDB_CHECK(queue != nullptr && queue->partition() == p);
+  ECLDB_CHECK(p >= 0 && p < static_cast<PartitionId>(local_index_.size()));
+  ECLDB_CHECK_MSG(local_index_[static_cast<size_t>(p)] == -1,
+                  "partition already registered");
+  local_index_[static_cast<size_t>(p)] = static_cast<int>(queues_.size());
+  partition_ids_.push_back(p);
+  queues_.push_back(queue);
+}
+
+PartitionQueue* IntraSocketRouter::Deregister(PartitionId p) {
+  ECLDB_CHECK(Owns(p));
+  const size_t idx =
+      static_cast<size_t>(local_index_[static_cast<size_t>(p)]);
+  PartitionQueue* queue = queues_[idx];
+  ECLDB_CHECK_MSG(queue->owner() == -1, "deregister of an owned queue");
+  partition_ids_.erase(partition_ids_.begin() + static_cast<long>(idx));
+  queues_.erase(queues_.begin() + static_cast<long>(idx));
+  local_index_[static_cast<size_t>(p)] = -1;
+  for (size_t i = idx; i < partition_ids_.size(); ++i) {
+    local_index_[static_cast<size_t>(partition_ids_[i])] = static_cast<int>(i);
   }
+  return queue;
 }
 
 bool IntraSocketRouter::Owns(PartitionId p) const {
@@ -28,15 +42,18 @@ bool IntraSocketRouter::Owns(PartitionId p) const {
 
 bool IntraSocketRouter::Enqueue(const Message& m) {
   ECLDB_DCHECK(Owns(m.partition));
-  return queues_[static_cast<size_t>(local_index_[static_cast<size_t>(m.partition)])]
-      ->Enqueue(m);
+  const bool ok =
+      queues_[static_cast<size_t>(local_index_[static_cast<size_t>(m.partition)])]
+          ->Enqueue(m);
+  if (!ok) enqueue_rejects_.fetch_add(1, std::memory_order_relaxed);
+  return ok;
 }
 
 PartitionQueue* IntraSocketRouter::AcquireNonEmpty(int worker, size_t* cursor) {
   const size_t n = queues_.size();
   for (size_t step = 0; step < n; ++step) {
     const size_t i = (*cursor + 1 + step) % n;
-    PartitionQueue* q = queues_[i].get();
+    PartitionQueue* q = queues_[i];
     if (q->EmptyApprox()) continue;
     if (q->TryAcquire(worker)) {
       if (q->EmptyApprox()) {  // raced with another worker draining it
@@ -52,12 +69,12 @@ PartitionQueue* IntraSocketRouter::AcquireNonEmpty(int worker, size_t* cursor) {
 
 PartitionQueue* IntraSocketRouter::queue(PartitionId p) {
   ECLDB_CHECK(Owns(p));
-  return queues_[static_cast<size_t>(local_index_[static_cast<size_t>(p)])].get();
+  return queues_[static_cast<size_t>(local_index_[static_cast<size_t>(p)])];
 }
 
 size_t IntraSocketRouter::PendingApprox() const {
   size_t sum = 0;
-  for (const auto& q : queues_) sum += q->SizeApprox();
+  for (const PartitionQueue* q : queues_) sum += q->SizeApprox();
   return sum;
 }
 

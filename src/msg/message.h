@@ -1,6 +1,7 @@
 #ifndef ECLDB_MSG_MESSAGE_H_
 #define ECLDB_MSG_MESSAGE_H_
 
+#include <bit>
 #include <cstdint>
 
 #include "common/types.h"
@@ -30,10 +31,26 @@ struct Message {
   PartitionId partition = -1;
   MessageType type = MessageType::kInvalid;
   int32_t origin_socket = -1;
+  /// Placement epoch at send time (stamped by MessageLayer::Send). A
+  /// message routed under an older placement may arrive at a socket that
+  /// no longer homes its partition; the message layer forwards it to the
+  /// current home.
+  int32_t epoch = 0;
   int64_t payload[4] = {0, 0, 0, 0};
 };
 
 static_assert(sizeof(Message) == 56, "keep messages compact and fixed-size");
+
+/// Fluid operation count carried by a message: by engine convention,
+/// `payload[0]` holds the remaining operations as a bit-cast double (the
+/// scheduler writes it on submit and on mid-batch requeue). Raw messages
+/// with a zero payload decode to 0.0.
+inline double MessageOps(const Message& m) {
+  return std::bit_cast<double>(m.payload[0]);
+}
+inline int64_t EncodeMessageOps(double ops) {
+  return std::bit_cast<int64_t>(ops);
+}
 
 /// Human-readable name of a message type (diagnostics).
 const char* MessageTypeName(MessageType type);

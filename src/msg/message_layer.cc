@@ -4,39 +4,85 @@
 
 namespace ecldb::msg {
 
-MessageLayer::MessageLayer(int num_sockets,
-                           const std::vector<SocketId>& partition_home,
+MessageLayer::MessageLayer(int num_sockets, const PlacementView* placement,
                            const MessageLayerParams& params)
-    : params_(params), partition_home_(partition_home) {
+    : params_(params), placement_(placement) {
   ECLDB_CHECK(num_sockets > 0);
-  std::vector<std::vector<PartitionId>> per_socket(
-      static_cast<size_t>(num_sockets));
-  for (size_t p = 0; p < partition_home_.size(); ++p) {
-    const SocketId s = partition_home_[p];
-    ECLDB_CHECK(s >= 0 && s < num_sockets);
-    per_socket[static_cast<size_t>(s)].push_back(static_cast<PartitionId>(p));
-  }
+  ECLDB_CHECK(placement != nullptr);
+  const int num_partitions = placement_->num_partitions();
+  stats_.resize(static_cast<size_t>(num_sockets));
   for (int s = 0; s < num_sockets; ++s) {
     routers_.push_back(std::make_unique<IntraSocketRouter>(
-        s, per_socket[static_cast<size_t>(s)], params_.partition_queue_capacity));
+        s, static_cast<size_t>(num_partitions)));
     comms_.push_back(
         std::make_unique<CommEndpoint>(s, num_sockets, params_.comm_channel_capacity));
   }
-  for (auto& r : routers_) router_ptrs_.push_back(r.get());
+  // Ascending registration per socket: the round-robin scan order workers
+  // see is by partition id, as with the historical per-socket lists.
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    const SocketId s = placement_->HomeOf(p);
+    ECLDB_CHECK(s >= 0 && s < num_sockets);
+    queues_.push_back(
+        std::make_unique<PartitionQueue>(p, params_.partition_queue_capacity));
+    routers_[static_cast<size_t>(s)]->Register(p, queues_.back().get());
+  }
+  deliver_ = [this](SocketId dest, const Message& m) {
+    return DeliverAt(dest, m);
+  };
 }
 
 bool MessageLayer::Send(SocketId origin_socket, const Message& m) {
   ECLDB_DCHECK(m.partition >= 0 && m.partition < num_partitions());
-  const SocketId home = HomeOf(m.partition);
+  Message stamped = m;
+  stamped.epoch = static_cast<int32_t>(placement_->epoch());
+  const SocketId home = placement_->HomeOf(m.partition);
+  bool ok;
   if (home == origin_socket) {
-    return routers_[static_cast<size_t>(home)]->Enqueue(m);
+    ok = routers_[static_cast<size_t>(home)]->Enqueue(stamped);
+  } else {
+    ok = comms_[static_cast<size_t>(origin_socket)]->BufferOutbound(home, stamped);
+    if (!ok) ++stats_[static_cast<size_t>(origin_socket)].comm_rejects;
   }
-  return comms_[static_cast<size_t>(origin_socket)]->BufferOutbound(home, m);
+  if (!ok) ++stats_[static_cast<size_t>(origin_socket)].send_rejects;
+  return ok;
+}
+
+bool MessageLayer::DeliverAt(SocketId at, const Message& m) {
+  IntraSocketRouter* router = routers_[static_cast<size_t>(at)].get();
+  if (router->Owns(m.partition)) return router->Enqueue(m);
+  // Stale-epoch arrival: the partition migrated away while the message was
+  // in flight. Forward it to the current home through this socket's
+  // endpoint (it keeps its original epoch for diagnostics).
+  const SocketId home = placement_->HomeOf(m.partition);
+  ECLDB_DCHECK(home != at);
+  if (!comms_[static_cast<size_t>(at)]->BufferOutbound(home, m)) {
+    ++stats_[static_cast<size_t>(at)].comm_rejects;
+    return false;  // re-buffered at the sender, retried next pump
+  }
+  ++stats_[static_cast<size_t>(at)].stale_forwards;
+  return true;
 }
 
 size_t MessageLayer::PumpComm(SocketId socket) {
-  return comms_[static_cast<size_t>(socket)]->Pump(router_ptrs_,
+  return comms_[static_cast<size_t>(socket)]->Pump(deliver_,
                                                    params_.comm_pump_batch);
+}
+
+size_t MessageLayer::Rehome(PartitionId p, SocketId from, SocketId to) {
+  ECLDB_CHECK(from != to);
+  ECLDB_CHECK(p >= 0 && p < num_partitions());
+  PartitionQueue* queue = routers_[static_cast<size_t>(from)]->Deregister(p);
+  routers_[static_cast<size_t>(to)]->Register(p, queue);
+  const size_t moved = queue->SizeApprox();
+  stats_[static_cast<size_t>(to)].rehome_transfers +=
+      static_cast<int64_t>(moved);
+  return moved;
+}
+
+MessageLayer::SocketStats MessageLayer::socket_stats(SocketId s) const {
+  SocketStats out = stats_[static_cast<size_t>(s)];
+  out.enqueue_rejects = routers_[static_cast<size_t>(s)]->enqueue_rejects();
+  return out;
 }
 
 size_t MessageLayer::PendingApprox() const {

@@ -7,9 +7,21 @@ namespace ecldb::msg {
 PartitionQueue::PartitionQueue(PartitionId partition, size_t capacity)
     : partition_(partition), ring_(capacity) {}
 
+void PartitionQueue::AddPendingOps(double delta) {
+  // CAS loop instead of fetch_add: atomic<double>::fetch_add is C++20 but
+  // not universally lowered; relaxed order is enough for a diagnostic
+  // counter that is only exact when the queue is quiesced.
+  double cur = pending_ops_.load(std::memory_order_relaxed);
+  while (!pending_ops_.compare_exchange_weak(cur, cur + delta,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
 bool PartitionQueue::Enqueue(const Message& m) {
   ECLDB_DCHECK(m.partition == partition_);
-  return ring_.TryPush(m);
+  if (!ring_.TryPush(m)) return false;
+  AddPendingOps(MessageOps(m));
+  return true;
 }
 
 bool PartitionQueue::TryAcquire(int owner) {
@@ -33,6 +45,7 @@ size_t PartitionQueue::DequeueBatch(int owner, size_t max_batch,
   size_t n = 0;
   Message m;
   while (n < max_batch && ring_.TryPop(&m)) {
+    AddPendingOps(-MessageOps(m));
     out->push_back(m);
     ++n;
   }

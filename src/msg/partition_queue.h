@@ -51,10 +51,22 @@ class PartitionQueue {
   size_t SizeApprox() const { return ring_.SizeApprox(); }
   bool EmptyApprox() const { return ring_.EmptyApprox(); }
 
+  /// Running total of fluid operations queued (sum of MessageOps over the
+  /// queued messages), maintained on every enqueue/dequeue so backlog
+  /// accounting needs no draining. Operation counts are integral in
+  /// practice, so the double accumulator cancels exactly when the queue
+  /// empties. Approximate only while producers/consumers race.
+  double PendingOps() const {
+    return pending_ops_.load(std::memory_order_relaxed);
+  }
+
  private:
+  void AddPendingOps(double delta);
+
   PartitionId partition_;
   MpmcRing<Message> ring_;
   std::atomic<int> owner_{-1};
+  std::atomic<double> pending_ops_{0.0};
 };
 
 }  // namespace ecldb::msg

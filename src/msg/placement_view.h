@@ -1,0 +1,33 @@
+#ifndef ECLDB_MSG_PLACEMENT_VIEW_H_
+#define ECLDB_MSG_PLACEMENT_VIEW_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ecldb::msg {
+
+/// Read-only view of the partition-to-socket placement: the single source
+/// of truth consulted by message routing, the scheduler, and the
+/// workloads. Implemented by engine::PlacementMap; the msg layer depends
+/// only on this interface so it stays below the engine in the library
+/// layering.
+///
+/// The placement is epoch-versioned: every committed migration bumps
+/// `epoch()`. Messages are stamped with the epoch current at send time; a
+/// message arriving at a socket that no longer homes its partition is
+/// stale and gets forwarded to the current home (MessageLayer::PumpComm).
+class PlacementView {
+ public:
+  virtual ~PlacementView() = default;
+
+  virtual int num_partitions() const = 0;
+  /// Socket currently homing partition `p` (routing target).
+  virtual SocketId HomeOf(PartitionId p) const = 0;
+  /// Version of the placement; incremented by every committed migration.
+  virtual int64_t epoch() const = 0;
+};
+
+}  // namespace ecldb::msg
+
+#endif  // ECLDB_MSG_PLACEMENT_VIEW_H_

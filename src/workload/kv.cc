@@ -59,7 +59,7 @@ engine::QuerySpec KvWorkload::MakeQuery(Rng& rng) {
     // (one operation per row).
     spec.work.push_back({PickPartition(rng), static_cast<double>(RowsPerPartition())});
   }
-  spec.origin_socket = engine_->db().HomeOf(spec.work.front().partition);
+  spec.origin_socket = engine_->placement().HomeOf(spec.work.front().partition);
   return spec;
 }
 
@@ -166,7 +166,7 @@ QueryId KvWorkload::SubmitGet(int64_t key) {
   work.type = msg::MessageType::kGet;
   work.arg0 = key;
   spec.work.push_back(work);
-  spec.origin_socket = engine_->db().HomeOf(work.partition);
+  spec.origin_socket = engine_->placement().HomeOf(work.partition);
   return engine_->Submit(spec);
 }
 
@@ -180,7 +180,7 @@ QueryId KvWorkload::SubmitPut(int64_t key, int64_t value) {
   work.arg0 = key;
   work.arg1 = value;
   spec.work.push_back(work);
-  spec.origin_socket = engine_->db().HomeOf(work.partition);
+  spec.origin_socket = engine_->placement().HomeOf(work.partition);
   return engine_->Submit(spec);
 }
 

@@ -30,7 +30,7 @@ engine::QuerySpec MicroWorkload::MakeQuery(Rng& rng) {
   for (int i = 0; i < k; ++i) {
     spec.work.push_back({(start + i) % nparts, ops_each});
   }
-  spec.origin_socket = engine_->db().HomeOf(spec.work.front().partition);
+  spec.origin_socket = engine_->placement().HomeOf(spec.work.front().partition);
   return spec;
 }
 

@@ -69,7 +69,7 @@ engine::QuerySpec TatpWorkload::MakeQuery(Rng& rng) {
   for (int i = 0; i < k; ++i) {
     spec.work.push_back({(start + i) % nparts, ops_each});
   }
-  spec.origin_socket = engine_->db().HomeOf(spec.work.front().partition);
+  spec.origin_socket = engine_->placement().HomeOf(spec.work.front().partition);
   return spec;
 }
 
@@ -408,7 +408,7 @@ QueryId TatpWorkload::SubmitTx(TxType type, Rng& rng) {
   work.arg0 = static_cast<int64_t>(type);
   work.arg1 = static_cast<int64_t>(seed);
   spec.work.push_back(work);
-  spec.origin_socket = engine_->db().HomeOf(work.partition);
+  spec.origin_socket = engine_->placement().HomeOf(work.partition);
   return engine_->Submit(spec);
 }
 

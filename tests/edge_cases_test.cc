@@ -137,7 +137,7 @@ TEST(SchedulerStressTest, RapidConfigTogglingLosesNoWork) {
     engine::QuerySpec spec;
     spec.profile = &workload::ComputeBound();
     spec.work.push_back({i % engine.db().num_partitions(), 3e6});
-    spec.origin_socket = engine.db().HomeOf(spec.work[0].partition);
+    spec.origin_socket = engine.placement().HomeOf(spec.work[0].partition);
     engine.Submit(spec);
   }
   // RTI-like toggling every 10 ms between a small config and idle.
@@ -163,7 +163,7 @@ TEST(SchedulerStressTest, MixedProfilesCoexist) {
     spec.profile = (i % 2 == 0) ? &workload::ComputeBound()
                                 : &workload::MemoryScan();
     spec.work.push_back({i % engine.db().num_partitions(), 1e5});
-    spec.origin_socket = engine.db().HomeOf(spec.work[0].partition);
+    spec.origin_socket = engine.placement().HomeOf(spec.work[0].partition);
     engine.Submit(spec);
   }
   sim.RunFor(Seconds(2));

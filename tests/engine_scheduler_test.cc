@@ -24,7 +24,7 @@ class SchedulerTest : public ::testing::Test {
     QuerySpec spec;
     spec.profile = &workload::ComputeBound();
     spec.work.push_back({p, ops});
-    spec.origin_socket = engine_.db().HomeOf(p);
+    spec.origin_socket = engine_.placement().HomeOf(p);
     return spec;
   }
 
@@ -148,6 +148,123 @@ TEST_F(SchedulerTest, RegisterProfileDeduplicates) {
   const int c = s.RegisterProfile(&workload::MemoryScan());
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
+}
+
+TEST(SchedulerBackpressureTest, RejectionsCountedAndSpillDrains) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  EngineParams params;
+  params.message_layer.partition_queue_capacity = 4;
+  Engine engine(&sim, &machine, params);
+  // Machine idle: nothing drains, so the tiny partition queue fills and
+  // later sends bounce into the scheduler's spill buffer.
+  QuerySpec spec;
+  spec.profile = &workload::ComputeBound();
+  spec.work.push_back({0, 1e5});
+  spec.origin_socket = 0;
+  for (int i = 0; i < 10; ++i) engine.Submit(spec);
+  const msg::MessageLayer::SocketStats stats = engine.socket_msg_stats(0);
+  EXPECT_EQ(stats.send_rejects, 6);
+  EXPECT_EQ(stats.enqueue_rejects, 6);
+  EXPECT_EQ(engine.socket_msg_stats(1).send_rejects, 0);
+  // Backpressure is flow control, not loss: once the socket wakes up the
+  // spill retries succeed and every query completes.
+  machine.ApplyMachineConfig(
+      hwsim::MachineConfig::AllOn(machine.topology(), 2.6, 3.0));
+  sim.RunFor(Millis(100));
+  EXPECT_EQ(engine.latency().completed(), 10);
+  EXPECT_EQ(engine.scheduler().inflight(), 0);
+}
+
+TEST_F(SchedulerTest, BacklogOpsExactWhileQueued) {
+  // Machine idle: submitted work sits untouched in the partition queues,
+  // so the backlog must equal the submitted ops exactly (the queues keep
+  // running totals; no sampling or draining involved).
+  engine_.Submit(ComputeQuery(0, 1e5));
+  engine_.Submit(ComputeQuery(1, 2.5e5));
+  engine_.Submit(ComputeQuery(30, 5e5));  // homed on socket 1
+  EXPECT_DOUBLE_EQ(engine_.scheduler().BacklogOps(0), 3.5e5);
+  EXPECT_DOUBLE_EQ(engine_.scheduler().BacklogOps(1), 5e5);
+  AllOn();
+  sim_.RunFor(Millis(100));
+  EXPECT_EQ(engine_.latency().completed(), 3);
+  EXPECT_DOUBLE_EQ(engine_.scheduler().BacklogOps(0), 0.0);
+  EXPECT_DOUBLE_EQ(engine_.scheduler().BacklogOps(1), 0.0);
+}
+
+TEST_F(SchedulerTest, BacklogOpsCountsSpilledMessages) {
+  // More ops than the queue accepts: the excess spills, and the backlog
+  // accounting must include it (spill is still queued work).
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  EngineParams params;
+  params.message_layer.partition_queue_capacity = 4;
+  Engine engine(&sim, &machine, params);
+  QuerySpec spec;
+  spec.profile = &workload::ComputeBound();
+  spec.work.push_back({0, 1e5});
+  spec.origin_socket = 0;
+  for (int i = 0; i < 10; ++i) engine.Submit(spec);
+  EXPECT_DOUBLE_EQ(engine.scheduler().BacklogOps(0), 10e5);
+}
+
+TEST(StaticBindingTest, SkewedLoadCannotBeBalanced) {
+  // The original data-oriented architecture (Section 3): worker i serves
+  // partition i and nothing else. With the socket shrunk to four awake
+  // threads, load landing on partitions 4..7 has no server under static
+  // binding — the four awake workers idle once their own partitions
+  // drain, so the skew cannot be balanced onto them. The elastic
+  // scheduler spreads the same backlog over every awake worker and
+  // completes all eight partitions.
+  auto completed_after = [](bool static_binding, SimDuration horizon) {
+    sim::Simulator sim;
+    hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+    EngineParams params;
+    params.scheduler.static_binding = static_binding;
+    Engine engine(&sim, &machine, params);
+    machine.ApplySocketConfig(
+        0, hwsim::SocketConfig::FirstThreads(machine.topology(), 4, 2.6, 3.0));
+    for (PartitionId p = 0; p < 8; ++p) {
+      QuerySpec spec;
+      spec.profile = &workload::ComputeBound();
+      spec.work.push_back({p, 2.6e8});  // ~100 ms of single-thread work
+      spec.origin_socket = 0;
+      engine.Submit(spec);
+    }
+    sim.RunFor(horizon);
+    return engine.latency().completed();
+  };
+  EXPECT_EQ(completed_after(/*static_binding=*/false, Millis(600)), 8);
+  EXPECT_EQ(completed_after(/*static_binding=*/true, Millis(600)), 4);
+}
+
+TEST(StaticBindingTest, SleptThreadMakesPartitionUnavailable) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  EngineParams params;
+  params.scheduler.static_binding = true;
+  Engine engine(&sim, &machine, params);
+  // Threads 0-3 of socket 0 active; thread 5 is asleep, so partition 5 has
+  // no server under static binding even though four workers sit idle.
+  machine.ApplySocketConfig(
+      0, hwsim::SocketConfig::FirstThreads(machine.topology(), 4, 2.6, 3.0));
+  QuerySpec starved;
+  starved.profile = &workload::ComputeBound();
+  starved.work.push_back({5, 1e5});
+  starved.origin_socket = 0;
+  engine.Submit(starved);
+  QuerySpec served = starved;
+  served.work[0].partition = 2;  // its bound worker is awake
+  engine.Submit(served);
+  sim.RunFor(Millis(200));
+  EXPECT_EQ(engine.latency().completed(), 1);
+  EXPECT_EQ(engine.scheduler().inflight(), 1);
+  // Waking the thread restores the partition.
+  machine.ApplySocketConfig(
+      0, hwsim::SocketConfig::FirstThreads(machine.topology(), 8, 2.6, 3.0));
+  sim.RunFor(Millis(200));
+  EXPECT_EQ(engine.latency().completed(), 2);
+  EXPECT_EQ(engine.scheduler().inflight(), 0);
 }
 
 TEST_F(SchedulerTest, LatencyResetKeepsWindow) {

@@ -8,6 +8,7 @@
 #include "engine/database.h"
 #include "engine/hash_index.h"
 #include "engine/partition.h"
+#include "engine/placement.h"
 #include "engine/table.h"
 
 namespace ecldb::engine {
@@ -204,9 +205,8 @@ TEST(HashIndexTest, RandomizedAgainstStdUnorderedMap) {
 }
 
 TEST(PartitionTest, TablesAndIndexes) {
-  Partition p(3, 1);
+  Partition p(3);
   EXPECT_EQ(p.id(), 3);
-  EXPECT_EQ(p.home_socket(), 1);
   Table* t = p.AddTable("kv", Schema({{"k", ColumnType::kInt64}}));
   EXPECT_EQ(p.table("kv"), t);
   HashIndex* i = p.AddIndex("kv_pk");
@@ -217,19 +217,19 @@ TEST(PartitionTest, TablesAndIndexes) {
   EXPECT_GT(p.MemoryBytes(), 0u);
 }
 
-TEST(DatabaseTest, PartitionHomesBlockwise) {
-  Database db(48, 2);
-  EXPECT_EQ(db.num_partitions(), 48);
-  for (int p = 0; p < 24; ++p) EXPECT_EQ(db.HomeOf(p), 0);
-  for (int p = 24; p < 48; ++p) EXPECT_EQ(db.HomeOf(p), 1);
-  const std::vector<SocketId> home = db.HomeMap();
+TEST(PlacementMapTest, PartitionHomesBlockwise) {
+  PlacementMap placement(48, 2);
+  EXPECT_EQ(placement.num_partitions(), 48);
+  for (int p = 0; p < 24; ++p) EXPECT_EQ(placement.HomeOf(p), 0);
+  for (int p = 24; p < 48; ++p) EXPECT_EQ(placement.HomeOf(p), 1);
+  const std::vector<SocketId> home = placement.HomeMap();
   EXPECT_EQ(home.size(), 48u);
   EXPECT_EQ(home[0], 0);
   EXPECT_EQ(home[47], 1);
 }
 
 TEST(DatabaseTest, KeyPartitioningIsStableAndCovering) {
-  Database db(16, 2);
+  Database db(16);
   std::vector<int> hits(16, 0);
   for (int64_t k = 0; k < 10000; ++k) {
     const PartitionId p = db.PartitionForKey(k);
@@ -242,7 +242,7 @@ TEST(DatabaseTest, KeyPartitioningIsStableAndCovering) {
 }
 
 TEST(DatabaseTest, CreateTableInEveryPartition) {
-  Database db(4, 2);
+  Database db(4);
   db.CreateTable("t", Schema({{"k", ColumnType::kInt64}}));
   db.CreateIndex("t_pk");
   for (int p = 0; p < 4; ++p) {

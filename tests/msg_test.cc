@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "msg/inter_socket_comm.h"
@@ -10,6 +12,7 @@
 #include "msg/message_layer.h"
 #include "msg/mpmc_ring.h"
 #include "msg/partition_queue.h"
+#include "msg/placement_view.h"
 #include "msg/spsc_ring.h"
 
 namespace ecldb::msg {
@@ -22,6 +25,32 @@ Message MakeMsg(PartitionId p, int64_t tag = 0) {
   m.type = MessageType::kWorkUnits;
   return m;
 }
+
+/// Minimal mutable placement for layer tests (the real implementation is
+/// engine::PlacementMap; the msg layer only sees this interface).
+struct TestPlacement : PlacementView {
+  std::vector<SocketId> home;
+  int64_t epoch_value = 0;
+  explicit TestPlacement(std::vector<SocketId> h) : home(std::move(h)) {}
+  int num_partitions() const override { return static_cast<int>(home.size()); }
+  SocketId HomeOf(PartitionId p) const override {
+    return home[static_cast<size_t>(p)];
+  }
+  int64_t epoch() const override { return epoch_value; }
+};
+
+/// Owns the queues a router scans (the MessageLayer does this in real use).
+struct RouterHarness {
+  std::vector<std::unique_ptr<PartitionQueue>> queues;
+  IntraSocketRouter router;
+  RouterHarness(SocketId socket, std::vector<PartitionId> parts, size_t cap)
+      : router(socket, /*num_global_partitions=*/64) {
+    for (PartitionId p : parts) {
+      queues.push_back(std::make_unique<PartitionQueue>(p, cap));
+      router.Register(p, queues.back().get());
+    }
+  }
+};
 
 TEST(SpscRingTest, FifoSingleThread) {
   SpscRing<int> ring(8);
@@ -142,7 +171,8 @@ TEST(PartitionQueueTest, BackpressureWhenFull) {
 }
 
 TEST(IntraSocketRouterTest, RoutesToOwnedPartitions) {
-  IntraSocketRouter router(0, {2, 5, 9}, 64);
+  RouterHarness h(0, {2, 5, 9}, 64);
+  IntraSocketRouter& router = h.router;
   EXPECT_TRUE(router.Owns(2));
   EXPECT_TRUE(router.Owns(9));
   EXPECT_FALSE(router.Owns(3));
@@ -152,8 +182,39 @@ TEST(IntraSocketRouterTest, RoutesToOwnedPartitions) {
   EXPECT_EQ(router.queue(5)->SizeApprox(), 1u);
 }
 
+TEST(IntraSocketRouterTest, RegisterDeregisterMovesQueueBetweenRouters) {
+  RouterHarness h0(0, {0, 1}, 64);
+  IntraSocketRouter r1(1, 64);
+  ASSERT_TRUE(h0.router.Enqueue(MakeMsg(1, 7)));
+  PartitionQueue* moved = h0.router.Deregister(1);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_FALSE(h0.router.Owns(1));
+  EXPECT_TRUE(h0.router.Owns(0));  // remaining partition still reachable
+  EXPECT_EQ(h0.router.PendingApprox(), 0u);
+  r1.Register(1, moved);
+  EXPECT_TRUE(r1.Owns(1));
+  // The queued message travelled with the queue.
+  EXPECT_EQ(r1.queue(1)->SizeApprox(), 1u);
+  size_t cursor = 0;
+  PartitionQueue* q = r1.AcquireNonEmpty(3, &cursor);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->partition(), 1);
+  q->Release(3);
+}
+
+TEST(IntraSocketRouterTest, CountsEnqueueRejects) {
+  RouterHarness h(0, {0}, 4);
+  int pushed = 0;
+  while (h.router.Enqueue(MakeMsg(0, pushed))) ++pushed;
+  EXPECT_EQ(pushed, 4);
+  EXPECT_EQ(h.router.enqueue_rejects(), 1);
+  EXPECT_FALSE(h.router.Enqueue(MakeMsg(0)));
+  EXPECT_EQ(h.router.enqueue_rejects(), 2);
+}
+
 TEST(IntraSocketRouterTest, AcquireNonEmptySkipsEmptyAndOwned) {
-  IntraSocketRouter router(0, {0, 1, 2}, 64);
+  RouterHarness h(0, {0, 1, 2}, 64);
+  IntraSocketRouter& router = h.router;
   router.Enqueue(MakeMsg(1));
   router.Enqueue(MakeMsg(2));
   size_t cursor = 0;
@@ -172,7 +233,8 @@ TEST(IntraSocketRouterTest, AcquireNonEmptySkipsEmptyAndOwned) {
 }
 
 TEST(IntraSocketRouterTest, RoundRobinFromCursor) {
-  IntraSocketRouter router(0, {0, 1, 2, 3}, 64);
+  RouterHarness h(0, {0, 1, 2, 3}, 64);
+  IntraSocketRouter& router = h.router;
   for (PartitionId p = 0; p < 4; ++p) router.Enqueue(MakeMsg(p));
   size_t cursor = 0;  // starts scanning at index 1
   PartitionQueue* q = router.AcquireNonEmpty(1, &cursor);
@@ -182,22 +244,22 @@ TEST(IntraSocketRouterTest, RoundRobinFromCursor) {
 }
 
 TEST(CommEndpointTest, PumpsToRemoteRouter) {
-  IntraSocketRouter r0(0, {0}, 64);
-  IntraSocketRouter r1(1, {1}, 64);
-  std::vector<IntraSocketRouter*> routers = {&r0, &r1};
+  RouterHarness h0(0, {0}, 64);
+  RouterHarness h1(1, {1}, 64);
+  std::vector<IntraSocketRouter*> routers = {&h0.router, &h1.router};
   CommEndpoint comm0(0, 2, 64);
   EXPECT_TRUE(comm0.BufferOutbound(1, MakeMsg(1, 42)));
   EXPECT_EQ(comm0.OutboundPendingApprox(), 1u);
   EXPECT_EQ(comm0.Pump(routers, 16), 1u);
   EXPECT_EQ(comm0.OutboundPendingApprox(), 0u);
-  EXPECT_EQ(r1.queue(1)->SizeApprox(), 1u);
+  EXPECT_EQ(h1.router.queue(1)->SizeApprox(), 1u);
   EXPECT_EQ(comm0.transferred(), 1);
 }
 
 TEST(CommEndpointTest, PumpBatchBounded) {
-  IntraSocketRouter r0(0, {0}, 1024);
-  IntraSocketRouter r1(1, {1}, 1024);
-  std::vector<IntraSocketRouter*> routers = {&r0, &r1};
+  RouterHarness h0(0, {0}, 1024);
+  RouterHarness h1(1, {1}, 1024);
+  std::vector<IntraSocketRouter*> routers = {&h0.router, &h1.router};
   CommEndpoint comm0(0, 2, 1024);
   for (int i = 0; i < 40; ++i) comm0.BufferOutbound(1, MakeMsg(1, i));
   EXPECT_EQ(comm0.Pump(routers, 16), 16u);
@@ -205,14 +267,16 @@ TEST(CommEndpointTest, PumpBatchBounded) {
 }
 
 TEST(MessageLayerTest, LocalSendGoesDirect) {
-  MessageLayer layer(2, {0, 0, 1, 1}, MessageLayerParams{});
+  TestPlacement placement({0, 0, 1, 1});
+  MessageLayer layer(2, &placement, MessageLayerParams{});
   EXPECT_TRUE(layer.Send(0, MakeMsg(1)));
   EXPECT_EQ(layer.router(0)->PendingApprox(), 1u);
   EXPECT_EQ(layer.comm(0)->OutboundPendingApprox(), 0u);
 }
 
 TEST(MessageLayerTest, RemoteSendBuffersThenPumps) {
-  MessageLayer layer(2, {0, 0, 1, 1}, MessageLayerParams{});
+  TestPlacement placement({0, 0, 1, 1});
+  MessageLayer layer(2, &placement, MessageLayerParams{});
   EXPECT_TRUE(layer.Send(0, MakeMsg(3)));  // partition 3 homed on socket 1
   EXPECT_EQ(layer.router(1)->PendingApprox(), 0u);
   EXPECT_EQ(layer.comm(0)->OutboundPendingApprox(), 1u);
@@ -222,12 +286,62 @@ TEST(MessageLayerTest, RemoteSendBuffersThenPumps) {
 }
 
 TEST(MessageLayerTest, HomeMapRespected) {
-  MessageLayer layer(2, {0, 1, 0, 1}, MessageLayerParams{});
+  TestPlacement placement({0, 1, 0, 1});
+  MessageLayer layer(2, &placement, MessageLayerParams{});
   EXPECT_EQ(layer.HomeOf(0), 0);
   EXPECT_EQ(layer.HomeOf(1), 1);
   EXPECT_EQ(layer.num_partitions(), 4);
   EXPECT_TRUE(layer.router(0)->Owns(2));
   EXPECT_TRUE(layer.router(1)->Owns(3));
+}
+
+TEST(MessageLayerTest, SendStampsCurrentEpoch) {
+  TestPlacement placement({0, 0});
+  MessageLayer layer(1, &placement, MessageLayerParams{});
+  placement.epoch_value = 5;
+  ASSERT_TRUE(layer.Send(0, MakeMsg(1, 99)));
+  std::vector<Message> batch;
+  PartitionQueue* q = layer.partition_queue(1);
+  ASSERT_TRUE(q->TryAcquire(0));
+  ASSERT_EQ(q->DequeueBatch(0, 8, &batch), 1u);
+  q->Release(0);
+  EXPECT_EQ(batch[0].epoch, 5);
+  EXPECT_EQ(batch[0].query_id, 99);
+}
+
+TEST(MessageLayerTest, SendRejectCountedPerOrigin) {
+  TestPlacement placement({0});
+  MessageLayerParams params;
+  params.partition_queue_capacity = 4;
+  MessageLayer layer(1, &placement, params);
+  int sent = 0;
+  while (layer.Send(0, MakeMsg(0, sent))) ++sent;
+  EXPECT_EQ(sent, 4);
+  const MessageLayer::SocketStats stats = layer.socket_stats(0);
+  EXPECT_EQ(stats.send_rejects, 1);
+  EXPECT_EQ(stats.enqueue_rejects, 1);
+}
+
+TEST(MessageLayerTest, RehomeMovesQueueAndForwardsStaleArrivals) {
+  TestPlacement placement({0, 1});
+  MessageLayer layer(2, &placement, MessageLayerParams{});
+  // A remote send is buffered towards partition 0's old home (socket 0)...
+  ASSERT_TRUE(layer.Send(1, MakeMsg(0, 7)));
+  ASSERT_TRUE(layer.Send(0, MakeMsg(0, 8)));  // and one already queued
+  // ...then the partition migrates to socket 1 before the comm pump runs.
+  EXPECT_EQ(layer.Rehome(0, 0, 1), 1u);
+  placement.home[0] = 1;
+  placement.epoch_value = 1;
+  EXPECT_TRUE(layer.router(1)->Owns(0));
+  EXPECT_FALSE(layer.router(0)->Owns(0));
+  // The in-flight message lands on socket 0, which no longer owns the
+  // partition: it must be forwarded to the new home, not dropped.
+  EXPECT_EQ(layer.PumpComm(1), 1u);  // socket1 -> socket0 transfer
+  EXPECT_EQ(layer.router(0)->PendingApprox(), 0u);
+  EXPECT_EQ(layer.socket_stats(0).stale_forwards, 1);
+  EXPECT_EQ(layer.PumpComm(0), 1u);  // forwarded hop arrives at socket 1
+  EXPECT_EQ(layer.router(1)->queue(0)->SizeApprox(), 2u);
+  EXPECT_EQ(layer.socket_stats(1).rehome_transfers, 1);
 }
 
 TEST(MessageTest, TypeNames) {

@@ -18,7 +18,7 @@ class TxnSchedulerTest : public ::testing::Test {
  protected:
   TxnSchedulerTest()
       : machine_(&sim_, hwsim::MachineParams::HaswellEp()),
-        db_(machine_.topology().total_threads(), 2),
+        db_(machine_.topology().total_threads()),
         txn_(&sim_, &machine_, &db_, TxnSchedulerParams{}) {}
 
   void Activate(int threads_per_socket) {
@@ -78,7 +78,7 @@ TEST_F(TxnSchedulerTest, SpinningInflatesInstructionsPerUsefulOp) {
   auto run_and_measure = [&](int threads_per_socket) {
     sim::Simulator sim;
     hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
-    Database db(machine.topology().total_threads(), 2);
+    Database db(machine.topology().total_threads());
     TxnScheduler txn(&sim, &machine, &db, TxnSchedulerParams{});
     for (SocketId s = 0; s < 2; ++s) {
       machine.ApplySocketConfig(s, hwsim::SocketConfig::FirstThreads(
@@ -109,7 +109,7 @@ TEST_F(TxnSchedulerTest, UsefulThroughputPeaksBelowAllThreads) {
   auto throughput = [&](int threads_per_socket) {
     sim::Simulator sim;
     hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
-    Database db(machine.topology().total_threads(), 2);
+    Database db(machine.topology().total_threads());
     TxnScheduler txn(&sim, &machine, &db, TxnSchedulerParams{});
     for (SocketId s = 0; s < 2; ++s) {
       machine.ApplySocketConfig(s, hwsim::SocketConfig::FirstThreads(
@@ -158,7 +158,7 @@ class StaticBindingTest : public ::testing::Test {
     QuerySpec spec;
     spec.profile = &workload::ComputeBound();
     spec.work.push_back({p, ops});
-    spec.origin_socket = engine_.db().HomeOf(p);
+    spec.origin_socket = engine_.placement().HomeOf(p);
     return spec;
   }
 
