@@ -2,9 +2,21 @@
 // utilization and applied performance level over time, including RTI usage
 // and a multiplexed-adaptation phase. Also runs the RTI-cycle ablation
 // from DESIGN.md.
+//
+// The table is sourced from the generic telemetry subsystem (sampled gauge
+// series + registry counters) rather than bespoke per-figure reads; the
+// output is byte-identical to the pre-telemetry version of this bench.
+// With --trace[=path] the run also exports a Chrome trace (load it in
+// chrome://tracing or ui.perfetto.dev) and the sampled series as CSV.
+#include <cstring>
+#include <string>
+
 #include "bench_common.h"
+#include "common/check.h"
 #include "ecl/ecl.h"
 #include "engine/engine.h"
+#include "telemetry/export.h"
+#include "telemetry/telemetry.h"
 #include "workload/driver.h"
 #include "workload/kv.h"
 #include "workload/load_profile.h"
@@ -14,10 +26,19 @@ using namespace ecldb;
 
 namespace {
 
-void RunTrace(int max_rti_cycles, bool print_table) {
+void RunTrace(int max_rti_cycles, bool print_table,
+              const std::string& trace_path) {
   sim::Simulator sim;
+  telemetry::TelemetryParams tp;
+  tp.enabled = true;
+  tp.sample_period = Seconds(1);
+  telemetry::Telemetry tel(tp);
+  tel.Bind(&sim);
   hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
-  engine::Engine engine(&sim, &machine, engine::EngineParams{});
+  machine.AttachTelemetry(&tel);
+  engine::EngineParams ep;
+  ep.telemetry = &tel;
+  engine::Engine engine(&sim, &machine, ep);
   workload::KvParams kvp;
   kvp.indexed = true;
   workload::KvWorkload kv(&engine, kvp);
@@ -25,6 +46,7 @@ void RunTrace(int max_rti_cycles, bool print_table) {
 
   ecl::EclParams params;
   params.socket.rti.max_cycles_per_interval = max_rti_cycles;
+  params.telemetry = &tel;
   ecl::EnergyControlLoop loop(&sim, &engine, params);
   loop.Start();
   engine.scheduler().SetSyntheticLoad(&kv.profile());
@@ -43,51 +65,96 @@ void RunTrace(int max_rti_cycles, bool print_table) {
   dp.capacity_qps = cap;
   workload::LoadDriver driver(&sim, &engine, &kv, &steps, dp);
   driver.Start();
+  tel.StartSampler(sim.now());
   sim.Schedule(sim.now() + Seconds(10), [&] { loop.FlagWorkloadChange(); });
 
-  TablePrinter table({"t s", "load", "util", "perf level", "config",
-                      "rti", "duty", "cycles", "mux evals"});
   const double e0 = machine.TotalEnergyJoules();
-  int64_t prev_evals = loop.socket(0).maintenance().multiplexed_evals();
+  // Multiplexed-evaluation deltas come from the registry counter; the
+  // per-second control state comes from the sampled gauge series below.
+  telemetry::MetricRegistry& reg = tel.registry();
+  std::vector<int64_t> eval_counts;
+  eval_counts.push_back(
+      reg.CounterValueByName("ecl/socket0/multiplexed_evals"));
   for (int t = 1; t <= 14; ++t) {
     sim.RunFor(Seconds(1));
-    ecl::SocketEcl& se = loop.socket(0);
-    const auto& plan = se.last_plan();
-    const int64_t evals = se.maintenance().multiplexed_evals();
-    if (print_table) {
-      table.AddRow({FmtInt(t), Fmt(steps.LoadAt(Seconds(t - 1)), 2),
-                    Fmt(se.last_utilization(), 2),
-                    Fmt(se.performance_level() / se.profile().PeakPerfScore(), 2),
-                    bench::Describe(machine.topology(),
-                                    se.profile().config(se.current_config_index())),
-                    plan.use_rti ? "on" : "off", Fmt(plan.duty, 2),
-                    FmtInt(plan.use_rti ? plan.cycles : 0),
-                    FmtInt(evals - prev_evals)});
-    }
-    prev_evals = evals;
+    eval_counts.push_back(
+        reg.CounterValueByName("ecl/socket0/multiplexed_evals"));
   }
   const double energy = machine.TotalEnergyJoules() - e0;
+
   if (print_table) {
+    TablePrinter table({"t s", "load", "util", "perf level", "config",
+                        "rti", "duty", "cycles", "mux evals"});
+    // Column indices into the sampled series (column 0 is t_s).
+    const std::vector<std::string> header = tel.SeriesHeader();
+    auto col = [&header](const char* name) {
+      for (size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name) return i;
+      }
+      ECLDB_CHECK(false && "series column not found");
+      return header.size();
+    };
+    const size_t c_util = col("ecl/socket0/utilization");
+    const size_t c_level = col("ecl/socket0/perf_level");
+    const size_t c_peak = col("ecl/socket0/peak_perf");
+    const size_t c_config = col("ecl/socket0/config_index");
+    const size_t c_duty = col("ecl/socket0/rti_duty");
+    const size_t c_cycles = col("ecl/socket0/rti_cycles");
+    const ecl::SocketEcl& se = loop.socket(0);
+    for (int t = 1; t <= 14; ++t) {
+      const std::vector<double>& row =
+          tel.series()[static_cast<size_t>(t - 1)];
+      const int config = static_cast<int>(row[c_config]);
+      const int cycles = static_cast<int>(row[c_cycles]);
+      table.AddRow({FmtInt(t), Fmt(steps.LoadAt(Seconds(t - 1)), 2),
+                    Fmt(row[c_util], 2), Fmt(row[c_level] / row[c_peak], 2),
+                    bench::Describe(machine.topology(),
+                                    se.profile().config(config)),
+                    cycles > 0 ? "on" : "off", Fmt(row[c_duty], 2),
+                    FmtInt(cycles),
+                    FmtInt(eval_counts[static_cast<size_t>(t)] -
+                           eval_counts[static_cast<size_t>(t - 1)])});
+    }
     table.Print();
   }
   std::printf("max RTI cycles/interval = %2d: energy %.1f J, mean latency "
               "%.1f ms, p99 %.1f ms\n",
               max_rti_cycles, energy, engine.latency().all().Mean(),
               engine.latency().all().Percentile(99));
+
+  if (!trace_path.empty()) {
+    if (telemetry::WriteChromeTrace(tel, trace_path)) {
+      std::printf("[trace exported to %s]\n", trace_path.c_str());
+    }
+    const std::string csv_path = trace_path + ".series.csv";
+    if (telemetry::WriteSeriesCsv(tel, csv_path)) {
+      std::printf("[telemetry series exported to %s]\n", csv_path.c_str());
+    }
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace or --trace=<path>: export the Chrome trace + series CSV of the
+  // headline run. Off by default so the default stdout stays stable.
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = "bench_results/fig11_socket_ecl_trace.trace.json";
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    }
+  }
   bench::PrintHeader(
       "fig11_socket_ecl_trace", "paper Fig. 11",
       "Socket-level ECL guiding example: utilization, applied performance "
       "level, RTI switching and a multiplexed-adaptation window (flagged "
       "at t=10 s). Indexed key-value workload, 1 Hz base interval.");
-  RunTrace(50, /*print_table=*/true);
+  RunTrace(50, /*print_table=*/true, trace_path);
 
   std::printf("\n-- ablation: RTI cycles per interval (DESIGN.md) --\n");
-  for (int cycles : {1, 5, 10, 20, 50}) RunTrace(cycles, false);
+  for (int cycles : {1, 5, 10, 20, 50}) RunTrace(cycles, false, "");
   std::printf(
       "\nShape check (paper): at full utilization the discovery strategy "
       "raises the performance level exponentially; below full utilization "

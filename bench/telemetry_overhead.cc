@@ -1,0 +1,86 @@
+// Telemetry disabled-path overhead check: advancing a fully-loaded machine
+// with a telemetry context attached (but disabled — no sampler, no trace)
+// must cost within a small tolerance of advancing with no telemetry at all.
+// The attached-but-disabled run still pays the always-on counter cells
+// (RAPL reads, C-state residency) and the inlined enabled-flag branches;
+// the point of the compile-time-inlined handle design is that this is
+// noise. Exits non-zero when the measured overhead exceeds the threshold
+// (default 2 %, override with ECLDB_TELEMETRY_OVERHEAD_PCT).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "hwsim/hw_config.h"
+#include "telemetry/telemetry.h"
+#include "workload/work_profiles.h"
+
+using namespace ecldb;
+
+namespace {
+
+/// One timed run: full solver path (fast-forward off), one forced machine
+/// slice per simulated millisecond — the per-slice work is where every
+/// disabled-path branch and always-on counter lives.
+double RunOnceSeconds(bool attach) {
+  sim::Simulator sim;
+  sim.set_fast_forward(false);
+  telemetry::TelemetryParams tp;  // enabled = false: the disabled path
+  telemetry::Telemetry tel(tp);
+  tel.Bind(&sim);
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  if (attach) machine.AttachTelemetry(&tel);
+  const hwsim::Topology& topo = machine.topology();
+  machine.ApplyMachineConfig(hwsim::MachineConfig::AllOn(topo, 2.6, 3.0));
+  for (int t = 0; t < topo.total_threads(); ++t) {
+    machine.SetThreadLoad(t, &workload::Firestarter(), 0.7);
+  }
+  // A constant load never re-enters the solver (the machine integrates
+  // lazily between boundaries), so perturb one thread's intensity every
+  // simulated millisecond: each step re-solves the full 48-thread slice.
+  constexpr int kSlices = 500000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int k = 0; k < kSlices; ++k) {
+    sim.RunFor(Millis(1));
+    machine.SetThreadLoad(k % topo.total_threads(), &workload::Firestarter(),
+                          (k & 1) != 0 ? 0.8 : 0.6);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "telemetry_overhead", "telemetry subsystem acceptance",
+      "Wall-clock cost of the telemetry disabled path: machine advance "
+      "with an attached-but-disabled telemetry context vs none at all.");
+
+  double threshold_pct = 2.0;
+  if (const char* env = std::getenv("ECLDB_TELEMETRY_OVERHEAD_PCT")) {
+    threshold_pct = std::atof(env);
+  }
+
+  // Best-of-N with alternating arms: scheduler noise only ever inflates a
+  // measurement, so the minimum is the fair estimate for each arm.
+  constexpr int kTrials = 5;
+  double best_off = 1e100, best_on = 1e100;
+  RunOnceSeconds(false);  // warm-up (page cache, allocator)
+  for (int i = 0; i < kTrials; ++i) {
+    best_off = std::min(best_off, RunOnceSeconds(false));
+    best_on = std::min(best_on, RunOnceSeconds(true));
+  }
+  const double overhead_pct = 100.0 * (best_on - best_off) / best_off;
+  std::printf("no telemetry:        %.3f s\n", best_off);
+  std::printf("attached, disabled:  %.3f s\n", best_on);
+  std::printf("overhead: %.2f %% (threshold %.2f %%)\n", overhead_pct,
+              threshold_pct);
+  if (overhead_pct > threshold_pct) {
+    std::printf("FAIL: disabled-path overhead above threshold\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "ecl/consolidation.h"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -18,6 +19,15 @@ ConsolidationPolicy::ConsolidationPolicy(sim::Simulator* simulator,
       params_(params) {
   ECLDB_CHECK(simulator != nullptr && engine != nullptr && system != nullptr);
   ECLDB_CHECK(load_ != nullptr);
+  if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
+    telemetry::MetricRegistry& reg = tel->registry();
+    reg.AddCounterFn("ecl/consolidation/ticks", [this] { return ticks_; });
+    reg.AddCounterFn("ecl/consolidation/consolidation_moves",
+                     [this] { return consolidation_moves_; });
+    reg.AddCounterFn("ecl/consolidation/spread_moves",
+                     [this] { return spread_moves_; });
+    trace_lane_ = tel->trace().RegisterLane("ecl/consolidation");
+  }
 }
 
 void ConsolidationPolicy::Start() {
@@ -98,12 +108,21 @@ void ConsolidationPolicy::Consolidate() {
   const std::vector<PartitionId> parts = placement.PartitionsOf(donor);
   const int moves =
       std::min<int>(params_.migrations_per_tick, static_cast<int>(parts.size()));
+  int started = 0;
   for (int i = 0; i < moves; ++i) {
     if (engine_->migrator().StartMigration(parts[static_cast<size_t>(i)],
                                            receiver)) {
       ++consolidation_moves_;
       last_direction_ = Direction::kConsolidate;
+      ++started;
     }
+  }
+  if (started > 0 && params_.telemetry != nullptr) {
+    params_.telemetry->trace().Instant(
+        trace_lane_, "ecl", "consolidate_batch", simulator_->now(),
+        "\"donor\":" + std::to_string(donor) +
+            ",\"receiver\":" + std::to_string(receiver) +
+            ",\"migrations\":" + std::to_string(started));
   }
 }
 
@@ -137,12 +156,20 @@ void ConsolidationPolicy::Spread() {
   const int moves = std::min<int>(
       {params_.spread_migrations_per_tick, gap / 2,
        static_cast<int>(candidates.size())});
+  int started = 0;
   for (int i = 0; i < moves; ++i) {
     if (engine_->migrator().StartMigration(candidates[static_cast<size_t>(i)],
                                            dst)) {
       ++spread_moves_;
       last_direction_ = Direction::kSpread;
+      ++started;
     }
+  }
+  if (started > 0 && params_.telemetry != nullptr) {
+    params_.telemetry->trace().Instant(
+        trace_lane_, "ecl", "spread_batch", simulator_->now(),
+        "\"src\":" + std::to_string(src) + ",\"dst\":" + std::to_string(dst) +
+            ",\"migrations\":" + std::to_string(started));
   }
 }
 

@@ -52,6 +52,9 @@ struct ConsolidationParams {
   /// The hold does not gamble with the latency limit: at or above this
   /// pressure the policy spreads immediately regardless of dwell.
   double spread_pressure_hard = 0.9;
+  /// Optional telemetry context: move/tick counters and instants for each
+  /// consolidate/spread batch on an "ecl/consolidation" lane.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// System-level whole-socket consolidation (the placement policy of the
@@ -100,6 +103,7 @@ class ConsolidationPolicy {
   int64_t ticks_ = 0;
   int64_t consolidation_moves_ = 0;
   int64_t spread_moves_ = 0;
+  int trace_lane_ = 0;  // "ecl/consolidation" lane when telemetry is attached
   /// Dwell-timer state: completed-migration count last observed, when it
   /// last changed, and which direction the last placement change moved in
   /// (the dwell only gates reversals).

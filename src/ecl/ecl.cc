@@ -13,6 +13,12 @@ EnergyControlLoop::EnergyControlLoop(sim::Simulator* simulator,
   hwsim::Machine& machine = engine_->machine();
   system_ = std::make_unique<SystemEcl>(simulator_, &engine_->latency(),
                                         params_.system);
+  if (params_.telemetry != nullptr) {
+    params_.socket.telemetry = params_.telemetry;
+    params_.consolidation.telemetry = params_.telemetry;
+    params_.telemetry->registry().AddGauge(
+        "ecl/pressure", [this] { return system_->pressure(); });
+  }
 
   profile::ConfigGenerator generator(machine.topology(), machine.freqs());
   for (SocketId s = 0; s < machine.topology().num_sockets; ++s) {

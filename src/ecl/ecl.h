@@ -24,6 +24,10 @@ struct EclParams {
   /// Whole-socket consolidation through live partition migration
   /// (disabled by default; see ConsolidationPolicy).
   ConsolidationParams consolidation;
+  /// Optional telemetry context, propagated into the socket ECLs and the
+  /// consolidation policy (overrides their individual params fields when
+  /// set); also registers the system-level latency-pressure gauge.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// The hierarchical Energy-Control Loop (paper Section 5): one socket-level

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 #include "common/check.h"
 
@@ -23,6 +24,30 @@ SocketEcl::SocketEcl(sim::Simulator* simulator, hwsim::Machine* machine,
       maintenance_(params.maintenance) {
   ECLDB_CHECK(simulator != nullptr && machine != nullptr);
   ECLDB_CHECK(util_source_ != nullptr);
+  if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
+    telemetry::MetricRegistry& reg = tel->registry();
+    const std::string base = "ecl/socket" + std::to_string(socket_) + "/";
+    reg.AddGauge(base + "utilization", [this] { return last_utilization_; });
+    reg.AddGauge(base + "perf_level", [this] { return perf_level_; });
+    reg.AddGauge(base + "measured_rate", [this] { return last_measured_rate_; });
+    // The profile's peak drifts with online adaptation, so consumers that
+    // want a relative performance level need the contemporaneous peak.
+    reg.AddGauge(base + "peak_perf", [this] { return profile_.PeakPerfScore(); });
+    reg.AddGauge(base + "config_index",
+                 [this] { return static_cast<double>(current_index_); });
+    reg.AddGauge(base + "rti_duty", [this] {
+      return last_plan_.use_rti ? last_plan_.duty : 1.0;
+    });
+    reg.AddGauge(base + "rti_cycles", [this] {
+      return last_plan_.use_rti ? static_cast<double>(last_plan_.cycles) : 0.0;
+    });
+    reg.AddGauge(base + "parked", [this] { return parked_ ? 1.0 : 0.0; });
+    reg.AddCounterFn(base + "ticks", [this] { return ticks_; });
+    reg.AddCounterFn(base + "multiplexed_evals",
+                     [this] { return maintenance_.multiplexed_evals(); });
+    trace_lane_ =
+        tel->trace().RegisterLane("ecl/socket" + std::to_string(socket_));
+  }
 }
 
 void SocketEcl::Start() {
@@ -137,6 +162,10 @@ void SocketEcl::Tick() {
     interval_t0_ = now;
     interval_e0_uj_ = ReadSocketEnergyUj();
     interval_i0_ = machine_->ReadSocketInstructions(socket_);
+    interval_poll0_ = machine_->ReadSocketPolledInstructions(socket_);
+    if (params_.telemetry != nullptr) {
+      params_.telemetry->trace().Instant(trace_lane_, "ecl", "parked", now);
+    }
     simulator_->Schedule(now + params_.interval, [this] { Tick(); });
     return;
   }
@@ -149,10 +178,21 @@ void SocketEcl::Tick() {
   // measured in the profile's currency (instructions retired / second).
   double measured_rate = 0.0;
   if (now > interval_t0_) {
-    measured_rate = static_cast<double>(
-                        machine_->ReadSocketInstructions(socket_) - interval_i0_) /
+    uint64_t instr_delta =
+        machine_->ReadSocketInstructions(socket_) - interval_i0_;
+    if (params_.exclude_poll_instructions) {
+      // Discount the idle-spin instructions of workless active threads:
+      // they retire at full rate while representing zero processed work,
+      // so counting them inflates the demand estimate of a mostly-idle
+      // (e.g. freshly consolidated) socket.
+      const uint64_t poll_delta =
+          machine_->ReadSocketPolledInstructions(socket_) - interval_poll0_;
+      instr_delta -= std::min(instr_delta, poll_delta);
+    }
+    measured_rate = static_cast<double>(instr_delta) /
                     ToSeconds(now - interval_t0_);
   }
+  last_measured_rate_ = measured_rate;
 
   // ---- Online adaptation: measure the finished interval -----------------
   // Intervals where the configuration ran uninterrupted and was
@@ -176,6 +216,10 @@ void SocketEcl::Tick() {
           &profile_, interval_config_, power, perf, now);
       if (outcome.drift_detected) {
         maintenance_.FlagDrift(&profile_);
+        if (params_.telemetry != nullptr) {
+          params_.telemetry->trace().Instant(trace_lane_, "ecl",
+                                             "drift_detected", now);
+        }
       }
     }
   }
@@ -190,6 +234,10 @@ void SocketEcl::Tick() {
         rti_active_instr_ / active_s, now);
     if (outcome.drift_detected) {
       maintenance_.FlagDrift(&profile_);
+      if (params_.telemetry != nullptr) {
+        params_.telemetry->trace().Instant(trace_lane_, "ecl",
+                                           "drift_detected", now);
+      }
     }
   }
   rti_active_energy_uj_ = 0.0;
@@ -220,7 +268,8 @@ void SocketEcl::Tick() {
 
   double demand = 0.0;
   int selected;
-  if (profile_.measured_count() == 0) {
+  const bool bootstrap = profile_.measured_count() == 0;
+  if (bootstrap) {
     // Bootstrap: nothing measured yet. Run the widest configuration (all
     // threads at maximum frequency) while multiplexed adaptation fills the
     // profile.
@@ -306,6 +355,24 @@ void SocketEcl::Tick() {
   interval_t0_ = now;
   interval_e0_uj_ = ReadSocketEnergyUj();
   interval_i0_ = machine_->ReadSocketInstructions(socket_);
+  interval_poll0_ = machine_->ReadSocketPolledInstructions(socket_);
+
+  if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
+    // One span per control interval carrying the decision and its reason.
+    const char* reason =
+        bootstrap ? "bootstrap" : (backlog_wake ? "backlog_wake" : "normal");
+    tel->trace().Span(
+        trace_lane_, "ecl", "tick", now, interval_end,
+        std::string("\"reason\":\"") + reason +
+            "\",\"config\":" + std::to_string(plan.config_index) +
+            ",\"rti\":" + (plan.use_rti ? "true" : "false") +
+            ",\"duty\":" + telemetry::JsonNumber(plan.duty) +
+            ",\"cycles\":" + std::to_string(plan.cycles) +
+            ",\"utilization\":" + telemetry::JsonNumber(utilization) +
+            ",\"demand\":" + telemetry::JsonNumber(demand) +
+            ",\"perf_level\":" + telemetry::JsonNumber(perf_level_) +
+            ",\"evals\":" + std::to_string(evals.size()));
+  }
 
   simulator_->Schedule(interval_end, [this] { Tick(); });
 }

@@ -31,6 +31,17 @@ struct SocketEclParams {
   /// Fraction of an interval that may be spent on multiplexed
   /// reevaluation.
   double max_eval_fraction = 0.75;
+  /// Excludes the idle-polling instructions of workless active threads
+  /// from the measured performance level. The paper's currency counts all
+  /// instructions retired, so a consolidated receiver socket running many
+  /// mostly-idle threads overstates its demand — the poll loops retire
+  /// instructions at full rate — which keeps the configuration wider than
+  /// the real work needs. With this set, the demand estimate tracks work
+  /// actually processed. Off by default (the paper's literal signal).
+  bool exclude_poll_instructions = false;
+  /// Optional telemetry context: control-state gauges, tick spans with
+  /// the decision reason, and drift/park instants.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// One socket-level ECL (paper Section 5.1): a reactive control loop,
@@ -60,6 +71,9 @@ class SocketEcl {
   int current_config_index() const { return current_index_; }
   const RtiController::Plan& last_plan() const { return last_plan_; }
   double last_utilization() const { return last_utilization_; }
+  /// Measured performance level (instr/s) of the last finished interval,
+  /// after the optional poll-instruction exclusion.
+  double last_measured_rate() const { return last_measured_rate_; }
   int64_t ticks() const { return ticks_; }
 
   /// Declares a workload change (flags the profile for reevaluation);
@@ -122,12 +136,15 @@ class SocketEcl {
   int current_index_ = -1;
   RtiController::Plan last_plan_;
   double last_utilization_ = 0.0;
+  double last_measured_rate_ = 0.0;
+  int trace_lane_ = 0;  // "ecl/socket{S}" lane when telemetry is attached
 
   /// Online-adaptation measurement state for the running interval.
   bool interval_clean_ = false;
   int interval_config_ = -1;
   uint64_t interval_e0_uj_ = 0;
   uint64_t interval_i0_ = 0;
+  uint64_t interval_poll0_ = 0;
   SimTime interval_t0_ = 0;
 
   /// RTI active-phase accumulators: during race-to-idle the queued work

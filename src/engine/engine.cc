@@ -12,16 +12,24 @@ Engine::Engine(sim::Simulator* simulator, hwsim::Machine* machine,
                              ? params.num_partitions
                              : machine->topology().total_threads();
   const int num_sockets = machine->topology().num_sockets;
+  msg::MessageLayerParams ml_params = params.message_layer;
+  SchedulerParams sched_params = params.scheduler;
+  MigrationParams mig_params = params.migration;
+  if (params.telemetry != nullptr) {
+    ml_params.telemetry = params.telemetry;
+    sched_params.telemetry = params.telemetry;
+    mig_params.telemetry = params.telemetry;
+  }
   placement_ = std::make_unique<PlacementMap>(partitions, num_sockets);
   db_ = std::make_unique<Database>(partitions);
   layer_ = std::make_unique<msg::MessageLayer>(num_sockets, placement_.get(),
-                                               params.message_layer);
+                                               ml_params);
   scheduler_ = std::make_unique<Scheduler>(simulator, machine, db_.get(),
                                            layer_.get(), placement_.get(),
-                                           params.scheduler);
+                                           sched_params);
   migrator_ = std::make_unique<MigrationCoordinator>(
       simulator, machine, db_.get(), placement_.get(), layer_.get(),
-      scheduler_.get(), params.migration);
+      scheduler_.get(), mig_params);
 }
 
 }  // namespace ecldb::engine

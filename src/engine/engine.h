@@ -22,6 +22,10 @@ struct EngineParams {
   msg::MessageLayerParams message_layer;
   SchedulerParams scheduler;
   MigrationParams migration;
+  /// Optional telemetry context, propagated to the message layer, the
+  /// scheduler, and the migration coordinator (overrides their individual
+  /// params fields when set).
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// The data-oriented in-memory DBMS: partitioned storage, the hierarchical

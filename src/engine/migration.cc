@@ -36,6 +36,19 @@ MigrationCoordinator::MigrationCoordinator(
       params_(params) {
   ECLDB_CHECK(simulator != nullptr && machine != nullptr && db != nullptr &&
               placement != nullptr && layer != nullptr && scheduler != nullptr);
+  if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
+    telemetry::MetricRegistry& reg = tel->registry();
+    reg.AddCounterFn("engine/migrations_started", [this] { return started_; });
+    reg.AddCounterFn("engine/migrations_completed",
+                     [this] { return completed_; });
+    reg.AddCounterFn("engine/migration_messages_rehomed",
+                     [this] { return messages_rehomed_; });
+    reg.AddGauge("engine/migrations_active",
+                 [this] { return static_cast<double>(active_); });
+    reg.AddGauge("engine/migration_bytes_moved",
+                 [this] { return bytes_moved_; });
+    trace_lane_ = tel->trace().RegisterLane("engine/migration");
+  }
 }
 
 double MigrationCoordinator::CopyBytes(PartitionId p) const {
@@ -72,34 +85,45 @@ bool MigrationCoordinator::StartMigration(PartitionId p, SocketId to) {
   const SimDuration estimate =
       qpi_gbps > 0.0 ? FromSeconds(bytes / (qpi_gbps * 1e9)) : SimDuration{0};
   const SimDuration first_check = std::max(params_.min_copy_time, estimate);
-  simulator_->ScheduleAfter(first_check, [this, p, copy_query, bytes] {
-    CheckHandover(p, copy_query, bytes);
+  const SimTime t_start = simulator_->now();
+  simulator_->ScheduleAfter(first_check, [this, p, copy_query, bytes, t_start] {
+    CheckHandover(p, copy_query, bytes, t_start);
   });
   return true;
 }
 
 void MigrationCoordinator::CheckHandover(PartitionId p, QueryId copy_query,
-                                         double bytes) {
+                                         double bytes, SimTime t_start) {
   if (scheduler_->IsInflight(copy_query)) {
     simulator_->ScheduleAfter(params_.check_interval,
-                              [this, p, copy_query, bytes] {
-                                CheckHandover(p, copy_query, bytes);
+                              [this, p, copy_query, bytes, t_start] {
+                                CheckHandover(p, copy_query, bytes, t_start);
                               });
     return;
   }
-  Handover(p, bytes);
+  Handover(p, bytes, t_start);
 }
 
-void MigrationCoordinator::Handover(PartitionId p, double bytes) {
+void MigrationCoordinator::Handover(PartitionId p, double bytes,
+                                    SimTime t_start) {
   const SocketId from = placement_->HomeOf(p);
   const SocketId to = placement_->MigrationTarget(p);
   scheduler_->PrepareRehome(p);
-  messages_rehomed_ +=
-      static_cast<int64_t>(layer_->Rehome(p, from, to));
+  const auto rehomed = static_cast<int64_t>(layer_->Rehome(p, from, to));
+  messages_rehomed_ += rehomed;
   placement_->CommitMigration(p);
   bytes_moved_ += bytes;
   --active_;
   ++completed_;
+  if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
+    // One span per migration: drain+copy start through placement commit.
+    tel->trace().Span(
+        trace_lane_, "engine", "migration", t_start, simulator_->now(),
+        "\"partition\":" + std::to_string(p) + ",\"from\":" +
+            std::to_string(from) + ",\"to\":" + std::to_string(to) +
+            ",\"bytes\":" + telemetry::JsonNumber(bytes) +
+            ",\"messages_rehomed\":" + std::to_string(rehomed));
+  }
 }
 
 }  // namespace ecldb::engine

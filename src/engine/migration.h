@@ -26,6 +26,10 @@ struct MigrationParams {
   /// table data, so benches set this to model a realistic copy cost;
   /// 0 = use the partition's actual in-memory bytes only.
   double min_shard_bytes = 0.0;
+  /// Optional telemetry context: migration counters plus one trace span
+  /// per migration (drain+copy through commit) on an "engine/migration"
+  /// lane.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Drives the live-migration protocol (drain -> copy -> rehome) on top of
@@ -74,8 +78,9 @@ class MigrationCoordinator {
 
  private:
   double CopyBytes(PartitionId p) const;
-  void CheckHandover(PartitionId p, QueryId copy_query, double bytes);
-  void Handover(PartitionId p, double bytes);
+  void CheckHandover(PartitionId p, QueryId copy_query, double bytes,
+                     SimTime t_start);
+  void Handover(PartitionId p, double bytes, SimTime t_start);
 
   sim::Simulator* simulator_;
   hwsim::Machine* machine_;
@@ -90,6 +95,7 @@ class MigrationCoordinator {
   int64_t completed_ = 0;
   double bytes_moved_ = 0.0;
   int64_t messages_rehomed_ = 0;
+  int trace_lane_ = 0;  // "engine/migration" lane when telemetry is attached
 };
 
 /// Work profile of the shard copy: a streaming, bandwidth-bound memcpy

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
 #include "common/check.h"
 
@@ -37,6 +38,30 @@ Scheduler::Scheduler(sim::Simulator* simulator, hwsim::Machine* machine,
     w.hw_thread = t;
     w.socket = topo.SocketOfThread(t);
     workers_.push_back(w);
+  }
+  if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
+    telemetry::MetricRegistry& reg = tel->registry();
+    const telemetry::HistogramSpec latency_spec{1e-3, 2.0, 32};  // ms
+    query_latency_ms_ = telemetry::HistogramHandle(
+        reg.AddHistogram("engine/query_latency_ms", latency_spec));
+    partition_latency_ms_.reserve(static_cast<size_t>(db_->num_partitions()));
+    for (PartitionId p = 0; p < db_->num_partitions(); ++p) {
+      partition_latency_ms_.push_back(telemetry::HistogramHandle(
+          reg.AddHistogram("engine/partition" + std::to_string(p) +
+                               "/latency_ms",
+                           latency_spec)));
+    }
+    reg.AddCounterFn("engine/queries_submitted",
+                     [this] { return queries_submitted_; });
+    reg.AddCounterFn("engine/queries_completed",
+                     [this] { return latency_.completed(); });
+    reg.AddGauge("engine/inflight", [this] {
+      return static_cast<double>(inflight_.size());
+    });
+    for (SocketId s = 0; s < topo.num_sockets; ++s) {
+      reg.AddGauge("engine/socket" + std::to_string(s) + "/backlog_ops",
+                   [this, s] { return BacklogOps(s); });
+    }
   }
   // Registered after the Machine (which the caller constructs first), so
   // each slice integrates hardware state before work is consumed.
@@ -142,9 +167,16 @@ void Scheduler::CompleteTask(const msg::Message& m, SimTime now) {
   }
   auto it = inflight_.find(m.query_id);
   ECLDB_DCHECK(it != inflight_.end());
+  if (!it->second.internal && !partition_latency_ms_.empty()) {
+    // Per-partition task latency: arrival of the query to completion of
+    // this partition's share of it.
+    partition_latency_ms_[static_cast<size_t>(m.partition)].Record(
+        ToSeconds(now - it->second.arrival) * 1e3);
+  }
   if (--it->second.pending_tasks == 0) {
     if (!it->second.internal) {
       latency_.RecordCompletion(it->second.arrival, now);
+      query_latency_ms_.Record(ToSeconds(now - it->second.arrival) * 1e3);
     }
     inflight_.erase(it);
   }

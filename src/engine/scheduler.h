@@ -32,6 +32,9 @@ struct SchedulerParams {
   /// balanced. Requires a 1:1 worker-partition ratio. Default off (the
   /// paper's elasticity extensions).
   bool static_binding = false;
+  /// Optional telemetry context: query/per-partition latency histograms,
+  /// backlog and inflight gauges, submit/complete counters.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Fluid executor of the data-oriented engine.
@@ -157,6 +160,9 @@ class Scheduler {
   int64_t queries_submitted_ = 0;
   const hwsim::WorkProfile* synthetic_load_ = nullptr;
   FunctionalExecutor functional_executor_;
+  /// Telemetry latency histograms (unbound handles = inlined no-ops).
+  telemetry::HistogramHandle query_latency_ms_;
+  std::vector<telemetry::HistogramHandle> partition_latency_ms_;
   /// True when the last slice was settled (see fast-forward notes above).
   bool steady_ = false;
   /// Machine config-write generation at the time `steady_` was computed;

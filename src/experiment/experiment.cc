@@ -36,8 +36,13 @@ RunResult RunLoadExperiment(const WorkloadFactory& factory,
                             const RunOptions& options) {
   sim::Simulator simulator;
   simulator.set_fast_forward(options.fast_forward);
+  telemetry::Telemetry* const tel = options.telemetry;
+  if (tel != nullptr) tel->Bind(&simulator);
   hwsim::Machine machine(&simulator, options.machine);
-  engine::Engine engine(&simulator, &machine, options.engine);
+  if (tel != nullptr) machine.AttachTelemetry(tel);
+  engine::EngineParams engine_params = options.engine;
+  if (tel != nullptr) engine_params.telemetry = tel;
+  engine::Engine engine(&simulator, &machine, engine_params);
   std::unique_ptr<workload::Workload> workload = factory(&engine);
   ECLDB_CHECK(workload != nullptr);
 
@@ -49,8 +54,10 @@ RunResult RunLoadExperiment(const WorkloadFactory& factory,
   ecl::BaselineController baseline(&machine);
   std::unique_ptr<ecl::EnergyControlLoop> loop;
   if (options.mode == ControlMode::kEcl) {
+    ecl::EclParams ecl_params = options.ecl;
+    if (tel != nullptr) ecl_params.telemetry = tel;
     loop = std::make_unique<ecl::EnergyControlLoop>(&simulator, &engine,
-                                                    options.ecl);
+                                                    ecl_params);
     loop->Start();
     if (options.prime_duration > 0) {
       engine.scheduler().SetSyntheticLoad(&workload->profile());
@@ -90,6 +97,67 @@ RunResult RunLoadExperiment(const WorkloadFactory& factory,
   for (SocketId sk = 0; sk < topo.num_sockets; ++sk) {
     sampler_last_socket_e[static_cast<size_t>(sk)] = SocketEnergyJ(machine, sk);
   }
+  // Telemetry mirrors of the sampler columns above. Each gauge replays the
+  // exact arithmetic of the legacy sampler with its own delta state, so the
+  // generic series is value-for-value identical to RunResult::series (the
+  // fig11 port proves this byte-for-byte). All reads are pure, so the two
+  // samplers coexisting at the same instants cannot perturb each other.
+  if (tel != nullptr) {
+    telemetry::MetricRegistry& reg = tel->registry();
+    const SimDuration period = options.sample_period;
+    reg.AddGauge("exp/offered_qps", [&driver, &simulator] {
+      return driver.OfferedQps(simulator.now());
+    });
+    auto last_energy = std::make_shared<double>(machine.TotalEnergyJoules());
+    reg.AddGauge("exp/rapl_power_w", [&machine, last_energy, period] {
+      const double e = machine.TotalEnergyJoules();
+      const double w = (e - *last_energy) / ToSeconds(period);
+      *last_energy = e;
+      return w;
+    });
+    reg.AddGauge("exp/latency_window_ms",
+                 [&engine] { return engine.latency().WindowMeanMs(); });
+    reg.AddGauge("exp/active_threads", [&machine, &topo] {
+      int threads = 0;
+      for (SocketId sk = 0; sk < topo.num_sockets; ++sk) {
+        threads += machine.requested_config(sk).ActiveThreadCount();
+      }
+      return static_cast<double>(threads);
+    });
+    ecl::EnergyControlLoop* const lp = loop.get();
+    reg.AddGauge("exp/perf_level_frac", [lp] {
+      if (lp == nullptr) return 0.0;
+      double level = 0.0;
+      for (int sk = 0; sk < lp->num_sockets(); ++sk) {
+        const ecl::SocketEcl& se = lp->socket(sk);
+        const double peak = se.profile().PeakPerfScore();
+        if (peak > 0.0) level += se.performance_level() / peak;
+      }
+      return level / lp->num_sockets();
+    });
+    reg.AddGauge("exp/utilization", [lp] {
+      if (lp == nullptr) return 0.0;
+      double util = 0.0;
+      for (int sk = 0; sk < lp->num_sockets(); ++sk) {
+        util += lp->socket(sk).last_utilization();
+      }
+      return util / lp->num_sockets();
+    });
+    for (SocketId sk = 0; sk < topo.num_sockets; ++sk) {
+      const std::string base = "exp/socket" + std::to_string(sk) + "/";
+      auto last_se = std::make_shared<double>(SocketEnergyJ(machine, sk));
+      reg.AddGauge(base + "power_w", [&machine, sk, last_se, period] {
+        const double se = SocketEnergyJ(machine, sk);
+        const double w = (se - *last_se) / ToSeconds(period);
+        *last_se = se;
+        return w;
+      });
+      reg.AddGauge(base + "partitions", [&engine, sk] {
+        return static_cast<double>(engine.placement().PartitionsOn(sk));
+      });
+    }
+    tel->StartSampler(run_start);
+  }
   for (SimTime t = run_start + options.sample_period; t <= run_end;
        t += options.sample_period) {
     simulator.Schedule(t, [&, t] {
@@ -128,6 +196,9 @@ RunResult RunLoadExperiment(const WorkloadFactory& factory,
 
   // Run the profile plus drain time for in-flight queries.
   simulator.RunUntil(run_end);
+  // Stop gauge sampling at the measurement boundary so the telemetry
+  // series covers exactly the rows the legacy sampler records.
+  if (tel != nullptr) tel->StopSampler();
   const double e1 = machine.TotalEnergyJoules();
   simulator.RunFor(Seconds(5));  // drain
 
@@ -159,6 +230,9 @@ RunResult RunLoadExperiment(const WorkloadFactory& factory,
     }
     loop->Stop();
   }
+  // Snapshot the registry while the run's objects are still alive; gauges
+  // and counter functions reference them and must not be read later.
+  if (tel != nullptr) result.telemetry_dump = tel->registry().Dump();
   return result;
 }
 

@@ -42,6 +42,19 @@ struct RunOptions {
   /// bit-identical results either way (see docs/architecture.md); off
   /// exists for determinism tests and debugging.
   bool fast_forward = true;
+  /// Optional telemetry context for the run. The experiment binds it to
+  /// the run's simulator, propagates it through every layer (machine,
+  /// engine, ECL), registers the experiment-level gauges the legacy
+  /// sampler reports (exp/offered_qps, exp/rapl_power_w, ...; identical
+  /// arithmetic, so the telemetry series is byte-compatible with
+  /// RunResult.series), and runs the gauge sampler over the measured
+  /// window. Construct it with sample_period equal to
+  /// RunOptions::sample_period for row-for-row equality. Must outlive the
+  /// call; afterwards only its *value* state is safe to read (series,
+  /// trace events, and the dump captured in RunResult::telemetry_dump) —
+  /// gauges reference run-local objects. Each concurrent RunMatrix arm
+  /// needs its own instance.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// One sample of the experiment time series (Figs. 11, 13-15).
@@ -88,6 +101,10 @@ struct RunResult {
   double migration_bytes = 0.0;
   /// In-flight messages forwarded after their partition moved away.
   int64_t stale_forwards = 0;
+  /// Deterministic metric-registry dump captured at the end of the run
+  /// (empty unless RunOptions::telemetry was set). Safe to compare after
+  /// the run's objects are gone.
+  std::string telemetry_dump;
 };
 
 /// Builds a workload against a fresh engine.

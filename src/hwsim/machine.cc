@@ -1,6 +1,7 @@
 #include "hwsim/machine.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
 
@@ -23,6 +24,8 @@ Machine::Machine(sim::Simulator* simulator, const MachineParams& params)
       instant_power_(static_cast<size_t>(params.topology.num_sockets)),
       instant_bandwidth_(static_cast<size_t>(params.topology.num_sockets), 0.0),
       idle_since_(static_cast<size_t>(params.topology.num_sockets), 0),
+      polled_instr_(static_cast<size_t>(params.topology.num_sockets), 0.0),
+      cached_poll_rate_(static_cast<size_t>(params.topology.num_sockets), 0.0),
       cached_ops_rate_(static_cast<size_t>(params.topology.total_threads()), 0.0),
       socket_busy_scratch_(static_cast<size_t>(params.topology.num_sockets), false),
       socket_scale_scratch_(static_cast<size_t>(params.topology.num_sockets), 1.0) {
@@ -118,6 +121,48 @@ double Machine::SocketBandwidthGbps(SocketId socket) const {
   return instant_bandwidth_[static_cast<size_t>(socket)];
 }
 
+namespace {
+const char* const kCstateName[] = {"active", "shallow_idle", "deep_idle"};
+}  // namespace
+
+void Machine::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  ECLDB_CHECK(telemetry != nullptr);
+  ECLDB_CHECK(telemetry_ == nullptr);
+  telemetry_ = telemetry;
+  telemetry::MetricRegistry& reg = telemetry->registry();
+  const int n = params_.topology.num_sockets;
+
+  rapl_reads_ = reg.AddCounter("hwsim/rapl_reads");
+  reg.AddCounterFn("hwsim/config_writes", [this] { return config_writes_; });
+
+  socket_lane_.assign(static_cast<size_t>(n), 0);
+  cstate_.assign(static_cast<size_t>(n), 0);
+  cstate_since_.assign(static_cast<size_t>(n), telemetry->now());
+  residency_ns_.assign(static_cast<size_t>(n) * 3, telemetry::Counter());
+  last_uncore_ghz_.assign(static_cast<size_t>(n), -1.0);
+
+  for (SocketId s = 0; s < n; ++s) {
+    const std::string base = "hwsim/socket" + std::to_string(s) + "/";
+    reg.AddGauge(base + "pkg_power_w", [this, s] { return InstantPkgPowerW(s); });
+    reg.AddGauge(base + "dram_power_w",
+                 [this, s] { return InstantDramPowerW(s); });
+    reg.AddGauge(base + "bandwidth_gbps",
+                 [this, s] { return SocketBandwidthGbps(s); });
+    reg.AddCounterFn(base + "instructions", [this, s] {
+      return static_cast<int64_t>(counters_.ReadSocket(s));
+    });
+    reg.AddCounterFn(base + "polled_instructions", [this, s] {
+      return static_cast<int64_t>(ReadSocketPolledInstructions(s));
+    });
+    for (int st = 0; st < 3; ++st) {
+      residency_ns_[static_cast<size_t>(s) * 3 + static_cast<size_t>(st)] =
+          reg.AddCounter(base + "residency_" + kCstateName[st] + "_ns");
+    }
+    socket_lane_[static_cast<size_t>(s)] =
+        telemetry->trace().RegisterLane("hwsim/socket" + std::to_string(s));
+  }
+}
+
 void Machine::Advance(SimTime t0, SimTime t1) {
   // A slice whose inputs are unchanged since the cached solve, that has no
   // pending stall, and that starts before the next firmware/C-state time
@@ -156,6 +201,9 @@ void Machine::IntegrateSlice(SimTime t0, SimTime t1) {
     const PowerBreakdown& p = instant_power_[idx];
     rapl_.AddEnergy(s, RaplDomain::kPackage, p.pkg_w * dt_s, t0, t1);
     rapl_.AddEnergy(s, RaplDomain::kDram, p.dram_w * dt_s, t0, t1);
+    // Mirrors SolveSlice's `poll_sum * dt_s * work_frac` with the cached
+    // per-socket sum and work_frac == 1 — bit-identical accumulation.
+    polled_instr_[idx] += cached_poll_rate_[idx] * dt_s;
   }
   for (HwThreadId t = 0; t < topo.total_threads(); ++t) {
     const auto idx = static_cast<size_t>(t);
@@ -225,12 +273,36 @@ void Machine::SolveSlice(SimTime t0, SimTime t1) {
     instant_bandwidth_[idx] = act.bandwidth_gbps;
     rapl_.AddEnergy(s, RaplDomain::kPackage, p.pkg_w * dt_s, t0, t1);
     rapl_.AddEnergy(s, RaplDomain::kDram, p.dram_w * dt_s, t0, t1);
+
+    if (telemetry_ != nullptr) {
+      // C-state residency: close the previous period on a depth change.
+      const int state = socket_idle ? (act.shallow_idle ? 1 : 2) : 0;
+      if (state != cstate_[idx]) {
+        const int prev = cstate_[idx];
+        residency_ns_[idx * 3 + static_cast<size_t>(prev)].Add(
+            t0 - cstate_since_[idx]);
+        telemetry_->trace().Span(socket_lane_[idx], "hwsim", kCstateName[prev],
+                                 cstate_since_[idx], t0);
+        cstate_[idx] = state;
+        cstate_since_[idx] = t0;
+      }
+      const double unc = effective_.sockets[idx].uncore_freq_ghz;
+      if (unc != last_uncore_ghz_[idx]) {
+        telemetry_->trace().Instant(
+            socket_lane_[idx], "hwsim", "uncore_freq_change", t0,
+            "\"uncore_ghz\":" + telemetry::JsonNumber(unc));
+        last_uncore_ghz_[idx] = unc;
+      }
+    }
   }
 
+  std::fill(cached_poll_rate_.begin(), cached_poll_rate_.end(), 0.0);
   for (HwThreadId t = 0; t < topo.total_threads(); ++t) {
     const auto idx = static_cast<size_t>(t);
     const ThreadRate& r = solved.threads[idx];
     counters_.AddInstructions(t, r.instr_per_sec * dt_s * work_frac);
+    cached_poll_rate_[static_cast<size_t>(topo.SocketOfThread(t))] +=
+        r.poll_instr_per_sec;
     current_rate_[idx] = r.ops_per_sec;
     const ThreadLoad& l = loads_[idx];
     if (l.profile != nullptr && l.intensity > 0.0) {
@@ -239,6 +311,10 @@ void Machine::SolveSlice(SimTime t0, SimTime t1) {
     } else {
       cached_ops_rate_[idx] = 0.0;
     }
+  }
+  for (SocketId s = 0; s < topo.num_sockets; ++s) {
+    polled_instr_[static_cast<size_t>(s)] +=
+        cached_poll_rate_[static_cast<size_t>(s)] * dt_s * work_frac;
   }
 
   // Refresh the steady-state cache: the just-solved slice describes every

@@ -17,6 +17,7 @@
 #include "hwsim/topology.h"
 #include "hwsim/work_profile.h"
 #include "sim/simulator.h"
+#include "telemetry/telemetry.h"
 
 namespace ecldb::hwsim {
 
@@ -118,6 +119,7 @@ class Machine {
   // --- Observables ----------------------------------------------------
 
   uint64_t ReadRaplUj(SocketId socket, RaplDomain domain) const {
+    rapl_reads_.Increment();
     return rapl_.ReadEnergyUj(socket, domain);
   }
   double ExactEnergyJoules(SocketId socket, RaplDomain domain) const {
@@ -131,6 +133,13 @@ class Machine {
   }
   uint64_t ReadSocketInstructions(SocketId socket) const {
     return counters_.ReadSocket(socket);
+  }
+  /// Cumulative instructions a socket's active threads retired *polling*
+  /// empty message queues (the idle-spin share of ReadSocketInstructions).
+  /// Software subtracts this from instruction deltas to estimate the rate
+  /// of real work.
+  uint64_t ReadSocketPolledInstructions(SocketId socket) const {
+    return static_cast<uint64_t>(polled_instr_[static_cast<size_t>(socket)]);
   }
 
   /// Instantaneous modeled power of the last slice.
@@ -146,6 +155,16 @@ class Machine {
   const PowerModel& power_model() const { return power_model_; }
   const BandwidthModel& bandwidth_model() const { return bandwidth_model_; }
   const PerfModel& perf_model() const { return perf_model_; }
+
+  // --- Telemetry ------------------------------------------------------
+
+  /// Registers the machine's observables with a telemetry context:
+  /// per-socket power/bandwidth gauges, instruction and C-state residency
+  /// counters, and one trace lane per socket (C-state residency spans and
+  /// frequency-change instants). Call at most once, before running.
+  /// Instrumentation without an attached context costs nothing beyond the
+  /// always-on polled-instruction accumulation (two adds per slice).
+  void AttachTelemetry(telemetry::Telemetry* telemetry);
 
  private:
   void Advance(SimTime t0, SimTime t1);
@@ -189,6 +208,19 @@ class Machine {
   int64_t config_writes_ = 0;
   /// Per-socket time the socket last became idle (kSimTimeNever = active).
   std::vector<SimTime> idle_since_;
+  /// Per-socket cumulative polled (idle-spin) instructions.
+  std::vector<double> polled_instr_;
+  /// Per-socket polling rate of the cached solution (instr/s).
+  std::vector<double> cached_poll_rate_;
+
+  // Telemetry (optional; nullptr = uninstrumented).
+  telemetry::Telemetry* telemetry_ = nullptr;
+  mutable telemetry::Counter rapl_reads_;
+  std::vector<int> socket_lane_;        // trace lane per socket
+  std::vector<int> cstate_;             // 0 = active, 1 = shallow, 2 = deep
+  std::vector<SimTime> cstate_since_;   // start of the current residency
+  std::vector<telemetry::Counter> residency_ns_;  // [socket * 3 + state]
+  std::vector<double> last_uncore_ghz_;  // freq-change instant tracking
 
   /// True when control-/work-plane inputs changed since the last solve.
   bool dirty_ = true;

@@ -216,12 +216,14 @@ void PerfModel::Solve(const MachineConfig& effective,
       rate.ops_per_sec = r;
       rate.instr_per_sec = r * load.intensity * load.profile->instr_per_op +
                            (1.0 - load.intensity) * poll_instr;
+      rate.poll_instr_per_sec = (1.0 - load.intensity) * poll_instr;
       rate.bytes_per_sec = r * load.intensity * load.profile->bytes_per_op;
       out.socket_bandwidth_gbps[static_cast<size_t>(s)] += rate.bytes_per_sec * 1e-9;
       busy_sum[static_cast<size_t>(s)] += load.intensity;
       scale_sum[static_cast<size_t>(s)] += load.intensity * load.profile->power_scale;
     } else {
       rate.instr_per_sec = poll_instr;
+      rate.poll_instr_per_sec = poll_instr;
     }
   }
   for (SocketId s = 0; s < topo_.num_sockets; ++s) {

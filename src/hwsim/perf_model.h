@@ -29,6 +29,11 @@ struct ThreadRate {
   /// Achieved instructions retired per second (includes the polling loop
   /// of workless active threads).
   double instr_per_sec = 0.0;
+  /// The polling-loop share of `instr_per_sec`: instructions that retire
+  /// while the thread spins on empty message queues rather than executing
+  /// operations. Tracked separately so control loops can discount idle
+  /// polling from demand estimates.
+  double poll_instr_per_sec = 0.0;
   /// Achieved DRAM traffic (bytes/s) at the offered intensity.
   double bytes_per_sec = 0.0;
 };

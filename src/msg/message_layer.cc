@@ -1,5 +1,7 @@
 #include "msg/message_layer.h"
 
+#include <string>
+
 #include "common/check.h"
 
 namespace ecldb::msg {
@@ -29,6 +31,30 @@ MessageLayer::MessageLayer(int num_sockets, const PlacementView* placement,
   deliver_ = [this](SocketId dest, const Message& m) {
     return DeliverAt(dest, m);
   };
+  if (telemetry::Telemetry* t = params_.telemetry; t != nullptr) {
+    telemetry::MetricRegistry& reg = t->registry();
+    for (int s = 0; s < num_sockets; ++s) {
+      const std::string base = "msg/socket" + std::to_string(s) + "/";
+      SocketCounters& c = stats_[static_cast<size_t>(s)];
+      c.send_rejects = reg.AddCounter(base + "send_rejects");
+      c.comm_rejects = reg.AddCounter(base + "comm_rejects");
+      c.stale_forwards = reg.AddCounter(base + "stale_forwards");
+      c.rehome_transfers = reg.AddCounter(base + "rehome_transfers");
+      // The router's reject counter is an atomic shared with workers; it
+      // stays in place and is exported read-through.
+      reg.AddCounterFn(base + "enqueue_rejects", [this, s] {
+        return routers_[static_cast<size_t>(s)]->enqueue_rejects();
+      });
+      reg.AddGauge(base + "router_pending", [this, s] {
+        return static_cast<double>(
+            routers_[static_cast<size_t>(s)]->PendingApprox());
+      });
+      reg.AddGauge(base + "comm_outbound_pending", [this, s] {
+        return static_cast<double>(
+            comms_[static_cast<size_t>(s)]->OutboundPendingApprox());
+      });
+    }
+  }
 }
 
 bool MessageLayer::Send(SocketId origin_socket, const Message& m) {
@@ -41,9 +67,9 @@ bool MessageLayer::Send(SocketId origin_socket, const Message& m) {
     ok = routers_[static_cast<size_t>(home)]->Enqueue(stamped);
   } else {
     ok = comms_[static_cast<size_t>(origin_socket)]->BufferOutbound(home, stamped);
-    if (!ok) ++stats_[static_cast<size_t>(origin_socket)].comm_rejects;
+    if (!ok) stats_[static_cast<size_t>(origin_socket)].comm_rejects.Increment();
   }
-  if (!ok) ++stats_[static_cast<size_t>(origin_socket)].send_rejects;
+  if (!ok) stats_[static_cast<size_t>(origin_socket)].send_rejects.Increment();
   return ok;
 }
 
@@ -56,10 +82,10 @@ bool MessageLayer::DeliverAt(SocketId at, const Message& m) {
   const SocketId home = placement_->HomeOf(m.partition);
   ECLDB_DCHECK(home != at);
   if (!comms_[static_cast<size_t>(at)]->BufferOutbound(home, m)) {
-    ++stats_[static_cast<size_t>(at)].comm_rejects;
+    stats_[static_cast<size_t>(at)].comm_rejects.Increment();
     return false;  // re-buffered at the sender, retried next pump
   }
-  ++stats_[static_cast<size_t>(at)].stale_forwards;
+  stats_[static_cast<size_t>(at)].stale_forwards.Increment();
   return true;
 }
 
@@ -74,13 +100,18 @@ size_t MessageLayer::Rehome(PartitionId p, SocketId from, SocketId to) {
   PartitionQueue* queue = routers_[static_cast<size_t>(from)]->Deregister(p);
   routers_[static_cast<size_t>(to)]->Register(p, queue);
   const size_t moved = queue->SizeApprox();
-  stats_[static_cast<size_t>(to)].rehome_transfers +=
-      static_cast<int64_t>(moved);
+  stats_[static_cast<size_t>(to)].rehome_transfers.Add(
+      static_cast<int64_t>(moved));
   return moved;
 }
 
 MessageLayer::SocketStats MessageLayer::socket_stats(SocketId s) const {
-  SocketStats out = stats_[static_cast<size_t>(s)];
+  const SocketCounters& c = stats_[static_cast<size_t>(s)];
+  SocketStats out;
+  out.send_rejects = c.send_rejects.value();
+  out.comm_rejects = c.comm_rejects.value();
+  out.stale_forwards = c.stale_forwards.value();
+  out.rehome_transfers = c.rehome_transfers.value();
   out.enqueue_rejects = routers_[static_cast<size_t>(s)]->enqueue_rejects();
   return out;
 }

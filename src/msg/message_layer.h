@@ -10,6 +10,7 @@
 #include "msg/intra_socket_router.h"
 #include "msg/message.h"
 #include "msg/placement_view.h"
+#include "telemetry/telemetry.h"
 
 namespace ecldb::msg {
 
@@ -17,6 +18,11 @@ struct MessageLayerParams {
   size_t partition_queue_capacity = 1 << 14;
   size_t comm_channel_capacity = 1 << 14;
   size_t comm_pump_batch = 256;
+  /// Optional telemetry context. When set, the layer's backpressure and
+  /// forwarding counters live in the registry (`msg/socket{S}/...`) and
+  /// per-socket queue-occupancy gauges are registered. Counter semantics
+  /// are unchanged either way (the handles fall back to inline storage).
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Facade of the hierarchical message passing layer (paper Fig. 1): one
@@ -96,12 +102,24 @@ class MessageLayer {
   /// partition no longer lives there.
   bool DeliverAt(SocketId at, const Message& m);
 
+  /// Counter-handle mirror of SocketStats. Without a telemetry context the
+  /// handles count into their own inline storage — identical cost and
+  /// thread-safety to the plain int64 fields they replaced. The router's
+  /// enqueue-reject counter stays an atomic inside the router (workers hit
+  /// it concurrently) and is exported read-through.
+  struct SocketCounters {
+    telemetry::Counter send_rejects;
+    telemetry::Counter comm_rejects;
+    telemetry::Counter stale_forwards;
+    telemetry::Counter rehome_transfers;
+  };
+
   MessageLayerParams params_;
   const PlacementView* placement_;
   std::vector<std::unique_ptr<PartitionQueue>> queues_;  // by partition id
   std::vector<std::unique_ptr<IntraSocketRouter>> routers_;
   std::vector<std::unique_ptr<CommEndpoint>> comms_;
-  std::vector<SocketStats> stats_;
+  std::vector<SocketCounters> stats_;
   CommEndpoint::DeliverFn deliver_;
 };
 

@@ -1,0 +1,162 @@
+#include "telemetry/metric_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ecldb::telemetry {
+
+Histogram::Histogram(std::string name, const HistogramSpec& spec)
+    : name_(std::move(name)) {
+  ECLDB_CHECK(spec.first_bound > 0.0);
+  ECLDB_CHECK(spec.growth > 1.0);
+  ECLDB_CHECK(spec.num_buckets >= 1);
+  bounds_.reserve(static_cast<size_t>(spec.num_buckets));
+  double b = spec.first_bound;
+  for (int i = 0; i < spec.num_buckets; ++i) {
+    bounds_.push_back(b);
+    b *= spec.growth;
+  }
+  counts_.assign(static_cast<size_t>(spec.num_buckets) + 1, 0);
+}
+
+int Histogram::BucketOf(double value) const {
+  // First bucket whose upper bound is >= value; overflow past the last.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<int>(it - bounds_.begin());
+}
+
+void Histogram::Record(double value) {
+  ++counts_[static_cast<size_t>(BucketOf(value))];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::PercentileBound(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (static_cast<double>(seen) >= target && counts_[i] > 0) {
+      return i < bounds_.size() ? bounds_[i] : max_;
+    }
+  }
+  return max_;
+}
+
+void MetricRegistry::CheckNameFree(const std::string& name) const {
+  for (const CounterEntry& c : counters_) ECLDB_CHECK(c.name != name);
+  for (const GaugeEntry& g : gauges_) ECLDB_CHECK(g.name != name);
+  for (const auto& h : histograms_) ECLDB_CHECK(h->name() != name);
+}
+
+Counter MetricRegistry::AddCounter(const std::string& name) {
+  CheckNameFree(name);
+  cells_.push_back(0);
+  counters_.push_back(CounterEntry{name, &cells_.back(), nullptr});
+  return Counter(&cells_.back());
+}
+
+void MetricRegistry::AddCounterFn(const std::string& name,
+                                  std::function<int64_t()> fn) {
+  CheckNameFree(name);
+  ECLDB_CHECK(fn != nullptr);
+  counters_.push_back(CounterEntry{name, nullptr, std::move(fn)});
+}
+
+void MetricRegistry::AddGauge(const std::string& name,
+                              std::function<double()> fn) {
+  CheckNameFree(name);
+  ECLDB_CHECK(fn != nullptr);
+  gauges_.push_back(GaugeEntry{name, std::move(fn)});
+}
+
+Histogram* MetricRegistry::AddHistogram(const std::string& name,
+                                        const HistogramSpec& spec) {
+  CheckNameFree(name);
+  histograms_.push_back(std::make_unique<Histogram>(name, spec));
+  return histograms_.back().get();
+}
+
+int MetricRegistry::GaugeIndex(const std::string& name) const {
+  for (size_t i = 0; i < gauges_.size(); ++i) {
+    if (gauges_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int64_t MetricRegistry::CounterValue(int i) const {
+  const CounterEntry& c = counters_[static_cast<size_t>(i)];
+  return c.cell != nullptr ? *c.cell : c.fn();
+}
+
+int64_t MetricRegistry::CounterValueByName(const std::string& name,
+                                           bool* found) const {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i].name == name) {
+      if (found != nullptr) *found = true;
+      return CounterValue(static_cast<int>(i));
+    }
+  }
+  if (found != nullptr) *found = false;
+  return 0;
+}
+
+const Histogram* MetricRegistry::HistogramByName(const std::string& name) const {
+  for (const auto& h : histograms_) {
+    if (h->name() == name) return h.get();
+  }
+  return nullptr;
+}
+
+std::string MetricRegistry::Dump() const {
+  // One line per metric, sorted by name so the dump is independent of
+  // registration order (which may differ between wiring variants).
+  std::vector<std::string> lines;
+  char buf[256];
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "counter %s %lld", counters_[i].name.c_str(),
+                  static_cast<long long>(CounterValue(static_cast<int>(i))));
+    lines.emplace_back(buf);
+  }
+  for (const GaugeEntry& g : gauges_) {
+    std::snprintf(buf, sizeof(buf), "gauge %s %.10g", g.name.c_str(), g.fn());
+    lines.emplace_back(buf);
+  }
+  for (const auto& h : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %s count=%lld sum=%.10g min=%.10g max=%.10g",
+                  h->name().c_str(), static_cast<long long>(h->count()),
+                  h->sum(), h->min(), h->max());
+    std::string line(buf);
+    line += " buckets=";
+    const std::vector<int64_t>& counts = h->buckets();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;  // sparse: only occupied buckets
+      const double bound =
+          i < h->bounds().size() ? h->bounds()[i] : h->max();
+      std::snprintf(buf, sizeof(buf), "%s%.10g:%lld", line.back() == '=' ? "" : ",",
+                    bound, static_cast<long long>(counts[i]));
+      line += buf;
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ecldb::telemetry

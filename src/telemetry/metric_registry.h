@@ -1,0 +1,184 @@
+#ifndef ECLDB_TELEMETRY_METRIC_REGISTRY_H_
+#define ECLDB_TELEMETRY_METRIC_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ecldb::telemetry {
+
+/// Handle to a monotonically-increasing integer counter.
+///
+/// The handle is always valid: default-constructed (or constructed from a
+/// null cell) it counts into its own inline storage, so instrumented
+/// components work unchanged when no registry is attached — the increment
+/// compiles to a single add either way, which is what makes the disabled
+/// path effectively free (the overhead microbench pins this).
+class Counter {
+ public:
+  Counter() : cell_(&local_) {}
+  explicit Counter(int64_t* cell) : cell_(cell != nullptr ? cell : &local_) {}
+
+  Counter(const Counter& other)
+      : local_(other.value()),
+        cell_(other.is_local() ? &local_ : other.cell_) {}
+  Counter& operator=(const Counter& other) {
+    if (this == &other) return *this;
+    if (other.is_local()) {
+      local_ = other.value();
+      cell_ = &local_;
+    } else {
+      cell_ = other.cell_;
+    }
+    return *this;
+  }
+
+  void Increment() { ++*cell_; }
+  void Add(int64_t delta) { *cell_ += delta; }
+  int64_t value() const { return *cell_; }
+
+ private:
+  bool is_local() const { return cell_ == &local_; }
+
+  int64_t local_ = 0;
+  int64_t* cell_;
+};
+
+/// Fixed log-spaced bucket layout of a histogram. Boundaries are computed
+/// once by repeated multiplication (`bound[i+1] = bound[i] * growth`), so
+/// they are byte-identical for a given spec on every run and across
+/// `RunMatrix --jobs` values — the property the determinism tests pin.
+struct HistogramSpec {
+  /// Upper bound of the first bucket.
+  double first_bound = 1e-3;
+  /// Multiplicative bucket growth (> 1).
+  double growth = 2.0;
+  /// Number of bounded buckets; one overflow bucket is appended.
+  int num_buckets = 32;
+};
+
+/// Log-bucketed histogram with deterministic, fixed bucket boundaries.
+/// Bucket i counts values v with bound[i-1] < v <= bound[i] (bucket 0
+/// counts v <= bound[0]); values above the last bound go to the overflow
+/// bucket. Sum/min/max accumulate in record order.
+class Histogram {
+ public:
+  Histogram(std::string name, const HistogramSpec& spec);
+
+  const std::string& name() const { return name_; }
+
+  void Record(double value);
+
+  int BucketOf(double value) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<int64_t>& buckets() const { return counts_; }
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double Mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Upper bound of the bucket containing the p-th percentile (p in
+  /// [0, 100]); max() for the overflow bucket. Deterministic.
+  double PercentileBound(double p) const;
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;   // size num_buckets
+  std::vector<int64_t> counts_;  // size num_buckets + 1 (overflow last)
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Null-safe histogram handle for instrumentation sites: recording through
+/// an unbound handle is an inlined no-op.
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  explicit HistogramHandle(Histogram* h) : h_(h) {}
+  void Record(double value) {
+    if (h_ != nullptr) h_->Record(value);
+  }
+  const Histogram* get() const { return h_; }
+
+ private:
+  Histogram* h_ = nullptr;
+};
+
+/// Registry of named metrics: counters (owned cells or read-through
+/// functions over existing component counters), pull-mode gauges, and
+/// log-bucketed histograms. Everything is sim-time/state derived, so a
+/// dump is a pure function of the run. Dump order is sorted by name,
+/// independent of registration order.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Creates a registry-owned counter cell. `name` must be unique.
+  Counter AddCounter(const std::string& name);
+
+  /// Registers a counter that reads through to an existing component
+  /// counter (migration path for counters whose storage must stay where
+  /// it is, e.g. atomics shared with worker threads).
+  void AddCounterFn(const std::string& name, std::function<int64_t()> fn);
+
+  /// Registers a pull-mode gauge. The function is evaluated at sampling
+  /// and export time only; it may carry mutable state (e.g. an energy
+  /// delta over the sample period).
+  void AddGauge(const std::string& name, std::function<double()> fn);
+
+  Histogram* AddHistogram(const std::string& name, const HistogramSpec& spec);
+
+  /// Number of registered metrics of each kind.
+  int num_counters() const { return static_cast<int>(counters_.size()); }
+  int num_gauges() const { return static_cast<int>(gauges_.size()); }
+  int num_histograms() const { return static_cast<int>(histograms_.size()); }
+
+  /// Gauge access in registration order (the sampler's column order).
+  const std::string& gauge_name(int i) const { return gauges_[static_cast<size_t>(i)].name; }
+  double GaugeValue(int i) const { return gauges_[static_cast<size_t>(i)].fn(); }
+  /// Index of a gauge by name, -1 when absent.
+  int GaugeIndex(const std::string& name) const;
+
+  int64_t CounterValue(int i) const;
+  const std::string& counter_name(int i) const { return counters_[static_cast<size_t>(i)].name; }
+  /// Value of a named counter; 0 when absent (`found` reports presence).
+  int64_t CounterValueByName(const std::string& name, bool* found = nullptr) const;
+
+  const Histogram* histogram(int i) const { return histograms_[static_cast<size_t>(i)].get(); }
+  const Histogram* HistogramByName(const std::string& name) const;
+
+  /// Deterministic text dump of every metric, sorted by name: the golden
+  /// artifact of the determinism tests.
+  std::string Dump() const;
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    int64_t* cell = nullptr;            // owned cell, or
+    std::function<int64_t()> fn;        // read-through
+  };
+  struct GaugeEntry {
+    std::string name;
+    std::function<double()> fn;
+  };
+
+  void CheckNameFree(const std::string& name) const;
+
+  std::deque<int64_t> cells_;  // stable addresses for owned counter cells
+  std::vector<CounterEntry> counters_;
+  std::vector<GaugeEntry> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ecldb::telemetry
+
+#endif  // ECLDB_TELEMETRY_METRIC_REGISTRY_H_

@@ -1,0 +1,66 @@
+#include "telemetry/telemetry.h"
+
+#include "common/check.h"
+
+namespace ecldb::telemetry {
+
+Telemetry::Telemetry(const TelemetryParams& params)
+    : params_(params), trace_(params.trace_capacity) {
+  trace_.set_enabled(params_.enabled);
+}
+
+void Telemetry::StartSampler(SimTime origin) {
+  if (!params_.enabled) return;
+  ECLDB_CHECK(simulator_ != nullptr);
+  sampling_ = true;
+  origin_ = origin;
+  series_gauges_ = registry_.num_gauges();
+  next_sample_ = origin + params_.sample_period;
+  ScheduleNext();
+}
+
+void Telemetry::ScheduleNext() {
+  simulator_->Schedule(next_sample_, [this] {
+    if (!sampling_) return;
+    SampleNow();
+    next_sample_ += params_.sample_period;
+    ScheduleNext();
+  });
+}
+
+void Telemetry::SampleNow() {
+  const SimTime ts = now();
+  std::vector<double> row;
+  row.reserve(static_cast<size_t>(series_gauges_) + 1);
+  row.push_back(ToSeconds(ts - origin_));
+  for (int i = 0; i < series_gauges_; ++i) {
+    const double v = registry_.GaugeValue(i);
+    row.push_back(v);
+    if (params_.trace_gauges) {
+      trace_.CounterSample(registry_.gauge_name(i), ts, v);
+    }
+  }
+  series_.push_back(std::move(row));
+}
+
+std::vector<std::string> Telemetry::SeriesHeader() const {
+  std::vector<std::string> header;
+  header.reserve(static_cast<size_t>(series_gauges_) + 1);
+  header.emplace_back("t_s");
+  const int n = sampling_ || !series_.empty() ? series_gauges_
+                                              : registry_.num_gauges();
+  for (int i = 0; i < n; ++i) header.push_back(registry_.gauge_name(i));
+  return header;
+}
+
+Counter MakeCounter(Telemetry* t, const std::string& name) {
+  return t != nullptr ? t->registry().AddCounter(name) : Counter();
+}
+
+HistogramHandle MakeHistogram(Telemetry* t, const std::string& name,
+                              const HistogramSpec& spec) {
+  return t != nullptr ? HistogramHandle(t->registry().AddHistogram(name, spec))
+                      : HistogramHandle();
+}
+
+}  // namespace ecldb::telemetry

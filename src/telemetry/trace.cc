@@ -1,0 +1,75 @@
+#include "telemetry/trace.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ecldb::telemetry {
+
+TraceRecorder::TraceRecorder(size_t capacity) : buffer_(capacity) {
+  ECLDB_CHECK(capacity > 0);
+}
+
+int TraceRecorder::RegisterLane(const std::string& name) {
+  lanes_.push_back(name);
+  return static_cast<int>(lanes_.size() - 1);
+}
+
+void TraceRecorder::CounterSample(const std::string& name, SimTime ts,
+                                  double value) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kCounter;
+  e.ts = ts;
+  e.lane = 0;
+  e.cat = "metric";
+  e.name = name;
+  e.args = "\"value\":" + JsonNumber(value);
+  Push(std::move(e));
+}
+
+void TraceRecorder::Push(TraceEvent e) {
+  if (size_ == buffer_.size()) ++dropped_;  // overwriting the oldest
+  buffer_[head_] = std::move(e);
+  head_ = (head_ + 1) % buffer_.size();
+  if (size_ < buffer_.size()) ++size_;
+}
+
+std::vector<const TraceEvent*> TraceRecorder::InOrder() const {
+  std::vector<const TraceEvent*> out;
+  out.reserve(size_);
+  const size_t start = (head_ + buffer_.size() - size_) % buffer_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(&buffer_[(start + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace ecldb::telemetry

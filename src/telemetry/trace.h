@@ -1,0 +1,97 @@
+#ifndef ECLDB_TELEMETRY_TRACE_H_
+#define ECLDB_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecldb::telemetry {
+
+/// One recorded trace event. Timestamps are virtual simulation time in
+/// nanoseconds — never wall clock — so a trace is a pure function of the
+/// run and byte-identical across repeats and `--jobs` values.
+struct TraceEvent {
+  enum class Phase : uint8_t {
+    kComplete,  // span with begin time and duration ("X")
+    kInstant,   // point event ("i")
+    kCounter,   // counter sample ("C")
+  };
+
+  Phase phase = Phase::kInstant;
+  SimTime ts = 0;       // begin time (ns)
+  SimDuration dur = 0;  // span duration (ns), kComplete only
+  int lane = 0;         // rendered as the trace "tid" (one lane per component)
+  std::string cat;      // low-cardinality category ("ecl", "hwsim", ...)
+  std::string name;
+  /// Pre-rendered JSON object *body* (without braces), e.g. `"config":3`;
+  /// empty for none. For kCounter events this is the value ("value":x).
+  std::string args;
+};
+
+/// Bounded ring buffer of trace events: begin/end spans, instant events,
+/// and counter samples. When full, the oldest events are overwritten and
+/// counted in `dropped()` — long runs keep the most recent window, which
+/// is what one debugs. Recording through a disabled recorder is an
+/// inlined flag test, nothing else.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Registers a named lane (rendered as a thread track in Perfetto).
+  /// Returns the lane id to pass to the record calls.
+  int RegisterLane(const std::string& name);
+  const std::vector<std::string>& lanes() const { return lanes_; }
+
+  void Instant(int lane, const char* cat, const char* name, SimTime ts,
+               std::string args = std::string()) {
+    if (!enabled_) return;
+    Push(TraceEvent{TraceEvent::Phase::kInstant, ts, 0, lane, cat, name,
+                    std::move(args)});
+  }
+
+  /// Records a completed span [t0, t1].
+  void Span(int lane, const char* cat, const char* name, SimTime t0, SimTime t1,
+            std::string args = std::string()) {
+    if (!enabled_) return;
+    Push(TraceEvent{TraceEvent::Phase::kComplete, t0, t1 - t0, lane, cat, name,
+                    std::move(args)});
+  }
+
+  /// Records one sample of a named counter track.
+  void CounterSample(const std::string& name, SimTime ts, double value);
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return buffer_.size(); }
+  int64_t dropped() const { return dropped_; }
+
+  /// Events in record order (oldest first).
+  std::vector<const TraceEvent*> InOrder() const;
+
+ private:
+  void Push(TraceEvent e);
+
+  bool enabled_ = false;
+  std::vector<TraceEvent> buffer_;
+  size_t head_ = 0;  // next write position
+  size_t size_ = 0;
+  int64_t dropped_ = 0;
+  std::vector<std::string> lanes_;
+};
+
+/// Renders a double for a JSON args body with deterministic formatting.
+std::string JsonNumber(double v);
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace ecldb::telemetry
+
+#endif  // ECLDB_TELEMETRY_TRACE_H_

@@ -1,0 +1,496 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv_writer.h"
+#include "ecl/ecl.h"
+#include "engine/engine.h"
+#include "experiment/experiment.h"
+#include "experiment/run_matrix.h"
+#include "hwsim/hw_config.h"
+#include "hwsim/machine.h"
+#include "sim/simulator.h"
+#include "telemetry/export.h"
+#include "telemetry/metric_registry.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+#include "workload/driver.h"
+#include "workload/kv.h"
+#include "workload/load_profile.h"
+#include "workload/micro.h"
+#include "workload/work_profiles.h"
+#include "workload/workload.h"
+
+namespace ecldb::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Metric registry
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, UnboundHandleCountsLocally) {
+  Counter c;
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(CounterTest, CopyOfLocalCounterIsIndependent) {
+  Counter a;
+  a.Add(5);
+  Counter b = a;  // value copies, storage re-points to the copy
+  b.Increment();
+  EXPECT_EQ(a.value(), 5);
+  EXPECT_EQ(b.value(), 6);
+}
+
+TEST(CounterTest, RegistryBackedCopiesShareTheCell) {
+  MetricRegistry reg;
+  Counter a = reg.AddCounter("x");
+  Counter b = a;
+  a.Increment();
+  b.Add(2);
+  EXPECT_EQ(a.value(), 3);
+  EXPECT_EQ(reg.CounterValueByName("x"), 3);
+}
+
+TEST(RegistryTest, CounterFnReadsThrough) {
+  MetricRegistry reg;
+  int64_t backing = 0;
+  reg.AddCounterFn("atomic_mirror", [&backing] { return backing; });
+  backing = 17;
+  bool found = false;
+  EXPECT_EQ(reg.CounterValueByName("atomic_mirror", &found), 17);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(reg.CounterValueByName("missing", &found), 0);
+  EXPECT_FALSE(found);
+}
+
+TEST(HistogramTest, DefaultBucketBoundariesAreExactPowersOfTwo) {
+  // The golden property: bound[i] = first_bound * growth^i computed by
+  // repeated multiplication. With growth == 2.0 every step is exact, so
+  // bound[i] == ldexp(first_bound, i) bit-for-bit.
+  MetricRegistry reg;
+  Histogram* h = reg.AddHistogram("lat", HistogramSpec{});
+  const std::vector<double>& bounds = h->bounds();
+  ASSERT_EQ(bounds.size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(bounds[static_cast<size_t>(i)], std::ldexp(1e-3, i)) << i;
+  }
+  // Bucket semantics: bucket i counts v <= bound[i] (above bound[i-1]).
+  EXPECT_EQ(h->BucketOf(1e-3), 0);
+  EXPECT_EQ(h->BucketOf(1e-3 * 1.0001), 1);
+  EXPECT_EQ(h->BucketOf(0.0), 0);
+  EXPECT_EQ(h->BucketOf(bounds.back()), 31);
+  EXPECT_EQ(h->BucketOf(bounds.back() * 2.0), 32);  // overflow bucket
+}
+
+TEST(HistogramTest, RecordsAndSummarizes) {
+  MetricRegistry reg;
+  Histogram* h = reg.AddHistogram("lat", HistogramSpec{1.0, 2.0, 4});
+  for (double v : {0.5, 1.5, 3.0, 100.0}) h->Record(v);
+  EXPECT_EQ(h->count(), 4);
+  EXPECT_DOUBLE_EQ(h->sum(), 105.0);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 100.0);
+  EXPECT_DOUBLE_EQ(h->Mean(), 105.0 / 4.0);
+  EXPECT_EQ(h->buckets()[0], 1);  // 0.5
+  EXPECT_EQ(h->buckets()[1], 1);  // 1.5
+  EXPECT_EQ(h->buckets()[2], 1);  // 3.0
+  EXPECT_EQ(h->buckets()[4], 1);  // 100 -> overflow
+  EXPECT_DOUBLE_EQ(h->PercentileBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h->PercentileBound(100), 100.0);  // overflow -> max
+}
+
+TEST(RegistryTest, DumpIsSortedAndRepeatable) {
+  MetricRegistry reg;
+  Counter z = reg.AddCounter("zzz/last");
+  reg.AddCounter("aaa/first");
+  reg.AddGauge("mmm/middle", [] { return 1.25; });
+  z.Add(3);
+  const std::string d1 = reg.Dump();
+  const std::string d2 = reg.Dump();
+  EXPECT_EQ(d1, d2);
+  // Lines sort lexicographically ("counter <name>" lines group before
+  // "gauge <name>"), independent of registration order.
+  const size_t a = d1.find("counter aaa/first");
+  const size_t zp = d1.find("counter zzz/last");
+  const size_t m = d1.find("gauge mmm/middle");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(zp, std::string::npos);
+  EXPECT_LT(a, zp);
+  EXPECT_LT(zp, m);
+  EXPECT_NE(d1.find("counter zzz/last 3"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder + Chrome export
+// ---------------------------------------------------------------------------
+
+TEST(TraceTest, RingBufferKeepsNewestAndCountsDropped) {
+  TraceRecorder rec(4);
+  rec.set_enabled(true);
+  const int lane = rec.RegisterLane("test");
+  for (int i = 0; i < 6; ++i) {
+    rec.Instant(lane, "t", "e", Millis(i), "\"i\":" + std::to_string(i));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 2);
+  const std::vector<const TraceEvent*> events = rec.InOrder();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front()->ts, Millis(2));  // oldest surviving
+  EXPECT_EQ(events.back()->ts, Millis(5));
+}
+
+TEST(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder rec(8);
+  const int lane = rec.RegisterLane("test");
+  rec.Instant(lane, "t", "e", Millis(1));
+  rec.Span(lane, "t", "s", Millis(1), Millis(2));
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0);
+}
+
+std::string BuildSmallTraceJson() {
+  TelemetryParams tp;
+  tp.enabled = true;
+  Telemetry tel(tp);
+  const int lane = tel.trace().RegisterLane("ecl/socket0");
+  tel.trace().Span(lane, "ecl", "tick", Micros(1500), Micros(2500),
+                   "\"config\":3");
+  tel.trace().Instant(lane, "ecl", "drift_detected", Micros(2000));
+  tel.trace().CounterSample("power_w", Micros(2000), 95.5);
+  return ChromeTraceJson(tel);
+}
+
+TEST(TraceTest, ChromeJsonIsDeterministicAndWellFormed) {
+  const std::string j1 = BuildSmallTraceJson();
+  const std::string j2 = BuildSmallTraceJson();
+  EXPECT_EQ(j1, j2);
+  EXPECT_NE(j1.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(j1.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j1.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(j1.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(j1.find("\"name\":\"ecl/socket0\""), std::string::npos);
+  // Timestamps are integer-formatted microseconds with ns fraction.
+  EXPECT_NE(j1.find("\"ts\":1500.000"), std::string::npos);
+  EXPECT_NE(j1.find("\"dur\":1000.000"), std::string::npos);
+  EXPECT_NE(j1.find("\"args\":{\"config\":3}"), std::string::npos);
+}
+
+TEST(TraceTest, JsonHelpers) {
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+  EXPECT_EQ(JsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+// ---------------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------------
+
+TEST(SamplerTest, SamplesEveryPeriodRelativeToOrigin) {
+  TelemetryParams tp;
+  tp.enabled = true;
+  tp.sample_period = Millis(500);
+  Telemetry tel(tp);
+  sim::Simulator sim;
+  tel.Bind(&sim);
+  tel.registry().AddGauge("t_echo", [&sim] { return ToSeconds(sim.now()); });
+  sim.RunFor(Seconds(1));  // origin != 0
+  tel.StartSampler(sim.now());
+  sim.RunFor(Millis(2500));
+  ASSERT_EQ(tel.series().size(), 5u);
+  const std::vector<std::string> header = tel.SeriesHeader();
+  ASSERT_EQ(header.size(), 2u);
+  EXPECT_EQ(header[0], "t_s");
+  EXPECT_EQ(header[1], "t_echo");
+  EXPECT_DOUBLE_EQ(tel.series()[0][0], 0.5);   // relative to origin
+  EXPECT_DOUBLE_EQ(tel.series()[0][1], 1.5);   // absolute sim time
+  EXPECT_DOUBLE_EQ(tel.series()[4][0], 2.5);
+  tel.StopSampler();
+  sim.RunFor(Seconds(1));
+  EXPECT_EQ(tel.series().size(), 5u);  // no rows after stop
+}
+
+TEST(SamplerTest, DisabledTelemetryNeverSamples) {
+  TelemetryParams tp;  // enabled = false
+  Telemetry tel(tp);
+  sim::Simulator sim;
+  tel.Bind(&sim);
+  tel.registry().AddGauge("g", [] { return 1.0; });
+  tel.StartSampler(0);
+  sim.RunFor(Seconds(2));
+  EXPECT_TRUE(tel.series().empty());
+  EXPECT_EQ(tel.trace().size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// hwsim instrumentation: polled instructions
+// ---------------------------------------------------------------------------
+
+TEST(HwsimTelemetryTest, WorklessActiveThreadsRetirePollInstructions) {
+  sim::Simulator sim;
+  TelemetryParams tp;  // counters count even when disabled
+  Telemetry tel(tp);
+  tel.Bind(&sim);
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  machine.AttachTelemetry(&tel);
+  const hwsim::Topology& topo = machine.topology();
+  machine.ApplyMachineConfig(hwsim::MachineConfig::AllOn(topo, 2.6, 3.0));
+  sim.RunFor(Seconds(1));
+  const int64_t polled =
+      tel.registry().CounterValueByName("hwsim/socket0/polled_instructions");
+  const int64_t instr =
+      tel.registry().CounterValueByName("hwsim/socket0/instructions");
+  EXPECT_GT(polled, 0);       // all-active, no work: pure idle polling
+  EXPECT_LE(polled, instr);   // polling is a subset of retirement
+
+  // Fully loaded threads have no poll share: the counter stops growing.
+  for (int t = 0; t < topo.total_threads(); ++t) {
+    machine.SetThreadLoad(t, &workload::Firestarter(), 1.0);
+  }
+  sim.RunFor(Seconds(1));
+  const int64_t polled2 =
+      tel.registry().CounterValueByName("hwsim/socket0/polled_instructions");
+  EXPECT_EQ(polled2, polled);
+}
+
+// ---------------------------------------------------------------------------
+// ECL: poll exclusion in the measured performance level
+// ---------------------------------------------------------------------------
+
+double MeasuredRateUnderLowLoad(bool exclude) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  engine::Engine engine(&sim, &machine, engine::EngineParams{});
+  workload::KvParams kvp;
+  kvp.indexed = true;
+  workload::KvWorkload kv(&engine, kvp);
+  const double cap = workload::BaselineCapacityQps(machine.params(), kv);
+  ecl::EclParams params;
+  params.socket.exclude_poll_instructions = exclude;
+  ecl::EnergyControlLoop loop(&sim, &engine, params);
+  loop.Start();
+  engine.scheduler().SetSyntheticLoad(&kv.profile());
+  sim.RunFor(Seconds(10));  // prime the profiles
+  engine.scheduler().SetSyntheticLoad(nullptr);
+  workload::ConstantProfile low(0.12, Seconds(60));
+  workload::DriverParams dp;
+  dp.capacity_qps = cap;
+  workload::LoadDriver driver(&sim, &engine, &kv, &low, dp);
+  driver.Start();
+  sim.RunFor(Seconds(10));
+  const double rate = loop.socket(0).last_measured_rate();
+  loop.Stop();
+  return rate;
+}
+
+TEST(EclTelemetryTest, PollExclusionLowersTheMeasuredRate) {
+  const double with_polls = MeasuredRateUnderLowLoad(false);
+  const double without_polls = MeasuredRateUnderLowLoad(true);
+  EXPECT_GT(with_polls, 0.0);
+  EXPECT_GT(without_polls, 0.0);
+  // At low load a large share of retirement is idle polling; excluding it
+  // must strictly lower the demand signal.
+  EXPECT_LT(without_polls, with_polls);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment integration: series equality, CSV byte-compat, determinism
+// ---------------------------------------------------------------------------
+
+experiment::WorkloadFactory MicroFactory() {
+  return [](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+    return std::make_unique<workload::MicroWorkload>(
+        e, workload::ComputeBound(), 1e6, 2);
+  };
+}
+
+std::unique_ptr<Telemetry> MakeRunTelemetry() {
+  TelemetryParams tp;
+  tp.enabled = true;
+  tp.sample_period = Millis(500);
+  return std::make_unique<Telemetry>(tp);
+}
+
+TEST(ExperimentTelemetryTest, SeriesMatchesLegacySamplerExactly) {
+  workload::ConstantProfile profile(0.4, Seconds(8));
+  experiment::RunOptions options;
+  options.mode = experiment::ControlMode::kEcl;
+  options.prime_duration = Seconds(3);
+  std::unique_ptr<Telemetry> tel = MakeRunTelemetry();
+  options.telemetry = tel.get();
+  const experiment::RunResult r =
+      experiment::RunLoadExperiment(MicroFactory(), profile, options);
+
+  ASSERT_EQ(tel->series().size(), r.series.size());
+  const std::vector<std::string> header = tel->SeriesHeader();
+  auto col = [&header](const std::string& name) {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return i;
+    }
+    ADD_FAILURE() << "missing column " << name;
+    return size_t{0};
+  };
+  const size_t c_qps = col("exp/offered_qps");
+  const size_t c_power = col("exp/rapl_power_w");
+  const size_t c_lat = col("exp/latency_window_ms");
+  const size_t c_thr = col("exp/active_threads");
+  const size_t c_perf = col("exp/perf_level_frac");
+  const size_t c_util = col("exp/utilization");
+  const size_t c_s0 = col("exp/socket0/power_w");
+  const size_t c_p1 = col("exp/socket1/partitions");
+  for (size_t i = 0; i < r.series.size(); ++i) {
+    const experiment::Sample& s = r.series[i];
+    const std::vector<double>& row = tel->series()[i];
+    // Exact equality: the gauges replay the legacy sampler's arithmetic.
+    EXPECT_EQ(row[0], s.t_s);
+    EXPECT_EQ(row[c_qps], s.offered_qps);
+    EXPECT_EQ(row[c_power], s.rapl_power_w);
+    EXPECT_EQ(row[c_lat], s.latency_window_ms);
+    EXPECT_EQ(row[c_thr], static_cast<double>(s.active_threads));
+    EXPECT_EQ(row[c_perf], s.perf_level_frac);
+    EXPECT_EQ(row[c_util], s.utilization);
+    EXPECT_EQ(row[c_s0], s.socket_power_w[0]);
+    EXPECT_EQ(row[c_p1], static_cast<double>(s.partitions_on_socket[1]));
+  }
+  EXPECT_FALSE(r.telemetry_dump.empty());
+}
+
+std::string Slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string data;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+  return data;
+}
+
+TEST(ExperimentTelemetryTest, SeriesCsvIsByteIdenticalToBespokeExporter) {
+  workload::ConstantProfile profile(0.4, Seconds(6));
+  experiment::RunOptions options;
+  options.mode = experiment::ControlMode::kEcl;
+  options.prime_duration = Seconds(3);
+  std::unique_ptr<Telemetry> tel = MakeRunTelemetry();
+  options.telemetry = tel.get();
+  const experiment::RunResult r =
+      experiment::RunLoadExperiment(MicroFactory(), profile, options);
+
+  // The bespoke exporter every figure bench used before telemetry
+  // (bench_common.h ExportSeries), replicated verbatim.
+  const std::string legacy_path = "telemetry_test_out/legacy.csv";
+  {
+    CsvWriter csv(legacy_path,
+                  {"t_s", "offered_qps", "rapl_power_w", "latency_window_ms",
+                   "active_threads", "perf_level_frac", "utilization"});
+    ASSERT_TRUE(csv.ok());
+    for (const experiment::Sample& s : r.series) {
+      csv.AddNumericRow({s.t_s, s.offered_qps, s.rapl_power_w,
+                         s.latency_window_ms,
+                         static_cast<double>(s.active_threads),
+                         s.perf_level_frac, s.utilization});
+    }
+  }
+  const std::string generic_path = "telemetry_test_out/telemetry.csv";
+  ASSERT_TRUE(WriteSeriesCsv(
+      *tel, generic_path,
+      {"t_s", "exp/offered_qps", "exp/rapl_power_w", "exp/latency_window_ms",
+       "exp/active_threads", "exp/perf_level_frac", "exp/utilization"},
+      {"t_s", "offered_qps", "rapl_power_w", "latency_window_ms",
+       "active_threads", "perf_level_frac", "utilization"}));
+  const std::string legacy = Slurp(legacy_path);
+  const std::string generic = Slurp(generic_path);
+  ASSERT_FALSE(legacy.empty());
+  EXPECT_EQ(legacy, generic);
+}
+
+struct ArmArtifacts {
+  std::string dump;
+  std::string trace_json;
+};
+
+std::vector<ArmArtifacts> RunArms(int jobs) {
+  constexpr int kArms = 2;
+  std::vector<std::unique_ptr<Telemetry>> tels;
+  for (int i = 0; i < kArms; ++i) tels.push_back(MakeRunTelemetry());
+  std::vector<experiment::RunResult> results(kArms);
+  experiment::RunMatrix(kArms, jobs, [&](int i) {
+    workload::ConstantProfile profile(0.4, Seconds(6));
+    experiment::RunOptions options;
+    options.mode = experiment::ControlMode::kEcl;
+    options.prime_duration = Seconds(3);
+    options.driver_seed = 4242 + static_cast<uint64_t>(i);
+    options.telemetry = tels[static_cast<size_t>(i)].get();
+    results[static_cast<size_t>(i)] =
+        experiment::RunLoadExperiment(MicroFactory(), profile, options);
+  });
+  std::vector<ArmArtifacts> out(kArms);
+  for (int i = 0; i < kArms; ++i) {
+    out[static_cast<size_t>(i)].dump =
+        results[static_cast<size_t>(i)].telemetry_dump;
+    out[static_cast<size_t>(i)].trace_json =
+        ChromeTraceJson(*tels[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+TEST(ExperimentTelemetryTest, ArtifactsAreByteIdenticalAcrossJobsAndRepeats) {
+  const std::vector<ArmArtifacts> serial = RunArms(1);
+  const std::vector<ArmArtifacts> parallel = RunArms(2);
+  const std::vector<ArmArtifacts> again = RunArms(1);
+  ASSERT_EQ(serial.size(), 2u);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].dump.empty());
+    EXPECT_EQ(serial[i].dump, parallel[i].dump);
+    EXPECT_EQ(serial[i].dump, again[i].dump);
+    EXPECT_EQ(serial[i].trace_json, parallel[i].trace_json);
+    EXPECT_EQ(serial[i].trace_json, again[i].trace_json);
+  }
+  // The two arms differ (different driver seeds) — the equality above is
+  // not vacuous.
+  EXPECT_NE(serial[0].dump, serial[1].dump);
+}
+
+// ---------------------------------------------------------------------------
+// Consolidation regression: poll exclusion improves the saving
+// ---------------------------------------------------------------------------
+
+experiment::RunResult ConsolidationRun(bool exclude_polls) {
+  experiment::RunOptions options;
+  options.mode = experiment::ControlMode::kEcl;
+  options.ecl.consolidation.enabled = true;
+  options.ecl.socket.exclude_poll_instructions = exclude_polls;
+  options.engine.migration.min_shard_bytes = 128.0 * (1 << 20);
+  workload::StepProfile profile(
+      {{0, 0.6}, {Seconds(20), 0.1}, {Seconds(100), 0.6}}, Seconds(120));
+  return experiment::RunLoadExperiment(
+      [](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+        workload::KvParams params;
+        params.indexed = false;
+        return std::make_unique<workload::KvWorkload>(e, params);
+      },
+      profile, options);
+}
+
+TEST(ConsolidationRegressionTest, PollExclusionImprovesConsolidatedEnergy) {
+  const experiment::RunResult with_polls = ConsolidationRun(false);
+  const experiment::RunResult without_polls = ConsolidationRun(true);
+  // Same work either way.
+  EXPECT_EQ(with_polls.completed, without_polls.completed);
+  // The receiver socket of a consolidation runs many mostly-idle threads;
+  // counting their poll loops as demand kept its configuration wider than
+  // the work needed. Excluding them must lower total energy.
+  EXPECT_LT(without_polls.energy_j, with_polls.energy_j);
+  // And consolidation still actually consolidates.
+  EXPECT_GT(without_polls.consolidation_moves, 0);
+}
+
+}  // namespace
+}  // namespace ecldb::telemetry

