@@ -5,7 +5,9 @@
 
 #include "common/rng.h"
 #include "engine/hash_index.h"
+#include "engine/morsel.h"
 #include "engine/operators.h"
+#include "engine/simd.h"
 #include "engine/placement.h"
 #include "engine/table.h"
 #include "hwsim/machine.h"
@@ -198,6 +200,50 @@ void BM_Aggregate(benchmark::State& state, bool vectorized) {
 BENCHMARK_CAPTURE(BM_Aggregate, string_map_scalar, false)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Aggregate, int_key_vectorized, true)
+    ->Unit(benchmark::kMillisecond);
+
+/// The vectorized pipeline with the SIMD kernels forced to the portable
+/// scalar fallback: what a non-AVX2 host (or ECLDB_SIMD=OFF build) runs.
+void BM_AggregateScalarKernels(benchmark::State& state) {
+  StarSchema& s = SharedSchema();
+  const std::vector<engine::ColumnRef> group_by = {
+      engine::ColumnRef::Dim(0, &s.dim, 2),
+      engine::ColumnRef::Dim(0, &s.dim, 1),
+  };
+  const engine::ValueExpr value = engine::ValueExpr::Product(
+      engine::ColumnRef::Fact(1), engine::ColumnRef::Fact(2), 0.01);
+  engine::FilterOperator filter(&s.fact, {});
+  engine::simd::SetLevelOverride(engine::simd::Level::kScalar);
+  for (auto _ : state) {
+    engine::HashAggregator agg(group_by, value);
+    engine::RunAggregationPipeline(&s.fact, filter, &agg);
+    benchmark::DoNotOptimize(agg.TotalSum());
+  }
+  engine::simd::SetLevelOverride(std::nullopt);
+  state.SetItemsProcessed(state.iterations() * kBenchFactRows);
+}
+BENCHMARK(BM_AggregateScalarKernels)->Unit(benchmark::kMillisecond);
+
+/// Morsel-driven parallel aggregation over the same pipeline, by worker
+/// count (worker count 1 = pool with the caller only).
+void BM_AggregateMorsel(benchmark::State& state) {
+  StarSchema& s = SharedSchema();
+  const std::vector<engine::ColumnRef> group_by = {
+      engine::ColumnRef::Dim(0, &s.dim, 2),
+      engine::ColumnRef::Dim(0, &s.dim, 1),
+  };
+  const engine::ValueExpr value = engine::ValueExpr::Product(
+      engine::ColumnRef::Fact(1), engine::ColumnRef::Fact(2), 0.01);
+  engine::FilterOperator filter(&s.fact, {});
+  engine::MorselPool pool(static_cast<int>(state.range(0)) - 1);
+  for (auto _ : state) {
+    engine::HashAggregator agg(group_by, value);
+    engine::RunMorselAggregationPipeline(&s.fact, filter, &agg, &pool);
+    benchmark::DoNotOptimize(agg.TotalSum());
+  }
+  state.SetItemsProcessed(state.iterations() * kBenchFactRows);
+}
+BENCHMARK(BM_AggregateMorsel)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 /// The full SSB-style pipeline (scan -> filter -> group-by aggregate),

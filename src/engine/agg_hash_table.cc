@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/simd.h"
+
 namespace ecldb::engine {
 
 AggHashTable::AggHashTable(size_t initial_capacity) {
@@ -11,13 +13,12 @@ AggHashTable::AggHashTable(size_t initial_capacity) {
   used_.assign(cap, 0);
 }
 
-void AggHashTable::Grow() {
+void AggHashTable::Rehash(size_t new_capacity) {
   std::vector<Cell> old_cells = std::move(cells_);
   std::vector<uint8_t> old_used = std::move(used_);
-  const size_t cap = old_cells.size() * 2;
-  cells_.assign(cap, Cell{});
-  used_.assign(cap, 0);
-  const size_t mask = cap - 1;
+  cells_.assign(new_capacity, Cell{});
+  used_.assign(new_capacity, 0);
+  const size_t mask = new_capacity - 1;
   for (size_t i = 0; i < old_cells.size(); ++i) {
     if (!old_used[i]) continue;
     size_t j = detail::Mix64(old_cells[i].key) & mask;
@@ -25,6 +26,14 @@ void AggHashTable::Grow() {
     cells_[j] = old_cells[i];
     used_[j] = 1;
   }
+}
+
+void AggHashTable::Grow() { Rehash(cells_.size() * 2); }
+
+void AggHashTable::Reserve(size_t expected) {
+  size_t cap = cells_.size();
+  while ((expected + 1) * 10 > cap * 7) cap <<= 1;
+  if (cap != cells_.size()) Rehash(cap);
 }
 
 AggHashTable::Cell* AggHashTable::FindOrInsert(uint64_t key) {
@@ -49,6 +58,45 @@ const AggHashTable::Cell* AggHashTable::Find(uint64_t key) const {
     i = (i + 1) & mask;
   }
   return nullptr;
+}
+
+void AggHashTable::AccumulateBatch(const uint64_t* keys, const double* vals,
+                                   size_t n,
+                                   std::vector<uint64_t>* hash_scratch) {
+  if (n == 0) return;
+  // Pre-grow for the worst case (every key new) so no rehash interleaves
+  // with the probe loop below and prefetched slots stay valid.
+  if ((size_ + n) * 10 > cells_.size() * 7) {
+    size_t cap = cells_.size();
+    while ((size_ + n) * 10 > cap * 7) cap <<= 1;
+    Rehash(cap);
+  }
+  hash_scratch->resize(n);
+  uint64_t* h = hash_scratch->data();
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  kt.hash_keys(keys, n, h);
+  const bool used_simd = simd::ActiveLevel() != simd::Level::kScalar;
+  simd::CountDispatch(simd::KernelId::kHashKeys, used_simd);
+  simd::CountDispatch(simd::KernelId::kAggProbe, used_simd);
+
+  const size_t mask = cells_.size() - 1;
+  constexpr size_t kPrefetchAhead = 8;
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchAhead < n) {
+      __builtin_prefetch(&cells_[h[i + kPrefetchAhead] & mask]);
+      __builtin_prefetch(&used_[h[i + kPrefetchAhead] & mask]);
+    }
+    const uint64_t key = keys[i];
+    size_t j = h[i] & mask;
+    while (used_[j] && cells_[j].key != key) j = (j + 1) & mask;
+    if (!used_[j]) {
+      used_[j] = 1;
+      cells_[j].key = key;
+      ++size_;
+    }
+    cells_[j].sum += vals[i];
+    ++cells_[j].count;
+  }
 }
 
 void AggHashTable::Clear() {

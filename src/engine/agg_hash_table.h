@@ -43,6 +43,20 @@ class AggHashTable {
   /// The cell for `key` or nullptr.
   const Cell* Find(uint64_t key) const;
 
+  /// Grows capacity so `expected` groups fit below the load limit without
+  /// further rehash (mirrors HashIndex::Reserve); existing cells move.
+  /// Never shrinks.
+  void Reserve(size_t expected);
+
+  /// Batched sum/count accumulation: keys are hashed with the active SIMD
+  /// kernel into `hash_scratch`, the table is pre-grown for the batch so no
+  /// rehash happens mid-loop, and the probe loop prefetches ahead. The
+  /// probe itself stays scalar per group lane (duplicate keys within one
+  /// batch must observe each other's inserts). Accumulation order is row
+  /// order — bit-identical sums to per-row FindOrInsert.
+  void AccumulateBatch(const uint64_t* keys, const double* vals, size_t n,
+                       std::vector<uint64_t>* hash_scratch);
+
   size_t size() const { return size_; }
   size_t capacity() const { return cells_.size(); }
   size_t MemoryBytes() const {
@@ -62,6 +76,7 @@ class AggHashTable {
 
  private:
   void Grow();
+  void Rehash(size_t new_capacity);
 
   std::vector<Cell> cells_;
   std::vector<uint8_t> used_;

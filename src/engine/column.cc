@@ -46,6 +46,19 @@ void Column::AppendString(std::string_view v) {
   ++size_;
 }
 
+void Column::CopyFrom(const Column& other) {
+  ECLDB_CHECK_MSG(type_ == other.type_ && name_ == other.name_,
+                  "CopyFrom requires an identically-declared column");
+  size_ = other.size_;
+  min_int_ = other.min_int_;
+  max_int_ = other.max_int_;
+  ints_ = other.ints_;
+  doubles_ = other.doubles_;
+  codes_ = other.codes_;
+  dict_ = other.dict_;
+  dict_lookup_ = other.dict_lookup_;
+}
+
 int32_t Column::LookupStringCode(std::string_view v) const {
   auto it = dict_lookup_.find(std::string(v));
   return it == dict_lookup_.end() ? -1 : it->second;

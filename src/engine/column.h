@@ -30,6 +30,11 @@ class Column {
   void AppendDouble(double v);
   void AppendString(std::string_view v);
 
+  /// Replaces this column's content with a copy of `other`'s (data,
+  /// dictionary, and tracked int bounds). Name and type must match.
+  /// Bulk path for replicating a dimension shard into other partitions.
+  void CopyFrom(const Column& other);
+
   int64_t GetInt(size_t row) const {
     ECLDB_DCHECK(type_ == ColumnType::kInt64 && row < size_);
     return ints_[row];

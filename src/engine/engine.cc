@@ -1,6 +1,9 @@
 #include "engine/engine.h"
 
+#include <string>
+
 #include "common/check.h"
+#include "engine/simd.h"
 
 namespace ecldb::engine {
 
@@ -30,6 +33,30 @@ Engine::Engine(sim::Simulator* simulator, hwsim::Machine* machine,
   migrator_ = std::make_unique<MigrationCoordinator>(
       simulator, machine, db_.get(), placement_.get(), layer_.get(),
       scheduler_.get(), mig_params);
+  if (params.morsel_threads > 0) {
+    morsel_pool_ = std::make_unique<MorselPool>(params.morsel_threads);
+  }
+  if (params.telemetry != nullptr) {
+    // Per-kernel dispatch counters. The raw counters are process-global
+    // atomics (morsel workers bump them concurrently); exporting the delta
+    // since engine construction keeps each engine's export deterministic
+    // for a fixed workload, regardless of what earlier engines in the same
+    // process executed.
+    telemetry::MetricRegistry& reg = params.telemetry->registry();
+    for (int k = 0; k < simd::kNumKernels; ++k) {
+      const auto id = static_cast<simd::KernelId>(k);
+      const std::string prefix =
+          std::string("engine/kernels/") + simd::KernelName(id);
+      const int64_t simd_base = simd::SimdDispatches(id);
+      const int64_t scalar_base = simd::ScalarDispatches(id);
+      reg.AddCounterFn(prefix + "/simd", [id, simd_base] {
+        return simd::SimdDispatches(id) - simd_base;
+      });
+      reg.AddCounterFn(prefix + "/scalar", [id, scalar_base] {
+        return simd::ScalarDispatches(id) - scalar_base;
+      });
+    }
+  }
 }
 
 }  // namespace ecldb::engine

@@ -1,0 +1,143 @@
+#include "engine/simd.h"
+
+// Portable reference kernels. These are the semantics the AVX2 kernels in
+// kernels_avx2.cc must reproduce exactly (same kept rows, same key bits,
+// bit-identical doubles); tests/engine_simd_test.cc cross-checks them on
+// randomized inputs.
+
+namespace ecldb::engine::simd {
+namespace {
+
+size_t FilterIntRangeScalar(const int64_t* v, const uint32_t* rows, size_t n,
+                            int64_t lo, int64_t hi, uint32_t* out) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = rows[i];
+    const int64_t x = v[r];
+    if (x >= lo && x <= hi) out[kept++] = r;
+  }
+  return kept;
+}
+
+size_t FilterIntRangeFkScalar(const int64_t* v, const int64_t* fk,
+                              const uint32_t* rows, size_t n, int64_t lo,
+                              int64_t hi, uint32_t* out) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = rows[i];
+    const int64_t x = v[fk[r] - 1];
+    if (x >= lo && x <= hi) out[kept++] = r;
+  }
+  return kept;
+}
+
+inline bool CodeVerdict(int32_t c, const uint8_t* match, size_t known,
+                        UnknownCodeFn unknown, const void* ctx) {
+  return static_cast<size_t>(c) < known ? match[static_cast<size_t>(c)] != 0
+                                        : unknown(ctx, c);
+}
+
+size_t FilterCodeMatchScalar(const int32_t* codes, const uint32_t* rows,
+                             size_t n, const uint8_t* match, size_t known,
+                             UnknownCodeFn unknown, const void* ctx,
+                             uint32_t* out) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = rows[i];
+    if (CodeVerdict(codes[r], match, known, unknown, ctx)) out[kept++] = r;
+  }
+  return kept;
+}
+
+size_t FilterCodeMatchFkScalar(const int32_t* codes, const int64_t* fk,
+                               const uint32_t* rows, size_t n,
+                               const uint8_t* match, size_t known,
+                               UnknownCodeFn unknown, const void* ctx,
+                               uint32_t* out) {
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = rows[i];
+    const int32_t c = codes[fk[r] - 1];
+    if (CodeVerdict(c, match, known, unknown, ctx)) out[kept++] = r;
+  }
+  return kept;
+}
+
+void GatherFkScalar(const int64_t* fk, const uint32_t* rows, size_t n,
+                    uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint32_t>(fk[rows[i]] - 1);
+  }
+}
+
+bool PackCodesScalar(uint64_t* keys, const int32_t* codes,
+                     const uint32_t* rows, size_t n, uint32_t bits,
+                     uint64_t limit) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t c = static_cast<uint32_t>(codes[rows[i]]);
+    if (c > limit) return false;
+    keys[i] = (keys[i] << bits) | c;
+  }
+  return true;
+}
+
+bool PackIntsScalar(uint64_t* keys, const int64_t* vals, const uint32_t* rows,
+                    size_t n, uint32_t bits, uint64_t base, uint64_t limit) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t c = static_cast<uint64_t>(vals[rows[i]]) - base;
+    if (c > limit) return false;
+    keys[i] = (keys[i] << bits) | c;
+  }
+  return true;
+}
+
+void HashKeysScalar(const uint64_t* keys, size_t n, uint64_t* hashes) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t x = keys[i];
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    hashes[i] = x;
+  }
+}
+
+void EvalColumnScalar(const int64_t* a, const uint32_t* ra, size_t n,
+                      double scale, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = scale * static_cast<double>(a[ra[i]]);
+  }
+}
+
+void EvalProductScalar(const int64_t* a, const uint32_t* ra, const int64_t* b,
+                       const uint32_t* rb, size_t n, double scale,
+                       double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = scale * static_cast<double>(a[ra[i]]) *
+             static_cast<double>(b[rb[i]]);
+  }
+}
+
+void EvalDifferenceScalar(const int64_t* a, const uint32_t* ra,
+                          const int64_t* b, const uint32_t* rb, size_t n,
+                          double scale, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = scale * (static_cast<double>(a[ra[i]]) -
+                      static_cast<double>(b[rb[i]]));
+  }
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table = {
+      FilterIntRangeScalar,   FilterIntRangeFkScalar, FilterCodeMatchScalar,
+      FilterCodeMatchFkScalar, GatherFkScalar,        PackCodesScalar,
+      PackIntsScalar,         HashKeysScalar,         EvalColumnScalar,
+      EvalProductScalar,      EvalDifferenceScalar,
+  };
+  return table;
+}
+
+}  // namespace ecldb::engine::simd

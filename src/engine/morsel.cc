@@ -1,0 +1,120 @@
+#include "engine/morsel.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace ecldb::engine {
+
+MorselPool::MorselPool(int extra_workers) {
+  ECLDB_CHECK(extra_workers >= 0);
+  threads_.reserve(static_cast<size_t>(extra_workers));
+  for (int i = 0; i < extra_workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MorselPool::~MorselPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void MorselPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(size_t)>* fn;
+    size_t count;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      count = count_;
+    }
+    size_t i;
+    while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
+      (*fn)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++arrived_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void MorselPool::Run(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    arrived_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The caller is a worker too: claim morsels from the same cursor until
+  // the grid is exhausted.
+  size_t i;
+  while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < count) {
+    fn(i);
+  }
+  // Wait until every pool thread has cycled through this generation. That
+  // both guarantees all claimed morsels finished (a thread arrives only
+  // after its claim loop exits) and keeps `fn` alive until no thread can
+  // still dereference it.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return arrived_ == threads_.size(); });
+  fn_ = nullptr;
+  count_ = 0;
+}
+
+int64_t RunMorselAggregationPipeline(const Table* fact,
+                                     const FilterOperator& filter,
+                                     HashAggregator* aggregator,
+                                     MorselPool* pool, size_t morsel_rows) {
+  ECLDB_CHECK(fact != nullptr && aggregator != nullptr);
+  ECLDB_CHECK(morsel_rows > 0);
+  const size_t num_rows = fact->num_rows();
+  const size_t morsels =
+      num_rows == 0 ? 0 : (num_rows + morsel_rows - 1) / morsel_rows;
+  if (pool == nullptr || morsels <= 1) {
+    return RunAggregationPipeline(fact, filter, aggregator);
+  }
+
+  std::vector<std::unique_ptr<HashAggregator>> partials(morsels);
+  for (size_t m = 0; m < morsels; ++m) {
+    partials[m] = std::make_unique<HashAggregator>(aggregator->group_by(),
+                                                   aggregator->value());
+  }
+  std::vector<int64_t> scanned(morsels, 0);
+  pool->Run(morsels, [&](size_t m) {
+    const size_t begin = m * morsel_rows;
+    const size_t end = std::min(begin + morsel_rows, num_rows);
+    scanned[m] =
+        RunAggregationPipeline(fact, filter, partials[m].get(), begin, end);
+  });
+
+  // Merge in morsel-index order: deterministic per-group addition sequence
+  // regardless of which worker ran which morsel.
+  int64_t total_scanned = 0;
+  for (size_t m = 0; m < morsels; ++m) {
+    total_scanned += scanned[m];
+    aggregator->Merge(*partials[m]);
+  }
+  return total_scanned;
+}
+
+}  // namespace ecldb::engine

@@ -1,0 +1,81 @@
+#ifndef ECLDB_ENGINE_MORSEL_H_
+#define ECLDB_ENGINE_MORSEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/operators.h"
+
+namespace ecldb::engine {
+
+/// Morsel-driven intra-query parallelism (Leis et al.'s morsel model): a
+/// shard scan is split into fixed row ranges — morsels — claimed from a
+/// shared atomic cursor by a pool of persistent worker threads plus the
+/// calling thread. Claiming from the shared cursor IS the work stealing:
+/// a fast worker simply claims the morsels a slow one never got to, so no
+/// per-worker deques or rebalancing are needed.
+///
+/// Each morsel aggregates into its own partial HashAggregator; partials
+/// merge in morsel-index order, so results are bit-identical regardless of
+/// worker count or claim interleaving (FP addition never reorders). Across
+/// *different* morsel grids the per-group addition trees differ, which IEEE
+/// addition does not absolve — keys and counts stay exact, sums agree to
+/// rounding. A single-morsel run delegates to the serial pipeline and is
+/// bit-identical to it.
+///
+/// This pool parallelizes the functional executor path (real threads).
+/// The fluid-simulation analogue — splitting a partition's scan message
+/// into morsel messages consumed by all active workers of the owning
+/// socket — lives in engine/scheduler.cc.
+class MorselPool {
+ public:
+  /// Spawns `extra_workers` persistent threads (0 is valid: Run executes
+  /// everything on the caller).
+  explicit MorselPool(int extra_workers);
+  ~MorselPool();
+
+  MorselPool(const MorselPool&) = delete;
+  MorselPool& operator=(const MorselPool&) = delete;
+
+  /// Total execution streams: the caller plus the pool threads.
+  int workers() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, count) across all workers; returns when
+  /// every index has finished. fn must be safe to call concurrently with
+  /// distinct arguments. Not reentrant.
+  void Run(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;  // bumped per Run to wake workers
+  bool stop_ = false;
+  const std::function<void(size_t)>* fn_ = nullptr;  // valid for one Run
+  size_t count_ = 0;
+  std::atomic<size_t> next_{0};  // shared morsel cursor (the stealing)
+  size_t arrived_ = 0;  // pool threads done with the current generation
+};
+
+/// Runs scan->filter->aggregate over `fact` split into morsels of
+/// `morsel_rows` rows dispatched on `pool`, merging per-morsel partials
+/// into `aggregator` in morsel order. Falls back to the serial pipeline
+/// (bit-identical) when pool is null or the table fits in one morsel.
+/// Returns rows scanned.
+int64_t RunMorselAggregationPipeline(const Table* fact,
+                                     const FilterOperator& filter,
+                                     HashAggregator* aggregator,
+                                     MorselPool* pool,
+                                     size_t morsel_rows = 16384);
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_MORSEL_H_

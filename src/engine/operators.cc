@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
+#include <numeric>
 
 #include "common/check.h"
+#include "engine/simd.h"
 
 namespace ecldb::engine {
 
@@ -88,11 +91,9 @@ const Column* ColumnRef::ResolveBatch(const Table& fact, const uint32_t* rows,
   uint32_t* out = scratch->data();
   const int64_t* fk =
       fact.column(static_cast<size_t>(fact_col_))->ints().data();
-  for (size_t i = 0; i < n; ++i) {
-    const int64_t k = fk[rows[i]];
-    ECLDB_DCHECK(k >= 1 && static_cast<size_t>(k) <= dim_->num_rows());
-    out[i] = static_cast<uint32_t>(k - 1);
-  }
+  simd::ActiveKernels().gather_fk(fk, rows, n, out);
+  simd::CountDispatch(simd::KernelId::kGatherFk,
+                      simd::ActiveLevel() != simd::Level::kScalar);
   *rows_out = out;
   return dim_->column(static_cast<size_t>(dim_col_));
 }
@@ -162,14 +163,33 @@ bool Predicate::Eval(const Table& fact, uint32_t row) const {
 // ---- TableScan -------------------------------------------------------------
 
 TableScan::TableScan(const Table* table, size_t batch_size)
-    : table_(table), batch_size_(batch_size) {
+    : TableScan(table, 0, std::numeric_limits<size_t>::max(), batch_size) {}
+
+TableScan::TableScan(const Table* table, size_t begin_row, size_t end_row,
+                     size_t batch_size)
+    : table_(table),
+      batch_size_(batch_size),
+      begin_row_(begin_row),
+      end_row_(end_row),
+      next_row_(begin_row) {
   ECLDB_CHECK(table != nullptr);
   ECLDB_CHECK(batch_size > 0);
+  ECLDB_CHECK(begin_row <= end_row);
 }
 
 bool TableScan::Next(std::vector<uint32_t>* rows) {
   rows->clear();
-  const size_t n = table_->num_rows();
+  const size_t n = std::min(end_row_, table_->num_rows());
+  if (next_row_ >= n) return false;
+  if (table_->num_deleted() == 0) {
+    // No tombstones: straight iota fill, no per-row branch.
+    const size_t count = std::min(batch_size_, n - next_row_);
+    rows->resize(count);
+    std::iota(rows->begin(), rows->end(),
+              static_cast<uint32_t>(next_row_));
+    next_row_ += count;
+    return true;
+  }
   while (next_row_ < n && rows->size() < batch_size_) {
     if (!table_->IsDeleted(next_row_)) {
       rows->push_back(static_cast<uint32_t>(next_row_));
@@ -198,7 +218,10 @@ FilterOperator::FilterOperator(const Table* fact,
       // point (dictionary growth) take the string-compare fallback.
       ECLDB_DCHECK(b.val_col->type() == ColumnType::kString);
       const size_t dict = b.val_col->dict_size();
-      b.code_match.resize(dict);
+      b.known = dict;
+      // 4 bytes of zero padding past the last code: the AVX2 verdict
+      // gather loads 32 bits per code.
+      b.code_match.assign(dict + 4, 0);
       for (size_t c = 0; c < dict; ++c) {
         b.code_match[c] =
             p.MatchesString(b.val_col->DictEntry(static_cast<int32_t>(c)))
@@ -210,55 +233,52 @@ FilterOperator::FilterOperator(const Table* fact,
   }
 }
 
+namespace {
+
+/// Dictionary-growth fallback passed into the code-match kernels: codes
+/// the verdict table predates are resolved by a real string compare.
+struct UnknownCodeCtx {
+  const Predicate* pred;
+  const Column* col;
+};
+
+bool MatchUnknownCode(const void* ctx, int32_t code) {
+  const auto* c = static_cast<const UnknownCodeCtx*>(ctx);
+  return c->pred->MatchesString(c->col->DictEntry(code));
+}
+
+}  // namespace
+
 void FilterOperator::ApplyOne(const Predicate& p, const Bound& b,
                               std::vector<uint32_t>* rows) const {
+  // Compaction kernels write kept rows back into the selection vector
+  // in place (writes never overtake reads).
   uint32_t* data = rows->data();
   const size_t n = rows->size();
-  size_t kept = 0;
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  const bool used_simd = simd::ActiveLevel() != simd::Level::kScalar;
+  size_t kept;
   if (p.kind == Predicate::Kind::kIntRange) {
     const int64_t* v = b.val_col->ints().data();
-    const int64_t lo = p.lo;
-    const int64_t hi = p.hi;
     if (b.fk_col == nullptr) {
-      for (size_t i = 0; i < n; ++i) {
-        const uint32_t r = data[i];
-        const int64_t x = v[r];
-        if (x >= lo && x <= hi) data[kept++] = r;
-      }
+      kept = kt.filter_int_range(v, data, n, p.lo, p.hi, data);
     } else {
-      const int64_t* fk = b.fk_col->ints().data();
-      for (size_t i = 0; i < n; ++i) {
-        const uint32_t r = data[i];
-        const int64_t k = fk[r];
-        ECLDB_DCHECK(k >= 1 &&
-                     static_cast<size_t>(k) <= b.val_col->size());
-        const int64_t x = v[k - 1];
-        if (x >= lo && x <= hi) data[kept++] = r;
-      }
+      kept = kt.filter_int_range_fk(v, b.fk_col->ints().data(), data, n, p.lo,
+                                    p.hi, data);
     }
+    simd::CountDispatch(simd::KernelId::kFilterIntRange, used_simd);
   } else {
     const int32_t* codes = b.val_col->codes().data();
-    const size_t known = b.code_match.size();
-    const auto match = [&](int32_t c) {
-      return static_cast<size_t>(c) < known
-                 ? b.code_match[static_cast<size_t>(c)] != 0
-                 : p.MatchesString(b.val_col->DictEntry(c));
-    };
+    const UnknownCodeCtx ctx{&p, b.val_col};
     if (b.fk_col == nullptr) {
-      for (size_t i = 0; i < n; ++i) {
-        const uint32_t r = data[i];
-        if (match(codes[r])) data[kept++] = r;
-      }
+      kept = kt.filter_code_match(codes, data, n, b.code_match.data(),
+                                  b.known, MatchUnknownCode, &ctx, data);
     } else {
-      const int64_t* fk = b.fk_col->ints().data();
-      for (size_t i = 0; i < n; ++i) {
-        const uint32_t r = data[i];
-        const int64_t k = fk[r];
-        ECLDB_DCHECK(k >= 1 &&
-                     static_cast<size_t>(k) <= b.val_col->size());
-        if (match(codes[k - 1])) data[kept++] = r;
-      }
+      kept = kt.filter_code_match_fk(codes, b.fk_col->ints().data(), data, n,
+                                     b.code_match.data(), b.known,
+                                     MatchUnknownCode, &ctx, data);
     }
+    simd::CountDispatch(simd::KernelId::kFilterCodeMatch, used_simd);
   }
   rows->resize(kept);
 }
@@ -328,41 +348,54 @@ double ValueExpr::Eval(const Table& fact, uint32_t row) const {
   return 0.0;
 }
 
+namespace {
+
+/// The AVX2 int64->double conversion (magic-number trick) is only exact —
+/// hence only bit-identical to the scalar cast — within +/-2^51; gate on
+/// the column's tracked bounds.
+bool BoundsExactForSimdConvert(const Column* col) {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  if (!col->IntBounds(&lo, &hi)) return false;
+  constexpr int64_t kLim = int64_t{1} << 51;
+  return lo > -kLim && hi < kLim;
+}
+
+}  // namespace
+
 void ValueExpr::EvalBatch(const Table& fact, const uint32_t* rows, size_t n,
                           std::vector<uint32_t>* scratch_a,
                           std::vector<uint32_t>* scratch_b,
                           double* out) const {
-  // The expressions below mirror Eval's operand order exactly so every
-  // per-row double is bit-identical to the row-at-a-time path.
+  // The kernels mirror Eval's operand order exactly so every per-row
+  // double is bit-identical to the row-at-a-time path.
   const uint32_t* ra;
-  const int64_t* va =
-      a.ResolveBatch(fact, rows, n, scratch_a, &ra)->ints().data();
+  // `class` disambiguates from the ValueExpr::Column factory.
+  const class Column* ca = a.ResolveBatch(fact, rows, n, scratch_a, &ra);
+  const int64_t* va = ca->ints().data();
+  bool exact = BoundsExactForSimdConvert(ca);
+  const uint32_t* rb = nullptr;
+  const int64_t* vb = nullptr;
+  if (kind != Kind::kColumn) {
+    const class Column* cb = b.ResolveBatch(fact, rows, n, scratch_b, &rb);
+    vb = cb->ints().data();
+    exact = exact && BoundsExactForSimdConvert(cb);
+  }
+  const bool use_simd =
+      exact && simd::ActiveLevel() != simd::Level::kScalar;
+  const simd::KernelTable& kt =
+      use_simd ? simd::ActiveKernels() : simd::ScalarKernels();
+  simd::CountDispatch(simd::KernelId::kEvalValue, use_simd);
   switch (kind) {
     case Kind::kColumn:
-      for (size_t i = 0; i < n; ++i) {
-        out[i] = scale * static_cast<double>(va[ra[i]]);
-      }
+      kt.eval_column(va, ra, n, scale, out);
       return;
-    case Kind::kProduct: {
-      const uint32_t* rb;
-      const int64_t* vb =
-          b.ResolveBatch(fact, rows, n, scratch_b, &rb)->ints().data();
-      for (size_t i = 0; i < n; ++i) {
-        out[i] = scale * static_cast<double>(va[ra[i]]) *
-                 static_cast<double>(vb[rb[i]]);
-      }
+    case Kind::kProduct:
+      kt.eval_product(va, ra, vb, rb, n, scale, out);
       return;
-    }
-    case Kind::kDifference: {
-      const uint32_t* rb;
-      const int64_t* vb =
-          b.ResolveBatch(fact, rows, n, scratch_b, &rb)->ints().data();
-      for (size_t i = 0; i < n; ++i) {
-        out[i] = scale * (static_cast<double>(va[ra[i]]) -
-                          static_cast<double>(vb[rb[i]]));
-      }
+    case Kind::kDifference:
+      kt.eval_difference(va, ra, vb, rb, n, scale, out);
       return;
-    }
   }
 }
 
@@ -378,6 +411,7 @@ bool HashAggregator::EnsureLayout(const Table& fact) {
   // value bounds are per-column); decode what was packed so far first.
   FlushPacked();
   parts_.clear();
+  dense_bits_ = -1;
   layout_fact_ = &fact;
   uint32_t total_bits = 0;
   for (const ColumnRef& ref : group_by_) {
@@ -412,6 +446,26 @@ bool HashAggregator::EnsureLayout(const Table& fact) {
     scalar_mode_ = true;
     return false;
   }
+  if (total_bits <= kDenseKeyBits) {
+    // Small key space: direct-addressed flat accumulators, no hashing.
+    dense_bits_ = static_cast<int>(total_bits);
+    dense_sum_.assign(size_t{1} << total_bits, 0.0);
+    dense_used_.assign(size_t{1} << total_bits, 0);
+  } else {
+    // Pre-size the hash table from the tracked bounds: the packed key
+    // space bounds the distinct group count, so no mid-pipeline rehash
+    // for group sets up to the cap.
+    constexpr uint64_t kMaxReserve = uint64_t{1} << 16;
+    uint64_t estimate = 1;
+    for (const KeyPart& part : parts_) {
+      estimate *= part.limit + 1;  // limit < 2^63, no overflow
+      if (estimate >= kMaxReserve) {
+        estimate = kMaxReserve;
+        break;
+      }
+    }
+    table_.Reserve(static_cast<size_t>(estimate));
+  }
   return true;
 }
 
@@ -425,49 +479,41 @@ void HashAggregator::Consume(const Table& fact,
     return;
   }
 
+  const simd::KernelTable& kt = simd::ActiveKernels();
+  const bool used_simd = simd::ActiveLevel() != simd::Level::kScalar;
+
   // Pack each row's group codes into one composite key, column at a time.
+  // A foreign-key gather is reused across consecutive parts that join
+  // through the same fact column (common in star queries).
   key_scratch_.assign(n, 0);
   uint64_t* keys = key_scratch_.data();
+  const Column* gathered_fk = nullptr;
   for (const KeyPart& part : parts_) {
     const uint32_t* target_rows = rows.data();
     if (part.fk_col != nullptr) {
-      row_scratch_a_.resize(n);
-      const int64_t* fk = part.fk_col->ints().data();
-      for (size_t i = 0; i < n; ++i) {
-        const int64_t k = fk[rows[i]];
-        ECLDB_DCHECK(k >= 1 && static_cast<size_t>(k) <= part.col->size());
-        row_scratch_a_[i] = static_cast<uint32_t>(k - 1);
+      if (part.fk_col != gathered_fk) {
+        row_scratch_a_.resize(n);
+        kt.gather_fk(part.fk_col->ints().data(), rows.data(), n,
+                     row_scratch_a_.data());
+        simd::CountDispatch(simd::KernelId::kGatherFk, used_simd);
+        gathered_fk = part.fk_col;
       }
       target_rows = row_scratch_a_.data();
     }
-    bool in_range = true;
-    if (part.is_string) {
-      const int32_t* codes = part.col->codes().data();
-      for (size_t i = 0; i < n; ++i) {
-        const uint64_t c = static_cast<uint32_t>(codes[target_rows[i]]);
-        if (c > part.limit) {
-          in_range = false;
-          break;
-        }
-        keys[i] = (keys[i] << part.bits) | c;
-      }
-    } else {
-      const int64_t* vals = part.col->ints().data();
-      const uint64_t base = static_cast<uint64_t>(part.base);
-      for (size_t i = 0; i < n; ++i) {
-        const uint64_t c =
-            static_cast<uint64_t>(vals[target_rows[i]]) - base;
-        if (c > part.limit) {
-          in_range = false;
-          break;
-        }
-        keys[i] = (keys[i] << part.bits) | c;
-      }
-    }
+    const bool in_range =
+        part.is_string
+            ? kt.pack_codes(keys, part.col->codes().data(), target_rows, n,
+                            part.bits, part.limit)
+            : kt.pack_ints(keys, part.col->ints().data(), target_rows, n,
+                           part.bits, static_cast<uint64_t>(part.base),
+                           part.limit);
+    simd::CountDispatch(simd::KernelId::kPackKey, used_simd);
     if (!in_range) {
       // A value outside the bounds seen at layout time (dictionary grew,
       // or an overwrite widened the column): the packed coding is stale.
       // Decode what is packed and continue row-at-a-time from here on.
+      // (The kernels may have partially written key_scratch_; it is
+      // discarded here.)
       scalar_mode_ = true;
       FlushPacked();
       ConsumeScalarImpl(fact, rows);
@@ -483,10 +529,16 @@ void HashAggregator::Consume(const Table& fact,
   // Accumulate in row order: per group this is the same addition sequence
   // as the scalar path, so the sums are bit-identical.
   const double* vals = val_scratch_.data();
-  for (size_t i = 0; i < n; ++i) {
-    AggHashTable::Cell* cell = table_.FindOrInsert(keys[i]);
-    cell->sum += vals[i];
-    ++cell->count;
+  if (dense_bits_ >= 0) {
+    double* sums = dense_sum_.data();
+    uint8_t* used = dense_used_.data();
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t k = keys[i];
+      used[k] = 1;
+      sums[k] += vals[i];
+    }
+  } else {
+    table_.AccumulateBatch(keys, vals, n, &hash_scratch_);
   }
   rows_consumed_ += static_cast<int64_t>(n);
 }
@@ -533,6 +585,15 @@ std::string HashAggregator::DecodeKey(uint64_t key) const {
 }
 
 void HashAggregator::FlushPacked() const {
+  if (dense_bits_ >= 0 && !dense_sum_.empty()) {
+    const size_t space = size_t{1} << dense_bits_;
+    for (size_t k = 0; k < space; ++k) {
+      if (!dense_used_[k]) continue;
+      groups_[DecodeKey(k)] += dense_sum_[k];
+      dense_used_[k] = 0;
+      dense_sum_[k] = 0.0;
+    }
+  }
   if (table_.size() == 0) return;
   table_.ForEach([this](const AggHashTable::Cell& cell) {
     groups_[DecodeKey(cell.key)] += cell.sum;
@@ -558,8 +619,15 @@ double HashAggregator::TotalSum() const {
 
 int64_t RunAggregationPipeline(const Table* fact, const FilterOperator& filter,
                                HashAggregator* aggregator) {
+  return RunAggregationPipeline(fact, filter, aggregator, 0,
+                                std::numeric_limits<size_t>::max());
+}
+
+int64_t RunAggregationPipeline(const Table* fact, const FilterOperator& filter,
+                               HashAggregator* aggregator, size_t begin_row,
+                               size_t end_row) {
   ECLDB_CHECK(fact != nullptr && aggregator != nullptr);
-  TableScan scan(fact);
+  TableScan scan(fact, begin_row, end_row);
   std::vector<uint32_t> batch;
   int64_t scanned = 0;
   while (scan.Next(&batch)) {

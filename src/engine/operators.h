@@ -94,18 +94,25 @@ struct Predicate {
 };
 
 /// Scans a table shard in selection-vector batches, skipping tombstones.
+/// A scan can be restricted to a row range [begin_row, end_row) — the
+/// morsel unit of intra-query parallelism (engine/morsel.h). Shards with
+/// no tombstones take a straight iota fill.
 class TableScan {
  public:
   explicit TableScan(const Table* table, size_t batch_size = 1024);
+  TableScan(const Table* table, size_t begin_row, size_t end_row,
+            size_t batch_size = 1024);
 
-  /// Fills `rows` with the next batch; false at end of table.
+  /// Fills `rows` with the next batch; false at end of range.
   bool Next(std::vector<uint32_t>* rows);
 
-  void Reset() { next_row_ = 0; }
+  void Reset() { next_row_ = begin_row_; }
 
  private:
   const Table* table_;
   size_t batch_size_;
+  size_t begin_row_ = 0;
+  size_t end_row_;  // clamped to num_rows() at scan time
   size_t next_row_ = 0;
 };
 
@@ -130,7 +137,9 @@ class FilterOperator {
   struct Bound {
     const Column* val_col = nullptr;  // the column holding the tested value
     const Column* fk_col = nullptr;   // fact FK column for dim refs
-    std::vector<uint8_t> code_match;  // string kinds: per-code verdict
+    size_t known = 0;                 // codes covered by code_match
+    std::vector<uint8_t> code_match;  // string kinds: per-code verdict,
+                                      // padded 4 bytes for SIMD byte gathers
   };
 
   void ApplyOne(const Predicate& p, const Bound& b,
@@ -190,6 +199,11 @@ class HashAggregator {
   int64_t rows_consumed() const { return rows_consumed_; }
   double TotalSum() const;
 
+  /// The aggregation spec, for building per-morsel partial aggregators
+  /// that merge back through Merge() (engine/morsel.h).
+  const std::vector<ColumnRef>& group_by() const { return group_by_; }
+  const ValueExpr& value() const { return value_; }
+
  private:
   /// How one group column packs into the composite key.
   struct KeyPart {
@@ -224,12 +238,28 @@ class HashAggregator {
   std::vector<double> val_scratch_;
   std::vector<uint32_t> row_scratch_a_;
   std::vector<uint32_t> row_scratch_b_;
+  std::vector<uint64_t> hash_scratch_;
+
+  // Dense direct-addressed accumulators: when the packed key space is at
+  // most kDenseKeyBits wide, skip hashing entirely and index flat arrays
+  // by the packed key. Same row-order accumulation, so still bit-identical
+  // to the scalar path; flushed ascending by key.
+  static constexpr uint32_t kDenseKeyBits = 16;
+  int dense_bits_ = -1;  // >= 0: dense mode for the current layout
+  mutable std::vector<double> dense_sum_;
+  mutable std::vector<uint8_t> dense_used_;
 };
 
 /// One aggregation pipeline over one fact-table shard:
 /// scan -> filter -> aggregate. Returns rows scanned.
 int64_t RunAggregationPipeline(const Table* fact, const FilterOperator& filter,
                                HashAggregator* aggregator);
+
+/// Same pipeline restricted to rows [begin_row, end_row) — one morsel.
+/// end_row is clamped to the table size.
+int64_t RunAggregationPipeline(const Table* fact, const FilterOperator& filter,
+                               HashAggregator* aggregator, size_t begin_row,
+                               size_t end_row);
 
 /// Row-at-a-time reference pipeline (identical results; property tests
 /// and microbenchmark baseline).

@@ -21,6 +21,15 @@ struct PartitionWork {
   msg::MessageType type = msg::MessageType::kWorkUnits;
   int64_t arg0 = 0;
   int64_t arg1 = 0;
+  /// Intra-query parallelism: split this task into `morsels` messages of
+  /// ops/morsels each, so every active worker of the owning socket can
+  /// consume a share of the partition's scan concurrently (the partition
+  /// queue hands morsels to whichever worker grabs ownership next — the
+  /// fluid analogue of morsel stealing, naturally restricted to active
+  /// workers because sleeping threads never acquire queues). Only kScan
+  /// and kWorkUnits tasks may split (> 1): those are the types whose arg1
+  /// is free to carry the morsel coordinates.
+  int morsels = 1;
 };
 
 /// A query as submitted to the engine: a work profile plus per-partition

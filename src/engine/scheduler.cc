@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <string>
 
 #include "common/check.h"
@@ -27,7 +28,8 @@ Scheduler::Scheduler(sim::Simulator* simulator, hwsim::Machine* machine,
       placement_(placement),
       params_(params),
       spill_(static_cast<size_t>(db->num_partitions())),
-      latency_(params.latency_window) {
+      latency_(params.latency_window),
+      outstanding_morsels_(static_cast<size_t>(db->num_partitions()), 0) {
   const hwsim::Topology& topo = machine_->topology();
   ECLDB_CHECK_MSG(!params_.static_binding ||
                       db_->num_partitions() == topo.total_threads(),
@@ -62,6 +64,25 @@ Scheduler::Scheduler(sim::Simulator* simulator, hwsim::Machine* machine,
       reg.AddGauge("engine/socket" + std::to_string(s) + "/backlog_ops",
                    [this, s] { return BacklogOps(s); });
     }
+    reg.AddCounterFn("engine/morsels_dispatched",
+                     [this] { return morsels_dispatched_; });
+    reg.AddCounterFn("engine/morsels_completed",
+                     [this] { return morsels_completed_; });
+    for (SocketId s = 0; s < topo.num_sockets; ++s) {
+      // Outstanding morsel messages homed on the socket (dispatched minus
+      // completed, by the partition's current home).
+      reg.AddGauge(
+          "engine/socket" + std::to_string(s) + "/morsel_queue_depth",
+          [this, s] {
+            int64_t depth = 0;
+            for (PartitionId p = 0; p < db_->num_partitions(); ++p) {
+              if (placement_->HomeOf(p) == s) {
+                depth += outstanding_morsels_[static_cast<size_t>(p)];
+              }
+            }
+            return static_cast<double>(depth);
+          });
+    }
   }
   // Registered after the Machine (which the caller constructs first), so
   // each slice integrates hardware state before work is consumed.
@@ -83,6 +104,23 @@ int Scheduler::RegisterProfile(const hwsim::WorkProfile* profile) {
   return static_cast<int>(profiles_.size() - 1);
 }
 
+int Scheduler::MorselsOf(const PartitionWork& pw) const {
+  const bool splittable = pw.type == msg::MessageType::kWorkUnits ||
+                          pw.type == msg::MessageType::kScan;
+  ECLDB_CHECK_MSG(pw.morsels == 1 || splittable,
+                  "only kWorkUnits/kScan tasks can be morselized (other "
+                  "types use arg1 for their own arguments)");
+  int morsels = std::max(1, pw.morsels);
+  if (morsels == 1 && params_.morsel_ops > 0.0 &&
+      pw.type == msg::MessageType::kWorkUnits &&
+      pw.ops > params_.morsel_ops) {
+    morsels = static_cast<int>(std::ceil(pw.ops / params_.morsel_ops));
+  }
+  // Cap: more morsels than a socket can drain concurrently only adds
+  // queue traffic (and a partition ring holds a bounded message count).
+  return std::min(morsels, 64);
+}
+
 QueryId Scheduler::Submit(const QuerySpec& spec) {
   ECLDB_CHECK(spec.profile != nullptr);
   ECLDB_CHECK(!spec.work.empty());
@@ -91,7 +129,10 @@ QueryId Scheduler::Submit(const QuerySpec& spec) {
   const QueryId id = next_query_id_++;
   QueryState state;
   state.arrival = simulator_->now();
-  state.pending_tasks = static_cast<int>(spec.work.size());
+  state.pending_tasks = 0;
+  for (const PartitionWork& pw : spec.work) {
+    state.pending_tasks += MorselsOf(pw);
+  }
   state.internal = spec.internal;
   inflight_.emplace(id, state);
   if (!spec.internal) ++queries_submitted_;
@@ -99,18 +140,37 @@ QueryId Scheduler::Submit(const QuerySpec& spec) {
   for (const PartitionWork& pw : spec.work) {
     ECLDB_DCHECK(pw.partition >= 0 && pw.partition < db_->num_partitions());
     ECLDB_DCHECK(pw.ops > 0.0);
+    const int morsels = MorselsOf(pw);
     msg::Message m;
     m.query_id = id;
     m.partition = pw.partition;
     m.type = pw.type;
     m.origin_socket = spec.origin_socket;
-    m.payload[0] = EncodeOps(pw.ops);
     m.payload[1] = profile_id;
     m.payload[2] = pw.arg0;
-    m.payload[3] = pw.arg1;
-    if (!layer_->Send(spec.origin_socket, m)) {
-      spill_[static_cast<size_t>(pw.partition)].push_back(m);
+    if (morsels == 1) {
+      m.payload[0] = EncodeOps(pw.ops);
+      m.payload[3] = pw.arg1;
+      if (!layer_->Send(spec.origin_socket, m)) {
+        spill_[static_cast<size_t>(pw.partition)].push_back(m);
+      }
+      continue;
     }
+    // Morselized task: equal fluid shares, morsel coordinates in arg1.
+    // Workers of the owning socket pick the sub-messages up batch by
+    // batch, so several active workers consume one partition's scan
+    // within a slice; per-worker credit spending (and thus utilization
+    // accounting) is unchanged.
+    const double ops_each = pw.ops / morsels;
+    for (int i = 0; i < morsels; ++i) {
+      m.payload[0] = EncodeOps(ops_each);
+      m.payload[3] = msg::EncodeMorsel(i, morsels);
+      if (!layer_->Send(spec.origin_socket, m)) {
+        spill_[static_cast<size_t>(pw.partition)].push_back(m);
+      }
+    }
+    morsels_dispatched_ += morsels;
+    outstanding_morsels_[static_cast<size_t>(pw.partition)] += morsels;
   }
   return id;
 }
@@ -165,6 +225,12 @@ void Scheduler::CompleteTask(const msg::Message& m, SimTime now) {
   if (m.type != msg::MessageType::kWorkUnits && functional_executor_) {
     functional_executor_(m.partition, m);
   }
+  if ((m.type == msg::MessageType::kWorkUnits ||
+       m.type == msg::MessageType::kScan) &&
+      msg::MorselCount(m.payload[3]) > 1) {
+    ++morsels_completed_;
+    --outstanding_morsels_[static_cast<size_t>(m.partition)];
+  }
   auto it = inflight_.find(m.query_id);
   ECLDB_DCHECK(it != inflight_.end());
   if (!it->second.internal && !partition_latency_ms_.empty()) {
@@ -183,7 +249,16 @@ void Scheduler::CompleteTask(const msg::Message& m, SimTime now) {
 }
 
 void Scheduler::ReleaseOwnership(Worker* w, bool requeue_batch) {
-  if (w->owned == nullptr) return;
+  if (w->owned == nullptr && w->batch.empty()) return;
+  // Requeue target: the owned queue, or (for a claimed morsel batch whose
+  // queue was already released) the partition's current home queue.
+  auto requeue = [this, w](const msg::Message& m) {
+    const bool ok =
+        w->owned != nullptr
+            ? w->owned->Enqueue(m)
+            : layer_->router(placement_->HomeOf(m.partition))->Enqueue(m);
+    if (!ok) spill_[static_cast<size_t>(m.partition)].push_back(m);
+  };
   if (requeue_batch) {
     // Deactivated mid-batch: push unprocessed work back so other workers
     // can serve the partition (elasticity invariant: partitions never
@@ -191,19 +266,28 @@ void Scheduler::ReleaseOwnership(Worker* w, bool requeue_batch) {
     if (w->remaining_ops > 0.0 && w->batch_pos < w->batch.size()) {
       msg::Message m = w->batch[w->batch_pos];
       m.payload[0] = EncodeOps(w->remaining_ops);
-      if (!w->owned->Enqueue(m)) {
-        spill_[static_cast<size_t>(m.partition)].push_back(m);
-      }
+      requeue(m);
       w->remaining_ops = 0.0;
       ++w->batch_pos;
     }
     for (size_t i = w->batch_pos; i < w->batch.size(); ++i) {
-      if (!w->owned->Enqueue(w->batch[i])) {
-        spill_[static_cast<size_t>(w->batch[i].partition)].push_back(w->batch[i]);
-      }
+      requeue(w->batch[i]);
     }
     w->batch.clear();
     w->batch_pos = 0;
+  }
+  if (w->owned != nullptr) {
+    w->owned->Release(w->id);
+    w->owned = nullptr;
+  }
+}
+
+void Scheduler::MaybeReleaseMorselBatch(Worker* w) {
+  if (w->owned == nullptr || w->batch.empty()) return;
+  for (const msg::Message& m : w->batch) {
+    const bool splittable = m.type == msg::MessageType::kScan ||
+                            m.type == msg::MessageType::kWorkUnits;
+    if (!splittable || msg::MorselCount(m.payload[3]) <= 1) return;
   }
   w->owned->Release(w->id);
   w->owned = nullptr;
@@ -252,6 +336,8 @@ bool Scheduler::AcquireWork(Worker* w) {
     if (q->DequeueBatch(w->id, params_.batch_size, &w->batch) == 0) {
       // Raced to empty; try the next queue.
       ReleaseOwnership(w, /*requeue_batch=*/false);
+    } else {
+      MaybeReleaseMorselBatch(w);
     }
   }
 }
@@ -412,6 +498,7 @@ const hwsim::WorkProfile* Scheduler::PeekProfile(Worker* w) {
     w->batch.clear();
     w->batch_pos = 0;
     if (w->owned->DequeueBatch(w->id, params_.batch_size, &w->batch) > 0) {
+      MaybeReleaseMorselBatch(w);
       return ProfileOfMessage(w->batch[0]);
     }
   }
@@ -426,6 +513,7 @@ const hwsim::WorkProfile* Scheduler::PeekProfile(Worker* w) {
       w->batch.clear();
       w->batch_pos = 0;
       if (q->DequeueBatch(w->id, params_.batch_size, &w->batch) > 0) {
+        MaybeReleaseMorselBatch(w);
         return ProfileOfMessage(w->batch[0]);
       }
       ReleaseOwnership(w, false);

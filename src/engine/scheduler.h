@@ -32,8 +32,15 @@ struct SchedulerParams {
   /// balanced. Requires a 1:1 worker-partition ratio. Default off (the
   /// paper's elasticity extensions).
   bool static_binding = false;
+  /// Auto-morselization threshold in operations: a kWorkUnits partition
+  /// task larger than this is split into ceil(ops / morsel_ops) morsel
+  /// messages (capped at the partition queue capacity the layer offers)
+  /// even when the submitter left PartitionWork::morsels at 1. 0 disables
+  /// auto-splitting; explicit per-task morsel counts always apply.
+  double morsel_ops = 0.0;
   /// Optional telemetry context: query/per-partition latency histograms,
-  /// backlog and inflight gauges, submit/complete counters.
+  /// backlog and inflight gauges, submit/complete counters, morsel
+  /// dispatch/completion counters and queue-depth gauges.
   telemetry::Telemetry* telemetry = nullptr;
 };
 
@@ -132,11 +139,21 @@ class Scheduler {
   /// Replays the per-slice accumulations of settled slices over (t0, t1].
   void FastForward(SimTime t0, SimTime t1, SimDuration slice);
 
+  /// Morsel count a partition task splits into (explicit request, or
+  /// morsel_ops auto-split for large kWorkUnits tasks), capped at 64.
+  int MorselsOf(const PartitionWork& pw) const;
   /// Returns the number of spilled messages moved into partition queues.
   size_t RetrySpill();
   /// Makes `w` point at its next task; returns false when out of work.
   bool AcquireWork(Worker* w);
   void ReleaseOwnership(Worker* w, bool requeue_batch);
+  /// Morsel batches are claimed, not owned: if the freshly-dequeued batch
+  /// consists entirely of morselized messages, the partition queue is
+  /// released immediately so other active workers can claim the remaining
+  /// morsels within the same slice — the fluid analogue of morsel
+  /// stealing. Safe because only kScan/kWorkUnits may split (disjoint
+  /// row ranges; no exclusive functional mutation).
+  void MaybeReleaseMorselBatch(Worker* w);
   void CompleteTask(const msg::Message& m, SimTime now);
   const hwsim::WorkProfile* ProfileOfMessage(const msg::Message& m) const;
   /// Work profile the worker would execute next (head of its work).
@@ -158,6 +175,12 @@ class Scheduler {
   LatencyTracker latency_;
   QueryId next_query_id_ = 1;
   int64_t queries_submitted_ = 0;
+  /// Morselized-task accounting (telemetry): messages produced by
+  /// splitting and completed; per-partition outstanding morsel messages,
+  /// summed into a per-socket queue-depth gauge by current home.
+  int64_t morsels_dispatched_ = 0;
+  int64_t morsels_completed_ = 0;
+  std::vector<int64_t> outstanding_morsels_;
   const hwsim::WorkProfile* synthetic_load_ = nullptr;
   FunctionalExecutor functional_executor_;
   /// Telemetry latency histograms (unbound handles = inlined no-ops).

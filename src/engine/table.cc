@@ -41,6 +41,17 @@ size_t Table::AppendRow(const std::vector<Value>& values) {
   return num_rows_++;
 }
 
+void Table::CopyContentFrom(const Table& other) {
+  ECLDB_CHECK_MSG(schema_.num_columns() == other.schema_.num_columns(),
+                  "CopyContentFrom requires matching schemas");
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i]->CopyFrom(*other.columns_[i]);
+  }
+  deleted_ = other.deleted_;
+  num_rows_ = other.num_rows_;
+  num_deleted_ = other.num_deleted_;
+}
+
 Column* Table::column(std::string_view name) {
   const int i = schema_.IndexOf(name);
   ECLDB_CHECK_MSG(i >= 0, "unknown column");

@@ -49,6 +49,12 @@ class Table {
   /// Returns the new row id.
   size_t AppendRow(const std::vector<Value>& values);
 
+  /// Replaces this table's content (all columns and tombstones) with a
+  /// copy of `other`'s. Schemas must match column-for-column. Bulk path
+  /// for replicating a dimension shard into every partition without
+  /// re-running the generator per replica.
+  void CopyContentFrom(const Table& other);
+
   Column* column(size_t i) { return columns_[i].get(); }
   const Column* column(size_t i) const { return columns_[i].get(); }
   Column* column(std::string_view name);

@@ -52,6 +52,24 @@ inline int64_t EncodeMessageOps(double ops) {
   return std::bit_cast<int64_t>(ops);
 }
 
+/// Morsel coordinates carried in `payload[3]` by morselized kScan /
+/// kWorkUnits messages: when a partition task is split for intra-query
+/// parallelism, each sub-message carries its morsel index and the total
+/// morsel count so the functional executor can scan just its row range.
+/// Only those two types use this encoding — kGet/kPut/kResult keep
+/// payload[3] for their own arguments — and an unsplit task leaves
+/// payload[3] untouched (count 0 decodes as "whole partition").
+inline int64_t EncodeMorsel(int32_t index, int32_t count) {
+  return (static_cast<int64_t>(count) << 32) |
+         static_cast<int64_t>(static_cast<uint32_t>(index));
+}
+inline int32_t MorselIndex(int64_t arg1) {
+  return static_cast<int32_t>(arg1 & 0xffffffff);
+}
+inline int32_t MorselCount(int64_t arg1) {
+  return static_cast<int32_t>(arg1 >> 32);
+}
+
 /// Human-readable name of a message type (diagnostics).
 const char* MessageTypeName(MessageType type);
 

@@ -5,7 +5,9 @@
 #include <map>
 
 #include "common/check.h"
+#include "engine/morsel.h"
 #include "engine/operators.h"
+#include "msg/message.h"
 #include "workload/work_profiles.h"
 
 namespace ecldb::workload {
@@ -145,10 +147,12 @@ void SsbWorkload::Load() {
   const int nparts = db.num_partitions();
 
   // Dimensions are replicated into every partition; rows appended in key
-  // order so that row id == key - 1 (direct-addressing join index).
-  for (int p = 0; p < nparts; ++p) {
-    engine::Partition* part = db.partition(p);
-    Rng dim_rng(params_.seed);  // identical replica in every partition
+  // order so that row id == key - 1 (direct-addressing join index). Every
+  // replica is identical by construction (same seed), so only partition 0
+  // runs the generators; the others bulk-copy its shards.
+  {
+    engine::Partition* part = db.partition(0);
+    Rng dim_rng(params_.seed);
 
     engine::Table* date = part->table(kDate);
     int64_t datekey = 0;
@@ -183,6 +187,12 @@ void SsbWorkload::Load() {
       const std::string mfgr_s = "MFGR#" + std::to_string(mfgr);
       const std::string cat_s = mfgr_s + std::to_string(cat);
       pt->AppendRow({k, mfgr_s, cat_s, cat_s + std::to_string(brand)});
+    }
+  }
+  for (int p = 1; p < nparts; ++p) {
+    engine::Partition* part = db.partition(p);
+    for (const char* t : {kDate, kCustomer, kSupplier, kPart}) {
+      part->table(t)->CopyContentFrom(*db.partition(0)->table(t));
     }
   }
 
@@ -367,20 +377,30 @@ void SsbWorkload::InstallExecutor() {
                       part->table(kPart));
         engine::FilterOperator filter(lo, plan.predicates);
         engine::HashAggregator aggregator(plan.group_by, plan.value);
+        // Morsel coordinates (payload[3]): scan only this message's row
+        // share of the shard. Count 0 or 1 means the whole partition.
+        const int64_t mcount = std::max<int64_t>(msg::MorselCount(m.payload[3]), 1);
+        const int64_t mindex = msg::MorselIndex(m.payload[3]);
+        const size_t rows = lo->num_rows();
+        const size_t begin = static_cast<size_t>(
+            static_cast<uint64_t>(mindex) * rows / mcount);
+        const size_t end = static_cast<size_t>(
+            static_cast<uint64_t>(mindex + 1) * rows / mcount);
         const int64_t scanned =
-            engine::RunAggregationPipeline(lo, filter, &aggregator);
+            engine::RunAggregationPipeline(lo, filter, &aggregator, begin, end);
 
         // Merge the partial aggregate into the query's pending result.
         PendingResult& pending = pending_[m.query_id];
-        if (pending.remaining_partitions == 0) {
-          pending.remaining_partitions = engine_->db().num_partitions();
+        if (pending.remaining_tasks == 0) {
+          pending.remaining_tasks =
+              engine_->db().num_partitions() * static_cast<int>(mcount);
         }
         pending.result.rows_scanned += scanned;
         if (!pending.merged) {
           pending.merged.emplace(plan.group_by, plan.value);
         }
         pending.merged->Merge(aggregator);
-        if (--pending.remaining_partitions == 0) {
+        if (--pending.remaining_tasks == 0) {
           pending.result.matches = pending.merged->rows_consumed();
           pending.result.groups =
               static_cast<int>(pending.merged->groups().size());
@@ -391,8 +411,10 @@ void SsbWorkload::InstallExecutor() {
       });
 }
 
-QueryId SsbWorkload::SubmitQuery(int flight, int number) {
+QueryId SsbWorkload::SubmitQuery(int flight, int number,
+                                 int morsels_per_partition) {
   ECLDB_CHECK_MSG(lineorder_rows_ > 0, "call Load() first");
+  ECLDB_CHECK(morsels_per_partition >= 1);
   engine::QuerySpec spec;
   spec.profile = &profile();
   const int nparts = engine_->db().num_partitions();
@@ -406,6 +428,7 @@ QueryId SsbWorkload::SubmitQuery(int flight, int number) {
     work.ops = ops_each;
     work.type = msg::MessageType::kScan;
     work.arg0 = flight * 10 + number;
+    work.morsels = morsels_per_partition;
     spec.work.push_back(work);
   }
   spec.origin_socket = 0;
@@ -438,7 +461,8 @@ SsbWorkload::QueryResult SsbWorkload::RunQuery(int flight, int number) {
                   part->table(kSupplier), part->table(kPart));
     engine::FilterOperator filter(lo, plan.predicates);
     engine::HashAggregator aggregator(plan.group_by, plan.value);
-    result.rows_scanned += engine::RunAggregationPipeline(lo, filter, &aggregator);
+    result.rows_scanned += engine::RunMorselAggregationPipeline(
+        lo, filter, &aggregator, engine_->morsel_pool());
     if (!merged_init) {
       merged = engine::HashAggregator(plan.group_by, plan.value);
       merged_init = true;

@@ -73,8 +73,12 @@ class SsbWorkload : public Workload {
 
   /// Submits query `flight`.`number` for distributed execution. Partition
   /// tasks on the remote socket travel through the inter-socket
-  /// communication endpoints like any message.
-  QueryId SubmitQuery(int flight, int number);
+  /// communication endpoints like any message. With
+  /// `morsels_per_partition` > 1 each partition scan is split into that
+  /// many morsel messages (fluid morsel stealing: any active worker of the
+  /// owning socket can consume a share), and the functional executor scans
+  /// only the morsel's row range.
+  QueryId SubmitQuery(int flight, int number, int morsels_per_partition = 1);
 
   /// Retrieves (and removes) the merged result once every partition task
   /// has completed; empty while in flight.
@@ -95,11 +99,12 @@ class SsbWorkload : public Workload {
 
   /// In-flight distributed queries: merged partials per query. Partial
   /// aggregates combine through HashAggregator::Merge, the same
-  /// cross-partition path RunQuery uses.
+  /// cross-partition path RunQuery uses. `remaining_tasks` counts morsel
+  /// messages (partitions x morsels_per_partition).
   struct PendingResult {
     QueryResult result;
     std::optional<engine::HashAggregator> merged;
-    int remaining_partitions = 0;
+    int remaining_tasks = 0;
   };
   std::unordered_map<QueryId, PendingResult> pending_;
   std::unordered_map<QueryId, QueryResult> async_results_;

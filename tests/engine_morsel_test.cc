@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/morsel.h"
+#include "engine/operators.h"
+#include "engine/table.h"
+
+namespace ecldb::engine {
+namespace {
+
+/// Morsel-driven parallel aggregation: partials merge in morsel-index
+/// order, so for a FIXED morsel grid the result is bit-identical no matter
+/// how many workers claim morsels or in which interleaving. Across
+/// DIFFERENT grids the per-group addition trees differ: keys and counts
+/// stay exact, sums agree to rounding.
+
+constexpr const char* kTags[] = {"red", "green", "blue", "cyan", "magenta"};
+
+Table MakeFact(Rng& rng, int64_t rows, double delete_fraction) {
+  Table fact("fact", Schema({{"qty", ColumnType::kInt64},
+                             {"price", ColumnType::kInt64},
+                             {"tag", ColumnType::kString}}));
+  for (int64_t i = 0; i < rows; ++i) {
+    fact.AppendRow({rng.NextInRange(-20, 20), rng.NextInRange(0, 10000),
+                    std::string(kTags[rng.NextBounded(5)])});
+  }
+  for (int64_t i = 0; i < rows; ++i) {
+    if (rng.NextBool(delete_fraction)) fact.DeleteRow(static_cast<size_t>(i));
+  }
+  return fact;
+}
+
+std::vector<Predicate> SomePredicates() {
+  return {Predicate::IntRange(ColumnRef::Fact(0), -10, 15),
+          Predicate::StringIn(ColumnRef::Fact(2), {"red", "blue", "cyan"})};
+}
+
+TEST(EngineMorselTest, BitIdenticalAcrossWorkerCounts) {
+  Rng rng(201);
+  Table fact = MakeFact(rng, 40000, 0.05);
+  const auto preds = SomePredicates();
+  const std::vector<ColumnRef> group_by = {ColumnRef::Fact(2)};
+  const ValueExpr value =
+      ValueExpr::Product(ColumnRef::Fact(0), ColumnRef::Fact(1), 0.01);
+
+  FilterOperator filter(&fact, preds);
+  // Reference: the same 4096-row morsel grid executed by the caller alone.
+  // (The serial single-pass pipeline is a DIFFERENT grid — its sums can
+  // differ in the last ulp; KeysAndCountsExactAcrossMorselSizes covers it.)
+  HashAggregator reference(group_by, value);
+  int64_t scanned_ref = 0;
+  {
+    MorselPool pool(0);
+    scanned_ref =
+        RunMorselAggregationPipeline(&fact, filter, &reference, &pool, 4096);
+  }
+
+  for (int extra_workers = 1; extra_workers <= 3; ++extra_workers) {
+    MorselPool pool(extra_workers);
+    HashAggregator parallel(group_by, value);
+    const int64_t scanned = RunMorselAggregationPipeline(
+        &fact, filter, &parallel, &pool, 4096);
+    EXPECT_EQ(scanned, scanned_ref);
+    EXPECT_EQ(parallel.rows_consumed(), reference.rows_consumed());
+    const auto& gp = parallel.groups();
+    const auto& gs = reference.groups();
+    ASSERT_EQ(gp.size(), gs.size()) << extra_workers << " extra workers";
+    auto it_p = gp.begin();
+    for (auto it_s = gs.begin(); it_s != gs.end(); ++it_s, ++it_p) {
+      EXPECT_EQ(it_p->first, it_s->first);
+      EXPECT_EQ(it_p->second, it_s->second) << "group " << it_s->first;
+    }
+    EXPECT_EQ(parallel.TotalSum(), reference.TotalSum());
+  }
+}
+
+TEST(EngineMorselTest, KeysAndCountsExactAcrossMorselSizes) {
+  Rng rng(202);
+  Table fact = MakeFact(rng, 30000, 0.0);
+  FilterOperator filter(&fact, SomePredicates());
+  const std::vector<ColumnRef> group_by = {ColumnRef::Fact(2)};
+  const ValueExpr value = ValueExpr::Column(ColumnRef::Fact(1), 0.25);
+
+  HashAggregator serial(group_by, value);
+  RunAggregationPipeline(&fact, filter, &serial);
+
+  MorselPool pool(2);
+  const size_t morsel_sizes[] = {500, 1024, 7777, 16384, 1u << 20};
+  for (size_t morsel_rows : morsel_sizes) {
+    HashAggregator parallel(group_by, value);
+    RunMorselAggregationPipeline(&fact, filter, &parallel, &pool, morsel_rows);
+    EXPECT_EQ(parallel.rows_consumed(), serial.rows_consumed());
+    const auto& gp = parallel.groups();
+    const auto& gs = serial.groups();
+    ASSERT_EQ(gp.size(), gs.size()) << morsel_rows;
+    auto it_p = gp.begin();
+    for (auto it_s = gs.begin(); it_s != gs.end(); ++it_s, ++it_p) {
+      EXPECT_EQ(it_p->first, it_s->first);
+      // Different grids reassociate the FP sums; near, not identical.
+      EXPECT_NEAR(it_p->second, it_s->second,
+                  1e-9 * (1.0 + std::abs(it_s->second)))
+          << "group " << it_s->first;
+    }
+  }
+}
+
+TEST(EngineMorselTest, SingleMorselIsBitIdenticalToSerial) {
+  Rng rng(203);
+  Table fact = MakeFact(rng, 5000, 0.1);
+  FilterOperator filter(&fact, SomePredicates());
+  const std::vector<ColumnRef> group_by = {ColumnRef::Fact(2)};
+  const ValueExpr value =
+      ValueExpr::Difference(ColumnRef::Fact(1), ColumnRef::Fact(0));
+
+  HashAggregator serial(group_by, value);
+  RunAggregationPipeline(&fact, filter, &serial);
+
+  MorselPool pool(3);
+  HashAggregator parallel(group_by, value);
+  // Oversized morsel: the whole table fits in one; delegates to serial.
+  RunMorselAggregationPipeline(&fact, filter, &parallel, &pool, 1u << 20);
+  EXPECT_EQ(parallel.TotalSum(), serial.TotalSum());
+  EXPECT_EQ(parallel.groups(), serial.groups());
+
+  // Null pool falls back to serial too.
+  HashAggregator no_pool(group_by, value);
+  RunMorselAggregationPipeline(&fact, filter, &no_pool, nullptr, 100);
+  EXPECT_EQ(no_pool.TotalSum(), serial.TotalSum());
+  EXPECT_EQ(no_pool.groups(), serial.groups());
+}
+
+TEST(EngineMorselTest, EmptyTable) {
+  Table fact("fact", Schema({{"qty", ColumnType::kInt64},
+                             {"price", ColumnType::kInt64},
+                             {"tag", ColumnType::kString}}));
+  FilterOperator filter(&fact, {});
+  HashAggregator agg({}, ValueExpr::Column(ColumnRef::Fact(1)));
+  MorselPool pool(2);
+  EXPECT_EQ(RunMorselAggregationPipeline(&fact, filter, &agg, &pool, 128), 0);
+  EXPECT_EQ(agg.rows_consumed(), 0);
+}
+
+TEST(EngineMorselTest, PoolRunsEveryIndexExactlyOnce) {
+  // Claim-from-shared-cursor stress: many back-to-back generations with
+  // more (and fewer) morsels than workers; every index must run exactly
+  // once per generation. Run under TSan to validate the handoff protocol.
+  MorselPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    const size_t count = static_cast<size_t>(round % 17);  // 0..16
+    std::vector<std::atomic<int>> hits(count);
+    for (auto& h : hits) h.store(0);
+    pool.Run(count, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(EngineMorselTest, PoolWithoutExtraWorkersRunsOnCaller) {
+  MorselPool pool(0);
+  EXPECT_EQ(pool.workers(), 1);
+  std::vector<int> hits(64, 0);
+  pool.Run(64, [&](size_t i) { hits[i]++; });  // serial on the caller
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace ecldb::engine

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/engine.h"
+#include "telemetry/telemetry.h"
 #include "hwsim/machine.h"
 #include "sim/simulator.h"
 #include "workload/work_profiles.h"
@@ -276,6 +277,125 @@ TEST_F(SchedulerTest, LatencyResetKeepsWindow) {
   EXPECT_EQ(engine_.latency().completed(), 0);
   EXPECT_EQ(engine_.latency().all().count(), 0u);
   EXPECT_FALSE(engine_.latency().WindowEmpty());  // window survives reset
+}
+
+TEST_F(SchedulerTest, MorselizedTaskCompletesAsOneQuery) {
+  AllOn();
+  QuerySpec spec = ComputeQuery(0, 1e6);
+  spec.work[0].type = msg::MessageType::kScan;
+  spec.work[0].morsels = 8;
+  engine_.Submit(spec);
+  sim_.RunFor(Millis(50));
+  // Eight morsel messages, one query: exactly one completion recorded.
+  EXPECT_EQ(engine_.latency().completed(), 1);
+  EXPECT_EQ(engine_.scheduler().inflight(), 0);
+}
+
+TEST_F(SchedulerTest, MorselSplitEngagesMultipleWorkers) {
+  AllOn();
+  // One partition's large scan (~190 ms of single-thread fluid work).
+  // Unsplit, only the worker owning the partition queue consumes it;
+  // split into morsels, every active worker of the socket can claim a
+  // share batch by batch, so the scan finishes far sooner.
+  QuerySpec serial = ComputeQuery(1, 5e8);
+  serial.work[0].type = msg::MessageType::kScan;
+  engine_.Submit(serial);
+  sim_.RunFor(Seconds(1));
+  ASSERT_EQ(engine_.latency().completed(), 1);
+  const double serial_ms = engine_.latency().all().Mean();
+
+  engine_.latency().ResetRunStats();
+  QuerySpec split = ComputeQuery(1, 5e8);
+  split.work[0].type = msg::MessageType::kScan;
+  split.work[0].morsels = 48;
+  engine_.Submit(split);
+  sim_.RunFor(Seconds(1));
+  ASSERT_EQ(engine_.latency().completed(), 1);
+  const double split_ms = engine_.latency().all().Mean();
+  // 48 morsels claimed in batches of 8 engage ~6 workers; slice
+  // granularity adds a completion tail, so require >= 3x, not 6x.
+  EXPECT_LT(split_ms, serial_ms / 3.0)
+      << "morsels " << split_ms << " ms vs serial " << serial_ms << " ms";
+}
+
+TEST_F(SchedulerTest, MorselizedBacklogOpsStaysExact) {
+  // All threads idle: the morsel messages sit queued; BacklogOps must
+  // still report the task's exact total operations.
+  QuerySpec spec = ComputeQuery(0, 4.8e5);
+  spec.work[0].type = msg::MessageType::kScan;
+  spec.work[0].morsels = 6;
+  engine_.Submit(spec);
+  sim_.RunFor(Millis(10));
+  EXPECT_NEAR(engine_.scheduler().BacklogOps(0), 4.8e5, 1.0);
+  AllOn();
+  sim_.RunFor(Millis(50));
+  EXPECT_EQ(engine_.latency().completed(), 1);
+  EXPECT_NEAR(engine_.scheduler().BacklogOps(0), 0.0, 1e-9);
+}
+
+TEST(SchedulerMorselTest, AutoSplitByMorselOpsAndTelemetryCounts) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  telemetry::Telemetry telemetry{telemetry::TelemetryParams{}};
+  telemetry.Bind(&sim);
+  EngineParams params;
+  params.scheduler.morsel_ops = 1e5;  // tasks above this split
+  params.telemetry = &telemetry;
+  Engine engine(&sim, &machine, params);
+  machine.ApplyMachineConfig(
+      hwsim::MachineConfig::AllOn(machine.topology(), 2.6, 3.0));
+
+  // 1e6-op kWorkUnits task: auto-split into ceil(1e6/1e5) = 10 morsels.
+  QuerySpec spec;
+  spec.profile = &workload::ComputeBound();
+  spec.work.push_back({0, 1e6});
+  spec.origin_socket = 0;
+  engine.Submit(spec);
+  sim.RunFor(Millis(100));
+  EXPECT_EQ(engine.latency().completed(), 1);
+  const auto& reg = telemetry.registry();
+  EXPECT_EQ(reg.CounterValueByName("engine/morsels_dispatched"), 10);
+  EXPECT_EQ(reg.CounterValueByName("engine/morsels_completed"), 10);
+  // All morsels completed: the queue-depth gauge is back to zero.
+  const int gi = reg.GaugeIndex("engine/socket0/morsel_queue_depth");
+  ASSERT_GE(gi, 0);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue(gi), 0.0);
+}
+
+TEST(SchedulerMorselTest, ExplicitMorselsCountedOnceEach) {
+  sim::Simulator sim;
+  hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+  telemetry::Telemetry telemetry{telemetry::TelemetryParams{}};
+  telemetry.Bind(&sim);
+  EngineParams params;
+  params.telemetry = &telemetry;
+  Engine engine(&sim, &machine, params);
+
+  QuerySpec spec;
+  spec.profile = &workload::ComputeBound();
+  PartitionWork pw;
+  pw.partition = 0;
+  pw.ops = 6e5;
+  pw.type = msg::MessageType::kScan;
+  pw.morsels = 6;
+  spec.work.push_back(pw);
+  spec.origin_socket = 0;
+  engine.Submit(spec);
+  // Threads still idle: dispatched but not completed; depth gauge shows
+  // the outstanding morsels of socket 0.
+  const auto& reg = telemetry.registry();
+  EXPECT_EQ(reg.CounterValueByName("engine/morsels_dispatched"), 6);
+  EXPECT_EQ(reg.CounterValueByName("engine/morsels_completed"), 0);
+  const int gi = reg.GaugeIndex("engine/socket0/morsel_queue_depth");
+  ASSERT_GE(gi, 0);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue(gi), 6.0);
+
+  machine.ApplyMachineConfig(
+      hwsim::MachineConfig::AllOn(machine.topology(), 2.6, 3.0));
+  sim.RunFor(Millis(100));
+  EXPECT_EQ(engine.latency().completed(), 1);
+  EXPECT_EQ(reg.CounterValueByName("engine/morsels_completed"), 6);
+  EXPECT_DOUBLE_EQ(reg.GaugeValue(gi), 0.0);
 }
 
 }  // namespace

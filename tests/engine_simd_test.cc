@@ -1,0 +1,343 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/agg_hash_table.h"
+#include "engine/simd.h"
+
+namespace ecldb::engine {
+namespace {
+
+/// Kernel-level identity tests: every SIMD kernel must produce exactly the
+/// scalar reference's output — same kept counts, same selection vectors,
+/// bit-identical doubles — over randomized inputs covering vector-width
+/// tails (n mod 8), batch size 1, empty batches, all-pass, all-fail, and
+/// the aliasing contract (out may be the rows array itself).
+///
+/// When the binary is compiled without AVX2 (ECLDB_SIMD=OFF leg) or the
+/// CPU lacks it, ActiveKernels() == ScalarKernels() and these tests still
+/// run as self-consistency checks.
+
+using simd::ActiveKernels;
+using simd::KernelTable;
+using simd::ScalarKernels;
+
+// Sizes straddling the 8-lane chunking: empty, sub-width, exact widths,
+// widths plus tails, and a large batch.
+constexpr size_t kSizes[] = {0, 1, 2, 7, 8, 9, 15, 16, 17, 64, 100, 1023};
+
+std::vector<uint32_t> Iota(size_t n) {
+  std::vector<uint32_t> rows(n);
+  for (size_t i = 0; i < n; ++i) rows[i] = static_cast<uint32_t>(i);
+  return rows;
+}
+
+TEST(EngineSimdTest, FilterIntRangeMatchesScalar) {
+  Rng rng(101);
+  for (size_t n : kSizes) {
+    std::vector<int64_t> v(n + 16);
+    for (auto& x : v) x = rng.NextInRange(-1000, 1000);
+    const std::vector<uint32_t> rows = Iota(n);
+    for (int round = 0; round < 8; ++round) {
+      const int64_t lo = rng.NextInRange(-1200, 1200);
+      const int64_t hi = lo + rng.NextInRange(0, 1500);
+      std::vector<uint32_t> out_s(n), out_a(n);
+      const size_t kept_s =
+          ScalarKernels().filter_int_range(v.data(), rows.data(), n, lo, hi,
+                                           out_s.data());
+      const size_t kept_a =
+          ActiveKernels().filter_int_range(v.data(), rows.data(), n, lo, hi,
+                                           out_a.data());
+      ASSERT_EQ(kept_s, kept_a) << "n=" << n;
+      for (size_t i = 0; i < kept_s; ++i) EXPECT_EQ(out_s[i], out_a[i]);
+
+      // Aliasing contract: compacting in place over the input vector.
+      std::vector<uint32_t> in_place(rows);
+      const size_t kept_ip = ActiveKernels().filter_int_range(
+          v.data(), in_place.data(), n, lo, hi, in_place.data());
+      ASSERT_EQ(kept_ip, kept_s);
+      for (size_t i = 0; i < kept_s; ++i) EXPECT_EQ(in_place[i], out_s[i]);
+    }
+    // Extremes: all pass and all fail.
+    std::vector<uint32_t> out(n);
+    EXPECT_EQ(ActiveKernels().filter_int_range(v.data(), rows.data(), n,
+                                               INT64_MIN, INT64_MAX,
+                                               out.data()),
+              n);
+    EXPECT_EQ(ActiveKernels().filter_int_range(v.data(), rows.data(), n, 2000,
+                                               3000, out.data()),
+              0u);
+  }
+}
+
+TEST(EngineSimdTest, FilterIntRangeFkMatchesScalar) {
+  Rng rng(102);
+  const size_t dim_rows = 50;
+  std::vector<int64_t> dim(dim_rows + 16);
+  for (auto& x : dim) x = rng.NextInRange(0, 100);
+  for (size_t n : kSizes) {
+    std::vector<int64_t> fk(n + 16);
+    for (auto& x : fk) x = rng.NextInRange(1, static_cast<int64_t>(dim_rows));
+    const std::vector<uint32_t> rows = Iota(n);
+    for (int round = 0; round < 8; ++round) {
+      const int64_t lo = rng.NextInRange(-10, 110);
+      const int64_t hi = lo + rng.NextInRange(0, 60);
+      std::vector<uint32_t> out_s(n), out_a(n);
+      const size_t kept_s = ScalarKernels().filter_int_range_fk(
+          dim.data(), fk.data(), rows.data(), n, lo, hi, out_s.data());
+      const size_t kept_a = ActiveKernels().filter_int_range_fk(
+          dim.data(), fk.data(), rows.data(), n, lo, hi, out_a.data());
+      ASSERT_EQ(kept_s, kept_a) << "n=" << n;
+      for (size_t i = 0; i < kept_s; ++i) EXPECT_EQ(out_s[i], out_a[i]);
+    }
+  }
+}
+
+bool OddCodeFallback(const void* ctx, int32_t code) {
+  EXPECT_NE(ctx, nullptr);
+  return (code % 2) == 1;
+}
+
+TEST(EngineSimdTest, FilterCodeMatchMatchesScalarIncludingUnknownCodes) {
+  Rng rng(103);
+  const size_t known = 20;
+  // Verdict table padded by 4 bytes (gather slack contract).
+  std::vector<uint8_t> match(known + 4, 0);
+  for (size_t c = 0; c < known; ++c) match[c] = rng.NextBool(0.4) ? 1 : 0;
+  int dummy_ctx = 0;
+  for (size_t n : kSizes) {
+    // Codes beyond `known` simulate dictionary growth after binding.
+    std::vector<int32_t> codes(n + 16);
+    for (auto& c : codes)
+      c = static_cast<int32_t>(rng.NextBounded(known + 8));
+    const std::vector<uint32_t> rows = Iota(n);
+    std::vector<uint32_t> out_s(n), out_a(n);
+    const size_t kept_s = ScalarKernels().filter_code_match(
+        codes.data(), rows.data(), n, match.data(), known, OddCodeFallback,
+        &dummy_ctx, out_s.data());
+    const size_t kept_a = ActiveKernels().filter_code_match(
+        codes.data(), rows.data(), n, match.data(), known, OddCodeFallback,
+        &dummy_ctx, out_a.data());
+    ASSERT_EQ(kept_s, kept_a) << "n=" << n;
+    for (size_t i = 0; i < kept_s; ++i) EXPECT_EQ(out_s[i], out_a[i]);
+  }
+}
+
+TEST(EngineSimdTest, FilterCodeMatchFkMatchesScalar) {
+  Rng rng(104);
+  const size_t dim_rows = 30;
+  const size_t known = 10;
+  std::vector<uint8_t> match(known + 4, 0);
+  for (size_t c = 0; c < known; ++c) match[c] = rng.NextBool(0.5) ? 1 : 0;
+  std::vector<int32_t> dim_codes(dim_rows + 16);
+  for (auto& c : dim_codes)
+    c = static_cast<int32_t>(rng.NextBounded(known + 3));
+  int dummy_ctx = 0;
+  for (size_t n : kSizes) {
+    std::vector<int64_t> fk(n + 16);
+    for (auto& x : fk) x = rng.NextInRange(1, static_cast<int64_t>(dim_rows));
+    const std::vector<uint32_t> rows = Iota(n);
+    std::vector<uint32_t> out_s(n), out_a(n);
+    const size_t kept_s = ScalarKernels().filter_code_match_fk(
+        dim_codes.data(), fk.data(), rows.data(), n, match.data(), known,
+        OddCodeFallback, &dummy_ctx, out_s.data());
+    const size_t kept_a = ActiveKernels().filter_code_match_fk(
+        dim_codes.data(), fk.data(), rows.data(), n, match.data(), known,
+        OddCodeFallback, &dummy_ctx, out_a.data());
+    ASSERT_EQ(kept_s, kept_a) << "n=" << n;
+    for (size_t i = 0; i < kept_s; ++i) EXPECT_EQ(out_s[i], out_a[i]);
+  }
+}
+
+TEST(EngineSimdTest, GatherFkMatchesScalar) {
+  Rng rng(105);
+  for (size_t n : kSizes) {
+    std::vector<int64_t> fk(n + 16);
+    for (auto& x : fk) x = rng.NextInRange(1, 1 << 20);
+    const std::vector<uint32_t> rows = Iota(n);
+    std::vector<uint32_t> out_s(n), out_a(n);
+    ScalarKernels().gather_fk(fk.data(), rows.data(), n, out_s.data());
+    ActiveKernels().gather_fk(fk.data(), rows.data(), n, out_a.data());
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(out_s[i], out_a[i]) << i;
+  }
+}
+
+TEST(EngineSimdTest, PackCodesMatchesScalarAndDetectsOverflow) {
+  Rng rng(106);
+  for (size_t n : kSizes) {
+    std::vector<int32_t> codes(n + 16);
+    for (auto& c : codes) c = static_cast<int32_t>(rng.NextBounded(16));
+    const std::vector<uint32_t> rows = Iota(n);
+    std::vector<uint64_t> keys_s(n, 7), keys_a(n, 7);
+    const bool ok_s = ScalarKernels().pack_codes(keys_s.data(), codes.data(),
+                                                 rows.data(), n, 4, 15);
+    const bool ok_a = ActiveKernels().pack_codes(keys_a.data(), codes.data(),
+                                                 rows.data(), n, 4, 15);
+    EXPECT_TRUE(ok_s);
+    EXPECT_TRUE(ok_a);
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(keys_s[i], keys_a[i]) << i;
+
+    if (n > 0) {
+      // A code beyond the limit must be rejected by both implementations
+      // (partially-written keys are allowed; only the verdict matters).
+      codes[n - 1] = 16;
+      EXPECT_FALSE(ScalarKernels().pack_codes(keys_s.data(), codes.data(),
+                                              rows.data(), n, 4, 15));
+      EXPECT_FALSE(ActiveKernels().pack_codes(keys_a.data(), codes.data(),
+                                              rows.data(), n, 4, 15));
+    }
+  }
+}
+
+TEST(EngineSimdTest, PackIntsMatchesScalarAndDetectsOverflow) {
+  Rng rng(107);
+  const int64_t base = -500;
+  for (size_t n : kSizes) {
+    std::vector<int64_t> vals(n + 16);
+    for (auto& v : vals) v = rng.NextInRange(-500, 523);  // offsets 0..1023
+    const std::vector<uint32_t> rows = Iota(n);
+    std::vector<uint64_t> keys_s(n, 3), keys_a(n, 3);
+    const bool ok_s =
+        ScalarKernels().pack_ints(keys_s.data(), vals.data(), rows.data(), n,
+                                  10, static_cast<uint64_t>(base), 1023);
+    const bool ok_a =
+        ActiveKernels().pack_ints(keys_a.data(), vals.data(), rows.data(), n,
+                                  10, static_cast<uint64_t>(base), 1023);
+    EXPECT_TRUE(ok_s);
+    EXPECT_TRUE(ok_a);
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(keys_s[i], keys_a[i]) << i;
+
+    if (n > 0) {
+      // Below base: the unsigned offset wraps huge and must be rejected.
+      vals[0] = base - 1;
+      EXPECT_FALSE(ScalarKernels().pack_ints(keys_s.data(), vals.data(),
+                                             rows.data(), n, 10,
+                                             static_cast<uint64_t>(base),
+                                             1023));
+      EXPECT_FALSE(ActiveKernels().pack_ints(keys_a.data(), vals.data(),
+                                             rows.data(), n, 10,
+                                             static_cast<uint64_t>(base),
+                                             1023));
+    }
+  }
+}
+
+TEST(EngineSimdTest, HashKeysMatchesMix64) {
+  Rng rng(108);
+  for (size_t n : kSizes) {
+    std::vector<uint64_t> keys(n);
+    for (auto& k : keys) k = rng.Next();
+    std::vector<uint64_t> h_s(n), h_a(n);
+    ScalarKernels().hash_keys(keys.data(), n, h_s.data());
+    ActiveKernels().hash_keys(keys.data(), n, h_a.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(h_s[i], detail::Mix64(keys[i]));
+      EXPECT_EQ(h_s[i], h_a[i]);
+    }
+  }
+}
+
+TEST(EngineSimdTest, EvalKernelsAreBitIdenticalIncludingBoundary) {
+  Rng rng(109);
+  constexpr int64_t kBound = int64_t{1} << 51;
+  for (size_t n : kSizes) {
+    std::vector<int64_t> a(n + 16), b(n + 16);
+    for (auto& x : a) x = rng.NextInRange(-kBound, kBound);
+    for (auto& x : b) x = rng.NextInRange(-kBound, kBound);
+    if (n >= 2) {
+      a[0] = kBound;   // conversion-exactness boundary
+      a[1] = -kBound;
+    }
+    const std::vector<uint32_t> rows = Iota(n);
+    std::vector<double> out_s(n), out_a(n);
+    const double scales[] = {1.0, 0.01, -2.5};
+    for (double scale : scales) {
+      ScalarKernels().eval_column(a.data(), rows.data(), n, scale,
+                                  out_s.data());
+      ActiveKernels().eval_column(a.data(), rows.data(), n, scale,
+                                  out_a.data());
+      for (size_t i = 0; i < n; ++i) EXPECT_EQ(out_s[i], out_a[i]) << i;
+
+      ScalarKernels().eval_product(a.data(), rows.data(), b.data(),
+                                   rows.data(), n, scale, out_s.data());
+      ActiveKernels().eval_product(a.data(), rows.data(), b.data(),
+                                   rows.data(), n, scale, out_a.data());
+      for (size_t i = 0; i < n; ++i) EXPECT_EQ(out_s[i], out_a[i]) << i;
+
+      ScalarKernels().eval_difference(a.data(), rows.data(), b.data(),
+                                      rows.data(), n, scale, out_s.data());
+      ActiveKernels().eval_difference(a.data(), rows.data(), b.data(),
+                                      rows.data(), n, scale, out_a.data());
+      for (size_t i = 0; i < n; ++i) EXPECT_EQ(out_s[i], out_a[i]) << i;
+    }
+  }
+}
+
+TEST(EngineSimdTest, LevelOverrideClampsAndRestores) {
+  const simd::Level detected = simd::ActiveLevel();
+  simd::SetLevelOverride(simd::Level::kScalar);
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  EXPECT_EQ(&simd::ActiveKernels(), &simd::ScalarKernels());
+  // Requesting a level above what was compiled clamps to CompiledLevel().
+  simd::SetLevelOverride(simd::Level::kAvx2);
+  EXPECT_LE(static_cast<int>(simd::ActiveLevel()),
+            static_cast<int>(simd::CompiledLevel()));
+  simd::SetLevelOverride(std::nullopt);
+  EXPECT_EQ(simd::ActiveLevel(), detected);
+}
+
+TEST(EngineSimdTest, DispatchCountersAdvance) {
+  // A direct CountDispatch bump must land in the matching process-global
+  // counter (the telemetry export is a delta over these).
+  const auto id = simd::KernelId::kFilterIntRange;
+  const int64_t simd_before = simd::SimdDispatches(id);
+  const int64_t scalar_before = simd::ScalarDispatches(id);
+  simd::CountDispatch(id, /*used_simd=*/true);
+  simd::CountDispatch(id, /*used_simd=*/false);
+  simd::CountDispatch(id, /*used_simd=*/false);
+  EXPECT_EQ(simd::SimdDispatches(id), simd_before + 1);
+  EXPECT_EQ(simd::ScalarDispatches(id), scalar_before + 2);
+}
+
+TEST(EngineSimdTest, AggReserveAvoidsRehash) {
+  AggHashTable table;
+  table.Reserve(10000);
+  const size_t cap = table.capacity();
+  for (uint64_t k = 0; k < 10000; ++k) table.FindOrInsert(k)->sum += 1.0;
+  EXPECT_EQ(table.capacity(), cap);  // no growth after Reserve
+  EXPECT_EQ(table.size(), 10000u);
+}
+
+TEST(EngineSimdTest, AccumulateBatchMatchesFindOrInsert) {
+  Rng rng(110);
+  for (size_t n : kSizes) {
+    std::vector<uint64_t> keys(n);
+    std::vector<double> vals(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = rng.NextBounded(7);  // few keys: duplicates within a batch
+      vals[i] = static_cast<double>(rng.NextInRange(-1000, 1000)) * 0.125;
+    }
+    AggHashTable batched, reference;
+    std::vector<uint64_t> scratch;
+    batched.AccumulateBatch(keys.data(), vals.data(), n, &scratch);
+    for (size_t i = 0; i < n; ++i) {
+      AggHashTable::Cell* c = reference.FindOrInsert(keys[i]);
+      c->sum += vals[i];
+      ++c->count;
+    }
+    ASSERT_EQ(batched.size(), reference.size());
+    reference.ForEach([&](const AggHashTable::Cell& ref) {
+      const AggHashTable::Cell* got = batched.Find(ref.key);
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(got->sum, ref.sum);  // bit-identical: row-order accumulation
+      EXPECT_EQ(got->count, ref.count);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace ecldb::engine

@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "engine/operators.h"
+#include "engine/simd.h"
 #include "engine/table.h"
 
 namespace ecldb::engine {
@@ -186,6 +187,31 @@ TEST(EngineVectorizedTest, RandomTablesMatchScalarReference) {
       SCOPED_TRACE("round " + std::to_string(round) + " batch " +
                    std::to_string(bs));
       ExpectPathsIdentical(s, preds, group_by, value, bs);
+    }
+  }
+}
+
+TEST(EngineVectorizedTest, SimdAndForcedScalarKernelsAgree) {
+  // Third path: the vectorized pipeline with the SIMD kernels forced OFF
+  // must be bit-identical to the default dispatch (which uses AVX2 when
+  // compiled in and the CPU has it). Catches any SIMD kernel whose result
+  // deviates from the scalar kernel at the pipeline level.
+  Rng rng(20260807);
+  for (int round = 0; round < 15; ++round) {
+    RandomSchema s;
+    FillRandom(&s, rng, rng.NextInRange(1, 40), rng.NextInRange(0, 600),
+               rng.NextDouble() * 0.3);
+    const auto preds = RandomPredicates(s, rng);
+    const auto group_by = RandomGroupBy(s, rng);
+    const auto value = RandomValue(rng);
+    const size_t batch_sizes[] = {1, 9, 1024};
+    for (size_t bs : batch_sizes) {
+      SCOPED_TRACE("round " + std::to_string(round) + " batch " +
+                   std::to_string(bs));
+      ExpectPathsIdentical(s, preds, group_by, value, bs);
+      simd::SetLevelOverride(simd::Level::kScalar);
+      ExpectPathsIdentical(s, preds, group_by, value, bs);
+      simd::SetLevelOverride(std::nullopt);
     }
   }
 }

@@ -22,6 +22,7 @@
 #include "workload/kv.h"
 #include "workload/load_profile.h"
 #include "workload/micro.h"
+#include "workload/ssb.h"
 #include "workload/work_profiles.h"
 #include "workload/workload.h"
 
@@ -490,6 +491,71 @@ TEST(ConsolidationRegressionTest, PollExclusionImprovesConsolidatedEnergy) {
   EXPECT_LT(without_polls.energy_j, with_polls.energy_j);
   // And consolidation still actually consolidates.
   EXPECT_GT(without_polls.consolidation_moves, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-dispatch and morsel metrics determinism
+// ---------------------------------------------------------------------------
+
+TEST(KernelMetricsTest, ExportIsDeterministicAcrossRepeats) {
+  // The raw dispatch counters are process-global atomics; each engine
+  // exports the delta since its construction, so running the identical
+  // workload in fresh engines (as RunMatrix does for every --jobs value)
+  // must yield identical metric values no matter what ran before.
+  auto run_once = [] {
+    sim::Simulator sim;
+    hwsim::Machine machine(&sim, hwsim::MachineParams::HaswellEp());
+    Telemetry telemetry{TelemetryParams{}};
+    telemetry.Bind(&sim);
+    engine::EngineParams params;
+    params.telemetry = &telemetry;
+    engine::Engine engine(&sim, &machine, params);
+    machine.ApplyMachineConfig(
+        hwsim::MachineConfig::AllOn(machine.topology(), 2.6, 3.0));
+    workload::SsbParams sp;
+    sp.scale_factor = 0.003;
+    workload::SsbWorkload ssb(&engine, sp);
+    ssb.Load();
+    ssb.InstallExecutor();
+    const QueryId q1 = ssb.SubmitQuery(1, 1, /*morsels_per_partition=*/3);
+    const QueryId q2 = ssb.SubmitQuery(2, 1, /*morsels_per_partition=*/3);
+    sim.RunFor(Seconds(2));
+    EXPECT_TRUE(ssb.TakeResult(q1).has_value());
+    EXPECT_TRUE(ssb.TakeResult(q2).has_value());
+
+    std::vector<std::pair<std::string, int64_t>> values;
+    const MetricRegistry& reg = telemetry.registry();
+    for (int i = 0; i < reg.num_counters(); ++i) {
+      const std::string& name = reg.counter_name(i);
+      if (name.rfind("engine/kernels/", 0) == 0 ||
+          name.rfind("engine/morsels", 0) == 0) {
+        values.emplace_back(name, reg.CounterValue(i));
+      }
+    }
+    return values;
+  };
+
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_FALSE(first.empty());
+  int64_t filter_total = 0;
+  int64_t morsels_dispatched = 0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].first, second[i].first);
+    EXPECT_EQ(first[i].second, second[i].second) << first[i].first;
+    if (first[i].first.rfind("engine/kernels/filter_int_range/", 0) == 0) {
+      filter_total += first[i].second;
+    }
+    if (first[i].first == "engine/morsels_dispatched") {
+      morsels_dispatched = first[i].second;
+    }
+  }
+  // The SSB pipelines actually dispatched filter kernels, and the two
+  // 3-morsel submissions produced 3 messages per partition each.
+  EXPECT_GT(filter_total, 0);
+  EXPECT_EQ(morsels_dispatched,
+            2 * 3 * static_cast<int64_t>(48));
 }
 
 }  // namespace

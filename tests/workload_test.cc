@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "engine/engine.h"
 #include "hwsim/machine.h"
 #include "sim/simulator.h"
@@ -414,6 +416,71 @@ TEST_F(WorkloadTest, SsbDistributedQueryMatchesSynchronous) {
   EXPECT_EQ(engine_.latency().completed(), 2);
   // Results are consumed on take.
   EXPECT_FALSE(ssb.TakeResult(id21).has_value());
+}
+
+TEST_F(WorkloadTest, SsbMorselizedDistributedQueryMatchesSynchronous) {
+  machine_.ApplyMachineConfig(
+      hwsim::MachineConfig::AllOn(machine_.topology(), 2.6, 3.0));
+  SsbParams params;
+  params.scale_factor = 0.005;
+  SsbWorkload ssb(&engine_, params);
+  ssb.Load();
+  ssb.InstallExecutor();
+
+  const auto sync_q21 = ssb.RunQuery(2, 1);
+  const auto sync_q31 = ssb.RunQuery(3, 1);
+
+  // Morselized fan-out: each partition's scan splits into 4 morsel
+  // messages; the executor scans only each morsel's row range, and the
+  // merged result must match the synchronous single-pass execution
+  // (keys and counts exactly; sums to rounding — the morsel grid
+  // reassociates the FP additions).
+  const QueryId id21 = ssb.SubmitQuery(2, 1, /*morsels_per_partition=*/4);
+  const QueryId id31 = ssb.SubmitQuery(3, 1, /*morsels_per_partition=*/7);
+  sim_.RunFor(Seconds(2));
+  const auto async_q21 = ssb.TakeResult(id21);
+  const auto async_q31 = ssb.TakeResult(id31);
+  ASSERT_TRUE(async_q21.has_value());
+  ASSERT_TRUE(async_q31.has_value());
+  EXPECT_EQ(async_q21->matches, sync_q21.matches);
+  EXPECT_EQ(async_q21->groups, sync_q21.groups);
+  EXPECT_EQ(async_q21->rows_scanned, sync_q21.rows_scanned);
+  EXPECT_NEAR(async_q21->aggregate, sync_q21.aggregate,
+              1e-9 * (1.0 + std::abs(sync_q21.aggregate)));
+  EXPECT_EQ(async_q31->matches, sync_q31.matches);
+  EXPECT_EQ(async_q31->groups, sync_q31.groups);
+  EXPECT_EQ(async_q31->rows_scanned, sync_q31.rows_scanned);
+  EXPECT_NEAR(async_q31->aggregate, sync_q31.aggregate,
+              1e-9 * (1.0 + std::abs(sync_q31.aggregate)));
+  EXPECT_EQ(engine_.latency().completed(), 2);
+}
+
+TEST_F(WorkloadTest, SsbDimensionReplicasIdenticalAcrossPartitions) {
+  // Load() generates the dimension tables once and bulk-copies them into
+  // the other partitions; every replica must look generated-in-place:
+  // same rows, same dictionary codes, same tracked int bounds.
+  SsbParams params;
+  params.scale_factor = 0.005;
+  SsbWorkload ssb(&engine_, params);
+  ssb.Load();
+  engine::Database& db = engine_.db();
+  const engine::Table* p0 = db.partition(0)->table("part");
+  for (int p = 1; p < db.num_partitions(); p += 7) {
+    const engine::Table* rep = db.partition(p)->table("part");
+    ASSERT_EQ(rep->num_rows(), p0->num_rows());
+    const engine::Column* c0 = p0->column(2);   // p_category (string)
+    const engine::Column* cr = rep->column(2);
+    ASSERT_EQ(cr->dict_size(), c0->dict_size());
+    for (size_t r = 0; r < p0->num_rows(); r += 97) {
+      EXPECT_EQ(cr->GetString(r), c0->GetString(r));
+      EXPECT_EQ(cr->GetStringCode(r), c0->GetStringCode(r));
+    }
+    int64_t lo0 = 0, hi0 = 0, lor = 0, hir = 0;
+    ASSERT_TRUE(p0->column(0)->IntBounds(&lo0, &hi0));
+    ASSERT_TRUE(rep->column(0)->IntBounds(&lor, &hir));
+    EXPECT_EQ(lor, lo0);
+    EXPECT_EQ(hir, hi0);
+  }
 }
 
 }  // namespace
