@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "ecl/profile_predictor.h"
 #include "engine/hash_index.h"
 #include "engine/morsel.h"
 #include "engine/operators.h"
@@ -296,6 +297,72 @@ void BM_ProfileFindForDemand(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ProfileFindForDemand);
+
+profile::FeatureVector MakeFeature(Rng& rng) {
+  profile::FeatureInputs in;
+  in.instr_rate = 1e9 * (0.5 + rng.NextDouble());
+  in.dram_bytes_rate = 1e9 * rng.NextDouble();
+  in.active_threads = 1 + static_cast<int>(rng.NextDouble() * 23.0);
+  in.core_freq_ghz = 1.2 + rng.NextDouble() * 1.4;
+  in.rti_duty = 0.2 + rng.NextDouble() * 0.8;
+  in.utilization = 0.3 + rng.NextDouble() * 0.7;
+  return profile::ExtractFeatures(in);
+}
+
+/// kNN prediction against a full learn cache (145 configurations x 8
+/// observations). The drift handler runs one Predict per non-idle
+/// configuration, so a full seeding pass costs ~144x this. Budget: even at
+/// 1 us/lookup that is ~0.15 ms, vs the 101 ms (settle + measure) one
+/// multiplexed evaluation slice costs the socket — the predictor pays for
+/// itself if it skips a single measurement.
+void BM_PredictorPredict(benchmark::State& state) {
+  const hwsim::Topology topo = hwsim::Topology::HaswellEp2S();
+  profile::ConfigGenerator gen(topo, hwsim::FrequencyTable::HaswellEp());
+  profile::EnergyProfile profile(gen.Generate(profile::GeneratorParams{}));
+  ecl::ProfilePredictorParams params;
+  params.enabled = true;
+  ecl::ProfilePredictor pred(profile.size(), params);
+  Rng rng(7);
+  for (int round = 0; round < params.max_entries_per_config; ++round) {
+    for (int i = 1; i < profile.size(); ++i) {
+      pred.Observe(i, MakeFeature(rng), 20.0 + rng.NextDouble() * 100.0,
+                   1e9 * (0.1 + rng.NextDouble()), Seconds(round + 1));
+    }
+  }
+  const profile::FeatureVector query = MakeFeature(rng);
+  int index = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred.Predict(index, query));
+    if (++index >= pred.num_configs()) index = 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorPredict);
+
+/// Learn-cache insert on the online-measurement path (once per ECL
+/// interval per socket, i.e. 1 Hz — vanishing next to the interval).
+void BM_PredictorObserve(benchmark::State& state) {
+  const hwsim::Topology topo = hwsim::Topology::HaswellEp2S();
+  profile::ConfigGenerator gen(topo, hwsim::FrequencyTable::HaswellEp());
+  profile::EnergyProfile profile(gen.Generate(profile::GeneratorParams{}));
+  ecl::ProfilePredictorParams params;
+  params.enabled = true;
+  ecl::ProfilePredictor pred(profile.size(), params);
+  Rng rng(11);
+  std::vector<profile::FeatureVector> features;
+  for (int i = 0; i < 64; ++i) features.push_back(MakeFeature(rng));
+  int index = 1;
+  size_t f = 0;
+  SimTime at = 0;
+  for (auto _ : state) {
+    at += Millis(1);
+    pred.Observe(index, features[f], 50.0, 1e9, at);
+    if (++index >= pred.num_configs()) index = 1;
+    if (++f >= features.size()) f = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorObserve);
 
 void BM_PerfModelSolve(benchmark::State& state) {
   const hwsim::MachineParams params = hwsim::MachineParams::HaswellEp();

@@ -27,6 +27,34 @@ ProfileMaintenance::OnlineOutcome ProfileMaintenance::RecordOnline(
   return outcome;
 }
 
+ProfileMaintenance::SeedOutcome ProfileMaintenance::SeedFromPredictions(
+    profile::EnergyProfile* profile, const ProfilePredictor& predictor,
+    const profile::FeatureVector& features, double threshold, SimTime now) {
+  SeedOutcome outcome;
+  if (!features.valid) return outcome;
+  double ignorance_sum = 0.0;
+  for (int i = 1; i < profile->size(); ++i) {
+    const ProfilePredictor::Prediction p = predictor.Predict(i, features);
+    ignorance_sum += p.ignorance;
+    if (p.ignorance <= threshold && p.perf_score > 0.0) {
+      const bool was_stale = profile->config(i).force_stale;
+      profile->Record(i, p.power_w, p.perf_score, now);
+      ++predictor_hits_;
+      ++predictor_seeded_;
+      if (was_stale) ++predictor_skipped_;
+      ++outcome.seeded;
+    } else {
+      ++predictor_misses_;
+      ++outcome.left_stale;
+    }
+  }
+  const int n = profile->size() - 1;
+  outcome.mean_ignorance =
+      n > 0 ? ignorance_sum / static_cast<double>(n) : 1.0;
+  last_mean_ignorance_ = outcome.mean_ignorance;
+  return outcome;
+}
+
 std::vector<int> ProfileMaintenance::PickForReevaluation(
     const profile::EnergyProfile& profile, SimTime now) {
   std::vector<int> picks;

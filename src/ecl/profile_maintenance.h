@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "common/types.h"
+#include "ecl/profile_predictor.h"
 #include "profile/energy_profile.h"
+#include "profile/feature_vector.h"
 
 namespace ecldb::ecl {
 
@@ -53,11 +55,46 @@ class ProfileMaintenance {
 
   /// Declares a workload change: flags the whole profile for multiplexed
   /// reevaluation.
-  void FlagDrift(profile::EnergyProfile* profile) { profile->InvalidateAll(); }
+  void FlagDrift(profile::EnergyProfile* profile) {
+    profile->InvalidateAll();
+    ++drift_flags_;
+  }
+
+  /// Number of drift events flagged (experiments use deltas of this to
+  /// attribute adaptation work to a workload switch).
+  int64_t drift_flags() const { return drift_flags_; }
+
+  struct SeedOutcome {
+    /// Configurations recorded from predictions (now fresh again).
+    int seeded = 0;
+    /// Configurations whose ignorance exceeded the threshold; they stay
+    /// stale and the multiplexed evaluator measures them for real.
+    int left_stale = 0;
+    double mean_ignorance = 1.0;
+  };
+
+  /// Learned adaptation (ROADMAP item 3): after FlagDrift invalidated the
+  /// profile, seeds every configuration whose prediction for `features`
+  /// has ignorance <= `threshold` — a recurring work profile then
+  /// re-converges after the handful of high-ignorance measurements
+  /// instead of a full ~|profile| multiplexed sweep. The skyline /
+  /// FindForDemand / zone logic runs unchanged on the seeded values.
+  SeedOutcome SeedFromPredictions(profile::EnergyProfile* profile,
+                                  const ProfilePredictor& predictor,
+                                  const profile::FeatureVector& features,
+                                  double threshold, SimTime now);
 
   int64_t online_updates() const { return online_updates_; }
   int64_t multiplexed_evals() const { return multiplexed_evals_; }
   void CountMultiplexedEval() { ++multiplexed_evals_; }
+
+  /// Predictor statistics (telemetry: ecl/socketN/predictor_*).
+  int64_t predictor_hits() const { return predictor_hits_; }
+  int64_t predictor_misses() const { return predictor_misses_; }
+  int64_t predictor_seeded_configs() const { return predictor_seeded_; }
+  int64_t predictor_measurements_skipped() const { return predictor_skipped_; }
+  /// Mean ignorance of the last seeding pass (1 before any pass).
+  double last_mean_ignorance() const { return last_mean_ignorance_; }
 
   const ProfileMaintenanceParams& params() const { return params_; }
   /// Toggles the strategies at runtime (experiments prime the profile with
@@ -71,6 +108,12 @@ class ProfileMaintenance {
   ProfileMaintenanceParams params_;
   int64_t online_updates_ = 0;
   int64_t multiplexed_evals_ = 0;
+  int64_t drift_flags_ = 0;
+  int64_t predictor_hits_ = 0;
+  int64_t predictor_misses_ = 0;
+  int64_t predictor_seeded_ = 0;
+  int64_t predictor_skipped_ = 0;
+  double last_mean_ignorance_ = 1.0;
   size_t reeval_cursor_ = 0;
 };
 

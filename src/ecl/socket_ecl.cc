@@ -24,6 +24,19 @@ SocketEcl::SocketEcl(sim::Simulator* simulator, hwsim::Machine* machine,
       maintenance_(params.maintenance) {
   ECLDB_CHECK(simulator != nullptr && machine != nullptr);
   ECLDB_CHECK(util_source_ != nullptr);
+  if (params_.predictor.enabled) {
+    predictor_ =
+        std::make_unique<ProfilePredictor>(profile_.size(), params_.predictor);
+    // Every profile measurement — online, multiplexed, or warm-start
+    // deserialization — trains the learn-cache, tagged with the feature
+    // snapshot of the last loaded interval.
+    profile_.SetRecordHook([this](int index, double power_w, double perf_score,
+                                  SimTime at) {
+      if (!record_hook_muted_ && last_features_.valid) {
+        predictor_->Observe(index, last_features_, power_w, perf_score, at);
+      }
+    });
+  }
   if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
     telemetry::MetricRegistry& reg = tel->registry();
     const std::string base = "ecl/socket" + std::to_string(socket_) + "/";
@@ -45,6 +58,22 @@ SocketEcl::SocketEcl(sim::Simulator* simulator, hwsim::Machine* machine,
     reg.AddCounterFn(base + "ticks", [this] { return ticks_; });
     reg.AddCounterFn(base + "multiplexed_evals",
                      [this] { return maintenance_.multiplexed_evals(); });
+    if (params_.predictor.enabled) {
+      // Registered only with the predictor on so that every pre-existing
+      // telemetry artifact stays byte-identical in the default setup.
+      reg.AddCounterFn(base + "predictor_hits",
+                       [this] { return maintenance_.predictor_hits(); });
+      reg.AddCounterFn(base + "predictor_misses",
+                       [this] { return maintenance_.predictor_misses(); });
+      reg.AddCounterFn(base + "predictor_seeded_configs", [this] {
+        return maintenance_.predictor_seeded_configs();
+      });
+      reg.AddCounterFn(base + "predictor_measurements_skipped", [this] {
+        return maintenance_.predictor_measurements_skipped();
+      });
+      reg.AddGauge(base + "ignorance",
+                   [this] { return maintenance_.last_mean_ignorance(); });
+    }
     trace_lane_ =
         tel->trace().RegisterLane("ecl/socket" + std::to_string(socket_));
   }
@@ -63,6 +92,35 @@ void SocketEcl::Stop() {
 uint64_t SocketEcl::ReadSocketEnergyUj() const {
   return machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kPackage) +
          machine_->ReadRaplUj(socket_, hwsim::RaplDomain::kDram);
+}
+
+void SocketEcl::HandleDrift(SimTime now) {
+  maintenance_.FlagDrift(&profile_);
+  if (params_.telemetry != nullptr) {
+    params_.telemetry->trace().Instant(trace_lane_, "ecl", "drift_detected",
+                                       now);
+  }
+  // Seeding is deferred one interval: the interval that *detected* the
+  // drift straddles the workload switch, so its feature snapshot is a
+  // mixture of the old and the new workload and matches neither cached
+  // cluster. The next interval ran purely post-switch.
+  if (predictor_ != nullptr) pending_seed_ = true;
+}
+
+void SocketEcl::RunPendingSeed(SimTime now) {
+  pending_seed_ = false;
+  record_hook_muted_ = true;
+  const ProfileMaintenance::SeedOutcome out = maintenance_.SeedFromPredictions(
+      &profile_, *predictor_, last_features_,
+      params_.predictor.ignorance_threshold, now);
+  record_hook_muted_ = false;
+  if (params_.telemetry != nullptr && (out.seeded > 0 || out.left_stale > 0)) {
+    params_.telemetry->trace().Instant(
+        trace_lane_, "ecl", "profile_seeded", now,
+        "\"seeded\":" + std::to_string(out.seeded) +
+            ",\"stale\":" + std::to_string(out.left_stale) +
+            ",\"ignorance\":" + telemetry::JsonNumber(out.mean_ignorance));
+  }
 }
 
 void SocketEcl::ApplyConfig(int index) {
@@ -163,6 +221,7 @@ void SocketEcl::Tick() {
     interval_e0_uj_ = ReadSocketEnergyUj();
     interval_i0_ = machine_->ReadSocketInstructions(socket_);
     interval_poll0_ = machine_->ReadSocketPolledInstructions(socket_);
+    interval_bytes0_ = machine_->ReadSocketDramBytes(socket_);
     if (params_.telemetry != nullptr) {
       params_.telemetry->trace().Instant(trace_lane_, "ecl", "parked", now);
     }
@@ -194,6 +253,36 @@ void SocketEcl::Tick() {
   }
   last_measured_rate_ = measured_rate;
 
+  // ---- Work-profile feature snapshot (learned adaptation) ---------------
+  // Describes what ran over the finished interval in configuration-
+  // invariant terms; tags every learn-cache observation and keys the
+  // predictions that seed the profile on drift. Idle intervals keep the
+  // previous (last loaded) snapshot.
+  if (predictor_ != nullptr && now > interval_t0_ && interval_config_ > 0) {
+    const double seconds = ToSeconds(now - interval_t0_);
+    profile::FeatureInputs fin;
+    fin.instr_rate =
+        static_cast<double>(machine_->ReadSocketInstructions(socket_) -
+                            interval_i0_) /
+        seconds;
+    fin.dram_bytes_rate =
+        (machine_->ReadSocketDramBytes(socket_) - interval_bytes0_) / seconds;
+    const hwsim::SocketConfig& hw = profile_.config(interval_config_).hw;
+    fin.active_threads = hw.ActiveThreadCount();
+    fin.core_freq_ghz = hw.MeanActiveCoreFreq(machine_->topology());
+    fin.rti_duty = last_plan_.use_rti ? last_plan_.duty : 1.0;
+    fin.utilization = utilization;
+    const profile::FeatureVector features = profile::ExtractFeatures(fin);
+    if (features.valid && features.v[2] >= params_.predictor.min_utilization) {
+      last_features_ = features;
+    }
+  }
+  // Deferred drift seeding (see HandleDrift): runs with the first clean
+  // post-switch snapshot, before this interval's online measurement is
+  // checked against the stored values — a successful seed therefore
+  // already agrees with what the measurement is compared to.
+  if (pending_seed_ && predictor_ != nullptr) RunPendingSeed(now);
+
   // ---- Online adaptation: measure the finished interval -----------------
   // Intervals where the configuration ran uninterrupted and was
   // meaningfully loaded are recorded as-is (the paper's online strategy:
@@ -214,13 +303,7 @@ void SocketEcl::Tick() {
                           seconds;
       const ProfileMaintenance::OnlineOutcome outcome = maintenance_.RecordOnline(
           &profile_, interval_config_, power, perf, now);
-      if (outcome.drift_detected) {
-        maintenance_.FlagDrift(&profile_);
-        if (params_.telemetry != nullptr) {
-          params_.telemetry->trace().Instant(trace_lane_, "ecl",
-                                             "drift_detected", now);
-        }
-      }
+      if (outcome.drift_detected) HandleDrift(now);
     }
   }
   // RTI intervals: the active phases concentrate the queued work, so their
@@ -232,13 +315,7 @@ void SocketEcl::Tick() {
     const ProfileMaintenance::OnlineOutcome outcome = maintenance_.RecordOnline(
         &profile_, interval_config_, rti_active_energy_uj_ * 1e-6 / active_s,
         rti_active_instr_ / active_s, now);
-    if (outcome.drift_detected) {
-      maintenance_.FlagDrift(&profile_);
-      if (params_.telemetry != nullptr) {
-        params_.telemetry->trace().Instant(trace_lane_, "ecl",
-                                           "drift_detected", now);
-      }
-    }
+    if (outcome.drift_detected) HandleDrift(now);
   }
   rti_active_energy_uj_ = 0.0;
   rti_active_instr_ = 0.0;
@@ -356,6 +433,7 @@ void SocketEcl::Tick() {
   interval_e0_uj_ = ReadSocketEnergyUj();
   interval_i0_ = machine_->ReadSocketInstructions(socket_);
   interval_poll0_ = machine_->ReadSocketPolledInstructions(socket_);
+  interval_bytes0_ = machine_->ReadSocketDramBytes(socket_);
 
   if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
     // One span per control interval carrying the decision and its reason.

@@ -5,8 +5,11 @@
 #include <functional>
 #include <vector>
 
+#include <memory>
+
 #include "common/types.h"
 #include "ecl/profile_maintenance.h"
+#include "ecl/profile_predictor.h"
 #include "ecl/rti_controller.h"
 #include "ecl/system_ecl.h"
 #include "ecl/utilization_controller.h"
@@ -23,6 +26,12 @@ struct SocketEclParams {
   UtilizationControllerParams utilization;
   RtiControllerParams rti;
   ProfileMaintenanceParams maintenance;
+  /// Learned profile predictor (off by default): on drift, the profile is
+  /// seeded from kNN predictions over work-profile features and the
+  /// multiplexed evaluator only measures configurations whose ignorance
+  /// exceeds the threshold — a recurring workload re-converges after a
+  /// handful of confirming measurements instead of a full sweep.
+  ProfilePredictorParams predictor;
   /// Counter measurement window for profile (re)evaluation; found by the
   /// meta calibration (paper Fig. 12: 100 ms).
   SimDuration measure_time = Millis(100);
@@ -66,6 +75,10 @@ class SocketEcl {
   profile::EnergyProfile& profile() { return profile_; }
   const profile::EnergyProfile& profile() const { return profile_; }
   ProfileMaintenance& maintenance() { return maintenance_; }
+  /// Non-null iff the learned predictor was enabled in the params.
+  ProfilePredictor* predictor() { return predictor_.get(); }
+  /// Work-profile feature snapshot of the last loaded interval.
+  const profile::FeatureVector& last_features() const { return last_features_; }
 
   double performance_level() const { return perf_level_; }
   int current_config_index() const { return current_index_; }
@@ -105,6 +118,13 @@ class SocketEcl {
 
  private:
   void Tick();
+  /// Drift response: invalidate the profile and — with the predictor on —
+  /// arm a deferred seeding pass so only high-ignorance configurations
+  /// need real multiplexed measurements.
+  void HandleDrift(SimTime now);
+  /// Seeds the invalidated profile from predictions for the current
+  /// feature snapshot (deferred from HandleDrift by one interval).
+  void RunPendingSeed(SimTime now);
   void ApplyConfig(int index);
   void ApplyIdle();
   /// Schedules one evaluation (apply/settle/measure/record) starting at
@@ -125,6 +145,14 @@ class SocketEcl {
   UtilizationController util_controller_;
   RtiController rti_controller_;
   ProfileMaintenance maintenance_;
+  std::unique_ptr<ProfilePredictor> predictor_;
+  profile::FeatureVector last_features_;
+  /// Seeding writes predictions through EnergyProfile::Record; the hook
+  /// is muted so the predictor never re-trains on its own output.
+  bool record_hook_muted_ = false;
+  /// Set by HandleDrift; the next interval tick runs the seeding pass
+  /// with its clean post-switch feature snapshot.
+  bool pending_seed_ = false;
 
   bool running_ = false;
   int64_t generation_ = 0;
@@ -145,6 +173,7 @@ class SocketEcl {
   uint64_t interval_e0_uj_ = 0;
   uint64_t interval_i0_ = 0;
   uint64_t interval_poll0_ = 0;
+  double interval_bytes0_ = 0.0;
   SimTime interval_t0_ = 0;
 
   /// RTI active-phase accumulators: during race-to-idle the queued work

@@ -1,0 +1,173 @@
+#include "experiment/drift_trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "ecl/ecl.h"
+#include "engine/engine.h"
+#include "hwsim/machine.h"
+#include "profile/serialization.h"
+#include "sim/simulator.h"
+#include "workload/driver.h"
+#include "workload/kv.h"
+#include "workload/load_profile.h"
+#include "workload/workload.h"
+
+namespace ecldb::experiment {
+namespace {
+
+std::string DescribeBest(const hwsim::Topology& topo,
+                         const profile::EnergyProfile& prof) {
+  const int best = prof.MostEfficientIndex();
+  if (best < 0) return "";
+  const profile::Configuration& c = prof.config(best);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%2d thr @ %.1f GHz, uncore %.1f",
+                c.hw.ActiveThreadCount(), c.hw.MeanActiveCoreFreq(topo),
+                c.hw.uncore_freq_ghz);
+  return buf;
+}
+
+}  // namespace
+
+DriftTraceResult RunDriftTrace(const DriftTraceParams& params) {
+  ECLDB_CHECK(params.num_switch_phases >= 1);
+  ECLDB_CHECK(params.tail <= params.phase_len);
+
+  sim::Simulator sim;
+  telemetry::Telemetry* const tel = params.telemetry;
+  if (tel != nullptr) tel->Bind(&sim);
+  const hwsim::MachineParams machine_params = hwsim::MachineParams::HaswellEp();
+  hwsim::Machine machine(&sim, machine_params);
+  if (tel != nullptr) machine.AttachTelemetry(tel);
+  engine::EngineParams engine_params;
+  if (tel != nullptr) engine_params.telemetry = tel;
+  engine::Engine engine(&sim, &machine, engine_params);
+
+  workload::KvParams pi;
+  pi.indexed = true;
+  workload::KvWorkload indexed(&engine, pi);
+  workload::KvParams ps;
+  ps.indexed = false;
+  workload::KvWorkload scan(&engine, ps);
+
+  ecl::EclParams ecl_params;
+  ecl_params.socket.predictor = params.predictor;
+  if (tel != nullptr) ecl_params.telemetry = tel;
+  ecl::EnergyControlLoop loop(&sim, &engine, ecl_params);
+  loop.Start();
+
+  // Prime the profiles (and, with the predictor on, its learn cache) on
+  // the indexed workload under synthetic saturation.
+  engine.scheduler().SetSyntheticLoad(&indexed.profile());
+  sim.RunFor(params.prime);
+  engine.scheduler().SetSyntheticLoad(nullptr);
+  loop.SetAdaptation(params.online, params.multiplexed);
+
+  if (!params.prime_learn_cache.empty()) {
+    for (SocketId s = 0; s < loop.num_sockets(); ++s) {
+      ecl::ProfilePredictor* pred = loop.socket(s).predictor();
+      ECLDB_CHECK(pred != nullptr);
+      ECLDB_CHECK(ecl::DeserializeLearnCache(
+          params.prime_learn_cache,
+          profile::ProfileFingerprint(loop.socket(s).profile()), pred));
+    }
+  }
+
+  ecl::SocketEcl& socket0 = loop.socket(0);
+  const SimDuration stale_age = socket0.maintenance().params().stale_age;
+  const int phase_secs = static_cast<int>(ToSeconds(params.phase_len));
+  const int tail_secs = static_cast<int>(ToSeconds(params.tail));
+
+  const double cap_indexed =
+      workload::BaselineCapacityQps(machine_params, indexed);
+  const double cap_scan = workload::BaselineCapacityQps(machine_params, scan);
+
+  DriftTraceResult result;
+  const double e0 = machine.TotalEnergyJoules();
+  double e_prev = e0;
+
+  // Drivers and their profiles must outlive the events they scheduled, so
+  // they are parked here until the simulator is done.
+  std::vector<std::unique_ptr<workload::ConstantProfile>> profiles;
+  std::vector<std::unique_ptr<workload::LoadDriver>> drivers;
+
+  for (int phase = 0; phase < params.num_switch_phases; ++phase) {
+    const bool is_scan = (phase % 2) == 0;
+    workload::KvWorkload& wl = is_scan ? scan : indexed;
+
+    DriftTracePhase ph;
+    ph.workload = is_scan ? "kv-scan" : "kv-indexed";
+    const double phase_e0 = machine.TotalEnergyJoules();
+    const int64_t evals0 = socket0.maintenance().multiplexed_evals();
+    const int64_t seeded0 = socket0.maintenance().predictor_seeded_configs();
+    const int64_t drifts0 = socket0.maintenance().drift_flags();
+
+    profiles.push_back(std::make_unique<workload::ConstantProfile>(
+        params.load, params.phase_len));
+    workload::DriverParams dp;
+    dp.capacity_qps = is_scan ? cap_scan : cap_indexed;
+    drivers.push_back(std::make_unique<workload::LoadDriver>(
+        &sim, &engine, &wl, profiles.back().get(), dp));
+    drivers.back()->Start();
+
+    bool drift_seen = false;
+    double tail_e0 = phase_e0;
+    const bool debug = std::getenv("ECLDB_DRIFT_DEBUG") != nullptr;
+    for (int t = 1; t <= phase_secs; ++t) {
+      if (t == phase_secs - tail_secs + 1) {
+        tail_e0 = machine.TotalEnergyJoules();
+        engine.latency().ResetRunStats();
+      }
+      sim.RunFor(Seconds(1));
+      const double e = machine.TotalEnergyJoules();
+      result.power_w.push_back(e - e_prev);
+      e_prev = e;
+      // Adaptation progress: a flagged drift floods the stale set
+      // (InvalidateAll; predictor seeding may re-fill most of it within
+      // the same interval, so the flag counter — not the stale count —
+      // detects the switch); adaptation is over once multiplexed
+      // reevaluation drained what stayed stale.
+      const int stale = static_cast<int>(
+          socket0.profile().StaleConfigs(sim.now(), stale_age).size());
+      if (debug) {
+        std::fprintf(stderr,
+                     "[drift_trace] ph%d t=%3d stale=%3d cfg=%3d util=%.2f "
+                     "evals=%lld seeded=%lld feat=%s\n",
+                     phase, t, stale, socket0.current_config_index(),
+                     socket0.last_utilization(),
+                     static_cast<long long>(
+                         socket0.maintenance().multiplexed_evals()),
+                     static_cast<long long>(
+                         socket0.maintenance().predictor_seeded_configs()),
+                     socket0.last_features().ToString().c_str());
+      }
+      if (socket0.maintenance().drift_flags() > drifts0) drift_seen = true;
+      if (drift_seen && ph.adapt_s < 0.0 && stale == 0) {
+        ph.adapt_s = static_cast<double>(t);
+      }
+    }
+
+    ph.evals = socket0.maintenance().multiplexed_evals() - evals0;
+    ph.seeded = socket0.maintenance().predictor_seeded_configs() - seeded0;
+    ph.energy_j = machine.TotalEnergyJoules() - phase_e0;
+    ph.tail_energy_j = machine.TotalEnergyJoules() - tail_e0;
+    ph.tail_p99_ms = engine.latency().all().Percentile(99);
+    ph.best_config = DescribeBest(machine.topology(), socket0.profile());
+    result.phases.push_back(std::move(ph));
+  }
+
+  result.total_energy_j = machine.TotalEnergyJoules() - e0;
+  if (ecl::ProfilePredictor* pred = socket0.predictor(); pred != nullptr) {
+    result.learn_cache = ecl::SerializeLearnCache(
+        *pred, profile::ProfileFingerprint(socket0.profile()));
+  }
+  if (tel != nullptr) result.telemetry_dump = tel->registry().Dump();
+  loop.Stop();
+  return result;
+}
+
+}  // namespace ecldb::experiment

@@ -25,6 +25,7 @@ Machine::Machine(sim::Simulator* simulator, const MachineParams& params)
       instant_bandwidth_(static_cast<size_t>(params.topology.num_sockets), 0.0),
       idle_since_(static_cast<size_t>(params.topology.num_sockets), 0),
       polled_instr_(static_cast<size_t>(params.topology.num_sockets), 0.0),
+      dram_bytes_(static_cast<size_t>(params.topology.num_sockets), 0.0),
       cached_poll_rate_(static_cast<size_t>(params.topology.num_sockets), 0.0),
       cached_ops_rate_(static_cast<size_t>(params.topology.total_threads()), 0.0),
       socket_busy_scratch_(static_cast<size_t>(params.topology.num_sockets), false),
@@ -204,6 +205,9 @@ void Machine::IntegrateSlice(SimTime t0, SimTime t1) {
     // Mirrors SolveSlice's `poll_sum * dt_s * work_frac` with the cached
     // per-socket sum and work_frac == 1 — bit-identical accumulation.
     polled_instr_[idx] += cached_poll_rate_[idx] * dt_s;
+    // Mirrors SolveSlice's bandwidth integration with the cached
+    // (work_frac-scaled) bandwidth — bit-identical for a clean slice.
+    dram_bytes_[idx] += instant_bandwidth_[idx] * 1e9 * dt_s;
   }
   for (HwThreadId t = 0; t < topo.total_threads(); ++t) {
     const auto idx = static_cast<size_t>(t);
@@ -271,6 +275,7 @@ void Machine::SolveSlice(SimTime t0, SimTime t1) {
         power_model_.SocketPower(s, effective_.sockets[idx], act);
     instant_power_[idx] = p;
     instant_bandwidth_[idx] = act.bandwidth_gbps;
+    dram_bytes_[idx] += act.bandwidth_gbps * 1e9 * dt_s;
     rapl_.AddEnergy(s, RaplDomain::kPackage, p.pkg_w * dt_s, t0, t1);
     rapl_.AddEnergy(s, RaplDomain::kDram, p.dram_w * dt_s, t0, t1);
 

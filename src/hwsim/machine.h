@@ -152,6 +152,15 @@ class Machine {
   /// Solved DRAM bandwidth of the last slice, GB/s.
   double SocketBandwidthGbps(SocketId socket) const;
 
+  /// Cumulative DRAM bytes transferred by a socket (integrated from the
+  /// solved bandwidth, the software-visible analogue of the uncore CAS
+  /// counters). Deltas over an interval give the memory-boundedness of
+  /// the running work — a work-profile feature of the learned profile
+  /// predictor.
+  double ReadSocketDramBytes(SocketId socket) const {
+    return dram_bytes_[static_cast<size_t>(socket)];
+  }
+
   const PowerModel& power_model() const { return power_model_; }
   const BandwidthModel& bandwidth_model() const { return bandwidth_model_; }
   const PerfModel& perf_model() const { return perf_model_; }
@@ -210,6 +219,8 @@ class Machine {
   std::vector<SimTime> idle_since_;
   /// Per-socket cumulative polled (idle-spin) instructions.
   std::vector<double> polled_instr_;
+  /// Per-socket cumulative DRAM bytes (integrated solved bandwidth).
+  std::vector<double> dram_bytes_;
   /// Per-socket polling rate of the cached solution (instr/s).
   std::vector<double> cached_poll_rate_;
 

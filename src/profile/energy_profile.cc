@@ -27,6 +27,7 @@ EnergyProfile::EnergyProfile(std::vector<Configuration> configs)
 void EnergyProfile::Record(int i, double power_w, double perf_score, SimTime at) {
   ECLDB_CHECK(i > 0 && i < size());
   configs_[static_cast<size_t>(i)].RecordMeasurement(power_w, perf_score, at);
+  if (record_hook_) record_hook_(i, power_w, perf_score, at);
 }
 
 int EnergyProfile::measured_count() const {

@@ -1,6 +1,7 @@
 #ifndef ECLDB_PROFILE_ENERGY_PROFILE_H_
 #define ECLDB_PROFILE_ENERGY_PROFILE_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/types.h"
@@ -29,6 +30,12 @@ class EnergyProfile {
 
   /// Records a measurement for configuration `i`.
   void Record(int i, double power_w, double perf_score, SimTime at);
+
+  /// Observer invoked after every Record (index, power_w, perf_score, at).
+  /// The learned profile predictor taps measurements here; unset by
+  /// default, costing nothing.
+  using RecordHook = std::function<void(int, double, double, SimTime)>;
+  void SetRecordHook(RecordHook hook) { record_hook_ = std::move(hook); }
 
   /// Number of configurations with at least one measurement.
   int measured_count() const;
@@ -66,6 +73,7 @@ class EnergyProfile {
 
  private:
   std::vector<Configuration> configs_;
+  RecordHook record_hook_;
 };
 
 }  // namespace ecldb::profile

@@ -1,0 +1,352 @@
+// Learned profile maintenance (ROADMAP item 3): feature extraction, the
+// kNN predictor, seeding on drift, multiplexed reevaluation fairness, the
+// epsilon-regression against exhaustive rediscovery, and telemetry export
+// determinism of the predictor metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ecl/profile_maintenance.h"
+#include "ecl/profile_predictor.h"
+#include "experiment/drift_trace.h"
+#include "experiment/run_matrix.h"
+#include "hwsim/topology.h"
+#include "profile/config_generator.h"
+#include "profile/feature_vector.h"
+
+namespace ecldb::ecl {
+namespace {
+
+profile::EnergyProfile MakeProfile() {
+  profile::ConfigGenerator gen(hwsim::Topology::HaswellEp2S(),
+                               hwsim::FrequencyTable::HaswellEp());
+  return profile::EnergyProfile(gen.Generate(profile::GeneratorParams{}));
+}
+
+profile::FeatureVector Feat(double instr_rate, double bytes_rate,
+                            int threads = 12, double ghz = 2.0,
+                            double duty = 1.0, double util = 0.9) {
+  profile::FeatureInputs in;
+  in.instr_rate = instr_rate;
+  in.dram_bytes_rate = bytes_rate;
+  in.active_threads = threads;
+  in.core_freq_ghz = ghz;
+  in.rti_duty = duty;
+  in.utilization = util;
+  return profile::ExtractFeatures(in);
+}
+
+TEST(FeatureVectorTest, InvalidWithoutLoad) {
+  EXPECT_FALSE(Feat(0.0, 1e9).valid);
+  EXPECT_FALSE(Feat(1e9, 1e9, /*threads=*/0).valid);
+  EXPECT_FALSE(Feat(1e9, 1e9, 12, /*ghz=*/0.0).valid);
+  EXPECT_TRUE(Feat(1e9, 1e9).valid);
+}
+
+TEST(FeatureVectorTest, NormalizedToUnitRange) {
+  const profile::FeatureVector f =
+      Feat(1e12, 1e13, 24, 2.6, 0.3, 1.5 /* clamped */);
+  ASSERT_TRUE(f.valid);
+  for (int i = 0; i < profile::kFeatureDims; ++i) {
+    EXPECT_GE(f.v[static_cast<size_t>(i)], 0.0) << profile::FeatureDimName(i);
+    EXPECT_LE(f.v[static_cast<size_t>(i)], 1.0) << profile::FeatureDimName(i);
+  }
+}
+
+TEST(FeatureVectorTest, SignatureRoughlyConfigInvariant) {
+  // The same instruction mix executed under a different configuration
+  // (half the threads at a higher clock, proportionally lower throughput)
+  // must land close in feature space, while a different mix (memory-bound
+  // scan vs index lookups) lands far: that is what makes observations
+  // recorded under one configuration usable when the workload returns.
+  const profile::FeatureVector mix_a = Feat(24e9, 24e9, 24, 2.0);
+  const profile::FeatureVector mix_a_other_cfg = Feat(15.6e9, 15.6e9, 12, 2.6);
+  const profile::FeatureVector mix_b = Feat(24e9, 300e9, 24, 2.0);
+  const double same = FeatureDistance(mix_a, mix_a_other_cfg);
+  const double different = FeatureDistance(mix_a, mix_b);
+  EXPECT_LT(same, 0.05);
+  EXPECT_GT(different, 5.0 * same);
+  EXPECT_DOUBLE_EQ(FeatureDistance(mix_a, mix_a), 0.0);
+}
+
+TEST(ProfilePredictorTest, PredictsObservedPointExactly) {
+  ProfilePredictorParams params;
+  params.enabled = true;
+  ProfilePredictor pred(10, params);
+  const profile::FeatureVector f = Feat(2e9, 1e9);
+  pred.Observe(3, f, 80.0, 2.5e9, Seconds(1));
+  const ProfilePredictor::Prediction p = pred.Predict(3, f);
+  EXPECT_DOUBLE_EQ(p.power_w, 80.0);
+  EXPECT_DOUBLE_EQ(p.perf_score, 2.5e9);
+  // Exact hit, but a thin neighborhood (1 of k=3) keeps some ignorance.
+  EXPECT_LT(p.ignorance, params.ignorance_threshold);
+  EXPECT_GT(p.ignorance, 0.0);
+}
+
+TEST(ProfilePredictorTest, IgnoranceReflectsEvidence) {
+  ProfilePredictorParams params;
+  params.enabled = true;
+  ProfilePredictor pred(10, params);
+  const profile::FeatureVector near = Feat(2e9, 1e9);
+  // Nothing cached: full ignorance, no usable prediction.
+  EXPECT_DOUBLE_EQ(pred.Predict(3, near).ignorance, 1.0);
+  for (int rep = 0; rep < 3; ++rep) {
+    pred.Observe(3, near, 80.0, 2.5e9, Seconds(rep + 1));
+    pred.Observe(3, Feat(2.1e9, 1.05e9), 81.0, 2.6e9, Seconds(rep + 10));
+  }
+  const double confident = pred.Predict(3, near).ignorance;
+  const double extrapolating =
+      pred.Predict(3, Feat(30e9, 0.1e9, 4, 2.6)).ignorance;
+  EXPECT_LT(confident, extrapolating);
+  EXPECT_LE(confident, params.ignorance_threshold);
+  // Another configuration's bucket is still empty.
+  EXPECT_DOUBLE_EQ(pred.Predict(4, near).ignorance, 1.0);
+}
+
+TEST(ProfilePredictorTest, MergesNearDuplicates) {
+  ProfilePredictorParams params;
+  params.enabled = true;
+  ProfilePredictor pred(10, params);
+  const profile::FeatureVector f = Feat(2e9, 1e9);
+  pred.Observe(3, f, 80.0, 2.5e9, Seconds(1));
+  // Same neighborhood, newer measurement: replaces, does not grow.
+  pred.Observe(3, f, 90.0, 2.0e9, Seconds(2));
+  EXPECT_EQ(pred.size(), 1);
+  ASSERT_EQ(pred.entries(3).size(), 1u);
+  EXPECT_DOUBLE_EQ(pred.entries(3)[0].power_w, 90.0);
+  EXPECT_EQ(pred.entries(3)[0].at, Seconds(2));
+}
+
+TEST(ProfilePredictorTest, EvictsOldestWhenBucketFull) {
+  ProfilePredictorParams params;
+  params.enabled = true;
+  params.max_entries_per_config = 4;
+  params.merge_radius = 1e-6;  // force distinct entries
+  ProfilePredictor pred(10, params);
+  for (int i = 0; i < 6; ++i) {
+    pred.Observe(3, Feat((1.0 + i) * 1e9, 1e9), 50.0 + i, 1e9,
+                 Seconds(i + 1));
+  }
+  ASSERT_EQ(pred.entries(3).size(), 4u);
+  SimTime oldest = Seconds(1000);
+  for (const ProfilePredictor::Observation& o : pred.entries(3)) {
+    oldest = std::min(oldest, o.at);
+  }
+  // Observations from t=1s and t=2s were evicted.
+  EXPECT_EQ(oldest, Seconds(3));
+  EXPECT_EQ(pred.size(), 4);
+}
+
+TEST(ProfilePredictorTest, IgnoresIdleAndInvalidObservations) {
+  ProfilePredictorParams params;
+  params.enabled = true;
+  ProfilePredictor pred(10, params);
+  pred.Observe(3, profile::FeatureVector{}, 80.0, 2.5e9, Seconds(1));
+  pred.Observe(0, Feat(2e9, 1e9), 80.0, 2.5e9, Seconds(1));  // idle index
+  pred.Observe(99, Feat(2e9, 1e9), 80.0, 2.5e9, Seconds(1));
+  pred.Observe(3, Feat(2e9, 1e9, 12, 2.0, 1.0, /*util=*/0.01), 80.0, 2.5e9,
+               Seconds(1));
+  EXPECT_EQ(pred.size(), 0);
+}
+
+TEST(SeedFromPredictionsTest, SeedsConfidentConfigsAndSkipsUnknown) {
+  profile::EnergyProfile profile = MakeProfile();
+  ProfilePredictorParams pp;
+  pp.enabled = true;
+  ProfilePredictor pred(profile.size(), pp);
+  const profile::FeatureVector f = Feat(2e9, 1e9);
+  // Train every config except the last 10 (the "unknown" tail).
+  const int untrained_from = profile.size() - 10;
+  for (int i = 1; i < untrained_from; ++i) {
+    for (int rep = 0; rep < 3; ++rep) {
+      pred.Observe(i, f, 40.0 + i, 1e9 + 1e6 * i, Seconds(rep + 1));
+    }
+  }
+  profile.InvalidateAll();
+  ProfileMaintenance maint{ProfileMaintenanceParams{}};
+  const ProfileMaintenance::SeedOutcome out = maint.SeedFromPredictions(
+      &profile, pred, f, pp.ignorance_threshold, Seconds(100));
+  EXPECT_EQ(out.seeded, untrained_from - 1);
+  EXPECT_EQ(out.left_stale, 10);
+  EXPECT_EQ(maint.predictor_seeded_configs(), untrained_from - 1);
+  EXPECT_EQ(maint.predictor_misses(), 10);
+  EXPECT_GT(out.mean_ignorance, 0.0);
+  // Seeded configs are fresh again; the untrained tail stays stale.
+  const std::vector<int> stale =
+      profile.StaleConfigs(Seconds(100), Seconds(120));
+  EXPECT_EQ(static_cast<int>(stale.size()), 10);
+  for (int i : stale) EXPECT_GE(i, untrained_from);
+  // Seeded values are the predictions.
+  EXPECT_DOUBLE_EQ(profile.config(1).power_w, 41.0);
+  EXPECT_DOUBLE_EQ(profile.config(1).perf_score, 1e9 + 1e6);
+}
+
+TEST(SeedFromPredictionsTest, NoOpOnInvalidFeatures) {
+  profile::EnergyProfile profile = MakeProfile();
+  ProfilePredictorParams pp;
+  pp.enabled = true;
+  ProfilePredictor pred(profile.size(), pp);
+  profile.InvalidateAll();
+  ProfileMaintenance maint{ProfileMaintenanceParams{}};
+  const ProfileMaintenance::SeedOutcome out = maint.SeedFromPredictions(
+      &profile, pred, profile::FeatureVector{}, pp.ignorance_threshold,
+      Seconds(1));
+  EXPECT_EQ(out.seeded, 0);
+  EXPECT_EQ(out.left_stale, 0);
+  EXPECT_EQ(profile.measured_count(), 0);
+}
+
+TEST(PickForReevaluationTest, NoStarvationUnderContinuousDrift) {
+  // Under continuous drift the stale set never drains; the round-robin
+  // cursor must still visit every stale configuration within
+  // ceil(n / evals_per_interval) intervals — no index may starve.
+  profile::EnergyProfile profile = MakeProfile();
+  ProfileMaintenanceParams params;
+  ProfileMaintenance maint{params};
+  maint.FlagDrift(&profile);
+  const int n = profile.size() - 1;
+  const int rounds = (n + params.evals_per_interval - 1) /
+                     params.evals_per_interval;
+  std::set<int> picked;
+  for (int round = 0; round < rounds; ++round) {
+    // Re-flagging every interval models a workload that keeps drifting; it
+    // must not reset the cursor.
+    maint.FlagDrift(&profile);
+    const std::vector<int> picks =
+        maint.PickForReevaluation(profile, Seconds(round + 1));
+    EXPECT_LE(static_cast<int>(picks.size()), params.evals_per_interval);
+    picked.insert(picks.begin(), picks.end());
+  }
+  EXPECT_EQ(static_cast<int>(picked.size()), n);
+}
+
+TEST(PickForReevaluationTest, DrainsStaleSetWhenMeasurementsLand) {
+  profile::EnergyProfile profile = MakeProfile();
+  ProfileMaintenanceParams params;
+  ProfileMaintenance maint{params};
+  maint.FlagDrift(&profile);
+  const int n = profile.size() - 1;
+  int rounds = 0;
+  SimTime now = Seconds(1);
+  while (!profile.StaleConfigs(now, params.stale_age).empty()) {
+    ASSERT_LT(rounds, 2 * n) << "stale set never drained";
+    for (int idx : maint.PickForReevaluation(profile, now)) {
+      profile.Record(idx, 50.0, 1e9, now);
+    }
+    ++rounds;
+    now += Seconds(1);
+  }
+  EXPECT_EQ(rounds, (n + params.evals_per_interval - 1) /
+                        params.evals_per_interval);
+}
+
+// ---- End-to-end: learned vs exhaustive rediscovery ------------------------
+
+experiment::DriftTraceParams TraceParams(bool learned) {
+  experiment::DriftTraceParams p;
+  p.predictor.enabled = learned;
+  return p;
+}
+
+TEST(LearnedProfileRegressionTest, RecurringDriftConvergesFastAndCloseToFull) {
+  // The acceptance criterion of ROADMAP item 3: on recurring drift the
+  // learned path re-converges >= 5x faster than the exhaustive multiplexed
+  // sweep, and the configuration it converges to is within epsilon of the
+  // full rediscovery (tail energy and tail latency of each phase).
+  experiment::DriftTraceResult mux;
+  experiment::DriftTraceResult learned;
+  experiment::RunMatrix(2, 2, [&](int i) {
+    (i == 0 ? mux : learned) = RunDriftTrace(TraceParams(i == 1));
+  });
+  ASSERT_EQ(mux.phases.size(), 3u);
+  ASSERT_EQ(learned.phases.size(), 3u);
+
+  double mux_adapt = 0.0, learned_adapt = 0.0;
+  for (size_t ph = 1; ph < mux.phases.size(); ++ph) {
+    ASSERT_GT(mux.phases[ph].adapt_s, 0.0) << "phase " << ph;
+    ASSERT_GT(learned.phases[ph].adapt_s, 0.0) << "phase " << ph;
+    mux_adapt += mux.phases[ph].adapt_s;
+    learned_adapt += learned.phases[ph].adapt_s;
+    // The predictor seeded most of the profile instead of measuring it.
+    EXPECT_GT(learned.phases[ph].seeded, 100) << "phase " << ph;
+    EXPECT_LT(learned.phases[ph].evals, mux.phases[ph].evals)
+        << "phase " << ph;
+    // Epsilon-regression: converged quality within epsilon of the full
+    // rediscovery. Many of the 144 configurations are near-ties in
+    // efficiency, so tiny value differences permute the argmax — the
+    // exhaustive arm itself picks configurations spanning ~17 % tail
+    // energy across revisits of the same workload. Epsilon is set inside
+    // that inherent selection band: 15 % tail energy, 1.5x + 1 ms tail
+    // p99.
+    EXPECT_LE(learned.phases[ph].tail_energy_j,
+              1.15 * mux.phases[ph].tail_energy_j)
+        << "phase " << ph;
+    EXPECT_LE(learned.phases[ph].tail_p99_ms,
+              1.5 * mux.phases[ph].tail_p99_ms + 1.0)
+        << "phase " << ph;
+  }
+  EXPECT_GE(mux_adapt / learned_adapt, 5.0)
+      << "multiplexed " << mux_adapt << " s vs learned " << learned_adapt
+      << " s over recurring phases";
+}
+
+// ---- Telemetry determinism ------------------------------------------------
+
+experiment::DriftTraceParams ShortTrace(telemetry::Telemetry* tel,
+                                        bool learned) {
+  experiment::DriftTraceParams p;
+  p.predictor.enabled = learned;
+  p.prime = Seconds(10);
+  p.num_switch_phases = 1;
+  p.phase_len = Seconds(10);
+  p.tail = Seconds(5);
+  p.telemetry = tel;
+  return p;
+}
+
+TEST(PredictorTelemetryTest, ExportIsDeterministic) {
+  // The predictor metrics must export byte-identically across repeated
+  // runs and across RunMatrix --jobs values (the repo-wide determinism
+  // contract for every telemetry artifact).
+  telemetry::TelemetryParams tp;
+  tp.enabled = true;
+  std::vector<std::string> dumps(3);
+  // Two concurrent arms plus one sequential rerun of arm 0.
+  experiment::RunMatrix(2, 2, [&](int i) {
+    telemetry::Telemetry tel(tp);
+    dumps[static_cast<size_t>(i)] =
+        RunDriftTrace(ShortTrace(&tel, true)).telemetry_dump;
+  });
+  {
+    telemetry::Telemetry tel(tp);
+    dumps[2] = RunDriftTrace(ShortTrace(&tel, true)).telemetry_dump;
+  }
+  ASSERT_FALSE(dumps[0].empty());
+  EXPECT_EQ(dumps[0], dumps[1]) << "jobs=2 arms diverged";
+  EXPECT_EQ(dumps[0], dumps[2]) << "sequential rerun diverged";
+  EXPECT_NE(dumps[0].find("predictor_hits"), std::string::npos);
+  EXPECT_NE(dumps[0].find("predictor_misses"), std::string::npos);
+  EXPECT_NE(dumps[0].find("predictor_seeded_configs"), std::string::npos);
+  EXPECT_NE(dumps[0].find("predictor_measurements_skipped"),
+            std::string::npos);
+  EXPECT_NE(dumps[0].find("ignorance"), std::string::npos);
+}
+
+TEST(PredictorTelemetryTest, DisabledPredictorLeavesExportUnchanged) {
+  // With the predictor off (the default), no predictor metric may appear:
+  // every pre-existing telemetry artifact stays byte-identical.
+  telemetry::TelemetryParams tp;
+  tp.enabled = true;
+  telemetry::Telemetry tel(tp);
+  const std::string dump =
+      RunDriftTrace(ShortTrace(&tel, false)).telemetry_dump;
+  ASSERT_FALSE(dump.empty());
+  EXPECT_EQ(dump.find("predictor"), std::string::npos);
+  EXPECT_EQ(dump.find("ignorance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecldb::ecl
