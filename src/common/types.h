@@ -34,6 +34,10 @@ constexpr SimDuration FromSeconds(double s) {
 /// Identifier of a socket (physical processor package).
 using SocketId = int;
 
+/// Identifier of a machine (node) in a cluster. A global resource address
+/// is the pair (NodeId, SocketId); single-node code paths never see it.
+using NodeId = int;
+
 /// Identifier of a physical core, local to its socket.
 using CoreId = int;
 

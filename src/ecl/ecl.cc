@@ -29,13 +29,15 @@ EnergyControlLoop::EnergyControlLoop(sim::Simulator* simulator,
         params_.socket));
   }
 
-  if (params_.consolidation.enabled) {
+  if (params_.consolidation.enabled || params_.placement_hooks) {
     for (SocketId s = 0; s < machine.topology().num_sockets; ++s) {
       sockets_[static_cast<size_t>(s)]->SetParkCheck(
           [this, s] { return engine_->placement().PartitionsOn(s) == 0; });
       sockets_[static_cast<size_t>(s)]->SetBacklogCheck(
           [this, s] { return engine_->scheduler().BacklogOps(s); });
     }
+  }
+  if (params_.consolidation.enabled) {
     consolidation_ = std::make_unique<ConsolidationPolicy>(
         simulator_, engine_, system_.get(),
         // Relative load: the processed performance level over the

@@ -24,6 +24,11 @@ struct EclParams {
   /// Whole-socket consolidation through live partition migration
   /// (disabled by default; see ConsolidationPolicy).
   ConsolidationParams consolidation;
+  /// Wire the socket park/backlog hooks without enabling in-box
+  /// consolidation. The cluster tier sets this: it moves partitions
+  /// across nodes itself, but still wants each node's sockets to wake on
+  /// local backlog.
+  bool placement_hooks = false;
   /// Optional telemetry context, propagated into the socket ECLs and the
   /// consolidation policy (overrides their individual params fields when
   /// set); also registers the system-level latency-pressure gauge.

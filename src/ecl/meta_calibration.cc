@@ -1,5 +1,6 @@
 #include "ecl/meta_calibration.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -83,6 +84,38 @@ MetaCalibrationResult MetaCalibration::Run(const hwsim::WorkProfile& work,
     if (dev <= params.tolerance) result.apply_time = cand;
   }
   return result;
+}
+
+NodeTransitionCost CalibrateNodeTransition(sim::Simulator* simulator,
+                                           hwsim::Cluster* cluster, NodeId n,
+                                           SimDuration measure) {
+  ECLDB_CHECK(simulator != nullptr && cluster != nullptr);
+  ECLDB_CHECK(n >= 0 && n < cluster->num_nodes());
+  ECLDB_CHECK_MSG(cluster->IsOn(n), "calibration needs the node on and idle");
+  ECLDB_CHECK(measure > 0);
+  const hwsim::NodePowerParams& power =
+      cluster->params().nodes[static_cast<size_t>(n)].power;
+
+  NodeTransitionCost cost;
+  cost.boot_latency = power.boot_latency;
+  cost.boot_energy_j = power.boot_power_w * ToSeconds(power.boot_latency);
+  cost.off_power_w = power.off_power_w;
+
+  const double e0 = cluster->NodeEnergyJoules(n);
+  simulator->RunFor(measure);
+  const double e1 = cluster->NodeEnergyJoules(n);
+  cost.on_idle_power_w = (e1 - e0) / ToSeconds(measure);
+
+  // Off for H then boot for B versus staying on idle throughout: the off
+  // phase saves (on_idle - off) x H, the boot phase costs an extra
+  // (boot - on_idle) x B. Break-even where they cancel.
+  const double savings_rate_w = cost.on_idle_power_w - cost.off_power_w;
+  const double boot_premium_j =
+      (power.boot_power_w - cost.on_idle_power_w) * ToSeconds(cost.boot_latency);
+  cost.break_even_off_s =
+      savings_rate_w > 0.0 ? std::max(0.0, boot_premium_j / savings_rate_w)
+                           : 0.0;
+  return cost;
 }
 
 }  // namespace ecldb::ecl

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "hwsim/cluster.h"
 #include "hwsim/machine.h"
 #include "hwsim/work_profile.h"
 #include "sim/simulator.h"
@@ -65,6 +66,35 @@ class MetaCalibration {
   hwsim::Machine* machine_;
   SocketId socket_;
 };
+
+/// The whole-node transition-cost regime, the cluster-tier analogue of
+/// the apply/measure times above. Where a socket configuration applies in
+/// tens of microseconds, a node transition pays a boot of tens of seconds
+/// at elevated power — three to six orders of magnitude apart, which is
+/// why the cluster ECL needs its own calibrated hysteresis instead of
+/// reusing the in-box dwell times.
+struct NodeTransitionCost {
+  SimDuration boot_latency = 0;
+  /// Energy burned by one boot (boot power over the boot latency).
+  double boot_energy_j = 0.0;
+  /// Wall power while off (standby).
+  double off_power_w = 0.0;
+  /// Measured wall power of the fully idle node while on: machine idle
+  /// draw plus the platform overhead — everything a power-down removes.
+  double on_idle_power_w = 0.0;
+  /// Minimum off duration for a power-down to save net energy: below
+  /// this, the boot premium exceeds the off-state savings.
+  double break_even_off_s = 0.0;
+};
+
+/// Measures node `n`'s transition economics by observing the cluster's
+/// energy accounting over an idle window (consumes virtual time; the node
+/// must be on and unloaded). The break-even compares staying on against
+/// off-then-boot: savings accrue at (on_idle - off) W while off, the boot
+/// repays (boot - on_idle) W over the boot latency.
+NodeTransitionCost CalibrateNodeTransition(sim::Simulator* simulator,
+                                           hwsim::Cluster* cluster, NodeId n,
+                                           SimDuration measure = Seconds(1));
 
 }  // namespace ecldb::ecl
 

@@ -99,7 +99,9 @@ class ProfilePredictor {
 /// Serializes the learn-cache so experiments (and a DBMS restart) can
 /// prime a trained predictor. Companion of the profile serialization
 /// format (line-based, all-or-nothing load); `fingerprint` must be the
-/// ProfileFingerprint of the profile the predictor belongs to.
+/// LearnCacheFingerprint of the profile the predictor belongs to and the
+/// machine shape it was trained on (a cache from a different node shape
+/// must be rejected, not silently loaded).
 ///
 /// Format:
 ///   ecldb-learncache v1 <num_configs> <fingerprint> <feature_dims>

@@ -16,13 +16,14 @@ SystemEcl::SystemEcl(sim::Simulator* simulator,
 
 void SystemEcl::Start() {
   running_ = true;
-  simulator_->ScheduleAfter(params_.interval, [this] { Tick(); });
+  const int64_t epoch = ++start_epoch_;
+  simulator_->ScheduleAfter(params_.interval, [this, epoch] { Tick(epoch); });
 }
 
-void SystemEcl::Tick() {
-  if (!running_) return;
+void SystemEcl::Tick(int64_t epoch) {
+  if (!running_ || epoch != start_epoch_) return;
   Update();
-  simulator_->ScheduleAfter(params_.interval, [this] { Tick(); });
+  simulator_->ScheduleAfter(params_.interval, [this, epoch] { Tick(epoch); });
 }
 
 void SystemEcl::Update() {

@@ -45,12 +45,15 @@ class SystemEcl {
   void Update();
 
  private:
-  void Tick();
+  void Tick(int64_t epoch);
 
   sim::Simulator* simulator_;
   const engine::LatencyTracker* latency_;
   SystemEclParams params_;
   bool running_ = false;
+  /// Bumped on every Start so a Stop/Start cycle (node power-down and
+  /// re-boot at cluster scope) cannot leave two tick chains running.
+  int64_t start_epoch_ = 0;
   double pressure_ = 0.0;
   double ttv_s_ = 1e18;
 };

@@ -1,0 +1,200 @@
+#include "engine/cluster_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "engine/migration.h"
+
+namespace ecldb::engine {
+
+ClusterEngine::ClusterEngine(sim::Simulator* simulator,
+                             hwsim::Cluster* cluster,
+                             const ClusterEngineParams& params)
+    : simulator_(simulator), cluster_(cluster), params_(params) {
+  ECLDB_CHECK(simulator != nullptr && cluster != nullptr);
+  int num_partitions = params_.num_partitions;
+  if (num_partitions == 0) {
+    for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+      num_partitions += cluster_->machine(n).topology().total_threads();
+    }
+  }
+  ECLDB_CHECK(num_partitions > 0);
+  placement_ = std::make_unique<PlacementMap>(num_partitions,
+                                              cluster_->num_nodes());
+  telemetry::Telemetry* const tel = params_.telemetry;
+  for (NodeId n = 0; n < cluster_->num_nodes(); ++n) {
+    EngineParams ep = params_.engine;
+    ep.num_partitions = num_partitions;
+    ep.telemetry = tel;
+    if (tel != nullptr) {
+      tel->SetPathPrefix("node" + std::to_string(n) + "/");
+    }
+    engines_.push_back(std::make_unique<Engine>(
+        simulator_, &cluster_->machine(n), ep));
+  }
+  if (tel != nullptr) {
+    tel->SetPathPrefix("");
+    telemetry::MetricRegistry& reg = tel->registry();
+    reg.AddCounterFn("cluster/remote_sends", [this] { return remote_sends_; });
+    reg.AddCounterFn("cluster/stale_forwards",
+                     [this] { return stale_forwards_; });
+    reg.AddCounterFn("cluster/migrations_started",
+                     [this] { return migrations_started_; });
+    reg.AddCounterFn("cluster/migrations_completed",
+                     [this] { return migrations_completed_; });
+    reg.AddCounterFn("cluster/migrations_cancelled",
+                     [this] { return migrations_cancelled_; });
+    reg.AddGauge("cluster/migrations_active", [this] {
+      return static_cast<double>(active_migrations_);
+    });
+    reg.AddGauge("cluster/migration_bytes_moved",
+                 [this] { return bytes_moved_; });
+  }
+}
+
+void ClusterEngine::Submit(NodeId entry, const QuerySpec& spec) {
+  ECLDB_CHECK(entry >= 0 && entry < num_nodes());
+  // Split the work list by home node, preserving per-group work order.
+  std::map<NodeId, QuerySpec> groups;
+  for (const PartitionWork& w : spec.work) {
+    const NodeId home = placement_->HomeOf(w.partition);
+    QuerySpec& sub = groups[home];
+    if (sub.work.empty()) {
+      sub.profile = spec.profile;
+      sub.internal = spec.internal;
+    }
+    sub.work.push_back(w);
+  }
+  for (auto& [home, sub] : groups) {
+    if (home == entry) {
+      SubmitLocal(entry, std::move(sub));
+    } else {
+      Ship(entry, home, std::move(sub), /*forward=*/false);
+    }
+  }
+}
+
+void ClusterEngine::SubmitLocal(NodeId n, QuerySpec sub) {
+  Engine& eng = node_engine(n);
+  sub.origin_socket = eng.placement().HomeOf(sub.work.front().partition);
+  eng.Submit(sub);
+}
+
+void ClusterEngine::Ship(NodeId from, NodeId to, QuerySpec sub, bool forward) {
+  const double bytes = cluster_->network().params().message_bytes;
+  const SimTime deliver = cluster_->network().ReserveTransfer(
+      from, to, bytes, simulator_->now());
+  ++remote_sends_;
+  if (forward) ++stale_forwards_;
+  simulator_->Schedule(deliver, [this, to, sub = std::move(sub)]() mutable {
+    Route(to, std::move(sub));
+  });
+}
+
+void ClusterEngine::Route(NodeId at, QuerySpec sub) {
+  const NodeId home = placement_->HomeOf(sub.work.front().partition);
+  if (home == at) {
+    SubmitLocal(at, std::move(sub));
+    return;
+  }
+  // The partition re-homed while the message was on the wire: the epoch
+  // it was addressed under is stale, forward another hop.
+  Ship(at, home, std::move(sub), /*forward=*/true);
+}
+
+bool ClusterEngine::StartMigration(PartitionId p, NodeId to) {
+  ECLDB_CHECK(p >= 0 && p < num_partitions());
+  ECLDB_CHECK(to >= 0 && to < num_nodes());
+  if (placement_->IsMigrating(p) || placement_->HomeOf(p) == to) return false;
+  const NodeId from = placement_->HomeOf(p);
+  if (!cluster_->IsOn(from) || !cluster_->IsOn(to)) return false;
+  placement_->BeginMigration(p, to);
+  ++active_migrations_;
+  ++migrations_started_;
+
+  // Drain + local copy: the shard-copy query rides the source partition's
+  // FIFO queue, so everything already enqueued executes first and the
+  // fluid copy work charges the source node's memory system.
+  Engine& src = node_engine(from);
+  const double actual =
+      static_cast<double>(src.db().partition(p)->MemoryBytes());
+  const double bytes = std::max(actual, params_.migration.min_shard_bytes);
+  const double ops = std::max(1.0, bytes / params_.migration.bytes_per_op);
+  QuerySpec copy;
+  copy.profile = &ShardCopyProfile();
+  copy.work.push_back({p, ops, msg::MessageType::kWorkUnits, 0, 0});
+  copy.origin_socket = src.placement().HomeOf(p);
+  copy.internal = true;
+  const QueryId copy_query = src.Submit(copy);
+
+  simulator_->ScheduleAfter(params_.migration.min_copy_time,
+                            [this, p, copy_query, bytes] {
+                              CheckDrain(p, copy_query, bytes);
+                            });
+  return true;
+}
+
+void ClusterEngine::CheckDrain(PartitionId p, QueryId copy_query,
+                               double bytes) {
+  const NodeId from = placement_->HomeOf(p);
+  if (node_engine(from).scheduler().IsInflight(copy_query)) {
+    simulator_->ScheduleAfter(params_.migration.check_interval,
+                              [this, p, copy_query, bytes] {
+                                CheckDrain(p, copy_query, bytes);
+                              });
+    return;
+  }
+  // Drained: the shard state now crosses the network at NIC bandwidth,
+  // competing with control messages of both endpoints.
+  const NodeId to = placement_->MigrationTarget(p);
+  const SimTime deliver = cluster_->network().ReserveTransfer(
+      from, to, bytes, simulator_->now());
+  simulator_->Schedule(deliver,
+                       [this, p, bytes] { CommitOrCancel(p, bytes); });
+}
+
+void ClusterEngine::CommitOrCancel(PartitionId p, double bytes) {
+  --active_migrations_;
+  if (!cluster_->IsOn(placement_->MigrationTarget(p))) {
+    // Destination powered down while the copy was on the wire. The source
+    // was never unhomed, so cancelling loses nothing: it kept serving the
+    // queued tail and stays the home.
+    placement_->CancelMigration(p);
+    ++migrations_cancelled_;
+    return;
+  }
+  placement_->CommitMigration(p);
+  ++migrations_completed_;
+  bytes_moved_ += bytes;
+}
+
+bool ClusterEngine::NodeInvolvedInMigration(NodeId n) const {
+  for (PartitionId p = 0; p < num_partitions(); ++p) {
+    if (!placement_->IsMigrating(p)) continue;
+    if (placement_->HomeOf(p) == n || placement_->MigrationTarget(p) == n) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double ClusterEngine::BacklogOps(NodeId n) const {
+  const Engine& eng = node_engine(n);
+  double total = 0.0;
+  const int sockets = cluster_->machine(n).topology().num_sockets;
+  for (SocketId s = 0; s < sockets; ++s) {
+    total += eng.scheduler().BacklogOps(s);
+  }
+  return total;
+}
+
+int64_t ClusterEngine::CompletedQueries() const {
+  int64_t total = 0;
+  for (const auto& eng : engines_) total += eng->latency().completed();
+  return total;
+}
+
+}  // namespace ecldb::engine

@@ -1,0 +1,130 @@
+#ifndef ECLDB_ENGINE_CLUSTER_ENGINE_H_
+#define ECLDB_ENGINE_CLUSTER_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "engine/engine.h"
+#include "engine/placement.h"
+#include "engine/query.h"
+#include "hwsim/cluster.h"
+#include "sim/simulator.h"
+
+namespace ecldb::engine {
+
+struct ClusterEngineParams {
+  /// Per-node engine parameters. num_partitions and telemetry are managed
+  /// by the cluster engine (every node engine hosts the full global
+  /// partition range; telemetry is node-prefixed).
+  EngineParams engine;
+  /// Global partition count; 0 = one per hardware thread summed over all
+  /// nodes.
+  int num_partitions = 0;
+  /// Node-level migration knobs: bytes_per_op / min_shard_bytes price the
+  /// local drain+copy, check_interval paces the handover poll. The copy
+  /// then crosses the network at NIC speed instead of QPI speed.
+  MigrationParams migration;
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+/// The rack-scale engine: one full Engine per node plus a node-level
+/// PlacementMap lifting the global resource address to (node, socket).
+///
+/// Routing is two-stage. The cluster placement maps a partition to its
+/// home node; the node's own placement then maps it to a socket. A query
+/// entering at node E splits into per-home-node groups: the local group
+/// submits directly, remote groups ship through the network model and
+/// re-resolve the cluster placement on arrival — if a node-level rehome
+/// committed while the message was on the wire, the stale delivery is
+/// counted and forwarded another hop, mirroring the epoch-stale
+/// forwarding of the in-box message layer.
+///
+/// Node-level migration extends drain→copy→rehome across the network:
+/// the drain and the local copy cost ride the source engine's partition
+/// queue exactly like an in-box migration (FIFO drain barrier), the copy
+/// then crosses the network at NIC bandwidth, and the commit re-homes the
+/// partition at cluster scope. The source node keeps serving whatever was
+/// queued behind the drain barrier — no queue object crosses nodes, so no
+/// operation is dropped or double-counted. If the destination powered
+/// down while the copy was on the wire, the migration cancels instead of
+/// committing (the source never stopped being the home, so nothing is
+/// lost).
+class ClusterEngine {
+ public:
+  ClusterEngine(sim::Simulator* simulator, hwsim::Cluster* cluster,
+                const ClusterEngineParams& params);
+
+  ClusterEngine(const ClusterEngine&) = delete;
+  ClusterEngine& operator=(const ClusterEngine&) = delete;
+
+  int num_nodes() const { return cluster_->num_nodes(); }
+  int num_partitions() const { return placement_->num_partitions(); }
+  hwsim::Cluster& cluster() { return *cluster_; }
+  /// Node-level placement: "sockets" of this map are nodes.
+  PlacementMap& placement() { return *placement_; }
+  const PlacementMap& placement() const { return *placement_; }
+  Engine& node_engine(NodeId n) { return *engines_[static_cast<size_t>(n)]; }
+  const Engine& node_engine(NodeId n) const {
+    return *engines_[static_cast<size_t>(n)];
+  }
+
+  /// Submits a query entering the system at `entry` (the node the client
+  /// is connected to). Work for partitions homed on other nodes ships
+  /// through the network model. Network flight time delays execution but
+  /// is not part of the tracked query latency (per-node trackers time
+  /// from local arrival).
+  void Submit(NodeId entry, const QuerySpec& spec);
+
+  /// Starts migrating partition `p` to node `to`. Returns false (no-op)
+  /// when `p` is already migrating at node scope, `to` is its home, or
+  /// either endpoint is not on.
+  bool StartMigration(PartitionId p, NodeId to);
+
+  /// Whether any node-scope migration has `n` as source or destination
+  /// (such a node must not power down).
+  bool NodeInvolvedInMigration(NodeId n) const;
+
+  /// Fluid backlog queued on `n` across all its sockets (wake signal).
+  double BacklogOps(NodeId n) const;
+
+  /// Completed (non-internal) queries summed over all node engines.
+  int64_t CompletedQueries() const;
+
+  int64_t remote_sends() const { return remote_sends_; }
+  int64_t stale_forwards() const { return stale_forwards_; }
+  int active_migrations() const { return active_migrations_; }
+  int64_t migrations_started() const { return migrations_started_; }
+  int64_t migrations_completed() const { return migrations_completed_; }
+  int64_t migrations_cancelled() const { return migrations_cancelled_; }
+  double bytes_moved() const { return bytes_moved_; }
+
+ private:
+  /// Submits a single-home-node sub-query on that node's engine.
+  void SubmitLocal(NodeId n, QuerySpec sub);
+  /// Ships a sub-query over the network; `forward` marks a stale hop.
+  void Ship(NodeId from, NodeId to, QuerySpec sub, bool forward);
+  /// Re-resolves the cluster placement for an arriving sub-query.
+  void Route(NodeId at, QuerySpec sub);
+  void CheckDrain(PartitionId p, QueryId copy_query, double bytes);
+  void CommitOrCancel(PartitionId p, double bytes);
+
+  sim::Simulator* simulator_;
+  hwsim::Cluster* cluster_;
+  ClusterEngineParams params_;
+  std::unique_ptr<PlacementMap> placement_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+
+  int64_t remote_sends_ = 0;
+  int64_t stale_forwards_ = 0;
+  int active_migrations_ = 0;
+  int64_t migrations_started_ = 0;
+  int64_t migrations_completed_ = 0;
+  int64_t migrations_cancelled_ = 0;
+  double bytes_moved_ = 0.0;
+};
+
+}  // namespace ecldb::engine
+
+#endif  // ECLDB_ENGINE_CLUSTER_ENGINE_H_

@@ -55,6 +55,7 @@ class Engine {
   const MigrationCoordinator& migrator() const { return *migrator_; }
   msg::MessageLayer& message_layer() { return *layer_; }
   Scheduler& scheduler() { return *scheduler_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
   hwsim::Machine& machine() { return *machine_; }
 
   /// Submits a query for execution; latency is tracked automatically.

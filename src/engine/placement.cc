@@ -67,4 +67,12 @@ SocketId PlacementMap::CommitMigration(PartitionId p) {
   return from;
 }
 
+void PlacementMap::CancelMigration(PartitionId p) {
+  ECLDB_CHECK(p >= 0 && p < num_partitions());
+  ECLDB_CHECK_MSG(IsMigrating(p), "cancel without a begun migration");
+  migrating_to_[static_cast<size_t>(p)] = -1;
+  --migrating_count_;
+  ++cancelled_migrations_;
+}
+
 }  // namespace ecldb::engine

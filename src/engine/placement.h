@@ -71,6 +71,12 @@ class PlacementMap : public msg::PlacementView {
   /// Re-homes `p` to its migration target and bumps the epoch. Returns
   /// the old home.
   SocketId CommitMigration(PartitionId p);
+  /// Abandons a begun migration without changing the home or the epoch
+  /// (routing never saw the target, so nothing needs forwarding). Used
+  /// when the destination disappears mid-flight — at node scope, a
+  /// destination node powered down before the copy landed.
+  void CancelMigration(PartitionId p);
+  int64_t cancelled_migrations() const { return cancelled_migrations_; }
 
  private:
   int num_sockets_;
@@ -81,6 +87,7 @@ class PlacementMap : public msg::PlacementView {
   int64_t epoch_ = 0;
   int migrating_count_ = 0;
   int64_t completed_migrations_ = 0;
+  int64_t cancelled_migrations_ = 0;
 };
 
 }  // namespace ecldb::engine

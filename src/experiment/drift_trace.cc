@@ -73,7 +73,9 @@ DriftTraceResult RunDriftTrace(const DriftTraceParams& params) {
       ECLDB_CHECK(pred != nullptr);
       ECLDB_CHECK(ecl::DeserializeLearnCache(
           params.prime_learn_cache,
-          profile::ProfileFingerprint(loop.socket(s).profile()), pred));
+          profile::LearnCacheFingerprint(loop.socket(s).profile(),
+                                         machine_params),
+          pred));
     }
   }
 
@@ -163,7 +165,8 @@ DriftTraceResult RunDriftTrace(const DriftTraceParams& params) {
   result.total_energy_j = machine.TotalEnergyJoules() - e0;
   if (ecl::ProfilePredictor* pred = socket0.predictor(); pred != nullptr) {
     result.learn_cache = ecl::SerializeLearnCache(
-        *pred, profile::ProfileFingerprint(socket0.profile()));
+        *pred,
+        profile::LearnCacheFingerprint(socket0.profile(), machine_params));
   }
   if (tel != nullptr) result.telemetry_dump = tel->registry().Dump();
   loop.Stop();

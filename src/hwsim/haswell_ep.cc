@@ -64,4 +64,49 @@ MachineParams MachineParams::SkylakeSp() {
   return p;
 }
 
+MachineParams MachineParams::Wimpy() {
+  MachineParams p;
+  p.topology = Topology{1, 4, 1};
+  // Cores 0.6-1.6 GHz, no turbo; "uncore" (fabric + memory controller)
+  // 0.8-1.6 GHz.
+  p.freqs.core_ghz.clear();
+  for (int mhz = 600; mhz <= 1600; mhz += 100) {
+    p.freqs.core_ghz.push_back(mhz / 1000.0);
+  }
+  p.freqs.turbo_ghz = 0.0;
+  p.freqs.uncore_ghz.clear();
+  for (int mhz = 800; mhz <= 1600; mhz += 100) {
+    p.freqs.uncore_ghz.push_back(mhz / 1000.0);
+  }
+  // Microserver power: a ~2 W package floor, sub-watt cores, and a small
+  // fabric instead of a ring uncore. The near-flat idle/peak ratio is the
+  // defining property of the class.
+  p.power.pkg_base_halted_w = {1.8};
+  p.power.uncore_lin_w_per_ghz = 0.5;
+  p.power.uncore_quad_w_per_ghz2 = 0.25;
+  p.power.core_leak_w = 0.12;
+  p.power.core_dyn_w = 0.55;
+  p.power.volt_base = 0.70;
+  p.power.volt_slope = 0.28;
+  p.power.f_min_ghz = 0.6;
+  p.power.ht_sibling_dyn_frac = 0.0;  // no SMT
+  p.power.dram_static_w = 1.1;
+  p.power.dram_w_per_gbps = 0.30;
+  p.power.shallow_idle_extra_w = 0.9;
+  p.power.psu_static_w = 3.5;
+  p.power.psu_conversion = 1.10;
+  // Single-channel LPDDR: ~6.4 GB/s peak, higher latency than the server
+  // parts. qpi_gbps caps nothing on a single-socket node but stays >0 so
+  // remote-copy estimates remain well-defined.
+  p.bandwidth.peak_gbps = 6.4;
+  p.bandwidth.f_uncore_max_ghz = 1.6;
+  p.bandwidth.uncore_exponent = 0.95;
+  p.bandwidth.latency_fixed_ns = 90.0;
+  p.bandwidth.latency_scaled_ns = 45.0;
+  p.bandwidth.remote_extra_latency_ns = 0.0;
+  p.bandwidth.qpi_gbps = 4.0;
+  p.perf.mc_free_threads = 2;
+  return p;
+}
+
 }  // namespace ecldb::hwsim

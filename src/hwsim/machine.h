@@ -47,6 +47,13 @@ struct MachineParams {
   /// profiles and the ECL are hardware independent — nothing in the
   /// control loops is calibrated to Haswell.
   static MachineParams SkylakeSp();
+
+  /// A wimpy cluster node (Atom/ARM-class microserver: one socket, four
+  /// single-threaded cores, narrow frequency range, single-channel
+  /// memory). Per-node peak is two orders of magnitude below Haswell-EP
+  /// but so is the idle floor — the wimpy-vs-brawny cluster trade-off of
+  /// Schall/Härder and Lang et al. (see PAPERS.md).
+  static MachineParams Wimpy();
 };
 
 /// The simulated server. Integrates power/energy/performance over virtual

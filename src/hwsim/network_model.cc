@@ -1,0 +1,39 @@
+#include "hwsim/network_model.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::hwsim {
+
+NetworkModel::NetworkModel(int num_nodes, const NetworkModelParams& params)
+    : params_(params) {
+  ECLDB_CHECK(num_nodes > 0);
+  ECLDB_CHECK(params_.link_gbps > 0.0);
+  busy_until_.assign(static_cast<size_t>(num_nodes), 0);
+}
+
+SimDuration NetworkModel::TransferTime(double bytes) const {
+  const double wire_s = bytes * 8.0 / (params_.link_gbps * 1e9);
+  return FromSeconds(wire_s) + Micros(static_cast<int64_t>(params_.base_latency_us));
+}
+
+SimTime NetworkModel::ReserveTransfer(NodeId from, NodeId to, double bytes,
+                                      SimTime now) {
+  ECLDB_CHECK(from >= 0 && from < num_nodes());
+  ECLDB_CHECK(to >= 0 && to < num_nodes());
+  ECLDB_CHECK(from != to);
+  SimTime& from_busy = busy_until_[static_cast<size_t>(from)];
+  SimTime& to_busy = busy_until_[static_cast<size_t>(to)];
+  const SimTime start = std::max({now, from_busy, to_busy});
+  const double wire_s = bytes * 8.0 / (params_.link_gbps * 1e9);
+  const SimTime wire_done = start + FromSeconds(wire_s);
+  from_busy = wire_done;
+  to_busy = wire_done;
+  ++transfers_;
+  bytes_sent_ += bytes;
+  queueing_time_ += start - now;
+  return wire_done + Micros(static_cast<int64_t>(params_.base_latency_us));
+}
+
+}  // namespace ecldb::hwsim

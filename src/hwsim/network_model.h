@@ -1,0 +1,61 @@
+#ifndef ECLDB_HWSIM_NETWORK_MODEL_H_
+#define ECLDB_HWSIM_NETWORK_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecldb::hwsim {
+
+/// Calibration constants of the inter-node interconnect, mirroring the
+/// shape of BandwidthModelParams one level up: where the bandwidth model
+/// prices intra-machine DRAM/QPI traffic, this prices the rack network
+/// (10 GbE-class by default — an order of magnitude below QPI, with
+/// microsecond instead of nanosecond latency).
+struct NetworkModelParams {
+  /// Per-node NIC line rate in Gbit/s (both directions share it).
+  double link_gbps = 10.0;
+  /// Fixed per-transfer latency (switch + stack traversal), microseconds.
+  double base_latency_us = 50.0;
+  /// Modeled wire size of a control/descriptor message (a remote query
+  /// submission or forwarding hop), bytes.
+  double message_bytes = 2048.0;
+};
+
+/// Bandwidth/latency-limited inter-node transfers. Each node's NIC is a
+/// serial resource: concurrent transfers touching the same endpoint
+/// queue behind each other (busy-until bookkeeping per node), so a bulk
+/// shard copy delays the control messages of the same node — the
+/// cross-node analogue of the QPI cap inside a machine. Deterministic:
+/// completion times are a pure function of the reservation sequence.
+class NetworkModel {
+ public:
+  NetworkModel(int num_nodes, const NetworkModelParams& params);
+
+  int num_nodes() const { return static_cast<int>(busy_until_.size()); }
+  const NetworkModelParams& params() const { return params_; }
+
+  /// Pure wire time of `bytes` at line rate plus the fixed latency.
+  SimDuration TransferTime(double bytes) const;
+
+  /// Reserves both endpoints' NICs for a transfer of `bytes` starting no
+  /// earlier than `now`; returns the delivery time at the destination.
+  SimTime ReserveTransfer(NodeId from, NodeId to, double bytes, SimTime now);
+
+  int64_t transfers() const { return transfers_; }
+  double bytes_sent() const { return bytes_sent_; }
+  /// Cumulative time transfers spent queued behind busy NICs.
+  SimDuration queueing_time() const { return queueing_time_; }
+
+ private:
+  NetworkModelParams params_;
+  std::vector<SimTime> busy_until_;  // per node NIC
+  int64_t transfers_ = 0;
+  double bytes_sent_ = 0.0;
+  SimDuration queueing_time_ = 0;
+};
+
+}  // namespace ecldb::hwsim
+
+#endif  // ECLDB_HWSIM_NETWORK_MODEL_H_

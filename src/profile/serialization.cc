@@ -34,6 +34,28 @@ uint64_t ProfileFingerprint(const EnergyProfile& profile) {
   return h;
 }
 
+uint64_t MachineFingerprint(const hwsim::MachineParams& params) {
+  const hwsim::Topology& topo = params.topology;
+  uint64_t h = 0x6d616368696e6532ull;  // "machine2"
+  h = HashCombine(h, static_cast<uint64_t>(topo.num_sockets));
+  h = HashCombine(h, static_cast<uint64_t>(topo.cores_per_socket));
+  h = HashCombine(h, static_cast<uint64_t>(topo.threads_per_core));
+  // Frequency tables enter in a resolution-independent way: GHz values
+  // scaled to integer MHz (all settable P-states are MHz-granular).
+  const auto mix_freq = [&h](double ghz) {
+    h = HashCombine(h, static_cast<uint64_t>(ghz * 1000.0 + 0.5));
+  };
+  for (double f : params.freqs.core_ghz) mix_freq(f);
+  mix_freq(params.freqs.turbo_ghz);
+  for (double f : params.freqs.uncore_ghz) mix_freq(f);
+  return h;
+}
+
+uint64_t LearnCacheFingerprint(const EnergyProfile& profile,
+                               const hwsim::MachineParams& params) {
+  return HashCombine(ProfileFingerprint(profile), MachineFingerprint(params));
+}
+
 std::string SerializeProfile(const EnergyProfile& profile) {
   std::ostringstream out;
   out << "ecldb-profile v1 " << profile.size() << ' '

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "hwsim/machine.h"
 #include "profile/energy_profile.h"
 
 namespace ecldb::profile {
@@ -29,6 +30,19 @@ bool DeserializeProfile(std::string_view text, EnergyProfile* profile);
 
 /// Fingerprint of the profile's configuration set.
 uint64_t ProfileFingerprint(const EnergyProfile& profile);
+
+/// Fingerprint of a machine's hardware shape: topology (sockets, cores,
+/// threads) and the settable frequency tables. Two nodes with the same
+/// shape hash equal regardless of power-model calibration.
+uint64_t MachineFingerprint(const hwsim::MachineParams& params);
+
+/// Combined fingerprint guarding learn-cache warm-starts: the profile's
+/// configuration-set fingerprint mixed with the machine shape. A cache
+/// trained on a different node shape (socket count, core count, frequency
+/// table) is rejected at load instead of silently seeding predictions
+/// measured on foreign hardware.
+uint64_t LearnCacheFingerprint(const EnergyProfile& profile,
+                               const hwsim::MachineParams& params);
 
 }  // namespace ecldb::profile
 

@@ -60,30 +60,34 @@ void MetricRegistry::CheckNameFree(const std::string& name) const {
 }
 
 Counter MetricRegistry::AddCounter(const std::string& name) {
-  CheckNameFree(name);
+  const std::string qualified = Qualified(name);
+  CheckNameFree(qualified);
   cells_.push_back(0);
-  counters_.push_back(CounterEntry{name, &cells_.back(), nullptr});
+  counters_.push_back(CounterEntry{qualified, &cells_.back(), nullptr});
   return Counter(&cells_.back());
 }
 
 void MetricRegistry::AddCounterFn(const std::string& name,
                                   std::function<int64_t()> fn) {
-  CheckNameFree(name);
+  const std::string qualified = Qualified(name);
+  CheckNameFree(qualified);
   ECLDB_CHECK(fn != nullptr);
-  counters_.push_back(CounterEntry{name, nullptr, std::move(fn)});
+  counters_.push_back(CounterEntry{qualified, nullptr, std::move(fn)});
 }
 
 void MetricRegistry::AddGauge(const std::string& name,
                               std::function<double()> fn) {
-  CheckNameFree(name);
+  const std::string qualified = Qualified(name);
+  CheckNameFree(qualified);
   ECLDB_CHECK(fn != nullptr);
-  gauges_.push_back(GaugeEntry{name, std::move(fn)});
+  gauges_.push_back(GaugeEntry{qualified, std::move(fn)});
 }
 
 Histogram* MetricRegistry::AddHistogram(const std::string& name,
                                         const HistogramSpec& spec) {
-  CheckNameFree(name);
-  histograms_.push_back(std::make_unique<Histogram>(name, spec));
+  const std::string qualified = Qualified(name);
+  CheckNameFree(qualified);
+  histograms_.push_back(std::make_unique<Histogram>(qualified, spec));
   return histograms_.back().get();
 }
 

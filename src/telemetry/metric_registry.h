@@ -122,6 +122,14 @@ class MetricRegistry {
   MetricRegistry(const MetricRegistry&) = delete;
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 
+  /// Registration-time path prefix, prepended to every metric name
+  /// registered while set (e.g. "node0/" turns "msg/socket1/..." into
+  /// "node0/msg/socket1/..."). Cluster runs scope each node's component
+  /// metrics this way; the default empty prefix keeps every single-node
+  /// metric name — and thus every golden dump — byte-identical.
+  void SetPathPrefix(std::string prefix) { prefix_ = std::move(prefix); }
+  const std::string& path_prefix() const { return prefix_; }
+
   /// Creates a registry-owned counter cell. `name` must be unique.
   Counter AddCounter(const std::string& name);
 
@@ -172,7 +180,12 @@ class MetricRegistry {
   };
 
   void CheckNameFree(const std::string& name) const;
+  /// Applies the current path prefix to a registration name.
+  std::string Qualified(const std::string& name) const {
+    return prefix_.empty() ? name : prefix_ + name;
+  }
 
+  std::string prefix_;
   std::deque<int64_t> cells_;  // stable addresses for owned counter cells
   std::vector<CounterEntry> counters_;
   std::vector<GaugeEntry> gauges_;

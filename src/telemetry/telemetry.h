@@ -59,6 +59,15 @@ class Telemetry {
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
 
+  /// Scopes subsequent metric and trace-lane registrations under a path
+  /// prefix ("node0/..."). Cluster runs bracket each node's component
+  /// construction with this; the default empty prefix leaves every legacy
+  /// single-node name untouched.
+  void SetPathPrefix(const std::string& prefix) {
+    registry_.SetPathPrefix(prefix);
+    trace_.SetPathPrefix(prefix);
+  }
+
   SimTime now() const { return simulator_ != nullptr ? simulator_->now() : 0; }
 
   /// Starts periodic sampling of every registered gauge, with the first

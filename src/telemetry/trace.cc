@@ -11,7 +11,7 @@ TraceRecorder::TraceRecorder(size_t capacity) : buffer_(capacity) {
 }
 
 int TraceRecorder::RegisterLane(const std::string& name) {
-  lanes_.push_back(name);
+  lanes_.push_back(prefix_.empty() ? name : prefix_ + name);
   return static_cast<int>(lanes_.size() - 1);
 }
 

@@ -50,6 +50,13 @@ class TraceRecorder {
   int RegisterLane(const std::string& name);
   const std::vector<std::string>& lanes() const { return lanes_; }
 
+  /// Registration-time lane-name prefix (the trace analogue of
+  /// MetricRegistry::SetPathPrefix): while set, registered lanes are
+  /// named `<prefix><name>`. Empty by default, keeping single-node lane
+  /// names byte-identical.
+  void SetPathPrefix(std::string prefix) { prefix_ = std::move(prefix); }
+  const std::string& path_prefix() const { return prefix_; }
+
   void Instant(int lane, const char* cat, const char* name, SimTime ts,
                std::string args = std::string()) {
     if (!enabled_) return;
@@ -79,6 +86,7 @@ class TraceRecorder {
   void Push(TraceEvent e);
 
   bool enabled_ = false;
+  std::string prefix_;
   std::vector<TraceEvent> buffer_;
   size_t head_ = 0;  // next write position
   size_t size_ = 0;

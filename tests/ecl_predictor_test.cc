@@ -13,9 +13,11 @@
 #include "ecl/profile_predictor.h"
 #include "experiment/drift_trace.h"
 #include "experiment/run_matrix.h"
+#include "hwsim/machine.h"
 #include "hwsim/topology.h"
 #include "profile/config_generator.h"
 #include "profile/feature_vector.h"
+#include "profile/serialization.h"
 
 namespace ecldb::ecl {
 namespace {
@@ -150,6 +152,38 @@ TEST(ProfilePredictorTest, IgnoresIdleAndInvalidObservations) {
   pred.Observe(3, Feat(2e9, 1e9, 12, 2.0, 1.0, /*util=*/0.01), 80.0, 2.5e9,
                Seconds(1));
   EXPECT_EQ(pred.size(), 0);
+}
+
+TEST(LearnCacheFingerprintTest, RejectsCachesFromDifferentNodeShapes) {
+  // A learn-cache serialized on one node shape must not warm-start a
+  // predictor on another: the combined fingerprint mixes the profile's
+  // configuration set with the machine's topology and frequency tables,
+  // so a wimpy node's cache is rejected on a brawny node (and vice
+  // versa) instead of silently seeding foreign measurements.
+  const profile::EnergyProfile profile = MakeProfile();
+  const hwsim::MachineParams brawny = hwsim::MachineParams::HaswellEp();
+  const hwsim::MachineParams wimpy = hwsim::MachineParams::Wimpy();
+  const uint64_t fp_brawny = profile::LearnCacheFingerprint(profile, brawny);
+  const uint64_t fp_wimpy = profile::LearnCacheFingerprint(profile, wimpy);
+  EXPECT_NE(fp_brawny, fp_wimpy);
+  // Same shape, different power calibration: fingerprints match (the
+  // cache holds measurements, not the power model).
+  hwsim::MachineParams recalibrated = brawny;
+  recalibrated.power.core_leak_w += 0.1;
+  EXPECT_EQ(profile::MachineFingerprint(brawny),
+            profile::MachineFingerprint(recalibrated));
+
+  ProfilePredictorParams pp;
+  pp.enabled = true;
+  ProfilePredictor trained(profile.size(), pp);
+  trained.Observe(3, Feat(2e9, 1e9), 80.0, 2.5e9, Seconds(1));
+  const std::string cache = SerializeLearnCache(trained, fp_brawny);
+
+  ProfilePredictor fresh(profile.size(), pp);
+  EXPECT_FALSE(DeserializeLearnCache(cache, fp_wimpy, &fresh));
+  EXPECT_EQ(fresh.size(), 0);  // untouched on rejection
+  EXPECT_TRUE(DeserializeLearnCache(cache, fp_brawny, &fresh));
+  EXPECT_EQ(fresh.size(), 1);
 }
 
 TEST(SeedFromPredictionsTest, SeedsConfidentConfigsAndSkipsUnknown) {

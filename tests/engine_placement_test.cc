@@ -76,6 +76,30 @@ TEST(PlacementMapTest, MigrationBumpsEpochAndMovesCounts) {
   EXPECT_EQ(placement.PartitionsOn(0), 2);
 }
 
+TEST(PlacementMapTest, CancelMigrationLeavesRoutingUntouched) {
+  // Node-scope migrations can abort mid-copy (the destination powered
+  // down): the cancel clears the migrating state without bumping the
+  // epoch or moving the partition — the source was never unhomed.
+  PlacementMap placement(4, 2);
+  placement.BeginMigration(0, 1);
+  ASSERT_TRUE(placement.IsMigrating(0));
+  placement.CancelMigration(0);
+  EXPECT_FALSE(placement.IsMigrating(0));
+  EXPECT_EQ(placement.MigrationTarget(0), -1);
+  EXPECT_EQ(placement.HomeOf(0), 0);
+  EXPECT_EQ(placement.epoch(), 0);
+  EXPECT_EQ(placement.migrating_count(), 0);
+  EXPECT_EQ(placement.completed_migrations(), 0);
+  EXPECT_EQ(placement.cancelled_migrations(), 1);
+  EXPECT_EQ(placement.PartitionsOn(0), 2);
+  EXPECT_EQ(placement.PartitionsOn(1), 2);
+  // A fresh migration of the same partition still works normally.
+  placement.BeginMigration(0, 1);
+  EXPECT_EQ(placement.CommitMigration(0), 0);
+  EXPECT_EQ(placement.epoch(), 1);
+  EXPECT_EQ(placement.HomeOf(0), 1);
+}
+
 // ---------------------------------------------------------------------------
 // Live-migration protocol
 // ---------------------------------------------------------------------------

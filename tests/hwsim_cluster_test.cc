@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ecl/meta_calibration.h"
+#include "hwsim/cluster.h"
+#include "hwsim/machine.h"
+#include "hwsim/network_model.h"
+#include "sim/simulator.h"
+
+namespace ecldb::hwsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NetworkModel
+// ---------------------------------------------------------------------------
+
+TEST(NetworkModelTest, TransferTimeIsWirePlusBaseLatency) {
+  NetworkModelParams params;
+  params.link_gbps = 10.0;
+  params.base_latency_us = 50.0;
+  NetworkModel net(2, params);
+  // 1 Gbit at 10 Gbit/s = 100 ms wire time, plus 50 us latency.
+  const double bytes = 1e9 / 8.0;
+  const double expect_s = 0.1 + 50e-6;
+  EXPECT_NEAR(ToSeconds(net.TransferTime(bytes)), expect_s, 1e-9);
+}
+
+TEST(NetworkModelTest, NicSerializesConcurrentTransfers) {
+  NetworkModelParams params;
+  params.link_gbps = 10.0;
+  params.base_latency_us = 0.0;
+  NetworkModel net(3, params);
+  const double bytes = 1e9 / 8.0;  // 100 ms wire time each
+  // Two transfers leaving node 0 at the same instant: the shared NIC
+  // serializes them, so the second delivers a full wire time later.
+  const SimTime first = net.ReserveTransfer(0, 1, bytes, 0);
+  const SimTime second = net.ReserveTransfer(0, 2, bytes, 0);
+  EXPECT_NEAR(ToSeconds(first), 0.1, 1e-9);
+  EXPECT_NEAR(ToSeconds(second), 0.2, 1e-9);
+  EXPECT_NEAR(ToSeconds(net.queueing_time()), 0.1, 1e-9);
+  EXPECT_EQ(net.transfers(), 2);
+  EXPECT_DOUBLE_EQ(net.bytes_sent(), 2 * bytes);
+  // Node 1's NIC was busy receiving the first transfer: a send from node
+  // 1 queues behind it even though node 1 originated nothing.
+  const SimTime third = net.ReserveTransfer(1, 2, bytes, 0);
+  EXPECT_GE(ToSeconds(third), 0.2);
+}
+
+TEST(NetworkModelTest, DisjointEndpointsDoNotQueue) {
+  NetworkModelParams params;
+  params.link_gbps = 10.0;
+  params.base_latency_us = 0.0;
+  NetworkModel net(4, params);
+  const double bytes = 1e9 / 8.0;
+  const SimTime a = net.ReserveTransfer(0, 1, bytes, 0);
+  const SimTime b = net.ReserveTransfer(2, 3, bytes, 0);
+  EXPECT_DOUBLE_EQ(ToSeconds(a), ToSeconds(b));
+  EXPECT_EQ(net.queueing_time(), 0);
+}
+
+TEST(NetworkModelTest, DeterministicForSameReservationSequence) {
+  auto run = [] {
+    NetworkModel net(4, NetworkModelParams{});
+    std::vector<SimTime> times;
+    for (int i = 0; i < 32; ++i) {
+      times.push_back(net.ReserveTransfer(i % 4, (i + 1) % 4,
+                                          1024.0 * (1 + i % 7), Micros(i)));
+    }
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ---------------------------------------------------------------------------
+// Cluster power-state machine + energy accounting
+// ---------------------------------------------------------------------------
+
+ClusterParams TwoNodeParams() {
+  return ClusterParams::Homogeneous(2, ClusterNodeParams{});
+}
+
+TEST(ClusterTest, StartsAllOnWithHomogeneousNodes) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, ClusterParams::Homogeneous(4, ClusterNodeParams{}));
+  EXPECT_EQ(cluster.num_nodes(), 4);
+  EXPECT_EQ(cluster.NodesOn(), 4);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_TRUE(cluster.IsOn(n));
+    EXPECT_EQ(cluster.machine(n).topology().total_threads(),
+              cluster.machine(0).topology().total_threads());
+  }
+}
+
+TEST(ClusterTest, PowerDownForcesIdleAndBootRestores) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TwoNodeParams());
+  cluster.machine(1).ApplyMachineConfig(
+      MachineConfig::AllOn(cluster.machine(1).topology(), 2.6, 3.0));
+  sim.RunFor(Seconds(1));
+
+  cluster.PowerDown(1);
+  EXPECT_EQ(cluster.state(1), Cluster::NodeState::kOff);
+  EXPECT_EQ(cluster.NodesOn(), 1);
+  EXPECT_EQ(cluster.power_downs(), 1);
+  EXPECT_EQ(cluster.StateSince(1), sim.now());
+
+  bool booted = false;
+  cluster.PowerUp(1, [&] { booted = true; });
+  EXPECT_EQ(cluster.state(1), Cluster::NodeState::kBooting);
+  EXPECT_EQ(cluster.power_ups(), 1);
+  // Not serving-capable until the boot latency elapses.
+  const SimDuration boot = cluster.params().nodes[1].power.boot_latency;
+  sim.RunFor(boot / 2);
+  EXPECT_FALSE(booted);
+  EXPECT_EQ(cluster.state(1), Cluster::NodeState::kBooting);
+  sim.RunFor(boot);
+  EXPECT_TRUE(booted);
+  EXPECT_TRUE(cluster.IsOn(1));
+  EXPECT_EQ(cluster.NodesOn(), 2);
+}
+
+TEST(ClusterTest, RepeatedCyclesFireEachBootCallbackExactlyOnce) {
+  // Down-up-down-up in quick succession: each PowerUp's callback fires
+  // exactly once, at its own boot completion — the boot generation guard
+  // keeps an earlier cycle's pending completion from leaking into a
+  // later one.
+  sim::Simulator sim;
+  Cluster cluster(&sim, TwoNodeParams());
+  const SimDuration boot = cluster.params().nodes[1].power.boot_latency;
+  int first_boots = 0;
+  int second_boots = 0;
+  cluster.PowerDown(1);
+  cluster.PowerUp(1, [&] { ++first_boots; });
+  sim.RunFor(boot + Seconds(1));
+  EXPECT_EQ(first_boots, 1);
+  cluster.PowerDown(1);
+  cluster.PowerUp(1, [&] { ++second_boots; });
+  sim.RunFor(2 * boot + Seconds(1));
+  EXPECT_EQ(first_boots, 1);  // must not re-fire
+  EXPECT_EQ(second_boots, 1);
+  EXPECT_TRUE(cluster.IsOn(1));
+  EXPECT_EQ(cluster.power_ups(), 2);
+  EXPECT_EQ(cluster.power_downs(), 2);
+}
+
+TEST(ClusterTest, OffNodeDrawsStandbyNotMachinePower) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TwoNodeParams());
+  sim.RunFor(Seconds(1));
+  cluster.PowerDown(1);
+  const double e0 = cluster.NodeEnergyJoules(1);
+  sim.RunFor(Seconds(10));
+  const double off_j = cluster.NodeEnergyJoules(1) - e0;
+  const double off_w = cluster.params().nodes[1].power.off_power_w;
+  // Exactly standby power: the machine model's idle RAPL draw (tens of
+  // watts) is excluded while the node is off.
+  EXPECT_NEAR(off_j, off_w * 10.0, 1e-6);
+}
+
+TEST(ClusterTest, BootPhaseChargesBootPower) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TwoNodeParams());
+  cluster.PowerDown(1);
+  sim.RunFor(Seconds(5));
+  const double e0 = cluster.NodeEnergyJoules(1);
+  cluster.PowerUp(1);
+  const SimDuration boot = cluster.params().nodes[1].power.boot_latency;
+  sim.RunFor(boot);
+  const double boot_j = cluster.NodeEnergyJoules(1) - e0;
+  const double boot_w = cluster.params().nodes[1].power.boot_power_w;
+  EXPECT_NEAR(boot_j, boot_w * ToSeconds(boot), 1e-6);
+}
+
+TEST(ClusterTest, OnNodeAddsPlatformOverheadToMachineEnergy) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TwoNodeParams());
+  const double e0 = cluster.NodeEnergyJoules(0);
+  const double m0 = cluster.machine(0).TotalEnergyJoules();
+  sim.RunFor(Seconds(10));
+  const double node_j = cluster.NodeEnergyJoules(0) - e0;
+  const double machine_j = cluster.machine(0).TotalEnergyJoules() - m0;
+  const double overhead_w = cluster.params().nodes[0].power.platform_overhead_w;
+  EXPECT_NEAR(node_j, machine_j + overhead_w * 10.0, 1e-6);
+  EXPECT_GT(machine_j, 0.0);  // idle machines still draw RAPL power
+}
+
+TEST(ClusterTest, TotalIsSumOfNodesAndDeterministic) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, ClusterParams::Homogeneous(3, ClusterNodeParams{}));
+  sim.RunFor(Seconds(2));
+  cluster.PowerDown(2);
+  sim.RunFor(Seconds(3));
+  cluster.PowerUp(2);
+  sim.RunFor(Seconds(30));
+  double sum = 0.0;
+  for (NodeId n = 0; n < 3; ++n) sum += cluster.NodeEnergyJoules(n);
+  EXPECT_NEAR(cluster.TotalEnergyJoules(), sum, 1e-9);
+
+  // Bit-identical on a re-run with the same schedule.
+  sim::Simulator sim2;
+  Cluster cluster2(&sim2, ClusterParams::Homogeneous(3, ClusterNodeParams{}));
+  sim2.RunFor(Seconds(2));
+  cluster2.PowerDown(2);
+  sim2.RunFor(Seconds(3));
+  cluster2.PowerUp(2);
+  sim2.RunFor(Seconds(30));
+  EXPECT_DOUBLE_EQ(cluster.TotalEnergyJoules(), cluster2.TotalEnergyJoules());
+}
+
+// ---------------------------------------------------------------------------
+// Wimpy node parameters
+// ---------------------------------------------------------------------------
+
+TEST(ClusterTest, WimpyNodeIsSmallerSlowerAndCheaper) {
+  const MachineParams brawny = MachineParams::HaswellEp();
+  const MachineParams wimpy = MachineParams::Wimpy();
+  EXPECT_LT(wimpy.topology.total_threads(), brawny.topology.total_threads());
+  const NodePowerParams wp = NodePowerParams::Wimpy();
+  const NodePowerParams bp;
+  EXPECT_LT(wp.platform_overhead_w, bp.platform_overhead_w);
+  EXPECT_LT(wp.off_power_w, bp.off_power_w);
+  EXPECT_LT(wp.boot_power_w, bp.boot_power_w);
+  EXPECT_LT(wp.boot_latency, bp.boot_latency);
+
+  // A wimpy cluster simulates and accounts like a brawny one.
+  sim::Simulator sim;
+  ClusterNodeParams node;
+  node.machine = wimpy;
+  node.power = wp;
+  Cluster cluster(&sim, ClusterParams::Homogeneous(2, node));
+  sim.RunFor(Seconds(5));
+  EXPECT_GT(cluster.TotalEnergyJoules(), 0.0);
+  cluster.PowerDown(1);
+  const double e0 = cluster.NodeEnergyJoules(1);
+  sim.RunFor(Seconds(10));
+  EXPECT_NEAR(cluster.NodeEnergyJoules(1) - e0, wp.off_power_w * 10.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Node transition-cost calibration (cluster-tier meta-calibration)
+// ---------------------------------------------------------------------------
+
+TEST(NodeTransitionCalibrationTest, MeasuresBootEconomics) {
+  sim::Simulator sim;
+  Cluster cluster(&sim, TwoNodeParams());
+  const ecl::NodeTransitionCost cost =
+      ecl::CalibrateNodeTransition(&sim, &cluster, 0);
+  const NodePowerParams& p = cluster.params().nodes[0].power;
+  EXPECT_EQ(cost.boot_latency, p.boot_latency);
+  EXPECT_NEAR(cost.boot_energy_j, p.boot_power_w * ToSeconds(p.boot_latency),
+              1e-9);
+  EXPECT_DOUBLE_EQ(cost.off_power_w, p.off_power_w);
+  // The idle node draws the platform overhead plus a positive machine
+  // idle power; both exceed the off standby draw.
+  EXPECT_GT(cost.on_idle_power_w, p.platform_overhead_w);
+  EXPECT_GT(cost.on_idle_power_w, cost.off_power_w);
+  // Boot power exceeds idle power, so the break-even is strictly
+  // positive: short off periods burn more than they save. This is the
+  // economics behind ClusterEclParams::min_on_time.
+  EXPECT_GT(cost.break_even_off_s, 0.0);
+  const double expect =
+      (p.boot_power_w - cost.on_idle_power_w) * ToSeconds(p.boot_latency) /
+      (cost.on_idle_power_w - p.off_power_w);
+  EXPECT_NEAR(cost.break_even_off_s, expect, 1e-9);
+}
+
+TEST(NodeTransitionCalibrationTest, WimpyBreakEvenIsShorter) {
+  // The microserver boots faster at lower power: its break-even off time
+  // must come out well below the brawny node's, which is why a wimpy
+  // rack can cycle nodes more aggressively.
+  sim::Simulator sim;
+  ClusterNodeParams wimpy;
+  wimpy.machine = MachineParams::Wimpy();
+  wimpy.power = NodePowerParams::Wimpy();
+  ClusterParams params;
+  params.nodes = {ClusterNodeParams{}, wimpy};
+  Cluster cluster(&sim, params);
+  const ecl::NodeTransitionCost brawny =
+      ecl::CalibrateNodeTransition(&sim, &cluster, 0);
+  const ecl::NodeTransitionCost micro =
+      ecl::CalibrateNodeTransition(&sim, &cluster, 1);
+  EXPECT_LT(micro.break_even_off_s, brawny.break_even_off_s);
+}
+
+}  // namespace
+}  // namespace ecldb::hwsim

@@ -344,6 +344,33 @@ TEST(MessageLayerTest, RehomeMovesQueueAndForwardsStaleArrivals) {
   EXPECT_EQ(layer.socket_stats(1).rehome_transfers, 1);
 }
 
+TEST(MessageLayerTest, DoublyStaleArrivalForwardsTwice) {
+  // Two rehomes in quick succession: a message addressed under epoch 0
+  // chases the partition across both moves, forwarded at each stale hop
+  // and never dropped — the same chained re-resolution the cluster tier
+  // relies on when a node-level rehome commits mid-flight.
+  TestPlacement placement({0, 1, 2});
+  MessageLayer layer(3, &placement, MessageLayerParams{});
+  ASSERT_TRUE(layer.Send(1, MakeMsg(0, 7)));  // buffered toward socket 0
+  layer.Rehome(0, 0, 1);
+  placement.home[0] = 1;
+  placement.epoch_value = 1;
+  // The message lands on socket 0, which is stale: it forwards toward
+  // the current home, socket 1.
+  EXPECT_EQ(layer.PumpComm(1), 1u);
+  EXPECT_EQ(layer.socket_stats(0).stale_forwards, 1);
+  // The partition moves again while the forward is in flight...
+  layer.Rehome(0, 1, 2);
+  placement.home[0] = 2;
+  placement.epoch_value = 2;
+  // ...so the forwarded hop is stale too and forwards once more.
+  EXPECT_EQ(layer.PumpComm(0), 1u);
+  EXPECT_EQ(layer.socket_stats(1).stale_forwards, 1);
+  EXPECT_EQ(layer.PumpComm(1), 1u);
+  EXPECT_EQ(layer.router(2)->queue(0)->SizeApprox(), 1u);
+  EXPECT_EQ(layer.PendingApprox(), 1u);
+}
+
 TEST(MessageTest, TypeNames) {
   // Exercised mostly for diagnostics; keep the mapping stable.
   EXPECT_STREQ(MessageTypeName(MessageType::kWorkUnits), "work_units");

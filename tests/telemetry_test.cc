@@ -129,6 +129,47 @@ TEST(RegistryTest, DumpIsSortedAndRepeatable) {
   EXPECT_NE(d1.find("counter zzz/last 3"), std::string::npos);
 }
 
+TEST(RegistryTest, PathPrefixScopesRegistrationsOnly) {
+  // Cluster runs register each node's component metrics under "node{N}/";
+  // the prefix applies at registration time, so lookups and dumps see the
+  // qualified names. Clearing it restores unqualified registration — the
+  // default empty prefix keeps single-node metric names (and golden
+  // dumps) byte-identical.
+  MetricRegistry reg;
+  reg.SetPathPrefix("node0/");
+  Counter a = reg.AddCounter("msg/sends");
+  reg.AddGauge("ecl/pressure", [] { return 0.5; });
+  reg.SetPathPrefix("node1/");
+  Counter b = reg.AddCounter("msg/sends");  // no clash: different node
+  reg.SetPathPrefix("");
+  Counter c = reg.AddCounter("cluster/wakes");
+  a.Add(2);
+  b.Add(5);
+  c.Add(7);
+  EXPECT_EQ(reg.CounterValueByName("node0/msg/sends"), 2);
+  EXPECT_EQ(reg.CounterValueByName("node1/msg/sends"), 5);
+  EXPECT_EQ(reg.CounterValueByName("cluster/wakes"), 7);
+  bool found = true;
+  reg.CounterValueByName("msg/sends", &found);
+  EXPECT_FALSE(found);  // the unqualified name was never registered
+  const std::string dump = reg.Dump();
+  EXPECT_NE(dump.find("counter node0/msg/sends 2"), std::string::npos);
+  EXPECT_NE(dump.find("gauge node0/ecl/pressure"), std::string::npos);
+  EXPECT_NE(dump.find("counter cluster/wakes 7"), std::string::npos);
+}
+
+TEST(TraceTest, PathPrefixScopesLaneRegistration) {
+  TelemetryParams tp;
+  tp.enabled = true;
+  Telemetry tel(tp);
+  tel.SetPathPrefix("node3/");
+  const int lane = tel.trace().RegisterLane("ecl/socket0");
+  tel.SetPathPrefix("");
+  tel.trace().Instant(lane, "ecl", "tick", Micros(1));
+  const std::string json = ChromeTraceJson(tel);
+  EXPECT_NE(json.find("\"name\":\"node3/ecl/socket0\""), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Trace recorder + Chrome export
 // ---------------------------------------------------------------------------
