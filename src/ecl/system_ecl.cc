@@ -27,8 +27,14 @@ void SystemEcl::Tick(int64_t epoch) {
 }
 
 void SystemEcl::Update() {
+  // Demand the entrance refused never shows up in the latency window, so
+  // the shed fraction contributes a pressure floor in every branch.
+  const double shed_floor =
+      shed_signal_ ? std::clamp(params_.shed_pressure_weight * shed_signal_(),
+                                0.0, 1.0)
+                   : 0.0;
   if (latency_->WindowEmpty()) {
-    pressure_ = 0.0;
+    pressure_ = shed_floor;
     ttv_s_ = 1e18;
     return;
   }
@@ -49,7 +55,7 @@ void SystemEcl::Update() {
   const double proximity_pressure = std::clamp(
       (proximity - params_.proximity_onset) / (1.0 - params_.proximity_onset),
       0.0, 1.0);
-  pressure_ = std::max(trend_pressure, proximity_pressure);
+  pressure_ = std::max({trend_pressure, proximity_pressure, shed_floor});
 }
 
 }  // namespace ecldb::ecl

@@ -1,6 +1,8 @@
 #ifndef ECLDB_ECL_SYSTEM_ECL_H_
 #define ECLDB_ECL_SYSTEM_ECL_H_
 
+#include <functional>
+
 #include "common/types.h"
 #include "engine/query.h"
 #include "sim/simulator.h"
@@ -18,6 +20,14 @@ struct SystemEclParams {
   /// Latency proximity (mean/limit) above which pressure starts rising
   /// even without a positive trend.
   double proximity_onset = 0.7;
+  /// Floor on pressure contributed by the admission controller's recent
+  /// shed fraction (pressure >= weight * shed_fraction). Shed queries are
+  /// demand the latency window never sees: without this term, shedding
+  /// that keeps latency healthy would read as "system relaxed" and let the
+  /// ECL widen idling while the entrance is refusing work. Kept below the
+  /// best-effort shed onset so the feedback loop converges (a fully-shed
+  /// best-effort tier alone cannot re-trigger more shedding).
+  double shed_pressure_weight = 0.4;
 };
 
 /// The system-level ECL (paper Section 5.2): monitors the average query
@@ -44,12 +54,20 @@ class SystemEcl {
   /// Recomputes pressure immediately (also called by the periodic tick).
   void Update();
 
+  /// Reduced-demand feedback from admission control: a callable returning
+  /// the recent shed fraction in [0, 1]. Unset (the default, and every
+  /// non-loadgen experiment) leaves Update() exactly as before.
+  void SetShedSignal(std::function<double()> signal) {
+    shed_signal_ = std::move(signal);
+  }
+
  private:
   void Tick(int64_t epoch);
 
   sim::Simulator* simulator_;
   const engine::LatencyTracker* latency_;
   SystemEclParams params_;
+  std::function<double()> shed_signal_;
   bool running_ = false;
   /// Bumped on every Start so a Stop/Start cycle (node power-down and
   /// re-boot at cluster scope) cannot leave two tick chains running.

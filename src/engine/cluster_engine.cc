@@ -65,6 +65,7 @@ void ClusterEngine::Submit(NodeId entry, const QuerySpec& spec) {
     if (sub.work.empty()) {
       sub.profile = spec.profile;
       sub.internal = spec.internal;
+      sub.slo_class = spec.slo_class;
     }
     sub.work.push_back(w);
   }

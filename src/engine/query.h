@@ -45,6 +45,11 @@ struct QuerySpec {
   /// through the normal partition-queue path but is excluded from the
   /// latency statistics and the submitted/completed query counts.
   bool internal = false;
+  /// Service class of the submitting tenant (loadgen::SloClass value), or
+  /// -1 for untagged traffic. Carried through scheduling (and across
+  /// cluster entry-node splits) so completions can be accounted against
+  /// per-class deadlines; the engine itself never branches on it.
+  int8_t slo_class = -1;
 };
 
 /// Collects completed-query latencies: a sliding window for the

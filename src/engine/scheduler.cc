@@ -134,6 +134,7 @@ QueryId Scheduler::Submit(const QuerySpec& spec) {
     state.pending_tasks += MorselsOf(pw);
   }
   state.internal = spec.internal;
+  state.slo_class = spec.slo_class;
   inflight_.emplace(id, state);
   if (!spec.internal) ++queries_submitted_;
 
@@ -243,6 +244,9 @@ void Scheduler::CompleteTask(const msg::Message& m, SimTime now) {
     if (!it->second.internal) {
       latency_.RecordCompletion(it->second.arrival, now);
       query_latency_ms_.Record(ToSeconds(now - it->second.arrival) * 1e3);
+      if (completion_callback_) {
+        completion_callback_(it->second.slo_class, it->second.arrival, now);
+      }
     }
     inflight_.erase(it);
   }

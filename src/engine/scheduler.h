@@ -116,11 +116,22 @@ class Scheduler {
     functional_executor_ = std::move(executor);
   }
 
+  /// Invoked when a non-internal query's last partition task completes,
+  /// with the query's QuerySpec::slo_class (-1 for untagged traffic), its
+  /// arrival time, and the completion time. The loadgen SLO tracker hangs
+  /// off this; unset costs nothing.
+  using CompletionCallback =
+      std::function<void(int8_t slo_class, SimTime arrival, SimTime completion)>;
+  void SetCompletionCallback(CompletionCallback callback) {
+    completion_callback_ = std::move(callback);
+  }
+
  private:
   struct QueryState {
     SimTime arrival = 0;
     int pending_tasks = 0;
     bool internal = false;
+    int8_t slo_class = -1;
   };
 
   void Advance(SimTime t0, SimTime t1);
@@ -183,6 +194,7 @@ class Scheduler {
   std::vector<int64_t> outstanding_morsels_;
   const hwsim::WorkProfile* synthetic_load_ = nullptr;
   FunctionalExecutor functional_executor_;
+  CompletionCallback completion_callback_;
   /// Telemetry latency histograms (unbound handles = inlined no-ops).
   telemetry::HistogramHandle query_latency_ms_;
   std::vector<telemetry::HistogramHandle> partition_latency_ms_;

@@ -1,0 +1,174 @@
+#include "experiment/cluster_rig.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ecldb::experiment {
+
+ClusterRig::ClusterRig(const ClusterWorkloadFactory& factory,
+                       const ClusterRunOptions& options)
+    : options_(options), entry_rng_(options.entry_seed) {
+  simulator_.set_fast_forward(options_.fast_forward);
+  tel_ = options_.telemetry;
+  if (tel_ != nullptr) tel_->Bind(&simulator_);
+
+  cluster_params_ = options_.cluster;
+  cluster_params_.telemetry = tel_;
+  cluster_ = std::make_unique<hwsim::Cluster>(&simulator_, cluster_params_);
+  const int num_nodes = cluster_->num_nodes();
+
+  engine::ClusterEngineParams engine_params = options_.engine;
+  engine_params.telemetry = tel_;
+  cengine_ = std::make_unique<engine::ClusterEngine>(&simulator_,
+                                                     cluster_.get(),
+                                                     engine_params);
+
+  workload_ = factory(&cengine_->node_engine(0));
+  ECLDB_CHECK(workload_ != nullptr);
+
+  capacity_ = options_.capacity_qps;
+  if (capacity_ <= 0.0) {
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      capacity_ += workload::BaselineCapacityQps(
+          cluster_params_.nodes[static_cast<size_t>(n)].machine, *workload_);
+    }
+  }
+
+  // One full ECL stack per node: its socket tier sizes the node's
+  // hardware, its system tier turns the node's latency into pressure.
+  // In-box consolidation stays off — placement is the cluster tier's job
+  // — but the park/backlog hooks are wired so parked sockets wake on
+  // local backlog.
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    ecl::EclParams ecl_params = options_.node_ecl;
+    ecl_params.consolidation.enabled = false;
+    ecl_params.placement_hooks = true;
+    ecl_params.telemetry = tel_;
+    if (tel_ != nullptr) {
+      tel_->SetPathPrefix("node" + std::to_string(n) + "/");
+    }
+    node_ecls_.push_back(std::make_unique<ecl::EnergyControlLoop>(
+        &simulator_, &cengine_->node_engine(n), ecl_params));
+  }
+  if (tel_ != nullptr) tel_->SetPathPrefix("");
+  for (auto& ecl : node_ecls_) ecl->Start();
+
+  if (options_.cluster_ecl.enabled) {
+    ecl::ClusterEclParams ce_params = options_.cluster_ecl;
+    ce_params.telemetry = tel_;
+    auto& node_ecls = node_ecls_;
+    cluster_ecl_ = std::make_unique<ecl::ClusterEcl>(
+        &simulator_, cengine_.get(),
+        [&node_ecls](NodeId n) {
+          ecl::EnergyControlLoop& loop = *node_ecls[static_cast<size_t>(n)];
+          double load = 0.0;
+          for (int s = 0; s < loop.num_sockets(); ++s) {
+            const ecl::SocketEcl& se = loop.socket(s);
+            const double peak = se.profile().PeakPerfScore();
+            if (peak > 0.0) load += se.performance_level() / peak;
+          }
+          return load / loop.num_sockets();
+        },
+        [&node_ecls](NodeId n) {
+          return node_ecls[static_cast<size_t>(n)]->system().pressure();
+        },
+        ce_params);
+    cluster_ecl_->SetNodeHooks(
+        [&node_ecls](NodeId n) { node_ecls[static_cast<size_t>(n)]->Stop(); },
+        [&node_ecls](NodeId n) { node_ecls[static_cast<size_t>(n)]->Start(); });
+    cluster_ecl_->Start();
+  }
+}
+
+void ClusterRig::Prime() {
+  // Prime every node's profiles under synthetic saturation, as the
+  // single-node experiment does.
+  if (options_.prime_duration > 0) {
+    for (NodeId n = 0; n < num_nodes(); ++n) {
+      cengine_->node_engine(n).scheduler().SetSyntheticLoad(
+          &workload_->profile());
+    }
+    simulator_.RunFor(options_.prime_duration);
+    for (NodeId n = 0; n < num_nodes(); ++n) {
+      cengine_->node_engine(n).scheduler().SetSyntheticLoad(nullptr);
+    }
+  }
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    cengine_->node_engine(n).latency().ResetRunStats();
+  }
+}
+
+void ClusterRig::StopEcls() {
+  if (cluster_ecl_ != nullptr) cluster_ecl_->Stop();
+  for (auto& ecl : node_ecls_) ecl->Stop();
+}
+
+NodeId ClusterRig::EntryNodeFor(const engine::QuerySpec& spec) {
+  const NodeId home =
+      cengine_->placement().HomeOf(spec.work.front().partition);
+  if (!options_.any_node_entry) return home;
+  // Placement-oblivious client: uniform over the powered-on nodes (a
+  // front-end balancer only knows liveness, not placement).
+  const int on = cluster_->NodesOn();
+  if (on <= 0) return home;
+  int pick = static_cast<int>(entry_rng_.NextBounded(
+      static_cast<uint64_t>(on)));
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    if (!cluster_->IsOn(n)) continue;
+    if (pick == 0) return n;
+    --pick;
+  }
+  return home;
+}
+
+double ClusterRig::MaxNodePressure() const {
+  double p = 0.0;
+  for (const auto& ecl : node_ecls_) {
+    p = std::max(p, ecl->system().pressure());
+  }
+  return p;
+}
+
+ClusterLoadDriver::ClusterLoadDriver(ClusterRig* rig,
+                                     const workload::LoadProfile* profile,
+                                     const workload::DriverParams& params)
+    : rig_(rig), profile_(profile), params_(params), rng_(params.seed) {
+  ECLDB_CHECK(rig != nullptr && profile != nullptr);
+  ECLDB_CHECK(params.capacity_qps > 0.0);
+}
+
+void ClusterLoadDriver::Start() {
+  start_time_ = rig_->simulator().now();
+  ScheduleNext();
+}
+
+void ClusterLoadDriver::ScheduleNext() {
+  sim::Simulator& simulator = rig_->simulator();
+  const SimTime rel = simulator.now() - start_time_;
+  if (rel >= profile_->duration()) return;
+  const double rate = profile_->LoadAt(rel) * params_.capacity_qps;
+  if (rate <= 1e-9) {
+    simulator.ScheduleAfter(Millis(50), [this] { ScheduleNext(); });
+    return;
+  }
+  const double gap_s =
+      params_.poisson ? rng_.NextExponential(rate) : 1.0 / rate;
+  const SimDuration gap = std::max<SimDuration>(
+      Nanos(100), static_cast<SimDuration>(gap_s * 1e9));
+  simulator.ScheduleAfter(gap, [this] {
+    const SimTime t = rig_->simulator().now() - start_time_;
+    if (t < profile_->duration()) {
+      const engine::QuerySpec spec = rig_->workload().MakeQuery(rng_);
+      if (!spec.work.empty()) {
+        rig_->cengine().Submit(rig_->EntryNodeFor(spec), spec);
+        ++submitted_;
+      }
+    }
+    ScheduleNext();
+  });
+}
+
+}  // namespace ecldb::experiment

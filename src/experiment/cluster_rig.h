@@ -1,0 +1,107 @@
+#ifndef ECLDB_EXPERIMENT_CLUSTER_RIG_H_
+#define ECLDB_EXPERIMENT_CLUSTER_RIG_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "ecl/cluster_ecl.h"
+#include "ecl/ecl.h"
+#include "engine/cluster_engine.h"
+#include "experiment/cluster_trace.h"
+#include "hwsim/cluster.h"
+#include "sim/simulator.h"
+#include "workload/driver.h"
+#include "workload/load_profile.h"
+#include "workload/workload.h"
+
+namespace ecldb::experiment {
+
+/// The shared cluster test rig: N machines + network, the cluster engine,
+/// one full per-node ECL stack, and the cluster ECL on top — everything a
+/// cluster experiment constructs before any load arrives. Extracted from
+/// RunClusterExperiment so the classic trace runner and the loadgen/SLO
+/// runner build byte-identical systems; construction order is load-bearing
+/// (advancer and event registration order fix the simulation).
+class ClusterRig {
+ public:
+  ClusterRig(const ClusterWorkloadFactory& factory,
+             const ClusterRunOptions& options);
+
+  /// Primes every node's energy profiles under synthetic saturation and
+  /// resets the per-node latency run stats (measurement starts clean).
+  void Prime();
+
+  /// Stops the cluster ECL (if any) and every node ECL.
+  void StopEcls();
+
+  /// Entry node for one query under the options' routing mode. Draws from
+  /// the entry Rng only in any-node mode, so home routing never perturbs a
+  /// seeded stream.
+  NodeId EntryNodeFor(const engine::QuerySpec& spec);
+
+  /// Max over the per-node system-ECL pressures (the admission
+  /// controller's cluster-scope pressure signal).
+  double MaxNodePressure() const;
+
+  sim::Simulator& simulator() { return simulator_; }
+  hwsim::Cluster& cluster() { return *cluster_; }
+  engine::ClusterEngine& cengine() { return *cengine_; }
+  workload::Workload& workload() { return *workload_; }
+  double capacity() const { return capacity_; }
+  int num_nodes() const { return cluster_->num_nodes(); }
+  ecl::EnergyControlLoop& node_ecl(NodeId n) {
+    return *node_ecls_[static_cast<size_t>(n)];
+  }
+  ecl::ClusterEcl* cluster_ecl() { return cluster_ecl_.get(); }
+  telemetry::Telemetry* telemetry() { return tel_; }
+  const ClusterRunOptions& options() const { return options_; }
+
+ private:
+  ClusterRunOptions options_;
+  sim::Simulator simulator_;
+  telemetry::Telemetry* tel_ = nullptr;
+  hwsim::ClusterParams cluster_params_;
+  std::unique_ptr<hwsim::Cluster> cluster_;
+  std::unique_ptr<engine::ClusterEngine> cengine_;
+  std::unique_ptr<workload::Workload> workload_;
+  double capacity_ = 0.0;
+  std::vector<std::unique_ptr<ecl::EnergyControlLoop>> node_ecls_;
+  std::unique_ptr<ecl::ClusterEcl> cluster_ecl_;
+  Rng entry_rng_;
+};
+
+/// Open-loop driver for the cluster: same arrival process as
+/// workload::LoadDriver, but each query enters the system through the
+/// rig's routing mode — at its home node by default (partition-aware
+/// client routing — clients know the placement the way the paper's clients
+/// know the socket of a partition), or at a random powered-on node in
+/// any-node mode. Work for partitions that moved since the routing table
+/// was read still crosses the network as a stale forward.
+class ClusterLoadDriver {
+ public:
+  ClusterLoadDriver(ClusterRig* rig, const workload::LoadProfile* profile,
+                    const workload::DriverParams& params);
+
+  void Start();
+
+  int64_t submitted() const { return submitted_; }
+  double OfferedQps(SimTime t) const {
+    return profile_->LoadAt(t - start_time_) * params_.capacity_qps;
+  }
+
+ private:
+  void ScheduleNext();
+
+  ClusterRig* rig_;
+  const workload::LoadProfile* profile_;
+  workload::DriverParams params_;
+  Rng rng_;
+  SimTime start_time_ = 0;
+  int64_t submitted_ = 0;
+};
+
+}  // namespace ecldb::experiment
+
+#endif  // ECLDB_EXPERIMENT_CLUSTER_RIG_H_

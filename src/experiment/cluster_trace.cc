@@ -1,181 +1,33 @@
 #include "experiment/cluster_trace.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
-#include "common/rng.h"
+#include "experiment/cluster_rig.h"
+#include "experiment/drain.h"
 
 namespace ecldb::experiment {
-namespace {
-
-/// Open-loop driver for the cluster: same arrival process as
-/// workload::LoadDriver, but each query enters the system at its home
-/// node (partition-aware client routing — clients know the placement the
-/// way the paper's clients know the socket of a partition). Work for
-/// partitions that moved since the routing table was read still crosses
-/// the network as a stale forward.
-class ClusterLoadDriver {
- public:
-  ClusterLoadDriver(sim::Simulator* simulator, engine::ClusterEngine* engine,
-                    workload::Workload* workload,
-                    const workload::LoadProfile* profile,
-                    const workload::DriverParams& params)
-      : simulator_(simulator),
-        engine_(engine),
-        workload_(workload),
-        profile_(profile),
-        params_(params),
-        rng_(params.seed) {
-    ECLDB_CHECK(params.capacity_qps > 0.0);
-  }
-
-  void Start() {
-    start_time_ = simulator_->now();
-    ScheduleNext();
-  }
-
-  int64_t submitted() const { return submitted_; }
-  double OfferedQps(SimTime t) const {
-    return profile_->LoadAt(t - start_time_) * params_.capacity_qps;
-  }
-
- private:
-  void ScheduleNext() {
-    const SimTime rel = simulator_->now() - start_time_;
-    if (rel >= profile_->duration()) return;
-    const double rate = profile_->LoadAt(rel) * params_.capacity_qps;
-    if (rate <= 1e-9) {
-      simulator_->ScheduleAfter(Millis(50), [this] { ScheduleNext(); });
-      return;
-    }
-    const double gap_s =
-        params_.poisson ? rng_.NextExponential(rate) : 1.0 / rate;
-    const SimDuration gap = std::max<SimDuration>(
-        Nanos(100), static_cast<SimDuration>(gap_s * 1e9));
-    simulator_->ScheduleAfter(gap, [this] {
-      const SimTime t = simulator_->now() - start_time_;
-      if (t < profile_->duration()) {
-        const engine::QuerySpec spec = workload_->MakeQuery(rng_);
-        if (!spec.work.empty()) {
-          const NodeId entry =
-              engine_->placement().HomeOf(spec.work.front().partition);
-          engine_->Submit(entry, spec);
-          ++submitted_;
-        }
-      }
-      ScheduleNext();
-    });
-  }
-
-  sim::Simulator* simulator_;
-  engine::ClusterEngine* engine_;
-  workload::Workload* workload_;
-  const workload::LoadProfile* profile_;
-  workload::DriverParams params_;
-  Rng rng_;
-  SimTime start_time_ = 0;
-  int64_t submitted_ = 0;
-};
-
-}  // namespace
 
 ClusterRunResult RunClusterExperiment(const ClusterWorkloadFactory& factory,
                                       const workload::LoadProfile& profile,
                                       const ClusterRunOptions& options) {
-  sim::Simulator simulator;
-  simulator.set_fast_forward(options.fast_forward);
-  telemetry::Telemetry* const tel = options.telemetry;
-  if (tel != nullptr) tel->Bind(&simulator);
+  ClusterRig rig(factory, options);
+  sim::Simulator& simulator = rig.simulator();
+  hwsim::Cluster& cluster = rig.cluster();
+  engine::ClusterEngine& cengine = rig.cengine();
+  telemetry::Telemetry* const tel = rig.telemetry();
+  const int num_nodes = rig.num_nodes();
+  const double capacity = rig.capacity();
 
-  hwsim::ClusterParams cluster_params = options.cluster;
-  cluster_params.telemetry = tel;
-  hwsim::Cluster cluster(&simulator, cluster_params);
-  const int num_nodes = cluster.num_nodes();
-
-  engine::ClusterEngineParams engine_params = options.engine;
-  engine_params.telemetry = tel;
-  engine::ClusterEngine cengine(&simulator, &cluster, engine_params);
-
-  std::unique_ptr<workload::Workload> workload =
-      factory(&cengine.node_engine(0));
-  ECLDB_CHECK(workload != nullptr);
-
-  double capacity = options.capacity_qps;
-  if (capacity <= 0.0) {
-    for (NodeId n = 0; n < num_nodes; ++n) {
-      capacity += workload::BaselineCapacityQps(
-          cluster_params.nodes[static_cast<size_t>(n)].machine, *workload);
-    }
-  }
-
-  // One full ECL stack per node: its socket tier sizes the node's
-  // hardware, its system tier turns the node's latency into pressure.
-  // In-box consolidation stays off — placement is the cluster tier's job
-  // — but the park/backlog hooks are wired so parked sockets wake on
-  // local backlog.
-  std::vector<std::unique_ptr<ecl::EnergyControlLoop>> node_ecls;
-  for (NodeId n = 0; n < num_nodes; ++n) {
-    ecl::EclParams ecl_params = options.node_ecl;
-    ecl_params.consolidation.enabled = false;
-    ecl_params.placement_hooks = true;
-    ecl_params.telemetry = tel;
-    if (tel != nullptr) {
-      tel->SetPathPrefix("node" + std::to_string(n) + "/");
-    }
-    node_ecls.push_back(std::make_unique<ecl::EnergyControlLoop>(
-        &simulator, &cengine.node_engine(n), ecl_params));
-  }
-  if (tel != nullptr) tel->SetPathPrefix("");
-  for (auto& ecl : node_ecls) ecl->Start();
-
-  std::unique_ptr<ecl::ClusterEcl> cluster_ecl;
-  if (options.cluster_ecl.enabled) {
-    ecl::ClusterEclParams ce_params = options.cluster_ecl;
-    ce_params.telemetry = tel;
-    cluster_ecl = std::make_unique<ecl::ClusterEcl>(
-        &simulator, &cengine,
-        [&node_ecls](NodeId n) {
-          ecl::EnergyControlLoop& loop = *node_ecls[static_cast<size_t>(n)];
-          double load = 0.0;
-          for (int s = 0; s < loop.num_sockets(); ++s) {
-            const ecl::SocketEcl& se = loop.socket(s);
-            const double peak = se.profile().PeakPerfScore();
-            if (peak > 0.0) load += se.performance_level() / peak;
-          }
-          return load / loop.num_sockets();
-        },
-        [&node_ecls](NodeId n) {
-          return node_ecls[static_cast<size_t>(n)]->system().pressure();
-        },
-        ce_params);
-    cluster_ecl->SetNodeHooks(
-        [&node_ecls](NodeId n) { node_ecls[static_cast<size_t>(n)]->Stop(); },
-        [&node_ecls](NodeId n) { node_ecls[static_cast<size_t>(n)]->Start(); });
-    cluster_ecl->Start();
-  }
-
-  // Prime every node's profiles under synthetic saturation, as the
-  // single-node experiment does.
-  if (options.prime_duration > 0) {
-    for (NodeId n = 0; n < num_nodes; ++n) {
-      cengine.node_engine(n).scheduler().SetSyntheticLoad(&workload->profile());
-    }
-    simulator.RunFor(options.prime_duration);
-    for (NodeId n = 0; n < num_nodes; ++n) {
-      cengine.node_engine(n).scheduler().SetSyntheticLoad(nullptr);
-    }
-  }
-  for (NodeId n = 0; n < num_nodes; ++n) {
-    cengine.node_engine(n).latency().ResetRunStats();
-  }
+  rig.Prime();
 
   workload::DriverParams driver_params;
   driver_params.capacity_qps = capacity;
   driver_params.seed = options.driver_seed;
-  ClusterLoadDriver driver(&simulator, &cengine, workload.get(), &profile,
-                           driver_params);
+  ClusterLoadDriver driver(&rig, &profile, driver_params);
 
   ClusterRunResult result;
   result.capacity_qps = capacity;
@@ -235,17 +87,9 @@ ClusterRunResult RunClusterExperiment(const ClusterWorkloadFactory& factory,
   simulator.RunUntil(run_end);
   if (tel != nullptr) tel->StopSampler();
   const double e1 = cluster.TotalEnergyJoules();
-  // Drain until every submitted query has completed, so arms that share a
-  // driver seed report equal completions no matter how much backlog each
-  // policy carried past the trace end. The energy window stays
-  // [run_start, run_end]; the queueing cost of a late wake shows up in the
-  // latency tail, not as truncated work. Capped in case a query is ever
-  // lost outright — a policy bug the completion counts then expose.
-  const SimTime drain_deadline = simulator.now() + Seconds(120);
-  while (cengine.CompletedQueries() < driver.submitted() &&
-         simulator.now() < drain_deadline) {
-    simulator.RunFor(Seconds(1));
-  }
+  DrainToCompletion(
+      simulator, [&cengine] { return cengine.CompletedQueries(); },
+      driver.submitted());
 
   result.duration_s = ToSeconds(profile.duration());
   result.energy_j = e1 - e0;
@@ -276,8 +120,7 @@ ClusterRunResult RunClusterExperiment(const ClusterWorkloadFactory& factory,
   result.remote_sends = cengine.remote_sends();
   result.stale_forwards = cengine.stale_forwards();
 
-  if (cluster_ecl != nullptr) cluster_ecl->Stop();
-  for (auto& ecl : node_ecls) ecl->Stop();
+  rig.StopEcls();
   if (tel != nullptr) result.telemetry_dump = tel->registry().Dump();
   return result;
 }

@@ -34,6 +34,15 @@ struct ClusterRunOptions {
   /// baseline capacities.
   double capacity_qps = 0.0;
   bool fast_forward = true;
+  /// Entry-node routing of the open-loop drivers. Default (false): every
+  /// query enters at the home node of its first partition (partition-aware
+  /// clients). True: queries enter at a uniformly random powered-on node —
+  /// placement-oblivious clients — so remote sends and stale-epoch
+  /// forwarding are exercised on every query, not only around migrations.
+  bool any_node_entry = false;
+  /// Seed of the entry-node picks (only drawn when any_node_entry is on,
+  /// so the default keeps the arrival/query streams bit-identical).
+  uint64_t entry_seed = 171717;
   /// Optional telemetry; per-node layers register under "node{N}/",
   /// cluster-scope metrics unprefixed. Same lifetime rules as
   /// RunOptions::telemetry.

@@ -1,0 +1,15 @@
+#include "experiment/drain.h"
+
+namespace ecldb::experiment {
+
+bool DrainToCompletion(sim::Simulator& simulator,
+                       const std::function<int64_t()>& completed,
+                       int64_t submitted, SimDuration cap) {
+  const SimTime deadline = simulator.now() + cap;
+  while (completed() < submitted && simulator.now() < deadline) {
+    simulator.RunFor(Seconds(1));
+  }
+  return completed() >= submitted;
+}
+
+}  // namespace ecldb::experiment

@@ -1,0 +1,25 @@
+#ifndef ECLDB_EXPERIMENT_DRAIN_H_
+#define ECLDB_EXPERIMENT_DRAIN_H_
+
+#include <functional>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace ecldb::experiment {
+
+/// Runs the simulator past the trace end until every submitted query has
+/// completed, so arms sharing a driver seed report equal completions no
+/// matter how much backlog each policy carried past the end. Energy
+/// windows are measured before draining; the queueing cost of a late wake
+/// shows up in the latency tail, not as truncated work. Capped (default
+/// 120 s) in case a query is ever lost outright — a policy bug the
+/// completion counts then expose. Returns true when fully drained.
+bool DrainToCompletion(sim::Simulator& simulator,
+                       const std::function<int64_t()>& completed,
+                       int64_t submitted,
+                       SimDuration cap = Seconds(120));
+
+}  // namespace ecldb::experiment
+
+#endif  // ECLDB_EXPERIMENT_DRAIN_H_

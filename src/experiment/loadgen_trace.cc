@@ -1,0 +1,232 @@
+#include "experiment/loadgen_trace.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "ecl/baseline.h"
+#include "experiment/cluster_rig.h"
+#include "experiment/drain.h"
+
+namespace ecldb::experiment {
+namespace {
+
+/// Folds the loadgen's per-class accounting into the result struct
+/// (shared by the single-node and cluster runners).
+void FillLoadgenStats(const loadgen::LoadGen& lg, SloRunResult* result) {
+  const loadgen::SloTracker& slo = lg.slo();
+  const loadgen::AdmissionController& adm = lg.admission();
+  result->arrivals = lg.arrivals();
+  result->admitted = adm.total_admitted();
+  result->shed = adm.total_shed();
+  result->completed = slo.total_completed();
+  double mean_weighted = 0.0;
+  for (int i = 0; i < loadgen::kNumSloClasses; ++i) {
+    const auto c = static_cast<loadgen::SloClass>(i);
+    SloClassStats& out = result->classes[static_cast<size_t>(i)];
+    out.admitted = adm.admitted(c);
+    out.shed = adm.shed(c);
+    out.arrivals = out.admitted + out.shed;
+    out.completed = slo.completed(c);
+    out.violations = slo.violations(c);
+    out.mean_ms = slo.latency(c).Mean();
+    out.tail_ms = slo.TailLatencyMs(c);
+    out.deadline_ms = slo.class_params(c).deadline_ms;
+    out.target_percentile = slo.class_params(c).target_percentile;
+    out.slo_met = slo.SloMet(c);
+    mean_weighted += static_cast<double>(out.completed) * out.mean_ms;
+    result->p99_ms =
+        std::max(result->p99_ms, slo.latency(c).Percentile(99));
+  }
+  if (result->completed > 0) {
+    result->mean_ms = mean_weighted / static_cast<double>(result->completed);
+  }
+}
+
+}  // namespace
+
+SloRunResult RunSloExperiment(const WorkloadFactory& factory,
+                              const SloRunOptions& options) {
+  const RunOptions& run = options.run;
+  sim::Simulator simulator;
+  simulator.set_fast_forward(run.fast_forward);
+  telemetry::Telemetry* const tel = run.telemetry;
+  if (tel != nullptr) tel->Bind(&simulator);
+  hwsim::Machine machine(&simulator, run.machine);
+  if (tel != nullptr) machine.AttachTelemetry(tel);
+  engine::EngineParams engine_params = run.engine;
+  if (tel != nullptr) engine_params.telemetry = tel;
+  engine::Engine engine(&simulator, &machine, engine_params);
+  std::unique_ptr<workload::Workload> workload = factory(&engine);
+  ECLDB_CHECK(workload != nullptr);
+
+  const double capacity =
+      run.capacity_qps > 0.0
+          ? run.capacity_qps
+          : workload::BaselineCapacityQps(run.machine, *workload);
+
+  ecl::BaselineController baseline(&machine);
+  std::unique_ptr<ecl::EnergyControlLoop> loop;
+  if (run.mode == ControlMode::kEcl) {
+    ecl::EclParams ecl_params = run.ecl;
+    if (tel != nullptr) ecl_params.telemetry = tel;
+    loop = std::make_unique<ecl::EnergyControlLoop>(&simulator, &engine,
+                                                    ecl_params);
+    loop->Start();
+  } else {
+    baseline.Start();
+  }
+  if (run.prime_duration > 0) {
+    engine.scheduler().SetSyntheticLoad(&workload->profile());
+    simulator.RunFor(run.prime_duration);
+    engine.scheduler().SetSyntheticLoad(nullptr);
+  }
+  engine.latency().ResetRunStats();
+
+  loadgen::LoadGenParams lg_params = options.loadgen;
+  if (lg_params.telemetry == nullptr) lg_params.telemetry = tel;
+  loadgen::LoadGen lg(&simulator, workload.get(), lg_params);
+  lg.NormalizeToCapacity(capacity, options.total_load);
+  lg.SetSubmitFn(
+      [&engine](engine::QuerySpec&& spec) { engine.Submit(spec); });
+  engine.scheduler().SetCompletionCallback(
+      [&lg](int8_t cls, SimTime arrival, SimTime completion) {
+        lg.OnQueryComplete(cls, arrival, completion);
+      });
+  if (options.admission_enabled && loop != nullptr) {
+    ecl::SystemEcl& system = loop->system();
+    lg.admission().SetPressureSource(
+        [&system] { return system.pressure(); });
+    system.SetShedSignal([&lg, &simulator] {
+      return lg.admission().RecentShedFraction(simulator.now());
+    });
+  }
+
+  SloRunResult result;
+  result.capacity_qps = capacity;
+  const SimTime run_start = simulator.now();
+  const double e0 = machine.TotalEnergyJoules();
+  lg.Start();
+
+  const hwsim::Topology& topo = run.machine.topology;
+  const SimTime run_end = run_start + options.loadgen.duration;
+  double sampler_last_energy = machine.TotalEnergyJoules();
+  if (tel != nullptr) tel->StartSampler(run_start);
+  for (SimTime t = run_start + run.sample_period; t <= run_end;
+       t += run.sample_period) {
+    simulator.Schedule(t, [&, t] {
+      SloSample s;
+      s.t_s = ToSeconds(t - run_start);
+      s.offered_qps = lg.OfferedQps(t);
+      const double e = machine.TotalEnergyJoules();
+      s.power_w = (e - sampler_last_energy) / ToSeconds(run.sample_period);
+      sampler_last_energy = e;
+      s.latency_window_ms = engine.latency().WindowMeanMs();
+      if (loop != nullptr) s.pressure = loop->system().pressure();
+      s.shed_fraction = lg.admission().RecentShedFraction(t);
+      for (SocketId sk = 0; sk < topo.num_sockets; ++sk) {
+        s.width += machine.requested_config(sk).ActiveThreadCount();
+      }
+      result.series.push_back(s);
+    });
+  }
+
+  simulator.RunUntil(run_end);
+  if (tel != nullptr) tel->StopSampler();
+  const double e1 = machine.TotalEnergyJoules();
+  result.drained = DrainToCompletion(
+      simulator, [&lg] { return lg.slo().total_completed(); },
+      lg.submitted());
+
+  result.duration_s = ToSeconds(options.loadgen.duration);
+  result.energy_j = e1 - e0;
+  result.avg_power_w = result.energy_j / result.duration_s;
+  FillLoadgenStats(lg, &result);
+  if (loop != nullptr) loop->Stop();
+  if (tel != nullptr) result.telemetry_dump = tel->registry().Dump();
+  return result;
+}
+
+SloRunResult RunClusterSloExperiment(const ClusterWorkloadFactory& factory,
+                                     const ClusterSloRunOptions& options) {
+  ClusterRig rig(factory, options.cluster);
+  sim::Simulator& simulator = rig.simulator();
+  hwsim::Cluster& cluster = rig.cluster();
+  engine::ClusterEngine& cengine = rig.cengine();
+  telemetry::Telemetry* const tel = rig.telemetry();
+  const int num_nodes = rig.num_nodes();
+
+  rig.Prime();
+
+  loadgen::LoadGenParams lg_params = options.loadgen;
+  if (lg_params.telemetry == nullptr) lg_params.telemetry = tel;
+  loadgen::LoadGen lg(&simulator, &rig.workload(), lg_params);
+  lg.NormalizeToCapacity(rig.capacity(), options.total_load);
+  lg.SetSubmitFn([&rig, &cengine](engine::QuerySpec&& spec) {
+    if (spec.work.empty()) return;
+    cengine.Submit(rig.EntryNodeFor(spec), spec);
+  });
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    cengine.node_engine(n).scheduler().SetCompletionCallback(
+        [&lg](int8_t cls, SimTime arrival, SimTime completion) {
+          lg.OnQueryComplete(cls, arrival, completion);
+        });
+  }
+  if (options.admission_enabled) {
+    lg.admission().SetPressureSource(
+        [&rig] { return rig.MaxNodePressure(); });
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      rig.node_ecl(n).system().SetShedSignal([&lg, &simulator] {
+        return lg.admission().RecentShedFraction(simulator.now());
+      });
+    }
+  }
+
+  SloRunResult result;
+  result.capacity_qps = rig.capacity();
+  const SimTime run_start = simulator.now();
+  const double e0 = cluster.TotalEnergyJoules();
+  lg.Start();
+
+  const SimTime run_end = run_start + options.loadgen.duration;
+  double sampler_last_energy = cluster.TotalEnergyJoules();
+  if (tel != nullptr) tel->StartSampler(run_start);
+  const SimDuration period = options.cluster.sample_period;
+  for (SimTime t = run_start + period; t <= run_end; t += period) {
+    simulator.Schedule(t, [&, t] {
+      SloSample s;
+      s.t_s = ToSeconds(t - run_start);
+      s.offered_qps = lg.OfferedQps(t);
+      const double e = cluster.TotalEnergyJoules();
+      s.power_w = (e - sampler_last_energy) / ToSeconds(period);
+      sampler_last_energy = e;
+      for (NodeId n = 0; n < num_nodes; ++n) {
+        s.latency_window_ms =
+            std::max(s.latency_window_ms,
+                     cengine.node_engine(n).latency().WindowMeanMs());
+      }
+      s.pressure = rig.MaxNodePressure();
+      s.shed_fraction = lg.admission().RecentShedFraction(t);
+      s.width = cluster.NodesOn();
+      result.series.push_back(s);
+    });
+  }
+
+  simulator.RunUntil(run_end);
+  if (tel != nullptr) tel->StopSampler();
+  const double e1 = cluster.TotalEnergyJoules();
+  result.drained = DrainToCompletion(
+      simulator, [&lg] { return lg.slo().total_completed(); },
+      lg.submitted());
+
+  result.duration_s = ToSeconds(options.loadgen.duration);
+  result.energy_j = e1 - e0;
+  result.avg_power_w = result.energy_j / result.duration_s;
+  FillLoadgenStats(lg, &result);
+  rig.StopEcls();
+  if (tel != nullptr) result.telemetry_dump = tel->registry().Dump();
+  return result;
+}
+
+}  // namespace ecldb::experiment

@@ -1,0 +1,100 @@
+#ifndef ECLDB_EXPERIMENT_LOADGEN_TRACE_H_
+#define ECLDB_EXPERIMENT_LOADGEN_TRACE_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "experiment/cluster_trace.h"
+#include "experiment/experiment.h"
+#include "loadgen/loadgen.h"
+
+namespace ecldb::experiment {
+
+/// One SLO class's outcome over a run.
+struct SloClassStats {
+  int64_t arrivals = 0;
+  int64_t admitted = 0;
+  int64_t shed = 0;
+  int64_t completed = 0;
+  int64_t violations = 0;
+  double mean_ms = 0.0;
+  /// Latency at the class's target percentile (e.g. premium p99.9), ms.
+  double tail_ms = 0.0;
+  double deadline_ms = 0.0;
+  double target_percentile = 0.0;
+  bool slo_met = true;
+};
+
+/// One sample of the SLO-run time series. `width` is the machine's active
+/// hardware threads (single-node) or powered-on nodes (cluster) — the
+/// knob the ECL narrows when shedding reduces visible demand.
+struct SloSample {
+  double t_s = 0.0;
+  double offered_qps = 0.0;
+  double power_w = 0.0;
+  double latency_window_ms = 0.0;
+  double pressure = 0.0;
+  double shed_fraction = 0.0;
+  int width = 0;
+};
+
+struct SloRunResult {
+  double duration_s = 0.0;
+  /// Energy over the measured window [start, start + duration], joules.
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  double capacity_qps = 0.0;
+  int64_t arrivals = 0;
+  int64_t admitted = 0;
+  int64_t shed = 0;
+  int64_t completed = 0;
+  double mean_ms = 0.0;
+  double p99_ms = 0.0;
+  std::array<SloClassStats, loadgen::kNumSloClasses> classes;
+  std::vector<SloSample> series;
+  std::string telemetry_dump;
+  /// False when the post-trace drain hit its cap with queries missing.
+  bool drained = true;
+};
+
+struct SloRunOptions {
+  /// Machine/engine/ECL construction knobs; the mode, priming, sampling
+  /// and fast-forward semantics of RunLoadExperiment apply unchanged. The
+  /// classic load profile is replaced by the loadgen tenants below.
+  RunOptions run;
+  loadgen::LoadGenParams loadgen;
+  /// Summed nominal offered load (at traffic-shape multiplier 1.0) as a
+  /// fraction of the all-on baseline capacity.
+  double total_load = 0.5;
+  /// Wires pressure-driven shedding and the shed-aware ECL feedback. Off:
+  /// every arrival is admitted (the "no admission control" arm) and the
+  /// system ECL runs exactly as in non-loadgen experiments.
+  bool admission_enabled = true;
+};
+
+/// Runs one single-node SLO-tier experiment: the RunLoadExperiment system
+/// stack, driven by the open-loop multi-tenant traffic subsystem instead
+/// of a LoadProfile. Deterministic for fixed options.
+SloRunResult RunSloExperiment(const WorkloadFactory& factory,
+                              const SloRunOptions& options);
+
+struct ClusterSloRunOptions {
+  /// Cluster construction knobs, including entry-node routing
+  /// (any_node_entry) — shared with RunClusterExperiment via ClusterRig.
+  ClusterRunOptions cluster;
+  loadgen::LoadGenParams loadgen;
+  double total_load = 0.5;
+  bool admission_enabled = true;
+};
+
+/// Cluster analogue: the ClusterRig system stack under loadgen traffic.
+/// Admission pressure is the max over the per-node system-ECL pressures,
+/// and the shed signal feeds back into every node's system ECL.
+SloRunResult RunClusterSloExperiment(const ClusterWorkloadFactory& factory,
+                                     const ClusterSloRunOptions& options);
+
+}  // namespace ecldb::experiment
+
+#endif  // ECLDB_EXPERIMENT_LOADGEN_TRACE_H_

@@ -1,0 +1,69 @@
+#include "loadgen/arrival.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecldb::loadgen {
+
+ArrivalProcess::ArrivalProcess(const ArrivalParams& params,
+                               const TrafficShape* shape, uint64_t seed)
+    : params_(params), shape_(shape), rng_(seed) {
+  ECLDB_CHECK(shape != nullptr);
+  ECLDB_CHECK(params.num_users > 0);
+  ECLDB_CHECK(params.per_user_qps > 0.0);
+  if (params_.kind == ArrivalKind::kMmpp) {
+    ECLDB_CHECK(!params_.mmpp.state_multipliers.empty());
+    ECLDB_CHECK(params_.mmpp.switch_rate_hz > 0.0);
+  }
+}
+
+double ArrivalProcess::NominalRateAt(SimTime t) const {
+  return static_cast<double>(params_.num_users) * params_.per_user_qps *
+         rate_scale_ * shape_->MultiplierAt(t);
+}
+
+double ArrivalProcess::RateAt(SimTime t) const {
+  double rate = NominalRateAt(t);
+  if (params_.kind == ArrivalKind::kMmpp) {
+    rate *= params_.mmpp.state_multipliers[static_cast<size_t>(state_)];
+  }
+  return rate;
+}
+
+ArrivalProcess::Event ArrivalProcess::Next(SimTime t) {
+  const double rate = RateAt(t);
+  // Dormant tenant (night trough, rate-scale 0): poll the shape again in
+  // 50 ms rather than drawing an astronomically long gap that would jump
+  // past the next shape edge.
+  const double arrival_gap_s =
+      rate > 1e-9 ? rng_.NextExponential(rate) : 0.050;
+
+  Event e;
+  if (params_.kind == ArrivalKind::kMmpp &&
+      params_.mmpp.state_multipliers.size() > 1) {
+    const double switch_gap_s =
+        rng_.NextExponential(params_.mmpp.switch_rate_hz);
+    if (switch_gap_s < arrival_gap_s) {
+      // The modulating chain fires first: advance it (uniform over the
+      // other states — a symmetric switch chain with uniform stationary
+      // distribution) and report the internal event.
+      const int others =
+          static_cast<int>(params_.mmpp.state_multipliers.size()) - 1;
+      int next = static_cast<int>(rng_.NextBounded(
+          static_cast<uint64_t>(others)));
+      if (next >= state_) ++next;
+      state_ = next;
+      e.gap = std::max<SimDuration>(Nanos(100), FromSeconds(switch_gap_s));
+      e.is_arrival = false;
+      return e;
+    }
+  }
+  const double gap_s = rate > 1e-9 ? std::min(arrival_gap_s, 0.050) : 0.050;
+  e.gap = std::max<SimDuration>(Nanos(100), FromSeconds(gap_s));
+  // A capped gap with no rate is a shape re-check, not an arrival.
+  e.is_arrival = rate > 1e-9 && arrival_gap_s <= 0.050;
+  return e;
+}
+
+}  // namespace ecldb::loadgen

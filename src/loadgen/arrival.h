@@ -1,0 +1,92 @@
+#ifndef ECLDB_LOADGEN_ARRIVAL_H_
+#define ECLDB_LOADGEN_ARRIVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "loadgen/traffic_shape.h"
+
+namespace ecldb::loadgen {
+
+/// Statistical family of a tenant's aggregated arrival process.
+enum class ArrivalKind {
+  /// Superposition of num_users independent thin Poisson streams — itself
+  /// a Poisson process at the aggregate rate. This is what makes millions
+  /// of simulated users cheap: one exponential draw per *query*, not per
+  /// user, with identical statistics.
+  kPoisson,
+  /// Markov-modulated Poisson process: a continuous-time state chain
+  /// scales the aggregate rate (bursty think-time correlation across the
+  /// user population — sessions clustering on content, not independent
+  /// clickers). Burstier than Poisson at the same mean.
+  kMmpp,
+};
+
+struct MmppParams {
+  /// Rate multiplier per modulating state. Defaults give a quiet and a hot
+  /// state with mean 1 under the uniform stationary distribution of a
+  /// symmetric switch chain.
+  std::vector<double> state_multipliers = {0.4, 1.6};
+  /// State-switch rate (per second); dwell times are exponential.
+  double switch_rate_hz = 0.2;
+};
+
+struct ArrivalParams {
+  /// Simulated user population behind this process.
+  int64_t num_users = 1'000'000;
+  /// Nominal sustained request rate of one user (queries/s). The aggregate
+  /// nominal rate is num_users * per_user_qps; experiment drivers rescale
+  /// it onto machine capacity via ArrivalProcess::set_rate_scale.
+  double per_user_qps = 0.001;
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  MmppParams mmpp;
+};
+
+/// One tenant's open-loop arrival process: aggregated Poisson or MMPP,
+/// modulated by a TrafficShape. Event-count cost is O(arrivals), never
+/// O(users). Deterministic for a fixed seed: the (gap, is_arrival) stream
+/// depends only on the params, the shape, and the draw sequence.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalParams& params, const TrafficShape* shape,
+                 uint64_t seed);
+
+  /// Multiplies every rate (capacity normalization; default 1).
+  void set_rate_scale(double scale) { rate_scale_ = scale; }
+
+  /// Aggregate arrival rate (queries/s) at trace-relative time t, including
+  /// shape and current MMPP state.
+  double RateAt(SimTime t) const;
+  /// Rate excluding the MMPP modulation (reporting: the offered-load curve
+  /// an operator would predict from the shape alone).
+  double NominalRateAt(SimTime t) const;
+
+  struct Event {
+    SimDuration gap = 0;
+    /// True: a query arrives after `gap`. False: the MMPP chain switches
+    /// state after `gap` (internal event; caller just asks again).
+    bool is_arrival = true;
+  };
+
+  /// Draws the next event after trace-relative time t. Rates follow the
+  /// shape at draw time (the standard piecewise approximation for
+  /// inhomogeneous processes; exact for piecewise-constant shapes away
+  /// from edges). Gaps are floored at 100 ns and capped at 50 ms when the
+  /// rate is ~0 so a dormant tenant re-checks its shape periodically.
+  Event Next(SimTime t);
+
+  int mmpp_state() const { return state_; }
+
+ private:
+  ArrivalParams params_;
+  const TrafficShape* shape_;
+  Rng rng_;
+  double rate_scale_ = 1.0;
+  int state_ = 0;  // MMPP modulating state (kPoisson: always 0)
+};
+
+}  // namespace ecldb::loadgen
+
+#endif  // ECLDB_LOADGEN_ARRIVAL_H_

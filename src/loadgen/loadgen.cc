@@ -1,0 +1,136 @@
+#include "loadgen/loadgen.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ecldb::loadgen {
+
+namespace {
+
+/// SplitMix64 step: decorrelates the per-tenant, per-stream seeds derived
+/// from one user-facing seed.
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + stream * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+SloParams SloWithTelemetry(SloParams p, telemetry::Telemetry* tel) {
+  if (p.telemetry == nullptr) p.telemetry = tel;
+  return p;
+}
+
+AdmissionParams AdmissionWithTelemetry(AdmissionParams p,
+                                       telemetry::Telemetry* tel) {
+  if (p.telemetry == nullptr) p.telemetry = tel;
+  return p;
+}
+
+}  // namespace
+
+LoadGen::Tenant::Tenant(TenantSpec s, uint64_t arrival_seed,
+                        uint64_t query_seed, uint64_t coin_seed)
+    : spec(std::move(s)),
+      shape(MakeTrafficShape(spec.shapes)),
+      arrivals(std::make_unique<ArrivalProcess>(spec.arrival, shape.get(),
+                                                arrival_seed)),
+      query_rng(query_seed),
+      coin_rng(coin_seed) {}
+
+LoadGen::LoadGen(sim::Simulator* simulator, workload::Workload* workload,
+                 const LoadGenParams& params)
+    : simulator_(simulator),
+      workload_(workload),
+      params_(params),
+      slo_(SloWithTelemetry(params.slo, params.telemetry)),
+      admission_(AdmissionWithTelemetry(params.admission, params.telemetry)) {
+  ECLDB_CHECK(simulator != nullptr && workload != nullptr);
+  ECLDB_CHECK_MSG(!params_.tenants.empty(), "LoadGen needs >= 1 tenant");
+  ECLDB_CHECK(params_.duration > 0);
+  tenants_.reserve(params_.tenants.size());
+  for (size_t i = 0; i < params_.tenants.size(); ++i) {
+    const TenantSpec& spec = params_.tenants[i];
+    ECLDB_CHECK(spec.weight > 0.0);
+    ECLDB_CHECK(spec.arrival.num_users > 0 && spec.arrival.per_user_qps > 0.0);
+    tenants_.emplace_back(spec, MixSeed(params_.seed, 3 * i + 1),
+                          MixSeed(params_.seed, 3 * i + 2),
+                          MixSeed(params_.seed, 3 * i + 3));
+  }
+  if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
+    telemetry::MetricRegistry& reg = tel->registry();
+    reg.AddCounterFn("loadgen/arrivals", [this] { return arrivals_; });
+    reg.AddCounterFn("loadgen/submitted", [this] { return submitted_; });
+    reg.AddGauge("loadgen/offered_qps",
+                 [this, tel] { return OfferedQps(tel->now()); });
+  }
+}
+
+void LoadGen::NormalizeToCapacity(double capacity_qps, double total_load) {
+  ECLDB_CHECK(capacity_qps > 0.0 && total_load > 0.0);
+  double weight_sum = 0.0;
+  for (const Tenant& t : tenants_) weight_sum += t.spec.weight;
+  for (Tenant& t : tenants_) {
+    const double nominal =
+        static_cast<double>(t.spec.arrival.num_users) *
+        t.spec.arrival.per_user_qps;
+    const double target =
+        total_load * capacity_qps * t.spec.weight / weight_sum;
+    t.arrivals->set_rate_scale(target / nominal);
+  }
+}
+
+void LoadGen::Start() {
+  ECLDB_CHECK_MSG(static_cast<bool>(submit_), "SetSubmitFn before Start");
+  ECLDB_CHECK_MSG(!started_, "LoadGen started twice");
+  started_ = true;
+  start_time_ = simulator_->now();
+  for (size_t i = 0; i < tenants_.size(); ++i) ScheduleNext(i);
+}
+
+void LoadGen::ScheduleNext(size_t i) {
+  const SimTime rel = simulator_->now() - start_time_;
+  if (rel >= params_.duration) return;
+  const ArrivalProcess::Event ev = tenants_[i].arrivals->Next(rel);
+  simulator_->ScheduleAfter(ev.gap, [this, i, arrival = ev.is_arrival] {
+    const SimTime t = simulator_->now() - start_time_;
+    if (t < params_.duration && arrival) OnArrival(i);
+    ScheduleNext(i);
+  });
+}
+
+void LoadGen::OnArrival(size_t i) {
+  Tenant& t = tenants_[i];
+  const SimTime now = simulator_->now();
+  ++arrivals_;
+  ++t.offered;
+  if (!admission_.Admit(t.spec.slo_class, now, t.coin_rng)) return;
+  ++submitted_;
+  ++t.admitted;
+  engine::QuerySpec spec = workload_->MakeQuery(t.query_rng);
+  spec.slo_class = static_cast<int8_t>(t.spec.slo_class);
+  submit_(std::move(spec));
+}
+
+void LoadGen::OnQueryComplete(int8_t slo_class, SimTime arrival,
+                              SimTime completion) {
+  if (slo_class < 0 || slo_class >= kNumSloClasses) return;
+  slo_.RecordCompletion(static_cast<SloClass>(slo_class), arrival,
+                        completion);
+}
+
+double LoadGen::OfferedQps(SimTime now) const {
+  const SimTime rel = now - start_time_;
+  if (rel < 0 || rel >= params_.duration) return 0.0;
+  double total = 0.0;
+  for (const Tenant& t : tenants_) total += t.arrivals->RateAt(rel);
+  return total;
+}
+
+void LoadGen::ResetRunStats() {
+  slo_.ResetRunStats();
+  admission_.ResetRunStats();
+}
+
+}  // namespace ecldb::loadgen

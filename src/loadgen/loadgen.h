@@ -1,0 +1,132 @@
+#ifndef ECLDB_LOADGEN_LOADGEN_H_
+#define ECLDB_LOADGEN_LOADGEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "engine/query.h"
+#include "loadgen/admission.h"
+#include "loadgen/arrival.h"
+#include "loadgen/slo.h"
+#include "loadgen/traffic_shape.h"
+#include "sim/simulator.h"
+#include "telemetry/telemetry.h"
+#include "workload/workload.h"
+
+namespace ecldb::loadgen {
+
+/// One tenant: a user population with an SLO class, an arrival family, and
+/// a stack of traffic shapes (product-composed).
+struct TenantSpec {
+  std::string name = "tenant";
+  SloClass slo_class = SloClass::kStandard;
+  /// Share of the aggregate load under NormalizeToCapacity.
+  double weight = 1.0;
+  ArrivalParams arrival;
+  /// Composable trace shapes; empty = steady 1.0.
+  std::vector<ShapeSpec> shapes;
+};
+
+struct LoadGenParams {
+  std::vector<TenantSpec> tenants;
+  /// Trace length; arrival loops stop scheduling past this horizon.
+  SimDuration duration = Seconds(60);
+  uint64_t seed = 77001;
+  SloParams slo;
+  AdmissionParams admission;
+  /// Optional telemetry; propagated into slo/admission when those leave
+  /// theirs unset. All loadgen metric names are registered only through
+  /// this path, so a run without a LoadGen dumps an identical registry.
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+/// The open-loop traffic subsystem: aggregates each tenant's user
+/// population into one arrival process, pushes every arrival through
+/// admission control, tags admitted queries with the tenant's SLO class,
+/// and accounts completions (via the scheduler's completion callback)
+/// against per-class deadlines. Submission is abstracted behind a callback
+/// so single-node and cluster drivers share the same generator.
+class LoadGen {
+ public:
+  /// Receives an admitted, class-tagged query. The driver decides the
+  /// entry point (engine submit, cluster home-node or any-node entry).
+  using SubmitFn = std::function<void(engine::QuerySpec&&)>;
+
+  LoadGen(sim::Simulator* simulator, workload::Workload* workload,
+          const LoadGenParams& params);
+
+  void SetSubmitFn(SubmitFn fn) { submit_ = std::move(fn); }
+
+  /// Rescales every tenant's aggregate rate so the summed nominal offered
+  /// load equals total_load * capacity_qps, split by tenant weight. This
+  /// is how "millions of users" map onto a machine: population size sets
+  /// the statistics, capacity sets the scale.
+  void NormalizeToCapacity(double capacity_qps, double total_load);
+
+  /// Starts the per-tenant arrival loops at the current virtual time.
+  void Start();
+
+  /// Completion hook (wired to Scheduler::SetCompletionCallback by the
+  /// experiment drivers).
+  void OnQueryComplete(int8_t slo_class, SimTime arrival, SimTime completion);
+
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
+  SloTracker& slo() { return slo_; }
+  const SloTracker& slo() const { return slo_; }
+
+  /// Arrivals offered to admission (admitted + shed).
+  int64_t arrivals() const { return arrivals_; }
+  /// Admitted queries handed to the submit callback.
+  int64_t submitted() const { return submitted_; }
+  int64_t tenant_arrivals(size_t i) const { return tenants_[i].offered; }
+  int64_t tenant_submitted(size_t i) const { return tenants_[i].admitted; }
+  size_t num_tenants() const { return tenants_.size(); }
+  const TenantSpec& tenant_spec(size_t i) const { return tenants_[i].spec; }
+
+  /// Aggregate offered rate (queries/s) across tenants at virtual time
+  /// `now` (shape-modulated, MMPP state included).
+  double OfferedQps(SimTime now) const;
+
+  void ResetRunStats();
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    std::unique_ptr<TrafficShape> shape;
+    std::unique_ptr<ArrivalProcess> arrivals;
+    /// Query-content stream, disjoint from the arrival-timing stream so
+    /// admission decisions never perturb query shapes.
+    Rng query_rng;
+    /// Shed-coin stream (see AdmissionController::Admit).
+    Rng coin_rng;
+    int64_t offered = 0;
+    int64_t admitted = 0;
+    Tenant(TenantSpec s, uint64_t arrival_seed, uint64_t query_seed,
+           uint64_t coin_seed);
+  };
+
+  void ScheduleNext(size_t i);
+  void OnArrival(size_t i);
+
+  sim::Simulator* simulator_;
+  workload::Workload* workload_;
+  LoadGenParams params_;
+  SloTracker slo_;
+  AdmissionController admission_;
+  std::vector<Tenant> tenants_;
+  SubmitFn submit_;
+  SimTime start_time_ = 0;
+  bool started_ = false;
+  int64_t arrivals_ = 0;
+  int64_t submitted_ = 0;
+};
+
+}  // namespace ecldb::loadgen
+
+#endif  // ECLDB_LOADGEN_LOADGEN_H_

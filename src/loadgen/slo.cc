@@ -1,0 +1,77 @@
+#include "loadgen/slo.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace ecldb::loadgen {
+
+std::string_view SloClassName(SloClass c) {
+  switch (c) {
+    case SloClass::kPremium:
+      return "premium";
+    case SloClass::kStandard:
+      return "standard";
+    case SloClass::kBestEffort:
+      return "best_effort";
+  }
+  return "unknown";
+}
+
+SloTracker::SloTracker(const SloParams& params) : params_(params) {
+  for (int i = 0; i < kNumSloClasses; ++i) {
+    ECLDB_CHECK(params_.classes[static_cast<size_t>(i)].deadline_ms > 0.0);
+  }
+  if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
+    // Same bucket layout as the engine's query-latency histogram so the
+    // per-class tails are directly comparable in one dump.
+    const telemetry::HistogramSpec latency_spec{1e-3, 2.0, 32};  // ms
+    for (int i = 0; i < kNumSloClasses; ++i) {
+      const std::string cls(SloClassName(static_cast<SloClass>(i)));
+      violation_counters_[static_cast<size_t>(i)] =
+          telemetry::MakeCounter(tel, "slo/" + cls + "/violations");
+      latency_hists_[static_cast<size_t>(i)] = telemetry::MakeHistogram(
+          tel, "loadgen/" + cls + "/latency_ms", latency_spec);
+    }
+  }
+}
+
+void SloTracker::RecordCompletion(SloClass c, SimTime arrival,
+                                  SimTime completion) {
+  const size_t i = static_cast<size_t>(c);
+  const double ms = ToMillis(completion - arrival);
+  latency_[i].Add(ms);
+  ++completed_[i];
+  latency_hists_[i].Record(ms);
+  if (ms > params_.classes[i].deadline_ms) {
+    ++violations_[i];
+    violation_counters_[i].Increment();
+  }
+}
+
+int64_t SloTracker::total_completed() const {
+  int64_t total = 0;
+  for (int64_t c : completed_) total += c;
+  return total;
+}
+
+double SloTracker::TailLatencyMs(SloClass c) const {
+  const size_t i = static_cast<size_t>(c);
+  return latency_[i].Percentile(params_.classes[i].target_percentile);
+}
+
+bool SloTracker::SloMet(SloClass c) const {
+  const size_t i = static_cast<size_t>(c);
+  if (completed_[i] == 0) return true;
+  return TailLatencyMs(c) <= params_.classes[i].deadline_ms;
+}
+
+void SloTracker::ResetRunStats() {
+  for (int i = 0; i < kNumSloClasses; ++i) {
+    latency_[static_cast<size_t>(i)].Clear();
+    completed_[static_cast<size_t>(i)] = 0;
+    violations_[static_cast<size_t>(i)] = 0;
+  }
+}
+
+}  // namespace ecldb::loadgen

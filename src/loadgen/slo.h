@@ -1,0 +1,91 @@
+#ifndef ECLDB_LOADGEN_SLO_H_
+#define ECLDB_LOADGEN_SLO_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "telemetry/telemetry.h"
+
+namespace ecldb::loadgen {
+
+/// Per-tenant service classes, in shedding order: best-effort degrades
+/// first, premium last (never, under the default admission params).
+enum class SloClass : int8_t {
+  kPremium = 0,
+  kStandard = 1,
+  kBestEffort = 2,
+};
+
+inline constexpr int kNumSloClasses = 3;
+
+std::string_view SloClassName(SloClass c);
+
+/// The latency objective of one class: queries completing later than
+/// `deadline_ms` after arrival are violations, and the class's tail
+/// objective is "percentile(target_percentile) <= deadline_ms".
+struct SloClassParams {
+  double deadline_ms = 100.0;
+  double target_percentile = 99.0;
+};
+
+struct SloParams {
+  /// Indexed by SloClass. Defaults: premium 99.9 % under 100 ms, standard
+  /// 99 % under 250 ms, best-effort 95 % under 1000 ms.
+  std::array<SloClassParams, kNumSloClasses> classes = {
+      SloClassParams{100.0, 99.9},
+      SloClassParams{250.0, 99.0},
+      SloClassParams{1000.0, 95.0},
+  };
+  /// Optional telemetry: registers slo/<class>/violations counters and
+  /// loadgen/<class>/latency_ms histograms. Only the loadgen subsystem
+  /// constructs an SloTracker, so none of these names exist in a run
+  /// without traffic generation (disabled-path byte-identity).
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+/// Per-class completion accounting: full-run latency percentiles, deadline
+/// violations, and (when attached) telemetry histograms/counters. Fed by
+/// the scheduler's completion callback via LoadGen.
+class SloTracker {
+ public:
+  explicit SloTracker(const SloParams& params);
+
+  void RecordCompletion(SloClass c, SimTime arrival, SimTime completion);
+
+  const SloClassParams& class_params(SloClass c) const {
+    return params_.classes[static_cast<size_t>(c)];
+  }
+  const PercentileTracker& latency(SloClass c) const {
+    return latency_[static_cast<size_t>(c)];
+  }
+  int64_t completed(SloClass c) const {
+    return completed_[static_cast<size_t>(c)];
+  }
+  int64_t violations(SloClass c) const {
+    return violations_[static_cast<size_t>(c)];
+  }
+  int64_t total_completed() const;
+
+  /// Latency at the class's target percentile (its SLO tail), ms.
+  double TailLatencyMs(SloClass c) const;
+  /// True while the class meets its objective (vacuously with no
+  /// completions).
+  bool SloMet(SloClass c) const;
+
+  void ResetRunStats();
+
+ private:
+  SloParams params_;
+  std::array<PercentileTracker, kNumSloClasses> latency_;
+  std::array<int64_t, kNumSloClasses> completed_ = {0, 0, 0};
+  std::array<int64_t, kNumSloClasses> violations_ = {0, 0, 0};
+  std::array<telemetry::Counter, kNumSloClasses> violation_counters_;
+  std::array<telemetry::HistogramHandle, kNumSloClasses> latency_hists_;
+};
+
+}  // namespace ecldb::loadgen
+
+#endif  // ECLDB_LOADGEN_SLO_H_

@@ -1,0 +1,170 @@
+#include "loadgen/traffic_shape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ecldb::loadgen {
+namespace {
+
+/// Constant multiplier (magnitude; default 1.0).
+class SteadyShape : public TrafficShape {
+ public:
+  explicit SteadyShape(const ShapeSpec& spec)
+      : level_(spec.magnitude > 0.0 ? spec.magnitude : 1.0) {}
+
+  std::string_view name() const override { return "steady"; }
+  double MultiplierAt(SimTime) const override { return level_; }
+
+ private:
+  double level_;
+};
+
+/// Day/night sinusoid with mean 1: peak at mid-cycle, trough at the cycle
+/// boundaries. magnitude = peak/trough ratio (default 4), duration = cycle
+/// period (default 180 s — one compressed day), start = phase offset.
+class DiurnalShape : public TrafficShape {
+ public:
+  explicit DiurnalShape(const ShapeSpec& spec)
+      : period_(spec.duration > 0 ? spec.duration : Seconds(180)),
+        phase_(spec.start) {
+    const double ratio = spec.magnitude > 0.0 ? spec.magnitude : 4.0;
+    ECLDB_CHECK(ratio >= 1.0);
+    // mean of 1 + a*(-cos) over a full cycle is 1; peak/trough =
+    // (1+a)/(1-a) = ratio  =>  a = (ratio-1)/(ratio+1).
+    amplitude_ = (ratio - 1.0) / (ratio + 1.0);
+  }
+
+  std::string_view name() const override { return "diurnal"; }
+  double MultiplierAt(SimTime t) const override {
+    const double frac =
+        ToSeconds(t + phase_) / ToSeconds(period_);  // cycles elapsed
+    return 1.0 - amplitude_ * std::cos(2.0 * 3.14159265358979323846 *
+                                       (frac - std::floor(frac)));
+  }
+
+ private:
+  SimDuration period_;
+  SimTime phase_;
+  double amplitude_;
+};
+
+/// Flash crowd: multiplier 1 outside the event window; inside it ramps
+/// linearly to `magnitude` (default 10) over the first tenth of the
+/// window, holds, and ramps back down over the last tenth — the shape of
+/// a viral event, not a square wave that an admission controller could
+/// trivially phase-lock to.
+class FlashCrowdShape : public TrafficShape {
+ public:
+  explicit FlashCrowdShape(const ShapeSpec& spec)
+      : start_(spec.start),
+        duration_(spec.duration > 0 ? spec.duration : Seconds(30)),
+        peak_(spec.magnitude > 0.0 ? spec.magnitude : 10.0) {}
+
+  std::string_view name() const override { return "flash_crowd"; }
+  double MultiplierAt(SimTime t) const override {
+    if (t < start_ || t >= start_ + duration_) return 1.0;
+    const double frac = ToSeconds(t - start_) / ToSeconds(duration_);
+    const double edge = 0.1;  // ramp fraction on each side
+    double level = 1.0;
+    if (frac < edge) {
+      level = frac / edge;
+    } else if (frac > 1.0 - edge) {
+      level = (1.0 - frac) / edge;
+    }
+    return 1.0 + (peak_ - 1.0) * level;
+  }
+
+ private:
+  SimTime start_;
+  SimDuration duration_;
+  double peak_;
+};
+
+/// Regional failover: a step at `start` to `magnitude` (default 1.8) that
+/// persists — the surviving region absorbs a failed peer's users until the
+/// trace ends (duration > 0 bounds the outage and steps back down).
+class RegionalFailoverShape : public TrafficShape {
+ public:
+  explicit RegionalFailoverShape(const ShapeSpec& spec)
+      : start_(spec.start),
+        end_(spec.duration > 0 ? spec.start + spec.duration : kSimTimeNever),
+        level_(spec.magnitude > 0.0 ? spec.magnitude : 1.8) {}
+
+  std::string_view name() const override { return "regional_failover"; }
+  double MultiplierAt(SimTime t) const override {
+    return t >= start_ && t < end_ ? level_ : 1.0;
+  }
+
+ private:
+  SimTime start_;
+  SimTime end_;
+  double level_;
+};
+
+/// Product of a shape stack.
+class CompositeShape : public TrafficShape {
+ public:
+  explicit CompositeShape(std::vector<std::unique_ptr<TrafficShape>> parts)
+      : parts_(std::move(parts)) {}
+
+  std::string_view name() const override { return "composite"; }
+  double MultiplierAt(SimTime t) const override {
+    double m = 1.0;
+    for (const auto& p : parts_) m *= p->MultiplierAt(t);
+    return m;
+  }
+
+ private:
+  std::vector<std::unique_ptr<TrafficShape>> parts_;
+};
+
+struct ShapeEntry {
+  std::string_view name;
+  std::unique_ptr<TrafficShape> (*make)(const ShapeSpec&);
+};
+
+template <typename T>
+std::unique_ptr<TrafficShape> Make(const ShapeSpec& spec) {
+  return std::make_unique<T>(spec);
+}
+
+/// The closed shape registry, sorted by name. A static table instead of
+/// runtime registration: every shape is known at build time, and lookups
+/// must behave identically in every experiment arm.
+constexpr ShapeEntry kShapes[] = {
+    {"diurnal", &Make<DiurnalShape>},
+    {"flash_crowd", &Make<FlashCrowdShape>},
+    {"regional_failover", &Make<RegionalFailoverShape>},
+    {"steady", &Make<SteadyShape>},
+};
+
+}  // namespace
+
+std::unique_ptr<TrafficShape> MakeTrafficShape(const ShapeSpec& spec) {
+  for (const ShapeEntry& e : kShapes) {
+    if (e.name == spec.name) return e.make(spec);
+  }
+  ECLDB_CHECK_MSG(false, "unknown traffic shape name");
+  return nullptr;
+}
+
+std::unique_ptr<TrafficShape> MakeTrafficShape(
+    const std::vector<ShapeSpec>& stack) {
+  std::vector<std::unique_ptr<TrafficShape>> parts;
+  parts.reserve(stack.size());
+  for (const ShapeSpec& spec : stack) parts.push_back(MakeTrafficShape(spec));
+  if (parts.empty()) parts.push_back(MakeTrafficShape(ShapeSpec{}));
+  if (parts.size() == 1) return std::move(parts.front());
+  return std::make_unique<CompositeShape>(std::move(parts));
+}
+
+std::vector<std::string_view> RegisteredTrafficShapes() {
+  std::vector<std::string_view> names;
+  for (const ShapeEntry& e : kShapes) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace ecldb::loadgen

@@ -1,0 +1,61 @@
+#ifndef ECLDB_LOADGEN_TRAFFIC_SHAPE_H_
+#define ECLDB_LOADGEN_TRAFFIC_SHAPE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecldb::loadgen {
+
+/// A traffic shape is a dimensionless rate multiplier over trace time: 1.0
+/// is the tenant's nominal arrival rate, a flash crowd multiplies it, a
+/// night trough divides it. Shapes are *composable* — a tenant's effective
+/// multiplier is the product of its shape stack — so "diurnal base with a
+/// 10x flash crowd on top" is two registry entries, not a bespoke class.
+class TrafficShape {
+ public:
+  virtual ~TrafficShape() = default;
+
+  virtual std::string_view name() const = 0;
+  /// Rate multiplier at trace-relative time t (>= 0, typically O(1)).
+  virtual double MultiplierAt(SimTime t) const = 0;
+};
+
+/// Parameters common to the registered shapes. Each shape documents which
+/// fields it reads; unused fields are ignored so one spec type serves the
+/// whole registry (the KVell workload_api pattern: one dispatch surface,
+/// many benchmarks behind it).
+struct ShapeSpec {
+  /// Registry key: "steady", "diurnal", "flash_crowd", "regional_failover".
+  std::string name = "steady";
+  /// Generic magnitude knob. steady: the constant multiplier (default 1).
+  /// diurnal: peak-to-trough ratio (default 4). flash_crowd: crowd
+  /// multiplier (default 10). regional_failover: post-failover multiplier
+  /// (default 1.8 — the surviving region absorbs a failed peer).
+  double magnitude = 0.0;  // 0 = shape default
+  /// Event start (flash_crowd, regional_failover) or cycle phase offset
+  /// (diurnal).
+  SimTime start = 0;
+  /// Event duration (flash_crowd ramp-up + hold + ramp-down window) or
+  /// cycle period (diurnal; default 180 s — one compressed day).
+  SimDuration duration = 0;  // 0 = shape default
+};
+
+/// Builds one registered shape. Aborts on an unknown name (the registry is
+/// closed — a typo in an experiment spec should fail loudly, not silently
+/// run "steady").
+std::unique_ptr<TrafficShape> MakeTrafficShape(const ShapeSpec& spec);
+
+/// Builds the product of several registered shapes (empty = steady 1.0).
+std::unique_ptr<TrafficShape> MakeTrafficShape(
+    const std::vector<ShapeSpec>& stack);
+
+/// Names accepted by MakeTrafficShape, sorted (introspection + tests).
+std::vector<std::string_view> RegisteredTrafficShapes();
+
+}  // namespace ecldb::loadgen
+
+#endif  // ECLDB_LOADGEN_TRAFFIC_SHAPE_H_

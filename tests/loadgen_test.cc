@@ -1,0 +1,562 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "experiment/cluster_trace.h"
+#include "experiment/drain.h"
+#include "experiment/experiment.h"
+#include "experiment/loadgen_trace.h"
+#include "loadgen/admission.h"
+#include "loadgen/arrival.h"
+#include "loadgen/loadgen.h"
+#include "loadgen/slo.h"
+#include "loadgen/traffic_shape.h"
+#include "sim/simulator.h"
+#include "telemetry/telemetry.h"
+#include "workload/kv.h"
+#include "workload/load_profile.h"
+#include "workload/micro.h"
+#include "workload/work_profiles.h"
+
+namespace ecldb::loadgen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Traffic shapes
+// ---------------------------------------------------------------------------
+
+TEST(LoadgenShapeTest, RegistryIsClosedAndSorted) {
+  const std::vector<std::string_view> names = RegisteredTrafficShapes();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "diurnal");
+  EXPECT_EQ(names[1], "flash_crowd");
+  EXPECT_EQ(names[2], "regional_failover");
+  EXPECT_EQ(names[3], "steady");
+}
+
+TEST(LoadgenShapeTest, UnknownShapeNameAborts) {
+  ShapeSpec spec;
+  spec.name = "flashcrowd";  // typo: must fail loudly, not run "steady"
+  EXPECT_DEATH(MakeTrafficShape(spec), "unknown traffic shape");
+}
+
+TEST(LoadgenShapeTest, SteadyDefaultsToUnity) {
+  const auto shape = MakeTrafficShape(ShapeSpec{});
+  EXPECT_DOUBLE_EQ(shape->MultiplierAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(shape->MultiplierAt(Seconds(123)), 1.0);
+}
+
+TEST(LoadgenShapeTest, FlashCrowdRampsHoldsAndReturnsToOne) {
+  ShapeSpec spec;
+  spec.name = "flash_crowd";
+  spec.magnitude = 10.0;
+  spec.start = Seconds(50);
+  spec.duration = Seconds(30);
+  const auto shape = MakeTrafficShape(spec);
+  EXPECT_DOUBLE_EQ(shape->MultiplierAt(Seconds(49)), 1.0);
+  // Mid-window (past the 10 % ramp edges) holds the full magnitude.
+  EXPECT_DOUBLE_EQ(shape->MultiplierAt(Seconds(65)), 10.0);
+  // Half-way up the leading ramp.
+  EXPECT_NEAR(shape->MultiplierAt(Seconds(50) + Millis(1500)), 5.5, 1e-9);
+  EXPECT_DOUBLE_EQ(shape->MultiplierAt(Seconds(80)), 1.0);
+}
+
+TEST(LoadgenShapeTest, DiurnalHasUnitMeanAndRequestedRatio) {
+  ShapeSpec spec;
+  spec.name = "diurnal";
+  spec.magnitude = 4.0;
+  spec.duration = Seconds(180);
+  const auto shape = MakeTrafficShape(spec);
+  double lo = 1e9, hi = 0.0, sum = 0.0;
+  const int samples = 1800;
+  for (int i = 0; i < samples; ++i) {
+    const double m = shape->MultiplierAt(Millis(100) * i);
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+    sum += m;
+  }
+  EXPECT_NEAR(hi / lo, 4.0, 0.01);
+  EXPECT_NEAR(sum / samples, 1.0, 0.01);
+}
+
+TEST(LoadgenShapeTest, RegionalFailoverStepsUpAndOptionallyBack) {
+  ShapeSpec spec;
+  spec.name = "regional_failover";
+  spec.start = Seconds(10);
+  const auto open_ended = MakeTrafficShape(spec);
+  EXPECT_DOUBLE_EQ(open_ended->MultiplierAt(Seconds(9)), 1.0);
+  EXPECT_DOUBLE_EQ(open_ended->MultiplierAt(Seconds(11)), 1.8);
+  EXPECT_DOUBLE_EQ(open_ended->MultiplierAt(Seconds(10'000)), 1.8);
+  spec.duration = Seconds(20);
+  const auto bounded = MakeTrafficShape(spec);
+  EXPECT_DOUBLE_EQ(bounded->MultiplierAt(Seconds(29)), 1.8);
+  EXPECT_DOUBLE_EQ(bounded->MultiplierAt(Seconds(31)), 1.0);
+}
+
+TEST(LoadgenShapeTest, StackComposesMultiplicatively) {
+  ShapeSpec steady2;
+  steady2.magnitude = 2.0;
+  ShapeSpec crowd;
+  crowd.name = "flash_crowd";
+  crowd.magnitude = 10.0;
+  crowd.start = Seconds(50);
+  crowd.duration = Seconds(30);
+  const auto stacked =
+      MakeTrafficShape(std::vector<ShapeSpec>{steady2, crowd});
+  const auto crowd_only = MakeTrafficShape(crowd);
+  for (const SimTime t : {Seconds(0), Seconds(55), Seconds(65), Seconds(90)}) {
+    EXPECT_DOUBLE_EQ(stacked->MultiplierAt(t),
+                     2.0 * crowd_only->MultiplierAt(t));
+  }
+  // Empty stack = steady 1.0.
+  const auto empty = MakeTrafficShape(std::vector<ShapeSpec>{});
+  EXPECT_DOUBLE_EQ(empty->MultiplierAt(Seconds(7)), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------------
+
+/// Drives `proc` for `horizon` of trace time and bins arrivals per second.
+std::vector<int64_t> BinArrivals(ArrivalProcess& proc, SimDuration horizon) {
+  std::vector<int64_t> bins(static_cast<size_t>(ToSeconds(horizon)), 0);
+  SimTime t = 0;
+  while (t < horizon) {
+    const ArrivalProcess::Event e = proc.Next(t);
+    t += e.gap;
+    if (e.is_arrival && t < horizon) {
+      ++bins[static_cast<size_t>(ToSeconds(t))];
+    }
+  }
+  return bins;
+}
+
+double Mean(const std::vector<int64_t>& bins) {
+  double sum = 0.0;
+  for (int64_t b : bins) sum += static_cast<double>(b);
+  return sum / static_cast<double>(bins.size());
+}
+
+/// Index of dispersion (variance / mean) of per-second counts: ~1 for
+/// Poisson, above 1 for positively correlated (bursty) arrivals.
+double Dispersion(const std::vector<int64_t>& bins) {
+  const double mean = Mean(bins);
+  double var = 0.0;
+  for (int64_t b : bins) {
+    const double d = static_cast<double>(b) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(bins.size() - 1);
+  return var / mean;
+}
+
+TEST(LoadgenArrivalTest, PoissonMeanAndDispersionMatchTheory) {
+  ArrivalParams params;
+  params.num_users = 1000;
+  params.per_user_qps = 1.0;  // aggregate 1000 qps
+  const auto shape = MakeTrafficShape(ShapeSpec{});
+  ArrivalProcess proc(params, shape.get(), 99);
+  const std::vector<int64_t> bins = BinArrivals(proc, Seconds(60));
+  // Mean of 60 per-second counts: sigma = sqrt(1000/60) ~ 4.1.
+  EXPECT_NEAR(Mean(bins), 1000.0, 15.0);
+  // Poisson index of dispersion is 1 (chi-square bounds, 59 dof).
+  EXPECT_GT(Dispersion(bins), 0.55);
+  EXPECT_LT(Dispersion(bins), 1.65);
+}
+
+TEST(LoadgenArrivalTest, MmppKeepsTheMeanButIsBurstier) {
+  ArrivalParams params;
+  params.num_users = 1000;
+  params.per_user_qps = 1.0;
+  params.kind = ArrivalKind::kMmpp;  // defaults: {0.4, 1.6} @ 0.2 Hz
+  const auto shape = MakeTrafficShape(ShapeSpec{});
+  ArrivalProcess proc(params, shape.get(), 99);
+  const std::vector<int64_t> bins = BinArrivals(proc, Seconds(120));
+  // Uniform stationary distribution over {0.4, 1.6} keeps mean rate 1000.
+  EXPECT_NEAR(Mean(bins), 1000.0, 100.0);
+  // Modulation variance dominates: far over-dispersed vs Poisson.
+  EXPECT_GT(Dispersion(bins), 5.0);
+}
+
+TEST(LoadgenArrivalTest, SameSeedSameStreamDifferentSeedDiffers) {
+  ArrivalParams params;
+  params.num_users = 100;
+  params.per_user_qps = 1.0;
+  params.kind = ArrivalKind::kMmpp;
+  const auto shape = MakeTrafficShape(ShapeSpec{});
+  auto draw = [&](uint64_t seed) {
+    ArrivalProcess proc(params, shape.get(), seed);
+    std::vector<std::pair<SimDuration, bool>> events;
+    SimTime t = 0;
+    for (int i = 0; i < 1000; ++i) {
+      const ArrivalProcess::Event e = proc.Next(t);
+      t += e.gap;
+      events.emplace_back(e.gap, e.is_arrival);
+    }
+    return events;
+  };
+  EXPECT_EQ(draw(7), draw(7));
+  EXPECT_NE(draw(7), draw(8));
+}
+
+TEST(LoadgenArrivalTest, RateScaleScalesTheProcess) {
+  ArrivalParams params;
+  params.num_users = 1000;
+  params.per_user_qps = 1.0;
+  const auto shape = MakeTrafficShape(ShapeSpec{});
+  ArrivalProcess proc(params, shape.get(), 99);
+  proc.set_rate_scale(2.5);
+  EXPECT_DOUBLE_EQ(proc.RateAt(0), 2500.0);
+  EXPECT_DOUBLE_EQ(proc.NominalRateAt(0), 2500.0);
+}
+
+TEST(LoadgenArrivalTest, DormantTenantPollsWithoutArrivals) {
+  ArrivalParams params;
+  params.num_users = 1000;
+  params.per_user_qps = 1.0;
+  const auto shape = MakeTrafficShape(ShapeSpec{});
+  ArrivalProcess proc(params, shape.get(), 99);
+  proc.set_rate_scale(0.0);  // night trough: rate 0
+  for (int i = 0; i < 100; ++i) {
+    const ArrivalProcess::Event e = proc.Next(Seconds(1));
+    EXPECT_FALSE(e.is_arrival);
+    EXPECT_EQ(e.gap, Millis(50));  // re-checks the shape, never sleeps past it
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(LoadgenAdmissionTest, TokenBucketEnforcesRateAndBurst) {
+  TokenBucket bucket(/*rate_qps=*/10.0, /*burst=*/5.0);
+  int admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (bucket.TryTake(0)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 5);  // burst depth
+  admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (bucket.TryTake(Seconds(1))) ++admitted;
+  }
+  EXPECT_EQ(admitted, 5);  // one second of refill, capped at burst
+}
+
+TEST(LoadgenAdmissionTest, DisabledBucketAlwaysAdmits) {
+  TokenBucket bucket(/*rate_qps=*/0.0, /*burst=*/0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.TryTake(0));
+}
+
+/// Runs `n` arrivals of each class at a fixed pressure and returns the
+/// per-class shed counts.
+std::array<int64_t, kNumSloClasses> ShedAtPressure(double pressure, int n) {
+  AdmissionController adm{AdmissionParams{}};
+  adm.SetPressureSource([pressure] { return pressure; });
+  Rng rng(4711);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < kNumSloClasses; ++c) {
+      adm.Admit(static_cast<SloClass>(c), Seconds(1), rng);
+    }
+  }
+  return {adm.shed(SloClass::kPremium), adm.shed(SloClass::kStandard),
+          adm.shed(SloClass::kBestEffort)};
+}
+
+TEST(LoadgenAdmissionTest, PressureDegradesBestEffortFirstPremiumNever) {
+  // Below every onset: nobody sheds.
+  auto shed = ShedAtPressure(0.40, 2000);
+  EXPECT_EQ(shed[0], 0);
+  EXPECT_EQ(shed[1], 0);
+  EXPECT_EQ(shed[2], 0);
+  // Between the best-effort onset (0.45) and the standard onset (0.70):
+  // only the scavenger tier pays, at ~50 % [(0.6-0.45)/(0.75-0.45)].
+  shed = ShedAtPressure(0.60, 2000);
+  EXPECT_EQ(shed[0], 0);
+  EXPECT_EQ(shed[1], 0);
+  EXPECT_NEAR(static_cast<double>(shed[2]), 1000.0, 100.0);
+  // Saturated: standard and best-effort shed fully, premium still never
+  // (its onset of 1.1 sits above the pressure range).
+  shed = ShedAtPressure(1.0, 2000);
+  EXPECT_EQ(shed[0], 0);
+  EXPECT_EQ(shed[1], 2000);
+  EXPECT_EQ(shed[2], 2000);
+}
+
+TEST(LoadgenAdmissionTest, RecentShedFractionCoversOnlyTheWindow) {
+  AdmissionParams params;  // shed_window = 3 s
+  AdmissionController adm(params);
+  double pressure = 1.0;
+  adm.SetPressureSource([&pressure] { return pressure; });
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) adm.Admit(SloClass::kBestEffort, Seconds(1), rng);
+  EXPECT_DOUBLE_EQ(adm.RecentShedFraction(Seconds(1)), 1.0);
+  EXPECT_NEAR(adm.RecentShedQps(Seconds(1)), 100.0 / 3.0, 1e-9);
+  // The refusals age out of the window; fresh admits dominate.
+  pressure = 0.0;
+  for (int i = 0; i < 10; ++i) adm.Admit(SloClass::kBestEffort, Seconds(10), rng);
+  EXPECT_DOUBLE_EQ(adm.RecentShedFraction(Seconds(10)), 0.0);
+  EXPECT_EQ(adm.total_shed(), 100);
+  EXPECT_EQ(adm.total_admitted(), 10);
+  adm.ResetRunStats();
+  EXPECT_EQ(adm.total_shed(), 0);
+  EXPECT_EQ(adm.total_admitted(), 0);
+  EXPECT_DOUBLE_EQ(adm.RecentShedFraction(Seconds(10)), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// SLO accounting
+// ---------------------------------------------------------------------------
+
+TEST(LoadgenSloTest, DeadlineViolationsAndTailObjective) {
+  SloTracker slo{SloParams{}};  // premium: 99.9 % under 100 ms
+  slo.RecordCompletion(SloClass::kPremium, 0, Millis(50));
+  EXPECT_EQ(slo.violations(SloClass::kPremium), 0);
+  EXPECT_TRUE(slo.SloMet(SloClass::kPremium));
+  slo.RecordCompletion(SloClass::kPremium, 0, Millis(150));
+  EXPECT_EQ(slo.violations(SloClass::kPremium), 1);
+  EXPECT_EQ(slo.completed(SloClass::kPremium), 2);
+  // p99.9 of {50, 150} is the max: objective broken.
+  EXPECT_FALSE(slo.SloMet(SloClass::kPremium));
+}
+
+TEST(LoadgenSloTest, TailPercentileToleratesItsViolationBudget) {
+  SloTracker slo{SloParams{}};  // best-effort: 95 % under 1000 ms
+  for (int i = 0; i < 99; ++i) {
+    slo.RecordCompletion(SloClass::kBestEffort, 0, Millis(10));
+  }
+  slo.RecordCompletion(SloClass::kBestEffort, 0, Seconds(5));
+  EXPECT_EQ(slo.violations(SloClass::kBestEffort), 1);
+  // One outlier in a hundred sits inside the 5 % budget: p95 is still 10 ms.
+  EXPECT_NEAR(slo.TailLatencyMs(SloClass::kBestEffort), 10.0, 1.0);
+  EXPECT_TRUE(slo.SloMet(SloClass::kBestEffort));
+  EXPECT_EQ(slo.total_completed(), 100);
+  slo.ResetRunStats();
+  EXPECT_EQ(slo.total_completed(), 0);
+  EXPECT_TRUE(slo.SloMet(SloClass::kBestEffort));  // vacuously
+}
+
+TEST(LoadgenSloTest, ClassNamesAreStable) {
+  EXPECT_EQ(SloClassName(SloClass::kPremium), "premium");
+  EXPECT_EQ(SloClassName(SloClass::kStandard), "standard");
+  EXPECT_EQ(SloClassName(SloClass::kBestEffort), "best_effort");
+}
+
+// ---------------------------------------------------------------------------
+// Drain helper
+// ---------------------------------------------------------------------------
+
+TEST(LoadgenDrainTest, RunsUntilCompletionsCatchUp) {
+  sim::Simulator simulator;
+  int64_t completed = 0;
+  simulator.Schedule(Seconds(5), [&completed] { completed = 3; });
+  EXPECT_TRUE(experiment::DrainToCompletion(
+      simulator, [&completed] { return completed; }, 3));
+  EXPECT_GE(simulator.now(), Seconds(5));
+}
+
+TEST(LoadgenDrainTest, GivesUpAtTheCapWhenQueriesAreLost) {
+  sim::Simulator simulator;
+  EXPECT_FALSE(experiment::DrainToCompletion(
+      simulator, [] { return int64_t{0}; }, 1, Seconds(2)));
+  EXPECT_LE(simulator.now(), Seconds(3));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end single-node runs
+// ---------------------------------------------------------------------------
+
+experiment::WorkloadFactory KvFactory() {
+  return [](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+    workload::KvParams params;
+    params.indexed = false;
+    params.batch_gets = 4'000;
+    return std::make_unique<workload::KvWorkload>(e, params);
+  };
+}
+
+experiment::SloRunOptions SmallSloOptions() {
+  experiment::SloRunOptions options;
+  options.run.prime_duration = Seconds(5);
+  options.loadgen.duration = Seconds(10);
+  loadgen::TenantSpec premium;
+  premium.name = "premium";
+  premium.slo_class = SloClass::kPremium;
+  premium.weight = 0.4;
+  premium.arrival.num_users = 200'000;
+  premium.arrival.per_user_qps = 0.01;
+  loadgen::TenantSpec besteff;
+  besteff.name = "besteff";
+  besteff.slo_class = SloClass::kBestEffort;
+  besteff.weight = 0.6;
+  besteff.arrival.num_users = 2'000'000;
+  besteff.arrival.per_user_qps = 0.001;
+  besteff.arrival.kind = ArrivalKind::kMmpp;
+  options.loadgen.tenants = {premium, besteff};
+  options.total_load = 0.3;
+  return options;
+}
+
+TEST(LoadgenRunTest, FastForwardIsBitIdentical) {
+  experiment::SloRunOptions options = SmallSloOptions();
+  options.run.fast_forward = true;
+  const experiment::SloRunResult ff = RunSloExperiment(KvFactory(), options);
+  options.run.fast_forward = false;
+  const experiment::SloRunResult slow = RunSloExperiment(KvFactory(), options);
+  EXPECT_EQ(ff.arrivals, slow.arrivals);
+  EXPECT_EQ(ff.admitted, slow.admitted);
+  EXPECT_EQ(ff.shed, slow.shed);
+  EXPECT_EQ(ff.completed, slow.completed);
+  EXPECT_DOUBLE_EQ(ff.energy_j, slow.energy_j);
+  for (int c = 0; c < kNumSloClasses; ++c) {
+    EXPECT_DOUBLE_EQ(ff.classes[static_cast<size_t>(c)].tail_ms,
+                     slow.classes[static_cast<size_t>(c)].tail_ms);
+    EXPECT_EQ(ff.classes[static_cast<size_t>(c)].violations,
+              slow.classes[static_cast<size_t>(c)].violations);
+  }
+  ASSERT_EQ(ff.series.size(), slow.series.size());
+  for (size_t i = 0; i < ff.series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ff.series[i].power_w, slow.series[i].power_w);
+    EXPECT_DOUBLE_EQ(ff.series[i].offered_qps, slow.series[i].offered_qps);
+  }
+}
+
+TEST(LoadgenRunTest, CompletionsBalanceAndClassesAreServed) {
+  const experiment::SloRunResult r =
+      RunSloExperiment(KvFactory(), SmallSloOptions());
+  EXPECT_TRUE(r.drained);
+  EXPECT_GT(r.arrivals, 0);
+  EXPECT_EQ(r.arrivals, r.admitted + r.shed);
+  EXPECT_EQ(r.completed, r.admitted);
+  EXPECT_GT(r.classes[0].completed, 0);  // premium
+  EXPECT_GT(r.classes[2].completed, 0);  // best-effort
+  EXPECT_EQ(r.classes[1].completed, 0);  // no standard tenant configured
+  EXPECT_GT(r.classes[0].mean_ms, 0.0);
+}
+
+TEST(LoadgenRunTest, OverloadShedsScavengersBeforePremium) {
+  experiment::SloRunOptions options = SmallSloOptions();
+  options.total_load = 2.5;  // far past capacity: pressure saturates
+  const experiment::SloRunResult r = RunSloExperiment(KvFactory(), options);
+  EXPECT_GT(r.shed, 0);
+  EXPECT_EQ(r.classes[0].shed, 0);  // premium never pressure-shed
+  EXPECT_GT(r.classes[2].shed, 0);
+  // The same trace with admission disabled admits every arrival; the
+  // backlog it builds shows up as a far worse premium latency (the energy
+  // side of the trade needs a trace long enough for the ECL to narrow —
+  // that is pinned by bench/ablation_slo_tiers).
+  options.admission_enabled = false;
+  const experiment::SloRunResult all = RunSloExperiment(KvFactory(), options);
+  EXPECT_EQ(all.shed, 0);
+  EXPECT_EQ(all.arrivals, r.arrivals);  // admission never perturbs arrivals
+  EXPECT_GE(all.energy_j, r.energy_j);
+  EXPECT_GT(all.classes[0].mean_ms, 2.0 * r.classes[0].mean_ms);
+}
+
+TEST(LoadgenRunTest, TelemetryExportIsDeterministicAndComplete) {
+  auto run_with_telemetry = [] {
+    telemetry::TelemetryParams tp;
+    tp.enabled = true;
+    telemetry::Telemetry tel(tp);
+    experiment::SloRunOptions options = SmallSloOptions();
+    options.run.telemetry = &tel;
+    return RunSloExperiment(KvFactory(), options).telemetry_dump;
+  };
+  const std::string dump = run_with_telemetry();
+  // The traffic subsystem's names are all present...
+  for (const char* name :
+       {"loadgen/arrivals", "loadgen/submitted", "admission/admitted",
+        "admission/shed", "admission/premium/admitted",
+        "admission/best_effort/shed", "admission/shed_fraction",
+        "slo/premium/violations", "slo/best_effort/violations",
+        "loadgen/premium/latency_ms", "loadgen/best_effort/latency_ms"}) {
+    EXPECT_NE(dump.find(name), std::string::npos) << name;
+  }
+  // ...and the export is reproducible run over run.
+  EXPECT_EQ(dump, run_with_telemetry());
+}
+
+TEST(LoadgenRunTest, NoLoadgenMetricsLeakIntoClassicRuns) {
+  telemetry::TelemetryParams tp;
+  tp.enabled = true;
+  telemetry::Telemetry tel(tp);
+  workload::ConstantProfile profile(0.4, Seconds(5));
+  experiment::RunOptions options;
+  options.prime_duration = Seconds(3);
+  options.telemetry = &tel;
+  const experiment::RunResult r = experiment::RunLoadExperiment(
+      [](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+        return std::make_unique<workload::MicroWorkload>(
+            e, workload::ComputeBound(), 1e6, 2);
+      },
+      profile, options);
+  for (const char* prefix : {"loadgen/", "admission/", "slo/"}) {
+    EXPECT_EQ(r.telemetry_dump.find(prefix), std::string::npos) << prefix;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster entry routing
+// ---------------------------------------------------------------------------
+
+experiment::ClusterWorkloadFactory ClusterKvFactory() {
+  return [](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+    workload::KvParams params;
+    params.indexed = false;
+    params.num_keys = 16'777'216 * 2;
+    params.batch_gets = 16'000;
+    return std::make_unique<workload::KvWorkload>(e, params);
+  };
+}
+
+experiment::ClusterRunOptions SmallClusterOptions(bool any_node) {
+  experiment::ClusterRunOptions options;
+  // A slow fabric stretches message flight times so placement changes can
+  // land while submissions are on the wire — the stale-forward window.
+  hwsim::NetworkModelParams network;
+  network.base_latency_us = 2000.0;
+  options.cluster = hwsim::ClusterParams::Homogeneous(
+      2, hwsim::ClusterNodeParams{}, network);
+  options.prime_duration = Seconds(8);
+  options.cluster_ecl.enabled = true;
+  options.cluster_ecl.interval = Seconds(1);
+  options.cluster_ecl.migrations_per_tick = 12;
+  options.cluster_ecl.spread_migrations_per_tick = 24;
+  options.cluster_ecl.min_on_time = Seconds(5);
+  options.any_node_entry = any_node;
+  return options;
+}
+
+TEST(LoadgenClusterTest, AnyNodeEntryForwardsAndStaysDeterministic) {
+  // Load steps down hard so consolidation migrates partitions and powers a
+  // node off mid-trace while traffic keeps entering at random nodes.
+  const workload::StepProfile profile(
+      {{0, 0.5}, {Seconds(10), 0.05}}, Seconds(30));
+  const experiment::ClusterRunResult home = RunClusterExperiment(
+      ClusterKvFactory(), profile, SmallClusterOptions(false));
+  const experiment::ClusterRunResult any = RunClusterExperiment(
+      ClusterKvFactory(), profile, SmallClusterOptions(true));
+  // Home routing only crosses the network around migrations; any-node
+  // routing crosses it on roughly half of every 2-node submission.
+  EXPECT_GT(any.remote_sends, 4 * std::max<int64_t>(home.remote_sends, 1));
+  // Re-homed partitions catch in-flight messages: the stale-epoch forward
+  // path actually runs under placement churn.
+  EXPECT_GT(any.node_migrations, 0);
+  EXPECT_GT(any.stale_forwards, 0);
+  EXPECT_EQ(any.completed, any.submitted);
+  // Same options, same seeds, same simulation — bit for bit.
+  const experiment::ClusterRunResult again = RunClusterExperiment(
+      ClusterKvFactory(), profile, SmallClusterOptions(true));
+  EXPECT_EQ(again.submitted, any.submitted);
+  EXPECT_EQ(again.remote_sends, any.remote_sends);
+  EXPECT_EQ(again.stale_forwards, any.stale_forwards);
+  EXPECT_DOUBLE_EQ(again.energy_j, any.energy_j);
+}
+
+}  // namespace
+}  // namespace ecldb::loadgen
