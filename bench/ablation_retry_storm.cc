@@ -1,0 +1,239 @@
+// Ablation: the retry storm — what client backoff buys when shed work
+// comes back.
+//
+// One standard-tier tenant on an ECL-controlled machine. A flash crowd
+// pushes offered load far past capacity; pressure-driven admission sheds
+// the excess. The question is what the shed clients do next:
+//
+//   no-retry    shed arrivals give up (the polite baseline of
+//               ablation_slo_tiers). The crowd passes, pressure falls,
+//               shedding stops.
+//   immediate   every shed or failed arrival re-submits after a fixed
+//               reconnect delay. Shed work returns instantly, so offered
+//               load stays pinned above capacity even after the crowd
+//               leaves: shedding feeds retries feeds pressure feeds
+//               shedding — the classic metastable failure, sustained by
+//               the retry loop long after its trigger is gone.
+//   backoff     exponential backoff with jitter. The rejected crowd
+//               decorrelates and re-offers at a decaying rate; the system
+//               re-converges to the pre-crowd operating point.
+//
+// Scored on the post-crowd window: mean shed fraction and pressure after
+// the trigger has passed separate a system that recovered from one that
+// is still burning energy refusing its own retries.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "experiment/loadgen_trace.h"
+#include "experiment/run_matrix.h"
+#include "loadgen/loadgen.h"
+#include "workload/kv.h"
+
+using namespace ecldb;
+using experiment::SloRunOptions;
+using experiment::SloRunResult;
+
+namespace {
+
+constexpr SimDuration kTraceDuration = Seconds(100);
+constexpr double kBaseLoad = 0.5;
+constexpr double kCrowdPeak = 5.0;
+constexpr SimDuration kCrowdStart = Seconds(30);
+constexpr SimDuration kCrowdDuration = Seconds(20);
+/// Post-crowd scoring window: the crowd is gone, only retry dynamics
+/// remain.
+constexpr double kScoreFromS = 65.0;
+
+enum Arm { kNoRetry = 0, kImmediate = 1, kBackoff = 2 };
+
+SloRunOptions MakeOptions(Arm arm) {
+  SloRunOptions options;
+  options.run.prime_duration = Seconds(30);
+  options.run.ecl.system.interval = Millis(250);
+
+  // A small premium tenant that is never shed keeps the latency window
+  // live while the standard tier is being refused — without it a fully
+  // shed entrance starves the pressure signal of completions and the
+  // controller can wedge on a stale window (the same reason
+  // shed_pressure_weight sits below every shed onset).
+  loadgen::TenantSpec keeper;
+  keeper.name = "premium";
+  keeper.slo_class = loadgen::SloClass::kPremium;
+  keeper.weight = 0.1;
+  keeper.arrival.num_users = 100'000;
+  keeper.arrival.per_user_qps = 0.01;
+
+  loadgen::TenantSpec t;
+  t.name = "standard";
+  t.slo_class = loadgen::SloClass::kStandard;
+  t.weight = 0.9;
+  t.arrival.num_users = 1'000'000;
+  t.arrival.per_user_qps = 0.01;
+  loadgen::ShapeSpec crowd;
+  crowd.name = "flash_crowd";
+  crowd.magnitude = kCrowdPeak;
+  crowd.start = kCrowdStart;
+  crowd.duration = kCrowdDuration;
+  t.shapes.push_back(crowd);
+  options.loadgen.tenants = {keeper, t};
+
+  // Shed early (as in ablation_slo_tiers): the crowd is far past
+  // capacity, so a late onset only buys backlog.
+  options.loadgen.admission.classes[static_cast<size_t>(
+      loadgen::SloClass::kStandard)] = {0.0, 0.0, 0.50, 0.85};
+  // Refusal is not free: every rejected attempt costs the entrance ~3 %
+  // of a query (accept, parse, reject). This is the wasted work that
+  // separates the arms: a hammering client re-offering its full 20-try
+  // budget keeps ~0.27x capacity of pure refusal work on a controller
+  // that has narrowed to serve almost nothing, while backoff's 4-try
+  // budget prices out at ~0.05x — below the escape threshold — yet the
+  // stub load never exceeds capacity, so the backlog (and the
+  // simulation) stays bounded.
+  options.loadgen.reject_cost_frac = 0.03;
+  options.loadgen.duration = kTraceDuration;
+
+  loadgen::RetryParams& retry = options.loadgen.retry;
+  switch (arm) {
+    case kNoRetry:
+      retry.enabled = false;
+      break;
+    case kImmediate:
+      // The naive client: hammer every reconnect RTT until served. The
+      // large budget is the point — a real user mashing reload does not
+      // stop after six tries, and the instant re-offer is what keeps the
+      // entrance pinned.
+      retry.enabled = true;
+      retry.mode = loadgen::RetryParams::Mode::kImmediate;
+      retry.immediate_delay = Millis(50);
+      retry.max_attempts = 20;
+      break;
+    case kBackoff:
+      // The disciplined client: bounded budget, exponential backoff,
+      // jittered so the rejected crowd decorrelates.
+      retry.enabled = true;
+      retry.mode = loadgen::RetryParams::Mode::kBackoff;
+      retry.max_attempts = 4;
+      break;
+  }
+
+  options.total_load = kBaseLoad;
+  options.admission_enabled = true;
+  return options;
+}
+
+SloRunResult Run(Arm arm) {
+  return RunSloExperiment(
+      [](engine::Engine* e) -> std::unique_ptr<workload::Workload> {
+        workload::KvParams params;
+        params.indexed = false;
+        params.batch_gets = 4'000;
+        return std::make_unique<workload::KvWorkload>(e, params);
+      },
+      MakeOptions(arm));
+}
+
+/// Mean of a sample field over the post-crowd scoring window.
+double PostCrowdMean(const SloRunResult& r,
+                     double (*field)(const experiment::SloSample&)) {
+  double sum = 0.0;
+  int n = 0;
+  for (const experiment::SloSample& s : r.series) {
+    if (s.t_s < kScoreFromS) continue;
+    sum += field(s);
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+/// Last sample time at which shedding was still active — "when did the
+/// storm actually end". A system still shedding at trace end never
+/// re-converged.
+double LastShedS(const SloRunResult& r) {
+  double last = 0.0;
+  for (const experiment::SloSample& s : r.series) {
+    if (s.shed_fraction > 0.05) last = s.t_s;
+  }
+  return last;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs = experiment::ParseJobs(argc, argv);
+  bench::PrintHeader(
+      "ablation_retry_storm", "beyond the paper (fault & retry dynamics)",
+      "Retry-storm metastability: shed clients that retry immediately keep "
+      "the system pinned past its flash-crowd trigger; exponential backoff "
+      "with jitter re-converges. Scored on the post-crowd window.");
+
+  std::vector<SloRunResult> results(3);
+  experiment::RunMatrix(3, jobs, [&](int i) {
+    results[static_cast<size_t>(i)] = Run(static_cast<Arm>(i));
+  });
+  const char* arm_names[] = {"crowd, no retry", "crowd, immediate",
+                             "crowd, backoff"};
+
+  TablePrinter summary(
+      {"arm", "arrivals", "retries", "shed", "abandoned", "completed",
+       "energy J", "post-crowd shed", "post-crowd press", "shed until s"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SloRunResult& r = results[i];
+    summary.AddRow(
+        {arm_names[i], FmtInt(r.arrivals), FmtInt(r.retries), FmtInt(r.shed),
+         FmtInt(r.abandoned), FmtInt(r.completed), Fmt(r.energy_j, 0),
+         Fmt(PostCrowdMean(
+                 r, [](const experiment::SloSample& s) {
+                   return s.shed_fraction;
+                 }),
+             3),
+         Fmt(PostCrowdMean(
+                 r, [](const experiment::SloSample& s) { return s.pressure; }),
+             3),
+         Fmt(LastShedS(r), 0)});
+  }
+  summary.Print();
+
+  const SloRunResult& immediate = results[kImmediate];
+  const SloRunResult& backoff = results[kBackoff];
+  const double imm_shed = PostCrowdMean(
+      immediate,
+      [](const experiment::SloSample& s) { return s.shed_fraction; });
+  const double back_shed = PostCrowdMean(
+      backoff, [](const experiment::SloSample& s) { return s.shed_fraction; });
+  std::printf(
+      "\npost-crowd (t >= %.0f s, crowd gone at %.0f s): immediate retries "
+      "hold shed fraction at %.2f (still shedding at t=%.0f s) while "
+      "backoff decays it to %.2f (last shed at t=%.0f s) — the same "
+      "trigger, the same load, only the client retry policy differs.\n",
+      kScoreFromS, ToSeconds(kCrowdStart + kCrowdDuration), imm_shed,
+      LastShedS(immediate), back_shed, LastShedS(backoff));
+  std::printf(
+      "Immediate retries amplify every refusal back into offered load "
+      "(%lld retries vs %lld with backoff), sustaining the overload the "
+      "shedding was meant to end; backoff spreads the same demand across "
+      "time and the entrance quiets down.\n",
+      static_cast<long long>(immediate.retries),
+      static_cast<long long>(backoff.retries));
+
+  // Time series of all three arms for the plots.
+  CsvWriter csv("bench_results/ablation_retry_storm.csv",
+                {"arm", "t_s", "offered_qps", "power_w", "latency_window_ms",
+                 "pressure", "shed_fraction", "active_threads"});
+  for (size_t i = 0; i < results.size(); ++i) {
+    for (const experiment::SloSample& s : results[i].series) {
+      csv.AddRow({arm_names[i], Fmt(s.t_s, 2), Fmt(s.offered_qps, 2),
+                  Fmt(s.power_w, 3), Fmt(s.latency_window_ms, 3),
+                  Fmt(s.pressure, 4), Fmt(s.shed_fraction, 4),
+                  std::to_string(s.width)});
+    }
+  }
+  if (csv.ok()) {
+    std::printf(
+        "[series exported to bench_results/ablation_retry_storm.csv]\n");
+  }
+  return 0;
+}

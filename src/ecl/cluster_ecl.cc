@@ -144,6 +144,9 @@ bool ClusterEcl::TryWake(double pressure) {
   }
   for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
     if (cluster.state(n) != hwsim::Cluster::NodeState::kOff) continue;
+    // Crashed hardware is not spare capacity: waking it would burn a boot
+    // and give nothing back. The wake hysteresis only sees healthy nodes.
+    if (cluster.IsFailed(n)) continue;
     ++wakes_;
     if (params_.telemetry != nullptr) {
       params_.telemetry->trace().Instant(
@@ -264,6 +267,16 @@ void ClusterEcl::MaybePowerDown() {
   hwsim::Cluster& cluster = engine_->cluster();
   engine::PlacementMap& placement = engine_->placement();
   if (cluster.NodesOn() <= params_.min_nodes_on) return;
+  // Crash recovery in progress: survivors are absorbing re-homed
+  // partitions and retries; do not shrink capacity into that transient.
+  if (cluster.last_crash_time() >= 0 &&
+      simulator_->now() - cluster.last_crash_time() <
+          params_.crash_recovery_hold) {
+    return;
+  }
+  for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
+    if (cluster.IsFailed(n)) return;
+  }
   for (NodeId n = 0; n < cluster.num_nodes(); ++n) {
     if (!cluster.IsOn(n)) continue;
     if (placement.PartitionsOn(n) != 0) continue;

@@ -12,6 +12,15 @@ ProfileMaintenance::OnlineOutcome ProfileMaintenance::RecordOnline(
   if (!params_.enable_online || index <= 0 || index >= profile->size()) {
     return outcome;
   }
+  // Sensor sanity: a RAPL dropout freezes the published energy counters,
+  // collapsing the interval's power delta to zero (or, with quantization
+  // jitter, below zero). Real socket power is tens of watts, so a
+  // non-positive measurement can only be a broken sensor — discard it
+  // instead of poisoning the profile with a "free energy" configuration.
+  if (power_w <= 0.0) {
+    ++discarded_measurements_;
+    return outcome;
+  }
   profile::Configuration& c = profile->config(index);
   if (c.measured() && c.power_w > 0.0 && c.perf_score > 0.0 &&
       perf_score > 0.0) {

@@ -87,6 +87,10 @@ class ProfileMaintenance {
   int64_t online_updates() const { return online_updates_; }
   int64_t multiplexed_evals() const { return multiplexed_evals_; }
   void CountMultiplexedEval() { ++multiplexed_evals_; }
+  /// Online measurements rejected as sensor failures (non-positive power:
+  /// a frozen RAPL counter during a sensor dropout).
+  int64_t discarded_measurements() const { return discarded_measurements_; }
+  void CountDiscardedMeasurement() { ++discarded_measurements_; }
 
   /// Predictor statistics (telemetry: ecl/socketN/predictor_*).
   int64_t predictor_hits() const { return predictor_hits_; }
@@ -108,6 +112,7 @@ class ProfileMaintenance {
   ProfileMaintenanceParams params_;
   int64_t online_updates_ = 0;
   int64_t multiplexed_evals_ = 0;
+  int64_t discarded_measurements_ = 0;
   int64_t drift_flags_ = 0;
   int64_t predictor_hits_ = 0;
   int64_t predictor_misses_ = 0;

@@ -154,6 +154,13 @@ void SocketEcl::ScheduleEvaluation(SimTime at, int index, int64_t gen) {
         const double perf =
             static_cast<double>(machine_->ReadSocketInstructions(socket_) - *i0) /
             seconds;
+        // Frozen RAPL counters (sensor dropout) yield a non-positive power
+        // delta; real socket power is tens of watts. Discard instead of
+        // recording a "free energy" configuration the skyline would pin to.
+        if (power <= 0.0) {
+          maintenance_.CountDiscardedMeasurement();
+          return;
+        }
         profile_.Record(index, power, perf, simulator_->now());
         maintenance_.CountMultiplexedEval();
       });

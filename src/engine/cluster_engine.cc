@@ -66,6 +66,8 @@ void ClusterEngine::Submit(NodeId entry, const QuerySpec& spec) {
       sub.profile = spec.profile;
       sub.internal = spec.internal;
       sub.slo_class = spec.slo_class;
+      sub.tenant = spec.tenant;
+      sub.attempt = spec.attempt;
     }
     sub.work.push_back(w);
   }
@@ -102,7 +104,20 @@ void ClusterEngine::Route(NodeId at, QuerySpec sub) {
     return;
   }
   // The partition re-homed while the message was on the wire: the epoch
-  // it was addressed under is stale, forward another hop.
+  // it was addressed under is stale, forward another hop — up to the cap,
+  // past which the sub-query fails typed instead of chasing the placement
+  // forever (and the drop is visible in forward_drops / telemetry, never
+  // silent: conservation requires every submission to end as a completion
+  // or a typed failure).
+  if (static_cast<int>(sub.forward_hops) >= params_.max_forward_hops) {
+    ++forward_drops_;
+    if (failure_callback_) {
+      failure_callback_(sub.slo_class, sub.tenant, sub.attempt,
+                        simulator_->now(), FailReason::kForwardCap);
+    }
+    return;
+  }
+  ++sub.forward_hops;
   Ship(at, home, std::move(sub), /*forward=*/true);
 }
 
@@ -140,6 +155,9 @@ bool ClusterEngine::StartMigration(PartitionId p, NodeId to) {
 
 void ClusterEngine::CheckDrain(PartitionId p, QueryId copy_query,
                                double bytes) {
+  // Cancelled under our feet (a crash took an endpoint): the pending poll
+  // must not treat the vanished copy query as a completed drain.
+  if (!placement_->IsMigrating(p)) return;
   const NodeId from = placement_->HomeOf(p);
   if (node_engine(from).scheduler().IsInflight(copy_query)) {
     simulator_->ScheduleAfter(params_.migration.check_interval,
@@ -158,6 +176,9 @@ void ClusterEngine::CheckDrain(PartitionId p, QueryId copy_query,
 }
 
 void ClusterEngine::CommitOrCancel(PartitionId p, double bytes) {
+  // Crash-cancelled while the copy was on the wire: the crash path already
+  // cancelled the migration and adjusted the counters.
+  if (!placement_->IsMigrating(p)) return;
   --active_migrations_;
   if (!cluster_->IsOn(placement_->MigrationTarget(p))) {
     // Destination powered down while the copy was on the wire. The source
@@ -170,6 +191,72 @@ void ClusterEngine::CommitOrCancel(PartitionId p, double bytes) {
   placement_->CommitMigration(p);
   ++migrations_completed_;
   bytes_moved_ += bytes;
+}
+
+void ClusterEngine::SetQueryFailureCallback(Scheduler::FailureCallback cb) {
+  failure_callback_ = std::move(cb);
+  for (auto& eng : engines_) {
+    eng->scheduler().SetFailureCallback(failure_callback_);
+  }
+}
+
+void ClusterEngine::OnNodeCrash(NodeId n) {
+  ECLDB_CHECK(n >= 0 && n < num_nodes());
+  ECLDB_CHECK_MSG(cluster_->IsFailed(n), "crash recovery of a healthy node");
+
+  // 1. Cancel migrations whose endpoint died. The pending drain-poll and
+  // copy-delivery events of these migrations observe the cancelled state
+  // and no-op.
+  for (PartitionId p = 0; p < num_partitions(); ++p) {
+    if (!placement_->IsMigrating(p)) continue;
+    if (placement_->HomeOf(p) == n || placement_->MigrationTarget(p) == n) {
+      placement_->CancelMigration(p);
+      ++migrations_cancelled_;
+      --active_migrations_;
+    }
+  }
+
+  // 2. Fail what the node was holding: queued and in-flight queries fire
+  // typed kNodeCrash errors back to the client; internal shard copies
+  // vanish (their migrations were cancelled above).
+  node_engine(n).scheduler().FailAllInflight(FailReason::kNodeCrash);
+
+  // 3. Re-home the lost partitions onto survivors and charge the shard
+  // re-copy from the durable placement truth on each new home. Survivor
+  // choice is deterministic: fewest partitions after prior re-homes,
+  // lowest node id on ties.
+  for (PartitionId p = 0; p < num_partitions(); ++p) {
+    if (placement_->HomeOf(p) != n) continue;
+    NodeId to = -1;
+    for (NodeId c = 0; c < num_nodes(); ++c) {
+      if (!cluster_->IsAvailable(c)) continue;
+      if (to < 0 || placement_->PartitionsOn(c) < placement_->PartitionsOn(to)) {
+        to = c;
+      }
+    }
+    if (to < 0) return;  // no survivor; partitions stay until one recovers
+    placement_->ForceRehome(p, to);
+
+    Engine& dst = node_engine(to);
+    const double actual =
+        static_cast<double>(dst.db().partition(p)->MemoryBytes());
+    const double bytes = std::max(actual, params_.migration.min_shard_bytes);
+    const double ops = std::max(1.0, bytes / params_.migration.bytes_per_op);
+    QuerySpec copy;
+    copy.profile = &ShardCopyProfile();
+    copy.work.push_back({p, ops, msg::MessageType::kWorkUnits, 0, 0});
+    copy.origin_socket = dst.placement().HomeOf(p);
+    copy.internal = true;
+    dst.Submit(copy);
+    ++crash_recoveries_;
+    recovery_bytes_ += bytes;
+  }
+}
+
+int64_t ClusterEngine::QueriesFailed() const {
+  int64_t total = forward_drops_;
+  for (const auto& eng : engines_) total += eng->scheduler().queries_failed();
+  return total;
 }
 
 bool ClusterEngine::NodeInvolvedInMigration(NodeId n) const {

@@ -26,6 +26,12 @@ struct ClusterEngineParams {
   /// local drain+copy, check_interval paces the handover poll. The copy
   /// then crosses the network at NIC speed instead of QPI speed.
   MigrationParams migration;
+  /// Stale-epoch forward chains longer than this fail the sub-query with
+  /// FailReason::kForwardCap instead of hopping again — a livelock guard
+  /// for routing under concurrent migrations (each hop re-resolves the
+  /// current placement, so in practice chains are short; the cap bounds
+  /// the pathological case without dropping work silently).
+  int max_forward_hops = 16;
   telemetry::Telemetry* telemetry = nullptr;
 };
 
@@ -86,6 +92,26 @@ class ClusterEngine {
   /// (such a node must not power down).
   bool NodeInvolvedInMigration(NodeId n) const;
 
+  /// Crash recovery (fault injector, after hwsim::Cluster::Crash(n)):
+  ///  1. cancels every node-scope migration with `n` as an endpoint (the
+  ///     pending drain-poll / copy-delivery events no-op on the cancelled
+  ///     state),
+  ///  2. fails every query inflight on `n` with FailReason::kNodeCrash
+  ///     (typed errors reach the client through the failure callback),
+  ///  3. re-homes each lost partition onto the available survivor with the
+  ///     fewest partitions (lowest id on ties) via an epoch bump, and
+  ///     charges an internal shard re-copy from the durable placement
+  ///     truth on the new home's partition queue.
+  /// In-flight network messages addressed to `n` are not lost: their
+  /// delivery re-resolves the (bumped) placement and forwards onward.
+  /// With no available survivor only steps 1–2 run; partitions stay homed
+  /// on the dead node until one recovers.
+  void OnNodeCrash(NodeId n);
+
+  /// Client-side failure fan-in: installed on every node scheduler, and
+  /// invoked directly for cluster-level forward-cap drops.
+  void SetQueryFailureCallback(Scheduler::FailureCallback cb);
+
   /// Fluid backlog queued on `n` across all its sockets (wake signal).
   double BacklogOps(NodeId n) const;
 
@@ -99,6 +125,13 @@ class ClusterEngine {
   int64_t migrations_completed() const { return migrations_completed_; }
   int64_t migrations_cancelled() const { return migrations_cancelled_; }
   double bytes_moved() const { return bytes_moved_; }
+
+  /// Non-internal queries failed across all node schedulers plus
+  /// cluster-level forward-cap drops.
+  int64_t QueriesFailed() const;
+  int64_t forward_drops() const { return forward_drops_; }
+  int64_t crash_recoveries() const { return crash_recoveries_; }
+  double recovery_bytes() const { return recovery_bytes_; }
 
  private:
   /// Submits a single-home-node sub-query on that node's engine.
@@ -123,6 +156,10 @@ class ClusterEngine {
   int64_t migrations_completed_ = 0;
   int64_t migrations_cancelled_ = 0;
   double bytes_moved_ = 0.0;
+  int64_t forward_drops_ = 0;
+  int64_t crash_recoveries_ = 0;
+  double recovery_bytes_ = 0.0;
+  Scheduler::FailureCallback failure_callback_;
 };
 
 }  // namespace ecldb::engine

@@ -67,6 +67,20 @@ SocketId PlacementMap::CommitMigration(PartitionId p) {
   return from;
 }
 
+SocketId PlacementMap::ForceRehome(PartitionId p, SocketId to) {
+  ECLDB_CHECK(p >= 0 && p < num_partitions());
+  ECLDB_CHECK(to >= 0 && to < num_sockets_);
+  if (IsMigrating(p)) CancelMigration(p);
+  const SocketId from = home_[static_cast<size_t>(p)];
+  ECLDB_CHECK_MSG(from != to, "forced re-home to the current home");
+  home_[static_cast<size_t>(p)] = to;
+  --per_socket_[static_cast<size_t>(from)];
+  ++per_socket_[static_cast<size_t>(to)];
+  ++forced_rehomes_;
+  ++epoch_;
+  return from;
+}
+
 void PlacementMap::CancelMigration(PartitionId p) {
   ECLDB_CHECK(p >= 0 && p < num_partitions());
   ECLDB_CHECK_MSG(IsMigrating(p), "cancel without a begun migration");

@@ -78,6 +78,14 @@ class PlacementMap : public msg::PlacementView {
   void CancelMigration(PartitionId p);
   int64_t cancelled_migrations() const { return cancelled_migrations_; }
 
+  /// Crash recovery: re-homes `p` to `to` immediately and bumps the
+  /// epoch, cancelling any in-progress migration of `p` first (its
+  /// endpoint died). Unlike the two-phase path there is no drain — the
+  /// old home is gone; the caller re-copies the shard from the durable
+  /// placement truth onto the new home. Returns the old home.
+  SocketId ForceRehome(PartitionId p, SocketId to);
+  int64_t forced_rehomes() const { return forced_rehomes_; }
+
  private:
   int num_sockets_;
   std::vector<SocketId> home_;
@@ -88,6 +96,7 @@ class PlacementMap : public msg::PlacementView {
   int migrating_count_ = 0;
   int64_t completed_migrations_ = 0;
   int64_t cancelled_migrations_ = 0;
+  int64_t forced_rehomes_ = 0;
 };
 
 }  // namespace ecldb::engine

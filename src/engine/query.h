@@ -32,6 +32,28 @@ struct PartitionWork {
   int morsels = 1;
 };
 
+/// Why a query was failed instead of completed. Typed so clients (the
+/// loadgen's retry model) and tests can distinguish infrastructure loss
+/// from routing pathology.
+enum class FailReason : int8_t {
+  kNone = 0,
+  /// The node executing the query crashed with the query in flight or
+  /// queued (cluster crash recovery fails it back to the client).
+  kNodeCrash = 1,
+  /// A stale-epoch forward chain exceeded the configured hop cap (routing
+  /// livelock guard; see ClusterEngineParams::max_forward_hops).
+  kForwardCap = 2,
+};
+
+inline const char* FailReasonName(FailReason r) {
+  switch (r) {
+    case FailReason::kNone: return "none";
+    case FailReason::kNodeCrash: return "node_crash";
+    case FailReason::kForwardCap: return "forward_cap";
+  }
+  return "?";
+}
+
 /// A query as submitted to the engine: a work profile plus per-partition
 /// work items. Queries spanning partitions on multiple sockets exercise
 /// the inter-socket communication path.
@@ -50,6 +72,17 @@ struct QuerySpec {
   /// cluster entry-node splits) so completions can be accounted against
   /// per-class deadlines; the engine itself never branches on it.
   int8_t slo_class = -1;
+  /// Submitting tenant index (loadgen), or -1 for untagged traffic.
+  /// Carried so failure callbacks can route a typed error back to the
+  /// originating tenant's retry state; the engine never branches on it.
+  int16_t tenant = -1;
+  /// Client-side attempt number (0 = first submission, >0 = retry).
+  /// Opaque to the engine; echoed in failure callbacks.
+  int8_t attempt = 0;
+  /// Stale-epoch forward hops this query has taken so far (cluster
+  /// routing). Incremented by ClusterEngine on each forward; queries
+  /// exceeding ClusterEngineParams::max_forward_hops fail typed.
+  int8_t forward_hops = 0;
 };
 
 /// Collects completed-query latencies: a sliding window for the

@@ -135,6 +135,8 @@ QueryId Scheduler::Submit(const QuerySpec& spec) {
   }
   state.internal = spec.internal;
   state.slo_class = spec.slo_class;
+  state.tenant = spec.tenant;
+  state.attempt = spec.attempt;
   inflight_.emplace(id, state);
   if (!spec.internal) ++queries_submitted_;
 
@@ -359,6 +361,46 @@ size_t Scheduler::RetrySpill() {
     }
   }
   return moved;
+}
+
+int64_t Scheduler::FailAllInflight(FailReason reason) {
+  // Discard queued work everywhere it can hide. Worker state first (that
+  // releases queue ownership, a precondition of the layer drain), then the
+  // layer's queues and channels, then the spill buffers.
+  for (Worker& w : workers_) {
+    w.batch.clear();
+    w.batch_pos = 0;
+    w.remaining_ops = 0.0;
+    if (w.owned != nullptr) {
+      w.owned->Release(w.id);
+      w.owned = nullptr;
+    }
+    machine_->SetThreadLoad(w.hw_thread, nullptr, 0.0);
+    (void)machine_->TakeCompletedOps(w.hw_thread);
+  }
+  (void)layer_->DrainAllQueues();
+  for (auto& dq : spill_) dq.clear();
+  std::fill(outstanding_morsels_.begin(), outstanding_morsels_.end(), 0);
+
+  // Fail in submission order so the client sees a deterministic, ordered
+  // error stream (query ids are assigned monotonically).
+  std::vector<QueryId> ids;
+  ids.reserve(inflight_.size());
+  for (const auto& [id, state] : inflight_) {
+    if (!state.internal) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const QueryId id : ids) {
+    const QueryState& state = inflight_.at(id);
+    if (failure_callback_) {
+      failure_callback_(state.slo_class, state.tenant, state.attempt,
+                        state.arrival, reason);
+    }
+  }
+  queries_failed_ += static_cast<int64_t>(ids.size());
+  inflight_.clear();
+  steady_ = false;
+  return static_cast<int64_t>(ids.size());
 }
 
 void Scheduler::PrepareRehome(PartitionId p) {

@@ -126,12 +126,34 @@ class Scheduler {
     completion_callback_ = std::move(callback);
   }
 
+  /// Invoked when a non-internal query is failed instead of completed
+  /// (crash recovery). Echoes the query's identity fields so the client
+  /// (loadgen retry model) can route the typed error to the originating
+  /// tenant. Unset costs nothing.
+  using FailureCallback = std::function<void(
+      int8_t slo_class, int16_t tenant, int8_t attempt, SimTime arrival,
+      FailReason reason)>;
+  void SetFailureCallback(FailureCallback callback) {
+    failure_callback_ = std::move(callback);
+  }
+
+  /// Crash recovery (event context): fails every inflight query with
+  /// `reason` and discards all queued work — worker batches, partition
+  /// queues, comm channels, spill buffers. Non-internal queries fire the
+  /// failure callback in submission order; internal queries (migration
+  /// shard copies) vanish silently — the cluster layer cancels their
+  /// migrations separately. Returns the number of non-internal failures.
+  int64_t FailAllInflight(FailReason reason);
+  int64_t queries_failed() const { return queries_failed_; }
+
  private:
   struct QueryState {
     SimTime arrival = 0;
     int pending_tasks = 0;
     bool internal = false;
     int8_t slo_class = -1;
+    int16_t tenant = -1;
+    int8_t attempt = 0;
   };
 
   void Advance(SimTime t0, SimTime t1);
@@ -195,6 +217,8 @@ class Scheduler {
   const hwsim::WorkProfile* synthetic_load_ = nullptr;
   FunctionalExecutor functional_executor_;
   CompletionCallback completion_callback_;
+  FailureCallback failure_callback_;
+  int64_t queries_failed_ = 0;
   /// Telemetry latency histograms (unbound handles = inlined no-ops).
   telemetry::HistogramHandle query_latency_ms_;
   std::vector<telemetry::HistogramHandle> partition_latency_ms_;

@@ -1,13 +1,35 @@
 #include "experiment/drain.h"
 
+#include <cstdio>
+
 namespace ecldb::experiment {
 
 bool DrainToCompletion(sim::Simulator& simulator,
                        const std::function<int64_t()>& completed,
-                       int64_t submitted, SimDuration cap) {
+                       int64_t submitted, SimDuration cap,
+                       SimDuration no_progress_abort,
+                       const std::function<std::string()>& diagnostic) {
   const SimTime deadline = simulator.now() + cap;
+  int64_t last = completed();
+  SimTime last_progress = simulator.now();
   while (completed() < submitted && simulator.now() < deadline) {
     simulator.RunFor(Seconds(1));
+    const int64_t now_done = completed();
+    if (now_done != last) {
+      last = now_done;
+      last_progress = simulator.now();
+    } else if (no_progress_abort > 0 &&
+               simulator.now() - last_progress >= no_progress_abort) {
+      std::fprintf(stderr,
+                   "[drain] aborting: no completion progress for %.0fs "
+                   "(completed %lld of %lld, t=%.1fs)%s%s\n",
+                   ToSeconds(simulator.now() - last_progress),
+                   static_cast<long long>(now_done),
+                   static_cast<long long>(submitted),
+                   ToSeconds(simulator.now()), diagnostic ? " " : "",
+                   diagnostic ? diagnostic().c_str() : "");
+      return false;
+    }
   }
   return completed() >= submitted;
 }

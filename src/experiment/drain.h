@@ -2,6 +2,7 @@
 #define ECLDB_EXPERIMENT_DRAIN_H_
 
 #include <functional>
+#include <string>
 
 #include "common/types.h"
 #include "sim/simulator.h"
@@ -12,13 +13,25 @@ namespace ecldb::experiment {
 /// completed, so arms sharing a driver seed report equal completions no
 /// matter how much backlog each policy carried past the end. Energy
 /// windows are measured before draining; the queueing cost of a late wake
-/// shows up in the latency tail, not as truncated work. Capped (default
-/// 120 s) in case a query is ever lost outright — a policy bug the
-/// completion counts then expose. Returns true when fully drained.
+/// shows up in the latency tail, not as truncated work.
+///
+/// Two guards keep a lost query from spinning the drain forever:
+///  * a no-progress watchdog: when the completion count has not moved for
+///    `no_progress_abort` of virtual time, the drain aborts immediately
+///    and prints a diagnostic to stderr (the completion gap, plus the
+///    caller's `diagnostic()` backlog description when provided) — lost
+///    work surfaces as an actionable message, not a silent timeout. The
+///    default window comfortably covers the longest legitimate stall (a
+///    20 s node boot plus migration settling).
+///  * the hard `cap` (default 120 s) as before.
+/// Returns true when fully drained.
 bool DrainToCompletion(sim::Simulator& simulator,
                        const std::function<int64_t()>& completed,
                        int64_t submitted,
-                       SimDuration cap = Seconds(120));
+                       SimDuration cap = Seconds(120),
+                       SimDuration no_progress_abort = Seconds(45),
+                       const std::function<std::string()>& diagnostic =
+                           nullptr);
 
 }  // namespace ecldb::experiment
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "ecl/baseline.h"
 #include "experiment/cluster_rig.h"
 #include "experiment/drain.h"
+#include "faultsim/fault_injector.h"
 
 namespace ecldb::experiment {
 namespace {
@@ -21,6 +23,9 @@ void FillLoadgenStats(const loadgen::LoadGen& lg, SloRunResult* result) {
   result->admitted = adm.total_admitted();
   result->shed = adm.total_shed();
   result->completed = slo.total_completed();
+  result->failed = lg.failed();
+  result->retries = lg.retries();
+  result->abandoned = lg.abandoned();
   double mean_weighted = 0.0;
   for (int i = 0; i < loadgen::kNumSloClasses; ++i) {
     const auto c = static_cast<loadgen::SloClass>(i);
@@ -94,6 +99,11 @@ SloRunResult RunSloExperiment(const WorkloadFactory& factory,
       [&lg](int8_t cls, SimTime arrival, SimTime completion) {
         lg.OnQueryComplete(cls, arrival, completion);
       });
+  engine.scheduler().SetFailureCallback(
+      [&lg](int8_t cls, int16_t tenant, int8_t attempt, SimTime arrival,
+            engine::FailReason reason) {
+        lg.OnQueryFailed(cls, tenant, attempt, arrival, reason);
+      });
   if (options.admission_enabled && loop != nullptr) {
     ecl::SystemEcl& system = loop->system();
     lg.admission().SetPressureSource(
@@ -135,8 +145,11 @@ SloRunResult RunSloExperiment(const WorkloadFactory& factory,
   simulator.RunUntil(run_end);
   if (tel != nullptr) tel->StopSampler();
   const double e1 = machine.TotalEnergyJoules();
+  // A submission resolves as a completion or a typed failure — the drain
+  // counts both, so a failed query never spins the watchdog.
   result.drained = DrainToCompletion(
-      simulator, [&lg] { return lg.slo().total_completed(); },
+      simulator,
+      [&lg] { return lg.slo().total_completed() + lg.failed(); },
       lg.submitted());
 
   result.duration_s = ToSeconds(options.loadgen.duration);
@@ -173,6 +186,11 @@ SloRunResult RunClusterSloExperiment(const ClusterWorkloadFactory& factory,
           lg.OnQueryComplete(cls, arrival, completion);
         });
   }
+  cengine.SetQueryFailureCallback(
+      [&lg](int8_t cls, int16_t tenant, int8_t attempt, SimTime arrival,
+            engine::FailReason reason) {
+        lg.OnQueryFailed(cls, tenant, attempt, arrival, reason);
+      });
   if (options.admission_enabled) {
     lg.admission().SetPressureSource(
         [&rig] { return rig.MaxNodePressure(); });
@@ -186,6 +204,27 @@ SloRunResult RunClusterSloExperiment(const ClusterWorkloadFactory& factory,
   SloRunResult result;
   result.capacity_qps = rig.capacity();
   const SimTime run_start = simulator.now();
+
+  // Scripted faults: shift the schedule (authored relative to measurement
+  // start) to absolute virtual time and arm. The injector's node hooks
+  // mirror the cluster ECL's: a crash stops the dead node's ECL before the
+  // engine recovery runs, a completed restart boots it again.
+  std::unique_ptr<faultsim::FaultInjector> injector;
+  if (!options.faults.empty()) {
+    faultsim::FaultInjectorParams fi_params;
+    fi_params.schedule = options.faults;
+    for (faultsim::FaultEvent& e : fi_params.schedule.events) {
+      e.at += run_start;
+    }
+    fi_params.telemetry = tel;
+    injector = std::make_unique<faultsim::FaultInjector>(
+        &simulator, &cluster, &cengine, fi_params);
+    injector->SetNodeHooks(
+        [&rig](NodeId n) { rig.node_ecl(n).Stop(); },
+        [&rig](NodeId n) { rig.node_ecl(n).Start(); });
+    injector->Arm();
+  }
+
   const double e0 = cluster.TotalEnergyJoules();
   lg.Start();
 
@@ -216,9 +255,22 @@ SloRunResult RunClusterSloExperiment(const ClusterWorkloadFactory& factory,
   simulator.RunUntil(run_end);
   if (tel != nullptr) tel->StopSampler();
   const double e1 = cluster.TotalEnergyJoules();
+  // Completions + typed failures together cover every submission; the
+  // watchdog diagnostic names the per-node backlog when they don't.
   result.drained = DrainToCompletion(
-      simulator, [&lg] { return lg.slo().total_completed(); },
-      lg.submitted());
+      simulator,
+      [&lg] { return lg.slo().total_completed() + lg.failed(); },
+      lg.submitted(), Seconds(120), Seconds(45),
+      [&cengine, &cluster, num_nodes] {
+        std::string d = "backlog:";
+        for (NodeId n = 0; n < num_nodes; ++n) {
+          d += " node" + std::to_string(n) + "=" +
+               std::to_string(static_cast<int64_t>(cengine.BacklogOps(n))) +
+               (cluster.IsFailed(n) ? "(failed)" : "");
+        }
+        d += " engine_failed=" + std::to_string(cengine.QueriesFailed());
+        return d;
+      });
 
   result.duration_s = ToSeconds(options.loadgen.duration);
   result.energy_j = e1 - e0;

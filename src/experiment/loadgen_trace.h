@@ -8,6 +8,7 @@
 #include "common/types.h"
 #include "experiment/cluster_trace.h"
 #include "experiment/experiment.h"
+#include "faultsim/fault_schedule.h"
 #include "loadgen/loadgen.h"
 
 namespace ecldb::experiment {
@@ -52,6 +53,14 @@ struct SloRunResult {
   int64_t completed = 0;
   double mean_ms = 0.0;
   double p99_ms = 0.0;
+  /// Typed engine failures delivered back to the client (node crashes,
+  /// forward-cap drops). Conservation: submitted == completed + failed
+  /// once drained.
+  int64_t failed = 0;
+  /// Client retry attempts re-offered through admission.
+  int64_t retries = 0;
+  /// Arrivals given up on (attempts exhausted or past the trace horizon).
+  int64_t abandoned = 0;
   std::array<SloClassStats, loadgen::kNumSloClasses> classes;
   std::vector<SloSample> series;
   std::string telemetry_dump;
@@ -87,6 +96,12 @@ struct ClusterSloRunOptions {
   loadgen::LoadGenParams loadgen;
   double total_load = 0.5;
   bool admission_enabled = true;
+  /// Scripted faults, injected through a FaultInjector armed after
+  /// priming. Event times are relative to measurement start (t=0 is the
+  /// instant the loadgen starts), so schedules compose with any
+  /// prime_duration. Empty (the default) constructs no injector: the run
+  /// is byte-identical to a pre-faultsim build.
+  faultsim::FaultSchedule faults;
 };
 
 /// Cluster analogue: the ClusterRig system stack under loadgen traffic.

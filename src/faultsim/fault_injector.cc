@@ -1,0 +1,112 @@
+#include "faultsim/fault_injector.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ecldb::faultsim {
+
+FaultInjector::FaultInjector(sim::Simulator* simulator,
+                             hwsim::Cluster* cluster,
+                             engine::ClusterEngine* engine,
+                             const FaultInjectorParams& params)
+    : simulator_(simulator),
+      cluster_(cluster),
+      engine_(engine),
+      params_(params) {
+  ECLDB_CHECK(simulator != nullptr && cluster != nullptr);
+  if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
+    telemetry::MetricRegistry& reg = tel->registry();
+    reg.AddCounterFn("faults/injected", [this] { return injected_; });
+    reg.AddCounterFn("faults/skipped", [this] { return skipped_; });
+    reg.AddCounterFn("faults/crashes", [this] { return cluster_->crashes(); });
+    reg.AddCounterFn("faults/boot_failures",
+                     [this] { return cluster_->boot_failures(); });
+    reg.AddCounterFn("faults/deferred_transfers", [this] {
+      return cluster_->network().deferred_transfers();
+    });
+    if (engine_ != nullptr) {
+      reg.AddCounterFn("faults/queries_failed",
+                       [this] { return engine_->QueriesFailed(); });
+      reg.AddCounterFn("faults/forward_drops",
+                       [this] { return engine_->forward_drops(); });
+      reg.AddCounterFn("faults/crash_recoveries",
+                       [this] { return engine_->crash_recoveries(); });
+      reg.AddGauge("faults/recovery_bytes",
+                   [this] { return engine_->recovery_bytes(); });
+    }
+    trace_lane_ = tel->trace().RegisterLane("faults");
+  }
+}
+
+void FaultInjector::SetNodeHooks(NodeHook on_crash, NodeHook on_restored) {
+  on_crash_ = std::move(on_crash);
+  on_restored_ = std::move(on_restored);
+}
+
+void FaultInjector::Arm() {
+  ECLDB_CHECK_MSG(!armed_, "fault injector armed twice");
+  armed_ = true;
+  for (const FaultEvent& e : params_.schedule.events) {
+    simulator_->Schedule(e.at, [this, e] { Apply(e); });
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& e) {
+  ECLDB_CHECK(e.node >= 0 && e.node < cluster_->num_nodes());
+  const NodeId n = e.node;
+  switch (e.kind) {
+    case FaultKind::kNodeCrash: {
+      if (cluster_->state(n) == hwsim::Cluster::NodeState::kOff) {
+        // Already off (policy power-down raced the schedule): there is
+        // nothing to crash, and nothing on it to lose.
+        ++skipped_;
+        return;
+      }
+      if (on_crash_ != nullptr) on_crash_(n);
+      cluster_->Crash(n);
+      if (engine_ != nullptr) engine_->OnNodeCrash(n);
+      break;
+    }
+    case FaultKind::kNodeRestart: {
+      if (!cluster_->IsFailed(n)) {
+        ++skipped_;
+        return;
+      }
+      cluster_->ClearFailed(n);
+      if (cluster_->state(n) == hwsim::Cluster::NodeState::kOff) {
+        cluster_->PowerUp(n, [this, n] {
+          if (on_restored_ != nullptr) on_restored_(n);
+        });
+      }
+      break;
+    }
+    case FaultKind::kNicDegrade:
+      cluster_->network().SetLinkScale(n, e.severity);
+      break;
+    case FaultKind::kNicRestore:
+      cluster_->network().SetLinkScale(n, 1.0);
+      break;
+    case FaultKind::kNicPartition:
+      cluster_->network().SetLinkDownUntil(n, e.at + e.duration);
+      break;
+    case FaultKind::kBootFailure:
+      cluster_->InjectBootFailures(n, static_cast<int>(e.severity));
+      break;
+    case FaultKind::kRaplDropout:
+      cluster_->machine(n).SetRaplDropout(true);
+      break;
+    case FaultKind::kRaplRestore:
+      cluster_->machine(n).SetRaplDropout(false);
+      break;
+  }
+  ++injected_;
+  if (params_.telemetry != nullptr) {
+    params_.telemetry->trace().Instant(
+        trace_lane_, "faults", FaultKindName(e.kind), simulator_->now(),
+        "\"node\":" + std::to_string(n));
+  }
+}
+
+}  // namespace ecldb::faultsim

@@ -1,0 +1,81 @@
+#ifndef ECLDB_FAULTSIM_FAULT_INJECTOR_H_
+#define ECLDB_FAULTSIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "engine/cluster_engine.h"
+#include "faultsim/fault_schedule.h"
+#include "hwsim/cluster.h"
+#include "sim/simulator.h"
+#include "telemetry/telemetry.h"
+
+namespace ecldb::faultsim {
+
+struct FaultInjectorParams {
+  FaultSchedule schedule;
+  /// Optional telemetry: the injector registers the fault counters
+  /// (faults/injected, faults/crashes, ...). Registration lives HERE, not
+  /// in the cluster/engine constructors, so runs without an injector keep
+  /// their metric registry — and hence their golden telemetry dumps —
+  /// byte-identical to pre-fault builds.
+  telemetry::Telemetry* telemetry = nullptr;
+};
+
+/// Drives a FaultSchedule against the hardware simulation and the engine's
+/// recovery path. Construction is passive; Arm() schedules every event at
+/// its scripted virtual time. The injector draws no randomness and reads
+/// no wall clock, so a seeded experiment with a fault schedule is
+/// byte-identical across RunMatrix --jobs.
+///
+/// Crash sequencing per kNodeCrash event:
+///   on_crash hook (stop the node's ECL)  ->  hwsim::Cluster::Crash
+///   ->  ClusterEngine::OnNodeCrash (fail inflight, cancel migrations,
+///       re-home + recovery copy).
+/// A kNodeRestart clears the failed flag and powers the node up; the
+/// on_restored hook (restart the node's ECL) runs at boot completion.
+class FaultInjector {
+ public:
+  /// Node lifecycle hooks, mirroring ClusterEcl::SetNodeHooks: `on_crash`
+  /// runs synchronously before the hardware crash (stop the node ECL so
+  /// its pending evaluations are invalidated), `on_restored` when a
+  /// restarted node reaches serving state.
+  using NodeHook = std::function<void(NodeId)>;
+
+  /// `engine` may be null (hardware-only tests); crash recovery steps are
+  /// then skipped and only the hwsim state changes.
+  FaultInjector(sim::Simulator* simulator, hwsim::Cluster* cluster,
+                engine::ClusterEngine* engine,
+                const FaultInjectorParams& params);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void SetNodeHooks(NodeHook on_crash, NodeHook on_restored);
+
+  /// Schedules every event of the schedule. Call once, before running.
+  void Arm();
+
+  int64_t injected() const { return injected_; }
+  /// Events that found the target in a state the fault cannot apply to
+  /// (e.g. crashing a node that is already off) and were skipped.
+  int64_t skipped() const { return skipped_; }
+
+ private:
+  void Apply(const FaultEvent& e);
+
+  sim::Simulator* simulator_;
+  hwsim::Cluster* cluster_;
+  engine::ClusterEngine* engine_;
+  FaultInjectorParams params_;
+  NodeHook on_crash_;
+  NodeHook on_restored_;
+  bool armed_ = false;
+  int64_t injected_ = 0;
+  int64_t skipped_ = 0;
+  int trace_lane_ = 0;
+};
+
+}  // namespace ecldb::faultsim
+
+#endif  // ECLDB_FAULTSIM_FAULT_INJECTOR_H_

@@ -1,0 +1,63 @@
+#include "faultsim/fault_schedule.h"
+
+namespace ecldb::faultsim {
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kNodeRestart: return "node_restart";
+    case FaultKind::kNicDegrade: return "nic_degrade";
+    case FaultKind::kNicRestore: return "nic_restore";
+    case FaultKind::kNicPartition: return "nic_partition";
+    case FaultKind::kBootFailure: return "boot_failure";
+    case FaultKind::kRaplDropout: return "rapl_dropout";
+    case FaultKind::kRaplRestore: return "rapl_restore";
+  }
+  return "?";
+}
+
+FaultSchedule& FaultSchedule::Crash(SimTime at, NodeId node) {
+  events.push_back({at, FaultKind::kNodeCrash, node, 0.0, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Restart(SimTime at, NodeId node) {
+  events.push_back({at, FaultKind::kNodeRestart, node, 0.0, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::NicDegrade(SimTime at, NodeId node,
+                                         double scale) {
+  events.push_back({at, FaultKind::kNicDegrade, node, scale, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::NicRestore(SimTime at, NodeId node) {
+  events.push_back({at, FaultKind::kNicRestore, node, 1.0, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::NicPartition(SimTime at, NodeId node,
+                                           SimDuration duration) {
+  events.push_back({at, FaultKind::kNicPartition, node, 0.0, duration});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::BootFailures(SimTime at, NodeId node,
+                                           int count) {
+  events.push_back(
+      {at, FaultKind::kBootFailure, node, static_cast<double>(count), 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::RaplDropout(SimTime at, NodeId node) {
+  events.push_back({at, FaultKind::kRaplDropout, node, 0.0, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::RaplRestore(SimTime at, NodeId node) {
+  events.push_back({at, FaultKind::kRaplRestore, node, 0.0, 0});
+  return *this;
+}
+
+}  // namespace ecldb::faultsim

@@ -1,0 +1,74 @@
+#ifndef ECLDB_FAULTSIM_FAULT_SCHEDULE_H_
+#define ECLDB_FAULTSIM_FAULT_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ecldb::faultsim {
+
+/// The fault taxonomy of the injection subsystem (docs/architecture.md,
+/// "Fault model & recovery"). Every kind maps to exactly one hook on
+/// hwsim::Cluster / NetworkModel / Machine, so injected behaviour is a
+/// pure function of the schedule — seeded experiments stay byte-identical
+/// across --jobs.
+enum class FaultKind : int8_t {
+  /// Ungraceful whole-node loss: the node drops to off, its in-flight and
+  /// queued queries fail typed, its partitions re-home onto survivors.
+  kNodeCrash,
+  /// Repair: clears the failed flag and powers the node back up (it
+  /// returns empty; the cluster ECL spreads partitions back by policy).
+  kNodeRestart,
+  /// NIC degradation: effective line rate becomes link_gbps * severity.
+  kNicDegrade,
+  /// Restores the NIC to full line rate.
+  kNicRestore,
+  /// Network partition: transfers touching the node cannot start for
+  /// `duration` (the switch holds the frames; nothing is dropped).
+  kNicPartition,
+  /// Transient boot failure: the next `severity` power-up attempts of the
+  /// node fail at boot completion, each burning a full boot of energy.
+  kBootFailure,
+  /// RAPL sensor dropout: published energy reads freeze until restore;
+  /// ground-truth energy integration is unaffected.
+  kRaplDropout,
+  /// Ends a RAPL sensor dropout.
+  kRaplRestore,
+};
+
+const char* FaultKindName(FaultKind k);
+
+/// One scripted fault: what happens, to which node, when.
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  NodeId node = 0;
+  /// kNicDegrade: link scale in (0, 1]; kBootFailure: attempt count.
+  double severity = 0.0;
+  /// kNicPartition: how long the node stays partitioned off.
+  SimDuration duration = 0;
+};
+
+/// A scripted, deterministic fault sequence. Built once before the run and
+/// armed on a FaultInjector; the injector schedules every event at its
+/// fixed virtual time — no randomness, no wall-clock, so a schedule is
+/// replayable and byte-identical across parallel run matrices.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  FaultSchedule& Crash(SimTime at, NodeId node);
+  FaultSchedule& Restart(SimTime at, NodeId node);
+  FaultSchedule& NicDegrade(SimTime at, NodeId node, double scale);
+  FaultSchedule& NicRestore(SimTime at, NodeId node);
+  FaultSchedule& NicPartition(SimTime at, NodeId node, SimDuration duration);
+  FaultSchedule& BootFailures(SimTime at, NodeId node, int count);
+  FaultSchedule& RaplDropout(SimTime at, NodeId node);
+  FaultSchedule& RaplRestore(SimTime at, NodeId node);
+};
+
+}  // namespace ecldb::faultsim
+
+#endif  // ECLDB_FAULTSIM_FAULT_SCHEDULE_H_

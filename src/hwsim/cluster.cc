@@ -62,6 +62,14 @@ int Cluster::NodesOn() const {
   return on;
 }
 
+int Cluster::NodesAvailable() const {
+  int avail = 0;
+  for (const Node& node : nodes_) {
+    if (node.state == NodeState::kOn && !node.failed) ++avail;
+  }
+  return avail;
+}
+
 void Cluster::FoldPhase(NodeId n, SimTime now) {
   Node& node = nodes_[static_cast<size_t>(n)];
   const double phase_s = ToSeconds(now - node.since);
@@ -115,10 +123,47 @@ void Cluster::PowerUp(NodeId n, std::function<void()> on_booted) {
         Node& booted = nodes_[static_cast<size_t>(n)];
         if (booted.boot_generation != generation) return;  // superseded
         FoldPhase(n, simulator_->now());
+        if (booted.boot_failures_pending > 0) {
+          // Injected transient boot failure: the boot energy was spent
+          // (the phase fold above charged it), but the node lands back in
+          // kOff instead of serving. The caller's wake policy retries on
+          // a later tick.
+          --booted.boot_failures_pending;
+          ++boot_failures_;
+          booted.state = NodeState::kOff;
+          return;
+        }
         booted.state = NodeState::kOn;
         booted.machine_e_at_on = machine(n).TotalEnergyJoules();
         if (cb != nullptr) cb();
       });
+}
+
+void Cluster::Crash(NodeId n) {
+  ECLDB_CHECK(n >= 0 && n < num_nodes());
+  Node& node = nodes_[static_cast<size_t>(n)];
+  ECLDB_CHECK_MSG(node.state != NodeState::kOff, "crash of a node already off");
+  const SimTime now = simulator_->now();
+  FoldPhase(n, now);
+  node.state = NodeState::kOff;
+  node.failed = true;
+  // Invalidate any boot completion in flight (a crash mid-boot).
+  ++node.boot_generation;
+  machine(n).ClearThreadLoads();
+  machine(n).ApplyMachineConfig(MachineConfig::Idle(machine(n).topology()));
+  ++crashes_;
+  last_crash_time_ = now;
+}
+
+void Cluster::ClearFailed(NodeId n) {
+  ECLDB_CHECK(n >= 0 && n < num_nodes());
+  nodes_[static_cast<size_t>(n)].failed = false;
+}
+
+void Cluster::InjectBootFailures(NodeId n, int count) {
+  ECLDB_CHECK(n >= 0 && n < num_nodes());
+  ECLDB_CHECK(count >= 0);
+  nodes_[static_cast<size_t>(n)].boot_failures_pending = count;
 }
 
 double Cluster::NodeEnergyJoules(NodeId n) const {

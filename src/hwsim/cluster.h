@@ -98,6 +98,16 @@ class Cluster {
     return nodes_[static_cast<size_t>(n)].since;
   }
 
+  /// A failed node is crashed hardware (not a policy power-down): it is
+  /// off, refuses policy wakes (the wake hysteresis must ignore it), and
+  /// only a fault-schedule restart clears the flag.
+  bool IsFailed(NodeId n) const {
+    return nodes_[static_cast<size_t>(n)].failed;
+  }
+  /// On and not failed: the only nodes placement may target.
+  bool IsAvailable(NodeId n) const { return IsOn(n) && !IsFailed(n); }
+  int NodesAvailable() const;
+
   /// Powers a node down (must be on). The machine is forced to the idle
   /// configuration; its RAPL accrual stops counting toward the node's
   /// energy. Callers are responsible for draining the node first — the
@@ -105,8 +115,27 @@ class Cluster {
   void PowerDown(NodeId n);
 
   /// Starts booting an off node; `on_booted` (may be null) runs when the
-  /// node reaches kOn after NodePowerParams::boot_latency.
+  /// node reaches kOn after NodePowerParams::boot_latency. A pending boot
+  /// failure (see InjectBootFailures) sends the node back to kOff at the
+  /// end of the boot instead — the boot energy is spent either way — and
+  /// `on_booted` is not called.
   void PowerUp(NodeId n, std::function<void()> on_booted = nullptr);
+
+  /// Fault hook: ungraceful whole-node loss, legal from kOn or kBooting.
+  /// The node drops to kOff instantly (no drain, no phase grace), the
+  /// machine object idles, and the failed flag is set so policy wakes
+  /// skip the node until ClearFailed. Callers (the fault injector) are
+  /// responsible for telling the engine layer what died.
+  void Crash(NodeId n);
+
+  /// Fault hook: clears the failed flag (the operator replaced the node /
+  /// the transient cleared); the node stays kOff until powered up.
+  void ClearFailed(NodeId n);
+
+  /// Fault hook: the next `count` PowerUp attempts of `n` fail at boot
+  /// completion (transient firmware/POST failure). Each failed attempt
+  /// still burns a full boot-latency of boot power.
+  void InjectBootFailures(NodeId n, int count);
 
   /// Node energy in joules: machine RAPL while on + platform overhead
   /// while on + off/boot wall power while down/booting.
@@ -115,6 +144,11 @@ class Cluster {
 
   int64_t power_downs() const { return power_downs_; }
   int64_t power_ups() const { return power_ups_; }
+  int64_t crashes() const { return crashes_; }
+  int64_t boot_failures() const { return boot_failures_; }
+  /// Time of the last Crash() on any node (-1: never). The cluster ECL
+  /// holds power-downs for a recovery window after this.
+  SimTime last_crash_time() const { return last_crash_time_; }
 
  private:
   struct Node {
@@ -126,6 +160,10 @@ class Cluster {
     /// Accumulated node energy of all finished phases.
     double accumulated_j = 0.0;
     int64_t boot_generation = 0;
+    /// Crashed hardware, not a policy power-down (see IsFailed).
+    bool failed = false;
+    /// Remaining injected boot failures (see InjectBootFailures).
+    int boot_failures_pending = 0;
   };
 
   /// Closes the current phase's energy into accumulated_j at `now`.
@@ -138,6 +176,9 @@ class Cluster {
   std::vector<Node> nodes_;
   int64_t power_downs_ = 0;
   int64_t power_ups_ = 0;
+  int64_t crashes_ = 0;
+  int64_t boot_failures_ = 0;
+  SimTime last_crash_time_ = -1;
 };
 
 }  // namespace ecldb::hwsim

@@ -100,6 +100,24 @@ double Machine::TotalEnergyJoules() const {
   return sum;
 }
 
+void Machine::SetRaplDropout(bool dropped) {
+  if (dropped == rapl_dropout_) return;
+  if (dropped) {
+    // Snapshot the published counters: every read during the dropout
+    // returns these frozen values (deltas over the outage are zero).
+    const int sockets = params_.topology.num_sockets;
+    rapl_frozen_.assign(static_cast<size_t>(sockets) * kNumRaplDomains, 0);
+    for (SocketId s = 0; s < sockets; ++s) {
+      for (int d = 0; d < kNumRaplDomains; ++d) {
+        rapl_frozen_[static_cast<size_t>(s) * kNumRaplDomains +
+                     static_cast<size_t>(d)] =
+            rapl_.ReadEnergyUj(s, static_cast<RaplDomain>(d));
+      }
+    }
+  }
+  rapl_dropout_ = dropped;
+}
+
 double Machine::InstantPkgPowerW(SocketId socket) const {
   return instant_power_[static_cast<size_t>(socket)].pkg_w;
 }

@@ -127,8 +127,21 @@ class Machine {
 
   uint64_t ReadRaplUj(SocketId socket, RaplDomain domain) const {
     rapl_reads_.Increment();
+    if (rapl_dropout_) {
+      return rapl_frozen_[static_cast<size_t>(socket) * kNumRaplDomains +
+                          static_cast<size_t>(domain)];
+    }
     return rapl_.ReadEnergyUj(socket, domain);
   }
+
+  /// Fault hook (faultsim): while dropped out, the published RAPL reads
+  /// freeze at their value at the dropout instant — the MSR interface
+  /// returns stale counters, so software-side power deltas collapse to
+  /// zero. Ground-truth energy integration (ExactEnergyJoules /
+  /// TotalEnergyJoules) is unaffected: the hardware keeps drawing power,
+  /// only the sensor went away.
+  void SetRaplDropout(bool dropped);
+  bool rapl_dropout() const { return rapl_dropout_; }
   double ExactEnergyJoules(SocketId socket, RaplDomain domain) const {
     return rapl_.ExactEnergyJoules(socket, domain);
   }
@@ -230,6 +243,11 @@ class Machine {
   std::vector<double> dram_bytes_;
   /// Per-socket polling rate of the cached solution (instr/s).
   std::vector<double> cached_poll_rate_;
+
+  /// RAPL sensor dropout (fault hook): frozen published reads per
+  /// socket x domain while rapl_dropout_ is set.
+  bool rapl_dropout_ = false;
+  std::vector<uint64_t> rapl_frozen_;
 
   // Telemetry (optional; nullptr = uninstrumented).
   telemetry::Telemetry* telemetry_ = nullptr;

@@ -11,6 +11,19 @@ NetworkModel::NetworkModel(int num_nodes, const NetworkModelParams& params)
   ECLDB_CHECK(num_nodes > 0);
   ECLDB_CHECK(params_.link_gbps > 0.0);
   busy_until_.assign(static_cast<size_t>(num_nodes), 0);
+  link_scale_.assign(static_cast<size_t>(num_nodes), 1.0);
+  down_until_.assign(static_cast<size_t>(num_nodes), 0);
+}
+
+void NetworkModel::SetLinkScale(NodeId n, double scale) {
+  ECLDB_CHECK(n >= 0 && n < num_nodes());
+  ECLDB_CHECK(scale > 0.0 && scale <= 1.0);
+  link_scale_[static_cast<size_t>(n)] = scale;
+}
+
+void NetworkModel::SetLinkDownUntil(NodeId n, SimTime until) {
+  ECLDB_CHECK(n >= 0 && n < num_nodes());
+  down_until_[static_cast<size_t>(n)] = until;
 }
 
 SimDuration NetworkModel::TransferTime(double bytes) const {
@@ -25,8 +38,19 @@ SimTime NetworkModel::ReserveTransfer(NodeId from, NodeId to, double bytes,
   ECLDB_CHECK(from != to);
   SimTime& from_busy = busy_until_[static_cast<size_t>(from)];
   SimTime& to_busy = busy_until_[static_cast<size_t>(to)];
-  const SimTime start = std::max({now, from_busy, to_busy});
-  const double wire_s = bytes * 8.0 / (params_.link_gbps * 1e9);
+  // A partitioned endpoint defers the start (the switch buffers the
+  // frames); the transfer itself is never dropped.
+  const SimTime rejoined = std::max(down_until_[static_cast<size_t>(from)],
+                                    down_until_[static_cast<size_t>(to)]);
+  if (rejoined > now && rejoined > from_busy && rejoined > to_busy) {
+    ++deferred_transfers_;
+  }
+  const SimTime start = std::max({now, from_busy, to_busy, rejoined});
+  // The slower of the two endpoints' (possibly degraded) NICs bounds the
+  // transfer rate.
+  const double scale = std::min(link_scale_[static_cast<size_t>(from)],
+                                link_scale_[static_cast<size_t>(to)]);
+  const double wire_s = bytes * 8.0 / (params_.link_gbps * scale * 1e9);
   const SimTime wire_done = start + FromSeconds(wire_s);
   from_busy = wire_done;
   to_busy = wire_done;

@@ -1,6 +1,7 @@
 #ifndef ECLDB_HWSIM_NETWORK_MODEL_H_
 #define ECLDB_HWSIM_NETWORK_MODEL_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -41,19 +42,46 @@ class NetworkModel {
 
   /// Reserves both endpoints' NICs for a transfer of `bytes` starting no
   /// earlier than `now`; returns the delivery time at the destination.
+  /// Degraded or partitioned endpoints stretch or defer the transfer but
+  /// never drop it — every reservation delivers (conservation).
   SimTime ReserveTransfer(NodeId from, NodeId to, double bytes, SimTime now);
+
+  // --- Fault hooks (faultsim) ------------------------------------------
+  // Neutral by default (scale 1, never down), so runs without an armed
+  // fault injector are byte-identical to the pre-fault model.
+
+  /// Degrades a node's NIC: effective line rate becomes link_gbps * scale.
+  /// scale must be in (0, 1]; 1.0 restores full speed.
+  void SetLinkScale(NodeId n, double scale);
+  double link_scale(NodeId n) const {
+    return link_scale_[static_cast<size_t>(n)];
+  }
+
+  /// Partitions a node off the network until `until`: transfers touching
+  /// it cannot *start* before that time (they queue, then deliver — the
+  /// switch holds the frames, nothing is lost).
+  void SetLinkDownUntil(NodeId n, SimTime until);
+  SimTime link_down_until(NodeId n) const {
+    return down_until_[static_cast<size_t>(n)];
+  }
 
   int64_t transfers() const { return transfers_; }
   double bytes_sent() const { return bytes_sent_; }
-  /// Cumulative time transfers spent queued behind busy NICs.
+  /// Cumulative time transfers spent queued behind busy NICs (including
+  /// partition deferrals).
   SimDuration queueing_time() const { return queueing_time_; }
+  /// Transfers that had to wait for a partitioned endpoint to rejoin.
+  int64_t deferred_transfers() const { return deferred_transfers_; }
 
  private:
   NetworkModelParams params_;
   std::vector<SimTime> busy_until_;  // per node NIC
+  std::vector<double> link_scale_;   // per node degradation factor
+  std::vector<SimTime> down_until_;  // per node partition horizon
   int64_t transfers_ = 0;
   double bytes_sent_ = 0.0;
   SimDuration queueing_time_ = 0;
+  int64_t deferred_transfers_ = 0;
 };
 
 }  // namespace ecldb::hwsim

@@ -31,13 +31,15 @@ AdmissionParams AdmissionWithTelemetry(AdmissionParams p,
 }  // namespace
 
 LoadGen::Tenant::Tenant(TenantSpec s, uint64_t arrival_seed,
-                        uint64_t query_seed, uint64_t coin_seed)
+                        uint64_t query_seed, uint64_t coin_seed,
+                        uint64_t retry_seed)
     : spec(std::move(s)),
       shape(MakeTrafficShape(spec.shapes)),
       arrivals(std::make_unique<ArrivalProcess>(spec.arrival, shape.get(),
                                                 arrival_seed)),
       query_rng(query_seed),
-      coin_rng(coin_seed) {}
+      coin_rng(coin_seed),
+      retry_rng(retry_seed) {}
 
 LoadGen::LoadGen(sim::Simulator* simulator, workload::Workload* workload,
                  const LoadGenParams& params)
@@ -54,9 +56,12 @@ LoadGen::LoadGen(sim::Simulator* simulator, workload::Workload* workload,
     const TenantSpec& spec = params_.tenants[i];
     ECLDB_CHECK(spec.weight > 0.0);
     ECLDB_CHECK(spec.arrival.num_users > 0 && spec.arrival.per_user_qps > 0.0);
+    // The retry stream lives in a disjoint MixSeed index space (0x52455452
+    // = "RETR"): the established 3i+k streams keep their exact seeds.
     tenants_.emplace_back(spec, MixSeed(params_.seed, 3 * i + 1),
                           MixSeed(params_.seed, 3 * i + 2),
-                          MixSeed(params_.seed, 3 * i + 3));
+                          MixSeed(params_.seed, 3 * i + 3),
+                          MixSeed(params_.seed, 0x52455452ULL + i));
   }
   if (telemetry::Telemetry* tel = params_.telemetry; tel != nullptr) {
     telemetry::MetricRegistry& reg = tel->registry();
@@ -64,6 +69,13 @@ LoadGen::LoadGen(sim::Simulator* simulator, workload::Workload* workload,
     reg.AddCounterFn("loadgen/submitted", [this] { return submitted_; });
     reg.AddGauge("loadgen/offered_qps",
                  [this, tel] { return OfferedQps(tel->now()); });
+    // Retry metrics only exist in retry-enabled runs, keeping the metric
+    // registry (and golden telemetry dumps) of every other run unchanged.
+    if (params_.retry.enabled) {
+      reg.AddCounterFn("loadgen/retries", [this] { return retries_; });
+      reg.AddCounterFn("loadgen/abandoned", [this] { return abandoned_; });
+      reg.AddCounterFn("loadgen/failed", [this] { return failed_; });
+    }
   }
 }
 
@@ -101,16 +113,70 @@ void LoadGen::ScheduleNext(size_t i) {
 }
 
 void LoadGen::OnArrival(size_t i) {
+  ++arrivals_;
+  ++tenants_[i].offered;
+  AttemptAdmission(i, /*attempt=*/0);
+}
+
+void LoadGen::AttemptAdmission(size_t i, int8_t attempt) {
   Tenant& t = tenants_[i];
   const SimTime now = simulator_->now();
-  ++arrivals_;
-  ++t.offered;
-  if (!admission_.Admit(t.spec.slo_class, now, t.coin_rng)) return;
+  if (!admission_.Admit(t.spec.slo_class, now, t.coin_rng)) {
+    // Shed. The query content was never drawn (admission decides before
+    // MakeQuery), so a later retry admitting draws the same stream state
+    // a fresh admit would have. When refusal carries a cost, the entrance
+    // still burns a scaled-down internal query on the engine.
+    if (params_.reject_cost_frac > 0.0) {
+      engine::QuerySpec stub = workload_->MakeQuery(t.query_rng);
+      for (engine::PartitionWork& w : stub.work) {
+        w.ops = std::max(1.0, w.ops * params_.reject_cost_frac);
+      }
+      stub.internal = true;
+      submit_(std::move(stub));
+    }
+    MaybeRetry(i, attempt);
+    return;
+  }
   ++submitted_;
   ++t.admitted;
   engine::QuerySpec spec = workload_->MakeQuery(t.query_rng);
   spec.slo_class = static_cast<int8_t>(t.spec.slo_class);
+  spec.tenant = static_cast<int16_t>(i);
+  spec.attempt = attempt;
   submit_(std::move(spec));
+}
+
+void LoadGen::MaybeRetry(size_t i, int8_t attempt) {
+  const RetryParams& r = params_.retry;
+  if (!r.enabled) return;
+  if (static_cast<int>(attempt) + 1 >= r.max_attempts) {
+    ++abandoned_;
+    return;
+  }
+  SimDuration delay;
+  if (r.mode == RetryParams::Mode::kImmediate) {
+    delay = r.immediate_delay;
+  } else {
+    double d_s = ToSeconds(r.base_backoff);
+    for (int k = 0; k < static_cast<int>(attempt); ++k) d_s *= r.multiplier;
+    d_s = std::min(d_s, ToSeconds(r.max_backoff));
+    if (r.jitter > 0.0) {
+      const double u = tenants_[i].retry_rng.NextDouble();
+      d_s *= (1.0 - r.jitter) + 2.0 * r.jitter * u;
+    }
+    delay = FromSeconds(d_s);
+  }
+  // Horizon cap: a retry that would fire after the trace ends is
+  // abandoned, so every arrival resolves within the run (conservation).
+  if (simulator_->now() + delay - start_time_ >= params_.duration) {
+    ++abandoned_;
+    return;
+  }
+  ++retries_;
+  simulator_->ScheduleAfter(
+      delay, [this, i, next = static_cast<int8_t>(attempt + 1)] {
+        AttemptAdmission(i, next);
+      });
 }
 
 void LoadGen::OnQueryComplete(int8_t slo_class, SimTime arrival,
@@ -118,6 +184,17 @@ void LoadGen::OnQueryComplete(int8_t slo_class, SimTime arrival,
   if (slo_class < 0 || slo_class >= kNumSloClasses) return;
   slo_.RecordCompletion(static_cast<SloClass>(slo_class), arrival,
                         completion);
+}
+
+void LoadGen::OnQueryFailed(int8_t slo_class, int16_t tenant, int8_t attempt,
+                            SimTime arrival, engine::FailReason reason) {
+  (void)slo_class;
+  (void)arrival;
+  (void)reason;
+  ++failed_;
+  if (tenant >= 0 && static_cast<size_t>(tenant) < tenants_.size()) {
+    MaybeRetry(static_cast<size_t>(tenant), attempt);
+  }
 }
 
 double LoadGen::OfferedQps(SimTime now) const {

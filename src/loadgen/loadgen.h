@@ -32,13 +32,54 @@ struct TenantSpec {
   std::vector<ShapeSpec> shapes;
 };
 
+/// Client-side retry behaviour for shed and failed arrivals. Default off:
+/// without retries no extra rng stream is drawn and no metric is
+/// registered, so pre-retry runs stay byte-identical.
+///
+/// A retried attempt re-enters admission exactly like a fresh arrival —
+/// it consumes shed-pressure budget, can be shed again, and only draws
+/// query content from the tenant's query stream once it is admitted.
+struct RetryParams {
+  bool enabled = false;
+  /// kBackoff: exponential backoff with uniform jitter — the crowd of
+  /// rejected clients decorrelates and re-offers at a decaying rate.
+  /// kImmediate: naive clients re-submitting after a fixed small delay
+  /// (reconnect RTT) — the retry-storm arm: shed work returns instantly,
+  /// keeping offered load pinned above capacity (metastable overload).
+  enum class Mode { kBackoff, kImmediate };
+  Mode mode = Mode::kBackoff;
+  /// First-retry delay; attempt k waits base_backoff * multiplier^(k-1).
+  SimDuration base_backoff = Millis(100);
+  double multiplier = 2.0;
+  SimDuration max_backoff = Seconds(10);
+  /// Uniform jitter fraction j: the drawn delay is uniform in
+  /// [d*(1-j), d*(1+j)]. 0 disables the draw entirely.
+  double jitter = 0.5;
+  /// Naive-mode fixed re-submission delay.
+  SimDuration immediate_delay = Millis(10);
+  /// Total submission attempts per arrival including the first; once
+  /// exhausted the arrival is abandoned (counted, never silent).
+  int max_attempts = 4;
+};
+
 struct LoadGenParams {
   std::vector<TenantSpec> tenants;
+  /// Cost of REFUSING one arrival, as a fraction of that arrival's query
+  /// cost: accept(), TLS, parse, reject. Modeled as an internal micro-query
+  /// (invisible to client latency/completion accounting, but consuming real
+  /// capacity) submitted for every shed attempt. This is the wasted work
+  /// that makes retry storms metastable: a hammering client costs the
+  /// entrance capacity even while being refused. Default 0 submits nothing
+  /// and draws nothing — rejection is free, as before.
+  double reject_cost_frac = 0.0;
   /// Trace length; arrival loops stop scheduling past this horizon.
+  /// Retries that would fire past it are abandoned (counted), so the
+  /// drain accounting stays closed.
   SimDuration duration = Seconds(60);
   uint64_t seed = 77001;
   SloParams slo;
   AdmissionParams admission;
+  RetryParams retry;
   /// Optional telemetry; propagated into slo/admission when those leave
   /// theirs unset. All loadgen metric names are registered only through
   /// this path, so a run without a LoadGen dumps an identical registry.
@@ -75,15 +116,30 @@ class LoadGen {
   /// experiment drivers).
   void OnQueryComplete(int8_t slo_class, SimTime arrival, SimTime completion);
 
+  /// Failure hook (wired to Scheduler::SetFailureCallback /
+  /// ClusterEngine::SetQueryFailureCallback by the experiment drivers): a
+  /// typed engine failure reaches the originating tenant, which may retry
+  /// it through admission like a fresh arrival.
+  void OnQueryFailed(int8_t slo_class, int16_t tenant, int8_t attempt,
+                     SimTime arrival, engine::FailReason reason);
+
   AdmissionController& admission() { return admission_; }
   const AdmissionController& admission() const { return admission_; }
   SloTracker& slo() { return slo_; }
   const SloTracker& slo() const { return slo_; }
 
-  /// Arrivals offered to admission (admitted + shed).
+  /// Fresh arrivals offered to admission (admitted + shed; excludes
+  /// retry re-offers, counted separately in retries()).
   int64_t arrivals() const { return arrivals_; }
-  /// Admitted queries handed to the submit callback.
+  /// Admitted queries handed to the submit callback (fresh + retried).
   int64_t submitted() const { return submitted_; }
+  /// Retry attempts re-offered to admission.
+  int64_t retries() const { return retries_; }
+  /// Arrivals given up on: attempts exhausted or the retry would fire
+  /// past the trace horizon.
+  int64_t abandoned() const { return abandoned_; }
+  /// Typed engine failures delivered to OnQueryFailed.
+  int64_t failed() const { return failed_; }
   int64_t tenant_arrivals(size_t i) const { return tenants_[i].offered; }
   int64_t tenant_submitted(size_t i) const { return tenants_[i].admitted; }
   size_t num_tenants() const { return tenants_.size(); }
@@ -105,14 +161,22 @@ class LoadGen {
     Rng query_rng;
     /// Shed-coin stream (see AdmissionController::Admit).
     Rng coin_rng;
+    /// Backoff-jitter stream. Seeded from a disjoint MixSeed index space
+    /// (so adding it shifted no existing stream) and only ever drawn when
+    /// retries are enabled — disabled runs stay byte-identical.
+    Rng retry_rng;
     int64_t offered = 0;
     int64_t admitted = 0;
     Tenant(TenantSpec s, uint64_t arrival_seed, uint64_t query_seed,
-           uint64_t coin_seed);
+           uint64_t coin_seed, uint64_t retry_seed);
   };
 
   void ScheduleNext(size_t i);
   void OnArrival(size_t i);
+  /// One admission attempt of tenant `i` (attempt 0 = fresh arrival).
+  void AttemptAdmission(size_t i, int8_t attempt);
+  /// Schedules the next attempt after a shed/failure, or abandons.
+  void MaybeRetry(size_t i, int8_t attempt);
 
   sim::Simulator* simulator_;
   workload::Workload* workload_;
@@ -125,6 +189,9 @@ class LoadGen {
   bool started_ = false;
   int64_t arrivals_ = 0;
   int64_t submitted_ = 0;
+  int64_t retries_ = 0;
+  int64_t abandoned_ = 0;
+  int64_t failed_ = 0;
 };
 
 }  // namespace ecldb::loadgen

@@ -105,6 +105,36 @@ size_t MessageLayer::Rehome(PartitionId p, SocketId from, SocketId to) {
   return moved;
 }
 
+size_t MessageLayer::DrainAllQueues() {
+  size_t drained = 0;
+  // Drain tag well above any worker id; the ownership protocol only needs
+  // it to be non-negative.
+  constexpr int kDrainOwner = 1 << 20;
+  std::vector<Message> scratch;
+  for (auto& q : queues_) {
+    const bool acquired = q->TryAcquire(kDrainOwner);
+    ECLDB_CHECK_MSG(acquired, "drain of an owned partition queue");
+    for (;;) {
+      scratch.clear();
+      const size_t n = q->DequeueBatch(kDrainOwner, 256, &scratch);
+      if (n == 0) break;
+      drained += n;
+    }
+    q->Release(kDrainOwner);
+  }
+  const CommEndpoint::DeliverFn discard = [](SocketId, const Message&) {
+    return true;
+  };
+  for (auto& c : comms_) {
+    for (;;) {
+      const size_t n = c->Pump(discard, 256);
+      if (n == 0) break;
+      drained += n;
+    }
+  }
+  return drained;
+}
+
 MessageLayer::SocketStats MessageLayer::socket_stats(SocketId s) const {
   const SocketCounters& c = stats_[static_cast<size_t>(s)];
   SocketStats out;

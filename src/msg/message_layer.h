@@ -90,6 +90,12 @@ class MessageLayer {
     return queues_[static_cast<size_t>(p)].get();
   }
 
+  /// Crash recovery: discards every queued message — partition queues and
+  /// outbound comm channels alike. Every partition queue must be unowned
+  /// (the scheduler releases worker ownership first); event context only.
+  /// Returns the number of messages discarded.
+  size_t DrainAllQueues();
+
   /// Combined per-socket counters (layer counters + the socket's router
   /// enqueue rejections).
   SocketStats socket_stats(SocketId s) const;

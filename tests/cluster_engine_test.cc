@@ -169,6 +169,55 @@ TEST_F(ClusterEngineTest, StaleFlightForwardsToNewHome) {
   EXPECT_EQ(node_engine_completed(0), 1);
 }
 
+TEST_F(ClusterEngineTest, ForwardHopCapFailsTypedInsteadOfLivelock) {
+  // A placement that keeps re-homing ahead of every delivery would chase
+  // the partition forever; the hop cap turns the chase into a typed
+  // kForwardCap failure with the client's class/tenant/attempt echoed.
+  hwsim::ClusterParams cluster_params =
+      hwsim::ClusterParams::Homogeneous(2, hwsim::ClusterNodeParams{});
+  cluster_params.network.base_latency_us = 100'000.0;  // 100 ms flight
+  ClusterEngineParams engine_params;
+  engine_params.max_forward_hops = 2;
+  Build(cluster_params, engine_params);
+
+  struct Failure {
+    int8_t slo_class;
+    int16_t tenant;
+    int8_t attempt;
+    FailReason reason;
+  };
+  std::vector<Failure> failures;
+  engine_->SetQueryFailureCallback([&](int8_t cls, int16_t tenant,
+                                       int8_t attempt, SimTime,
+                                       FailReason reason) {
+    failures.push_back({cls, tenant, attempt, reason});
+  });
+
+  // Partition 4 is homed on node 1; the client enters at node 0. Each
+  // hop takes ~100 ms; a forced re-home lands mid-flight ahead of every
+  // delivery, so the query ping-pongs: hop 1 at 100 ms (node 1, home 0),
+  // hop 2 at 200 ms (node 0, home 1), capped at 300 ms (node 1, home 0).
+  QuerySpec spec = ComputeQuery(4, 1e6);
+  spec.slo_class = 1;
+  spec.tenant = 3;
+  spec.attempt = 2;
+  engine_->Submit(0, spec);
+  sim_.Schedule(Millis(50), [&] { engine_->placement().ForceRehome(4, 0); });
+  sim_.Schedule(Millis(150), [&] { engine_->placement().ForceRehome(4, 1); });
+  sim_.Schedule(Millis(250), [&] { engine_->placement().ForceRehome(4, 0); });
+  sim_.RunFor(Seconds(1));
+
+  EXPECT_EQ(engine_->stale_forwards(), 2);
+  EXPECT_EQ(engine_->forward_drops(), 1);
+  EXPECT_EQ(engine_->QueriesFailed(), 1);
+  EXPECT_EQ(engine_->CompletedQueries(), 0);
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].reason, FailReason::kForwardCap);
+  EXPECT_EQ(failures[0].slo_class, 1);
+  EXPECT_EQ(failures[0].tenant, 3);
+  EXPECT_EQ(failures[0].attempt, 2);
+}
+
 TEST_F(ClusterEngineTest, MigrationCancelsWhenDestinationPowersDown) {
   ClusterEngineParams params;
   params.migration.min_shard_bytes = 256.0 * (1 << 20);  // ~215 ms on wire

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
+#include "experiment/drain.h"
 #include "experiment/experiment.h"
+#include "sim/simulator.h"
 #include "workload/micro.h"
 #include "workload/load_profile.h"
 #include "workload/work_profiles.h"
@@ -70,6 +73,48 @@ TEST(ExperimentTest, CapacityOverrideRespected) {
   const RunResult r = RunLoadExperiment(MicroFactory(), profile, options);
   EXPECT_DOUBLE_EQ(r.capacity_qps, 100.0);
   EXPECT_NEAR(static_cast<double>(r.submitted), 500.0, 120.0);
+}
+
+TEST(DrainTest, CompletesWhenProgressArrives) {
+  sim::Simulator sim;
+  int64_t done = 0;
+  for (int i = 1; i <= 5; ++i) sim.Schedule(Seconds(i), [&done] { ++done; });
+  EXPECT_TRUE(DrainToCompletion(sim, [&done] { return done; }, 5));
+  EXPECT_EQ(done, 5);
+}
+
+TEST(DrainTest, NoProgressAbortsEarlyWithDiagnostic) {
+  // Nothing ever completes: the watchdog fires at the no-progress window
+  // (well before the hard cap) and surfaces the caller's diagnostic.
+  sim::Simulator sim;
+  bool diag_called = false;
+  ::testing::internal::CaptureStderr();
+  const bool ok = DrainToCompletion(
+      sim, [] { return int64_t{0}; }, 3, /*cap=*/Seconds(120),
+      /*no_progress_abort=*/Seconds(10), [&diag_called] {
+        diag_called = true;
+        return std::string("backlog: node0=3(failed)");
+      });
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(diag_called);
+  EXPECT_NE(err.find("no completion progress"), std::string::npos);
+  EXPECT_NE(err.find("backlog: node0=3(failed)"), std::string::npos);
+  EXPECT_LT(sim.now(), Seconds(15));  // aborted, not capped at 120 s
+}
+
+TEST(DrainTest, SlowButSteadyProgressIsNeverAborted) {
+  // One completion every 8 s against a 10 s no-progress window: the
+  // watchdog resets on each completion and the drain runs to the end.
+  sim::Simulator sim;
+  int64_t done = 0;
+  for (int i = 1; i <= 3; ++i) {
+    sim.Schedule(Seconds(8 * i), [&done] { ++done; });
+  }
+  EXPECT_TRUE(DrainToCompletion(sim, [&done] { return done; }, 3,
+                                /*cap=*/Seconds(120),
+                                /*no_progress_abort=*/Seconds(10)));
+  EXPECT_GE(sim.now(), Seconds(24));
 }
 
 }  // namespace

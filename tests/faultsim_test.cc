@@ -1,0 +1,352 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "engine/cluster_engine.h"
+#include "faultsim/fault_injector.h"
+#include "faultsim/fault_schedule.h"
+#include "hwsim/cluster.h"
+#include "hwsim/machine.h"
+#include "hwsim/network_model.h"
+#include "sim/simulator.h"
+#include "workload/work_profiles.h"
+
+namespace ecldb::faultsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultSchedule builder
+// ---------------------------------------------------------------------------
+
+TEST(FaultScheduleTest, BuildersRecordKindNodeAndPayload) {
+  FaultSchedule s;
+  s.Crash(Seconds(1), 0)
+      .Restart(Seconds(2), 0)
+      .NicDegrade(Seconds(3), 1, 0.25)
+      .NicRestore(Seconds(4), 1)
+      .NicPartition(Seconds(5), 1, Seconds(2))
+      .BootFailures(Seconds(6), 0, 3)
+      .RaplDropout(Seconds(7), 1)
+      .RaplRestore(Seconds(8), 1);
+  ASSERT_EQ(s.events.size(), 8u);
+  EXPECT_EQ(s.events[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(s.events[0].node, 0);
+  EXPECT_EQ(s.events[0].at, Seconds(1));
+  EXPECT_EQ(s.events[2].kind, FaultKind::kNicDegrade);
+  EXPECT_DOUBLE_EQ(s.events[2].severity, 0.25);
+  EXPECT_EQ(s.events[4].kind, FaultKind::kNicPartition);
+  EXPECT_EQ(s.events[4].duration, Seconds(2));
+  EXPECT_EQ(s.events[5].kind, FaultKind::kBootFailure);
+  EXPECT_DOUBLE_EQ(s.events[5].severity, 3.0);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(FaultSchedule{}.empty());
+}
+
+TEST(FaultScheduleTest, KindNamesAreDistinct) {
+  EXPECT_STRNE(FaultKindName(FaultKind::kNodeCrash),
+               FaultKindName(FaultKind::kNodeRestart));
+  EXPECT_STRNE(FaultKindName(FaultKind::kNicDegrade),
+               FaultKindName(FaultKind::kRaplDropout));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector against the cluster engine
+// ---------------------------------------------------------------------------
+
+// Two default nodes, eight global partitions (0-3 homed on node 0, 4-7 on
+// node 1), every machine running all-on — the cluster_engine_test rig.
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  static engine::ClusterEngineParams DefaultEngineParams() {
+    engine::ClusterEngineParams engine_params;
+    engine_params.num_partitions = 8;
+    return engine_params;
+  }
+
+  void Build(hwsim::ClusterParams cluster_params = hwsim::ClusterParams::
+                 Homogeneous(2, hwsim::ClusterNodeParams{}),
+             engine::ClusterEngineParams engine_params =
+                 DefaultEngineParams()) {
+    cluster_ = std::make_unique<hwsim::Cluster>(&sim_, cluster_params);
+    engine_ = std::make_unique<engine::ClusterEngine>(&sim_, cluster_.get(),
+                                                      engine_params);
+    for (NodeId n = 0; n < cluster_->num_nodes(); ++n) AllOn(n);
+  }
+
+  void Arm(FaultSchedule schedule) {
+    FaultInjectorParams params;
+    params.schedule = std::move(schedule);
+    injector_ = std::make_unique<FaultInjector>(&sim_, cluster_.get(),
+                                                engine_.get(), params);
+    injector_->Arm();
+  }
+
+  void AllOn(NodeId n) {
+    hwsim::Machine& m = cluster_->machine(n);
+    m.ApplyMachineConfig(hwsim::MachineConfig::AllOn(m.topology(), 2.6, 3.0));
+  }
+
+  engine::QuerySpec ComputeQuery(PartitionId p, double ops) {
+    engine::QuerySpec spec;
+    spec.profile = &workload::ComputeBound();
+    spec.work.push_back({p, ops});
+    return spec;
+  }
+
+  /// Installs a failure callback that records every typed failure.
+  void TrackFailures() {
+    engine_->SetQueryFailureCallback(
+        [this](int8_t, int16_t, int8_t, SimTime, engine::FailReason reason) {
+          failures_.push_back(reason);
+        });
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<hwsim::Cluster> cluster_;
+  std::unique_ptr<engine::ClusterEngine> engine_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::vector<engine::FailReason> failures_;
+};
+
+TEST_F(FaultInjectorTest, CrashFailsInflightRehomesAndRecovers) {
+  // A shard floor so the recovery copy is visibly charged even though the
+  // test partitions hold no tuples.
+  engine::ClusterEngineParams engine_params = DefaultEngineParams();
+  engine_params.migration.min_shard_bytes = 8.0 * (1 << 20);
+  Build(hwsim::ClusterParams::Homogeneous(2, hwsim::ClusterNodeParams{}),
+        engine_params);
+  TrackFailures();
+  // A backlog of work on node 1's partitions is mid-execution when the
+  // node dies.
+  const int kQueries = 20;
+  for (int i = 0; i < kQueries; ++i) {
+    engine_->Submit(1, ComputeQuery(4 + (i % 4), 1e6));
+  }
+  Arm(FaultSchedule{}.Crash(Millis(1), 1));
+  sim_.RunFor(Seconds(2));
+
+  EXPECT_EQ(injector_->injected(), 1);
+  EXPECT_EQ(cluster_->crashes(), 1);
+  EXPECT_TRUE(cluster_->IsFailed(1));
+  EXPECT_FALSE(cluster_->IsAvailable(1));
+  EXPECT_EQ(cluster_->state(1), hwsim::Cluster::NodeState::kOff);
+
+  // Conservation: every submitted query resolved exactly once — what
+  // completed before the crash completed, everything else failed typed.
+  const int64_t completed = engine_->CompletedQueries();
+  const int64_t failed = engine_->QueriesFailed();
+  EXPECT_EQ(completed + failed, kQueries);
+  EXPECT_GT(failed, 0);
+  EXPECT_EQ(static_cast<int64_t>(failures_.size()), failed);
+  for (engine::FailReason r : failures_) {
+    EXPECT_EQ(r, engine::FailReason::kNodeCrash);
+  }
+
+  // Every lost partition re-homed onto the survivor, epoch-bumped, with a
+  // recovery copy charged on the new home.
+  for (PartitionId p = 4; p < 8; ++p) {
+    EXPECT_EQ(engine_->placement().HomeOf(p), 0);
+  }
+  EXPECT_EQ(engine_->crash_recoveries(), 4);
+  EXPECT_GT(engine_->recovery_bytes(), 0.0);
+  EXPECT_GE(engine_->placement().epoch(), 4);
+  EXPECT_EQ(engine_->placement().forced_rehomes(), 4);
+
+  // The re-homed partitions serve from the survivor without touching the
+  // network.
+  const int64_t sends_before = engine_->remote_sends();
+  engine_->Submit(0, ComputeQuery(5, 1e6));
+  sim_.RunFor(Millis(100));
+  EXPECT_EQ(engine_->CompletedQueries(), completed + 1);
+  EXPECT_EQ(engine_->remote_sends(), sends_before);
+}
+
+TEST_F(FaultInjectorTest, CrashOnOffNodeIsSkipped) {
+  Build();
+  cluster_->PowerDown(1);
+  Arm(FaultSchedule{}.Crash(Millis(1), 1));
+  sim_.RunFor(Millis(10));
+  EXPECT_EQ(injector_->injected(), 0);
+  EXPECT_EQ(injector_->skipped(), 1);
+  EXPECT_EQ(cluster_->crashes(), 0);
+  EXPECT_FALSE(cluster_->IsFailed(1));
+}
+
+TEST_F(FaultInjectorTest, CrashCancelsMigrationWithDeadEndpoint) {
+  // A large shard copy is on the wire toward node 1 when node 1 dies.
+  engine::ClusterEngineParams params = DefaultEngineParams();
+  params.migration.min_shard_bytes = 256.0 * (1 << 20);  // ~215 ms on wire
+  Build(hwsim::ClusterParams::Homogeneous(2, hwsim::ClusterNodeParams{}),
+        params);
+  EXPECT_TRUE(engine_->StartMigration(0, 1));
+  Arm(FaultSchedule{}.Crash(Millis(100), 1));
+  sim_.RunFor(Seconds(2));
+  EXPECT_EQ(engine_->migrations_cancelled(), 1);
+  EXPECT_EQ(engine_->migrations_completed(), 0);
+  EXPECT_EQ(engine_->active_migrations(), 0);
+  // Partition 0 was never unhomed; it still serves from node 0.
+  EXPECT_EQ(engine_->placement().HomeOf(0), 0);
+  engine_->Submit(0, ComputeQuery(0, 1e6));
+  sim_.RunFor(Millis(100));
+  EXPECT_EQ(engine_->CompletedQueries(), 1);
+}
+
+TEST_F(FaultInjectorTest, RestartClearsFailureAndBootsWithHook) {
+  hwsim::ClusterNodeParams node;
+  node.power.boot_latency = Seconds(2);
+  Build(hwsim::ClusterParams::Homogeneous(2, node));
+  std::vector<NodeId> crashed, restored;
+  injector_ = nullptr;  // rebuilt with hooks below
+  FaultInjectorParams params;
+  params.schedule =
+      FaultSchedule{}.Crash(Millis(10), 1).Restart(Seconds(1), 1);
+  injector_ = std::make_unique<FaultInjector>(&sim_, cluster_.get(),
+                                              engine_.get(), params);
+  injector_->SetNodeHooks([&](NodeId n) { crashed.push_back(n); },
+                          [&](NodeId n) { restored.push_back(n); });
+  injector_->Arm();
+
+  sim_.RunFor(Millis(500));
+  ASSERT_EQ(crashed.size(), 1u);
+  EXPECT_EQ(crashed[0], 1);
+  EXPECT_TRUE(cluster_->IsFailed(1));
+
+  // The restart clears the failed flag and powers up; the restored hook
+  // only fires when the node is serving-capable (a boot latency later).
+  sim_.RunFor(Seconds(1));
+  EXPECT_FALSE(cluster_->IsFailed(1));
+  EXPECT_EQ(cluster_->state(1), hwsim::Cluster::NodeState::kBooting);
+  EXPECT_TRUE(restored.empty());
+  sim_.RunFor(Seconds(2));
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored[0], 1);
+  EXPECT_TRUE(cluster_->IsAvailable(1));
+}
+
+TEST_F(FaultInjectorTest, RestartOfHealthyNodeIsSkipped) {
+  Build();
+  Arm(FaultSchedule{}.Restart(Millis(1), 0));
+  sim_.RunFor(Millis(10));
+  EXPECT_EQ(injector_->injected(), 0);
+  EXPECT_EQ(injector_->skipped(), 1);
+}
+
+TEST_F(FaultInjectorTest, BootFailureBurnsEnergyAndLandsBackOff) {
+  hwsim::ClusterNodeParams node;
+  node.power.boot_latency = Seconds(2);
+  Build(hwsim::ClusterParams::Homogeneous(2, node));
+  Arm(FaultSchedule{}.BootFailures(Millis(1), 1, 1));
+  cluster_->PowerDown(1);
+  sim_.RunFor(Millis(10));
+
+  const double e0 = cluster_->NodeEnergyJoules(1);
+  bool booted = false;
+  cluster_->PowerUp(1, [&] { booted = true; });
+  sim_.RunFor(Seconds(3));
+  // First attempt failed at boot completion: back off, energy spent, no
+  // serving callback.
+  EXPECT_FALSE(booted);
+  EXPECT_EQ(cluster_->state(1), hwsim::Cluster::NodeState::kOff);
+  EXPECT_EQ(cluster_->boot_failures(), 1);
+  EXPECT_GT(cluster_->NodeEnergyJoules(1), e0);
+
+  // The transient cleared: the second attempt succeeds.
+  cluster_->PowerUp(1, [&] { booted = true; });
+  sim_.RunFor(Seconds(3));
+  EXPECT_TRUE(booted);
+  EXPECT_TRUE(cluster_->IsOn(1));
+}
+
+TEST_F(FaultInjectorTest, NicDegradeScalesLinkAndRestoreClears) {
+  Build();
+  Arm(FaultSchedule{}.NicDegrade(Millis(1), 1, 0.5).NicRestore(Seconds(1), 1));
+  sim_.RunFor(Millis(10));
+  EXPECT_DOUBLE_EQ(cluster_->network().link_scale(1), 0.5);
+  sim_.RunFor(Seconds(1));
+  EXPECT_DOUBLE_EQ(cluster_->network().link_scale(1), 1.0);
+}
+
+TEST_F(FaultInjectorTest, NicPartitionDefersButNeverDrops) {
+  Build();
+  Arm(FaultSchedule{}.NicPartition(Millis(1), 1, Seconds(1)));
+  sim_.RunFor(Millis(10));
+  // A cross-node submission toward the partitioned node cannot start its
+  // transfer until the partition heals; the frames are held, not dropped.
+  engine_->Submit(0, ComputeQuery(4, 1e6));
+  sim_.RunFor(Millis(500));
+  EXPECT_EQ(engine_->CompletedQueries(), 0);
+  EXPECT_GE(cluster_->network().deferred_transfers(), 1);
+  sim_.RunFor(Seconds(1));
+  EXPECT_EQ(engine_->CompletedQueries(), 1);
+  EXPECT_EQ(engine_->QueriesFailed(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// RAPL sensor dropout
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultInjectorTest, RaplDropoutFreezesPublishedReadsNotGroundTruth) {
+  Build();
+  sim_.RunFor(Millis(100));
+  hwsim::Machine& m = cluster_->machine(0);
+  Arm(FaultSchedule{}.RaplDropout(Millis(200), 0).RaplRestore(Millis(600), 0));
+  sim_.RunFor(Millis(150));  // t=250ms: dropout active
+  EXPECT_TRUE(m.rapl_dropout());
+  const uint64_t frozen = m.ReadRaplUj(0, hwsim::RaplDomain::kPackage);
+  const double exact0 = m.ExactEnergyJoules(0, hwsim::RaplDomain::kPackage);
+  sim_.RunFor(Millis(200));  // t=450ms: still dropped
+  EXPECT_EQ(m.ReadRaplUj(0, hwsim::RaplDomain::kPackage), frozen);
+  EXPECT_GT(m.ExactEnergyJoules(0, hwsim::RaplDomain::kPackage), exact0);
+  sim_.RunFor(Millis(300));  // t=750ms: restored
+  EXPECT_FALSE(m.rapl_dropout());
+  EXPECT_GT(m.ReadRaplUj(0, hwsim::RaplDomain::kPackage), frozen);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+TEST(FaultDeterminismTest, ScheduledRunIsByteIdenticalAcrossRepeats) {
+  auto run = [] {
+    sim::Simulator sim;
+    hwsim::ClusterNodeParams node;
+    node.power.boot_latency = Seconds(2);
+    hwsim::Cluster cluster(&sim,
+                           hwsim::ClusterParams::Homogeneous(2, node));
+    engine::ClusterEngineParams params;
+    params.num_partitions = 8;
+    engine::ClusterEngine engine(&sim, &cluster, params);
+    for (NodeId n = 0; n < 2; ++n) {
+      hwsim::Machine& m = cluster.machine(n);
+      m.ApplyMachineConfig(
+          hwsim::MachineConfig::AllOn(m.topology(), 2.6, 3.0));
+    }
+    for (int i = 0; i < 30; ++i) {
+      engine::QuerySpec spec;
+      spec.profile = &workload::ComputeBound();
+      spec.work.push_back({i % 8, 1e6});
+      engine.Submit(i % 2, spec);
+    }
+    FaultInjectorParams fi;
+    fi.schedule = FaultSchedule{}
+                      .NicDegrade(Millis(1), 0, 0.5)
+                      .Crash(Millis(5), 1)
+                      .Restart(Seconds(1), 1)
+                      .NicRestore(Seconds(2), 0);
+    FaultInjector injector(&sim, &cluster, &engine, fi);
+    injector.Arm();
+    sim.RunFor(Seconds(5));
+    return std::make_tuple(engine.CompletedQueries(), engine.QueriesFailed(),
+                           engine.crash_recoveries(),
+                           engine.recovery_bytes(),
+                           engine.placement().epoch(),
+                           cluster.TotalEnergyJoules(),
+                           cluster.network().bytes_sent());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace ecldb::faultsim

@@ -309,6 +309,86 @@ TEST(LoadgenAdmissionTest, RecentShedFractionCoversOnlyTheWindow) {
   EXPECT_DOUBLE_EQ(adm.RecentShedFraction(Seconds(10)), 0.0);
 }
 
+TEST(LoadgenAdmissionTest, ShedWindowAgesBucketsAtExactBoundaries) {
+  // One admit just below the t=2s bucket edge, one shed exactly on it:
+  // they land in adjacent 1-second buckets and age out of the 3 s window
+  // one second apart, with the transition happening exactly at the
+  // boundary instant (start + 1s <= now - window), not a tick later.
+  AdmissionParams params;  // shed_window = 3 s
+  AdmissionController adm(params);
+  double pressure = 0.0;
+  adm.SetPressureSource([&pressure] { return pressure; });
+  Rng rng(7);
+  adm.Admit(SloClass::kBestEffort, Seconds(2) - 1, rng);  // bucket [1, 2)
+  pressure = 1.0;
+  adm.Admit(SloClass::kBestEffort, Seconds(2), rng);  // bucket [2, 3)
+
+  EXPECT_DOUBLE_EQ(adm.RecentShedFraction(Seconds(5) - 1), 0.5);
+  // At exactly t=5s the [1,2) bucket leaves the 3 s window; the shed-only
+  // [2,3) bucket remains.
+  EXPECT_DOUBLE_EQ(adm.RecentShedFraction(Seconds(5)), 1.0);
+  EXPECT_NEAR(adm.RecentShedQps(Seconds(5)), 1.0 / 3.0, 1e-12);
+  // At exactly t=6s the window is empty again.
+  EXPECT_DOUBLE_EQ(adm.RecentShedFraction(Seconds(6)), 0.0);
+  EXPECT_DOUBLE_EQ(adm.RecentShedQps(Seconds(6)), 0.0);
+  // Lifetime counters are unaffected by window aging.
+  EXPECT_EQ(adm.total_admitted(), 1);
+  EXPECT_EQ(adm.total_shed(), 1);
+}
+
+TEST(LoadgenAdmissionTest, ZeroArrivalWindowReportsZeroNotNan) {
+  AdmissionController adm{AdmissionParams{}};
+  EXPECT_DOUBLE_EQ(adm.RecentShedFraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(adm.RecentShedFraction(Seconds(100)), 0.0);
+  EXPECT_DOUBLE_EQ(adm.RecentShedQps(Seconds(100)), 0.0);
+}
+
+TEST(LoadgenArrivalTest, MmppSwitchOnShapeEdgeStaysDeterministic) {
+  // An MMPP chain switching rapidly while the flash-crowd shape crosses
+  // its start/end edges: the (gap, is_arrival, state) stream must be a
+  // pure function of the seed, with the shape multiplier read at draw
+  // time — including draws landing exactly on an edge.
+  ShapeSpec crowd;
+  crowd.name = "flash_crowd";
+  crowd.magnitude = 5.0;
+  crowd.start = Seconds(10);
+  crowd.duration = Seconds(10);
+  const std::unique_ptr<TrafficShape> shape = MakeTrafficShape(crowd);
+
+  ArrivalParams params;
+  params.num_users = 100;
+  params.per_user_qps = 1.0;  // 100 qps nominal
+  params.kind = ArrivalKind::kMmpp;
+  params.mmpp.state_multipliers = {0.4, 1.6};
+  params.mmpp.switch_rate_hz = 50.0;  // many switches across the edges
+
+  auto drive = [&](std::vector<std::pair<SimDuration, int>>* events) {
+    ArrivalProcess p(params, shape.get(), /*seed=*/99);
+    int switches = 0;
+    // Exact-edge probes: the rate at the crowd's first instant is the
+    // pre-ramp base rate (ramp level 0), at its end instant the crowd is
+    // over, and both include the current MMPP state multiplier.
+    const double mult =
+        params.mmpp.state_multipliers[static_cast<size_t>(p.mmpp_state())];
+    EXPECT_DOUBLE_EQ(p.RateAt(Seconds(10)), 100.0 * mult);
+    EXPECT_DOUBLE_EQ(p.RateAt(Seconds(20)), 100.0 * mult);
+    EXPECT_DOUBLE_EQ(p.NominalRateAt(Seconds(15)), 500.0);  // crowd peak
+    SimTime t = FromSeconds(9.9);
+    while (t < FromSeconds(20.1)) {
+      const ArrivalProcess::Event e = p.Next(t);
+      if (!e.is_arrival) ++switches;
+      t += e.gap;
+      events->push_back({e.gap, e.is_arrival ? 1 : 0});
+      events->push_back({t, p.mmpp_state()});
+    }
+    EXPECT_GT(switches, 0);
+  };
+  std::vector<std::pair<SimDuration, int>> a, b;
+  drive(&a);
+  drive(&b);
+  EXPECT_EQ(a, b);
+}
+
 // ---------------------------------------------------------------------------
 // SLO accounting
 // ---------------------------------------------------------------------------

@@ -1,0 +1,369 @@
+// Client-side retry/backoff unit tests: the LoadGen retry loop driven
+// against a stub workload and a scripted pressure source, with no engine
+// behind the submit callback. Covers the delay math (geometric backoff,
+// cap, jitter bounds), the conservation counters (every arrival resolves
+// as admitted, abandoned-by-attempts, or abandoned-by-horizon), the
+// default-off guarantees (no retries, no stub submissions, unperturbed
+// arrival stream), and the failure-to-retry path the cluster drivers wire
+// through OnQueryFailed.
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+#include "engine/query.h"
+#include "hwsim/work_profile.h"
+#include "loadgen/loadgen.h"
+#include "sim/simulator.h"
+#include "workload/workload.h"
+
+namespace ecldb::loadgen {
+namespace {
+
+constexpr double kStubOps = 100.0;
+
+/// Minimal workload: every query is one 100-op task on partition 0. Keeps
+/// the retry tests independent of any engine or machine model.
+class StubWorkload : public workload::Workload {
+ public:
+  std::string_view name() const override { return "stub"; }
+  const hwsim::WorkProfile& profile() const override { return profile_; }
+  engine::QuerySpec MakeQuery(Rng& rng) override {
+    (void)rng.Next();  // consume the stream like a real workload
+    engine::QuerySpec spec;
+    spec.profile = &profile_;
+    spec.work.push_back({0, kStubOps});
+    return spec;
+  }
+  double MeanOpsPerQuery() const override { return kStubOps; }
+
+ private:
+  hwsim::WorkProfile profile_;
+};
+
+/// One driven run: LoadGen against a scripted pressure function, with
+/// every admission decision's virtual time recorded (the pressure source
+/// is consulted exactly once per decision that passes the token bucket,
+/// and these tests never configure a bucket).
+struct Driven {
+  sim::Simulator sim;
+  StubWorkload workload;
+  std::unique_ptr<LoadGen> lg;
+  std::vector<SimTime> decision_times;
+  std::vector<engine::QuerySpec> submitted;
+
+  Driven(LoadGenParams params, std::function<double(SimTime)> pressure) {
+    lg = std::make_unique<LoadGen>(&sim, &workload, params);
+    lg->admission().SetPressureSource([this, pressure] {
+      decision_times.push_back(sim.now());
+      return pressure(sim.now());
+    });
+    lg->SetSubmitFn(
+        [this](engine::QuerySpec&& spec) { submitted.push_back(spec); });
+    lg->Start();
+    sim.RunFor(params.duration + Seconds(30));
+  }
+};
+
+LoadGenParams BaseParams(double rate_qps) {
+  LoadGenParams p;
+  TenantSpec t;
+  t.name = "clients";
+  t.slo_class = SloClass::kBestEffort;  // sheds fully at pressure 1.0
+  t.arrival.num_users = 1000;
+  t.arrival.per_user_qps = rate_qps / 1000.0;
+  p.tenants = {t};
+  p.duration = Seconds(10);
+  p.seed = 4242;
+  return p;
+}
+
+double AlwaysOverloaded(SimTime) { return 1.0; }
+
+/// Removes and returns the element of `times` nearest `want`, requiring it
+/// within `tol` (FromSeconds rounding makes exact tick equality fragile).
+::testing::AssertionResult TakeNear(std::multiset<SimTime>& times,
+                                    SimTime want, SimDuration tol) {
+  auto it = times.lower_bound(want - tol);
+  if (it == times.end() || *it > want + tol) {
+    return ::testing::AssertionFailure()
+           << "no decision within " << tol << " ns of t=" << want;
+  }
+  times.erase(it);
+  return ::testing::AssertionSuccess();
+}
+
+/// Verifies that the decision times decompose into per-arrival groups
+/// with the given retry offsets (in ns after the arrival's first
+/// attempt). Greedy earliest-first matching handles overlapping groups;
+/// groups cut short by the trace horizon may be truncated.
+void ExpectAttemptPattern(const std::vector<SimTime>& decision_times,
+                          const std::vector<SimDuration>& offsets,
+                          SimDuration duration) {
+  std::multiset<SimTime> pool(decision_times.begin(), decision_times.end());
+  while (!pool.empty()) {
+    const SimTime first = *pool.begin();
+    pool.erase(pool.begin());
+    for (SimDuration off : offsets) {
+      if (first + off >= duration) break;  // horizon-abandoned tail
+      ASSERT_TRUE(TakeNear(pool, first + off, Micros(1)))
+          << "arrival at t=" << first << " missing retry at +" << off;
+    }
+  }
+}
+
+TEST(RetryAccountingTest, FullShedResolvesEveryArrival) {
+  LoadGenParams p = BaseParams(20.0);
+  p.retry.enabled = true;
+  p.retry.mode = RetryParams::Mode::kBackoff;
+  p.retry.base_backoff = Millis(50);
+  p.retry.max_attempts = 4;
+  Driven d(p, AlwaysOverloaded);
+
+  EXPECT_GT(d.lg->arrivals(), 0);
+  EXPECT_EQ(d.lg->submitted(), 0);
+  EXPECT_TRUE(d.submitted.empty());  // reject_cost_frac defaults to 0
+  EXPECT_GT(d.lg->retries(), 0);
+  // Every arrival is eventually abandoned (attempts exhausted or horizon).
+  EXPECT_EQ(d.lg->abandoned(), d.lg->arrivals());
+  EXPECT_LE(d.lg->retries(), 3 * d.lg->arrivals());
+  // Decision count identity: fresh offers + re-offers, all shed.
+  EXPECT_EQ(d.lg->admission().total_shed(),
+            d.lg->arrivals() + d.lg->retries());
+  EXPECT_EQ(d.lg->admission().total_admitted(), 0);
+}
+
+TEST(RetryAccountingTest, DisabledRetryNeverReoffersOrAbandons) {
+  LoadGenParams p = BaseParams(20.0);
+  Driven d(p, AlwaysOverloaded);
+
+  EXPECT_GT(d.lg->arrivals(), 0);
+  EXPECT_EQ(d.lg->retries(), 0);
+  EXPECT_EQ(d.lg->abandoned(), 0);
+  EXPECT_EQ(d.lg->submitted(), 0);
+  EXPECT_EQ(d.lg->admission().total_shed(), d.lg->arrivals());
+}
+
+TEST(RetryAccountingTest, ArrivalStreamUnperturbedByRetryConfig) {
+  // The retry rng lives in a disjoint seed space and the arrival/query
+  // streams are never consulted on the retry path, so enabling retries
+  // must not move a single fresh arrival.
+  LoadGenParams off = BaseParams(20.0);
+  Driven d_off(off, AlwaysOverloaded);
+
+  LoadGenParams on = BaseParams(20.0);
+  on.retry.enabled = true;
+  on.retry.jitter = 0.5;
+  on.retry.max_attempts = 4;
+  Driven d_on(on, AlwaysOverloaded);
+
+  EXPECT_EQ(d_off.lg->arrivals(), d_on.lg->arrivals());
+  // The disabled run's decision times are a subset: with full shed every
+  // fresh arrival appears in both runs at the same instant.
+  std::multiset<SimTime> on_times(d_on.decision_times.begin(),
+                                  d_on.decision_times.end());
+  for (SimTime t : d_off.decision_times) {
+    auto it = on_times.find(t);
+    ASSERT_TRUE(it != on_times.end()) << "fresh arrival moved: t=" << t;
+    on_times.erase(it);
+  }
+}
+
+TEST(RetryBackoffTest, DelaysFollowGeometricProgressionWithCap) {
+  // jitter 0: attempt k waits base * multiplier^(k-1), capped. With
+  // base=100ms, x2, cap 300ms and 4 attempts the offsets after the first
+  // try are +100ms, +300ms (=100+200), +600ms (=300+capped 300).
+  LoadGenParams p = BaseParams(0.5);
+  p.retry.enabled = true;
+  p.retry.mode = RetryParams::Mode::kBackoff;
+  p.retry.base_backoff = Millis(100);
+  p.retry.multiplier = 2.0;
+  p.retry.max_backoff = Millis(300);
+  p.retry.jitter = 0.0;
+  p.retry.max_attempts = 4;
+  Driven d(p, AlwaysOverloaded);
+
+  ASSERT_GT(d.lg->arrivals(), 0);
+  ExpectAttemptPattern(d.decision_times,
+                       {Millis(100), Millis(300), Millis(600)}, p.duration);
+}
+
+TEST(RetryBackoffTest, ImmediateModeUsesFixedDelay) {
+  LoadGenParams p = BaseParams(0.5);
+  p.retry.enabled = true;
+  p.retry.mode = RetryParams::Mode::kImmediate;
+  p.retry.immediate_delay = Millis(7);
+  p.retry.max_attempts = 3;
+  Driven d(p, AlwaysOverloaded);
+
+  ASSERT_GT(d.lg->arrivals(), 0);
+  ExpectAttemptPattern(d.decision_times, {Millis(7), Millis(14)},
+                       p.duration);
+}
+
+TEST(RetryBackoffTest, JitterKeepsDelaysInBandAndIsDeterministic) {
+  // Drive the retry path directly through OnQueryFailed at controlled
+  // instants so every jittered delay is observable in isolation: each
+  // failure schedules one re-admission at now + jittered base delay.
+  auto run = [](std::vector<double>* delays) {
+    LoadGenParams p = BaseParams(0.0001);  // no fresh arrivals in 10s
+    p.duration = Seconds(30);
+    p.retry.enabled = true;
+    p.retry.mode = RetryParams::Mode::kBackoff;
+    p.retry.base_backoff = Millis(100);
+    p.retry.jitter = 0.5;
+    p.retry.max_attempts = 2;
+
+    sim::Simulator sim;
+    StubWorkload workload;
+    LoadGen lg(&sim, &workload, p);
+    lg.admission().SetPressureSource([] { return 0.0; });
+    std::vector<SimTime> admit_times;
+    lg.SetSubmitFn([&admit_times, &sim](engine::QuerySpec&&) {
+      admit_times.push_back(sim.now());
+    });
+    lg.Start();
+    for (int k = 0; k < 16; ++k) {
+      const SimTime fail_at = sim.now();
+      const size_t before = admit_times.size();
+      lg.OnQueryFailed(static_cast<int8_t>(SloClass::kBestEffort), 0, 0,
+                       fail_at, engine::FailReason::kNodeCrash);
+      sim.RunFor(Millis(200));  // past the max jittered delay of 150ms
+      ASSERT_EQ(admit_times.size(), before + 1);
+      delays->push_back(ToSeconds(admit_times.back() - fail_at));
+    }
+  };
+
+  std::vector<double> a, b;
+  run(&a);
+  run(&b);
+  // Same seed, same call sequence: the jitter stream is deterministic.
+  EXPECT_EQ(a, b);
+  // Every delay sits in the band [base*(1-j), base*(1+j)] = [50ms, 150ms]
+  // and the jitter actually spreads them.
+  std::set<double> distinct;
+  for (double d : a) {
+    EXPECT_GE(d, 0.05 - 1e-9);
+    EXPECT_LE(d, 0.15 + 1e-9);
+    distinct.insert(d);
+  }
+  EXPECT_GT(distinct.size(), 4u);
+}
+
+TEST(RetryBackoffTest, HorizonCapAbandonsRetriesPastTraceEnd) {
+  LoadGenParams p = BaseParams(20.0);
+  p.retry.enabled = true;
+  p.retry.mode = RetryParams::Mode::kBackoff;
+  p.retry.base_backoff = Seconds(20);  // always lands past duration=10s
+  p.retry.jitter = 0.0;
+  p.retry.max_attempts = 4;
+  Driven d(p, AlwaysOverloaded);
+
+  EXPECT_GT(d.lg->arrivals(), 0);
+  EXPECT_EQ(d.lg->retries(), 0);
+  EXPECT_EQ(d.lg->abandoned(), d.lg->arrivals());
+}
+
+TEST(RetryBackoffTest, RetriesAdmitOncePressureClears) {
+  // Overloaded for the first 5s, idle after: arrivals shed early come
+  // back through admission and are submitted with their attempt count.
+  LoadGenParams p = BaseParams(5.0);
+  p.retry.enabled = true;
+  p.retry.mode = RetryParams::Mode::kBackoff;
+  p.retry.base_backoff = Seconds(2);
+  p.retry.multiplier = 2.0;
+  p.retry.jitter = 0.0;
+  p.retry.max_attempts = 6;
+  Driven d(p, [](SimTime now) { return now < Seconds(5) ? 1.0 : 0.0; });
+
+  EXPECT_GT(d.lg->submitted(), 0);
+  EXPECT_EQ(d.lg->submitted(),
+            static_cast<int64_t>(d.submitted.size()));
+  EXPECT_EQ(d.lg->submitted(), d.lg->admission().total_admitted());
+  bool saw_retried_admit = false;
+  for (const engine::QuerySpec& spec : d.submitted) {
+    EXPECT_EQ(spec.slo_class,
+              static_cast<int8_t>(SloClass::kBestEffort));
+    EXPECT_EQ(spec.tenant, 0);
+    EXPECT_FALSE(spec.internal);
+    if (spec.attempt > 0) saw_retried_admit = true;
+  }
+  EXPECT_TRUE(saw_retried_admit);
+}
+
+TEST(RejectCostTest, ShedAttemptsSubmitScaledInternalStubs) {
+  LoadGenParams p = BaseParams(20.0);
+  p.reject_cost_frac = 0.1;
+  Driven d(p, AlwaysOverloaded);
+
+  ASSERT_GT(d.lg->arrivals(), 0);
+  EXPECT_EQ(d.lg->submitted(), 0);  // no client query was admitted
+  // One stub per shed decision, scaled to 10% of the query's ops.
+  EXPECT_EQ(static_cast<int64_t>(d.submitted.size()),
+            d.lg->admission().total_shed());
+  for (const engine::QuerySpec& spec : d.submitted) {
+    EXPECT_TRUE(spec.internal);
+    ASSERT_EQ(spec.work.size(), 1u);
+    EXPECT_DOUBLE_EQ(spec.work[0].ops, kStubOps * 0.1);
+  }
+}
+
+TEST(RejectCostTest, StubOpsFloorAtOneOp) {
+  LoadGenParams p = BaseParams(20.0);
+  p.reject_cost_frac = 1e-6;  // 100 ops * 1e-6 << 1 -> floored
+  Driven d(p, AlwaysOverloaded);
+
+  ASSERT_FALSE(d.submitted.empty());
+  for (const engine::QuerySpec& spec : d.submitted) {
+    EXPECT_DOUBLE_EQ(spec.work[0].ops, 1.0);
+  }
+}
+
+TEST(RetryFailureTest, FailedQueryRetriesThroughAdmission) {
+  LoadGenParams p = BaseParams(0.001);  // effectively no fresh arrivals
+  p.retry.enabled = true;
+  p.retry.mode = RetryParams::Mode::kBackoff;
+  p.retry.base_backoff = Millis(10);
+  p.retry.jitter = 0.0;
+  p.retry.max_attempts = 4;
+
+  sim::Simulator sim;
+  StubWorkload workload;
+  LoadGen lg(&sim, &workload, p);
+  lg.admission().SetPressureSource([] { return 0.0; });
+  std::vector<engine::QuerySpec> submitted;
+  lg.SetSubmitFn(
+      [&submitted](engine::QuerySpec&& spec) { submitted.push_back(spec); });
+  lg.Start();
+
+  // A typed engine failure of tenant 0's first attempt re-enters
+  // admission (pressure 0 -> admitted) as attempt 1.
+  lg.OnQueryFailed(static_cast<int8_t>(SloClass::kBestEffort), 0, 0, 0,
+                   engine::FailReason::kNodeCrash);
+  sim.RunFor(Seconds(1));
+  EXPECT_EQ(lg.failed(), 1);
+  EXPECT_EQ(lg.retries(), 1);
+  ASSERT_EQ(submitted.size(), 1u);
+  EXPECT_EQ(submitted[0].attempt, 1);
+
+  // An out-of-range tenant (internal/untagged traffic) is counted but
+  // never retried.
+  lg.OnQueryFailed(-1, -1, 0, 0, engine::FailReason::kNodeCrash);
+  sim.RunFor(Seconds(1));
+  EXPECT_EQ(lg.failed(), 2);
+  EXPECT_EQ(lg.retries(), 1);
+
+  // Attempt budget: a failure of the last allowed attempt abandons.
+  lg.OnQueryFailed(static_cast<int8_t>(SloClass::kBestEffort), 0, 3, 0,
+                   engine::FailReason::kNodeCrash);
+  sim.RunFor(Seconds(1));
+  EXPECT_EQ(lg.failed(), 3);
+  EXPECT_EQ(lg.retries(), 1);
+  EXPECT_EQ(lg.abandoned(), 1);
+}
+
+}  // namespace
+}  // namespace ecldb::loadgen
